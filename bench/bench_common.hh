@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries: tabular
+ * output and paper-vs-measured reporting.
+ */
+
+#ifndef CXLPNM_BENCH_COMMON_HH
+#define CXLPNM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+namespace cxlpnm
+{
+namespace bench
+{
+
+inline void
+header(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Print one paper-vs-measured ratio line with a pass band. */
+inline void
+anchor(const char *what, double paper, double measured, double tol_frac)
+{
+    const double lo = paper * (1.0 - tol_frac);
+    const double hi = paper * (1.0 + tol_frac);
+    const bool ok = measured >= lo && measured <= hi;
+    std::printf("  %-46s paper %8.3f  measured %8.3f  [%s]\n", what,
+                paper, measured, ok ? "within band" : "OUTSIDE BAND");
+}
+
+/** Absolute-tolerance variant for anchors near zero. */
+inline void
+anchorAbs(const char *what, double paper, double measured, double tol)
+{
+    const bool ok =
+        measured >= paper - tol && measured <= paper + tol;
+    std::printf("  %-46s paper %8.3f  measured %8.3f  [%s]\n", what,
+                paper, measured, ok ? "within band" : "OUTSIDE BAND");
+}
+
+} // namespace bench
+} // namespace cxlpnm
+
+#endif // CXLPNM_BENCH_COMMON_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 2 reproduction: memory capacity and bandwidth a GPU must provide
+ * to run each model at a 200 ms/output-token latency constraint.
+ *
+ * Capacity = FP16 parameter bytes (+ KV cache at the 2048-token context
+ * of the paper's motivating setup). Bandwidth = bytes every gen stage
+ * must stream / 0.2 s. Paper anchor: GPT-3.5 needs 326 GB and 1.75 TB/s,
+ * exceeding the A100-40G's 1.55 TB/s.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "gpu/gpu_spec.hh"
+#include "llm/model_config.hh"
+#include "llm/workload.hh"
+
+using namespace cxlpnm;
+
+int
+main()
+{
+    bench::header("Fig. 2: required capacity & bandwidth @200ms/token");
+
+    constexpr double latency = 0.2; // seconds per output token
+    const std::uint64_t context = 2048;
+
+    std::printf("%-10s %12s %14s %16s\n", "model", "params(B)",
+                "capacity(GiB)", "req. BW (TB/s)");
+
+    double gpt35_capacity = 0.0, gpt35_bw = 0.0;
+    auto models = llm::ModelConfig::optFamily();
+    models.push_back(llm::ModelConfig::gpt3());
+    for (const auto &m : models) {
+        const double cap_gib =
+            static_cast<double>(m.weightBytes()) / GiB;
+        // One gen stage streams every weight once plus the KV cache.
+        const auto stats = llm::summarize(llm::genStageOps(m, context));
+        const double bw =
+            (static_cast<double>(stats.weightBytes) + stats.kvBytes) /
+            latency;
+        std::printf("%-10s %12.2f %14.1f %16.3f\n", m.name.c_str(),
+                    m.paramCount() / 1e9, cap_gib, bw / TB);
+        if (m.name == "gpt-3.5") {
+            gpt35_capacity = cap_gib;
+            gpt35_bw = bw;
+        }
+    }
+
+    bench::anchor("GPT-3.5 capacity GiB (paper 326)", 326.0,
+                  gpt35_capacity, 0.05);
+    bench::anchor("GPT-3.5 required TB/s (paper 1.75)", 1.75,
+                  gpt35_bw / TB, 0.10);
+
+    const auto a100 = gpu::GpuSpec::a100_40g();
+    std::printf("\nA100-40G provides %.0f GB / %.2f TB/s -> %s\n",
+                a100.memBytes / GB, a100.memBandwidth / TB,
+                gpt35_bw > a100.memBandwidth
+                    ? "cannot meet the constraint (as the paper argues)"
+                    : "meets the constraint");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fig. 4 reproduction: A100 utilisation and execution-time breakdown
+ * for OPT-6.7B, L_in = 32, 1024 output tokens.
+ *
+ * Utilisation semantics (see DESIGN.md §7): the paper plots nvidia-smi
+ * readings, which are not reproducible in simulation. We report
+ *  (a) sum stage: kernel-active fraction (GEMM bursts keep SMs busy;
+ *      paper: up to 94%), and peak GEMM FLOP efficiency;
+ *  (b) gen stage: achieved/peak FLOPs of the GEMV kernels (memory-bound
+ *      by orders of magnitude; paper: under 25%).
+ * Breakdown: fraction of end-to-end time in GEMV-shaped kernels
+ * (paper: 83%).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "gpu/inference.hh"
+#include "llm/model_config.hh"
+
+using namespace cxlpnm;
+
+int
+main()
+{
+    bench::header("Fig. 4: A100 utilisation & breakdown, OPT-6.7B");
+
+    const auto model = llm::ModelConfig::opt6_7b();
+    llm::InferenceRequest req;
+    req.inputTokens = 32;
+    req.outputTokens = 1024;
+
+    const auto spec = gpu::GpuSpec::a100_40g();
+    const gpu::GpuCalibration calib;
+
+    // Stage-resolved views.
+    const auto sum =
+        gpu::runStage(llm::sumStageOps(model, req.inputTokens), spec,
+                      calib, 1, false);
+    const double sum_active = sum.kernelSeconds / sum.seconds;
+
+    const auto r = gpu::runGpuInference(model, req, spec, calib, 1);
+
+    std::printf("(a) utilisation\n");
+    std::printf("  sum stage  kernel-active fraction : %6.1f%%\n",
+                sum_active * 100.0);
+    std::printf("  sum stage  peak GEMM FLOP efficiency: %6.1f%%\n",
+                r.sumMaxComputeUtil * 100.0);
+    std::printf("  gen stages peak GEMV FLOP efficiency: %6.2f%%\n",
+                r.genMaxComputeUtil * 100.0);
+
+    std::printf("\n(b) execution-time breakdown (GPU timeline)\n");
+    // The paper's breakdown is over the GPU timeline; exclude the
+    // host-side framework gap between tokens from the denominator.
+    const double fw = calib.frameworkPerTokenSec * req.outputTokens;
+    const double gemv = r.gemvTimeFraction * r.totalSeconds /
+        (r.totalSeconds - fw);
+    std::printf("  GEMV-shaped kernels : %6.1f%%\n", gemv * 100.0);
+    std::printf("  everything else     : %6.1f%%\n",
+                (1.0 - gemv) * 100.0);
+
+    // nvidia-smi's coarse sampling reads a packed kernel burst as
+    // ~busy; our kernel-active fraction under-reads it by the launch
+    // gaps, hence the wide band (DESIGN.md section 7).
+    bench::anchorAbs("sum kernel-active (paper 'up to 0.94')", 0.94,
+                     sum_active, 0.18);
+    std::printf("  %-46s paper <0.25   measured %8.4f  [%s]\n",
+                "gen GEMV utilisation", r.genMaxComputeUtil,
+                r.genMaxComputeUtil < 0.25 ? "within band"
+                                           : "OUTSIDE BAND");
+    bench::anchorAbs("GEMV share of runtime (paper 0.83)", 0.83, gemv,
+                     0.12);
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fig. 10 reproduction: single CXL-PNM device vs single A100 GPU.
+ *
+ * Series: throughput (tokens/s) and energy efficiency (tokens/J) for
+ * OPT-13B at 64 input tokens as the output-token count sweeps 1..1024,
+ * plus the §VIII-A side results: OPT-1.3B/2.7B/6.7B latency gaps and
+ * the OPT-30B capacity cliff (GPU offloads weights over PCIe).
+ *
+ * Paper anchors:
+ *   OPT-13B @1024: CXL-PNM throughput -10.8%, energy efficiency 2.9x.
+ *   OPT-1.3B/2.7B/6.7B @1024: latency -59% / -38% / -2%.
+ *   OPT-30B single device: 138.8x lower latency, 127.9x energy eff.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/inference_engine.hh"
+#include "gpu/inference.hh"
+#include "llm/model_config.hh"
+
+using namespace cxlpnm;
+
+namespace
+{
+
+struct DevicePair
+{
+    gpu::GpuInferenceResult gpu;
+    core::PnmRunResult pnm;
+};
+
+DevicePair
+runBoth(const llm::ModelConfig &model, std::uint64_t out_tokens)
+{
+    llm::InferenceRequest req;
+    req.inputTokens = 64;
+    req.outputTokens = out_tokens;
+
+    core::PnmPlatformConfig pcfg;
+    pcfg.channelGrouping = 8; // coarse channel model for long runs
+
+    DevicePair p;
+    p.gpu = gpu::runGpuInference(model, req, gpu::GpuSpec::a100_40g(),
+                                 gpu::GpuCalibration{}, 1);
+    p.pnm = runPnmSingleDevice(model, req, pcfg);
+    return p;
+}
+
+double
+totalUpTo(const std::vector<double> &gen, double sum, std::size_t n)
+{
+    double t = sum;
+    for (std::size_t i = 0; i < n && i < gen.size(); ++i)
+        t += gen[i];
+    return t;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Fig. 10: OPT-13B, 64 input tokens, single device");
+
+    const auto model = llm::ModelConfig::opt13b();
+    DevicePair run = runBoth(model, 1024);
+
+    std::printf("%8s %14s %14s %14s %14s\n", "out-tok", "GPU tok/s",
+                "PNM tok/s", "GPU tok/kJ", "PNM tok/kJ");
+    for (std::size_t n : {1, 4, 16, 64, 128, 256, 512, 768, 1024}) {
+        const double tg =
+            totalUpTo(run.gpu.genSeconds, run.gpu.sumSeconds, n);
+        const double tp =
+            totalUpTo(run.pnm.genSeconds, run.pnm.sumSeconds, n);
+        const double thr_g = n / tg;
+        const double thr_p = n / tp;
+        // Energy scales with time at the run's average power.
+        const double e_g = tg * run.gpu.avgPowerW;
+        const double e_p = tp * run.pnm.avgPowerW;
+        std::printf("%8zu %14.2f %14.2f %14.2f %14.2f\n", n, thr_g,
+                    thr_p, n / e_g * 1e3, n / e_p * 1e3);
+    }
+
+    const double thr_g = run.gpu.throughputTokensPerSec();
+    const double thr_p = run.pnm.throughputTokensPerSec();
+    const double eff_g = run.gpu.tokensPerJoule();
+    const double eff_p = run.pnm.tokensPerJoule();
+
+    std::printf("\nGPU avg power %.1f W, PNM avg power %.1f W\n",
+                run.gpu.avgPowerW, run.pnm.avgPowerW);
+    bench::anchor("PNM/GPU throughput ratio (paper 0.892)", 0.892,
+                  thr_p / thr_g, 0.05);
+    bench::anchor("PNM/GPU energy-efficiency ratio (paper 2.9x)", 2.9,
+                  eff_p / eff_g, 0.20);
+    bench::anchor("GPU avg power W (paper 253)", 253.0,
+                  run.gpu.avgPowerW, 0.10);
+    bench::anchor("PNM avg power W (paper 77.1)", 77.1,
+                  run.pnm.avgPowerW, 0.10);
+
+    bench::header("Fig. 10 side results: small models @1024 out");
+    const struct
+    {
+        llm::ModelConfig cfg;
+        double paper_latency_gap; // (gpu-pnm)/gpu
+    } small[] = {
+        {llm::ModelConfig::opt1_3b(), 0.59},
+        {llm::ModelConfig::opt2_7b(), 0.38},
+        {llm::ModelConfig::opt6_7b(), 0.02},
+    };
+    for (const auto &s : small) {
+        DevicePair r = runBoth(s.cfg, 1024);
+        const double gap = 1.0 - r.pnm.totalSeconds / r.gpu.totalSeconds;
+        std::printf("%s: GPU %.2f s, PNM %.2f s\n", s.cfg.name.c_str(),
+                    r.gpu.totalSeconds, r.pnm.totalSeconds);
+        bench::anchorAbs(
+            ("  latency reduction " + s.cfg.name).c_str(),
+            s.paper_latency_gap, gap, 0.10);
+    }
+
+    bench::header("OPT-30B capacity cliff (single 40 GB GPU offloads)");
+    {
+        DevicePair r = runBoth(llm::ModelConfig::opt30b(), 64);
+        const double tok_g =
+            r.gpu.totalSeconds / r.gpu.genSeconds.size();
+        const double tok_p =
+            r.pnm.totalSeconds / r.pnm.genSeconds.size();
+        std::printf("GPU %.3f s/token (offload), PNM %.4f s/token\n",
+                    tok_g, tok_p);
+        bench::anchor("latency ratio GPU/PNM (paper 138.8x)", 138.8,
+                      tok_g / tok_p, 0.25);
+        const double eff_ratio =
+            (1.0 / (tok_p * r.pnm.avgPowerW)) /
+            (1.0 / (tok_g * r.gpu.avgPowerW));
+        bench::anchor("energy-efficiency ratio (paper 127.9x)", 127.9,
+                      eff_ratio, 0.40);
+    }
+    return 0;
+}

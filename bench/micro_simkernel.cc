@@ -1,0 +1,112 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths: event
+ * queue scheduling, FP16 conversion/arithmetic, the adder-tree
+ * reduction, and DRAM-channel request streaming. These bound how fast
+ * the big Fig. 10/11 simulations can run.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "accel/functional.hh"
+#include "dram/module.hh"
+#include "numeric/fp16.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+using namespace cxlpnm;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleFire(benchmark::State &state)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event ev("e", [&] { ++fired; });
+    for (auto _ : state) {
+        eq.schedule(ev, eq.now() + 10);
+        eq.step();
+    }
+    benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void
+BM_EventQueueOneShot(benchmark::State &state)
+{
+    EventQueue eq;
+    for (auto _ : state) {
+        eq.scheduleOneShot("o", eq.now() + 1, [] {});
+        eq.step();
+    }
+}
+BENCHMARK(BM_EventQueueOneShot);
+
+void
+BM_Fp16FromFloat(benchmark::State &state)
+{
+    SplitMix64 rng(1);
+    std::vector<float> vals(4096);
+    for (auto &v : vals)
+        v = static_cast<float>(rng.nextDouble(-100, 100));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Half(vals[i++ & 4095]).bits());
+    }
+}
+BENCHMARK(BM_Fp16FromFloat);
+
+void
+BM_Fp16Multiply(benchmark::State &state)
+{
+    Half a(1.5f), b(0.333f);
+    for (auto _ : state) {
+        a = a * b + Half(1.0f);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_Fp16Multiply);
+
+void
+BM_AddTreeReduce(benchmark::State &state)
+{
+    const std::size_t n = state.range(0);
+    std::vector<Half> vals(n, Half(0.25f));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            accel::functional::addTreeReduce(vals.data(), n));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AddTreeReduce)->Arg(128)->Arg(1024)->Arg(8192);
+
+void
+BM_DramModuleStreaming(benchmark::State &state)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    dram::MultiChannelMemory mem(eq, &root, "mem",
+                                 dram::DramTechSpec::lpddr5x(), 256,
+                                 static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        dram::MemoryRequest r;
+        r.addr = 0;
+        r.bytes = 1 << 20;
+        bool done = false;
+        r.onComplete = [&] { done = true; };
+        mem.access(std::move(r));
+        eq.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetLabel("channelGrouping=" +
+                   std::to_string(state.range(0)));
+}
+BENCHMARK(BM_DramModuleStreaming)->Arg(1)->Arg(8)->Arg(16);
+
+} // namespace
+
+BENCHMARK_MAIN();

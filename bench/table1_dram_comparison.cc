@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Table I reproduction: DDR5 / GDDR6 / HBM3 / LPDDR5X CXL-module
+ * comparison, derived from per-pin and packaging parameters under the
+ * FHHL form-factor constraint (§IV).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "dram/dram_spec.hh"
+
+using namespace cxlpnm;
+using dram::DramTechSpec;
+
+int
+main()
+{
+    bench::header("Table I: DRAM technologies for a CXL memory module");
+
+    const DramTechSpec specs[] = {
+        DramTechSpec::ddr5(),
+        DramTechSpec::gddr6(),
+        DramTechSpec::hbm3(),
+        DramTechSpec::lpddr5x(),
+    };
+    const double base = DramTechSpec::lpddr5x().powerPerModule();
+
+    std::printf("%-22s", "");
+    for (const auto &s : specs)
+        std::printf("%12s", s.name.c_str());
+    std::printf("\n");
+
+    auto row = [&](const char *label, auto get, const char *fmt) {
+        std::printf("%-22s", label);
+        for (const auto &s : specs)
+            std::printf(fmt, get(s));
+        std::printf("\n");
+    };
+
+    row("Bandwidth/pin (Gb/s)",
+        [](const DramTechSpec &s) { return s.gbitPerSecPerPin / 1e9; },
+        "%12.1f");
+    row("I/O width/package",
+        [](const DramTechSpec &s) { return double(s.dqPinsPerPackage); },
+        "%12.0f");
+    row("Bandwidth/package(GB/s)",
+        [](const DramTechSpec &s) { return s.bandwidthPerPackage() / GB; },
+        "%12.1f");
+    row("Capacity/package (GB)",
+        [](const DramTechSpec &s) { return s.capacityPerPackage() / GB; },
+        "%12.0f");
+    row("Packages/module",
+        [](const DramTechSpec &s) { return double(s.packagesPerModule); },
+        "%12.0f");
+    row("I/O width/module",
+        [](const DramTechSpec &s) { return double(s.ioWidthPerModule()); },
+        "%12.0f");
+    row("Bandwidth/module(TB/s)",
+        [](const DramTechSpec &s) { return s.bandwidthPerModule() / TB; },
+        "%12.3f");
+    row("Capacity/module (GB)",
+        [](const DramTechSpec &s) { return s.capacityPerModule() / GB; },
+        "%12.0f");
+    row("Core voltage (V)",
+        [](const DramTechSpec &s) { return s.coreVoltage; }, "%12.2f");
+    row("IO voltage (V)",
+        [](const DramTechSpec &s) { return s.ioVoltage; }, "%12.2f");
+    row("Power/module (norm.)",
+        [&](const DramTechSpec &s) { return s.powerPerModule() / base; },
+        "%12.2f");
+
+    bench::header("Table I anchors");
+    bench::anchor("DDR5 module GB/s (paper 89.6)", 89.6,
+                  DramTechSpec::ddr5().bandwidthPerModule() / GB, 0.01);
+    bench::anchor("GDDR6 module TB/s (paper 1.5)", 1.536,
+                  DramTechSpec::gddr6().bandwidthPerModule() / TB, 0.01);
+    bench::anchor("HBM3 module TB/s (paper 4.1)", 4.096,
+                  DramTechSpec::hbm3().bandwidthPerModule() / TB, 0.01);
+    bench::anchor("LPDDR5X module TB/s (paper 1.1)", 1.088,
+                  DramTechSpec::lpddr5x().bandwidthPerModule() / TB,
+                  0.01);
+    bench::anchor("LPDDR5X module GB (paper 512)", 512.0,
+                  DramTechSpec::lpddr5x().capacityPerModule() / GB,
+                  0.01);
+    bench::anchor("DDR5 norm. power (paper 0.35)", 0.35,
+                  DramTechSpec::ddr5().powerPerModule() / base, 0.02);
+    bench::anchor("GDDR6 norm. power (paper 0.96)", 0.96,
+                  DramTechSpec::gddr6().powerPerModule() / base, 0.02);
+    bench::anchor("HBM3 norm. power (paper 3.00)", 3.0,
+                  DramTechSpec::hbm3().powerPerModule() / base, 0.02);
+
+    std::printf("\n1 TB variant (§IV): %s -> %.2f TB capacity\n",
+                DramTechSpec::lpddr5x1Tb().name.c_str(),
+                DramTechSpec::lpddr5x1Tb().capacityPerModule() / TB);
+    return 0;
+}

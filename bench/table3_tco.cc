@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Table III reproduction: hardware and operating cost of the 8-GPU DGX
+ * vs the 8-device CXL-PNM appliance sustaining the OPT-66B service
+ * (GPU: tensor parallel; CXL-PNM: data parallel, as in Fig. 11).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/inference_engine.hh"
+#include "core/tco.hh"
+#include "gpu/inference.hh"
+#include "llm/model_config.hh"
+
+using namespace cxlpnm;
+
+int
+main()
+{
+    const auto model = llm::ModelConfig::opt66b();
+    llm::InferenceRequest req;
+    req.inputTokens = 64;
+    req.outputTokens = 256; // steady-state rate; stable in token count
+
+    // GPU appliance (8x A100, tensor parallel).
+    const auto gspec = gpu::GpuSpec::a100_40g();
+    const auto g =
+        gpu::runGpuInference(model, req, gspec, gpu::GpuCalibration{}, 8);
+    core::TcoInputs gin;
+    gin.name = "GPU appliance";
+    gin.devices = 8;
+    gin.devicePriceUsd = gspec.priceUsd;
+    gin.appliancePowerW = g.avgPowerW * 8;
+    gin.throughputTokensPerSec = g.throughputTokensPerSec();
+
+    // CXL-PNM appliance (8 devices, data parallel).
+    core::PnmPlatformConfig pcfg;
+    pcfg.channelGrouping = 16;
+    const auto p =
+        runPnmAppliance(model, req, pcfg, core::ParallelismPlan{1, 8});
+    core::TcoInputs pin;
+    pin.name = "CXL-PNM appliance";
+    pin.devices = 8;
+    pin.devicePriceUsd = pcfg.priceUsd;
+    pin.appliancePowerW = p.avgAppliancePowerW;
+    pin.throughputTokensPerSec = p.throughputTokensPerSec;
+
+    const auto gr = core::computeTco(gin);
+    const auto pr = core::computeTco(pin);
+
+    bench::header("Table III: hardware and operating costs");
+    std::printf("%-28s %16s %16s\n", "Metric", "GPU appliance",
+                "CXL-PNM appliance");
+    std::printf("%-28s %13.0f $ %14.0f $\n", "Hardware cost",
+                gr.hardwareCostUsd, pr.hardwareCostUsd);
+    std::printf("%-28s %10.2f M/day %11.2f M/day\n", "Throughput",
+                gr.tokensPerDayM, pr.tokensPerDayM);
+    std::printf("%-28s %10.1f kWh/d %11.1f kWh/d\n",
+                "Energy consumption", gr.kwhPerDay, pr.kwhPerDay);
+    std::printf("%-28s %11.2f $/day %12.2f $/day\n", "Operation cost",
+                gr.usdPerDay, pr.usdPerDay);
+    std::printf("%-28s %11.2f kg/d %12.2f kg/d\n", "CO2 emission",
+                gr.co2KgPerDay, pr.co2KgPerDay);
+    std::printf("%-28s %9.2f M tok/$ %10.2f M tok/$\n",
+                "Cost efficiency", gr.tokensPerUsdM, pr.tokensPerUsdM);
+    std::printf("%-28s %9.2f M tok/kg %9.2f M tok/kg\n",
+                "CO2 efficiency", gr.tokensPerKgM, pr.tokensPerKgM);
+
+    bench::header("Table III anchors");
+    bench::anchor("hardware cost ratio (paper 1.42x)", 10000.0 / 7000.0,
+                  gr.hardwareCostUsd / pr.hardwareCostUsd, 0.01);
+    bench::anchor("GPU energy kWh/day (paper 43.2)", 43.2, gr.kwhPerDay,
+                  0.15);
+    bench::anchor("PNM energy kWh/day (paper 15.4)", 15.4, pr.kwhPerDay,
+                  0.15);
+    bench::anchor("energy cost ratio (paper 2.8x)", 2.8,
+                  gr.usdPerDay / pr.usdPerDay, 0.20);
+    bench::anchor("throughput ratio (paper 1.53x)", 1.53,
+                  pr.tokensPerDayM / gr.tokensPerDayM, 0.15);
+    bench::anchor("cost-efficiency ratio (paper 4.3x)", 4.27,
+                  pr.tokensPerUsdM / gr.tokensPerUsdM, 0.25);
+    bench::anchor("CO2-efficiency ratio (paper 4.3x)", 4.28,
+                  pr.tokensPerKgM / gr.tokensPerKgM, 0.25);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Standalone Table III-style TCO calculator. Feed it your own appliance
+ * parameters (device count/price, power, throughput, electricity rate,
+ * grid carbon intensity) and it prints the daily economics.
+ *
+ *   ./tco_calculator devices=8 price=7000 power=642 tps=65.4 \
+ *                    usd_per_kwh=0.1035 co2_per_kwh=0.05694
+ */
+
+#include <cstdio>
+
+#include "core/tco.hh"
+#include "sim/config.hh"
+
+using namespace cxlpnm;
+
+int
+main(int argc, char **argv)
+{
+    auto cfg = Config::fromArgs({argv + 1, argv + argc});
+
+    core::TcoInputs in;
+    in.name = cfg.getString("name", "appliance");
+    in.devices = static_cast<int>(cfg.getInt("devices", 8));
+    in.devicePriceUsd = cfg.getDouble("price", 7000.0);
+    in.appliancePowerW = cfg.getDouble("power", 642.0);
+    in.throughputTokensPerSec = cfg.getDouble("tps", 65.4);
+    in.electricityUsdPerKwh = cfg.getDouble("usd_per_kwh", 0.1035);
+    in.co2KgPerKwh = cfg.getDouble("co2_per_kwh", 0.05694);
+
+    const auto r = core::computeTco(in);
+    std::printf("TCO for '%s' (%d devices @ $%.0f)\n", in.name.c_str(),
+                in.devices, in.devicePriceUsd);
+    std::printf("  hardware cost      $%.0f\n", r.hardwareCostUsd);
+    std::printf("  throughput          %.2f M tokens/day\n",
+                r.tokensPerDayM);
+    std::printf("  energy              %.1f kWh/day\n", r.kwhPerDay);
+    std::printf("  electricity         $%.2f/day (at $%.4f/kWh)\n",
+                r.usdPerDay, in.electricityUsdPerKwh);
+    std::printf("  CO2                 %.2f kg/day\n", r.co2KgPerDay);
+    std::printf("  cost efficiency     %.2f M tokens/$\n",
+                r.tokensPerUsdM);
+    std::printf("  CO2 efficiency      %.2f M tokens/kg\n",
+                r.tokensPerKgM);
+
+    // Payback horizon against a reference appliance, if given.
+    if (cfg.has("ref_price") && cfg.has("ref_power")) {
+        const double ref_hw =
+            cfg.getDouble("ref_price", 0) * in.devices;
+        const double ref_kwh =
+            cfg.getDouble("ref_power", 0) * 24.0 / 1000.0;
+        const double saved_per_day =
+            (ref_kwh - r.kwhPerDay) * in.electricityUsdPerKwh;
+        if (saved_per_day > 0 && r.hardwareCostUsd < ref_hw) {
+            std::printf("\nvs reference: $%.0f cheaper hardware AND "
+                        "$%.2f/day lower electricity\n",
+                        ref_hw - r.hardwareCostUsd, saved_per_day);
+        } else if (saved_per_day > 0) {
+            std::printf("\nvs reference: hardware premium $%.0f paid "
+                        "back in %.0f days of energy savings\n",
+                        r.hardwareCostUsd - ref_hw,
+                        (r.hardwareCostUsd - ref_hw) / saved_per_day);
+        }
+    }
+    return 0;
+}

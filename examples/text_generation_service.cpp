@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A datacenter text-generation service (the paper's §I motivating
+ * workload): size a deployment for a target model and compare one
+ * CXL-PNM device against one A100, end to end - latency per request,
+ * sustained throughput, energy per token, and daily operating cost.
+ *
+ *   ./text_generation_service [model=opt-13b] [in=64] [out=1024]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/inference_engine.hh"
+#include "core/tco.hh"
+#include "gpu/inference.hh"
+#include "sim/config.hh"
+
+using namespace cxlpnm;
+
+int
+main(int argc, char **argv)
+{
+    auto cfg = Config::fromArgs({argv + 1, argv + argc});
+    const auto model =
+        llm::ModelConfig::byName(cfg.getString("model", "opt-13b"));
+    llm::InferenceRequest req;
+    req.inputTokens = cfg.getInt("in", 64);
+    req.outputTokens = cfg.getInt("out", 1024);
+
+    std::printf("service workload: %s, %llu input / %llu output "
+                "tokens per request\n",
+                model.name.c_str(),
+                static_cast<unsigned long long>(req.inputTokens),
+                static_cast<unsigned long long>(req.outputTokens));
+    std::printf("model footprint: %.1f GB FP16 + %.2f GB KV cache at "
+                "full context\n\n",
+                model.weightBytes() / GB,
+                model.kvCacheBytes(req.inputTokens + req.outputTokens) /
+                    GB);
+
+    // --- GPU device ---
+    const auto gspec = gpu::GpuSpec::a100_40g();
+    const auto g = gpu::runGpuInference(model, req, gspec,
+                                        gpu::GpuCalibration{}, 1);
+    const bool offloads = !gpu::modelFits(model, req, gspec, 1);
+    std::printf("A100-40G%s:\n", offloads ? " (offloading weights!)"
+                                          : "");
+    std::printf("  request latency   %8.2f s\n", g.totalSeconds);
+    std::printf("  throughput        %8.2f tokens/s\n",
+                g.throughputTokensPerSec());
+    std::printf("  avg power         %8.1f W\n", g.avgPowerW);
+    std::printf("  energy/token      %8.2f J\n",
+                g.energyJoules / req.outputTokens);
+
+    // --- CXL-PNM device ---
+    core::PnmPlatformConfig pcfg;
+    pcfg.channelGrouping = 8;
+    const auto p = runPnmSingleDevice(model, req, pcfg);
+    std::printf("CXL-PNM:\n");
+    std::printf("  request latency   %8.2f s\n", p.totalSeconds);
+    std::printf("  throughput        %8.2f tokens/s\n",
+                p.throughputTokensPerSec());
+    std::printf("  avg power         %8.1f W\n", p.avgPowerW);
+    std::printf("  energy/token      %8.2f J\n",
+                p.energyJoules / req.outputTokens);
+
+    std::printf("\nCXL-PNM vs GPU: %.2fx throughput, %.2fx energy "
+                "efficiency\n",
+                p.throughputTokensPerSec() / g.throughputTokensPerSec(),
+                p.tokensPerJoule() / g.tokensPerJoule());
+
+    // Daily economics per device (Table III methodology).
+    for (int is_pnm = 0; is_pnm < 2; ++is_pnm) {
+        core::TcoInputs in;
+        in.name = is_pnm ? "CXL-PNM" : "A100";
+        in.devices = 1;
+        in.devicePriceUsd = is_pnm ? 7000.0 : gspec.priceUsd;
+        in.appliancePowerW = is_pnm ? p.avgPowerW : g.avgPowerW;
+        in.throughputTokensPerSec = is_pnm
+            ? p.throughputTokensPerSec()
+            : g.throughputTokensPerSec();
+        const auto r = core::computeTco(in);
+        std::printf("%s/day: %.2f M tokens, %.2f kWh, $%.2f, %.2f kg "
+                    "CO2\n",
+                    in.name.c_str(), r.tokensPerDayM, r.kwhPerDay,
+                    r.usdPerDay, r.co2KgPerDay);
+    }
+    return 0;
+}

@@ -1,0 +1,144 @@
+#include "accel/accelerator.hh"
+
+#include <utility>
+
+#include "accel/functional.hh"
+#include "accel/timing.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace accel
+{
+
+Accelerator::Accelerator(EventQueue &eq, stats::StatGroup *parent,
+                         std::string name, const AccelConfig &cfg,
+                         cxl::HostPnmArbiter &arbiter,
+                         FunctionalMemory *fmem)
+    : SimObject(eq, parent, std::move(name)),
+      cfg_(cfg),
+      clk_(cfg.freqHz),
+      arbiter_(arbiter),
+      fmem_(fmem),
+      rf_(cfg.registerFileBytes),
+      computeEndEvent_(this->name() + ".computeEnd",
+                       [this] { computeDone(); }),
+      instructions_(this, "instructions", "instructions executed"),
+      macs_(this, "macs", "MAC operations performed"),
+      vecOps_(this, "vecOps", "vector element operations performed"),
+      dmaBytes_(this, "dmaBytes", "bytes streamed by the DMA engine"),
+      computeBusy_(this, "computeBusyTicks",
+                   "ticks a compute unit was occupied"),
+      runs_(this, "runs", "programs executed")
+{}
+
+void
+Accelerator::run(const isa::Program &prog,
+                 std::function<void()> on_complete)
+{
+    panic_if(running_, "accelerator already running a program");
+    prog_ = &prog;
+    onComplete_ = std::move(on_complete);
+    running_ = true;
+    runStart_ = now();
+    nextDmaIssue_ = 0;
+    nextExec_ = 0;
+    dmaDone_.assign(prog.size(), false);
+    computeInFlight_ = false;
+    runs_ += 1;
+
+    if (prog.empty()) {
+        // Complete asynchronously for a uniform caller contract.
+        eventQueue().scheduleOneShot(name() + ".emptyRun", now(),
+                                     [this] { finishRun(); });
+        return;
+    }
+    issueDma();
+    tryStartCompute();
+}
+
+void
+Accelerator::issueDma()
+{
+    while (running_ && nextDmaIssue_ < prog_->size() &&
+           nextDmaIssue_ <
+               nextExec_ + static_cast<std::size_t>(cfg_.prefetchDepth)) {
+        const std::size_t i = nextDmaIssue_++;
+        const isa::Instruction &inst = (*prog_)[i];
+        const std::uint64_t bytes = timing::dmaBytes(inst);
+        if (bytes == 0) {
+            dmaDone_[i] = true;
+            continue;
+        }
+        dmaBytes_ += static_cast<double>(bytes);
+        dram::MemoryRequest req;
+        req.addr = inst.memAddr;
+        req.bytes = bytes;
+        req.isRead = timing::dmaIsRead(inst);
+        req.onComplete = [this, i] {
+            dmaDone_[i] = true;
+            // A finished stream frees a staging buffer: let the DMA
+            // engine pull the next descriptor immediately so the module
+            // never idles behind compute.
+            issueDma();
+            tryStartCompute();
+        };
+        arbiter_.access(cxl::Requester::Pnm, std::move(req));
+    }
+}
+
+void
+Accelerator::tryStartCompute()
+{
+    if (!running_ || computeInFlight_ || nextExec_ >= prog_->size())
+        return;
+    if (!dmaDone_[nextExec_])
+        return;
+
+    const isa::Instruction &inst = (*prog_)[nextExec_];
+    const Cycles cycles = timing::computeCycles(inst, cfg_) +
+        Cycles(cfg_.dispatchOverheadCycles);
+    const Tick dur = clk_.cyclesToTicks(cycles);
+
+    computeInFlight_ = true;
+    computeBusy_ += static_cast<double>(dur);
+    scheduleIn(computeEndEvent_, dur);
+}
+
+void
+Accelerator::computeDone()
+{
+    const isa::Instruction &inst = (*prog_)[nextExec_];
+
+    instructions_ += 1;
+    macs_ += static_cast<double>(timing::macOps(inst));
+    vecOps_ += static_cast<double>(timing::vectorOps(inst));
+
+    if (fmem_ != nullptr)
+        functional::execute(inst, rf_, fmem_);
+
+    computeInFlight_ = false;
+    ++nextExec_;
+
+    if (nextExec_ >= prog_->size()) {
+        finishRun();
+        return;
+    }
+    issueDma();
+    tryStartCompute();
+}
+
+void
+Accelerator::finishRun()
+{
+    running_ = false;
+    lastRunTicks_ = now() - runStart_;
+    prog_ = nullptr;
+    auto cb = std::move(onComplete_);
+    onComplete_ = nullptr;
+    if (cb)
+        cb();
+}
+
+} // namespace accel
+} // namespace cxlpnm

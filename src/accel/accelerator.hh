@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The LLM inference accelerator (§V-C): control unit, register-file
+ * manager, MPU (adder trees + PE array), VPU and DMA engine, executing
+ * coarse-grained programs.
+ *
+ * Pipeline model: instructions retire in order on a single compute
+ * pipeline, but the DMA engine prefetches the streaming operand of up to
+ * prefetchDepth upcoming instructions (double buffering). An
+ * instruction's compute starts once its operand has fully streamed, so
+ * for bandwidth-bound ops the DMA time dominates and for compute-bound
+ * ops (PE-array GEMMs) the compute time dominates - the max() behaviour
+ * emerges from the overlap.
+ */
+
+#ifndef CXLPNM_ACCEL_ACCELERATOR_HH
+#define CXLPNM_ACCEL_ACCELERATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "accel/config.hh"
+#include "accel/functional_memory.hh"
+#include "accel/register_file.hh"
+#include "cxl/arbiter.hh"
+#include "isa/isa.hh"
+#include "sim/clock_domain.hh"
+#include "sim/sim_object.hh"
+
+namespace cxlpnm
+{
+namespace accel
+{
+
+/** The accelerator core behind the CXL-PNM controller. */
+class Accelerator : public SimObject
+{
+  public:
+    /**
+     * @param arbiter Path to the module's DRAM (PNM side).
+     * @param fmem    Functional memory image, or null for timing-only
+     *                simulation (no data is computed).
+     */
+    Accelerator(EventQueue &eq, stats::StatGroup *parent, std::string name,
+                const AccelConfig &cfg, cxl::HostPnmArbiter &arbiter,
+                FunctionalMemory *fmem);
+
+    /** Execute a program; the callback fires at completion. */
+    void run(const isa::Program &prog,
+             std::function<void()> on_complete);
+
+    bool busy() const { return running_; }
+    const AccelConfig &config() const { return cfg_; }
+    RegisterFileManager &registerFile() { return rf_; }
+    FunctionalMemory *functionalMemory() { return fmem_; }
+
+    /** Wall-clock of the last completed run. */
+    Tick lastRunTicks() const { return lastRunTicks_; }
+
+    // Cumulative activity counters (energy/utilisation inputs).
+    std::uint64_t totalMacs() const
+    {
+        return static_cast<std::uint64_t>(macs_.value());
+    }
+    std::uint64_t totalVectorOps() const
+    {
+        return static_cast<std::uint64_t>(vecOps_.value());
+    }
+    std::uint64_t totalDmaBytes() const
+    {
+        return static_cast<std::uint64_t>(dmaBytes_.value());
+    }
+    Tick computeBusyTicks() const
+    {
+        return static_cast<Tick>(computeBusy_.value());
+    }
+
+  private:
+    void issueDma();
+    void tryStartCompute();
+    void computeDone();
+    void finishRun();
+
+    AccelConfig cfg_;
+    ClockDomain clk_;
+    cxl::HostPnmArbiter &arbiter_;
+    FunctionalMemory *fmem_;
+    RegisterFileManager rf_;
+
+    const isa::Program *prog_ = nullptr;
+    std::function<void()> onComplete_;
+    bool running_ = false;
+    Tick runStart_ = 0;
+    Tick lastRunTicks_ = 0;
+
+    std::size_t nextDmaIssue_ = 0;
+    std::size_t nextExec_ = 0;
+    std::vector<bool> dmaDone_;
+    bool computeInFlight_ = false;
+    Event computeEndEvent_;
+
+    stats::Scalar instructions_;
+    stats::Scalar macs_;
+    stats::Scalar vecOps_;
+    stats::Scalar dmaBytes_;
+    stats::Scalar computeBusy_;
+    stats::Scalar runs_;
+};
+
+} // namespace accel
+} // namespace cxlpnm
+
+#endif // CXLPNM_ACCEL_ACCELERATOR_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Architectural parameters of the LLM inference accelerator (Table II),
+ * DFX-derived with the paper's enhancements: a 64x32 FP16 PE array for
+ * GEMM, adder-tree lanes widened to tile dimension l=128, and no router
+ * (device-to-device communication is host-orchestrated over CXL).
+ */
+
+#ifndef CXLPNM_ACCEL_CONFIG_HH
+#define CXLPNM_ACCEL_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace cxlpnm
+{
+namespace accel
+{
+
+/** Table II configuration. */
+struct AccelConfig
+{
+    /** Core clock, Hz (7 nm @ 1.0 GHz, 1.0 V). */
+    double freqHz = 1.0e9;
+
+    /** PE array geometry: 64 x 32 = 2,048 FP16 MACs (peak 4.09 TFLOPS). */
+    int peRows = 64;
+    int peCols = 32;
+
+    /**
+     * Adder-tree path: 16 lanes x 128 MACs = 2,048 multipliers and
+     * 16 x 127 = 2,032 adders (Table II). Tile dimension l = 128 (§V-C
+     * doubles DFX's 64 to exploit the 1.1 TB/s module).
+     */
+    int adderTreeLanes = 16;
+    int tileDim = 128;
+
+    /** VPU lanes (elementwise FP16 ops per cycle). */
+    int vpuLanes = 128;
+
+    /** Matrix/vector/scalar register file capacity (Table II: 63 MB). */
+    std::uint64_t registerFileBytes = 63ull * MiB;
+    /** DMA staging buffers (Table II: 1 MB). */
+    std::uint64_t dmaBufferBytes = 1ull * MiB;
+
+    /** Compute pipeline fill/drain per instruction, cycles. */
+    int pipelineFillCycles = 16;
+
+    /**
+     * Control-unit dispatch overhead per instruction (descriptor decode,
+     * RF bank arbitration, DMA programming). Calibration anchor: with
+     * ~15 instructions per decoder layer this yields the ~30 us/layer
+     * control overhead that reproduces the Fig. 10 OPT-13B latency gap.
+     */
+    int dispatchOverheadCycles = 2000;
+
+    /**
+     * Max instructions whose DMA may run ahead of execution. The DMA
+     * engine's descriptor queue covers the 1 MB staging buffers twice
+     * over; 4 keeps the module streaming across layer boundaries.
+     */
+    int prefetchDepth = 4;
+
+    /** Peak MAC throughput of the PE array, FLOP/s (MAC = 2 FLOP). */
+    double
+    peArrayPeakFlops() const
+    {
+        return 2.0 * peRows * peCols * freqHz;
+    }
+
+    /** Peak MAC throughput of the adder trees, FLOP/s. */
+    double
+    adderTreePeakFlops() const
+    {
+        return 2.0 * adderTreeLanes * tileDim * freqHz;
+    }
+
+    int adderTreeMultipliers() const { return adderTreeLanes * tileDim; }
+    int adderTreeAdders() const
+    {
+        return adderTreeLanes * (tileDim - 1);
+    }
+    int peCount() const { return peRows * peCols; }
+};
+
+} // namespace accel
+} // namespace cxlpnm
+
+#endif // CXLPNM_ACCEL_CONFIG_HH

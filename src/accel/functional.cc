@@ -1,0 +1,447 @@
+#include "accel/functional.hh"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "numeric/linalg.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace accel
+{
+namespace functional
+{
+
+namespace
+{
+
+using isa::Flag;
+using isa::Instruction;
+using isa::Opcode;
+
+/** Fetch the streaming matrix operand: register or device memory. */
+HalfTensor
+matrixOperand(const Instruction &inst, RegisterFileManager &rf,
+              FunctionalMemory *mem, std::uint32_t rows,
+              std::uint32_t cols)
+{
+    if (inst.has(isa::FlagMemOperand)) {
+        panic_if(mem == nullptr,
+                 "memory operand without functional memory: ",
+                 inst.toString());
+        return mem->readTensor(inst.memAddr, rows, cols);
+    }
+    HalfTensor &t = rf.tensor(inst.src1);
+    panic_if(t.rows() != rows || t.cols() != cols,
+             "operand shape (", t.rows(), "x", t.cols(),
+             ") != expected (", rows, "x", cols, ") in ",
+             inst.toString());
+    return t;
+}
+
+void
+addBiasRow(HalfTensor &out, const HalfTensor &bias)
+{
+    panic_if(bias.rows() != 1 || bias.cols() != out.cols(),
+             "bias must be 1 x n");
+    for (std::size_t i = 0; i < out.rows(); ++i)
+        for (std::size_t j = 0; j < out.cols(); ++j)
+            out.at(i, j) = out.at(i, j) + bias.at(0, j);
+}
+
+/** Adder-tree GEMV: y(1 x m) = M(m x n) . x(n). */
+void
+execMv(const Instruction &inst, RegisterFileManager &rf,
+       FunctionalMemory *mem)
+{
+    const auto m = inst.m, n = inst.n;
+    HalfTensor mat = matrixOperand(inst, rf, mem, m, n);
+    HalfTensor &x = rf.tensor(inst.src0);
+    panic_if(x.rows() != 1 || x.cols() != n, "MV vector must be 1 x n");
+    HalfTensor &y = rf.tensor(inst.dst);
+    panic_if(y.rows() != 1 || y.cols() != m, "MV output must be 1 x m");
+
+    std::vector<Half> prods(n);
+    for (std::uint32_t i = 0; i < m; ++i) {
+        for (std::uint32_t j = 0; j < n; ++j)
+            prods[j] = mat.at(i, j) * x.at(0, j);
+        y.at(0, i) = addTreeReduce(prods.data(), n);
+    }
+    if (inst.has(isa::FlagBias))
+        addBiasRow(y, rf.tensor(inst.aux));
+}
+
+/**
+ * Multi-head batched PEA op against the KV cache (gen stage).
+ * TransB (scores): out[h, j] = scale * sum_p A[0, h*k+p] * B[j, h*k+p]
+ * with B = K cache (n x m*k). Without TransB (context):
+ * out[h, j] = sum_p A[h, p] * B[p, h*n+j] with B = V cache (k x m*n).
+ */
+void
+execPeaMultiHead(const Instruction &inst, RegisterFileManager &rf,
+                 FunctionalMemory *mem)
+{
+    const auto heads = inst.m, n = inst.n, k = inst.k;
+    const bool score = inst.has(isa::FlagTransB);
+    const bool redumax = inst.op == Opcode::MpuMmRedumaxPea ||
+        inst.op == Opcode::MpuMaskedMmRedumaxPea;
+    const bool masked = inst.op == Opcode::MpuMaskedMmPea ||
+        inst.op == Opcode::MpuMaskedMmRedumaxPea;
+
+    HalfTensor &a = rf.tensor(inst.src0);
+    HalfTensor b = score
+        ? matrixOperand(inst, rf, mem, n, heads * k)
+        : matrixOperand(inst, rf, mem, k, heads * n);
+
+    // The output may be shaped (heads x n) or flat (1 x heads*n): the
+    // concatenated per-head context vector is consumed as 1 x dModel.
+    HalfTensor &out = rf.tensor(inst.dst);
+    panic_if(out.rows() * out.cols() !=
+                 static_cast<std::size_t>(heads) * n,
+             "multi-head output must hold heads*n elements");
+
+    HalfTensor *rowmax = nullptr;
+    if (redumax) {
+        rowmax = &rf.tensor(inst.aux);
+        panic_if(rowmax->rows() != 1 || rowmax->cols() != heads,
+                 "multi-head REDUMAX output must be 1 x heads");
+    }
+
+    for (std::uint32_t h = 0; h < heads; ++h) {
+        float mx = -std::numeric_limits<float>::infinity();
+        for (std::uint32_t j = 0; j < n; ++j) {
+            Half r;
+            if (masked && j > inst.imm) {
+                r = -Half::infinity();
+            } else {
+                float acc = 0.0f;
+                if (score) {
+                    panic_if(a.rows() != 1 ||
+                                 a.cols() != heads * k,
+                             "multi-head score A must be 1 x heads*k");
+                    for (std::uint32_t p = 0; p < k; ++p)
+                        acc += a.at(0, h * k + p).toFloat() *
+                            b.at(j, h * k + p).toFloat();
+                } else {
+                    panic_if(a.rows() != heads || a.cols() != k,
+                             "multi-head context A must be heads x k");
+                    for (std::uint32_t p = 0; p < k; ++p)
+                        acc += a.at(h, p).toFloat() *
+                            b.at(p, h * n + j).toFloat();
+                }
+                r = Half(acc * inst.scale);
+            }
+            out.data()[static_cast<std::size_t>(h) * n + j] = r;
+            if (redumax && !r.isNan())
+                mx = std::max(mx, r.toFloat());
+        }
+        if (redumax)
+            rowmax->at(0, h) = Half(mx);
+    }
+}
+
+/** PE-array GEMM family (plain/masked/redumax/conv/gelu variants). */
+void
+execPea(const Instruction &inst, RegisterFileManager &rf,
+        FunctionalMemory *mem)
+{
+    if (inst.has(isa::FlagMultiHead)) {
+        execPeaMultiHead(inst, rf, mem);
+        return;
+    }
+    const auto m = inst.m, n = inst.n;
+    std::uint32_t k = inst.k;
+
+    HalfTensor &a0 = rf.tensor(inst.src0);
+    HalfTensor a = a0; // value copy: im2col may widen it
+
+    const bool conv = inst.op == Opcode::MpuConv2dPea ||
+        inst.op == Opcode::MpuConv2dGeluPea;
+    if (conv) {
+        const std::uint32_t kernel = inst.imm ? inst.imm : 1;
+        if (kernel > 1) {
+            // 1-D same-padded im2col over the sequence (rows).
+            HalfTensor widened(a.rows(), a.cols() * kernel);
+            const int half_k = static_cast<int>(kernel) / 2;
+            for (std::size_t r = 0; r < a.rows(); ++r) {
+                for (std::uint32_t t = 0; t < kernel; ++t) {
+                    const int src_r = static_cast<int>(r) +
+                        static_cast<int>(t) - half_k;
+                    for (std::size_t c = 0; c < a.cols(); ++c) {
+                        Half v = (src_r < 0 ||
+                                  src_r >= static_cast<int>(a.rows()))
+                            ? Half()
+                            : a.at(src_r, c);
+                        widened.at(r, t * a.cols() + c) = v;
+                    }
+                }
+            }
+            a = std::move(widened);
+            k = k * kernel;
+        }
+    }
+
+    panic_if(a.rows() != m || a.cols() != k,
+             "PEA A operand is ", a.rows(), "x", a.cols(),
+             ", expected ", m, "x", k, ": ", inst.toString());
+
+    const bool trans_b = inst.has(isa::FlagTransB);
+    HalfTensor b = trans_b ? matrixOperand(inst, rf, mem, n, k)
+                           : matrixOperand(inst, rf, mem, k, n);
+
+    HalfTensor &out = rf.tensor(inst.dst);
+    panic_if(out.rows() != m || out.cols() != n,
+             "PEA output must be m x n");
+
+    const bool masked = inst.op == Opcode::MpuMaskedMmPea ||
+        inst.op == Opcode::MpuMaskedMmRedumaxPea;
+    const bool redumax = inst.op == Opcode::MpuMmRedumaxPea ||
+        inst.op == Opcode::MpuMaskedMmRedumaxPea;
+    const bool fuse_gelu = inst.op == Opcode::MpuConv2dGeluPea;
+
+    panic_if(redumax && inst.has(isa::FlagBias),
+             "REDUMAX and BIAS both use the aux register: ",
+             inst.toString());
+
+    HalfTensor *rowmax = nullptr;
+    if (redumax) {
+        rowmax = &rf.tensor(inst.aux);
+        panic_if(rowmax->rows() != 1 || rowmax->cols() != m,
+                 "REDUMAX output must be 1 x m");
+    }
+
+    const HalfTensor *bias = nullptr;
+    if (inst.has(isa::FlagBias)) {
+        bias = &rf.tensor(inst.aux);
+        panic_if(bias->rows() != 1 || bias->cols() != n,
+                 "PEA bias must be 1 x n");
+    }
+
+    for (std::uint32_t i = 0; i < m; ++i) {
+        float mx = -std::numeric_limits<float>::infinity();
+        for (std::uint32_t j = 0; j < n; ++j) {
+            Half r;
+            if (masked && j > i + inst.imm) {
+                r = -Half::infinity();
+            } else {
+                // FP16 multipliers, FP32 accumulator, one rounding.
+                float acc = 0.0f;
+                for (std::uint32_t p = 0; p < k; ++p) {
+                    const Half bv =
+                        trans_b ? b.at(j, p) : b.at(p, j);
+                    acc += a.at(i, p).toFloat() * bv.toFloat();
+                }
+                if (bias) // bias precedes the fused activation
+                    acc += bias->at(0, j).toFloat();
+                r = Half(acc * inst.scale);
+                if (fuse_gelu) {
+                    r = Half(static_cast<float>(linalg::gelu(
+                        static_cast<double>(r.toFloat()))));
+                }
+            }
+            out.at(i, j) = r;
+            if (redumax && !r.isNan())
+                mx = std::max(mx, r.toFloat());
+        }
+        if (redumax)
+            rowmax->at(0, i) = Half(mx);
+    }
+}
+
+/** VPU row/elementwise operations. */
+void
+execVpu(const Instruction &inst, RegisterFileManager &rf)
+{
+    HalfTensor &in = rf.tensor(inst.src0);
+    HalfTensor &out = rf.tensor(inst.dst);
+
+    switch (inst.op) {
+      case Opcode::VpuLayerNorm: {
+          panic_if(out.rows() != in.rows() || out.cols() != in.cols(),
+                   "layernorm shape mismatch");
+          HalfTensor &gamma = rf.tensor(inst.src1);
+          HalfTensor &beta = rf.tensor(inst.aux);
+          const double eps = static_cast<double>(inst.scale);
+          const double n = static_cast<double>(in.cols());
+          for (std::size_t i = 0; i < in.rows(); ++i) {
+              double mean = 0.0;
+              for (std::size_t j = 0; j < in.cols(); ++j)
+                  mean += static_cast<double>(in.at(i, j));
+              mean /= n;
+              double var = 0.0;
+              for (std::size_t j = 0; j < in.cols(); ++j) {
+                  const double d =
+                      static_cast<double>(in.at(i, j)) - mean;
+                  var += d * d;
+              }
+              var /= n;
+              const double inv = 1.0 / std::sqrt(var + eps);
+              for (std::size_t j = 0; j < in.cols(); ++j) {
+                  const double v =
+                      (static_cast<double>(in.at(i, j)) - mean) * inv *
+                          static_cast<double>(gamma.at(0, j)) +
+                      static_cast<double>(beta.at(0, j));
+                  out.at(i, j) = Half(v);
+              }
+          }
+          break;
+      }
+      case Opcode::VpuSoftmax: {
+          panic_if(out.rows() != in.rows() || out.cols() != in.cols(),
+                   "softmax shape mismatch");
+          const double scale = static_cast<double>(inst.scale);
+          for (std::size_t i = 0; i < in.rows(); ++i) {
+              double mx = -std::numeric_limits<double>::infinity();
+              for (std::size_t j = 0; j < in.cols(); ++j)
+                  mx = std::max(
+                      mx, static_cast<double>(in.at(i, j)) * scale);
+              double sum = 0.0;
+              std::vector<double> e(in.cols());
+              for (std::size_t j = 0; j < in.cols(); ++j) {
+                  const double v =
+                      static_cast<double>(in.at(i, j)) * scale;
+                  e[j] = std::isinf(v) && v < 0 ? 0.0 : std::exp(v - mx);
+                  sum += e[j];
+              }
+              for (std::size_t j = 0; j < in.cols(); ++j)
+                  out.at(i, j) = Half(e[j] / sum);
+          }
+          break;
+      }
+      case Opcode::VpuGelu:
+        panic_if(out.rows() != in.rows() || out.cols() != in.cols(),
+                 "gelu shape mismatch");
+        for (std::size_t i = 0; i < in.rows(); ++i)
+            for (std::size_t j = 0; j < in.cols(); ++j)
+                out.at(i, j) = Half(linalg::gelu(
+                    static_cast<double>(in.at(i, j))));
+        break;
+      case Opcode::VpuAdd:
+      case Opcode::VpuMul: {
+          HalfTensor &rhs = rf.tensor(inst.src1);
+          const bool broadcast = rhs.rows() == 1 && in.rows() > 1;
+          panic_if(!broadcast && (rhs.rows() != in.rows() ||
+                                  rhs.cols() != in.cols()),
+                   "vpu binary op shape mismatch");
+          panic_if(rhs.cols() != in.cols(),
+                   "vpu binary op column mismatch");
+          for (std::size_t i = 0; i < in.rows(); ++i) {
+              const std::size_t ri = broadcast ? 0 : i;
+              for (std::size_t j = 0; j < in.cols(); ++j) {
+                  out.at(i, j) = inst.op == Opcode::VpuAdd
+                      ? in.at(i, j) + rhs.at(ri, j)
+                      : in.at(i, j) * rhs.at(ri, j);
+              }
+          }
+          break;
+      }
+      case Opcode::VpuReduMax: {
+          panic_if(out.rows() != 1 || out.cols() != in.rows(),
+                   "redumax output must be 1 x rows");
+          for (std::size_t i = 0; i < in.rows(); ++i) {
+              float mx = -std::numeric_limits<float>::infinity();
+              for (std::size_t j = 0; j < in.cols(); ++j)
+                  mx = std::max(mx, in.at(i, j).toFloat());
+              out.at(0, i) = Half(mx);
+          }
+          break;
+      }
+      default:
+        panic("not a VPU op: ", inst.toString());
+    }
+}
+
+} // namespace
+
+Half
+addTreeReduce(const Half *values, std::size_t n)
+{
+    if (n == 0)
+        return Half();
+    std::vector<Half> level(values, values + n);
+    while (level.size() > 1) {
+        std::vector<Half> next((level.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+            next[i / 2] = level[i] + level[i + 1];
+        if (level.size() % 2)
+            next.back() = level.back();
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+void
+execute(const isa::Instruction &inst, RegisterFileManager &rf,
+        FunctionalMemory *mem)
+{
+    switch (inst.op) {
+      case Opcode::Halt:
+      case Opcode::Sync:
+        break;
+      case Opcode::DmaLoad: {
+          panic_if(mem == nullptr, "DMA_LOAD without functional memory");
+          HalfTensor &dst = rf.tensor(inst.dst);
+          panic_if(dst.rows() != inst.m || dst.cols() != inst.n,
+                   "DMA_LOAD register shape mismatch");
+          dst = mem->readTensor(inst.memAddr, inst.m, inst.n);
+          break;
+      }
+      case Opcode::DmaStore:
+        panic_if(mem == nullptr, "DMA_STORE without functional memory");
+        mem->writeTensor(inst.memAddr, rf.tensor(inst.src0));
+        break;
+      case Opcode::MpuMv:
+        execMv(inst, rf, mem);
+        break;
+      case Opcode::MpuTranspose: {
+          HalfTensor &in = rf.tensor(inst.src0);
+          HalfTensor &out = rf.tensor(inst.dst);
+          panic_if(out.rows() != in.cols() || out.cols() != in.rows(),
+                   "transpose shape mismatch");
+          for (std::size_t i = 0; i < in.rows(); ++i)
+              for (std::size_t j = 0; j < in.cols(); ++j)
+                  out.at(j, i) = in.at(i, j);
+          break;
+      }
+      case Opcode::MpuIm2col:
+        panic("MPU_IM2COL is only generated fused into CONV2D ops");
+        break;
+      case Opcode::MpuSlice: {
+          // Column offsets in imm (hi16 source, lo16 dest); source row
+          // offset in k (unused as a reduction dim here).
+          const std::uint32_t src_off = inst.imm >> 16;
+          const std::uint32_t dst_off = inst.imm & 0xffff;
+          const std::uint32_t src_row = inst.k;
+          HalfTensor &in = rf.tensor(inst.src0);
+          HalfTensor &out = rf.tensor(inst.dst);
+          panic_if(in.rows() < src_row + inst.m || out.rows() < inst.m,
+                   "slice row overflow");
+          panic_if(src_off + inst.n > in.cols(),
+                   "slice source column overflow");
+          panic_if(dst_off + inst.n > out.cols(),
+                   "slice destination column overflow");
+          for (std::uint32_t r = 0; r < inst.m; ++r)
+              for (std::uint32_t c = 0; c < inst.n; ++c)
+                  out.at(r, dst_off + c) = in.at(src_row + r,
+                                                 src_off + c);
+          break;
+      }
+      case Opcode::MpuMmPea:
+      case Opcode::MpuMmRedumaxPea:
+      case Opcode::MpuMaskedMmPea:
+      case Opcode::MpuMaskedMmRedumaxPea:
+      case Opcode::MpuConv2dPea:
+      case Opcode::MpuConv2dGeluPea:
+        execPea(inst, rf, mem);
+        break;
+      default:
+        execVpu(inst, rf);
+        break;
+    }
+}
+
+} // namespace functional
+} // namespace accel
+} // namespace cxlpnm

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Functional (bit-level FP16) semantics of the accelerator ISA.
+ *
+ * Numeric fidelity mirrors the hardware datapaths:
+ *  - Adder-tree GEMV: FP16 multipliers feeding a pairwise FP16 adder
+ *    tree (tree-order reduction, not sequential).
+ *  - PE array GEMM: FP16 multiply with a wide (FP32) accumulator,
+ *    rounded to FP16 once at writeback.
+ *  - VPU: special-function units evaluate in high precision and round
+ *    the result to FP16.
+ */
+
+#ifndef CXLPNM_ACCEL_FUNCTIONAL_HH
+#define CXLPNM_ACCEL_FUNCTIONAL_HH
+
+#include "accel/functional_memory.hh"
+#include "accel/register_file.hh"
+#include "isa/isa.hh"
+
+namespace cxlpnm
+{
+namespace accel
+{
+namespace functional
+{
+
+/**
+ * Execute one instruction against the register files and (optionally)
+ * the functional memory image.
+ *
+ * @param inst Instruction to execute.
+ * @param rf   Register storage.
+ * @param mem  Functional device memory; may be null only if the
+ *             instruction touches no memory operand.
+ */
+void execute(const isa::Instruction &inst, RegisterFileManager &rf,
+             FunctionalMemory *mem);
+
+/**
+ * Pairwise FP16 tree reduction of @p n products - the adder-tree
+ * datapath. Exposed for unit tests of the numeric behaviour.
+ */
+Half addTreeReduce(const Half *values, std::size_t n);
+
+} // namespace functional
+} // namespace accel
+} // namespace cxlpnm
+
+#endif // CXLPNM_ACCEL_FUNCTIONAL_HH

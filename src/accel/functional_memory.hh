@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Functional backing store for device memory.
+ *
+ * Performance simulation of a 512 GB module never touches data, but
+ * functional verification (tiny models, driver tests) needs real bytes.
+ * FunctionalMemory is a flat image covering the low @p bytes of the
+ * device address space; accesses beyond it are a user error.
+ */
+
+#ifndef CXLPNM_ACCEL_FUNCTIONAL_MEMORY_HH
+#define CXLPNM_ACCEL_FUNCTIONAL_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "numeric/tensor.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cxlpnm
+{
+namespace accel
+{
+
+/** Byte-addressable functional image of (a prefix of) device memory. */
+class FunctionalMemory
+{
+  public:
+    explicit FunctionalMemory(std::uint64_t bytes)
+        : data_(bytes, 0)
+    {}
+
+    std::uint64_t size() const { return data_.size(); }
+
+    void
+    write(Addr addr, const void *src, std::uint64_t bytes)
+    {
+        check(addr, bytes);
+        std::memcpy(data_.data() + addr, src, bytes);
+    }
+
+    void
+    read(Addr addr, void *dst, std::uint64_t bytes) const
+    {
+        check(addr, bytes);
+        std::memcpy(dst, data_.data() + addr, bytes);
+    }
+
+    /** Store a Half tensor row-major at @p addr. */
+    void
+    writeTensor(Addr addr, const HalfTensor &t)
+    {
+        check(addr, t.bytes());
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            const std::uint16_t b = t.data()[i].bits();
+            std::memcpy(data_.data() + addr + 2 * i, &b, 2);
+        }
+    }
+
+    /** Load a rows x cols Half tensor from @p addr. */
+    HalfTensor
+    readTensor(Addr addr, std::uint32_t rows, std::uint32_t cols) const
+    {
+        HalfTensor t(rows, cols);
+        check(addr, t.bytes());
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            std::uint16_t b;
+            std::memcpy(&b, data_.data() + addr + 2 * i, 2);
+            t.data()[i] = Half::fromBits(b);
+        }
+        return t;
+    }
+
+  private:
+    void
+    check(Addr addr, std::uint64_t bytes) const
+    {
+        fatal_if(addr + bytes > data_.size(),
+                 "functional access [", addr, ", ", addr + bytes,
+                 ") beyond functional image of ", data_.size(), " bytes");
+    }
+
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace accel
+} // namespace cxlpnm
+
+#endif // CXLPNM_ACCEL_FUNCTIONAL_MEMORY_HH

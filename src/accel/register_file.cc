@@ -1,0 +1,73 @@
+#include "accel/register_file.hh"
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace accel
+{
+
+isa::RegId
+RegisterFileManager::alloc(std::uint32_t rows, std::uint32_t cols,
+                           const std::string &debug_name)
+{
+    fatal_if(rows == 0 || cols == 0,
+             "zero-sized register '", debug_name, "'");
+    RegShape shape{rows, cols};
+    fatal_if(used_ + shape.bytes() > capacity_,
+             "register file exhausted: need ", shape.bytes(),
+             " bytes for '", debug_name, "', used ", used_, " of ",
+             capacity_);
+
+    // Skip the NoReg sentinel and any id still live (wrap-around reuse).
+    while (next_ == isa::NoReg || regs_.count(next_))
+        ++next_;
+    isa::RegId id = next_++;
+
+    Entry e;
+    e.shape = shape;
+    e.name = debug_name;
+    regs_.emplace(id, std::move(e));
+    used_ += shape.bytes();
+    peak_ = std::max(peak_, used_);
+    return id;
+}
+
+void
+RegisterFileManager::free(isa::RegId id)
+{
+    auto it = regs_.find(id);
+    panic_if(it == regs_.end(), "free of invalid register ", id);
+    used_ -= it->second.shape.bytes();
+    regs_.erase(it);
+}
+
+void
+RegisterFileManager::reset()
+{
+    regs_.clear();
+    used_ = 0;
+    next_ = 0;
+}
+
+RegShape
+RegisterFileManager::shape(isa::RegId id) const
+{
+    auto it = regs_.find(id);
+    panic_if(it == regs_.end(), "shape of invalid register ", id);
+    return it->second.shape;
+}
+
+HalfTensor &
+RegisterFileManager::tensor(isa::RegId id)
+{
+    auto it = regs_.find(id);
+    panic_if(it == regs_.end(), "tensor of invalid register ", id);
+    Entry &e = it->second;
+    if (e.data.empty())
+        e.data = HalfTensor(e.shape.rows, e.shape.cols);
+    return e.data;
+}
+
+} // namespace accel
+} // namespace cxlpnm

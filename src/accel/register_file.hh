@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The register file manager (§V-C component 2): allocates named 2-D
+ * registers out of the accelerator's 63 MB of on-chip SRAM and, in
+ * functional mode, owns their FP16 contents.
+ */
+
+#ifndef CXLPNM_ACCEL_REGISTER_FILE_HH
+#define CXLPNM_ACCEL_REGISTER_FILE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "isa/isa.hh"
+#include "numeric/tensor.hh"
+
+namespace cxlpnm
+{
+namespace accel
+{
+
+/** Shape of an allocated register. */
+struct RegShape
+{
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+
+    std::uint64_t
+    bytes() const
+    {
+        return 2ull * rows * cols; // FP16
+    }
+};
+
+/** Allocator + functional storage for the matrix/vector/scalar RFs. */
+class RegisterFileManager
+{
+  public:
+    explicit RegisterFileManager(std::uint64_t capacity_bytes)
+        : capacity_(capacity_bytes)
+    {}
+
+    /**
+     * Allocate a rows x cols FP16 register. Fatal when the request would
+     * exceed on-chip capacity (codegen must tile instead).
+     */
+    isa::RegId alloc(std::uint32_t rows, std::uint32_t cols,
+                     const std::string &debug_name = "");
+
+    /** Release a register. */
+    void free(isa::RegId id);
+
+    /** Release every register (between inference requests). */
+    void reset();
+
+    bool valid(isa::RegId id) const { return regs_.count(id) != 0; }
+    RegShape shape(isa::RegId id) const;
+
+    /** Functional contents; created zero-filled on first touch. */
+    HalfTensor &tensor(isa::RegId id);
+
+    std::uint64_t usedBytes() const { return used_; }
+    std::uint64_t capacityBytes() const { return capacity_; }
+    std::size_t liveRegisters() const { return regs_.size(); }
+
+    /** High-water mark of SRAM usage, bytes. */
+    std::uint64_t peakBytes() const { return peak_; }
+
+  private:
+    struct Entry
+    {
+        RegShape shape;
+        std::string name;
+        HalfTensor data; // empty until touched
+    };
+
+    std::uint64_t capacity_;
+    std::uint64_t used_ = 0;
+    std::uint64_t peak_ = 0;
+    isa::RegId next_ = 0;
+    std::unordered_map<isa::RegId, Entry> regs_;
+};
+
+} // namespace accel
+} // namespace cxlpnm
+
+#endif // CXLPNM_ACCEL_REGISTER_FILE_HH

@@ -1,0 +1,192 @@
+#include "accel/timing.hh"
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace accel
+{
+namespace timing
+{
+
+namespace
+{
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+Cycles
+computeCycles(const isa::Instruction &inst, const AccelConfig &cfg)
+{
+    using isa::Opcode;
+    const std::uint64_t m = inst.m, n = inst.n, k = inst.k;
+    const std::uint64_t fill = cfg.pipelineFillCycles;
+    const std::uint64_t lanes = cfg.vpuLanes;
+
+    switch (inst.op) {
+      case Opcode::Halt:
+      case Opcode::Sync:
+        return Cycles(0);
+
+      case Opcode::DmaLoad:
+      case Opcode::DmaStore:
+        // Pure data movement; the DMA engine provides the time.
+        return Cycles(0);
+
+      case Opcode::MpuMv:
+        // Each adder-tree lane folds tileDim elements per cycle; lanes
+        // work on different output elements.
+        return Cycles(ceilDiv(m, cfg.adderTreeLanes) *
+                          ceilDiv(n, cfg.tileDim) +
+                      fill);
+
+      case Opcode::MpuTranspose:
+      case Opcode::MpuSlice:
+        return Cycles(ceilDiv(m * n, lanes) + fill);
+
+      case Opcode::MpuIm2col:
+        return Cycles(ceilDiv(m * n * std::max<std::uint64_t>(
+                                          inst.imm, 1),
+                              lanes) +
+                      fill);
+
+      case Opcode::MpuMmPea:
+      case Opcode::MpuMaskedMmPea: {
+          // Output-stationary: each (peRows x peCols) output tile takes
+          // k cycles; tile-edge waste emerges from the ceils.
+          return Cycles(ceilDiv(m, cfg.peRows) * ceilDiv(n, cfg.peCols) *
+                            std::max<std::uint64_t>(k, 1) +
+                        fill);
+      }
+      case Opcode::MpuMmRedumaxPea:
+      case Opcode::MpuMaskedMmRedumaxPea: {
+          // Fused row-max costs one extra VPU pass over the output.
+          const std::uint64_t mm =
+              ceilDiv(m, cfg.peRows) * ceilDiv(n, cfg.peCols) *
+              std::max<std::uint64_t>(k, 1);
+          return Cycles(mm + ceilDiv(m * n, lanes) + fill);
+      }
+      case Opcode::MpuConv2dPea:
+      case Opcode::MpuConv2dGeluPea: {
+          const std::uint64_t kernel =
+              std::max<std::uint64_t>(inst.imm, 1);
+          std::uint64_t cyc =
+              ceilDiv(m, cfg.peRows) * ceilDiv(n, cfg.peCols) *
+              std::max<std::uint64_t>(k * kernel, 1);
+          if (kernel > 1) // im2col pass through the manipulation unit
+              cyc += ceilDiv(m * k * kernel, lanes);
+          if (inst.op == Opcode::MpuConv2dGeluPea) // fused activation
+              cyc += ceilDiv(m * n, lanes);
+          return Cycles(cyc + fill);
+      }
+
+      case Opcode::VpuLayerNorm:
+        // Three passes: mean, variance, normalise+scale.
+        return Cycles(3 * ceilDiv(m * n, lanes) + fill);
+
+      case Opcode::VpuSoftmax: {
+          // Max (skipped when a REDUMAX register is supplied), exp+sum,
+          // divide.
+          const std::uint64_t passes = inst.aux != isa::NoReg ? 2 : 3;
+          return Cycles(passes * ceilDiv(m * n, lanes) + fill);
+      }
+      case Opcode::VpuGelu:
+      case Opcode::VpuAdd:
+      case Opcode::VpuMul:
+      case Opcode::VpuReduMax:
+        return Cycles(ceilDiv(m * n, lanes) + fill);
+    }
+    panic("computeCycles: unhandled opcode");
+}
+
+std::uint64_t
+dmaBytes(const isa::Instruction &inst)
+{
+    using isa::Opcode;
+    switch (inst.op) {
+      case Opcode::DmaLoad:
+      case Opcode::DmaStore:
+        return 2ull * inst.m * inst.n;
+      default:
+        break;
+    }
+    if (!inst.has(isa::FlagMemOperand))
+        return 0;
+    switch (inst.op) {
+      case Opcode::MpuMv:
+        return 2ull * inst.m * inst.n;
+      case Opcode::MpuMmPea:
+      case Opcode::MpuMmRedumaxPea:
+      case Opcode::MpuMaskedMmPea:
+      case Opcode::MpuMaskedMmRedumaxPea:
+        // Multi-head ops stream the full (context x dModel) K/V cache.
+        if (inst.has(isa::FlagMultiHead))
+            return 2ull * inst.m * inst.n * inst.k;
+        return 2ull * inst.k * inst.n;
+      case Opcode::MpuConv2dPea:
+      case Opcode::MpuConv2dGeluPea:
+        return 2ull * inst.k * std::max<std::uint64_t>(inst.imm, 1) *
+            inst.n;
+      default:
+        panic("memory operand on non-streaming opcode: ",
+              inst.toString());
+    }
+}
+
+bool
+dmaIsRead(const isa::Instruction &inst)
+{
+    return inst.op != isa::Opcode::DmaStore;
+}
+
+std::uint64_t
+macOps(const isa::Instruction &inst)
+{
+    using isa::Opcode;
+    switch (inst.op) {
+      case Opcode::MpuMv:
+        return static_cast<std::uint64_t>(inst.m) * inst.n;
+      case Opcode::MpuMmPea:
+      case Opcode::MpuMmRedumaxPea:
+      case Opcode::MpuMaskedMmPea:
+      case Opcode::MpuMaskedMmRedumaxPea:
+        return static_cast<std::uint64_t>(inst.m) * inst.n * inst.k;
+      case Opcode::MpuConv2dPea:
+      case Opcode::MpuConv2dGeluPea:
+        return static_cast<std::uint64_t>(inst.m) * inst.n * inst.k *
+            std::max<std::uint64_t>(inst.imm, 1);
+      default:
+        return 0;
+    }
+}
+
+std::uint64_t
+vectorOps(const isa::Instruction &inst)
+{
+    using isa::Opcode;
+    const std::uint64_t mn = static_cast<std::uint64_t>(inst.m) * inst.n;
+    switch (inst.op) {
+      case Opcode::VpuLayerNorm:
+        return 3 * mn;
+      case Opcode::VpuSoftmax:
+        return 3 * mn;
+      case Opcode::VpuGelu:
+      case Opcode::VpuAdd:
+      case Opcode::VpuMul:
+      case Opcode::VpuReduMax:
+      case Opcode::MpuTranspose:
+      case Opcode::MpuSlice:
+        return mn;
+      default:
+        return 0;
+    }
+}
+
+} // namespace timing
+} // namespace accel
+} // namespace cxlpnm

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Per-instruction timing model of the accelerator.
+ *
+ * Cycle counts are structural: tiles mapped onto the PE array / adder
+ * tree lanes / VPU lanes, plus a pipeline fill. Memory-boundness is NOT
+ * decided here - the Accelerator overlaps these compute cycles with the
+ * DMA engine's streaming, and whichever is longer dominates.
+ */
+
+#ifndef CXLPNM_ACCEL_TIMING_HH
+#define CXLPNM_ACCEL_TIMING_HH
+
+#include <cstdint>
+
+#include "accel/config.hh"
+#include "isa/isa.hh"
+
+namespace cxlpnm
+{
+namespace accel
+{
+namespace timing
+{
+
+/** Compute cycles the instruction occupies its functional unit. */
+Cycles computeCycles(const isa::Instruction &inst,
+                     const AccelConfig &cfg);
+
+/** Bytes the DMA engine streams from/to device memory for this inst. */
+std::uint64_t dmaBytes(const isa::Instruction &inst);
+
+/** Whether the DMA traffic is a read from device memory. */
+bool dmaIsRead(const isa::Instruction &inst);
+
+/** MAC operations performed (for energy accounting). */
+std::uint64_t macOps(const isa::Instruction &inst);
+
+/** Non-MAC vector element operations (for energy accounting). */
+std::uint64_t vectorOps(const isa::Instruction &inst);
+
+} // namespace timing
+} // namespace accel
+} // namespace cxlpnm
+
+#endif // CXLPNM_ACCEL_TIMING_HH

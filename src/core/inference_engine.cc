@@ -1,0 +1,127 @@
+#include "core/inference_engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace core
+{
+
+PnmRunResult
+runPnmSingleDevice(const llm::ModelConfig &model,
+                   const llm::InferenceRequest &req,
+                   const PnmPlatformConfig &cfg, int tensor_shard)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    PnmDevice dev(eq, &root, "pnm0", cfg);
+    runtime::PnmLibrary &lib = dev.library();
+
+    if (tensor_shard > 1)
+        lib.setTensorShard(tensor_shard);
+
+    bool done = false;
+    lib.loadModel(model, /*seed=*/1, [&] { done = true; });
+    eq.run();
+    panic_if(!done, "model load did not complete");
+
+    PnmRunResult res;
+    const auto before = dev.activity();
+    const Tick t_start = eq.now();
+
+    // Sum stage over a synthetic prompt.
+    const std::vector<std::uint32_t> prompt(req.inputTokens, 0);
+    done = false;
+    Tick t0 = eq.now();
+    lib.prefill(prompt, [&](std::uint32_t) { done = true; });
+    eq.run();
+    panic_if(!done, "prefill did not complete");
+    res.sumSeconds = ticksToSeconds(eq.now() - t0);
+
+    // Gen stages.
+    res.genSeconds.reserve(req.outputTokens);
+    for (std::uint64_t t = 0; t < req.outputTokens; ++t) {
+        done = false;
+        t0 = eq.now();
+        lib.decode(0, [&](std::uint32_t) { done = true; });
+        eq.run();
+        panic_if(!done, "decode did not complete");
+        res.genSeconds.push_back(ticksToSeconds(eq.now() - t0));
+    }
+
+    const Tick duration = eq.now() - t_start;
+    res.totalSeconds = ticksToSeconds(duration);
+    res.energyJoules =
+        dev.energyJoules(before, dev.activity(), duration);
+    res.avgPowerW = res.totalSeconds > 0.0
+        ? res.energyJoules / res.totalSeconds
+        : 0.0;
+    res.programInstructions = lib.lastProgramSize();
+    return res;
+}
+
+PnmApplianceResult
+runPnmAppliance(const llm::ModelConfig &model,
+                const llm::InferenceRequest &req,
+                const PnmPlatformConfig &cfg,
+                const ParallelismPlan &plan, const D2dModel &d2d)
+{
+    fatal_if(plan.modelParallel < 1 || plan.dataParallel < 1,
+             "bad parallelism plan");
+    const int mp = plan.modelParallel;
+
+    // All tensor shards are architecturally identical and execute
+    // concurrently; simulate one.
+    PnmRunResult shard = runPnmSingleDevice(model, req, cfg, mp);
+
+    // Two host-orchestrated reductions per layer per stage (after the
+    // attention projection and after FC2), as with NCCL on the GPU
+    // side - §VIII-A notes the volume is independent of the degree.
+    const double red_sum = d2d.reductionSeconds(
+        2.0 * req.inputTokens * model.dModel, cfg.link);
+    const double red_gen =
+        d2d.reductionSeconds(2.0 * model.dModel, cfg.link);
+    const double comm_sum =
+        mp > 1 ? 2.0 * model.numLayers * red_sum : 0.0;
+    const double comm_gen =
+        mp > 1 ? 2.0 * model.numLayers * red_gen : 0.0;
+
+    PnmApplianceResult res;
+    res.plan = plan;
+
+    const double sum_lat = shard.sumSeconds + comm_sum;
+    double gen_total = 0.0;
+    for (double g : shard.genSeconds)
+        gen_total += g + comm_gen;
+    res.requestLatencySeconds = sum_lat + gen_total;
+    res.tokenLatencySeconds = shard.genSeconds.empty()
+        ? 0.0
+        : gen_total / shard.genSeconds.size();
+    res.throughputTokensPerSec = plan.dataParallel *
+        static_cast<double>(req.outputTokens) /
+        res.requestLatencySeconds;
+    res.commFraction =
+        (comm_sum + comm_gen * req.outputTokens) /
+        res.requestLatencySeconds;
+
+    // Energy: every shard device is active for the shard run and idles
+    // during reductions; statics accrue over the whole request.
+    const PnmPowerParams pp;
+    const double idle_w = pp.cxlStaticW + pp.accelStaticW +
+        dram::DramPowerModel(cfg.dramSpec).backgroundPowerW();
+    const double idle_sec =
+        std::max(0.0, res.requestLatencySeconds - shard.totalSeconds);
+    const double per_device = shard.energyJoules + idle_w * idle_sec;
+    res.energyJoules = per_device * plan.devices();
+    const double tokens_total =
+        static_cast<double>(req.outputTokens) * plan.dataParallel;
+    res.tokensPerJoule = tokens_total / res.energyJoules;
+    res.avgAppliancePowerW =
+        res.energyJoules / res.requestLatencySeconds;
+    return res;
+}
+
+} // namespace core
+} // namespace cxlpnm

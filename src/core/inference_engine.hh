@@ -1,0 +1,123 @@
+/**
+ * @file
+ * End-to-end inference execution on CXL-PNM devices (the event-driven
+ * counterpart of gpu::runGpuInference), plus appliance composition with
+ * model/data parallelism (§VIII).
+ */
+
+#ifndef CXLPNM_CORE_INFERENCE_ENGINE_HH
+#define CXLPNM_CORE_INFERENCE_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/platform.hh"
+#include "llm/workload.hh"
+
+namespace cxlpnm
+{
+namespace core
+{
+
+/** Result of running one request on one device (or one MP shard). */
+struct PnmRunResult
+{
+    double sumSeconds = 0.0;
+    std::vector<double> genSeconds; // per output token
+    double totalSeconds = 0.0;
+    double energyJoules = 0.0;      // one device
+    double avgPowerW = 0.0;
+    std::size_t programInstructions = 0;
+
+    double
+    throughputTokensPerSec() const
+    {
+        return totalSeconds > 0.0 ? genSeconds.size() / totalSeconds
+                                  : 0.0;
+    }
+
+    double
+    tokensPerJoule() const
+    {
+        return energyJoules > 0.0 ? genSeconds.size() / energyJoules
+                                  : 0.0;
+    }
+};
+
+/**
+ * Run a request on one CXL-PNM device (timing mode), optionally as a
+ * tensor-parallel shard of degree @p tensor_shard (the device holds
+ * 1/shard of every layer, FasterTransformer-style). Creates its own
+ * event queue and device; returns per-stage timings and energy.
+ */
+PnmRunResult runPnmSingleDevice(const llm::ModelConfig &model,
+                                const llm::InferenceRequest &req,
+                                const PnmPlatformConfig &cfg,
+                                int tensor_shard = 1);
+
+/** How an appliance's 8 devices are partitioned (§VIII-A). */
+struct ParallelismPlan
+{
+    /**
+     * Devices per model instance (tensor-parallel degree). §VIII-A
+     * calls this "model parallelism"; the reported latencies and the
+     * observation that communication volume is independent of the
+     * degree identify it as a tensor split of every layer.
+     */
+    int modelParallel = 1;
+    int dataParallel = 8; // concurrent model instances
+
+    int devices() const { return modelParallel * dataParallel; }
+};
+
+/** Appliance-level result. */
+struct PnmApplianceResult
+{
+    ParallelismPlan plan;
+    /** Latency of one request (sum + all gen stages). */
+    double requestLatencySeconds = 0.0;
+    /** Mean per-token latency across the gen stages. */
+    double tokenLatencySeconds = 0.0;
+    /** Aggregate throughput over all parallel streams, tokens/s. */
+    double throughputTokensPerSec = 0.0;
+    /** All-devices energy for one batch of requests. */
+    double energyJoules = 0.0;
+    double tokensPerJoule = 0.0;
+    double avgAppliancePowerW = 0.0;
+    /** Fraction of request latency spent in device-to-device hops. */
+    double commFraction = 0.0;
+};
+
+/** Cross-device reduction cost via host-orchestrated DMA (§V-C). */
+struct D2dModel
+{
+    /** Doorbell + ISR + descriptor handling per reduction. */
+    double fixedSeconds = 25e-6;
+    /**
+     * One reduction gathers partial activations from every shard and
+     * scatters the result back; links are per-device, so the payload
+     * crosses two link hops regardless of degree.
+     */
+    double
+    reductionSeconds(double bytes, const cxl::CxlLinkParams &link) const
+    {
+        return fixedSeconds + 2.0 * bytes / link.usableBytesPerSec();
+    }
+};
+
+/**
+ * Run a request on an appliance of plan.devices() CXL-PNM devices.
+ * Model parallelism tensor-splits every layer across modelParallel
+ * devices with two host-orchestrated reductions per layer; data
+ * parallelism runs dataParallel independent streams.
+ */
+PnmApplianceResult runPnmAppliance(const llm::ModelConfig &model,
+                                   const llm::InferenceRequest &req,
+                                   const PnmPlatformConfig &cfg,
+                                   const ParallelismPlan &plan,
+                                   const D2dModel &d2d = {});
+
+} // namespace core
+} // namespace cxlpnm
+
+#endif // CXLPNM_CORE_INFERENCE_ENGINE_HH

@@ -1,0 +1,84 @@
+#include "core/platform.hh"
+
+#include <utility>
+
+namespace cxlpnm
+{
+namespace core
+{
+
+PnmDevice::PnmDevice(EventQueue &eq, stats::StatGroup *parent,
+                     std::string name, const PnmPlatformConfig &cfg)
+    : SimObject(eq, parent, std::move(name)),
+      cfg_(cfg),
+      dramPower_(cfg.dramSpec)
+{
+    if (cfg_.functionalBytes > 0) {
+        fmem_ = std::make_unique<accel::FunctionalMemory>(
+            cfg_.functionalBytes);
+    }
+    mem_ = std::make_unique<dram::MultiChannelMemory>(
+        eq, this, "mem", cfg_.dramSpec, 256, cfg_.channelGrouping);
+    link_ = std::make_unique<cxl::CxlLink>(eq, this, "link", cfg_.link);
+    arbiter_ = std::make_unique<cxl::HostPnmArbiter>(
+        eq, this, "arbiter", *mem_, cfg_.arbiter);
+    memPort_ = std::make_unique<cxl::CxlMemPort>(eq, this, "cxlmem",
+                                                 *link_, *arbiter_);
+    ioPort_ =
+        std::make_unique<cxl::CxlIoPort>(eq, this, "cxlio", *link_);
+    accel_ = std::make_unique<accel::Accelerator>(
+        eq, this, "accel", cfg_.accel, *arbiter_, fmem_.get());
+    driver_ = std::make_unique<runtime::PnmDriver>(
+        eq, this, "driver", *ioPort_, *memPort_, *accel_);
+
+    // The library sizes the allocator to the functional image when one
+    // exists (so every address it hands out is materialisable) and to
+    // the full module otherwise.
+    const std::uint64_t managed = cfg_.functionalBytes > 0
+        ? cfg_.functionalBytes
+        : mem_->capacityBytes();
+    library_ = std::make_unique<runtime::PnmLibrary>(
+        eq, this, "library", *driver_, *accel_, managed);
+}
+
+PnmDevice::Activity
+PnmDevice::activity() const
+{
+    Activity a;
+    a.dramBytes = mem_->totalBytes();
+    a.macs = accel_->totalMacs();
+    a.vecOps = accel_->totalVectorOps();
+    return a;
+}
+
+double
+PnmDevice::energyJoules(const Activity &before, const Activity &after,
+                        Tick duration, const PnmPowerParams &pp) const
+{
+    const double sec = ticksToSeconds(duration);
+    const std::uint64_t bytes = after.dramBytes - before.dramBytes;
+    const std::uint64_t macs = after.macs - before.macs;
+    const std::uint64_t vecops = after.vecOps - before.vecOps;
+
+    const double dram = dramPower_.energyJ(bytes, duration);
+    const double statics = (pp.cxlStaticW + pp.accelStaticW) * sec;
+    const double dma = bytes * pp.dmaPjPerByte * 1e-12;
+    const double mac = macs * pp.macPj * 1e-12;
+    const double vpu = vecops * pp.vpuPj * 1e-12;
+    return dram + statics + dma + mac + vpu;
+}
+
+double
+PnmDevice::maxPowerW(const PnmPowerParams &pp) const
+{
+    // Controller at full stream + PE array saturated, plus DRAM at
+    // full bandwidth: the ~150 W platform budget of Table II.
+    const double bw = mem_->sustainedBandwidth();
+    const double controller = pp.cxlStaticW + pp.accelStaticW +
+        bw * pp.dmaPjPerByte * 1e-12 +
+        cfg_.accel.peArrayPeakFlops() / 2.0 * pp.macPj * 1e-12;
+    return controller + dramPower_.streamingPowerW(bw);
+}
+
+} // namespace core
+} // namespace cxlpnm

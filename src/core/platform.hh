@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The assembled CXL-PNM platform (§V): one PnmDevice binds the LPDDR5X
+ * module, the CXL-PNM controller (link + CXL.mem/CXL.io IPs + host/PNM
+ * arbiter + memory controllers), the LLM inference accelerator, and the
+ * software stack (driver + library).
+ */
+
+#ifndef CXLPNM_CORE_PLATFORM_HH
+#define CXLPNM_CORE_PLATFORM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "accel/accelerator.hh"
+#include "accel/functional_memory.hh"
+#include "cxl/arbiter.hh"
+#include "cxl/link.hh"
+#include "cxl/ports.hh"
+#include "dram/module.hh"
+#include "dram/power.hh"
+#include "runtime/driver.hh"
+#include "runtime/pnm_library.hh"
+
+namespace cxlpnm
+{
+namespace core
+{
+
+/** Everything configurable about one CXL-PNM device. */
+struct PnmPlatformConfig
+{
+    dram::DramTechSpec dramSpec = dram::DramTechSpec::lpddr5x();
+    accel::AccelConfig accel;
+    cxl::CxlLinkParams link;
+    cxl::HostPnmArbiter::Params arbiter;
+
+    /**
+     * Size of the functional memory image; 0 selects timing-only
+     * simulation (no data is computed, suitable for 512 GB models).
+     */
+    std::uint64_t functionalBytes = 0;
+
+    /**
+     * Coarsen the DRAM channel model by this factor for long
+     * performance runs (identical bandwidth, fewer events).
+     */
+    int channelGrouping = 1;
+
+    /** Table III: CXL-PNM device price. */
+    double priceUsd = 7000.0;
+};
+
+/** Energy parameters of the CXL-PNM controller (7 nm, Table II). */
+struct PnmPowerParams
+{
+    /** CXL IPs + PHY static power. */
+    double cxlStaticW = 12.0;
+    /** Accelerator static power (SRAM leakage, clock tree). */
+    double accelStaticW = 18.0;
+    /** DMA/NoC + register-file energy per byte streamed. */
+    double dmaPjPerByte = 11.0;
+    /** Energy per FP16 MAC. */
+    double macPj = 3.2;
+    /** Energy per VPU element op. */
+    double vpuPj = 1.5;
+};
+
+/** One CXL-PNM device: module + controller + accelerator + software. */
+class PnmDevice : public SimObject
+{
+  public:
+    PnmDevice(EventQueue &eq, stats::StatGroup *parent, std::string name,
+              const PnmPlatformConfig &cfg);
+
+    dram::MultiChannelMemory &memory() { return *mem_; }
+    cxl::CxlLink &link() { return *link_; }
+    cxl::HostPnmArbiter &arbiter() { return *arbiter_; }
+    cxl::CxlMemPort &memPort() { return *memPort_; }
+    cxl::CxlIoPort &ioPort() { return *ioPort_; }
+    accel::Accelerator &accel() { return *accel_; }
+    runtime::PnmDriver &driver() { return *driver_; }
+    runtime::PnmLibrary &library() { return *library_; }
+    accel::FunctionalMemory *functionalMemory() { return fmem_.get(); }
+
+    const PnmPlatformConfig &config() const { return cfg_; }
+
+    /** Activity snapshot for energy accounting. */
+    struct Activity
+    {
+        std::uint64_t dramBytes = 0;
+        std::uint64_t macs = 0;
+        std::uint64_t vecOps = 0;
+    };
+    Activity activity() const;
+
+    /** Energy spent by this device over an interval. */
+    double energyJoules(const Activity &before, const Activity &after,
+                        Tick duration,
+                        const PnmPowerParams &pp = {}) const;
+
+    /** Max (TDP-like) platform power: controller + DRAM (Table II). */
+    double maxPowerW(const PnmPowerParams &pp = {}) const;
+
+  private:
+    PnmPlatformConfig cfg_;
+    std::unique_ptr<accel::FunctionalMemory> fmem_;
+    std::unique_ptr<dram::MultiChannelMemory> mem_;
+    std::unique_ptr<cxl::CxlLink> link_;
+    std::unique_ptr<cxl::HostPnmArbiter> arbiter_;
+    std::unique_ptr<cxl::CxlMemPort> memPort_;
+    std::unique_ptr<cxl::CxlIoPort> ioPort_;
+    std::unique_ptr<accel::Accelerator> accel_;
+    std::unique_ptr<runtime::PnmDriver> driver_;
+    std::unique_ptr<runtime::PnmLibrary> library_;
+    dram::DramPowerModel dramPower_;
+};
+
+} // namespace core
+} // namespace cxlpnm
+
+#endif // CXLPNM_CORE_PLATFORM_HH

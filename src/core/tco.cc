@@ -1,0 +1,31 @@
+#include "core/tco.hh"
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace core
+{
+
+TcoReport
+computeTco(const TcoInputs &in)
+{
+    fatal_if(in.devices <= 0, "appliance needs devices");
+    fatal_if(in.throughputTokensPerSec <= 0.0,
+             "throughput must be positive");
+
+    constexpr double sec_per_day = 86400.0;
+    TcoReport r;
+    r.hardwareCostUsd = in.devices * in.devicePriceUsd;
+    r.tokensPerDayM =
+        in.throughputTokensPerSec * sec_per_day / 1e6;
+    r.kwhPerDay = in.appliancePowerW * 24.0 / 1000.0;
+    r.usdPerDay = r.kwhPerDay * in.electricityUsdPerKwh;
+    r.co2KgPerDay = r.kwhPerDay * in.co2KgPerKwh;
+    r.tokensPerUsdM = r.tokensPerDayM / r.usdPerDay;
+    r.tokensPerKgM = r.tokensPerDayM / r.co2KgPerDay;
+    return r;
+}
+
+} // namespace core
+} // namespace cxlpnm

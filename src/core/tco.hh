@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Total-cost-of-ownership model (Table III): hardware cost, electricity,
+ * CO2 emission, and the derived cost/CO2 efficiencies for a sustained
+ * inference service.
+ */
+
+#ifndef CXLPNM_CORE_TCO_HH
+#define CXLPNM_CORE_TCO_HH
+
+#include <string>
+
+namespace cxlpnm
+{
+namespace core
+{
+
+/** What the TCO model needs about an appliance. */
+struct TcoInputs
+{
+    std::string name;
+    int devices = 8;
+    double devicePriceUsd = 0.0;
+    /** Sustained appliance power (all devices), watts. */
+    double appliancePowerW = 0.0;
+    /** Sustained service throughput, tokens/s. */
+    double throughputTokensPerSec = 0.0;
+
+    /**
+     * Idaho's 10.35 cents/kWh, the cheapest U.S. rate the paper
+     * assumes (§VIII-B).
+     */
+    double electricityUsdPerKwh = 0.1035;
+    /**
+     * Grid carbon intensity implied by Table III
+     * (43.2 kWh -> 2.46 kg CO2): 0.05694 kg/kWh (hydro-heavy Idaho).
+     */
+    double co2KgPerKwh = 0.05694;
+};
+
+/** Table III rows. */
+struct TcoReport
+{
+    double hardwareCostUsd = 0.0;
+    double tokensPerDayM = 0.0;   // millions of tokens/day
+    double kwhPerDay = 0.0;
+    double usdPerDay = 0.0;       // operating (electricity) cost
+    double co2KgPerDay = 0.0;
+    double tokensPerUsdM = 0.0;   // M tokens per operating dollar
+    double tokensPerKgM = 0.0;    // M tokens per kg CO2
+};
+
+/** Evaluate the Table III economics for one appliance. */
+TcoReport computeTco(const TcoInputs &in);
+
+} // namespace core
+} // namespace cxlpnm
+
+#endif // CXLPNM_CORE_TCO_HH

@@ -1,0 +1,106 @@
+#include "cxl/arbiter.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace cxl
+{
+
+HostPnmArbiter::HostPnmArbiter(EventQueue &eq, stats::StatGroup *parent,
+                               std::string name,
+                               dram::MultiChannelMemory &mem, Params params)
+    : SimObject(eq, parent, std::move(name)),
+      mem_(mem),
+      params_(params),
+      grantLatency_(static_cast<Tick>(params.grantLatencyNs * tickPerNs)),
+      releaseEvent_(this->name() + ".release", [this] { releaseHost(); }),
+      hostRequests_(this, "hostRequests", "requests issued by the host"),
+      pnmRequests_(this, "pnmRequests",
+                   "requests issued by the accelerator"),
+      hostBlocked_(this, "hostBlocked",
+                   "host requests blocked behind a PNM task"),
+      hostWait_(this, "hostWaitNs", "host arbitration wait (ns)")
+{}
+
+void
+HostPnmArbiter::access(Requester who, dram::MemoryRequest req)
+{
+    if (who == Requester::Host) {
+        hostRequests_ += 1;
+        if (params_.policy == Policy::PollingHandshake && taskActive_) {
+            // DIMM-PNM: the channel is owned by the accelerator; the
+            // host's request sits until the post-task poll discovers the
+            // release flag.
+            hostBlocked_ += 1;
+            blockedHost_.push_back(std::move(req));
+            blockedSince_.push_back(now());
+            return;
+        }
+        issue(std::move(req), now(), who);
+    } else {
+        pnmRequests_ += 1;
+        issue(std::move(req), now(), who);
+    }
+}
+
+void
+HostPnmArbiter::issue(dram::MemoryRequest req, Tick queued_at,
+                      Requester who)
+{
+    if (who == Requester::Host) {
+        hostWait_.sample(
+            static_cast<double>(now() + grantLatency_ - queued_at) /
+            tickPerNs);
+    }
+    // Model the grant pipeline by deferring the DRAM issue. Completion
+    // callbacks pass through unchanged.
+    if (grantLatency_ == 0) {
+        mem_.access(std::move(req));
+        return;
+    }
+    eventQueue().scheduleOneShot(
+        name() + ".grant", now() + grantLatency_,
+        [this, r = std::move(req)]() mutable {
+            mem_.access(std::move(r));
+        });
+}
+
+void
+HostPnmArbiter::beginPnmTask()
+{
+    panic_if(taskActive_, "nested PNM task");
+    taskActive_ = true;
+}
+
+void
+HostPnmArbiter::endPnmTask()
+{
+    panic_if(!taskActive_, "endPnmTask without begin");
+    taskActive_ = false;
+    if (params_.policy == Policy::PollingHandshake &&
+        !blockedHost_.empty()) {
+        // The host discovers the release at its next poll boundary: on
+        // average half an interval, modelled as a fixed half-period.
+        const Tick poll = static_cast<Tick>(
+            params_.pollIntervalUs * tickPerUs / 2);
+        scheduleIn(releaseEvent_, poll);
+    }
+}
+
+void
+HostPnmArbiter::releaseHost()
+{
+    while (!blockedHost_.empty()) {
+        dram::MemoryRequest req = std::move(blockedHost_.front());
+        blockedHost_.pop_front();
+        Tick since = blockedSince_.front();
+        blockedSince_.pop_front();
+        issue(std::move(req), since, Requester::Host);
+    }
+}
+
+} // namespace cxl
+} // namespace cxlpnm

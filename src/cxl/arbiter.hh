@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Arbitration of concurrent memory requests from the host CPU and the PNM
+ * accelerator (§V-A, disadvantage D3).
+ *
+ * Two policies are modelled:
+ *
+ *  - Hardware: the CXL-PNM arbiter. CXL tolerates variable latency
+ *    between the CXL IP and the memory controllers, so requests from both
+ *    sides flow to the DRAM immediately (per-request grant latency only)
+ *    and contend at the channels. This is the paper's design.
+ *
+ *  - PollingHandshake: the DIMM-PNM (AxDIMM) scheme. While the
+ *    accelerator owns the DIMM, every host request is blocked until the
+ *    current accelerator *task* completes AND the host's next poll of the
+ *    designated flag address discovers the release. Used by the
+ *    ablation_arbiter bench to quantify D3.
+ */
+
+#ifndef CXLPNM_CXL_ARBITER_HH
+#define CXLPNM_CXL_ARBITER_HH
+
+#include <deque>
+#include <string>
+
+#include "dram/module.hh"
+#include "sim/sim_object.hh"
+
+namespace cxlpnm
+{
+namespace cxl
+{
+
+/** Who issued a request. */
+enum class Requester { Host, Pnm };
+
+/** Host/PNM arbitration in front of the module's DRAM. */
+class HostPnmArbiter : public SimObject
+{
+  public:
+    enum class Policy { Hardware, PollingHandshake };
+
+    struct Params
+    {
+        Policy policy = Policy::Hardware;
+        /** Grant pipeline latency for the hardware arbiter. */
+        double grantLatencyNs = 5.0;
+        /** Host polling period in the handshake scheme. */
+        double pollIntervalUs = 5.0;
+    };
+
+    HostPnmArbiter(EventQueue &eq, stats::StatGroup *parent,
+                   std::string name, dram::MultiChannelMemory &mem,
+                   Params params);
+
+    /** Issue a request on behalf of @p who. */
+    void access(Requester who, dram::MemoryRequest req);
+
+    /**
+     * Accelerator task bracketing. In the polling-handshake policy the
+     * host is locked out between begin and end; the hardware policy
+     * ignores these (that is the point of D3's fix).
+     */
+    void beginPnmTask();
+    void endPnmTask();
+
+    bool pnmTaskActive() const { return taskActive_; }
+
+    double
+    meanHostWaitNs() const
+    {
+        return hostWait_.mean();
+    }
+
+  private:
+    void issue(dram::MemoryRequest req, Tick queued_at, Requester who);
+    void releaseHost();
+
+    dram::MultiChannelMemory &mem_;
+    Params params_;
+    Tick grantLatency_;
+
+    bool taskActive_ = false;
+    std::deque<dram::MemoryRequest> blockedHost_;
+    std::deque<Tick> blockedSince_;
+    Event releaseEvent_;
+
+    stats::Scalar hostRequests_;
+    stats::Scalar pnmRequests_;
+    stats::Scalar hostBlocked_;
+    stats::Average hostWait_;
+};
+
+} // namespace cxl
+} // namespace cxlpnm
+
+#endif // CXLPNM_CXL_ARBITER_HH

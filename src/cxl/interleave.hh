@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Address interleaving study (§V-A, disadvantage D4).
+ *
+ * A host CPU interleaves physical addresses across channels/DIMMs/banks
+ * for memory-level parallelism, which fragments any contiguous region a
+ * PIM/PNM accelerator wants to own. A CXL module instead appears as one
+ * NUMA node whose contiguous region the module's own controller
+ * interleaves locally.
+ *
+ * AddressInterleaver is the bijective mapping; contiguousSpanVisible()
+ * quantifies how much of a contiguous accelerator-visible region lands on
+ * a single target under a given scheme - 1/ways for host interleave, 1.0
+ * for a module-local scheme (the D4 resolution).
+ */
+
+#ifndef CXLPNM_CXL_INTERLEAVE_HH
+#define CXLPNM_CXL_INTERLEAVE_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cxlpnm
+{
+namespace cxl
+{
+
+/** Where an interleaved address lands. */
+struct InterleaveTarget
+{
+    std::uint32_t way = 0;
+    Addr offset = 0;
+
+    bool operator==(const InterleaveTarget &) const = default;
+};
+
+/** Bijective block-interleave across @p ways at @p granule bytes. */
+class AddressInterleaver
+{
+  public:
+    AddressInterleaver(std::uint32_t ways, std::uint64_t granule)
+        : ways_(ways), granule_(granule)
+    {
+        fatal_if(ways == 0, "interleaver needs at least one way");
+        fatal_if(granule == 0, "interleave granule must be non-zero");
+    }
+
+    std::uint32_t ways() const { return ways_; }
+    std::uint64_t granule() const { return granule_; }
+
+    /** Global address -> (way, way-local offset). */
+    InterleaveTarget
+    map(Addr addr) const
+    {
+        const std::uint64_t block = addr / granule_;
+        const std::uint64_t inner = addr % granule_;
+        InterleaveTarget t;
+        t.way = static_cast<std::uint32_t>(block % ways_);
+        t.offset = (block / ways_) * granule_ + inner;
+        return t;
+    }
+
+    /** Inverse of map(). */
+    Addr
+    unmap(const InterleaveTarget &t) const
+    {
+        panic_if(t.way >= ways_, "unmap way ", t.way, " out of range");
+        const std::uint64_t block = t.offset / granule_;
+        const std::uint64_t inner = t.offset % granule_;
+        return (block * ways_ + t.way) * granule_ + inner;
+    }
+
+    /**
+     * Fraction of a contiguous region of @p bytes that maps to the single
+     * way its base address lands on. An accelerator private to one way
+     * can only stream that fraction without crossing devices.
+     */
+    double
+    contiguousSpanVisible(Addr base, std::uint64_t bytes) const
+    {
+        if (bytes == 0)
+            return 0.0;
+        const std::uint32_t home = map(base).way;
+        std::uint64_t visible = 0;
+        Addr a = base;
+        std::uint64_t remaining = bytes;
+        while (remaining > 0) {
+            const std::uint64_t in_granule = granule_ - (a % granule_);
+            const std::uint64_t take =
+                remaining < in_granule ? remaining : in_granule;
+            if (map(a).way == home)
+                visible += take;
+            a += take;
+            remaining -= take;
+        }
+        return static_cast<double>(visible) / static_cast<double>(bytes);
+    }
+
+  private:
+    std::uint32_t ways_;
+    std::uint64_t granule_;
+};
+
+} // namespace cxl
+} // namespace cxlpnm
+
+#endif // CXLPNM_CXL_INTERLEAVE_HH

@@ -1,0 +1,66 @@
+#include "cxl/link.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace cxl
+{
+
+LinkChannel::LinkChannel(EventQueue &eq, stats::StatGroup *parent,
+                         std::string name, double bytes_per_sec,
+                         Tick latency)
+    : SimObject(eq, parent, std::move(name)),
+      bytesPerSec_(bytes_per_sec),
+      latency_(latency),
+      dispatchEvent_(this->name() + ".dispatch", [this] { dispatch(); }),
+      bytes_(this, "bytes", "bytes moved through this direction"),
+      transfers_(this, "transfers", "transfers served")
+{
+    fatal_if(bytes_per_sec <= 0.0, "link bandwidth must be positive");
+}
+
+void
+LinkChannel::transfer(std::uint64_t bytes,
+                      std::function<void()> on_complete)
+{
+    panic_if(bytes == 0, "zero-byte link transfer");
+
+    const Tick occupancy =
+        secondsToTicks(static_cast<double>(bytes) / bytesPerSec_) + 1;
+    const Tick start = std::max(now(), busyUntil_);
+    busyUntil_ = start + occupancy;
+
+    bytes_ += static_cast<double>(bytes);
+    transfers_ += 1;
+
+    if (on_complete) {
+        pending_.emplace(busyUntil_ + latency_, std::move(on_complete));
+        eventQueue().reschedule(dispatchEvent_, pending_.begin()->first);
+    }
+}
+
+void
+LinkChannel::dispatch()
+{
+    while (!pending_.empty() && pending_.begin()->first <= now()) {
+        auto cb = std::move(pending_.begin()->second);
+        pending_.erase(pending_.begin());
+        cb();
+    }
+    if (!pending_.empty())
+        eventQueue().reschedule(dispatchEvent_, pending_.begin()->first);
+}
+
+CxlLink::CxlLink(EventQueue &eq, stats::StatGroup *parent, std::string name,
+                 const CxlLinkParams &params)
+    : SimObject(eq, parent, std::move(name)),
+      params_(params),
+      down_(eq, this, "down", params.usableBytesPerSec(), portLatency()),
+      up_(eq, this, "up", params.usableBytesPerSec(), portLatency())
+{}
+
+} // namespace cxl
+} // namespace cxlpnm

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * CXL link model on a PCIe Gen5 physical layer.
+ *
+ * A CxlLink is a full-duplex pair of bandwidth servers (one per
+ * direction) plus fixed per-hop latencies for the PHY, link and
+ * transaction layers. CXL.mem carries 64-byte flits whose header overhead
+ * is folded into the link efficiency.
+ */
+
+#ifndef CXLPNM_CXL_LINK_HH
+#define CXLPNM_CXL_LINK_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/sim_object.hh"
+
+namespace cxlpnm
+{
+namespace cxl
+{
+
+/** Transfer direction through a link. */
+enum class Direction { Downstream, Upstream };
+
+/** Electrical and protocol parameters of one CXL link. */
+struct CxlLinkParams
+{
+    /** Raw signalling rate per lane, bytes/s (Gen5: 32 GT/s ~= 4 GB/s). */
+    double laneBytesPerSec = 4.0e9;
+    int lanes = 16;
+    /**
+     * Usable fraction after 128b/130b coding, flit headers and CRC
+     * (CXL 2.0 x16 sustains ~85% of raw).
+     */
+    double efficiency = 0.85;
+    /** One-way port-to-port latency (PHY+link+transaction layers), ns. */
+    double portLatencyNs = 25.0;
+
+    double
+    peakBytesPerSec() const
+    {
+        return laneBytesPerSec * lanes;
+    }
+
+    double
+    usableBytesPerSec() const
+    {
+        return peakBytesPerSec() * efficiency;
+    }
+};
+
+/** One direction of a link: FIFO bandwidth server with fixed latency. */
+class LinkChannel : public SimObject
+{
+  public:
+    LinkChannel(EventQueue &eq, stats::StatGroup *parent, std::string name,
+                double bytes_per_sec, Tick latency);
+
+    /** Move @p bytes; callback fires when the tail arrives. */
+    void transfer(std::uint64_t bytes, std::function<void()> on_complete);
+
+    double bandwidth() const { return bytesPerSec_; }
+    Tick latency() const { return latency_; }
+    std::uint64_t bytesMoved() const
+    {
+        return static_cast<std::uint64_t>(bytes_.value());
+    }
+    /** Tick at which all queued traffic will have left the pipe. */
+    Tick drainTick() const { return busyUntil_; }
+
+  private:
+    void dispatch();
+
+    double bytesPerSec_;
+    Tick latency_;
+    Tick busyUntil_ = 0;
+    std::multimap<Tick, std::function<void()>> pending_;
+    Event dispatchEvent_;
+
+    stats::Scalar bytes_;
+    stats::Scalar transfers_;
+};
+
+/** A full-duplex CXL link between the host and one device. */
+class CxlLink : public SimObject
+{
+  public:
+    CxlLink(EventQueue &eq, stats::StatGroup *parent, std::string name,
+            const CxlLinkParams &params);
+
+    LinkChannel &channel(Direction d)
+    {
+        return d == Direction::Downstream ? down_ : up_;
+    }
+
+    const CxlLinkParams &params() const { return params_; }
+
+    /** One-way latency in ticks. */
+    Tick
+    portLatency() const
+    {
+        return static_cast<Tick>(params_.portLatencyNs * tickPerNs);
+    }
+
+  private:
+    CxlLinkParams params_;
+    LinkChannel down_;
+    LinkChannel up_;
+};
+
+} // namespace cxl
+} // namespace cxlpnm
+
+#endif // CXLPNM_CXL_LINK_HH

@@ -1,0 +1,166 @@
+#include "cxl/ports.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace cxl
+{
+
+CxlMemPort::CxlMemPort(EventQueue &eq, stats::StatGroup *parent,
+                       std::string name, CxlLink &link,
+                       HostPnmArbiter &arbiter)
+    : SimObject(eq, parent, std::move(name)),
+      link_(link),
+      arbiter_(arbiter),
+      reads_(this, "reads", "host CXL.mem reads"),
+      writes_(this, "writes", "host CXL.mem writes"),
+      latency_(this, "latencyNs", "host access latency (ns)")
+{}
+
+void
+CxlMemPort::hostRead(Addr addr, std::uint64_t bytes,
+                     std::function<void()> on_complete)
+{
+    reads_ += 1;
+    const Tick issued = now();
+
+    // Request flit downstream -> arbiter+DRAM -> data upstream.
+    link_.channel(Direction::Downstream).transfer(flitBytes, [=, this] {
+        dram::MemoryRequest req;
+        req.addr = addr;
+        req.bytes = bytes;
+        req.isRead = true;
+        req.onComplete = [=, this] {
+            link_.channel(Direction::Upstream).transfer(bytes, [=, this] {
+                latency_.sample(
+                    static_cast<double>(now() - issued) / tickPerNs);
+                if (on_complete)
+                    on_complete();
+            });
+        };
+        arbiter_.access(Requester::Host, std::move(req));
+    });
+}
+
+void
+CxlMemPort::hostWrite(Addr addr, std::uint64_t bytes,
+                      std::function<void()> on_complete)
+{
+    writes_ += 1;
+    const Tick issued = now();
+
+    // Data flows downstream; a header-sized ack returns upstream.
+    link_.channel(Direction::Downstream).transfer(bytes, [=, this] {
+        dram::MemoryRequest req;
+        req.addr = addr;
+        req.bytes = bytes;
+        req.isRead = false;
+        req.onComplete = [=, this] {
+            link_.channel(Direction::Upstream).transfer(flitBytes,
+                                                        [=, this] {
+                latency_.sample(
+                    static_cast<double>(now() - issued) / tickPerNs);
+                if (on_complete)
+                    on_complete();
+            });
+        };
+        arbiter_.access(Requester::Host, std::move(req));
+    });
+}
+
+CxlIoPort::CxlIoPort(EventQueue &eq, stats::StatGroup *parent,
+                     std::string name, CxlLink &link)
+    : SimObject(eq, parent, std::move(name)),
+      link_(link),
+      regReads_(this, "regReads", "CXL.io register reads"),
+      regWrites_(this, "regWrites", "CXL.io register writes"),
+      interrupts_(this, "interrupts", "MSI-X interrupts delivered")
+{}
+
+void
+CxlIoPort::setHandlers(ReadHandler read, WriteHandler write)
+{
+    readHandler_ = std::move(read);
+    writeHandler_ = std::move(write);
+}
+
+void
+CxlIoPort::writeRegister(Addr addr, std::uint64_t value,
+                         std::function<void()> on_complete)
+{
+    panic_if(!writeHandler_, "CXL.io write with no device handler");
+    regWrites_ += 1;
+    const Tick lat = static_cast<Tick>(mmioLatencyNs * tickPerNs);
+    eventQueue().scheduleOneShot(
+        name() + ".mmioWr", now() + lat,
+        [this, addr, value, cb = std::move(on_complete)] {
+            writeHandler_(addr, value);
+            if (cb) {
+                const Tick back =
+                    static_cast<Tick>(mmioLatencyNs * tickPerNs);
+                eventQueue().scheduleOneShot(name() + ".mmioWrAck",
+                                             now() + back, cb);
+            }
+        });
+}
+
+void
+CxlIoPort::readRegister(Addr addr,
+                        std::function<void(std::uint64_t)> on_complete)
+{
+    panic_if(!readHandler_, "CXL.io read with no device handler");
+    panic_if(!on_complete, "CXL.io read needs a completion");
+    regReads_ += 1;
+    const Tick lat = static_cast<Tick>(mmioLatencyNs * tickPerNs);
+    eventQueue().scheduleOneShot(
+        name() + ".mmioRd", now() + lat,
+        [this, addr, cb = std::move(on_complete)] {
+            const std::uint64_t v = readHandler_(addr);
+            const Tick back =
+                static_cast<Tick>(mmioLatencyNs * tickPerNs);
+            eventQueue().scheduleOneShot(name() + ".mmioRdData",
+                                         now() + back,
+                                         [cb, v] { cb(v); });
+        });
+}
+
+void
+CxlIoPort::setBulkHandler(BulkHandler handler)
+{
+    bulkHandler_ = std::move(handler);
+}
+
+void
+CxlIoPort::writeBulk(Addr addr, std::vector<std::uint8_t> bytes,
+                     std::function<void()> on_complete)
+{
+    panic_if(!bulkHandler_, "CXL.io bulk write with no device handler");
+    panic_if(bytes.empty(), "empty bulk write");
+    regWrites_ += 1;
+    const Tick lat = static_cast<Tick>(mmioLatencyNs * tickPerNs) +
+        secondsToTicks(static_cast<double>(bytes.size()) / wcBytesPerSec);
+    eventQueue().scheduleOneShot(
+        name() + ".mmioBulk", now() + lat,
+        [this, addr, b = std::move(bytes),
+         cb = std::move(on_complete)] {
+            bulkHandler_(addr, b);
+            if (cb)
+                cb();
+        });
+}
+
+void
+CxlIoPort::raiseInterrupt(std::function<void()> on_delivered)
+{
+    panic_if(!on_delivered, "interrupt with no ISR");
+    interrupts_ += 1;
+    const Tick lat = static_cast<Tick>(interruptLatencyNs * tickPerNs);
+    eventQueue().scheduleOneShot(name() + ".msix", now() + lat,
+                                 std::move(on_delivered));
+}
+
+} // namespace cxl
+} // namespace cxlpnm

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The two protocol ports a CXL-PNM device exposes (§V-B):
+ *
+ *  - CxlMemPort: CXL.mem. The host reaches the module's DRAM with
+ *    load/store semantics, like a remote NUMA node. Requests traverse the
+ *    link downstream, arbitrate against the accelerator, access DRAM, and
+ *    data returns upstream.
+ *
+ *  - CxlIoPort: CXL.io. The side-band used to configure, program and
+ *    control the accelerator (register file access, doorbells) and to
+ *    deliver MSI-X interrupts back to the host.
+ */
+
+#ifndef CXLPNM_CXL_PORTS_HH
+#define CXLPNM_CXL_PORTS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cxl/arbiter.hh"
+#include "cxl/link.hh"
+#include "sim/sim_object.hh"
+
+namespace cxlpnm
+{
+namespace cxl
+{
+
+/** Host-side load/store access to module memory over CXL.mem. */
+class CxlMemPort : public SimObject
+{
+  public:
+    CxlMemPort(EventQueue &eq, stats::StatGroup *parent, std::string name,
+               CxlLink &link, HostPnmArbiter &arbiter);
+
+    /** Host read: callback fires when data has arrived at the host. */
+    void hostRead(Addr addr, std::uint64_t bytes,
+                  std::function<void()> on_complete);
+
+    /** Host write: callback fires when the device acknowledges. */
+    void hostWrite(Addr addr, std::uint64_t bytes,
+                   std::function<void()> on_complete);
+
+    /** Mean end-to-end host access latency observed so far, ns. */
+    double meanLatencyNs() const { return latency_.mean(); }
+
+  private:
+    /** CXL.mem request flit size (header-only request/ack). */
+    static constexpr std::uint64_t flitBytes = 64;
+
+    CxlLink &link_;
+    HostPnmArbiter &arbiter_;
+
+    stats::Scalar reads_;
+    stats::Scalar writes_;
+    stats::Average latency_;
+};
+
+/** Device register space reachable through CXL.io. */
+class CxlIoPort : public SimObject
+{
+  public:
+    using ReadHandler = std::function<std::uint64_t(Addr)>;
+    using WriteHandler = std::function<void(Addr, std::uint64_t)>;
+
+    CxlIoPort(EventQueue &eq, stats::StatGroup *parent, std::string name,
+              CxlLink &link);
+
+    /** Install the device-side register backend (the control unit). */
+    void setHandlers(ReadHandler read, WriteHandler write);
+
+    /** Host MMIO write (config/doorbell); ack via callback. */
+    void writeRegister(Addr addr, std::uint64_t value,
+                       std::function<void()> on_complete);
+
+    /** Host MMIO read; value delivered to the callback. */
+    void readRegister(Addr addr,
+                      std::function<void(std::uint64_t)> on_complete);
+
+    using BulkHandler =
+        std::function<void(Addr, const std::vector<std::uint8_t> &)>;
+
+    /** Install the device-side sink for bulk buffer writes. */
+    void setBulkHandler(BulkHandler handler);
+
+    /**
+     * Write-combined posted burst into a device buffer (instruction
+     * buffer programming). One MMIO latency plus bytes at the
+     * write-combining rate; no per-word acknowledgement.
+     */
+    void writeBulk(Addr addr, std::vector<std::uint8_t> bytes,
+                   std::function<void()> on_complete);
+
+    /** Write-combining throughput for bulk MMIO bursts, bytes/s. */
+    static constexpr double wcBytesPerSec = 1.0e9;
+
+    /**
+     * Device-to-host MSI-X interrupt. @p on_delivered runs when the host
+     * would enter the ISR.
+     */
+    void raiseInterrupt(std::function<void()> on_delivered);
+
+    /** MMIO one-way latency (config-space accesses are slow), ns. */
+    static constexpr double mmioLatencyNs = 200.0;
+    /** MSI-X delivery + ISR entry latency, ns. */
+    static constexpr double interruptLatencyNs = 1500.0;
+
+  private:
+    CxlLink &link_;
+    ReadHandler readHandler_;
+    WriteHandler writeHandler_;
+    BulkHandler bulkHandler_;
+
+    stats::Scalar regReads_;
+    stats::Scalar regWrites_;
+    stats::Scalar interrupts_;
+};
+
+} // namespace cxl
+} // namespace cxlpnm
+
+#endif // CXLPNM_CXL_PORTS_HH

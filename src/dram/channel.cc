@@ -1,0 +1,72 @@
+#include "dram/channel.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace dram
+{
+
+MemoryChannel::MemoryChannel(EventQueue &eq, stats::StatGroup *parent,
+                             std::string name, const DramTechSpec &spec,
+                             double peak_bytes_per_sec)
+    : SimObject(eq, parent, std::move(name)),
+      spec_(spec),
+      peakBw_(peak_bytes_per_sec),
+      efficiency_(spec.streamEfficiency()),
+      accessLatency_(static_cast<Tick>(spec.accessLatencyNs * tickPerNs)),
+      dispatchEvent_(this->name() + ".dispatch", [this] { dispatch(); }),
+      bytesRead_(this, "bytesRead", "bytes read from this channel"),
+      bytesWritten_(this, "bytesWritten", "bytes written to this channel"),
+      requests_(this, "requests", "bursts served"),
+      busyTicks_(this, "busyTicks", "ticks the data bus was occupied")
+{
+    fatal_if(peak_bytes_per_sec <= 0.0,
+             "channel peak bandwidth must be positive");
+    fatal_if(efficiency_ <= 0.0 || efficiency_ > 1.0,
+             "channel efficiency out of (0,1]: ", efficiency_);
+}
+
+void
+MemoryChannel::access(ChannelRequest req)
+{
+    panic_if(req.bytes == 0, "zero-byte channel access");
+
+    // Claim the next free bus slot; bursts pipeline back to back.
+    const double sec = static_cast<double>(req.bytes) /
+        sustainedBandwidth();
+    const Tick occupancy = secondsToTicks(sec) + 1;
+    const Tick start = std::max(now(), busyUntil_);
+    busyUntil_ = start + occupancy;
+
+    busyTicks_ += static_cast<double>(occupancy);
+    requests_ += 1;
+    if (req.isRead)
+        bytesRead_ += static_cast<double>(req.bytes);
+    else
+        bytesWritten_ += static_cast<double>(req.bytes);
+
+    const Tick done = busyUntil_ + accessLatency_;
+    if (req.onComplete) {
+        pending_.emplace(done, std::move(req.onComplete));
+        eventQueue().reschedule(dispatchEvent_, pending_.begin()->first);
+    }
+}
+
+void
+MemoryChannel::dispatch()
+{
+    // Deliver every completion due now; later ones re-arm the event.
+    while (!pending_.empty() && pending_.begin()->first <= now()) {
+        auto cb = std::move(pending_.begin()->second);
+        pending_.erase(pending_.begin());
+        cb();
+    }
+    if (!pending_.empty())
+        eventQueue().reschedule(dispatchEvent_, pending_.begin()->first);
+}
+
+} // namespace dram
+} // namespace cxlpnm

@@ -1,0 +1,108 @@
+#include "dram/dram_spec.hh"
+
+namespace cxlpnm
+{
+namespace dram
+{
+
+DramTechSpec
+DramTechSpec::ddr5()
+{
+    DramTechSpec s;
+    s.name = "DDR5";
+    s.gbitPerSecPerPin = 5.6e9;
+    s.dqPinsPerPackage = 4;     // x4 server package
+    s.bitsPerDie = 16e9;        // 16 Gb
+    s.diesPerPackage = 8;       // 8-high TSV stack
+    s.packagesPerModule = 32;   // FHHL PCB area limit (§IV)
+    s.coreVoltage = 1.1;
+    s.ioVoltage = 1.1;
+    s.packagePowerW = 0.4375;   // 32 pkg -> 14 W -> 0.35x LPDDR5X module
+    s.energyPerBitPj = 15.0;
+    s.staticPowerPerPackageW = 0.10;
+    s.trefiNs = 3900.0;
+    s.trfcNs = 410.0;
+    s.accessLatencyNs = 85.0;
+    s.schedulingOverhead = 0.08;
+    return s;
+}
+
+DramTechSpec
+DramTechSpec::gddr6()
+{
+    DramTechSpec s;
+    s.name = "GDDR6";
+    s.gbitPerSecPerPin = 24e9;
+    s.dqPinsPerPackage = 32;    // x32 graphics package
+    s.bitsPerDie = 16e9;
+    s.diesPerPackage = 1;       // no multi-rank stacking (§IV)
+    s.packagesPerModule = 16;   // PCB trace count limit (§IV)
+    s.coreVoltage = 1.35;
+    s.ioVoltage = 1.35;
+    s.packagePowerW = 2.4;      // 16 pkg -> 38.4 W -> 0.96x module
+    s.energyPerBitPj = 4.65;    // LPDDR5X is 14% lower (paper §I)
+    s.staticPowerPerPackageW = 0.25;
+    s.trefiNs = 1900.0;
+    s.trfcNs = 110.0;
+    s.accessLatencyNs = 60.0;
+    s.schedulingOverhead = 0.10;
+    return s;
+}
+
+DramTechSpec
+DramTechSpec::hbm3()
+{
+    DramTechSpec s;
+    s.name = "HBM3";
+    s.gbitPerSecPerPin = 6.4e9;
+    s.dqPinsPerPackage = 1024;
+    s.bitsPerDie = 16e9;
+    s.diesPerPackage = 8;       // 8-high TSV stack
+    s.packagesPerModule = 5;    // H100-class SiP integration limit
+    s.coreVoltage = 1.1;
+    s.ioVoltage = 0.4;
+    s.packagePowerW = 24.0;     // 5 stacks -> 120 W -> 3.00x module
+    s.energyPerBitPj = 3.0;
+    s.staticPowerPerPackageW = 1.5;
+    s.trefiNs = 3900.0;
+    s.trfcNs = 350.0;
+    s.accessLatencyNs = 70.0;
+    s.schedulingOverhead = 0.08;
+    return s;
+}
+
+DramTechSpec
+DramTechSpec::lpddr5x()
+{
+    DramTechSpec s;
+    s.name = "LPDDR5X";
+    s.gbitPerSecPerPin = 8.5e9;
+    s.dqPinsPerPackage = 128;   // 8 x16 channels per package
+    s.bitsPerDie = 16e9;
+    s.diesPerPackage = 32;      // 8 stacks x 4 wire-bonded dies
+    s.packagesPerModule = 8;    // trace-count limit on FHHL (§IV)
+    s.coreVoltage = 1.05;
+    s.ioVoltage = 0.5;
+    s.packagePowerW = 5.0;      // 8 pkg -> 40 W (Table II DRAM power)
+    s.energyPerBitPj = 4.0;     // 14% below GDDR6's 4.65
+    s.staticPowerPerPackageW = 0.60;
+    s.trefiNs = 3906.0;
+    s.trfcNs = 380.0;
+    s.accessLatencyNs = 95.0;
+    s.schedulingOverhead = 0.07;
+    return s;
+}
+
+DramTechSpec
+DramTechSpec::lpddr5x1Tb()
+{
+    DramTechSpec s = lpddr5x();
+    s.name = "LPDDR5X-1TB";
+    s.diesPerPackage = 64;      // 8 stacks x 8 dies (future stacking)
+    s.packagePowerW = 5.8;      // extra ranks add background power
+    s.staticPowerPerPackageW = 1.0;
+    return s;
+}
+
+} // namespace dram
+} // namespace cxlpnm

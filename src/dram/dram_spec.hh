@@ -1,0 +1,146 @@
+/**
+ * @file
+ * DRAM technology and packaging models behind Table I of the paper.
+ *
+ * Each DramTechSpec captures per-pin signalling, per-package geometry and
+ * electrical parameters for one DRAM technology (DDR5, GDDR6, HBM3,
+ * LPDDR5X). Module-level capacity/bandwidth/power are *derived* from the
+ * package parameters and a form-factor constraint (packages per FHHL CXL
+ * module), exactly as §IV of the paper argues them.
+ */
+
+#ifndef CXLPNM_DRAM_DRAM_SPEC_HH
+#define CXLPNM_DRAM_DRAM_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace cxlpnm
+{
+namespace dram
+{
+
+/** One DRAM technology + packaging option. */
+struct DramTechSpec
+{
+    std::string name;
+
+    /** Signalling rate per DQ pin, bits/s. */
+    double gbitPerSecPerPin = 0.0;
+    /** DQ pins per DRAM package. */
+    int dqPinsPerPackage = 0;
+    /** Capacity of one DRAM die, bits. */
+    double bitsPerDie = 0.0;
+    /** Dies 3D-stacked (or wire-bonded) per package. */
+    int diesPerPackage = 0;
+    /**
+     * Packages that fit on one full-height/half-length CXL module along
+     * with the controller, limited by PCB area or trace count (§IV).
+     */
+    int packagesPerModule = 0;
+
+    double coreVoltage = 0.0;
+    double ioVoltage = 0.0;
+
+    /**
+     * Typical per-package power under full-bandwidth streaming, watts.
+     * Chosen so the module totals reproduce Table I's normalised power
+     * column (DDR5 0.35 / GDDR6 0.96 / HBM3 3.00 / LPDDR5X 1.00).
+     */
+    double packagePowerW = 0.0;
+
+    /**
+     * Transfer energy, pJ per bit moved across the interface. The paper
+     * cites LPDDR5X at 14% lower pJ/bit than GDDR6.
+     */
+    double energyPerBitPj = 0.0;
+    /** Idle/background power per package (refresh, DLL, periphery), W. */
+    double staticPowerPerPackageW = 0.0;
+
+    /** Channel timing: average refresh window and refresh stall. */
+    double trefiNs = 0.0;
+    double trfcNs = 0.0;
+    /** First-access latency (activate + CAS + data return), ns. */
+    double accessLatencyNs = 0.0;
+    /**
+     * Fraction of non-refresh cycles lost to bank conflicts, bus
+     * turnaround and scheduling gaps under streaming traffic.
+     */
+    double schedulingOverhead = 0.0;
+
+    // --- Derived package-level values (Table I middle rows) ---
+
+    /** Bytes/s of one package. */
+    double
+    bandwidthPerPackage() const
+    {
+        return gbitPerSecPerPin * dqPinsPerPackage / 8.0;
+    }
+
+    /** Bytes of one package. */
+    double
+    capacityPerPackage() const
+    {
+        return bitsPerDie * diesPerPackage / 8.0;
+    }
+
+    // --- Derived module-level values (Table I bottom rows) ---
+
+    int
+    ioWidthPerModule() const
+    {
+        return dqPinsPerPackage * packagesPerModule;
+    }
+
+    double
+    bandwidthPerModule() const
+    {
+        return bandwidthPerPackage() * packagesPerModule;
+    }
+
+    double
+    capacityPerModule() const
+    {
+        return capacityPerPackage() * packagesPerModule;
+    }
+
+    double
+    powerPerModule() const
+    {
+        return packagePowerW * packagesPerModule;
+    }
+
+    /**
+     * Sustained fraction of peak bandwidth under streaming access:
+     * (1 - tRFC/tREFI) * (1 - schedulingOverhead).
+     */
+    double
+    streamEfficiency() const
+    {
+        double refresh = trefiNs > 0.0 ? 1.0 - trfcNs / trefiNs : 1.0;
+        return refresh * (1.0 - schedulingOverhead);
+    }
+
+    // --- Technology presets (Table I columns) ---
+
+    /** DDR5 x4 package, 8-high TSV stack (server RDIMM-class). */
+    static DramTechSpec ddr5();
+    /** GDDR6 x32 package, single die. */
+    static DramTechSpec gddr6();
+    /** HBM3 MPGA stack as integrated in an H100-class SiP. */
+    static DramTechSpec hbm3();
+    /** LPDDR5X x128 package: 8 channels x 4 wire-bonded 16 Gb dies. */
+    static DramTechSpec lpddr5x();
+    /**
+     * Capacity-extended LPDDR5X variant discussed in §IV: four dies per
+     * stack doubled, 128 GB/package -> a 1 TB module.
+     */
+    static DramTechSpec lpddr5x1Tb();
+};
+
+} // namespace dram
+} // namespace cxlpnm
+
+#endif // CXLPNM_DRAM_DRAM_SPEC_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * RAS / error-correction model for datacenter-scale CXL memory (§IX,
+ * "Error Correcting Capability").
+ *
+ * LPDDR5X cannot afford side-band ECC (its wide datapath would need
+ * too many extra devices per transaction), so the paper's platform
+ * combines:
+ *  - on-die ECC        : SEC inside each DRAM die, invisible capacity;
+ *  - inline ECC        : parity stored in the same devices as data,
+ *                        costing a fraction of the visible capacity and
+ *                        extra transfer per codeword;
+ *  - link ECC          : detects/corrects interface transfer errors;
+ *  - ECS               : periodic error check and scrub in the
+ *                        background, consuming a little bandwidth.
+ *
+ * EccModel turns a protection configuration into the quantities the
+ * platform model needs: usable capacity, effective bandwidth, and the
+ * post-correction error rates that justify "enough error detection and
+ * correction ... targeting datacenter scale memory".
+ */
+
+#ifndef CXLPNM_DRAM_ECC_HH
+#define CXLPNM_DRAM_ECC_HH
+
+#include <cstdint>
+
+#include "dram/dram_spec.hh"
+
+namespace cxlpnm
+{
+namespace dram
+{
+
+/** Protection scheme configuration. */
+struct EccConfig
+{
+    bool onDieEcc = true;
+    bool inlineEcc = true;
+    bool linkEcc = true;
+    bool scrubbing = true;
+
+    /**
+     * Inline-ECC code rate: data bytes per stored byte. 32 B of parity
+     * per 256 B codeword (SEC-DED over 64-bit words) -> 8/9.
+     */
+    double inlineCodeRate = 8.0 / 9.0;
+
+    /**
+     * ECS scrub interval: every row refreshed-and-checked once per
+     * 24 h, JEDEC-style, expressed as a bandwidth tax.
+     */
+    double scrubBandwidthFraction = 0.001;
+
+    /** Raw (pre-correction) bit error rate of the DRAM array. */
+    double rawBitErrorRate = 1e-15;
+    /** Raw transfer error rate of the interface per bit. */
+    double rawLinkErrorRate = 1e-12;
+};
+
+/** Derived RAS figures for one module. */
+class EccModel
+{
+  public:
+    EccModel(const DramTechSpec &spec, const EccConfig &cfg)
+        : spec_(spec), cfg_(cfg)
+    {}
+
+    const EccConfig &config() const { return cfg_; }
+
+    /** Capacity visible to software after inline-ECC reservation. */
+    double
+    usableCapacityBytes() const
+    {
+        const double raw = spec_.capacityPerModule();
+        return cfg_.inlineEcc ? raw * cfg_.inlineCodeRate : raw;
+    }
+
+    /** Fraction of raw capacity dedicated to parity. */
+    double
+    capacityOverhead() const
+    {
+        return cfg_.inlineEcc ? 1.0 - cfg_.inlineCodeRate : 0.0;
+    }
+
+    /**
+     * Effective data bandwidth after inline-ECC codeword expansion and
+     * the scrub tax.
+     */
+    double
+    effectiveBandwidth(double sustained_bytes_per_sec) const
+    {
+        double bw = sustained_bytes_per_sec;
+        if (cfg_.inlineEcc)
+            bw *= cfg_.inlineCodeRate;
+        if (cfg_.scrubbing)
+            bw *= 1.0 - cfg_.scrubBandwidthFraction;
+        return bw;
+    }
+
+    /**
+     * Uncorrectable array-error rate per bit read. On-die ECC corrects
+     * single-bit errors within its 128-bit word; inline ECC corrects a
+     * further single symbol per codeword, so the residual rate is the
+     * probability of multi-bit alignment, ~(p^2) per stage.
+     */
+    double
+    uncorrectableBitErrorRate() const
+    {
+        double p = cfg_.rawBitErrorRate;
+        if (cfg_.onDieEcc)
+            p = p * p * 128.0; // two hits in one 128-bit word
+        if (cfg_.inlineEcc)
+            p = p * p * 2048.0; // two symbol hits in one codeword
+        return p;
+    }
+
+    /** Residual interface error rate after link ECC retry. */
+    double
+    residualLinkErrorRate() const
+    {
+        const double p = cfg_.rawLinkErrorRate;
+        return cfg_.linkEcc ? p * p * 256.0 : p;
+    }
+
+    /**
+     * Expected uncorrectable errors per day when streaming at
+     * @p bytes_per_sec (the platform's FIT-style health figure).
+     */
+    double
+    uncorrectableErrorsPerDay(double bytes_per_sec) const
+    {
+        const double bits_per_day = bytes_per_sec * 8.0 * 86400.0;
+        return bits_per_day * (uncorrectableBitErrorRate() +
+                               residualLinkErrorRate());
+    }
+
+  private:
+    DramTechSpec spec_;
+    EccConfig cfg_;
+};
+
+} // namespace dram
+} // namespace cxlpnm
+
+#endif // CXLPNM_DRAM_ECC_HH

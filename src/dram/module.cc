@@ -1,0 +1,128 @@
+#include "dram/module.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace dram
+{
+
+MultiChannelMemory::MultiChannelMemory(EventQueue &eq,
+                                       stats::StatGroup *parent,
+                                       std::string name,
+                                       const DramTechSpec &spec,
+                                       std::uint64_t granule,
+                                       int channel_grouping)
+    : SimObject(eq, parent, std::move(name)),
+      spec_(spec),
+      granule_(granule * std::max(1, channel_grouping)),
+      capacity_(static_cast<std::uint64_t>(spec.capacityPerModule())),
+      requests_(this, "requests", "module-level requests"),
+      requestBytes_(this, "requestBytes", "bytes per module request")
+{
+    fatal_if(granule_ == 0, "interleave granule must be non-zero");
+
+    // One MemoryChannel per DRAM channel: packages x channels/package.
+    // Channel width is the package's pin count divided into 16-bit
+    // channels for LPDDR; for the other technologies we model the package
+    // as a single channel of its full width (that is how the controller
+    // sees it).
+    const bool per16 = spec_.name.rfind("LPDDR", 0) == 0;
+    const int chans_per_pkg =
+        per16 ? std::max(1, spec_.dqPinsPerPackage / 16) : 1;
+    const int physical = chans_per_pkg * spec_.packagesPerModule;
+    const int grouping = std::max(1, channel_grouping);
+    fatal_if(physical % grouping != 0, "channel grouping ", grouping,
+             " does not divide ", physical, " channels");
+    const int total = physical / grouping;
+    const double chan_bw =
+        spec_.bandwidthPerPackage() / chans_per_pkg * grouping;
+    channels_.reserve(total);
+    for (int i = 0; i < total; ++i) {
+        channels_.push_back(std::make_unique<MemoryChannel>(
+            eq, this, "ch" + std::to_string(i), spec_, chan_bw));
+    }
+}
+
+double
+MultiChannelMemory::peakBandwidth() const
+{
+    return channels_.size() * channels_[0]->peakBandwidth();
+}
+
+double
+MultiChannelMemory::sustainedBandwidth() const
+{
+    return channels_.size() * channels_[0]->sustainedBandwidth();
+}
+
+std::uint64_t
+MultiChannelMemory::totalBytes() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &ch : channels_)
+        sum += ch->bytesRead() + ch->bytesWritten();
+    return sum;
+}
+
+void
+MultiChannelMemory::access(MemoryRequest req)
+{
+    panic_if(req.bytes == 0, "zero-byte module access");
+    fatal_if(req.addr + req.bytes > capacity_,
+             "module access [", req.addr, ", ", req.addr + req.bytes,
+             ") exceeds capacity ", capacity_);
+
+    requests_ += 1;
+    requestBytes_.sample(static_cast<double>(req.bytes));
+
+    // Stripe the request across channels at granule_ granularity,
+    // starting from the channel the base address maps to. Each channel
+    // receives one coalesced burst (its total share), since a streaming
+    // DMA issues its stripes contiguously.
+    const std::size_t n = channels_.size();
+    std::vector<std::uint64_t> share(n, 0);
+    const std::uint64_t first = req.addr / granule_;
+    const std::uint64_t head = req.addr % granule_;
+
+    std::uint64_t remaining = req.bytes;
+    std::uint64_t g = first;
+    std::uint64_t offset = head;
+    while (remaining > 0) {
+        const std::uint64_t take = std::min(remaining, granule_ - offset);
+        share[g % n] += take;
+        remaining -= take;
+        offset = 0;
+        ++g;
+    }
+
+    // Completion when the last stripe lands.
+    auto outstanding = std::make_shared<std::size_t>(0);
+    auto cb = std::make_shared<std::function<void()>>(
+        std::move(req.onComplete));
+    for (std::size_t c = 0; c < n; ++c) {
+        if (share[c] == 0)
+            continue;
+        ++*outstanding;
+    }
+    panic_if(*outstanding == 0, "request produced no stripes");
+
+    for (std::size_t c = 0; c < n; ++c) {
+        if (share[c] == 0)
+            continue;
+        ChannelRequest cr;
+        cr.bytes = share[c];
+        cr.isRead = req.isRead;
+        cr.onComplete = [outstanding, cb] {
+            if (--*outstanding == 0 && *cb)
+                (*cb)();
+        };
+        channels_[c]->access(std::move(cr));
+    }
+}
+
+} // namespace dram
+} // namespace cxlpnm

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The memory side of a CXL module: all DRAM channels of all packages,
+ * with module-local address interleaving.
+ *
+ * For the LPDDR5X module of the paper this is 64 x16 channels (8 packages
+ * x 8 channels) at 17 GB/s each = 1.1 TB/s peak. Because the module's own
+ * controller interleaves across all channels (§V-A, fix for D4), a
+ * streaming request is striped over every channel and completes when the
+ * slowest stripe drains.
+ */
+
+#ifndef CXLPNM_DRAM_MODULE_HH
+#define CXLPNM_DRAM_MODULE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/channel.hh"
+#include "dram/dram_spec.hh"
+#include "sim/sim_object.hh"
+
+namespace cxlpnm
+{
+namespace dram
+{
+
+/** A (possibly large, streaming) memory request against the module. */
+struct MemoryRequest
+{
+    Addr addr = 0;
+    std::uint64_t bytes = 0;
+    bool isRead = true;
+    std::function<void()> onComplete;
+};
+
+/** All DRAM on one CXL memory module, behind local interleaving. */
+class MultiChannelMemory : public SimObject
+{
+  public:
+    /**
+     * @param spec     DRAM technology populating the module.
+     * @param granule  Interleave granule in bytes (DMA stripe unit).
+     * @param channel_grouping Model g physical channels as one
+     *        bandwidth server (identical aggregate bandwidth, g x fewer
+     *        simulation events). 1 = exact channel count.
+     */
+    MultiChannelMemory(EventQueue &eq, stats::StatGroup *parent,
+                       std::string name, const DramTechSpec &spec,
+                       std::uint64_t granule = 256,
+                       int channel_grouping = 1);
+
+    /** Issue a request; callback fires when every stripe has completed. */
+    void access(MemoryRequest req);
+
+    const DramTechSpec &spec() const { return spec_; }
+    std::size_t channelCount() const { return channels_.size(); }
+    std::uint64_t capacityBytes() const { return capacity_; }
+
+    /** Peak aggregated data rate, bytes/s. */
+    double peakBandwidth() const;
+    /** Sustained aggregated data rate (stream efficiency applied). */
+    double sustainedBandwidth() const;
+
+    /** Bytes moved in either direction so far. */
+    std::uint64_t totalBytes() const;
+
+    const MemoryChannel &channel(std::size_t i) const
+    {
+        return *channels_[i];
+    }
+
+  private:
+    DramTechSpec spec_;
+    std::uint64_t granule_;
+    std::uint64_t capacity_;
+    std::vector<std::unique_ptr<MemoryChannel>> channels_;
+
+    stats::Scalar requests_;
+    stats::Average requestBytes_;
+};
+
+} // namespace dram
+} // namespace cxlpnm
+
+#endif // CXLPNM_DRAM_MODULE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * DRAM energy accounting: transfer energy (pJ/bit) plus background power
+ * integrated over time. Used by the platform EnergyModel to attribute the
+ * "DRAM total power ~40 W" row of Table II and the appliance energy
+ * numbers of Table III.
+ */
+
+#ifndef CXLPNM_DRAM_POWER_HH
+#define CXLPNM_DRAM_POWER_HH
+
+#include <cstdint>
+
+#include "dram/dram_spec.hh"
+#include "sim/types.hh"
+
+namespace cxlpnm
+{
+namespace dram
+{
+
+/** Energy model for one module's DRAM devices. */
+class DramPowerModel
+{
+  public:
+    explicit DramPowerModel(const DramTechSpec &spec) : spec_(spec) {}
+
+    /** Joules to move @p bytes across the interface. */
+    double
+    transferEnergyJ(std::uint64_t bytes) const
+    {
+        return static_cast<double>(bytes) * 8.0 *
+            spec_.energyPerBitPj * 1e-12;
+    }
+
+    /** Background (refresh/periphery) power of the whole module, W. */
+    double
+    backgroundPowerW() const
+    {
+        return spec_.staticPowerPerPackageW * spec_.packagesPerModule;
+    }
+
+    /** Joules for an interval with a known traffic volume. */
+    double
+    energyJ(std::uint64_t bytes, Tick duration) const
+    {
+        return transferEnergyJ(bytes) +
+            backgroundPowerW() * ticksToSeconds(duration);
+    }
+
+    /** Average power while streaming at @p bytes_per_sec, W. */
+    double
+    streamingPowerW(double bytes_per_sec) const
+    {
+        return bytes_per_sec * 8.0 * spec_.energyPerBitPj * 1e-12 +
+            backgroundPowerW();
+    }
+
+  private:
+    DramTechSpec spec_;
+};
+
+} // namespace dram
+} // namespace cxlpnm
+
+#endif // CXLPNM_DRAM_POWER_HH

@@ -1,0 +1,80 @@
+#include "gpu/gpu_spec.hh"
+
+#include <cmath>
+
+namespace cxlpnm
+{
+namespace gpu
+{
+
+GpuSpec
+GpuSpec::a100_40g()
+{
+    GpuSpec s;
+    s.name = "A100-SXM4-40GB";
+    s.memBytes = 40ull * 1000 * 1000 * 1000;
+    s.memBandwidth = 1.555e12;
+    s.peakFp16Flops = 312e12;
+    s.idlePowerW = 90.0;
+    s.tdpW = 400.0;
+    s.priceUsd = 10000.0; // Table III
+    return s;
+}
+
+GpuSpec
+GpuSpec::a100_80g()
+{
+    GpuSpec s = a100_40g();
+    s.name = "A100-SXM4-80GB";
+    s.memBytes = 80ull * 1000 * 1000 * 1000;
+    s.memBandwidth = 2.039e12;
+    s.priceUsd = 15000.0;
+    return s;
+}
+
+GpuSpec
+GpuSpec::h100()
+{
+    GpuSpec s;
+    s.name = "H100-SXM5-80GB";
+    s.memBytes = 80ull * 1000 * 1000 * 1000;
+    s.memBandwidth = 4.096e12; // 5 HBM3 stacks (Table I)
+    s.peakFp16Flops = 989e12;
+    s.idlePowerW = 100.0;
+    s.tdpW = 700.0;
+    s.priceUsd = 30000.0;
+    return s;
+}
+
+double
+GpuCalibration::bandwidthEfficiency(double bytes) const
+{
+    // Floor: even tiny kernels stream at a few percent of peak once
+    // resident; below that they are launch-latency-bound anyway.
+    return std::max(bwEffMax * (1.0 - std::exp(-bytes / bwEffScaleBytes)),
+                    0.03);
+}
+
+double
+GpuCalibration::computeEfficiency(double flops) const
+{
+    return std::max(gemmComputeEffMax *
+                        (1.0 - std::exp(-flops /
+                                        gemmComputeEffScaleFlops)),
+                    computeEffFloor);
+}
+
+double
+GpuCalibration::allReduceSec(double bytes, int n) const
+{
+    if (n <= 1)
+        return 0.0;
+    const double alpha =
+        allReduceBaseSec + allReducePerHopSec * std::log2(n);
+    const double beta =
+        bytes * (2.0 * (n - 1) / n) / nvlinkBusBandwidth;
+    return alpha + beta;
+}
+
+} // namespace gpu
+} // namespace cxlpnm

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * GPU inference execution model: per-kernel roofline timing with the
+ * calibrated efficiency curves, tensor-parallel multi-GPU execution with
+ * NCCL all-reduces, and the host-offload path for models that do not fit
+ * device memory (§III, Figs. 3/4/10/11 baselines).
+ */
+
+#ifndef CXLPNM_GPU_INFERENCE_HH
+#define CXLPNM_GPU_INFERENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/gpu_spec.hh"
+#include "llm/workload.hh"
+
+namespace cxlpnm
+{
+namespace gpu
+{
+
+/** Timing of one kernel on one GPU. */
+struct KernelTiming
+{
+    double seconds = 0.0;      // end-to-end incl. launch
+    double memSeconds = 0.0;   // memory-traffic component
+    double computeSeconds = 0.0;
+    double launchSeconds = 0.0;
+    bool memBound = false;
+    /** Achieved / peak FP16 FLOPs over the kernel's residence. */
+    double computeUtil = 0.0;
+};
+
+/**
+ * Roofline time of @p op on @p spec under tensor parallelism degree
+ * @p tp (weights, KV and flops split tp ways; elementwise ops are not
+ * split).
+ */
+KernelTiming kernelTime(const llm::Op &op, const GpuSpec &spec,
+                        const GpuCalibration &calib, int tp);
+
+/** Aggregate execution of one stage (sum stage or one gen stage). */
+struct StageResult
+{
+    double seconds = 0.0;       // total wall time of the stage
+    double kernelSeconds = 0.0; // GPU busy (sum of kernel times)
+    double launchSeconds = 0.0;
+    double commSeconds = 0.0;   // NCCL all-reduces
+    double copySeconds = 0.0;   // host->device weight streaming
+    double gemvKernelSeconds = 0.0;
+    double gemmKernelSeconds = 0.0;
+    double otherKernelSeconds = 0.0;
+    double bytes = 0.0;         // device-memory traffic (per GPU)
+    double flops = 0.0;         // per GPU
+    double maxComputeUtil = 0.0;
+};
+
+/**
+ * Execute a stage op list.
+ * @param tp      Tensor-parallel degree (1 = single GPU).
+ * @param offload Stream all stage weights from pageable host memory
+ *                first (model does not fit in device memory).
+ */
+StageResult runStage(const std::vector<llm::Op> &ops, const GpuSpec &spec,
+                     const GpuCalibration &calib, int tp, bool offload);
+
+/** End-to-end result of one inference request. */
+struct GpuInferenceResult
+{
+    double sumSeconds = 0.0;
+    std::vector<double> genSeconds; // per output token
+    double totalSeconds = 0.0;
+    double energyJoules = 0.0;
+    double avgPowerW = 0.0;     // per GPU
+    int devices = 1;
+
+    /** Fraction of total time in host->device copies (Fig. 3). */
+    double copyFraction = 0.0;
+    /** Fraction of total time in GEMV-shaped kernels (Fig. 4b). */
+    double gemvTimeFraction = 0.0;
+    /** Peak compute utilisation across sum-stage GEMMs (Fig. 4a). */
+    double sumMaxComputeUtil = 0.0;
+    /** Peak compute utilisation across gen-stage GEMVs (Fig. 4a). */
+    double genMaxComputeUtil = 0.0;
+
+    double
+    throughputTokensPerSec() const
+    {
+        return totalSeconds > 0.0 ? genSeconds.size() / totalSeconds
+                                  : 0.0;
+    }
+
+    /** Latency of the whole request. */
+    double latencySeconds() const { return totalSeconds; }
+
+    /** Tokens per joule (the paper's tokens/energy metric). */
+    double
+    tokensPerJoule() const
+    {
+        return energyJoules > 0.0 ? genSeconds.size() / energyJoules
+                                  : 0.0;
+    }
+};
+
+/**
+ * Run a full request on @p devices GPUs with tensor parallelism
+ * (FasterTransformer-style). Chooses the offload path automatically when
+ * the per-GPU weight shard does not fit.
+ */
+GpuInferenceResult runGpuInference(const llm::ModelConfig &cfg,
+                                   const llm::InferenceRequest &req,
+                                   const GpuSpec &spec,
+                                   const GpuCalibration &calib,
+                                   int devices);
+
+/** Whether the model (weights+KV at max context) fits one GPU shard. */
+bool modelFits(const llm::ModelConfig &cfg,
+               const llm::InferenceRequest &req, const GpuSpec &spec,
+               int devices);
+
+} // namespace gpu
+} // namespace cxlpnm
+
+#endif // CXLPNM_GPU_INFERENCE_HH

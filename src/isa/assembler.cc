@@ -1,0 +1,173 @@
+#include "isa/assembler.hh"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace isa
+{
+
+namespace
+{
+
+/** Mnemonic -> opcode (inverse of opcodeName). */
+bool
+opcodeFromName(const std::string &name, Opcode &out)
+{
+    static const Opcode all[] = {
+        Opcode::Halt, Opcode::DmaLoad, Opcode::DmaStore, Opcode::MpuMv,
+        Opcode::MpuTranspose, Opcode::MpuIm2col, Opcode::MpuSlice,
+        Opcode::MpuMmPea, Opcode::MpuMmRedumaxPea,
+        Opcode::MpuMaskedMmPea, Opcode::MpuMaskedMmRedumaxPea,
+        Opcode::MpuConv2dPea, Opcode::MpuConv2dGeluPea,
+        Opcode::VpuLayerNorm, Opcode::VpuSoftmax, Opcode::VpuGelu,
+        Opcode::VpuAdd, Opcode::VpuMul, Opcode::VpuReduMax,
+        Opcode::Sync,
+    };
+    for (Opcode op : all) {
+        if (name == opcodeName(op)) {
+            out = op;
+            return true;
+        }
+    }
+    return false;
+}
+
+RegId
+parseReg(const std::string &tok, const std::string &line)
+{
+    if (tok == "-")
+        return NoReg;
+    fatal_if(tok.empty() || tok[0] != 'r',
+             "bad register token '", tok, "' in: ", line);
+    char *end = nullptr;
+    const long v = std::strtol(tok.c_str() + 1, &end, 10);
+    fatal_if(*end != '\0' || v < 0 || v >= NoReg,
+             "bad register token '", tok, "' in: ", line);
+    return static_cast<RegId>(v);
+}
+
+std::uint64_t
+parseU64(const std::string &tok, const std::string &line)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 0);
+    fatal_if(end == tok.c_str() || *end != '\0',
+             "bad number '", tok, "' in: ", line);
+    return v;
+}
+
+} // namespace
+
+Instruction
+assembleLine(const std::string &line)
+{
+    std::istringstream is(line);
+    std::string mnemonic;
+    is >> mnemonic;
+    fatal_if(mnemonic.empty(), "empty instruction line");
+
+    Instruction inst;
+    fatal_if(!opcodeFromName(mnemonic, inst.op),
+             "unknown mnemonic '", mnemonic, "'");
+
+    std::string tok;
+    bool saw_dims = false;
+    while (is >> tok) {
+        auto val = [&](const char *key) -> std::string {
+            const std::string k(key);
+            panic_if(tok.rfind(k, 0) != 0, "internal token mismatch");
+            return tok.substr(k.size());
+        };
+        if (tok.rfind("dst=", 0) == 0) {
+            inst.dst = parseReg(val("dst="), line);
+        } else if (tok.rfind("src0=", 0) == 0) {
+            inst.src0 = parseReg(val("src0="), line);
+        } else if (tok.rfind("src1=", 0) == 0) {
+            inst.src1 = parseReg(val("src1="), line);
+        } else if (tok.rfind("aux=", 0) == 0) {
+            inst.aux = parseReg(val("aux="), line);
+        } else if (tok.rfind("[m=", 0) == 0) {
+            inst.m = static_cast<std::uint32_t>(
+                parseU64(tok.substr(3), line));
+            saw_dims = true;
+        } else if (tok.rfind("n=", 0) == 0) {
+            inst.n = static_cast<std::uint32_t>(
+                parseU64(val("n="), line));
+        } else if (tok.rfind("k=", 0) == 0) {
+            std::string v = val("k=");
+            if (!v.empty() && v.back() == ']')
+                v.pop_back();
+            inst.k = static_cast<std::uint32_t>(parseU64(v, line));
+        } else if (tok == "transB") {
+            inst.flags |= FlagTransB;
+        } else if (tok == "bias") {
+            inst.flags |= FlagBias;
+        } else if (tok == "multihead") {
+            inst.flags |= FlagMultiHead;
+        } else if (tok.rfind("causal+", 0) == 0) {
+            inst.flags |= FlagCausal;
+            inst.imm = static_cast<std::uint32_t>(
+                parseU64(tok.substr(7), line));
+        } else if (tok.rfind("imm=", 0) == 0) {
+            inst.imm = static_cast<std::uint32_t>(
+                parseU64(val("imm="), line));
+        } else if (tok.rfind("scale=", 0) == 0) {
+            inst.scale = std::strtof(val("scale=").c_str(), nullptr);
+        } else if (tok.rfind("@0x", 0) == 0) {
+            inst.memAddr = std::strtoull(tok.c_str() + 1, nullptr, 16);
+            if (!isDmaOp(inst.op))
+                inst.flags |= FlagMemOperand;
+        } else {
+            fatal("unrecognised token '", tok, "' in: ", line);
+        }
+    }
+    fatal_if(!saw_dims && inst.op != Opcode::Halt &&
+                 inst.op != Opcode::Sync,
+             "missing [m= n= k=] dims in: ", line);
+    return inst;
+}
+
+Program
+assemble(const std::string &text)
+{
+    Program p;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        // Strip an optional "N:" prefix (Program::toString format).
+        const auto colon = line.find(": ");
+        std::string body = line;
+        if (colon != std::string::npos &&
+            line.find_first_not_of("0123456789") == colon) {
+            body = line.substr(colon + 2);
+        }
+        // Trim.
+        const auto b = body.find_first_not_of(" \t");
+        if (b == std::string::npos)
+            continue;
+        body = body.substr(b);
+        if (body.empty() || body[0] == '#')
+            continue;
+        p.append(assembleLine(body));
+    }
+    return p;
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    std::string out;
+    for (const Instruction &i : prog.instructions()) {
+        out += i.toString();
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace isa
+} // namespace cxlpnm

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * A textual assembler/disassembler for the accelerator ISA.
+ *
+ * The format is exactly what Instruction::toString() prints, e.g.
+ *
+ *   MPU_MV dst=r3 src0=r1 src1=- [m=5120 n=5120 k=0] bias aux=r7 @0x1000
+ *   VPU_SOFTMAX dst=r4 src0=r4 src1=- [m=40 n=512 k=0] scale=0.0884
+ *
+ * so programs round-trip text -> Program -> text. Used by tests, by the
+ * driver_tour example and for debugging generated acceleration code.
+ */
+
+#ifndef CXLPNM_ISA_ASSEMBLER_HH
+#define CXLPNM_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace cxlpnm
+{
+namespace isa
+{
+
+/**
+ * Parse one instruction line. Fatal on malformed input (unknown
+ * mnemonic, bad register token, missing dims).
+ */
+Instruction assembleLine(const std::string &line);
+
+/**
+ * Assemble a whole program: one instruction per line; blank lines and
+ * lines starting with '#' or "N:" line numbers are tolerated.
+ */
+Program assemble(const std::string &text);
+
+/** Disassemble (Program::toString without line numbers). */
+std::string disassemble(const Program &prog);
+
+} // namespace isa
+} // namespace cxlpnm
+
+#endif // CXLPNM_ISA_ASSEMBLER_HH

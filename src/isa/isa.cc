@@ -1,0 +1,261 @@
+#include "isa/isa.hh"
+
+#include <bit>
+#include <cstring>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace isa
+{
+
+namespace
+{
+
+template <typename T>
+void
+put(std::uint8_t *p, std::size_t &off, T v)
+{
+    std::memcpy(p + off, &v, sizeof(T));
+    off += sizeof(T);
+}
+
+template <typename T>
+T
+get(const std::uint8_t *p, std::size_t &off)
+{
+    T v;
+    std::memcpy(&v, p + off, sizeof(T));
+    off += sizeof(T);
+    return v;
+}
+
+bool
+validOpcode(std::uint8_t b)
+{
+    switch (static_cast<Opcode>(b)) {
+      case Opcode::Halt:
+      case Opcode::DmaLoad:
+      case Opcode::DmaStore:
+      case Opcode::MpuMv:
+      case Opcode::MpuTranspose:
+      case Opcode::MpuIm2col:
+      case Opcode::MpuSlice:
+      case Opcode::MpuMmPea:
+      case Opcode::MpuMmRedumaxPea:
+      case Opcode::MpuMaskedMmPea:
+      case Opcode::MpuMaskedMmRedumaxPea:
+      case Opcode::MpuConv2dPea:
+      case Opcode::MpuConv2dGeluPea:
+      case Opcode::VpuLayerNorm:
+      case Opcode::VpuSoftmax:
+      case Opcode::VpuGelu:
+      case Opcode::VpuAdd:
+      case Opcode::VpuMul:
+      case Opcode::VpuReduMax:
+      case Opcode::Sync:
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::array<std::uint8_t, Instruction::encodedSize>
+Instruction::encode() const
+{
+    std::array<std::uint8_t, encodedSize> out{};
+    std::size_t off = 0;
+    put(out.data(), off, static_cast<std::uint8_t>(op));
+    put(out.data(), off, flags);
+    put(out.data(), off, dst);
+    put(out.data(), off, src0);
+    put(out.data(), off, src1);
+    put(out.data(), off, aux);
+    put(out.data(), off, m);
+    put(out.data(), off, n);
+    put(out.data(), off, k);
+    put(out.data(), off, imm);
+    put(out.data(), off, std::bit_cast<std::uint32_t>(scale));
+    // 2 bytes of padding keep memAddr naturally aligned in the buffer.
+    off += 2;
+    put(out.data(), off, memAddr);
+    panic_if(off != encodedSize, "instruction encoding size drift");
+    return out;
+}
+
+Instruction
+Instruction::decode(const std::uint8_t *bytes)
+{
+    std::size_t off = 0;
+    Instruction i;
+    const auto opb = get<std::uint8_t>(bytes, off);
+    panic_if(!validOpcode(opb), "invalid opcode byte 0x",
+             static_cast<int>(opb), " in instruction buffer");
+    i.op = static_cast<Opcode>(opb);
+    i.flags = get<std::uint8_t>(bytes, off);
+    i.dst = get<RegId>(bytes, off);
+    i.src0 = get<RegId>(bytes, off);
+    i.src1 = get<RegId>(bytes, off);
+    i.aux = get<RegId>(bytes, off);
+    i.m = get<std::uint32_t>(bytes, off);
+    i.n = get<std::uint32_t>(bytes, off);
+    i.k = get<std::uint32_t>(bytes, off);
+    i.imm = get<std::uint32_t>(bytes, off);
+    i.scale = std::bit_cast<float>(get<std::uint32_t>(bytes, off));
+    off += 2;
+    i.memAddr = get<Addr>(bytes, off);
+    return i;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Halt: return "HALT";
+      case Opcode::DmaLoad: return "DMA_LOAD";
+      case Opcode::DmaStore: return "DMA_STORE";
+      case Opcode::MpuMv: return "MPU_MV";
+      case Opcode::MpuTranspose: return "MPU_TRANSPOSE";
+      case Opcode::MpuIm2col: return "MPU_IM2COL";
+      case Opcode::MpuSlice: return "MPU_SLICE";
+      case Opcode::MpuMmPea: return "MPU_MM_PEA";
+      case Opcode::MpuMmRedumaxPea: return "MPU_MM_REDUMAX_PEA";
+      case Opcode::MpuMaskedMmPea: return "MPU_MASKEDMM_PEA";
+      case Opcode::MpuMaskedMmRedumaxPea:
+        return "MPU_MASKEDMM_REDUMAX_PEA";
+      case Opcode::MpuConv2dPea: return "MPU_CONV2D_PEA";
+      case Opcode::MpuConv2dGeluPea: return "MPU_CONV2D_GELU_PEA";
+      case Opcode::VpuLayerNorm: return "VPU_LAYERNORM";
+      case Opcode::VpuSoftmax: return "VPU_SOFTMAX";
+      case Opcode::VpuGelu: return "VPU_GELU";
+      case Opcode::VpuAdd: return "VPU_ADD";
+      case Opcode::VpuMul: return "VPU_MUL";
+      case Opcode::VpuReduMax: return "VPU_REDU_MAX";
+      case Opcode::Sync: return "SYNC";
+    }
+    return "<bad>";
+}
+
+bool
+isPeaOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::MpuMmPea:
+      case Opcode::MpuMmRedumaxPea:
+      case Opcode::MpuMaskedMmPea:
+      case Opcode::MpuMaskedMmRedumaxPea:
+      case Opcode::MpuConv2dPea:
+      case Opcode::MpuConv2dGeluPea:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isVpuOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::VpuLayerNorm:
+      case Opcode::VpuSoftmax:
+      case Opcode::VpuGelu:
+      case Opcode::VpuAdd:
+      case Opcode::VpuMul:
+      case Opcode::VpuReduMax:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isDmaOp(Opcode op)
+{
+    return op == Opcode::DmaLoad || op == Opcode::DmaStore;
+}
+
+bool
+isMpuOp(Opcode op)
+{
+    return op == Opcode::MpuMv || op == Opcode::MpuTranspose ||
+        op == Opcode::MpuIm2col || op == Opcode::MpuSlice || isPeaOp(op);
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    auto reg = [](RegId r) {
+        return r == NoReg ? std::string("-")
+                          : "r" + std::to_string(r);
+    };
+    os << " dst=" << reg(dst) << " src0=" << reg(src0) << " src1="
+       << reg(src1);
+    if (aux != NoReg)
+        os << " aux=" << reg(aux);
+    os << " [m=" << m << " n=" << n << " k=" << k << "]";
+    if (has(FlagTransB))
+        os << " transB";
+    if (has(FlagBias))
+        os << " bias";
+    if (has(FlagMultiHead))
+        os << " multihead";
+    if (has(FlagCausal))
+        os << " causal+" << imm;
+    else if (imm != 0)
+        os << " imm=" << imm;
+    if (has(FlagMemOperand) || isDmaOp(op))
+        os << " @0x" << std::hex << memAddr << std::dec;
+    if (scale != 1.0f)
+        os << " scale=" << scale;
+    return os.str();
+}
+
+std::vector<std::uint8_t>
+Program::encode() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve((insts_.size() + 1) * Instruction::encodedSize);
+    for (const Instruction &i : insts_) {
+        auto e = i.encode();
+        out.insert(out.end(), e.begin(), e.end());
+    }
+    // Terminator.
+    Instruction halt;
+    auto e = halt.encode();
+    out.insert(out.end(), e.begin(), e.end());
+    return out;
+}
+
+Program
+Program::decode(const std::vector<std::uint8_t> &bytes)
+{
+    fatal_if(bytes.size() % Instruction::encodedSize != 0,
+             "instruction buffer size ", bytes.size(),
+             " is not a multiple of ", Instruction::encodedSize);
+    Program p;
+    for (std::size_t off = 0; off < bytes.size();
+         off += Instruction::encodedSize) {
+        Instruction i = Instruction::decode(bytes.data() + off);
+        if (i.op == Opcode::Halt)
+            break;
+        p.append(i);
+    }
+    return p;
+}
+
+std::string
+Program::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < insts_.size(); ++i)
+        os << i << ": " << insts_[i].toString() << "\n";
+    return os.str();
+}
+
+} // namespace isa
+} // namespace cxlpnm

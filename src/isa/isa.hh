@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Instruction set of the CXL-PNM LLM inference accelerator (§V-C).
+ *
+ * The ISA follows DFX's coarse-grained style: one instruction describes a
+ * whole tensor operation (a GEMV, a GEMM tile sequence, a LayerNorm),
+ * with operands in the on-chip register files and an optional streaming
+ * operand in device memory (weights fetched by the DMA engine).
+ *
+ * On top of the DFX-derived base (adder-tree GEMV, VPU ops, DMA), the six
+ * PE-array instructions the paper adds are:
+ *   MPU_MM_PEA, MPU_MM_REDUMAX_PEA, MPU_MASKEDMM_PEA,
+ *   MPU_MASKEDMM_REDUMAX_PEA, MPU_CONV2D_PEA, MPU_CONV2D_GELU_PEA.
+ */
+
+#ifndef CXLPNM_ISA_ISA_HH
+#define CXLPNM_ISA_ISA_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cxlpnm
+{
+namespace isa
+{
+
+/** Operation codes. Values are the encoded byte and are ABI-stable. */
+enum class Opcode : std::uint8_t
+{
+    Halt = 0x00,
+
+    // Data movement between device memory and the register files.
+    DmaLoad = 0x10,
+    DmaStore = 0x11,
+
+    // Adder-tree (GEMV) path, inherited from DFX.
+    MpuMv = 0x20,
+
+    // Matrix manipulation unit.
+    MpuTranspose = 0x28,
+    MpuIm2col = 0x29,
+    /** Column-range copy: dst[:, lo16(imm)..] = src0[:, hi16(imm)..]. */
+    MpuSlice = 0x2a,
+
+    // PE-array path: the six instructions added by the paper.
+    MpuMmPea = 0x30,
+    MpuMmRedumaxPea = 0x31,
+    MpuMaskedMmPea = 0x32,
+    MpuMaskedMmRedumaxPea = 0x33,
+    MpuConv2dPea = 0x34,
+    MpuConv2dGeluPea = 0x35,
+
+    // Vector processing unit.
+    VpuLayerNorm = 0x40,
+    VpuSoftmax = 0x41,
+    VpuGelu = 0x42,
+    VpuAdd = 0x43,
+    VpuMul = 0x44,
+    VpuReduMax = 0x45,
+
+    // Pipeline barrier (drain DMA + compute).
+    Sync = 0x50,
+};
+
+/** Instruction flags (bitmask). */
+enum Flag : std::uint8_t
+{
+    /** Second operand is used transposed (B^T). */
+    FlagTransB = 0x01,
+    /** aux register holds a bias row added to the result. */
+    FlagBias = 0x02,
+    /** The big (matrix) operand streams from device memory. */
+    FlagMemOperand = 0x04,
+    /** Apply the causal mask with offset imm (masked MM variants). */
+    FlagCausal = 0x08,
+    /**
+     * Multi-head batched interpretation of a PEA op over the KV cache
+     * (gen stage): with m = heads and k = headDim, the B operand is the
+     * (context x dModel) K or V cache and each output row is one head's
+     * result. TransB selects the Q.K^T (score) form; without it the
+     * scores.V (context) form is computed.
+     */
+    FlagMultiHead = 0x10,
+};
+
+/** Register-file register identifier (matrix, vector or scalar RF). */
+using RegId = std::uint16_t;
+
+/** A sentinel for "no register". */
+constexpr RegId NoReg = 0xffff;
+
+/**
+ * One coarse-grained instruction.
+ *
+ * Field meaning by opcode family:
+ *  - DmaLoad:  dst <- mem[memAddr], shape m x n.
+ *  - DmaStore: mem[memAddr] <- src0 (shape from the register).
+ *  - MpuMv:    dst(1 x m) = src0-or-mem (m x n matrix) . src1(1 x n).
+ *  - MpuMm*:   dst(m x n) = src0(m x k) . B(k x n); B is src1 or memory;
+ *              FlagTransB means B is stored (n x k).
+ *  - Conv2d*:  1-D sequence convolution expressed as im2col + MM; for
+ *              kernel size 1 it degenerates to a fully-connected layer.
+ *  - Vpu*:     elementwise/row ops on registers; imm/scale as documented
+ *              in the functional model.
+ *
+ * 'scale' is applied where the operation defines it (attention score
+ * scaling inside softmax, 1/sqrt(d_head)).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Halt;
+    std::uint8_t flags = 0;
+    RegId dst = NoReg;
+    RegId src0 = NoReg;
+    RegId src1 = NoReg;
+    /** Bias register, reduction output register, etc. */
+    RegId aux = NoReg;
+    std::uint32_t m = 0;
+    std::uint32_t n = 0;
+    std::uint32_t k = 0;
+    /** Causal-mask offset, im2col kernel size, ... */
+    std::uint32_t imm = 0;
+    float scale = 1.0f;
+    /** Device-memory operand address (FlagMemOperand / DMA ops). */
+    Addr memAddr = 0;
+
+    bool has(Flag f) const { return (flags & f) != 0; }
+
+    /** Encoded size in the instruction buffer, bytes. */
+    static constexpr std::size_t encodedSize = 40;
+
+    /** Serialise to the 40-byte instruction-buffer format. */
+    std::array<std::uint8_t, encodedSize> encode() const;
+
+    /** Decode from the instruction-buffer format. Panics on bad opcode. */
+    static Instruction decode(const std::uint8_t *bytes);
+
+    /** Human-readable disassembly. */
+    std::string toString() const;
+
+    bool operator==(const Instruction &) const = default;
+};
+
+/** Opcode predicates used by the timing and functional models. */
+bool isPeaOp(Opcode op);
+bool isVpuOp(Opcode op);
+bool isDmaOp(Opcode op);
+bool isMpuOp(Opcode op);
+
+/** Mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+/** A decoded program: a HALT-terminated instruction sequence. */
+class Program
+{
+  public:
+    Program() = default;
+
+    void
+    append(const Instruction &inst)
+    {
+        insts_.push_back(inst);
+    }
+
+    const std::vector<Instruction> &instructions() const { return insts_; }
+    std::size_t size() const { return insts_.size(); }
+    bool empty() const { return insts_.empty(); }
+
+    const Instruction &operator[](std::size_t i) const { return insts_[i]; }
+
+    /** Serialise the whole program for the instruction buffer. */
+    std::vector<std::uint8_t> encode() const;
+
+    /** Decode a buffer (stops at Halt or end). */
+    static Program decode(const std::vector<std::uint8_t> &bytes);
+
+    std::string toString() const;
+
+  private:
+    std::vector<Instruction> insts_;
+};
+
+} // namespace isa
+} // namespace cxlpnm
+
+#endif // CXLPNM_ISA_ISA_HH

@@ -1,0 +1,122 @@
+#include "llm/model_config.hh"
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace llm
+{
+
+std::uint64_t
+ModelConfig::layerParamCount() const
+{
+    const std::uint64_t d = dModel;
+    const std::uint64_t f = ffnDim;
+    // QKV projections + output projection (weights + biases).
+    const std::uint64_t attn = 3 * (d * d + d) + (d * d + d);
+    // Two FC layers.
+    const std::uint64_t ffn = (d * f + f) + (f * d + d);
+    // Two LayerNorms (gamma + beta).
+    const std::uint64_t norms = 2 * (2 * d);
+    return attn + ffn + norms;
+}
+
+std::uint64_t
+ModelConfig::paramCount() const
+{
+    const std::uint64_t d = dModel;
+    // Token + positional embeddings, final LayerNorm. The LM head is
+    // tied to the token embedding (OPT/GPT convention).
+    const std::uint64_t embed =
+        static_cast<std::uint64_t>(vocabSize) * d +
+        static_cast<std::uint64_t>(maxPositions) * d;
+    return embed + numLayers * layerParamCount() + 2 * d;
+}
+
+double
+ModelConfig::forwardFlops(std::uint64_t tokens,
+                          std::uint64_t context) const
+{
+    const double d = dModel;
+    const double f = ffnDim;
+    const double t = static_cast<double>(tokens);
+    const double c = static_cast<double>(context);
+    // Per token per layer: QKV (3d^2), proj (d^2), FFN (2 d f) MACs,
+    // plus attention score+context (2 * c * d) MACs.
+    const double per_layer = t * (4.0 * d * d + 2.0 * d * f) +
+        t * 2.0 * c * d;
+    // LM head: t * vocab * d.
+    const double head = t * static_cast<double>(vocabSize) * d;
+    return 2.0 * (numLayers * per_layer + head);
+}
+
+namespace
+{
+
+ModelConfig
+make(std::string name, std::uint32_t layers, std::uint32_t d,
+     std::uint32_t heads)
+{
+    ModelConfig c;
+    c.name = std::move(name);
+    c.numLayers = layers;
+    c.dModel = d;
+    c.numHeads = heads;
+    c.ffnDim = 4 * d;
+    return c;
+}
+
+} // namespace
+
+ModelConfig ModelConfig::opt125m() { return make("opt-125m", 12, 768, 12); }
+ModelConfig ModelConfig::opt350m() { return make("opt-350m", 24, 1024, 16); }
+ModelConfig ModelConfig::opt1_3b() { return make("opt-1.3b", 24, 2048, 32); }
+ModelConfig ModelConfig::opt2_7b() { return make("opt-2.7b", 32, 2560, 32); }
+ModelConfig ModelConfig::opt6_7b() { return make("opt-6.7b", 32, 4096, 32); }
+ModelConfig ModelConfig::opt13b() { return make("opt-13b", 40, 5120, 40); }
+ModelConfig ModelConfig::opt30b() { return make("opt-30b", 48, 7168, 56); }
+ModelConfig ModelConfig::opt66b() { return make("opt-66b", 64, 9216, 72); }
+ModelConfig ModelConfig::opt175b()
+{
+    return make("opt-175b", 96, 12288, 96);
+}
+
+ModelConfig
+ModelConfig::gpt3()
+{
+    ModelConfig c = make("gpt-3.5", 96, 12288, 96);
+    c.vocabSize = 50257;
+    return c;
+}
+
+ModelConfig
+ModelConfig::tiny()
+{
+    ModelConfig c = make("tiny", 2, 64, 4);
+    c.vocabSize = 256;
+    c.maxPositions = 64;
+    return c;
+}
+
+ModelConfig
+ModelConfig::byName(const std::string &name)
+{
+    for (const ModelConfig &c : optFamily())
+        if (c.name == name)
+            return c;
+    if (name == "gpt-3.5")
+        return gpt3();
+    if (name == "tiny")
+        return tiny();
+    fatal("unknown model '", name, "'");
+}
+
+std::vector<ModelConfig>
+ModelConfig::optFamily()
+{
+    return {opt125m(), opt350m(), opt1_3b(), opt2_7b(), opt6_7b(),
+            opt13b(),  opt30b(),  opt66b(),  opt175b()};
+}
+
+} // namespace llm
+} // namespace cxlpnm

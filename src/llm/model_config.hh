@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Transformer (decoder-only) model descriptors: the OPT family the paper
+ * evaluates plus GPT-3-class presets, with derived parameter counts,
+ * FP16 weight footprints and KV-cache sizes.
+ */
+
+#ifndef CXLPNM_LLM_MODEL_CONFIG_HH
+#define CXLPNM_LLM_MODEL_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cxlpnm
+{
+namespace llm
+{
+
+/** Architecture of one decoder-only LLM. */
+struct ModelConfig
+{
+    std::string name;
+    std::uint32_t numLayers = 0;
+    std::uint32_t dModel = 0;
+    std::uint32_t numHeads = 0;
+    std::uint32_t vocabSize = 50272;   // OPT tokenizer
+    std::uint32_t maxPositions = 2048;
+    /** FFN inner dimension; 4 * dModel for OPT/GPT. */
+    std::uint32_t ffnDim = 0;
+
+    std::uint32_t
+    headDim() const
+    {
+        return dModel / numHeads;
+    }
+
+    /** Total parameters (weights + biases + embeddings). */
+    std::uint64_t paramCount() const;
+
+    /** FP16 bytes for all parameters. */
+    std::uint64_t
+    weightBytes() const
+    {
+        return 2 * paramCount();
+    }
+
+    /** Parameters of one decoder layer. */
+    std::uint64_t layerParamCount() const;
+
+    /** FP16 bytes of one decoder layer's weights. */
+    std::uint64_t
+    layerWeightBytes() const
+    {
+        return 2 * layerParamCount();
+    }
+
+    /** KV-cache bytes for a context of @p tokens (all layers, FP16). */
+    std::uint64_t
+    kvCacheBytes(std::uint64_t tokens) const
+    {
+        return 2ull /*K+V*/ * tokens * dModel * 2 /*fp16*/ * numLayers;
+    }
+
+    /** FLOPs of one full forward pass over @p tokens new tokens with
+     *  @p context total attended tokens (2 flops per MAC). */
+    double forwardFlops(std::uint64_t tokens,
+                        std::uint64_t context) const;
+
+    // --- Presets (OPT paper table 1; GPT-3 from Brown et al.) ---
+    static ModelConfig opt125m();
+    static ModelConfig opt350m();
+    static ModelConfig opt1_3b();
+    static ModelConfig opt2_7b();
+    static ModelConfig opt6_7b();
+    static ModelConfig opt13b();
+    static ModelConfig opt30b();
+    static ModelConfig opt66b();
+    static ModelConfig opt175b();
+    /** GPT-3.5-class 175 B model (the paper's motivating example). */
+    static ModelConfig gpt3();
+    /** Reduced model for functional end-to-end tests. */
+    static ModelConfig tiny();
+
+    /** Lookup by name ("opt-13b", "opt-66b", ...); fatal if unknown. */
+    static ModelConfig byName(const std::string &name);
+
+    /** All OPT presets in ascending size order. */
+    static std::vector<ModelConfig> optFamily();
+};
+
+} // namespace llm
+} // namespace cxlpnm
+
+#endif // CXLPNM_LLM_MODEL_CONFIG_HH

@@ -1,0 +1,200 @@
+#include "llm/reference_model.hh"
+
+#include <cmath>
+
+#include "numeric/linalg.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace llm
+{
+
+ReferenceModel::ReferenceModel(const ModelConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), seed_(seed)
+{
+    kCache_.resize(cfg_.numLayers);
+    vCache_.resize(cfg_.numLayers);
+}
+
+Tensor<double>
+ReferenceModel::weight(int layer, WeightSlot slot) const
+{
+    return makeWeight(cfg_, seed_, layer, slot).cast<double>();
+}
+
+Tensor<double>
+ReferenceModel::prefill(const std::vector<std::uint32_t> &tokens)
+{
+    fatal_if(tokens.empty(), "prefill with empty prompt");
+    fatal_if(tokens.size() > cfg_.maxPositions,
+             "prompt longer than maxPositions");
+    for (auto &k : kCache_)
+        k = Tensor<double>();
+    for (auto &v : vCache_)
+        v = Tensor<double>();
+    seqLen_ = 0;
+
+    const auto tok = weight(-1, WeightSlot::TokEmbed);
+    const auto pos = weight(-1, WeightSlot::PosEmbed);
+    Tensor<double> x(tokens.size(), cfg_.dModel);
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        fatal_if(tokens[i] >= cfg_.vocabSize, "token id out of range");
+        for (std::uint32_t c = 0; c < cfg_.dModel; ++c)
+            x.at(i, c) = tok.at(tokens[i], c) + pos.at(i, c);
+    }
+    return forward(std::move(x));
+}
+
+Tensor<double>
+ReferenceModel::decodeStep(std::uint32_t token)
+{
+    fatal_if(seqLen_ == 0, "decodeStep before prefill");
+    fatal_if(seqLen_ >= cfg_.maxPositions, "sequence overflow");
+    fatal_if(token >= cfg_.vocabSize, "token id out of range");
+
+    const auto tok = weight(-1, WeightSlot::TokEmbed);
+    const auto pos = weight(-1, WeightSlot::PosEmbed);
+    Tensor<double> x(1, cfg_.dModel);
+    for (std::uint32_t c = 0; c < cfg_.dModel; ++c)
+        x.at(0, c) = tok.at(token, c) + pos.at(seqLen_, c);
+    return forward(std::move(x));
+}
+
+std::vector<std::uint32_t>
+ReferenceModel::greedyGenerate(const std::vector<std::uint32_t> &prompt,
+                               std::size_t n)
+{
+    std::vector<std::uint32_t> out;
+    Tensor<double> logits = prefill(prompt);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto next =
+            static_cast<std::uint32_t>(linalg::argmaxRow(logits, 0));
+        out.push_back(next);
+        if (i + 1 < n)
+            logits = decodeStep(next);
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Append the rows of @p rows to @p cache (growing m x d tensor). */
+void
+appendRows(Tensor<double> &cache, const Tensor<double> &rows)
+{
+    Tensor<double> grown(cache.rows() + rows.rows(), rows.cols());
+    for (std::size_t r = 0; r < cache.rows(); ++r)
+        for (std::size_t c = 0; c < cache.cols(); ++c)
+            grown.at(r, c) = cache.at(r, c);
+    for (std::size_t r = 0; r < rows.rows(); ++r)
+        for (std::size_t c = 0; c < rows.cols(); ++c)
+            grown.at(cache.rows() + r, c) = rows.at(r, c);
+    cache = std::move(grown);
+}
+
+} // namespace
+
+Tensor<double>
+ReferenceModel::forward(Tensor<double> x)
+{
+    const std::uint32_t d = cfg_.dModel;
+    const std::uint32_t h = cfg_.numHeads;
+    const std::uint32_t dh = cfg_.headDim();
+    const std::size_t m = x.rows();
+    const double eps = 1e-5;
+    const double inv_sqrt_dh = 1.0 / std::sqrt(static_cast<double>(dh));
+
+    for (std::uint32_t layer = 0; layer < cfg_.numLayers; ++layer) {
+        // --- Self-attention block (pre-LN) ---
+        Tensor<double> xn(m, d);
+        linalg::layerNormRows(x, weight(layer, WeightSlot::Ln1Gamma),
+                              weight(layer, WeightSlot::Ln1Beta), eps,
+                              xn);
+
+        Tensor<double> qkv(m, 3 * d);
+        linalg::gemmBias(xn, weight(layer, WeightSlot::WQkv),
+                         weight(layer, WeightSlot::BQkv), qkv);
+
+        Tensor<double> q(m, d), k(m, d), v(m, d);
+        for (std::size_t r = 0; r < m; ++r) {
+            for (std::uint32_t c = 0; c < d; ++c) {
+                q.at(r, c) = qkv.at(r, c);
+                k.at(r, c) = qkv.at(r, d + c);
+                v.at(r, c) = qkv.at(r, 2 * d + c);
+            }
+        }
+        appendRows(kCache_[layer], k);
+        appendRows(vCache_[layer], v);
+        const std::size_t ctx = kCache_[layer].rows();
+
+        // Per-head attention over the full cache.
+        Tensor<double> attn_out(m, d);
+        for (std::uint32_t head = 0; head < h; ++head) {
+            const std::uint32_t off = head * dh;
+            Tensor<double> scores(m, ctx);
+            for (std::size_t r = 0; r < m; ++r) {
+                for (std::size_t c = 0; c < ctx; ++c) {
+                    double acc = 0.0;
+                    for (std::uint32_t e = 0; e < dh; ++e)
+                        acc += q.at(r, off + e) *
+                            kCache_[layer].at(c, off + e);
+                    scores.at(r, c) = acc * inv_sqrt_dh;
+                }
+            }
+            // Causal: new token r (global position ctx-m+r) may attend
+            // up to its own position.
+            linalg::maskedSoftmaxRows(scores, ctx - m);
+            for (std::size_t r = 0; r < m; ++r) {
+                for (std::uint32_t e = 0; e < dh; ++e) {
+                    double acc = 0.0;
+                    for (std::size_t c = 0; c < ctx; ++c)
+                        acc += scores.at(r, c) *
+                            vCache_[layer].at(c, off + e);
+                    attn_out.at(r, off + e) = acc;
+                }
+            }
+        }
+
+        Tensor<double> proj(m, d);
+        linalg::gemmBias(attn_out, weight(layer, WeightSlot::WProj),
+                         weight(layer, WeightSlot::BProj), proj);
+        linalg::add(x, proj, x);
+
+        // --- FFN block ---
+        linalg::layerNormRows(x, weight(layer, WeightSlot::Ln2Gamma),
+                              weight(layer, WeightSlot::Ln2Beta), eps,
+                              xn);
+        Tensor<double> f1(m, cfg_.ffnDim);
+        linalg::gemmBias(xn, weight(layer, WeightSlot::WFc1),
+                         weight(layer, WeightSlot::BFc1), f1);
+        linalg::geluInPlace(f1);
+        Tensor<double> f2(m, d);
+        linalg::gemmBias(f1, weight(layer, WeightSlot::WFc2),
+                         weight(layer, WeightSlot::BFc2), f2);
+        linalg::add(x, f2, x);
+    }
+    seqLen_ += m;
+
+    // Final LN on the last token only, then tied LM head.
+    Tensor<double> last(1, d);
+    for (std::uint32_t c = 0; c < d; ++c)
+        last.at(0, c) = x.at(m - 1, c);
+    Tensor<double> lastn(1, d);
+    linalg::layerNormRows(last, weight(-1, WeightSlot::LnfGamma),
+                          weight(-1, WeightSlot::LnfBeta), eps, lastn);
+
+    const auto tok = weight(-1, WeightSlot::TokEmbed); // vocab x d
+    Tensor<double> logits(1, cfg_.vocabSize);
+    for (std::uint32_t vcb = 0; vcb < cfg_.vocabSize; ++vcb) {
+        double acc = 0.0;
+        for (std::uint32_t c = 0; c < d; ++c)
+            acc += lastn.at(0, c) * tok.at(vcb, c);
+        logits.at(0, vcb) = acc;
+    }
+    return logits;
+}
+
+} // namespace llm
+} // namespace cxlpnm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Double-precision reference implementation of decoder-only inference.
+ *
+ * The golden model the accelerator's functional end-to-end output is
+ * validated against. It consumes the same FP16-quantised synthetic
+ * weights as the device loader, computes everything in double, and keeps
+ * a growing KV cache exactly like the gen stage of Fig. 1.
+ */
+
+#ifndef CXLPNM_LLM_REFERENCE_MODEL_HH
+#define CXLPNM_LLM_REFERENCE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "llm/model_config.hh"
+#include "llm/synthetic.hh"
+#include "numeric/tensor.hh"
+
+namespace cxlpnm
+{
+namespace llm
+{
+
+/** CPU double-precision decoder with KV cache. */
+class ReferenceModel
+{
+  public:
+    ReferenceModel(const ModelConfig &cfg, std::uint64_t seed);
+
+    const ModelConfig &config() const { return cfg_; }
+
+    /**
+     * Consume the prompt (sum stage). Returns the logits of the last
+     * prompt token (1 x vocab). Resets any previous sequence.
+     */
+    Tensor<double> prefill(const std::vector<std::uint32_t> &tokens);
+
+    /** One gen stage: append @p token, return its logits. */
+    Tensor<double> decodeStep(std::uint32_t token);
+
+    /** Greedy decoding: prefill then generate @p n tokens. */
+    std::vector<std::uint32_t>
+    greedyGenerate(const std::vector<std::uint32_t> &prompt,
+                   std::size_t n);
+
+    /** Tokens attended so far (prompt + generated). */
+    std::size_t contextLength() const { return seqLen_; }
+
+  private:
+    /** Forward @p m new tokens whose embeddings are in @p x (m x d). */
+    Tensor<double> forward(Tensor<double> x);
+
+    Tensor<double> weight(int layer, WeightSlot slot) const;
+
+    ModelConfig cfg_;
+    std::uint64_t seed_;
+
+    /** Per-layer KV cache, each seqLen_ x d. */
+    std::vector<Tensor<double>> kCache_;
+    std::vector<Tensor<double>> vCache_;
+    std::size_t seqLen_ = 0;
+};
+
+} // namespace llm
+} // namespace cxlpnm
+
+#endif // CXLPNM_LLM_REFERENCE_MODEL_HH

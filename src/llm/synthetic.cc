@@ -1,0 +1,101 @@
+#include "llm/synthetic.hh"
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace cxlpnm
+{
+namespace llm
+{
+
+const char *
+weightSlotName(WeightSlot slot)
+{
+    switch (slot) {
+      case WeightSlot::TokEmbed: return "tok_embed";
+      case WeightSlot::PosEmbed: return "pos_embed";
+      case WeightSlot::Ln1Gamma: return "ln1_gamma";
+      case WeightSlot::Ln1Beta: return "ln1_beta";
+      case WeightSlot::WQkv: return "w_qkv";
+      case WeightSlot::BQkv: return "b_qkv";
+      case WeightSlot::WProj: return "w_proj";
+      case WeightSlot::BProj: return "b_proj";
+      case WeightSlot::Ln2Gamma: return "ln2_gamma";
+      case WeightSlot::Ln2Beta: return "ln2_beta";
+      case WeightSlot::WFc1: return "w_fc1";
+      case WeightSlot::BFc1: return "b_fc1";
+      case WeightSlot::WFc2: return "w_fc2";
+      case WeightSlot::BFc2: return "b_fc2";
+      case WeightSlot::LnfGamma: return "lnf_gamma";
+      case WeightSlot::LnfBeta: return "lnf_beta";
+    }
+    return "<bad>";
+}
+
+void
+weightShape(const ModelConfig &cfg, WeightSlot slot, std::uint32_t &rows,
+            std::uint32_t &cols)
+{
+    const std::uint32_t d = cfg.dModel;
+    const std::uint32_t f = cfg.ffnDim;
+    switch (slot) {
+      case WeightSlot::TokEmbed: rows = cfg.vocabSize; cols = d; return;
+      case WeightSlot::PosEmbed: rows = cfg.maxPositions; cols = d; return;
+      case WeightSlot::WQkv: rows = d; cols = 3 * d; return;
+      case WeightSlot::BQkv: rows = 1; cols = 3 * d; return;
+      case WeightSlot::WProj: rows = d; cols = d; return;
+      case WeightSlot::WFc1: rows = d; cols = f; return;
+      case WeightSlot::BFc1: rows = 1; cols = f; return;
+      case WeightSlot::WFc2: rows = f; cols = d; return;
+      case WeightSlot::Ln1Gamma:
+      case WeightSlot::Ln1Beta:
+      case WeightSlot::BProj:
+      case WeightSlot::Ln2Gamma:
+      case WeightSlot::Ln2Beta:
+      case WeightSlot::BFc2:
+      case WeightSlot::LnfGamma:
+      case WeightSlot::LnfBeta:
+        rows = 1;
+        cols = d;
+        return;
+    }
+    panic("bad weight slot");
+}
+
+namespace
+{
+
+bool
+isGamma(WeightSlot slot)
+{
+    return slot == WeightSlot::Ln1Gamma || slot == WeightSlot::Ln2Gamma ||
+        slot == WeightSlot::LnfGamma;
+}
+
+} // namespace
+
+HalfTensor
+makeWeight(const ModelConfig &cfg, std::uint64_t seed, int layer,
+           WeightSlot slot)
+{
+    std::uint32_t rows = 0, cols = 0;
+    weightShape(cfg, slot, rows, cols);
+
+    // Stable per-tensor stream: mix the model seed, the layer and the
+    // slot id through SplitMix64's own scrambler.
+    SplitMix64 mix(seed ^ (0x51ed270f5ull * (layer + 2)) ^
+                   (0x9e3779b9ull * (static_cast<int>(slot) + 1)));
+    const std::uint64_t stream_seed = mix.next();
+
+    HalfTensor t(rows, cols);
+    // GPT-style init: N(0, 0.02) for weights; gammas near 1.
+    t.fillGaussian(stream_seed, 0.02);
+    if (isGamma(slot)) {
+        for (std::size_t i = 0; i < t.size(); ++i)
+            t.data()[i] = Half(1.0f + t.data()[i].toFloat());
+    }
+    return t;
+}
+
+} // namespace llm
+} // namespace cxlpnm

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic synthetic weights.
+ *
+ * The paper runs pre-trained OPT checkpoints; we have none, so both the
+ * reference model and the device-memory loader draw every tensor from
+ * the same seeded generator. Values are FP16-quantised at the source so
+ * the double-precision reference and the FP16 accelerator start from
+ * bit-identical parameters and differ only in arithmetic.
+ */
+
+#ifndef CXLPNM_LLM_SYNTHETIC_HH
+#define CXLPNM_LLM_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "llm/model_config.hh"
+#include "numeric/tensor.hh"
+
+namespace cxlpnm
+{
+namespace llm
+{
+
+/** Weight tensors of one decoder layer / the embedding block. */
+enum class WeightSlot
+{
+    TokEmbed,  // vocab x d
+    PosEmbed,  // maxPositions x d
+    Ln1Gamma,  // 1 x d
+    Ln1Beta,   // 1 x d
+    WQkv,      // d x 3d
+    BQkv,      // 1 x 3d
+    WProj,     // d x d
+    BProj,     // 1 x d
+    Ln2Gamma,  // 1 x d
+    Ln2Beta,   // 1 x d
+    WFc1,      // d x f
+    BFc1,      // 1 x f
+    WFc2,      // f x d
+    BFc2,      // 1 x d
+    LnfGamma,  // 1 x d
+    LnfBeta,   // 1 x d
+};
+
+const char *weightSlotName(WeightSlot slot);
+
+/** Shape of @p slot for @p cfg (layer-independent). */
+void weightShape(const ModelConfig &cfg, WeightSlot slot,
+                 std::uint32_t &rows, std::uint32_t &cols);
+
+/**
+ * The FP16-quantised synthetic tensor for (model seed, layer, slot).
+ * @p layer is ignored for the global slots (embeddings, final norm).
+ */
+HalfTensor makeWeight(const ModelConfig &cfg, std::uint64_t seed,
+                      int layer, WeightSlot slot);
+
+} // namespace llm
+} // namespace cxlpnm
+
+#endif // CXLPNM_LLM_SYNTHETIC_HH

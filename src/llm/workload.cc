@@ -1,0 +1,182 @@
+#include "llm/workload.hh"
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace llm
+{
+
+const char *
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::Embed: return "Embed";
+      case OpKind::LayerNorm: return "LayerNorm";
+      case OpKind::Qkv: return "QKV";
+      case OpKind::AttnScore: return "AttnScore";
+      case OpKind::AttnSoftmax: return "AttnSoftmax";
+      case OpKind::AttnContext: return "AttnContext";
+      case OpKind::Proj: return "Proj";
+      case OpKind::Residual: return "Residual";
+      case OpKind::Fc1: return "FC1";
+      case OpKind::Gelu: return "GELU";
+      case OpKind::Fc2: return "FC2";
+      case OpKind::LmHead: return "LMHead";
+    }
+    return "<bad>";
+}
+
+namespace
+{
+
+/** Shared layer structure; @p m_tokens is 1 for gen stages. */
+void
+appendLayerOps(std::vector<Op> &ops, const ModelConfig &cfg, int layer,
+               std::uint64_t m_tokens, std::uint64_t context,
+               bool gen_stage)
+{
+    const std::uint64_t d = cfg.dModel;
+    const std::uint64_t f = cfg.ffnDim;
+    const std::uint64_t h = cfg.numHeads;
+    const std::uint64_t dh = cfg.headDim();
+
+    auto add = [&](OpKind kind, std::uint64_t m, std::uint64_t n,
+                   std::uint64_t k, std::uint64_t wbytes,
+                   std::uint64_t kvbytes) {
+        Op op;
+        op.kind = kind;
+        op.m = m;
+        op.n = n;
+        op.k = k;
+        op.weightBytes = wbytes;
+        op.kvBytes = kvbytes;
+        op.layer = layer;
+        ops.push_back(op);
+    };
+
+    // Pre-attention LayerNorm (gamma+beta stream).
+    add(OpKind::LayerNorm, m_tokens, d, 0, 2 * 2 * d, 0);
+    // Fused QKV projection: (m x d) . (d x 3d).
+    add(OpKind::Qkv, m_tokens, 3 * d, d, 2 * (d * 3 * d + 3 * d), 0);
+    // Attention scores: per head (m x dh) . (dh x context). In gen
+    // stages K streams from the KV cache in device/GPU memory.
+    add(OpKind::AttnScore, m_tokens * h, context, dh, 0,
+        gen_stage ? 2 * context * d : 0);
+    add(OpKind::AttnSoftmax, m_tokens * h, context, 0, 0, 0);
+    // Context: per head (m x context) . (context x dh); V streams.
+    add(OpKind::AttnContext, m_tokens * h, dh, context, 0,
+        gen_stage ? 2 * context * d : 0);
+    // Output projection.
+    add(OpKind::Proj, m_tokens, d, d, 2 * (d * d + d), 0);
+    add(OpKind::Residual, m_tokens, d, 0, 0, 0);
+    // FFN.
+    add(OpKind::LayerNorm, m_tokens, d, 0, 2 * 2 * d, 0);
+    add(OpKind::Fc1, m_tokens, f, d, 2 * (d * f + f), 0);
+    add(OpKind::Gelu, m_tokens, f, 0, 0, 0);
+    add(OpKind::Fc2, m_tokens, d, f, 2 * (f * d + d), 0);
+    add(OpKind::Residual, m_tokens, d, 0, 0, 0);
+}
+
+void
+appendHead(std::vector<Op> &ops, const ModelConfig &cfg,
+           std::uint64_t m_tokens)
+{
+    // Final LayerNorm + LM head (tied embedding, d x vocab).
+    Op ln;
+    ln.kind = OpKind::LayerNorm;
+    ln.m = m_tokens;
+    ln.n = cfg.dModel;
+    ln.weightBytes = 2 * 2 * cfg.dModel;
+    ops.push_back(ln);
+
+    Op head;
+    head.kind = OpKind::LmHead;
+    head.m = m_tokens;
+    head.n = cfg.vocabSize;
+    head.k = cfg.dModel;
+    head.weightBytes =
+        2ull * cfg.vocabSize * cfg.dModel; // tied, still streamed
+    ops.push_back(head);
+}
+
+} // namespace
+
+std::vector<Op>
+sumStageOps(const ModelConfig &cfg, std::uint64_t l_in)
+{
+    fatal_if(l_in == 0, "sum stage needs at least one input token");
+    std::vector<Op> ops;
+    Op embed;
+    embed.kind = OpKind::Embed;
+    embed.m = l_in;
+    embed.n = cfg.dModel;
+    embed.weightBytes = 2ull * l_in * cfg.dModel * 2; // tok+pos rows
+    ops.push_back(embed);
+
+    for (std::uint32_t l = 0; l < cfg.numLayers; ++l)
+        appendLayerOps(ops, cfg, static_cast<int>(l), l_in, l_in, false);
+    // Only the last token's logits are needed in the sum stage.
+    appendHead(ops, cfg, 1);
+    return ops;
+}
+
+std::vector<Op>
+genStageOps(const ModelConfig &cfg, std::uint64_t context)
+{
+    fatal_if(context == 0, "gen stage needs non-empty context");
+    std::vector<Op> ops;
+    Op embed;
+    embed.kind = OpKind::Embed;
+    embed.m = 1;
+    embed.n = cfg.dModel;
+    embed.weightBytes = 2ull * cfg.dModel * 2;
+    ops.push_back(embed);
+
+    for (std::uint32_t l = 0; l < cfg.numLayers; ++l)
+        appendLayerOps(ops, cfg, static_cast<int>(l), 1, context, true);
+    appendHead(ops, cfg, 1);
+    return ops;
+}
+
+OpStats
+summarize(const std::vector<Op> &ops)
+{
+    OpStats s;
+    for (const Op &op : ops) {
+        s.flops += op.flops();
+        s.weightBytes += op.weightBytes;
+        s.kvBytes += op.kvBytes;
+        if (op.isGemm())
+            ++s.gemmOps;
+        else if (op.isGemv())
+            ++s.gemvOps;
+        else
+            ++s.elementwiseOps;
+    }
+    return s;
+}
+
+double
+requestFlops(const ModelConfig &cfg, const InferenceRequest &req)
+{
+    double total = summarize(sumStageOps(cfg, req.inputTokens)).flops;
+    for (std::uint64_t t = 0; t < req.outputTokens; ++t)
+        total +=
+            summarize(genStageOps(cfg, req.inputTokens + t + 1)).flops;
+    return total;
+}
+
+std::uint64_t
+requestWeightTraffic(const ModelConfig &cfg, const InferenceRequest &req)
+{
+    std::uint64_t total =
+        summarize(sumStageOps(cfg, req.inputTokens)).weightBytes;
+    for (std::uint64_t t = 0; t < req.outputTokens; ++t)
+        total += summarize(genStageOps(cfg, req.inputTokens + t + 1))
+                     .weightBytes;
+    return total;
+}
+
+} // namespace llm
+} // namespace cxlpnm

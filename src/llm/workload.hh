@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Stage-level operation graphs for decoder-only inference (§II-B).
+ *
+ * The summarisation (sum) stage processes all L_in input tokens at once
+ * (GEMM-shaped work); each generation (gen) stage processes one token
+ * against the accumulated KV cache (GEMV-shaped work). Workload describes
+ * both as lists of shaped operations that the GPU kernel model executes
+ * directly and the PNM code generator mirrors.
+ */
+
+#ifndef CXLPNM_LLM_WORKLOAD_HH
+#define CXLPNM_LLM_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llm/model_config.hh"
+
+namespace cxlpnm
+{
+namespace llm
+{
+
+/** Kinds of operation in a decoder layer (plus embedding/head). */
+enum class OpKind
+{
+    Embed,       // token+position embedding gather
+    LayerNorm,
+    Qkv,         // fused Q,K,V projection
+    AttnScore,   // Q . K^T (per head)
+    AttnSoftmax,
+    AttnContext, // scores . V (per head)
+    Proj,        // attention output projection
+    Residual,
+    Fc1,
+    Gelu,
+    Fc2,
+    LmHead,      // final projection to vocabulary logits
+};
+
+const char *opKindName(OpKind k);
+
+/** One shaped operation: out(m x n) from an (m x k) x (k x n) product
+ *  or an elementwise/row op over (m x n). */
+struct Op
+{
+    OpKind kind;
+    /** Rows of the output (tokens processed). */
+    std::uint64_t m = 0;
+    /** Columns of the output. */
+    std::uint64_t n = 0;
+    /** Inner/reduction dimension (0 for elementwise ops). */
+    std::uint64_t k = 0;
+    /** Bytes of parameters streamed from memory (weights). */
+    std::uint64_t weightBytes = 0;
+    /** Bytes of KV-cache traffic (attention ops in gen stages). */
+    std::uint64_t kvBytes = 0;
+    /** Which decoder layer this belongs to (-1: embedding/head). */
+    int layer = -1;
+
+    /** MAC count (0 for elementwise). */
+    std::uint64_t
+    macs() const
+    {
+        return k ? m * n * k : 0;
+    }
+
+    double
+    flops() const
+    {
+        return k ? 2.0 * static_cast<double>(m) * n * k
+                 : static_cast<double>(m) * n;
+    }
+
+    /** True when the op is matrix-matrix shaped (sum stage, m > 1). */
+    bool isGemm() const { return k != 0 && m > 1; }
+    /** True when the op is matrix-vector shaped (gen stage). */
+    bool isGemv() const { return k != 0 && m == 1; }
+};
+
+/** Aggregate statistics of an op list. */
+struct OpStats
+{
+    double flops = 0.0;
+    std::uint64_t weightBytes = 0;
+    std::uint64_t kvBytes = 0;
+    std::uint64_t gemmOps = 0;
+    std::uint64_t gemvOps = 0;
+    std::uint64_t elementwiseOps = 0;
+};
+
+OpStats summarize(const std::vector<Op> &ops);
+
+/** Op list of the sum stage over @p l_in input tokens. */
+std::vector<Op> sumStageOps(const ModelConfig &cfg, std::uint64_t l_in);
+
+/**
+ * Op list of one gen stage when the attended context (input + generated
+ * so far, including the current token) is @p context tokens.
+ */
+std::vector<Op> genStageOps(const ModelConfig &cfg,
+                            std::uint64_t context);
+
+/** An end-to-end inference request (the paper's workload: 64 in, up to
+ *  1024 out). */
+struct InferenceRequest
+{
+    std::uint64_t inputTokens = 64;
+    std::uint64_t outputTokens = 1024;
+};
+
+/** Total FLOPs of a request (sum + all gen stages). */
+double requestFlops(const ModelConfig &cfg, const InferenceRequest &req);
+
+/** Total weight bytes streamed for a request assuming no reuse across
+ *  stages (each stage reads all layer weights once). */
+std::uint64_t requestWeightTraffic(const ModelConfig &cfg,
+                                   const InferenceRequest &req);
+
+} // namespace llm
+} // namespace cxlpnm
+
+#endif // CXLPNM_LLM_WORKLOAD_HH

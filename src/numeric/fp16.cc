@@ -1,0 +1,173 @@
+#include "numeric/fp16.hh"
+
+#include <bit>
+#include <cmath>
+
+namespace cxlpnm
+{
+
+namespace
+{
+
+constexpr std::uint32_t f32SignMask = 0x80000000u;
+constexpr int f32ExpBits = 8;
+constexpr int f32ManBits = 23;
+constexpr int f16ManBits = 10;
+constexpr int f32Bias = 127;
+constexpr int f16Bias = 15;
+
+} // namespace
+
+std::uint16_t
+Half::fromFloat(float f)
+{
+    const std::uint32_t u = std::bit_cast<std::uint32_t>(f);
+    const std::uint16_t sign =
+        static_cast<std::uint16_t>((u & f32SignMask) >> 16);
+    const std::uint32_t exp = (u >> f32ManBits) & 0xffu;
+    std::uint32_t man = u & ((1u << f32ManBits) - 1);
+
+    if (exp == 0xffu) {
+        // Inf or NaN. Preserve NaN-ness (make it quiet, keep payload top
+        // bits) and the sign.
+        if (man == 0)
+            return sign | 0x7c00;
+        std::uint16_t payload =
+            static_cast<std::uint16_t>(man >> (f32ManBits - f16ManBits));
+        return sign | 0x7c00 | 0x0200 | payload;
+    }
+
+    // Unbiased exponent of the float value.
+    const int e = static_cast<int>(exp) - f32Bias;
+
+    if (e > f16Bias) {
+        // Overflows binary16 range (max exponent is 15) -> +-inf.
+        // Values rounding up to 2^16 (>= 65520) also overflow; catch them
+        // below via the rounding path when e == 15... but e > 15 is
+        // always inf.
+        return sign | 0x7c00;
+    }
+
+    if (e >= -14) {
+        // Normal half range (possibly rounding up into infinity).
+        std::uint16_t hexp = static_cast<std::uint16_t>(e + f16Bias);
+        std::uint32_t keep = man >> (f32ManBits - f16ManBits);
+        std::uint32_t rest = man & ((1u << (f32ManBits - f16ManBits)) - 1);
+        std::uint32_t halfway = 1u << (f32ManBits - f16ManBits - 1);
+
+        std::uint16_t h = static_cast<std::uint16_t>(
+            (hexp << f16ManBits) | keep);
+        // Round to nearest even: up if rest > halfway, or exactly halfway
+        // and the kept LSB is odd. Mantissa carry naturally increments the
+        // exponent, and 0x7bff + 1 == 0x7c00 == inf, as required.
+        if (rest > halfway || (rest == halfway && (keep & 1)))
+            ++h;
+        return sign | h;
+    }
+
+    if (e >= -24) {
+        // Subnormal half range: value = man' * 2^-24 with man' < 2^10.
+        // Build the 24-bit significand (implicit leading 1) and shift it
+        // right so the result's unit is 2^-24.
+        std::uint32_t sig = man | (1u << f32ManBits); // 24-bit significand
+        int shift = -e - 14 + (f32ManBits - f16ManBits); // in [14..24]
+        std::uint32_t keep = sig >> shift;
+        std::uint32_t rest = sig & ((1u << shift) - 1);
+        std::uint32_t halfway = 1u << (shift - 1);
+
+        std::uint16_t h = static_cast<std::uint16_t>(keep);
+        if (rest > halfway || (rest == halfway && (keep & 1)))
+            ++h; // may carry into the min-normal encoding: correct.
+        return sign | h;
+    }
+
+    // Too small: rounds to zero (ties at 2^-25 round to even = zero).
+    // Exactly 2^-25 has e == -25, man == 0 -> halfway, rounds to 0.
+    if (e == -25 && man != 0)
+        return sign | 0x0001; // just above halfway rounds up
+    return sign;
+}
+
+float
+Half::halfToFloat(std::uint16_t bits)
+{
+    const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000)
+        << 16;
+    const std::uint32_t exp = (bits >> f16ManBits) & 0x1fu;
+    std::uint32_t man = bits & 0x3ffu;
+
+    std::uint32_t out;
+    if (exp == 0x1f) {
+        // Inf/NaN.
+        out = sign | 0x7f800000u | (man << (f32ManBits - f16ManBits));
+    } else if (exp != 0) {
+        // Normal.
+        out = sign |
+            ((exp - f16Bias + f32Bias) << f32ManBits) |
+            (man << (f32ManBits - f16ManBits));
+    } else if (man != 0) {
+        // Subnormal: normalise into float's normal range. With the
+        // leading set bit of man at position k, the value is
+        // 2^(k-24) * (1 + lower/2^k); shift the k low bits up into the
+        // top of the 10-bit fraction field and drop the leading 1.
+        int shift = std::countl_zero(man) - (32 - 11); // == 10 - k
+        man = (man << shift) & 0x3ffu;
+        std::uint32_t e = static_cast<std::uint32_t>(
+            -14 - shift + f32Bias); // == (k - 24) + 127
+        out = sign | (e << f32ManBits) |
+            (man << (f32ManBits - f16ManBits));
+    } else {
+        out = sign; // +-0
+    }
+    return std::bit_cast<float>(out);
+}
+
+bool
+Half::isNan() const
+{
+    return (bits_ & 0x7c00) == 0x7c00 && (bits_ & 0x3ff) != 0;
+}
+
+bool
+Half::isInf() const
+{
+    return (bits_ & 0x7fff) == 0x7c00;
+}
+
+bool
+Half::isZero() const
+{
+    return (bits_ & 0x7fff) == 0;
+}
+
+bool
+Half::isSubnormal() const
+{
+    return (bits_ & 0x7c00) == 0 && (bits_ & 0x3ff) != 0;
+}
+
+bool
+Half::operator==(const Half &o) const
+{
+    if (isNan() || o.isNan())
+        return false;
+    if (isZero() && o.isZero())
+        return true;
+    return bits_ == o.bits_;
+}
+
+Half
+fmaHalf(Half a, Half b, Half c)
+{
+    const double prod = static_cast<double>(a.toFloat()) *
+        static_cast<double>(b.toFloat()) +
+        static_cast<double>(c.toFloat());
+    // double -> float -> half double rounding is innocuous here too:
+    // 53 >= 2*24 + 2 fails, but the product of two 11-bit significands
+    // plus an 11-bit addend is exactly representable in double, so the
+    // only rounding happens at the final half conversion via float
+    // (24 >= 2*11 + 2 holds).
+    return Half(static_cast<float>(prod));
+}
+
+} // namespace cxlpnm

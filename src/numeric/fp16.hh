@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Software IEEE 754 binary16 ("half", the paper's FP16 datatype).
+ *
+ * The accelerator's functional model computes on Half values so that the
+ * simulated MPU/VPU produce bit-faithful FP16 results that can be compared
+ * against a double-precision reference within analytic error bounds.
+ *
+ * Arithmetic is performed by converting to float, operating, and rounding
+ * back. Because float carries 24 significand bits >= 2*11 + 2, the double
+ * rounding is innocuous for +, -, *, / (Figueroa's theorem), i.e. results
+ * equal directly-rounded binary16 arithmetic.
+ */
+
+#ifndef CXLPNM_NUMERIC_FP16_HH
+#define CXLPNM_NUMERIC_FP16_HH
+
+#include <cstdint>
+
+namespace cxlpnm
+{
+
+/** An IEEE 754 binary16 value. */
+class Half
+{
+  public:
+    /** Zero-initialised. */
+    constexpr Half() : bits_(0) {}
+
+    /** Round a float to binary16 (round-to-nearest-even). */
+    explicit Half(float f) : bits_(fromFloat(f)) {}
+    explicit Half(double d) : Half(static_cast<float>(d)) {}
+
+    /** Reinterpret raw storage bits as a Half. */
+    static constexpr Half
+    fromBits(std::uint16_t bits)
+    {
+        Half h;
+        h.bits_ = bits;
+        return h;
+    }
+
+    constexpr std::uint16_t bits() const { return bits_; }
+
+    /** Exact widening conversion. */
+    float toFloat() const { return halfToFloat(bits_); }
+    explicit operator float() const { return toFloat(); }
+    explicit operator double() const { return toFloat(); }
+
+    bool isNan() const;
+    bool isInf() const;
+    bool isZero() const;
+    bool isSubnormal() const;
+
+    /** IEEE equality: NaN != NaN, +0 == -0. */
+    bool operator==(const Half &o) const;
+    bool operator<(const Half &o) const
+    {
+        return toFloat() < o.toFloat();
+    }
+
+    Half operator+(Half o) const { return Half(toFloat() + o.toFloat()); }
+    Half operator-(Half o) const { return Half(toFloat() - o.toFloat()); }
+    Half operator*(Half o) const { return Half(toFloat() * o.toFloat()); }
+    Half operator/(Half o) const { return Half(toFloat() / o.toFloat()); }
+    Half operator-() const { return fromBits(bits_ ^ 0x8000); }
+
+    /** Core conversion routines, exposed for targeted unit tests. */
+    static std::uint16_t fromFloat(float f);
+    static float halfToFloat(std::uint16_t bits);
+
+    /** Useful constants. */
+    static constexpr Half zero() { return fromBits(0x0000); }
+    static constexpr Half one() { return fromBits(0x3c00); }
+    static constexpr Half infinity() { return fromBits(0x7c00); }
+    static constexpr Half quietNan() { return fromBits(0x7e00); }
+    /** Largest finite value, 65504. */
+    static constexpr Half max() { return fromBits(0x7bff); }
+    /** Smallest positive normal, 2^-14. */
+    static constexpr Half minNormal() { return fromBits(0x0400); }
+    /** Smallest positive subnormal, 2^-24. */
+    static constexpr Half minSubnormal() { return fromBits(0x0001); }
+
+  private:
+    std::uint16_t bits_;
+};
+
+/**
+ * Fused multiply-add on binary16 operands: rounds once from a double
+ * intermediate, matching a hardware MAC with a wide accumulator feeding a
+ * final FP16 rounder.
+ */
+Half fmaHalf(Half a, Half b, Half c);
+
+} // namespace cxlpnm
+
+#endif // CXLPNM_NUMERIC_FP16_HH

@@ -1,0 +1,159 @@
+#include "numeric/linalg.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace linalg
+{
+
+void
+gemm(const Tensor<double> &a, const Tensor<double> &b, Tensor<double> &out)
+{
+    panic_if(a.cols() != b.rows(), "gemm inner dim mismatch: ", a.cols(),
+             " vs ", b.rows());
+    panic_if(out.rows() != a.rows() || out.cols() != b.cols(),
+             "gemm output shape mismatch");
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < a.cols(); ++k)
+                acc += a.at(i, k) * b.at(k, j);
+            out.at(i, j) = acc;
+        }
+    }
+}
+
+void
+gemmBias(const Tensor<double> &a, const Tensor<double> &b,
+         const Tensor<double> &bias, Tensor<double> &out)
+{
+    panic_if(bias.rows() != 1 || bias.cols() != b.cols(),
+             "gemmBias bias must be 1 x n");
+    gemm(a, b, out);
+    for (std::size_t i = 0; i < out.rows(); ++i)
+        for (std::size_t j = 0; j < out.cols(); ++j)
+            out.at(i, j) += bias.at(0, j);
+}
+
+void
+gemv(const Tensor<double> &x, const Tensor<double> &w, Tensor<double> &y)
+{
+    panic_if(x.rows() != 1, "gemv input must be 1 x k");
+    gemm(x, w, y);
+}
+
+void
+softmaxRows(Tensor<double> &t)
+{
+    for (std::size_t i = 0; i < t.rows(); ++i) {
+        double mx = -std::numeric_limits<double>::infinity();
+        for (std::size_t j = 0; j < t.cols(); ++j)
+            mx = std::max(mx, t.at(i, j));
+        double sum = 0.0;
+        for (std::size_t j = 0; j < t.cols(); ++j) {
+            t.at(i, j) = std::exp(t.at(i, j) - mx);
+            sum += t.at(i, j);
+        }
+        for (std::size_t j = 0; j < t.cols(); ++j)
+            t.at(i, j) /= sum;
+    }
+}
+
+void
+maskedSoftmaxRows(Tensor<double> &t, std::size_t offset)
+{
+    const double ninf = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < t.rows(); ++i)
+        for (std::size_t j = 0; j < t.cols(); ++j)
+            if (j > i + offset)
+                t.at(i, j) = ninf;
+    softmaxRows(t);
+}
+
+double
+gelu(double x)
+{
+    // GPT's tanh approximation:
+    // 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))
+    constexpr double k = 0.7978845608028654; // sqrt(2/pi)
+    return 0.5 * x * (1.0 + std::tanh(k * (x + 0.044715 * x * x * x)));
+}
+
+void
+geluInPlace(Tensor<double> &t)
+{
+    for (std::size_t i = 0; i < t.rows(); ++i)
+        for (std::size_t j = 0; j < t.cols(); ++j)
+            t.at(i, j) = gelu(t.at(i, j));
+}
+
+void
+layerNormRows(const Tensor<double> &x, const Tensor<double> &gamma,
+              const Tensor<double> &beta, double eps, Tensor<double> &out)
+{
+    panic_if(gamma.rows() != 1 || gamma.cols() != x.cols(),
+             "layerNorm gamma must be 1 x n");
+    panic_if(beta.rows() != 1 || beta.cols() != x.cols(),
+             "layerNorm beta must be 1 x n");
+    panic_if(out.rows() != x.rows() || out.cols() != x.cols(),
+             "layerNorm output shape mismatch");
+
+    const double n = static_cast<double>(x.cols());
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        double mean = 0.0;
+        for (std::size_t j = 0; j < x.cols(); ++j)
+            mean += x.at(i, j);
+        mean /= n;
+        double var = 0.0;
+        for (std::size_t j = 0; j < x.cols(); ++j) {
+            double d = x.at(i, j) - mean;
+            var += d * d;
+        }
+        var /= n;
+        const double inv = 1.0 / std::sqrt(var + eps);
+        for (std::size_t j = 0; j < x.cols(); ++j) {
+            out.at(i, j) = (x.at(i, j) - mean) * inv * gamma.at(0, j) +
+                beta.at(0, j);
+        }
+    }
+}
+
+void
+add(const Tensor<double> &a, const Tensor<double> &b, Tensor<double> &out)
+{
+    panic_if(a.rows() != b.rows() || a.cols() != b.cols(),
+             "add shape mismatch");
+    panic_if(out.rows() != a.rows() || out.cols() != a.cols(),
+             "add output shape mismatch");
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            out.at(i, j) = a.at(i, j) + b.at(i, j);
+}
+
+Tensor<double>
+transpose(const Tensor<double> &a)
+{
+    Tensor<double> out(a.cols(), a.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            out.at(j, i) = a.at(i, j);
+    return out;
+}
+
+std::size_t
+argmaxRow(const Tensor<double> &t, std::size_t row)
+{
+    panic_if(t.cols() == 0, "argmax of empty row");
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < t.cols(); ++j)
+        if (t.at(row, j) > t.at(row, best))
+            best = j;
+    return best;
+}
+
+} // namespace linalg
+} // namespace cxlpnm

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reference linear algebra and transformer layer math in double precision.
+ * These are the golden functions the accelerator's functional model and the
+ * ReferenceModel are validated against.
+ */
+
+#ifndef CXLPNM_NUMERIC_LINALG_HH
+#define CXLPNM_NUMERIC_LINALG_HH
+
+#include <cstddef>
+
+#include "numeric/tensor.hh"
+
+namespace cxlpnm
+{
+namespace linalg
+{
+
+/** out = a (m x k) * b (k x n); out must be m x n. */
+void gemm(const Tensor<double> &a, const Tensor<double> &b,
+          Tensor<double> &out);
+
+/** out = a * b + broadcast-row bias (1 x n). */
+void gemmBias(const Tensor<double> &a, const Tensor<double> &b,
+              const Tensor<double> &bias, Tensor<double> &out);
+
+/** y (1 x n) = x (1 x k) * w (k x n). */
+void gemv(const Tensor<double> &x, const Tensor<double> &w,
+          Tensor<double> &y);
+
+/** Row-wise softmax in place. */
+void softmaxRows(Tensor<double> &t);
+
+/**
+ * Row-wise masked softmax: entries with col > row + offset are treated as
+ * -inf (causal mask used by GPT attention).
+ */
+void maskedSoftmaxRows(Tensor<double> &t, std::size_t offset);
+
+/** Tanh-approximation GELU (as used by GPT/OPT), elementwise. */
+double gelu(double x);
+void geluInPlace(Tensor<double> &t);
+
+/**
+ * LayerNorm over each row: (x - mean) / sqrt(var + eps) * gamma + beta.
+ * gamma/beta are 1 x n.
+ */
+void layerNormRows(const Tensor<double> &x, const Tensor<double> &gamma,
+                   const Tensor<double> &beta, double eps,
+                   Tensor<double> &out);
+
+/** out = a + b elementwise (residual connections). */
+void add(const Tensor<double> &a, const Tensor<double> &b,
+         Tensor<double> &out);
+
+/** out = a (m x n) transposed -> (n x m). */
+Tensor<double> transpose(const Tensor<double> &a);
+
+/** Index of the maximum element of a 1 x n tensor (greedy decode). */
+std::size_t argmaxRow(const Tensor<double> &t, std::size_t row);
+
+} // namespace linalg
+} // namespace cxlpnm
+
+#endif // CXLPNM_NUMERIC_LINALG_HH

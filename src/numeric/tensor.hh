@@ -1,0 +1,145 @@
+/**
+ * @file
+ * A minimal owning 2-D row-major tensor used by the functional simulator
+ * and the reference model. One-dimensional data is a 1 x N tensor.
+ */
+
+#ifndef CXLPNM_NUMERIC_TENSOR_HH
+#define CXLPNM_NUMERIC_TENSOR_HH
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "numeric/fp16.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace cxlpnm
+{
+
+/** Row-major matrix of T (Half, float or double). */
+template <typename T>
+class Tensor
+{
+  public:
+    Tensor() : rows_(0), cols_(0) {}
+
+    Tensor(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, T{})
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    T &
+    at(std::size_t r, std::size_t c)
+    {
+        panic_if(r >= rows_ || c >= cols_, "tensor index (", r, ",", c,
+                 ") out of bounds (", rows_, "x", cols_, ")");
+        return data_[r * cols_ + c];
+    }
+
+    const T &
+    at(std::size_t r, std::size_t c) const
+    {
+        panic_if(r >= rows_ || c >= cols_, "tensor index (", r, ",", c,
+                 ") out of bounds (", rows_, "x", cols_, ")");
+        return data_[r * cols_ + c];
+    }
+
+    T &operator()(std::size_t r, std::size_t c) { return at(r, c); }
+    const T &
+    operator()(std::size_t r, std::size_t c) const
+    {
+        return at(r, c);
+    }
+
+    T *data() { return data_.data(); }
+    const T *data() const { return data_.data(); }
+
+    /** Bytes occupied by the element payload. */
+    std::size_t bytes() const { return data_.size() * sizeof(T); }
+
+    /** Fill with Gaussian(0, stddev) values from a deterministic seed. */
+    void
+    fillGaussian(std::uint64_t seed, double stddev)
+    {
+        SplitMix64 rng(seed);
+        for (T &v : data_)
+            v = T(rng.nextGaussian() * stddev);
+    }
+
+    void
+    fill(T value)
+    {
+        for (T &v : data_)
+            v = value;
+    }
+
+    /** Elementwise conversion to another scalar type. */
+    template <typename U>
+    Tensor<U>
+    cast() const
+    {
+        Tensor<U> out(rows_, cols_);
+        for (std::size_t i = 0; i < data_.size(); ++i)
+            out.data()[i] = U(static_cast<double>(data_[i]));
+        return out;
+    }
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<T> data_;
+};
+
+using HalfTensor = Tensor<Half>;
+
+/** Largest absolute elementwise difference, |a - b|_inf, in double. */
+template <typename A, typename B>
+double
+maxAbsDiff(const Tensor<A> &a, const Tensor<B> &b)
+{
+    panic_if(a.rows() != b.rows() || a.cols() != b.cols(),
+             "maxAbsDiff shape mismatch");
+    double m = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        for (std::size_t c = 0; c < a.cols(); ++c) {
+            double d = static_cast<double>(a.at(r, c)) -
+                static_cast<double>(b.at(r, c));
+            if (d < 0)
+                d = -d;
+            if (d > m)
+                m = d;
+        }
+    }
+    return m;
+}
+
+/** Largest |a-b| / max(1, |b|) elementwise relative difference. */
+template <typename A, typename B>
+double
+maxRelDiff(const Tensor<A> &a, const Tensor<B> &b)
+{
+    panic_if(a.rows() != b.rows() || a.cols() != b.cols(),
+             "maxRelDiff shape mismatch");
+    double m = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        for (std::size_t c = 0; c < a.cols(); ++c) {
+            double x = static_cast<double>(a.at(r, c));
+            double y = static_cast<double>(b.at(r, c));
+            double denom = std::abs(y) > 1.0 ? std::abs(y) : 1.0;
+            double d = std::abs(x - y) / denom;
+            if (d > m)
+                m = d;
+        }
+    }
+    return m;
+}
+
+} // namespace cxlpnm
+
+#endif // CXLPNM_NUMERIC_TENSOR_HH

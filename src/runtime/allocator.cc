@@ -1,0 +1,105 @@
+#include "runtime/allocator.hh"
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace runtime
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+Addr
+alignUp(Addr a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+CxlMemAllocator::CxlMemAllocator(Addr base, std::uint64_t capacity)
+    : base_(base), capacity_(capacity)
+{
+    fatal_if(capacity == 0, "allocator over empty region");
+    freeList_.emplace(base_, capacity_);
+}
+
+Addr
+CxlMemAllocator::alloc(std::uint64_t bytes, std::uint64_t align)
+{
+    fatal_if(bytes == 0, "zero-byte allocation");
+    fatal_if(!isPow2(align), "alignment ", align, " is not a power of 2");
+
+    for (auto it = freeList_.begin(); it != freeList_.end(); ++it) {
+        const Addr block_start = it->first;
+        const std::uint64_t block_size = it->second;
+        const Addr user = alignUp(block_start, align);
+        const std::uint64_t pad = user - block_start;
+        if (pad + bytes > block_size)
+            continue;
+
+        // Claim [block_start, user+bytes); give back both remainders.
+        freeList_.erase(it);
+        if (pad > 0)
+            freeList_.emplace(block_start, pad);
+        const std::uint64_t tail = block_size - pad - bytes;
+        if (tail > 0)
+            freeList_.emplace(user + bytes, tail);
+
+        live_.emplace(user, std::make_pair(user, bytes));
+        used_ += bytes;
+        return user;
+    }
+    fatal("CXL memory exhausted: ", bytes, " bytes requested, ",
+          freeBytes(), " free (fragmented into ", freeList_.size(),
+          " blocks)");
+}
+
+void
+CxlMemAllocator::free(Addr addr)
+{
+    auto it = live_.find(addr);
+    panic_if(it == live_.end(), "free of unknown address ", addr);
+    Addr start = it->second.first;
+    std::uint64_t size = it->second.second;
+    used_ -= size;
+    live_.erase(it);
+
+    // Coalesce with the successor then the predecessor.
+    auto next = freeList_.lower_bound(start);
+    if (next != freeList_.end() && start + size == next->first) {
+        size += next->second;
+        freeList_.erase(next);
+    }
+    if (!freeList_.empty()) {
+        auto prev = freeList_.lower_bound(start);
+        if (prev != freeList_.begin()) {
+            --prev;
+            if (prev->first + prev->second == start) {
+                start = prev->first;
+                size += prev->second;
+                freeList_.erase(prev);
+            }
+        }
+    }
+    freeList_.emplace(start, size);
+}
+
+std::uint64_t
+CxlMemAllocator::largestFreeBlock() const
+{
+    std::uint64_t best = 0;
+    for (const auto &[start, size] : freeList_)
+        best = std::max(best, size);
+    return best;
+}
+
+} // namespace runtime
+} // namespace cxlpnm

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * First-fit region allocator over a CXL memory device's address space -
+ * the CXL-PNM library's equivalent of its "memory allocation" API (§VI):
+ * model parameters, KV caches and I/O buffers are carved out of the
+ * module's 512 GB.
+ */
+
+#ifndef CXLPNM_RUNTIME_ALLOCATOR_HH
+#define CXLPNM_RUNTIME_ALLOCATOR_HH
+
+#include <cstdint>
+#include <map>
+
+#include "sim/types.hh"
+
+namespace cxlpnm
+{
+namespace runtime
+{
+
+/** First-fit allocator with coalescing free list. */
+class CxlMemAllocator
+{
+  public:
+    /** Manage [base, base+capacity). */
+    CxlMemAllocator(Addr base, std::uint64_t capacity);
+
+    /**
+     * Allocate @p bytes aligned to @p align (power of two).
+     * Fatal on exhaustion - the caller sized the module wrong.
+     */
+    Addr alloc(std::uint64_t bytes, std::uint64_t align = 256);
+
+    /** Return a block; panics on double free / unknown address. */
+    void free(Addr addr);
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t usedBytes() const { return used_; }
+    std::uint64_t
+    freeBytes() const
+    {
+        return capacity_ - used_;
+    }
+
+    /** Largest single allocation currently satisfiable. */
+    std::uint64_t largestFreeBlock() const;
+
+    std::size_t liveAllocations() const { return live_.size(); }
+
+  private:
+    Addr base_;
+    std::uint64_t capacity_;
+    std::uint64_t used_ = 0;
+
+    /** Free blocks: start -> size, non-adjacent (coalesced). */
+    std::map<Addr, std::uint64_t> freeList_;
+    /** Live blocks: user addr -> (block start, block size). */
+    std::map<Addr, std::pair<Addr, std::uint64_t>> live_;
+};
+
+} // namespace runtime
+} // namespace cxlpnm
+
+#endif // CXLPNM_RUNTIME_ALLOCATOR_HH

@@ -1,0 +1,174 @@
+#include "runtime/driver.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace runtime
+{
+
+PnmDriver::PnmDriver(EventQueue &eq, stats::StatGroup *parent,
+                     std::string name, cxl::CxlIoPort &io,
+                     cxl::CxlMemPort &mem, accel::Accelerator &accel)
+    : SimObject(eq, parent, std::move(name)),
+      io_(io),
+      mem_(mem),
+      accel_(accel),
+      launches_(this, "launches", "programs launched via doorbell"),
+      interrupts_(this, "interrupts", "MSI-X completions taken"),
+      polls_(this, "polls", "status-register polls issued")
+{
+    io_.setHandlers(
+        [this](Addr a) { return deviceRegRead(a); },
+        [this](Addr a, std::uint64_t v) { deviceRegWrite(a, v); });
+    io_.setBulkHandler(
+        [this](Addr a, const std::vector<std::uint8_t> &bytes) {
+            panic_if(a != reg::InstrBuffer,
+                     "bulk write outside the instruction buffer");
+            instrBuffer_ = bytes;
+        });
+}
+
+std::uint64_t
+PnmDriver::deviceRegRead(Addr addr) const
+{
+    switch (addr) {
+      case reg::Ctrl: return ctrlReg_;
+      case reg::Status: return statusReg_;
+      case reg::InstrBase: return reg::InstrBuffer;
+      default:
+        if (addr >= reg::Param0 &&
+            addr < reg::Param0 + 8 * reg::paramCount &&
+            (addr - reg::Param0) % 8 == 0) {
+            return params_[(addr - reg::Param0) / 8];
+        }
+        panic("read of unmapped device register 0x", addr);
+    }
+}
+
+void
+PnmDriver::deviceRegWrite(Addr addr, std::uint64_t value)
+{
+    switch (addr) {
+      case reg::Ctrl:
+        ctrlReg_ = value;
+        return;
+      case reg::Doorbell:
+        launch();
+        return;
+      default:
+        if (addr >= reg::Param0 &&
+            addr < reg::Param0 + 8 * reg::paramCount &&
+            (addr - reg::Param0) % 8 == 0) {
+            params_[(addr - reg::Param0) / 8] =
+                static_cast<std::uint32_t>(value);
+            return;
+        }
+        panic("write of unmapped device register 0x", addr);
+    }
+}
+
+void
+PnmDriver::loadProgram(const isa::Program &prog,
+                       std::function<void()> on_complete)
+{
+    io_.writeBulk(reg::InstrBuffer, prog.encode(),
+                  std::move(on_complete));
+}
+
+void
+PnmDriver::setParam(int index, std::uint32_t value,
+                    std::function<void()> on_complete)
+{
+    fatal_if(index < 0 || index >= reg::paramCount,
+             "control register index ", index, " out of range");
+    io_.writeRegister(reg::Param0 + 8 * index, value,
+                      std::move(on_complete));
+}
+
+void
+PnmDriver::execute(std::function<void()> on_complete)
+{
+    panic_if(userCompletion_ != nullptr, "execute() while one is pending");
+    userCompletion_ = std::move(on_complete);
+    io_.writeRegister(reg::Doorbell, 1, nullptr);
+}
+
+void
+PnmDriver::launch()
+{
+    // Device side: decode the instruction buffer, clear STATUS, run.
+    panic_if(instrBuffer_.empty(), "doorbell with empty instruction buffer");
+    current_ = isa::Program::decode(instrBuffer_);
+    statusReg_ = 0;
+    launches_ += 1;
+
+    accel_.run(current_, [this] {
+        statusReg_ = 1; // done bit
+        if (mode_ == Completion::Interrupt) {
+            io_.raiseInterrupt([this] {
+                // ISR body: acknowledge and hand off to the library.
+                interrupts_ += 1;
+                auto cb = std::move(userCompletion_);
+                userCompletion_ = nullptr;
+                if (cb)
+                    cb();
+            });
+        }
+        // Polling mode: the host's poll loop discovers STATUS below.
+    });
+
+    if (mode_ == Completion::Polling) {
+        // First poll right after the doorbell acknowledges.
+        eventQueue().scheduleOneShot(name() + ".poll0", now(),
+                                     [this] { pollOnce(); });
+    }
+}
+
+void
+PnmDriver::pollOnce()
+{
+    polls_ += 1;
+    io_.readRegister(reg::Status, [this](std::uint64_t status) {
+        if (status & 1) {
+            auto cb = std::move(userCompletion_);
+            userCompletion_ = nullptr;
+            if (cb)
+                cb();
+            return;
+        }
+        eventQueue().scheduleOneShot(
+            name() + ".poll",
+            now() + static_cast<Tick>(pollIntervalUs_ * tickPerUs),
+            [this] { pollOnce(); });
+    });
+}
+
+} // namespace runtime
+} // namespace cxlpnm
+
+// readMemory/writeMemory are thin forwards; defined out of line to keep
+// the header light.
+namespace cxlpnm
+{
+namespace runtime
+{
+
+void
+PnmDriver::readMemory(Addr addr, std::uint64_t bytes,
+                      std::function<void()> on_complete)
+{
+    mem_.hostRead(addr, bytes, std::move(on_complete));
+}
+
+void
+PnmDriver::writeMemory(Addr addr, std::uint64_t bytes,
+                       std::function<void()> on_complete)
+{
+    mem_.hostWrite(addr, bytes, std::move(on_complete));
+}
+
+} // namespace runtime
+} // namespace cxlpnm

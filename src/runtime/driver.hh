@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The CXL-PNM device driver (§VI, Fig. 9).
+ *
+ * Host-side: exposes the CXL.mem region for direct load/store access to
+ * model parameters (the DAX-device mapping), and CXL.io register APIs to
+ * configure control registers, program the instruction buffer, ring the
+ * doorbell and receive completion by MSI-X interrupt (ISR) or by polling
+ * the status register.
+ *
+ * Device-side: a small control-unit register file bound to the
+ * accelerator - doorbell decodes the instruction buffer and launches the
+ * program; completion raises the interrupt line and sets STATUS.
+ */
+
+#ifndef CXLPNM_RUNTIME_DRIVER_HH
+#define CXLPNM_RUNTIME_DRIVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "cxl/ports.hh"
+#include "isa/isa.hh"
+#include "sim/sim_object.hh"
+
+namespace cxlpnm
+{
+namespace runtime
+{
+
+/** Device register map (CXL.io BAR offsets). */
+namespace reg
+{
+constexpr Addr Ctrl = 0x00;
+constexpr Addr Status = 0x08;     // bit0: done
+constexpr Addr Doorbell = 0x10;   // write 1 to launch
+constexpr Addr InstrBase = 0x18;  // instruction buffer window
+/** Ten 32-bit model-parameter registers (§VI step 1). */
+constexpr Addr Param0 = 0x40;
+constexpr int paramCount = 10;
+constexpr Addr InstrBuffer = 0x1000;
+} // namespace reg
+
+/** Completion notification mechanism. */
+enum class Completion { Interrupt, Polling };
+
+/** Host driver + device control-unit registers for one CXL-PNM device. */
+class PnmDriver : public SimObject
+{
+  public:
+    PnmDriver(EventQueue &eq, stats::StatGroup *parent, std::string name,
+              cxl::CxlIoPort &io, cxl::CxlMemPort &mem,
+              accel::Accelerator &accel);
+
+    /** Select interrupt (default) or polling completion. */
+    void setCompletionMode(Completion mode) { mode_ = mode; }
+    void setPollIntervalUs(double us) { pollIntervalUs_ = us; }
+
+    /**
+     * Program the instruction buffer over CXL.io (write-combined burst)
+     * and remember the program for the doorbell.
+     */
+    void loadProgram(const isa::Program &prog,
+                     std::function<void()> on_complete);
+
+    /** Write one of the ten model-parameter control registers. */
+    void setParam(int index, std::uint32_t value,
+                  std::function<void()> on_complete);
+
+    /**
+     * Ring the doorbell: the device decodes the loaded program, the
+     * accelerator executes it, and @p on_complete runs on the host after
+     * the ISR (or the successful poll).
+     */
+    void execute(std::function<void()> on_complete);
+
+    /** Host load/store into the device's memory (CXL.mem path). */
+    void readMemory(Addr addr, std::uint64_t bytes,
+                    std::function<void()> on_complete);
+    void writeMemory(Addr addr, std::uint64_t bytes,
+                     std::function<void()> on_complete);
+
+    std::uint64_t launches() const
+    {
+        return static_cast<std::uint64_t>(launches_.value());
+    }
+    std::uint64_t interruptsTaken() const
+    {
+        return static_cast<std::uint64_t>(interrupts_.value());
+    }
+    std::uint64_t pollsIssued() const
+    {
+        return static_cast<std::uint64_t>(polls_.value());
+    }
+
+  private:
+    void deviceRegWrite(Addr addr, std::uint64_t value);
+    std::uint64_t deviceRegRead(Addr addr) const;
+    void launch();
+    void pollOnce();
+
+    cxl::CxlIoPort &io_;
+    cxl::CxlMemPort &mem_;
+    accel::Accelerator &accel_;
+
+    Completion mode_ = Completion::Interrupt;
+    double pollIntervalUs_ = 5.0;
+
+    // Device-side state.
+    std::vector<std::uint8_t> instrBuffer_;
+    isa::Program current_;
+    std::uint64_t statusReg_ = 0;
+    std::uint64_t ctrlReg_ = 0;
+    std::uint32_t params_[reg::paramCount] = {};
+
+    std::function<void()> userCompletion_;
+
+    stats::Scalar launches_;
+    stats::Scalar interrupts_;
+    stats::Scalar polls_;
+};
+
+} // namespace runtime
+} // namespace cxlpnm
+
+#endif // CXLPNM_RUNTIME_DRIVER_HH

@@ -1,0 +1,900 @@
+#include "runtime/pnm_library.hh"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "accel/functional_memory.hh"
+#include "numeric/linalg.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace runtime
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Program;
+using isa::RegId;
+
+PnmLibrary::PnmLibrary(EventQueue &eq, stats::StatGroup *parent,
+                       std::string name, PnmDriver &driver,
+                       accel::Accelerator &accel,
+                       std::uint64_t device_capacity)
+    : SimObject(eq, parent, std::move(name)),
+      driver_(driver),
+      accel_(accel),
+      alloc_(0, device_capacity),
+      stagesRun_(this, "stagesRun", "sum/gen stages executed"),
+      tokensGenerated_(this, "tokensGenerated", "tokens produced")
+{}
+
+void
+PnmLibrary::setLayerRange(std::uint32_t first, std::uint32_t count)
+{
+    fatal_if(loaded_, "setLayerRange after loadModel");
+    firstLayer_ = first;
+    layerCount_ = count;
+}
+
+void
+PnmLibrary::setTensorShard(int degree)
+{
+    fatal_if(loaded_, "setTensorShard after loadModel");
+    fatal_if(degree < 1, "bad tensor shard degree");
+    fatal_if(degree > 1 && accel_.functionalMemory() != nullptr,
+             "tensor sharding is timing-only (functional reductions "
+             "happen on the host)");
+    shard_ = static_cast<std::uint32_t>(degree);
+}
+
+void
+PnmLibrary::layoutModel()
+{
+    const std::uint32_t d = cfg_.dModel;
+    const std::uint32_t f = cfg_.ffnDim;
+    const std::uint32_t mp = cfg_.maxPositions;
+
+    map_ = WeightMap{};
+    map_.tokEmbed = alloc_.alloc(2ull * cfg_.vocabSize * d);
+    map_.posEmbed = alloc_.alloc(2ull * mp * d);
+    map_.lnfGamma = alloc_.alloc(2ull * d);
+    map_.lnfBeta = alloc_.alloc(2ull * d);
+    map_.inputBuffer = alloc_.alloc(2ull * mp * d);
+    map_.outputBuffer = alloc_.alloc(
+        std::max<std::uint64_t>(2ull * cfg_.vocabSize, 2ull * mp * d));
+
+    map_.layers.resize(cfg_.numLayers);
+    for (std::uint32_t l = firstLayer_;
+         l < firstLayer_ + layerCount_; ++l) {
+        LayerAddrs &a = map_.layers[l];
+        a.wQkvT = alloc_.alloc(2ull * 3 * d * d / shard_);
+        a.wProjT = alloc_.alloc(2ull * d * d / shard_);
+        a.wFc1T = alloc_.alloc(2ull * f * d / shard_);
+        a.wFc2T = alloc_.alloc(2ull * d * f / shard_);
+        a.bQkv = alloc_.alloc(2ull * 3 * d);
+        a.bProj = alloc_.alloc(2ull * d);
+        a.bFc1 = alloc_.alloc(2ull * f);
+        a.bFc2 = alloc_.alloc(2ull * d);
+        a.ln1Gamma = alloc_.alloc(2ull * d);
+        a.ln1Beta = alloc_.alloc(2ull * d);
+        a.ln2Gamma = alloc_.alloc(2ull * d);
+        a.ln2Beta = alloc_.alloc(2ull * d);
+        a.kCache = alloc_.alloc(2ull * mp * d);
+        a.vCache = alloc_.alloc(2ull * mp * d);
+    }
+}
+
+namespace
+{
+
+HalfTensor
+transposed(const HalfTensor &t)
+{
+    HalfTensor out(t.cols(), t.rows());
+    for (std::size_t r = 0; r < t.rows(); ++r)
+        for (std::size_t c = 0; c < t.cols(); ++c)
+            out.at(c, r) = t.at(r, c);
+    return out;
+}
+
+} // namespace
+
+void
+PnmLibrary::materializeWeights()
+{
+    accel::FunctionalMemory *fmem = accel_.functionalMemory();
+    if (fmem == nullptr)
+        return; // timing-only: the layout is all that matters
+
+    using llm::WeightSlot;
+    auto w = [&](int layer, WeightSlot slot) {
+        return llm::makeWeight(cfg_, seed_, layer, slot);
+    };
+
+    fmem->writeTensor(map_.tokEmbed, w(-1, WeightSlot::TokEmbed));
+    fmem->writeTensor(map_.posEmbed, w(-1, WeightSlot::PosEmbed));
+    fmem->writeTensor(map_.lnfGamma, w(-1, WeightSlot::LnfGamma));
+    fmem->writeTensor(map_.lnfBeta, w(-1, WeightSlot::LnfBeta));
+
+    for (std::uint32_t l = firstLayer_;
+         l < firstLayer_ + layerCount_; ++l) {
+        const LayerAddrs &a = map_.layers[l];
+        const int li = static_cast<int>(l);
+        // FC weights are stored output-major (transposed) so both the
+        // adder-tree MV and the PEA TransB path read them directly.
+        fmem->writeTensor(a.wQkvT, transposed(w(li, WeightSlot::WQkv)));
+        fmem->writeTensor(a.wProjT, transposed(w(li, WeightSlot::WProj)));
+        fmem->writeTensor(a.wFc1T, transposed(w(li, WeightSlot::WFc1)));
+        fmem->writeTensor(a.wFc2T, transposed(w(li, WeightSlot::WFc2)));
+        fmem->writeTensor(a.bQkv, w(li, WeightSlot::BQkv));
+        fmem->writeTensor(a.bProj, w(li, WeightSlot::BProj));
+        fmem->writeTensor(a.bFc1, w(li, WeightSlot::BFc1));
+        fmem->writeTensor(a.bFc2, w(li, WeightSlot::BFc2));
+        fmem->writeTensor(a.ln1Gamma, w(li, WeightSlot::Ln1Gamma));
+        fmem->writeTensor(a.ln1Beta, w(li, WeightSlot::Ln1Beta));
+        fmem->writeTensor(a.ln2Gamma, w(li, WeightSlot::Ln2Gamma));
+        fmem->writeTensor(a.ln2Beta, w(li, WeightSlot::Ln2Beta));
+    }
+}
+
+Program
+PnmLibrary::buildPreloadProgram() const
+{
+    const std::uint32_t d = cfg_.dModel;
+    const std::uint32_t f = cfg_.ffnDim;
+    Program p;
+    auto load = [&](RegId dst, Addr addr, std::uint32_t m,
+                    std::uint32_t n) {
+        Instruction i;
+        i.op = Opcode::DmaLoad;
+        i.dst = dst;
+        i.m = m;
+        i.n = n;
+        i.memAddr = addr;
+        p.append(i);
+    };
+
+    for (std::uint32_t l = firstLayer_;
+         l < firstLayer_ + layerCount_; ++l) {
+        const LayerAddrs &a = map_.layers[l];
+        const PersistentRegs::Layer &r =
+            pregs_.layers[l - firstLayer_];
+        load(r.ln1G, a.ln1Gamma, 1, d);
+        load(r.ln1B, a.ln1Beta, 1, d);
+        load(r.ln2G, a.ln2Gamma, 1, d);
+        load(r.ln2B, a.ln2Beta, 1, d);
+        load(r.bQkv, a.bQkv, 1, 3 * (d / shard_));
+        load(r.bQ, a.bQkv, 1, d / shard_);
+        load(r.bK, a.bQkv + 2ull * (d / shard_), 1, d / shard_);
+        load(r.bV, a.bQkv + 4ull * (d / shard_), 1, d / shard_);
+        load(r.bProj, a.bProj, 1, d);
+        load(r.bFc1, a.bFc1, 1, f / shard_);
+        load(r.bFc2, a.bFc2, 1, d);
+    }
+    load(pregs_.lnfG, map_.lnfGamma, 1, d);
+    load(pregs_.lnfB, map_.lnfBeta, 1, d);
+    return p;
+}
+
+void
+PnmLibrary::loadModel(const llm::ModelConfig &cfg, std::uint64_t seed,
+                      std::function<void()> on_done)
+{
+    fatal_if(loaded_, "model already loaded");
+    cfg_ = cfg;
+    seed_ = seed;
+    if (layerCount_ == 0)
+        layerCount_ = cfg_.numLayers;
+    fatal_if(firstLayer_ + layerCount_ > cfg_.numLayers,
+             "layer range exceeds the model");
+    fatal_if(cfg_.numHeads % shard_ != 0 || cfg_.dModel % shard_ != 0 ||
+                 cfg_.ffnDim % shard_ != 0 ||
+                 cfg_.vocabSize % shard_ != 0,
+             "tensor shard degree ", shard_,
+             " must divide heads/dims/vocab");
+
+    layoutModel();
+    materializeWeights();
+
+    // Persistent registers for biases and norm parameters. Column-
+    // parallel outputs (QKV, FC1, LM head) shrink with the shard;
+    // row-parallel outputs (proj, FC2) and the norms stay full-width.
+    auto &rf = accel_.registerFile();
+    const std::uint32_t d = cfg_.dModel;
+    const std::uint32_t f = cfg_.ffnDim;
+    const std::uint32_t ds = d / shard_;
+    const std::uint32_t fs = f / shard_;
+    pregs_.layers.resize(layerCount_);
+    for (std::uint32_t i = 0; i < layerCount_; ++i) {
+        PersistentRegs::Layer &r = pregs_.layers[i];
+        r.ln1G = rf.alloc(1, d, "ln1G");
+        r.ln1B = rf.alloc(1, d, "ln1B");
+        r.ln2G = rf.alloc(1, d, "ln2G");
+        r.ln2B = rf.alloc(1, d, "ln2B");
+        r.bQkv = rf.alloc(1, 3 * ds, "bQkv");
+        r.bQ = rf.alloc(1, ds, "bQ");
+        r.bK = rf.alloc(1, ds, "bK");
+        r.bV = rf.alloc(1, ds, "bV");
+        r.bProj = rf.alloc(1, d, "bProj");
+        r.bFc1 = rf.alloc(1, fs, "bFc1");
+        r.bFc2 = rf.alloc(1, d, "bFc2");
+    }
+    pregs_.lnfG = rf.alloc(1, d, "lnfG");
+    pregs_.lnfB = rf.alloc(1, d, "lnfB");
+
+    // Gen-stage working registers (reused every token).
+    gregs_.x = rf.alloc(1, d, "gen.x");
+    gregs_.xn = rf.alloc(1, d, "gen.xn");
+    gregs_.q = rf.alloc(1, ds, "gen.q");
+    gregs_.k = rf.alloc(1, ds, "gen.k");
+    gregs_.v = rf.alloc(1, ds, "gen.v");
+    gregs_.rowmax = rf.alloc(1, cfg_.numHeads / shard_, "gen.rowmax");
+    gregs_.ctx = rf.alloc(1, ds, "gen.ctx");
+    gregs_.tmp = rf.alloc(1, d, "gen.tmp");
+    gregs_.ff = rf.alloc(1, fs, "gen.ff");
+    gregs_.logits = rf.alloc(1, cfg_.vocabSize / shard_, "gen.logits");
+    gregs_.scores = isa::NoReg; // sized per token
+
+    loaded_ = true;
+    seqLen_ = 0;
+
+    // Set the architectural control registers (layer count, token
+    // limits, buffer addresses - §VI step 1) then run the preload.
+    driver_.setParam(0, cfg_.numLayers, nullptr);
+    driver_.setParam(1, cfg_.maxPositions, nullptr);
+    driver_.setParam(2, static_cast<std::uint32_t>(map_.inputBuffer),
+                     nullptr);
+    driver_.setParam(3, static_cast<std::uint32_t>(map_.outputBuffer),
+                     nullptr);
+
+    const Program preload = buildPreloadProgram();
+    driver_.loadProgram(preload, [this, on_done] {
+        driver_.execute([on_done] {
+            if (on_done)
+                on_done();
+        });
+    });
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+Instruction
+vpuOp(Opcode op, RegId dst, RegId src0, std::uint32_t m, std::uint32_t n)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = dst;
+    i.src0 = src0;
+    i.m = m;
+    i.n = n;
+    return i;
+}
+
+} // namespace
+
+isa::Program
+PnmLibrary::layerNormCode(RegId dst, RegId src, RegId gamma, RegId beta,
+                          std::uint32_t m, std::uint32_t n) const
+{
+    Program p;
+    Instruction i = vpuOp(Opcode::VpuLayerNorm, dst, src, m, n);
+    i.src1 = gamma;
+    i.aux = beta;
+    i.scale = 1e-5f;
+    p.append(i);
+    return p;
+}
+
+isa::Program
+PnmLibrary::conv1dCode(RegId dst, RegId src, Addr weights, RegId bias,
+                       std::uint32_t m, std::uint32_t n,
+                       std::uint32_t k) const
+{
+    Program p;
+    Instruction i;
+    i.op = Opcode::MpuConv2dPea;
+    i.flags = isa::FlagTransB | isa::FlagMemOperand;
+    if (bias != isa::NoReg) {
+        i.flags |= isa::FlagBias;
+        i.aux = bias;
+    }
+    i.dst = dst;
+    i.src0 = src;
+    i.m = m;
+    i.n = n;
+    i.k = k;
+    i.imm = 1;
+    i.memAddr = weights;
+    p.append(i);
+    return p;
+}
+
+isa::Program
+PnmLibrary::maskedMmCode(RegId dst, RegId a, RegId b, std::uint32_t m,
+                         std::uint32_t n, std::uint32_t k,
+                         float scale) const
+{
+    Program p;
+    Instruction i;
+    i.op = Opcode::MpuMaskedMmPea;
+    i.flags = isa::FlagTransB | isa::FlagCausal;
+    i.dst = dst;
+    i.src0 = a;
+    i.src1 = b;
+    i.m = m;
+    i.n = n;
+    i.k = k;
+    i.imm = 0;
+    i.scale = scale;
+    p.append(i);
+    return p;
+}
+
+isa::Program
+PnmLibrary::softmaxCode(RegId dst, RegId src, std::uint32_t m,
+                        std::uint32_t n) const
+{
+    Program p;
+    p.append(vpuOp(Opcode::VpuSoftmax, dst, src, m, n));
+    return p;
+}
+
+isa::Program
+PnmLibrary::geluCode(RegId dst, RegId src, std::uint32_t m,
+                     std::uint32_t n) const
+{
+    Program p;
+    p.append(vpuOp(Opcode::VpuGelu, dst, src, m, n));
+    return p;
+}
+
+isa::Program
+PnmLibrary::buildSumProgram(std::uint32_t l_in)
+{
+    auto &rf = accel_.registerFile();
+    const std::uint32_t d = cfg_.dModel;
+    const std::uint32_t ds = d / shard_;
+    const std::uint32_t fs = cfg_.ffnDim / shard_;
+    const std::uint32_t hs = cfg_.numHeads / shard_;
+    const std::uint32_t dh = cfg_.headDim();
+    const float inv_sqrt_dh =
+        1.0f / std::sqrt(static_cast<float>(dh));
+
+    // Stage-local registers. They must outlive the program's
+    // *execution*, so the previous stage's set is recycled here and the
+    // new set is retained in sumTemps_.
+    for (RegId id : sumTemps_)
+        rf.free(id);
+    sumTemps_.clear();
+
+    std::vector<RegId> temps;
+    auto tmp = [&](std::uint32_t r, std::uint32_t c, const char *nm) {
+        RegId id = rf.alloc(r, c, nm);
+        temps.push_back(id);
+        return id;
+    };
+
+    const RegId x = tmp(l_in, d, "sum.x");
+    const RegId xn = tmp(l_in, d, "sum.xn");
+    const RegId qkv = tmp(l_in, 3 * ds, "sum.qkv");
+    const RegId q = tmp(l_in, ds, "sum.q");
+    const RegId k = tmp(l_in, ds, "sum.k");
+    const RegId v = tmp(l_in, ds, "sum.v");
+    const RegId qh = tmp(l_in, dh, "sum.qh");
+    const RegId kh = tmp(l_in, dh, "sum.kh");
+    const RegId vh = tmp(l_in, dh, "sum.vh");
+    const RegId scores = tmp(l_in, l_in, "sum.scores");
+    const RegId mx = tmp(1, l_in, "sum.mx");
+    const RegId ctxh = tmp(l_in, dh, "sum.ctxh");
+    const RegId attn = tmp(l_in, ds, "sum.attn");
+    const RegId tProj = tmp(l_in, d, "sum.tProj");
+    const RegId tFf = tmp(l_in, fs, "sum.tFf");
+    const RegId last = tmp(1, d, "sum.last");
+    const RegId lastn = tmp(1, d, "sum.lastn");
+
+    Program p;
+
+    // Input activations (host wrote embeddings to the input buffer).
+    {
+        Instruction i;
+        i.op = Opcode::DmaLoad;
+        i.dst = x;
+        i.m = l_in;
+        i.n = d;
+        i.memAddr = map_.inputBuffer;
+        p.append(i);
+    }
+
+    auto slice = [&](RegId dst, RegId src, std::uint32_t m,
+                     std::uint32_t n, std::uint32_t src_col,
+                     std::uint32_t dst_col, std::uint32_t src_row = 0) {
+        Instruction i;
+        i.op = Opcode::MpuSlice;
+        i.dst = dst;
+        i.src0 = src;
+        i.m = m;
+        i.n = n;
+        i.k = src_row;
+        i.imm = (src_col << 16) | dst_col;
+        p.append(i);
+    };
+
+    auto conv = [&](RegId dst, RegId src, Addr w, RegId bias,
+                    std::uint32_t m, std::uint32_t n, std::uint32_t kk,
+                    bool gelu) {
+        Instruction i;
+        i.op = gelu ? Opcode::MpuConv2dGeluPea : Opcode::MpuConv2dPea;
+        i.flags = isa::FlagTransB | isa::FlagMemOperand | isa::FlagBias;
+        i.dst = dst;
+        i.src0 = src;
+        i.aux = bias;
+        i.m = m;
+        i.n = n;
+        i.k = kk;
+        i.imm = 1;
+        i.memAddr = w;
+        p.append(i);
+    };
+
+    for (std::uint32_t l = firstLayer_;
+         l < firstLayer_ + layerCount_; ++l) {
+        const LayerAddrs &a = map_.layers[l];
+        const PersistentRegs::Layer &pr =
+            pregs_.layers[l - firstLayer_];
+
+        // ln1 -> qkv (fused FC via CONV2D_PEA).
+        {
+            Instruction i = vpuOp(Opcode::VpuLayerNorm, xn, x, l_in, d);
+            i.src1 = pr.ln1G;
+            i.aux = pr.ln1B;
+            i.scale = 1e-5f;
+            p.append(i);
+        }
+        conv(qkv, xn, a.wQkvT, pr.bQkv, l_in, 3 * ds, d, false);
+        slice(q, qkv, l_in, ds, 0, 0);
+        slice(k, qkv, l_in, ds, ds, 0);
+        slice(v, qkv, l_in, ds, 2 * ds, 0);
+
+        // Write K/V rows 0..l_in-1 into the caches.
+        for (RegId src : {k, v}) {
+            Instruction i;
+            i.op = Opcode::DmaStore;
+            i.src0 = src;
+            i.m = l_in;
+            i.n = ds;
+            i.memAddr = src == k ? a.kCache : a.vCache;
+            i.flags = 0;
+            p.append(i);
+        }
+
+        // Per-head masked attention (this shard's heads).
+        for (std::uint32_t head = 0; head < hs; ++head) {
+            slice(qh, q, l_in, dh, head * dh, 0);
+            slice(kh, k, l_in, dh, head * dh, 0);
+            slice(vh, v, l_in, dh, head * dh, 0);
+            {
+                Instruction i;
+                i.op = Opcode::MpuMaskedMmRedumaxPea;
+                i.flags = isa::FlagTransB | isa::FlagCausal;
+                i.dst = scores;
+                i.src0 = qh;
+                i.src1 = kh;
+                i.aux = mx;
+                i.m = l_in;
+                i.n = l_in;
+                i.k = dh;
+                i.imm = 0;
+                i.scale = inv_sqrt_dh;
+                p.append(i);
+            }
+            {
+                Instruction i =
+                    vpuOp(Opcode::VpuSoftmax, scores, scores, l_in,
+                          l_in);
+                i.aux = mx; // row maxima from REDUMAX
+                p.append(i);
+            }
+            {
+                Instruction i;
+                i.op = Opcode::MpuMmPea;
+                i.dst = ctxh;
+                i.src0 = scores;
+                i.src1 = vh;
+                i.m = l_in;
+                i.n = dh;
+                i.k = l_in;
+                p.append(i);
+            }
+            slice(attn, ctxh, l_in, dh, 0, head * dh);
+        }
+
+        conv(tProj, attn, a.wProjT, pr.bProj, l_in, d, ds, false);
+        {
+            Instruction i = vpuOp(Opcode::VpuAdd, x, x, l_in, d);
+            i.src1 = tProj;
+            p.append(i);
+        }
+
+        // FFN.
+        {
+            Instruction i = vpuOp(Opcode::VpuLayerNorm, xn, x, l_in, d);
+            i.src1 = pr.ln2G;
+            i.aux = pr.ln2B;
+            i.scale = 1e-5f;
+            p.append(i);
+        }
+        conv(tFf, xn, a.wFc1T, pr.bFc1, l_in, fs, d, true); // fused GELU
+        conv(xn, tFf, a.wFc2T, pr.bFc2, l_in, d, fs, false);
+        {
+            Instruction i = vpuOp(Opcode::VpuAdd, x, x, l_in, d);
+            i.src1 = xn;
+            p.append(i);
+        }
+    }
+
+    if (firstLayer_ + layerCount_ == cfg_.numLayers) {
+        // Final LN on the last token + tied LM head.
+        slice(last, x, 1, d, 0, 0, l_in - 1);
+        {
+            Instruction i = vpuOp(Opcode::VpuLayerNorm, lastn, last, 1,
+                                  d);
+            i.src1 = pregs_.lnfG;
+            i.aux = pregs_.lnfB;
+            i.scale = 1e-5f;
+            p.append(i);
+        }
+        const RegId logits =
+            tmp(1, cfg_.vocabSize / shard_, "sum.logits");
+        {
+            Instruction i;
+            i.op = Opcode::MpuMv;
+            i.flags = isa::FlagMemOperand;
+            i.dst = logits;
+            i.src0 = lastn;
+            i.m = cfg_.vocabSize / shard_;
+            i.n = d;
+            i.memAddr = map_.tokEmbed;
+            p.append(i);
+        }
+        Instruction st;
+        st.op = Opcode::DmaStore;
+        st.src0 = logits;
+        st.m = 1;
+        st.n = cfg_.vocabSize / shard_;
+        st.memAddr = map_.outputBuffer;
+        p.append(st);
+    } else {
+        // Model-parallel handoff: ship the activations out.
+        Instruction st;
+        st.op = Opcode::DmaStore;
+        st.src0 = x;
+        st.m = l_in;
+        st.n = d;
+        st.memAddr = map_.outputBuffer;
+        p.append(st);
+    }
+
+    sumTemps_ = std::move(temps);
+    return p;
+}
+
+isa::Program
+PnmLibrary::buildGenProgram(std::uint32_t ctx_len)
+{
+    auto &rf = accel_.registerFile();
+    const std::uint32_t d = cfg_.dModel;
+    const std::uint32_t ds = d / shard_;
+    const std::uint32_t fs = cfg_.ffnDim / shard_;
+    const std::uint32_t hs = cfg_.numHeads / shard_;
+    const std::uint32_t dh = cfg_.headDim();
+    const float inv_sqrt_dh =
+        1.0f / std::sqrt(static_cast<float>(dh));
+
+    // Context-length-dependent score register.
+    if (gregs_.scores != isa::NoReg)
+        rf.free(gregs_.scores);
+    gregs_.scores = rf.alloc(hs, ctx_len, "gen.scores");
+
+    Program p;
+    {
+        Instruction i;
+        i.op = Opcode::DmaLoad;
+        i.dst = gregs_.x;
+        i.m = 1;
+        i.n = d;
+        i.memAddr = map_.inputBuffer;
+        p.append(i);
+    }
+
+    auto mv = [&](RegId dst, RegId src, Addr w, RegId bias,
+                  std::uint32_t m, std::uint32_t n) {
+        Instruction i;
+        i.op = Opcode::MpuMv;
+        i.flags = isa::FlagMemOperand;
+        if (bias != isa::NoReg) {
+            i.flags |= isa::FlagBias;
+            i.aux = bias;
+        }
+        i.dst = dst;
+        i.src0 = src;
+        i.m = m;
+        i.n = n;
+        i.memAddr = w;
+        p.append(i);
+    };
+
+    for (std::uint32_t l = firstLayer_;
+         l < firstLayer_ + layerCount_; ++l) {
+        const LayerAddrs &a = map_.layers[l];
+        const PersistentRegs::Layer &pr =
+            pregs_.layers[l - firstLayer_];
+
+        {
+            Instruction i =
+                vpuOp(Opcode::VpuLayerNorm, gregs_.xn, gregs_.x, 1, d);
+            i.src1 = pr.ln1G;
+            i.aux = pr.ln1B;
+            i.scale = 1e-5f;
+            p.append(i);
+        }
+        // Q/K/V as three adder-tree GEMVs over rows of WqkvT (this
+        // shard's ds output rows each).
+        mv(gregs_.q, gregs_.xn, a.wQkvT, pr.bQ, ds, d);
+        mv(gregs_.k, gregs_.xn, a.wQkvT + 2ull * ds * d, pr.bK, ds, d);
+        mv(gregs_.v, gregs_.xn, a.wQkvT + 4ull * ds * d, pr.bV, ds, d);
+
+        // Append K/V at row ctx_len-1 of this shard's cache slice.
+        for (bool is_k : {true, false}) {
+            Instruction i;
+            i.op = Opcode::DmaStore;
+            i.src0 = is_k ? gregs_.k : gregs_.v;
+            i.m = 1;
+            i.n = ds;
+            i.memAddr = (is_k ? a.kCache : a.vCache) +
+                2ull * (ctx_len - 1) * ds;
+            p.append(i);
+        }
+
+        // Fused multi-head attention over the streamed KV cache.
+        {
+            Instruction i;
+            i.op = Opcode::MpuMmRedumaxPea;
+            i.flags = isa::FlagMultiHead | isa::FlagTransB |
+                isa::FlagMemOperand;
+            i.dst = gregs_.scores;
+            i.src0 = gregs_.q;
+            i.aux = gregs_.rowmax;
+            i.m = hs;
+            i.n = ctx_len;
+            i.k = dh;
+            i.scale = inv_sqrt_dh;
+            i.memAddr = a.kCache;
+            p.append(i);
+        }
+        {
+            Instruction i = vpuOp(Opcode::VpuSoftmax, gregs_.scores,
+                                  gregs_.scores, hs, ctx_len);
+            i.aux = gregs_.rowmax;
+            p.append(i);
+        }
+        {
+            Instruction i;
+            i.op = Opcode::MpuMmPea;
+            i.flags = isa::FlagMultiHead | isa::FlagMemOperand;
+            i.dst = gregs_.ctx; // flat 1 x ds
+            i.src0 = gregs_.scores;
+            i.m = hs;
+            i.n = dh;
+            i.k = ctx_len;
+            i.memAddr = a.vCache;
+            p.append(i);
+        }
+
+        // Row-parallel projection: full-width partial sums (the host
+        // reduces across shards).
+        mv(gregs_.tmp, gregs_.ctx, a.wProjT, pr.bProj, d, ds);
+        {
+            Instruction i = vpuOp(Opcode::VpuAdd, gregs_.x, gregs_.x, 1,
+                                  d);
+            i.src1 = gregs_.tmp;
+            p.append(i);
+        }
+
+        {
+            Instruction i =
+                vpuOp(Opcode::VpuLayerNorm, gregs_.xn, gregs_.x, 1, d);
+            i.src1 = pr.ln2G;
+            i.aux = pr.ln2B;
+            i.scale = 1e-5f;
+            p.append(i);
+        }
+        mv(gregs_.ff, gregs_.xn, a.wFc1T, pr.bFc1, fs, d);
+        p.append(vpuOp(Opcode::VpuGelu, gregs_.ff, gregs_.ff, 1, fs));
+        mv(gregs_.tmp, gregs_.ff, a.wFc2T, pr.bFc2, d, fs);
+        {
+            Instruction i = vpuOp(Opcode::VpuAdd, gregs_.x, gregs_.x, 1,
+                                  d);
+            i.src1 = gregs_.tmp;
+            p.append(i);
+        }
+    }
+
+    if (firstLayer_ + layerCount_ == cfg_.numLayers) {
+        {
+            Instruction i =
+                vpuOp(Opcode::VpuLayerNorm, gregs_.xn, gregs_.x, 1, d);
+            i.src1 = pregs_.lnfG;
+            i.aux = pregs_.lnfB;
+            i.scale = 1e-5f;
+            p.append(i);
+        }
+        mv(gregs_.logits, gregs_.xn, map_.tokEmbed, isa::NoReg,
+           cfg_.vocabSize / shard_, d);
+        Instruction st;
+        st.op = Opcode::DmaStore;
+        st.src0 = gregs_.logits;
+        st.m = 1;
+        st.n = cfg_.vocabSize / shard_;
+        st.memAddr = map_.outputBuffer;
+        p.append(st);
+    } else {
+        Instruction st;
+        st.op = Opcode::DmaStore;
+        st.src0 = gregs_.x;
+        st.m = 1;
+        st.n = d;
+        st.memAddr = map_.outputBuffer;
+        p.append(st);
+    }
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// Execution flow (Fig. 9 steps 1-4)
+// ---------------------------------------------------------------------
+
+std::uint32_t
+PnmLibrary::readArgmaxFromOutput()
+{
+    accel::FunctionalMemory *fmem = accel_.functionalMemory();
+    if (fmem == nullptr)
+        return 0; // timing-only mode
+    HalfTensor logits =
+        fmem->readTensor(map_.outputBuffer, 1, cfg_.vocabSize);
+    std::uint32_t best = 0;
+    float best_v = logits.at(0, 0).toFloat();
+    for (std::uint32_t j = 1; j < cfg_.vocabSize; ++j) {
+        const float v = logits.at(0, j).toFloat();
+        if (v > best_v) {
+            best_v = v;
+            best = j;
+        }
+    }
+    return best;
+}
+
+void
+PnmLibrary::runStage(const isa::Program &prog,
+                     std::function<void(std::uint32_t)> on_token)
+{
+    lastProgramSize_ = prog.size();
+    stagesRun_ += 1;
+    driver_.loadProgram(prog, [this, on_token] {
+        driver_.execute([this, on_token] {
+            // Read the logits back over CXL.mem, then argmax on the
+            // host (sampling is host-side, as in the paper's flow).
+            driver_.readMemory(
+                map_.outputBuffer, 2ull * cfg_.vocabSize,
+                [this, on_token] {
+                    if (on_token)
+                        on_token(readArgmaxFromOutput());
+                });
+        });
+    });
+}
+
+void
+PnmLibrary::prefill(const std::vector<std::uint32_t> &prompt,
+                    std::function<void(std::uint32_t)> on_token)
+{
+    fatal_if(!loaded_, "prefill before loadModel");
+    fatal_if(prompt.empty(), "empty prompt");
+    fatal_if(prompt.size() > cfg_.maxPositions, "prompt too long");
+    seqLen_ = 0;
+
+    const std::uint32_t l_in = static_cast<std::uint32_t>(prompt.size());
+    accel::FunctionalMemory *fmem = accel_.functionalMemory();
+    if (fmem != nullptr) {
+        // Host-side embedding gather into the input buffer.
+        const auto tok = llm::makeWeight(cfg_, seed_, -1,
+                                         llm::WeightSlot::TokEmbed);
+        const auto pos = llm::makeWeight(cfg_, seed_, -1,
+                                         llm::WeightSlot::PosEmbed);
+        HalfTensor x(l_in, cfg_.dModel);
+        for (std::uint32_t r = 0; r < l_in; ++r) {
+            fatal_if(prompt[r] >= cfg_.vocabSize, "token out of range");
+            for (std::uint32_t c = 0; c < cfg_.dModel; ++c)
+                x.at(r, c) = tok.at(prompt[r], c) + pos.at(r, c);
+        }
+        fmem->writeTensor(map_.inputBuffer, x);
+    }
+
+    const Program p = buildSumProgram(l_in);
+    seqLen_ = l_in;
+    // Host writes the embeddings over CXL.mem, then runs the stage.
+    driver_.writeMemory(map_.inputBuffer, 2ull * l_in * cfg_.dModel,
+                        [this, p, on_token] {
+                            runStage(p, [this, on_token](
+                                            std::uint32_t t) {
+                                tokensGenerated_ += 1;
+                                on_token(t);
+                            });
+                        });
+}
+
+void
+PnmLibrary::decode(std::uint32_t token,
+                   std::function<void(std::uint32_t)> on_token)
+{
+    fatal_if(!loaded_, "decode before loadModel");
+    fatal_if(seqLen_ == 0, "decode before prefill");
+    fatal_if(seqLen_ >= cfg_.maxPositions, "context overflow");
+
+    accel::FunctionalMemory *fmem = accel_.functionalMemory();
+    if (fmem != nullptr) {
+        const auto tok = llm::makeWeight(cfg_, seed_, -1,
+                                         llm::WeightSlot::TokEmbed);
+        const auto pos = llm::makeWeight(cfg_, seed_, -1,
+                                         llm::WeightSlot::PosEmbed);
+        fatal_if(token >= cfg_.vocabSize, "token out of range");
+        HalfTensor x(1, cfg_.dModel);
+        for (std::uint32_t c = 0; c < cfg_.dModel; ++c)
+            x.at(0, c) = tok.at(token, c) +
+                pos.at(static_cast<std::uint32_t>(seqLen_), c);
+        fmem->writeTensor(map_.inputBuffer, x);
+    }
+
+    const std::uint32_t ctx = static_cast<std::uint32_t>(seqLen_) + 1;
+    const Program p = buildGenProgram(ctx);
+    seqLen_ = ctx;
+    driver_.writeMemory(map_.inputBuffer, 2ull * cfg_.dModel,
+                        [this, p, on_token] {
+                            runStage(p, [this, on_token](
+                                            std::uint32_t t) {
+                                tokensGenerated_ += 1;
+                                on_token(t);
+                            });
+                        });
+}
+
+void
+PnmLibrary::generate(const std::vector<std::uint32_t> &prompt,
+                     std::size_t n,
+                     std::function<void(std::vector<std::uint32_t>)>
+                         on_done)
+{
+    auto out = std::make_shared<std::vector<std::uint32_t>>();
+    auto step = std::make_shared<std::function<void(std::uint32_t)>>();
+    *step = [this, out, n, on_done, step](std::uint32_t tok) {
+        out->push_back(tok);
+        if (out->size() >= n) {
+            on_done(*out);
+            // Break the self-referential closure after it returns.
+            eventQueue().scheduleOneShot(name() + ".genCleanup", now(),
+                                         [step] { *step = nullptr; });
+            return;
+        }
+        decode(tok, *step);
+    };
+    prefill(prompt, *step);
+}
+
+} // namespace runtime
+} // namespace cxlpnm

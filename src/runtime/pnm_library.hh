@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The CXL-PNM library (§VI): the user-facing API the paper exposes to
+ * Python, here as C++. It allocates device memory for model parameters
+ * and KV caches, loads (synthetic) weights through the driver, generates
+ * acceleration code (instruction sequences) for whole inference stages
+ * and for the individual layer functions the paper lists (LayerNorm,
+ * Conv1D/FC, MaskedMM, Softmax, GELU), and drives execution through the
+ * doorbell/ISR flow of Fig. 9.
+ */
+
+#ifndef CXLPNM_RUNTIME_PNM_LIBRARY_HH
+#define CXLPNM_RUNTIME_PNM_LIBRARY_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "llm/model_config.hh"
+#include "llm/synthetic.hh"
+#include "runtime/allocator.hh"
+#include "runtime/driver.hh"
+
+namespace cxlpnm
+{
+namespace runtime
+{
+
+/** Device-memory addresses of one layer's parameters. */
+struct LayerAddrs
+{
+    Addr wQkvT = 0; // (3d x d): rows = Q outputs, K outputs, V outputs
+    Addr wProjT = 0; // (d x d)
+    Addr wFc1T = 0;  // (f x d)
+    Addr wFc2T = 0;  // (d x f)
+    Addr bQkv = 0;   // (1 x 3d)
+    Addr bProj = 0;
+    Addr bFc1 = 0;
+    Addr bFc2 = 0;
+    Addr ln1Gamma = 0, ln1Beta = 0;
+    Addr ln2Gamma = 0, ln2Beta = 0;
+    Addr kCache = 0; // (maxPositions x d)
+    Addr vCache = 0;
+};
+
+/** Full device-memory layout of a loaded model. */
+struct WeightMap
+{
+    Addr tokEmbed = 0; // (vocab x d), also the tied LM head
+    Addr posEmbed = 0; // (maxPositions x d)
+    Addr lnfGamma = 0, lnfBeta = 0;
+    Addr inputBuffer = 0;  // staging for host-written activations
+    Addr outputBuffer = 0; // logits land here
+    std::vector<LayerAddrs> layers;
+};
+
+/** RF-resident registers that persist across stages. */
+struct PersistentRegs
+{
+    struct Layer
+    {
+        isa::RegId ln1G, ln1B, ln2G, ln2B;
+        isa::RegId bQkv; // (1 x 3d) for the sum stage
+        isa::RegId bQ, bK, bV; // (1 x d) each for gen-stage MVs
+        isa::RegId bProj, bFc1, bFc2;
+    };
+    std::vector<Layer> layers;
+    isa::RegId lnfG = isa::NoReg, lnfB = isa::NoReg;
+};
+
+/** The library: one instance manages one CXL-PNM device. */
+class PnmLibrary : public SimObject
+{
+  public:
+    PnmLibrary(EventQueue &eq, stats::StatGroup *parent, std::string name,
+               PnmDriver &driver, accel::Accelerator &accel,
+               std::uint64_t device_capacity);
+
+    /**
+     * Allocate and load a model. With a functional accelerator the
+     * synthetic weights are materialised into device memory; in
+     * timing-only mode just the layout and persistent registers are set
+     * up. @p on_done fires after the preload program completes.
+     */
+    void loadModel(const llm::ModelConfig &cfg, std::uint64_t seed,
+                   std::function<void()> on_done);
+
+    /**
+     * Layer-range restriction for pipeline-parallel setups: this
+     * device executes layers [first, first+count) only. Must be called
+     * before loadModel; by default the device runs every layer.
+     */
+    void setLayerRange(std::uint32_t first, std::uint32_t count);
+
+    /**
+     * Tensor-parallel shard (§VIII-A "model parallelism"): this device
+     * holds 1/degree of every layer's weights and heads, mirroring
+     * FasterTransformer's column/row-parallel split. Timing-only (the
+     * functional model requires degree 1, since the cross-device
+     * reductions happen on the host). Must precede loadModel.
+     */
+    void setTensorShard(int degree);
+
+    /** Sum stage over the prompt; yields the next (greedy) token. */
+    void prefill(const std::vector<std::uint32_t> &prompt,
+                 std::function<void(std::uint32_t)> on_token);
+
+    /** One gen stage; yields the next (greedy) token. */
+    void decode(std::uint32_t token,
+                std::function<void(std::uint32_t)> on_token);
+
+    /** Prefill then generate @p n tokens greedily. */
+    void generate(const std::vector<std::uint32_t> &prompt,
+                  std::size_t n,
+                  std::function<void(std::vector<std::uint32_t>)> on_done);
+
+    const WeightMap &weightMap() const { return map_; }
+    const llm::ModelConfig &model() const { return cfg_; }
+    std::size_t contextLength() const { return seqLen_; }
+    CxlMemAllocator &allocator() { return alloc_; }
+
+    /** Instruction count of the last stage program (for tests). */
+    std::size_t lastProgramSize() const { return lastProgramSize_; }
+
+    // --- Paper's layer-function API (§VI, Fig. 9) ---
+    // Each builds a self-contained acceleration-code sequence against
+    // caller-provided registers, mirroring the Python library calls.
+    isa::Program layerNormCode(isa::RegId dst, isa::RegId src,
+                               isa::RegId gamma, isa::RegId beta,
+                               std::uint32_t m, std::uint32_t n) const;
+    isa::Program conv1dCode(isa::RegId dst, isa::RegId src, Addr weights,
+                            isa::RegId bias, std::uint32_t m,
+                            std::uint32_t n, std::uint32_t k) const;
+    isa::Program maskedMmCode(isa::RegId dst, isa::RegId a, isa::RegId b,
+                              std::uint32_t m, std::uint32_t n,
+                              std::uint32_t k, float scale) const;
+    isa::Program softmaxCode(isa::RegId dst, isa::RegId src,
+                             std::uint32_t m, std::uint32_t n) const;
+    isa::Program geluCode(isa::RegId dst, isa::RegId src, std::uint32_t m,
+                          std::uint32_t n) const;
+
+  private:
+    struct GenRegs
+    {
+        isa::RegId x, xn, q, k, v, scores, rowmax, ctx, tmp, ff, logits;
+    };
+
+    void layoutModel();
+    void materializeWeights();
+    isa::Program buildPreloadProgram() const;
+    isa::Program buildSumProgram(std::uint32_t l_in);
+    isa::Program buildGenProgram(std::uint32_t ctx_len);
+
+    /** Host-side embedding gather + input-buffer write, then run. */
+    void runStage(const isa::Program &prog,
+                  std::function<void(std::uint32_t)> on_token);
+    std::uint32_t readArgmaxFromOutput();
+
+    PnmDriver &driver_;
+    accel::Accelerator &accel_;
+    CxlMemAllocator alloc_;
+
+    llm::ModelConfig cfg_;
+    std::uint64_t seed_ = 0;
+    bool loaded_ = false;
+    std::uint32_t firstLayer_ = 0;
+    std::uint32_t layerCount_ = 0;
+    std::uint32_t shard_ = 1;
+
+    WeightMap map_;
+    PersistentRegs pregs_;
+    GenRegs gregs_{};
+    /** Sum-stage temporaries; recycled when the next stage is built. */
+    std::vector<isa::RegId> sumTemps_;
+    std::size_t seqLen_ = 0;
+    std::size_t lastProgramSize_ = 0;
+
+    stats::Scalar stagesRun_;
+    stats::Scalar tokensGenerated_;
+};
+
+} // namespace runtime
+} // namespace cxlpnm
+
+#endif // CXLPNM_RUNTIME_PNM_LIBRARY_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Clock domains translate between cycles and ticks. Every timed component
+ * belongs to one domain (accelerator core @ 1 GHz, LPDDR5X channel,
+ * PCIe/CXL link, GPU SM clock, ...).
+ */
+
+#ifndef CXLPNM_SIM_CLOCK_DOMAIN_HH
+#define CXLPNM_SIM_CLOCK_DOMAIN_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cxlpnm
+{
+
+/** A fixed-frequency clock. */
+class ClockDomain
+{
+  public:
+    /** @param freq_hz Frequency in Hz; must divide 1 THz for exactness. */
+    explicit ClockDomain(double freq_hz)
+        : freqHz_(freq_hz),
+          period_(static_cast<Tick>(
+              static_cast<double>(tickPerSec) / freq_hz + 0.5))
+    {
+        fatal_if(freq_hz <= 0.0, "clock frequency must be positive");
+        fatal_if(freq_hz > static_cast<double>(tickPerSec),
+                 "clock frequency ", freq_hz,
+                 " Hz exceeds tick resolution (1 THz)");
+    }
+
+    double frequency() const { return freqHz_; }
+
+    /** Clock period in ticks (rounded to nearest picosecond). */
+    Tick period() const { return period_; }
+
+    /** Ticks spanned by @p c cycles. */
+    Tick
+    cyclesToTicks(Cycles c) const
+    {
+        return c.value() * period_;
+    }
+
+    /** Whole cycles elapsed after @p t ticks (rounded up). */
+    Cycles
+    ticksToCycles(Tick t) const
+    {
+        return Cycles((t + period_ - 1) / period_);
+    }
+
+    /** First tick >= @p now aligned to a clock edge. */
+    Tick
+    nextEdge(Tick now) const
+    {
+        return ((now + period_ - 1) / period_) * period_;
+    }
+
+  private:
+    double freqHz_;
+    Tick period_;
+};
+
+} // namespace cxlpnm
+
+#endif // CXLPNM_SIM_CLOCK_DOMAIN_HH

@@ -1,0 +1,105 @@
+#include "sim/config.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+
+Config
+Config::fromArgs(const std::vector<std::string> &tokens)
+{
+    Config cfg;
+    for (const std::string &tok : tokens) {
+        auto eq = tok.find('=');
+        fatal_if(eq == std::string::npos,
+                 "config token '", tok, "' is not key=value");
+        std::string key = tok.substr(0, eq);
+        fatal_if(key.empty(), "config token '", tok, "' has empty key");
+        cfg.set(key, tok.substr(eq + 1));
+    }
+    return cfg;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::optional<std::string>
+Config::raw(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    return raw(key).value_or(def);
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    auto v = raw(key);
+    if (!v)
+        return def;
+    char *end = nullptr;
+    std::int64_t out = std::strtoll(v->c_str(), &end, 0);
+    fatal_if(end == v->c_str() || *end != '\0',
+             "config key '", key, "': '", *v, "' is not an integer");
+    return out;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto v = raw(key);
+    if (!v)
+        return def;
+    char *end = nullptr;
+    double out = std::strtod(v->c_str(), &end);
+    fatal_if(end == v->c_str() || *end != '\0',
+             "config key '", key, "': '", *v, "' is not a number");
+    return out;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto v = raw(key);
+    if (!v)
+        return def;
+    std::string s = *v;
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (s == "1" || s == "true" || s == "yes" || s == "on")
+        return true;
+    if (s == "0" || s == "false" || s == "no" || s == "off")
+        return false;
+    fatal("config key '", key, "': '", *v, "' is not a boolean");
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &[k, v] : values_)
+        out.push_back(k);
+    return out;
+}
+
+} // namespace cxlpnm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A flat, dotted-key configuration store used by examples and benches to
+ * override model parameters from the command line ("key=value" tokens).
+ * Subsystem parameter structs remain the source of truth; Config is the
+ * bridge from text to those structs.
+ */
+
+#ifndef CXLPNM_SIM_CONFIG_HH
+#define CXLPNM_SIM_CONFIG_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cxlpnm
+{
+
+/** String-keyed configuration with typed accessors and defaults. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /**
+     * Parse "key=value" tokens (e.g. argv tail). Tokens without '=' are
+     * rejected with fatal(); empty keys likewise.
+     */
+    static Config fromArgs(const std::vector<std::string> &tokens);
+
+    /** Set/overwrite a key. */
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    /** Typed getters; fatal() on malformed values. */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Keys in sorted order (for help/debug dumps). */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::optional<std::string> raw(const std::string &key) const;
+
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace cxlpnm
+
+#endif // CXLPNM_SIM_CONFIG_HH

@@ -1,0 +1,122 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+
+Event::Event(std::string name, std::function<void()> callback, int priority)
+    : name_(std::move(name)), callback_(std::move(callback)),
+      priority_(priority)
+{
+    panic_if(!callback_, "event '", name_, "' constructed without callback");
+}
+
+Event::~Event()
+{
+    if (queue_)
+        queue_->deschedule(*this);
+}
+
+Tick
+Event::when() const
+{
+    panic_if(!queue_, "when() on unscheduled event '", name_, "'");
+    return when_;
+}
+
+void
+EventQueue::schedule(Event &ev, Tick when)
+{
+    panic_if(ev.queue_ != nullptr,
+             "event '", ev.name_, "' scheduled while already pending");
+    panic_if(when < now_, "event '", ev.name_, "' scheduled at tick ", when,
+             " in the past (now ", now_, ")");
+
+    ev.queue_ = this;
+    ev.when_ = when;
+    ev.sequence_ = nextSequence_++;
+    queue_.emplace(Key{when, ev.priority_, ev.sequence_}, &ev);
+}
+
+EventQueue::~EventQueue()
+{
+    // Reclaim one-shot events that never fired. Regular events are owned
+    // by their components; just detach them.
+    for (auto &[key, ev] : queue_) {
+        ev->queue_ = nullptr;
+        if (ev->oneShot_)
+            delete ev;
+    }
+    queue_.clear();
+}
+
+void
+EventQueue::scheduleOneShot(std::string name, Tick when,
+                            std::function<void()> fn, int priority)
+{
+    auto *ev = new Event(std::move(name), std::move(fn), priority);
+    ev->oneShot_ = true;
+    schedule(*ev, when);
+}
+
+void
+EventQueue::deschedule(Event &ev)
+{
+    panic_if(ev.queue_ != this,
+             "deschedule of event '", ev.name_, "' not in this queue");
+    queue_.erase(Key{ev.when_, ev.priority_, ev.sequence_});
+    ev.queue_ = nullptr;
+}
+
+void
+EventQueue::reschedule(Event &ev, Tick when)
+{
+    if (ev.queue_)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    return queue_.empty() ? MaxTick : queue_.begin()->first.when;
+}
+
+bool
+EventQueue::step()
+{
+    if (queue_.empty())
+        return false;
+
+    auto it = queue_.begin();
+    Event *ev = it->second;
+    now_ = it->first.when;
+    queue_.erase(it);
+    ev->queue_ = nullptr;
+    ++fired_;
+    ev->callback_();
+    if (ev->oneShot_) {
+        panic_if(ev->queue_ != nullptr,
+                 "one-shot event '", ev->name_, "' rescheduled itself");
+        delete ev;
+    }
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (!queue_.empty() && queue_.begin()->first.when <= limit) {
+        step();
+        ++n;
+    }
+    if (now_ < limit && limit != MaxTick)
+        now_ = limit;
+    return n;
+}
+
+} // namespace cxlpnm

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The queue keeps (tick, priority, sequence)-ordered callbacks. Events
+ * scheduled for the same tick fire in priority order, then in scheduling
+ * order, which makes simulations deterministic regardless of container
+ * iteration details.
+ */
+
+#ifndef CXLPNM_SIM_EVENT_QUEUE_HH
+#define CXLPNM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace cxlpnm
+{
+
+class EventQueue;
+
+/**
+ * A schedulable callback. An Event object is reusable: it can be scheduled,
+ * fire, and be scheduled again, but it can be in the queue at most once at
+ * a time. Lifetime is owned by the creating component (typically a member
+ * of a SimObject), never by the queue.
+ */
+class Event
+{
+  public:
+    /** Default priorities; lower value fires earlier within a tick. */
+    static constexpr int defaultPriority = 100;
+    /** Stat-dump/report events fire after all model activity in a tick. */
+    static constexpr int reportPriority = 1000;
+
+    /**
+     * @param name     Debug name, shown in panic messages.
+     * @param callback Invoked when the event fires.
+     * @param priority Intra-tick ordering; lower fires first.
+     */
+    Event(std::string name, std::function<void()> callback,
+          int priority = defaultPriority);
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+    ~Event();
+
+    const std::string &name() const { return name_; }
+    int priority() const { return priority_; }
+    bool scheduled() const { return queue_ != nullptr; }
+
+    /** Tick this event will fire at; panics unless scheduled. */
+    Tick when() const;
+
+  private:
+    friend class EventQueue;
+
+    std::string name_;
+    std::function<void()> callback_;
+    int priority_;
+
+    /** Owned by the queue and deleted after firing (scheduleOneShot). */
+    bool oneShot_ = false;
+
+    /** Non-null while in a queue. */
+    EventQueue *queue_ = nullptr;
+    Tick when_ = 0;
+    std::uint64_t sequence_ = 0;
+};
+
+/**
+ * The event queue itself. One queue drives one simulation; components are
+ * handed a reference at construction.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue();
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p ev at absolute tick @p when (>= now). Panics if the
+     * event is already scheduled or the tick is in the past.
+     */
+    void schedule(Event &ev, Tick when);
+
+    /**
+     * Fire @p fn once at tick @p when. The queue owns the backing event
+     * and frees it after it fires (or at queue destruction). Handy for
+     * fire-and-forget latencies where no reusable Event member exists.
+     */
+    void scheduleOneShot(std::string name, Tick when,
+                         std::function<void()> fn,
+                         int priority = Event::defaultPriority);
+
+    /** Remove a scheduled event without firing it. */
+    void deschedule(Event &ev);
+
+    /** Deschedule (if scheduled) then schedule at a new tick. */
+    void reschedule(Event &ev, Tick when);
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t size() const { return queue_.size(); }
+
+    /** Tick of the next pending event; MaxTick when empty. */
+    Tick nextTick() const;
+
+    /**
+     * Run until the queue drains or @p limit is passed, whichever is
+     * first. Returns the number of events fired.
+     */
+    std::uint64_t run(Tick limit = MaxTick);
+
+    /** Fire events until (and including) tick @p until. */
+    std::uint64_t runUntil(Tick until) { return run(until); }
+
+    /** Fire exactly one event, if any. Returns true if one fired. */
+    bool step();
+
+    /** Total events fired since construction. */
+    std::uint64_t eventsFired() const { return fired_; }
+
+  private:
+    struct Key
+    {
+        Tick when;
+        int priority;
+        std::uint64_t sequence;
+
+        bool
+        operator<(const Key &o) const
+        {
+            if (when != o.when)
+                return when < o.when;
+            if (priority != o.priority)
+                return priority < o.priority;
+            return sequence < o.sequence;
+        }
+    };
+
+    std::map<Key, Event *> queue_;
+    Tick now_ = 0;
+    std::uint64_t nextSequence_ = 0;
+    std::uint64_t fired_ = 0;
+};
+
+} // namespace cxlpnm
+
+#endif // CXLPNM_SIM_EVENT_QUEUE_HH

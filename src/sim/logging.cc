@@ -1,0 +1,57 @@
+#include "sim/logging.hh"
+
+#include <iostream>
+
+namespace cxlpnm
+{
+
+namespace
+{
+LogLevel g_level = LogLevel::Info;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = msgCat("panic: ", msg, " @ ", file, ":", line);
+    if (g_level >= LogLevel::Error)
+        std::cerr << full << "\n";
+    throw PanicError(full);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = msgCat("fatal: ", msg, " @ ", file, ":", line);
+    if (g_level >= LogLevel::Error)
+        std::cerr << full << "\n";
+    throw FatalError(full);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (g_level >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_level >= LogLevel::Info)
+        std::cout << "info: " << msg << "\n";
+}
+
+} // namespace cxlpnm

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug in this
+ *            code base); aborts so a debugger/core dump is useful.
+ * fatal()  - the simulation cannot continue because of a user error (bad
+ *            configuration, impossible parameters); exits with status 1.
+ * warn()   - something is modeled approximately; simulation continues.
+ * inform() - plain status output.
+ *
+ * All take printf-free, iostream-free std::format-style messages built by
+ * the caller; we accept a pre-formatted string to keep the interface tiny.
+ */
+
+#ifndef CXLPNM_SIM_LOGGING_HH
+#define CXLPNM_SIM_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cxlpnm
+{
+
+/**
+ * Thrown by panic(): an internal invariant of the simulator was violated.
+ * Tests catch this to exercise negative paths; main() treats it as a bug.
+ */
+class PanicError : public std::logic_error
+{
+  public:
+    using std::logic_error::logic_error;
+};
+
+/** Thrown by fatal(): a user/configuration error; not a simulator bug. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Verbosity control for inform()/warn(); errors always print. */
+enum class LogLevel { Silent, Error, Warn, Info };
+
+/** Process-wide log level (defaults to Info). */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/**
+ * Build a message from stream-insertable parts:
+ *   panic("bad tile dim ", dim, " at addr ", addr);
+ */
+template <typename... Args>
+std::string
+msgCat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace cxlpnm
+
+#define panic(...) \
+    ::cxlpnm::panicImpl(__FILE__, __LINE__, ::cxlpnm::msgCat(__VA_ARGS__))
+#define fatal(...) \
+    ::cxlpnm::fatalImpl(__FILE__, __LINE__, ::cxlpnm::msgCat(__VA_ARGS__))
+#define warn(...) ::cxlpnm::warnImpl(::cxlpnm::msgCat(__VA_ARGS__))
+#define inform(...) ::cxlpnm::informImpl(::cxlpnm::msgCat(__VA_ARGS__))
+
+/** panic() unless an invariant holds. */
+#define panic_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            panic("assertion '" #cond "' failed: ", ::cxlpnm::msgCat(     \
+                __VA_ARGS__));                                            \
+    } while (0)
+
+/** fatal() unless a user-supplied configuration is sane. */
+#define fatal_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            fatal(::cxlpnm::msgCat(__VA_ARGS__));                         \
+    } while (0)
+
+#endif // CXLPNM_SIM_LOGGING_HH

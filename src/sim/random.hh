@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for synthetic weights and
+ * randomized property tests. SplitMix64 is tiny, fast, and reproducible
+ * across platforms (unlike std::mt19937 distributions, whose outputs are
+ * implementation-defined for floating point).
+ */
+
+#ifndef CXLPNM_SIM_RANDOM_HH
+#define CXLPNM_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace cxlpnm
+{
+
+/** SplitMix64 generator (Steele, Lea, Flood 2014 public-domain recipe). */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    nextDouble(double lo, double hi)
+    {
+        return lo + (hi - lo) * nextDouble();
+    }
+
+    /** Uniform integer in [0, bound) via rejection-free scaling. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        // 128-bit multiply-shift keeps the bias below 2^-64.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /**
+     * Approximately normal(0, 1) via the sum of 12 uniforms (Irwin-Hall).
+     * Plenty for synthetic weight tensors.
+     */
+    double
+    nextGaussian()
+    {
+        double s = 0.0;
+        for (int i = 0; i < 12; ++i)
+            s += nextDouble();
+        return s - 6.0;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace cxlpnm
+
+#endif // CXLPNM_SIM_RANDOM_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * SimObject: the base class for every named, timed component. Binds a
+ * component to the simulation's EventQueue and to the stats hierarchy.
+ */
+
+#ifndef CXLPNM_SIM_SIM_OBJECT_HH
+#define CXLPNM_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cxlpnm
+{
+
+/**
+ * A named component living on an event queue. The StatGroup base makes
+ * every SimObject a node in the stats tree; pass the parent object (or a
+ * root group) at construction.
+ */
+class SimObject : public stats::StatGroup
+{
+  public:
+    /**
+     * @param eq     Event queue driving this component.
+     * @param parent Parent stats group (usually the owning SimObject).
+     * @param name   Component name (leaf of the dotted stats path).
+     */
+    SimObject(EventQueue &eq, stats::StatGroup *parent, std::string name)
+        : stats::StatGroup(parent, std::move(name)), eventq_(eq)
+    {}
+
+    EventQueue &eventQueue() { return eventq_; }
+    Tick now() const { return eventq_.now(); }
+
+    /** Schedule @p ev at now() + @p delay. */
+    void
+    scheduleIn(Event &ev, Tick delay)
+    {
+        eventq_.schedule(ev, eventq_.now() + delay);
+    }
+
+  private:
+    EventQueue &eventq_;
+};
+
+} // namespace cxlpnm
+
+#endif // CXLPNM_SIM_SIM_OBJECT_HH

@@ -1,0 +1,169 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace stats
+{
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    panic_if(parent == nullptr, "stat '", name_, "' needs a parent group");
+    parent->addStat(this);
+}
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << value_ << " # " << desc() << "\n";
+}
+
+void
+Average::sample(double v)
+{
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    ++count_;
+}
+
+void
+Average::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << "::mean " << mean() << " # " << desc()
+       << "\n";
+    os << prefix << name() << "::count " << count_ << " # samples\n";
+    if (count_) {
+        os << prefix << name() << "::min " << min_ << " # minimum\n";
+        os << prefix << name() << "::max " << max_ << " # maximum\n";
+    }
+}
+
+void
+Average::reset()
+{
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+    count_ = 0;
+}
+
+Histogram::Histogram(StatGroup *parent, std::string name, std::string desc,
+                     double lo, double hi, std::size_t buckets)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      lo_(lo), hi_(hi), buckets_(buckets, 0)
+{
+    panic_if(buckets == 0, "histogram '", this->name(), "' with 0 buckets");
+    panic_if(hi <= lo, "histogram '", this->name(), "' with hi <= lo");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    if (v < lo_) {
+        ++underflow_;
+    } else if (v >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>(
+            (v - lo_) / (hi_ - lo_) * static_cast<double>(buckets_.size()));
+        ++buckets_[std::min(idx, buckets_.size() - 1)];
+    }
+}
+
+void
+Histogram::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << "::count " << count_ << " # " << desc()
+       << "\n";
+    os << prefix << name() << "::mean " << mean() << " # mean\n";
+    os << prefix << name() << "::underflow " << underflow_ << " # < "
+       << lo_ << "\n";
+    const double width =
+        (hi_ - lo_) / static_cast<double>(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        os << prefix << name() << "::bucket[" << lo_ + width * i << ","
+           << lo_ + width * (i + 1) << ") " << buckets_[i] << "\n";
+    }
+    os << prefix << name() << "::overflow " << overflow_ << " # >= "
+       << hi_ << "\n";
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = 0.0;
+}
+
+StatGroup::StatGroup(StatGroup *parent, std::string name)
+    : parent_(parent), name_(std::move(name))
+{
+    if (parent_)
+        parent_->addChild(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_)
+        parent_->removeChild(this);
+}
+
+std::string
+StatGroup::fullName() const
+{
+    if (!parent_)
+        return name_;
+    std::string p = parent_->fullName();
+    return p.empty() ? name_ : p + "." + name_;
+}
+
+void
+StatGroup::dumpStats(std::ostream &os) const
+{
+    std::string prefix = fullName();
+    if (!prefix.empty())
+        prefix += ".";
+    for (const StatBase *s : stats_)
+        s->dump(os, prefix);
+    for (const StatGroup *g : children_)
+        g->dumpStats(os);
+}
+
+void
+StatGroup::resetStats()
+{
+    for (StatBase *s : stats_)
+        s->reset();
+    for (StatGroup *g : children_)
+        g->resetStats();
+}
+
+void
+StatGroup::addStat(StatBase *stat)
+{
+    stats_.push_back(stat);
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+void
+StatGroup::removeChild(StatGroup *child)
+{
+    std::erase(children_, child);
+}
+
+} // namespace stats
+} // namespace cxlpnm

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Components own Scalar/Average/Histogram members registered with a
+ * StatGroup; groups nest, and the root group can dump everything in a
+ * stable, diff-friendly text format.
+ */
+
+#ifndef CXLPNM_SIM_STATS_HH
+#define CXLPNM_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cxlpnm
+{
+namespace stats
+{
+
+class StatGroup;
+
+/** Base for all statistics: a name, a description, and a dump hook. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Write "fullname value # desc" style lines. */
+    virtual void dump(std::ostream &os,
+                      const std::string &prefix) const = 0;
+    /** Forget all samples. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A monotonically adjustable counter / accumulator. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Mean/min/max over explicit samples. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void sample(double v);
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-width linear histogram with under/overflow buckets. */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup *parent, std::string name, std::string desc,
+              double lo, double hi, std::size_t buckets);
+
+    void sample(double v);
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A named collection of stats and child groups. Components derive from or
+ * own a StatGroup; the hierarchy mirrors the component hierarchy.
+ */
+class StatGroup
+{
+  public:
+    /** @param parent Null for a root group. */
+    StatGroup(StatGroup *parent, std::string name);
+    virtual ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Dotted path from the root group. */
+    std::string fullName() const;
+
+    /** Recursively dump all stats below this group. */
+    void dumpStats(std::ostream &os) const;
+
+    /** Recursively reset all stats below this group. */
+    void resetStats();
+
+  private:
+    friend class StatBase;
+
+    void addStat(StatBase *stat);
+    void addChild(StatGroup *child);
+    void removeChild(StatGroup *child);
+
+    StatGroup *parent_;
+    std::string name_;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace stats
+} // namespace cxlpnm
+
+#endif // CXLPNM_SIM_STATS_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fundamental simulation quantities: ticks, cycles, frequencies and
+ * byte-size helpers shared by every subsystem.
+ *
+ * One Tick is one picosecond of simulated time. A picosecond base lets us
+ * represent every clock in the platform (1 GHz accelerator, LPDDR5X
+ * 8.5 Gb/s pins, PCIe Gen5 32 GT/s) with integral periods and leaves
+ * ~106 days of simulated time before a 64-bit tick counter overflows.
+ */
+
+#ifndef CXLPNM_SIM_TYPES_HH
+#define CXLPNM_SIM_TYPES_HH
+
+#include <compare>
+#include <cstdint>
+
+namespace cxlpnm
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** The largest representable tick; used as an "never happens" sentinel. */
+constexpr Tick MaxTick = UINT64_MAX;
+
+/** Ticks per common time units. */
+constexpr Tick tickPerPs = 1;
+constexpr Tick tickPerNs = 1000;
+constexpr Tick tickPerUs = 1000 * 1000;
+constexpr Tick tickPerMs = 1000ull * 1000 * 1000;
+constexpr Tick tickPerSec = 1000ull * 1000 * 1000 * 1000;
+
+/** Convert ticks to floating-point seconds (for stats/report output). */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerSec);
+}
+
+/** Convert floating-point seconds to ticks (rounding down). */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(tickPerSec));
+}
+
+/**
+ * A count of clock cycles in some clock domain. Strongly typed so cycle
+ * counts are not silently mixed with ticks.
+ */
+class Cycles
+{
+  public:
+    constexpr Cycles() : count_(0) {}
+    constexpr explicit Cycles(std::uint64_t c) : count_(c) {}
+
+    constexpr std::uint64_t value() const { return count_; }
+
+    constexpr Cycles
+    operator+(Cycles o) const
+    {
+        return Cycles(count_ + o.count_);
+    }
+
+    constexpr Cycles
+    operator-(Cycles o) const
+    {
+        return Cycles(count_ - o.count_);
+    }
+
+    Cycles &
+    operator+=(Cycles o)
+    {
+        count_ += o.count_;
+        return *this;
+    }
+
+    constexpr bool operator==(const Cycles &) const = default;
+    constexpr auto operator<=>(const Cycles &) const = default;
+
+  private:
+    std::uint64_t count_;
+};
+
+/** Byte-size helpers. Powers of two (binary prefixes). */
+constexpr std::uint64_t KiB = 1024ull;
+constexpr std::uint64_t MiB = 1024ull * KiB;
+constexpr std::uint64_t GiB = 1024ull * MiB;
+
+/** Decimal prefixes, used for bandwidth/capacity marketing units. */
+constexpr double KB = 1e3;
+constexpr double MB = 1e6;
+constexpr double GB = 1e9;
+constexpr double TB = 1e12;
+
+/** Physical/device address within a CXL memory module or host space. */
+using Addr = std::uint64_t;
+
+} // namespace cxlpnm
+
+#endif // CXLPNM_SIM_TYPES_HH

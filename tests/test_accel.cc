@@ -1,0 +1,762 @@
+/**
+ * @file
+ * Accelerator tests: register-file management, functional semantics of
+ * every instruction against the double-precision reference, timing-model
+ * structure, and the pipelined execution behaviour (bandwidth-bound GEMV
+ * emerging from DMA/compute overlap).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/accelerator.hh"
+#include "accel/functional.hh"
+#include "accel/timing.hh"
+#include "cxl/arbiter.hh"
+#include "dram/module.hh"
+#include "numeric/linalg.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace accel
+{
+namespace
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Program;
+
+// ---- Register file ----
+
+TEST(RegisterFileTest, AllocTrackUsageAndFree)
+{
+    RegisterFileManager rf(1024);
+    auto a = rf.alloc(8, 8, "a"); // 128 bytes
+    auto b = rf.alloc(16, 16, "b"); // 512 bytes
+    EXPECT_EQ(rf.usedBytes(), 640u);
+    EXPECT_EQ(rf.liveRegisters(), 2u);
+    EXPECT_EQ(rf.shape(a).rows, 8u);
+    EXPECT_EQ(rf.shape(b).bytes(), 512u);
+    rf.free(a);
+    EXPECT_EQ(rf.usedBytes(), 512u);
+    EXPECT_EQ(rf.peakBytes(), 640u);
+    rf.reset();
+    EXPECT_EQ(rf.usedBytes(), 0u);
+}
+
+TEST(RegisterFileTest, ExhaustionIsFatal)
+{
+    setLogLevel(LogLevel::Silent);
+    RegisterFileManager rf(100);
+    EXPECT_THROW(rf.alloc(64, 64, "too big"), FatalError);
+    EXPECT_THROW(rf.alloc(0, 4, "zero"), FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(RegisterFileTest, TensorLazilyCreatedWithShape)
+{
+    RegisterFileManager rf(1 << 20);
+    auto r = rf.alloc(3, 5, "r");
+    HalfTensor &t = rf.tensor(r);
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 5u);
+    t.at(2, 4) = Half(1.5f);
+    EXPECT_FLOAT_EQ(rf.tensor(r).at(2, 4).toFloat(), 1.5f);
+}
+
+TEST(RegisterFileTest, InvalidIdPanics)
+{
+    setLogLevel(LogLevel::Silent);
+    RegisterFileManager rf(1 << 20);
+    EXPECT_THROW(rf.tensor(42), PanicError);
+    EXPECT_THROW(rf.free(42), PanicError);
+    EXPECT_THROW(rf.shape(42), PanicError);
+    setLogLevel(LogLevel::Info);
+}
+
+// ---- Functional semantics ----
+
+/** Fixture with RF + functional memory, no event queue needed. */
+class FunctionalTest : public ::testing::Test
+{
+  protected:
+    FunctionalTest() : rf(64ull * MiB), mem(16ull * MiB) {}
+
+    /** Random Half tensor in a register. */
+    isa::RegId
+    regWith(std::size_t rows, std::size_t cols, std::uint64_t seed,
+            double stddev = 1.0)
+    {
+        auto id = rf.alloc(rows, cols, "t");
+        rf.tensor(id).fillGaussian(seed, stddev);
+        return id;
+    }
+
+    Tensor<double>
+    asDouble(isa::RegId id)
+    {
+        return rf.tensor(id).cast<double>();
+    }
+
+    RegisterFileManager rf;
+    FunctionalMemory mem;
+};
+
+TEST_F(FunctionalTest, AddTreeReduceMatchesSumForPowersOfTwo)
+{
+    std::vector<Half> v;
+    for (int i = 1; i <= 8; ++i)
+        v.push_back(Half(static_cast<float>(i)));
+    EXPECT_FLOAT_EQ(functional::addTreeReduce(v.data(), 8).toFloat(),
+                    36.0f);
+    // Non-power-of-two sizes pass the odd element up a level.
+    EXPECT_FLOAT_EQ(functional::addTreeReduce(v.data(), 5).toFloat(),
+                    15.0f);
+    EXPECT_FLOAT_EQ(functional::addTreeReduce(v.data(), 1).toFloat(),
+                    1.0f);
+    EXPECT_TRUE(functional::addTreeReduce(v.data(), 0).isZero());
+}
+
+TEST_F(FunctionalTest, DmaLoadStoreRoundTrip)
+{
+    auto src = regWith(4, 6, 11);
+    Instruction st;
+    st.op = Opcode::DmaStore;
+    st.src0 = src;
+    st.m = 4;
+    st.n = 6;
+    st.memAddr = 4096;
+    functional::execute(st, rf, &mem);
+
+    auto dst = rf.alloc(4, 6, "dst");
+    Instruction ld;
+    ld.op = Opcode::DmaLoad;
+    ld.dst = dst;
+    ld.m = 4;
+    ld.n = 6;
+    ld.memAddr = 4096;
+    functional::execute(ld, rf, &mem);
+
+    EXPECT_EQ(maxAbsDiff(rf.tensor(src), rf.tensor(dst)), 0.0);
+}
+
+TEST_F(FunctionalTest, MvMatchesReference)
+{
+    const std::uint32_t m = 24, n = 40;
+    auto matr = regWith(m, n, 1, 0.5);
+    auto x = regWith(1, n, 2, 0.5);
+    auto y = rf.alloc(1, m, "y");
+
+    Instruction i;
+    i.op = Opcode::MpuMv;
+    i.dst = y;
+    i.src0 = x;
+    i.src1 = matr;
+    i.m = m;
+    i.n = n;
+    functional::execute(i, rf, nullptr);
+
+    // Reference: y = M . x.
+    Tensor<double> ref(1, m);
+    auto md = asDouble(matr);
+    auto xd = asDouble(x);
+    for (std::uint32_t r = 0; r < m; ++r) {
+        double acc = 0.0;
+        for (std::uint32_t c = 0; c < n; ++c)
+            acc += md.at(r, c) * xd.at(0, c);
+        ref.at(0, r) = acc;
+    }
+    EXPECT_LT(maxRelDiff(asDouble(y), ref), 2e-2); // fp16 tree error
+}
+
+TEST_F(FunctionalTest, MvStreamsMatrixFromMemoryWithBias)
+{
+    const std::uint32_t m = 16, n = 32;
+    HalfTensor w(m, n);
+    w.fillGaussian(3, 0.5);
+    mem.writeTensor(0x1000, w);
+
+    auto x = regWith(1, n, 4, 0.5);
+    auto bias = regWith(1, m, 5, 0.1);
+    auto y = rf.alloc(1, m, "y");
+
+    Instruction i;
+    i.op = Opcode::MpuMv;
+    i.flags = isa::FlagMemOperand | isa::FlagBias;
+    i.dst = y;
+    i.src0 = x;
+    i.aux = bias;
+    i.m = m;
+    i.n = n;
+    i.memAddr = 0x1000;
+    functional::execute(i, rf, &mem);
+
+    auto wd = w.cast<double>();
+    auto xd = asDouble(x);
+    auto bd = asDouble(bias);
+    Tensor<double> ref(1, m);
+    for (std::uint32_t r = 0; r < m; ++r) {
+        double acc = bd.at(0, r);
+        for (std::uint32_t c = 0; c < n; ++c)
+            acc += wd.at(r, c) * xd.at(0, c);
+        ref.at(0, r) = acc;
+    }
+    EXPECT_LT(maxRelDiff(asDouble(y), ref), 2e-2);
+}
+
+TEST_F(FunctionalTest, MmPeaMatchesGemm)
+{
+    const std::uint32_t m = 8, k = 32, n = 12;
+    auto a = regWith(m, k, 6, 0.5);
+    auto b = regWith(k, n, 7, 0.5);
+    auto out = rf.alloc(m, n, "out");
+
+    Instruction i;
+    i.op = Opcode::MpuMmPea;
+    i.dst = out;
+    i.src0 = a;
+    i.src1 = b;
+    i.m = m;
+    i.n = n;
+    i.k = k;
+    functional::execute(i, rf, nullptr);
+
+    Tensor<double> ref(m, n);
+    linalg::gemm(asDouble(a), asDouble(b), ref);
+    EXPECT_LT(maxRelDiff(asDouble(out), ref), 5e-3);
+}
+
+TEST_F(FunctionalTest, MmPeaTransBAndScale)
+{
+    const std::uint32_t m = 4, k = 16, n = 6;
+    auto a = regWith(m, k, 8, 0.5);
+    auto bt = regWith(n, k, 9, 0.5); // stored transposed
+    auto out = rf.alloc(m, n, "out");
+
+    Instruction i;
+    i.op = Opcode::MpuMmPea;
+    i.flags = isa::FlagTransB;
+    i.dst = out;
+    i.src0 = a;
+    i.src1 = bt;
+    i.m = m;
+    i.n = n;
+    i.k = k;
+    i.scale = 0.25f;
+    functional::execute(i, rf, nullptr);
+
+    Tensor<double> ref(m, n);
+    linalg::gemm(asDouble(a), linalg::transpose(asDouble(bt)), ref);
+    for (std::size_t r = 0; r < ref.rows(); ++r)
+        for (std::size_t c = 0; c < ref.cols(); ++c)
+            ref.at(r, c) *= 0.25;
+    EXPECT_LT(maxRelDiff(asDouble(out), ref), 5e-3);
+}
+
+TEST_F(FunctionalTest, MaskedMmAppliesCausalMask)
+{
+    const std::uint32_t m = 6, k = 8, n = 6;
+    auto a = regWith(m, k, 10, 0.5);
+    auto b = regWith(n, k, 11, 0.5);
+    auto out = rf.alloc(m, n, "out");
+
+    Instruction i;
+    i.op = Opcode::MpuMaskedMmPea;
+    i.flags = isa::FlagTransB;
+    i.dst = out;
+    i.src0 = a;
+    i.src1 = b;
+    i.m = m;
+    i.n = n;
+    i.k = k;
+    i.imm = 0; // strict causal
+    functional::execute(i, rf, nullptr);
+
+    for (std::uint32_t r = 0; r < m; ++r) {
+        for (std::uint32_t c = 0; c < n; ++c) {
+            if (c > r) {
+                EXPECT_TRUE(rf.tensor(out).at(r, c).isInf());
+            }
+        }
+    }
+}
+
+TEST_F(FunctionalTest, MaskedMmRedumaxProducesRowMaxima)
+{
+    const std::uint32_t m = 5, k = 8, n = 5;
+    auto a = regWith(m, k, 12, 0.5);
+    auto b = regWith(n, k, 13, 0.5);
+    auto out = rf.alloc(m, n, "out");
+    auto mx = rf.alloc(1, m, "mx");
+
+    Instruction i;
+    i.op = Opcode::MpuMaskedMmRedumaxPea;
+    i.flags = isa::FlagTransB;
+    i.dst = out;
+    i.src0 = a;
+    i.src1 = b;
+    i.aux = mx;
+    i.m = m;
+    i.n = n;
+    i.k = k;
+    functional::execute(i, rf, nullptr);
+
+    for (std::uint32_t r = 0; r < m; ++r) {
+        float expect = -std::numeric_limits<float>::infinity();
+        for (std::uint32_t c = 0; c <= r; ++c)
+            expect = std::max(expect,
+                              rf.tensor(out).at(r, c).toFloat());
+        EXPECT_FLOAT_EQ(rf.tensor(mx).at(0, r).toFloat(), expect);
+    }
+}
+
+TEST_F(FunctionalTest, Conv2dKernel1IsFullyConnected)
+{
+    const std::uint32_t m = 4, k = 16, n = 8;
+    auto a = regWith(m, k, 14, 0.5);
+    auto w = regWith(k, n, 15, 0.5);
+    auto out = rf.alloc(m, n, "out");
+
+    Instruction i;
+    i.op = Opcode::MpuConv2dPea;
+    i.dst = out;
+    i.src0 = a;
+    i.src1 = w;
+    i.m = m;
+    i.n = n;
+    i.k = k;
+    i.imm = 1;
+    functional::execute(i, rf, nullptr);
+
+    Tensor<double> ref(m, n);
+    linalg::gemm(asDouble(a), asDouble(w), ref);
+    EXPECT_LT(maxRelDiff(asDouble(out), ref), 5e-3);
+}
+
+TEST_F(FunctionalTest, Conv2dGeluFusesActivation)
+{
+    const std::uint32_t m = 4, k = 8, n = 8;
+    auto a = regWith(m, k, 16, 0.5);
+    auto w = regWith(k, n, 17, 0.5);
+    auto out = rf.alloc(m, n, "out");
+
+    Instruction i;
+    i.op = Opcode::MpuConv2dGeluPea;
+    i.dst = out;
+    i.src0 = a;
+    i.src1 = w;
+    i.m = m;
+    i.n = n;
+    i.k = k;
+    functional::execute(i, rf, nullptr);
+
+    Tensor<double> ref(m, n);
+    linalg::gemm(asDouble(a), asDouble(w), ref);
+    linalg::geluInPlace(ref);
+    EXPECT_LT(maxAbsDiff(asDouble(out), ref), 2e-2);
+}
+
+TEST_F(FunctionalTest, LayerNormMatchesReference)
+{
+    const std::uint32_t m = 3, n = 64;
+    auto x = regWith(m, n, 18, 2.0);
+    auto gamma = regWith(1, n, 19, 0.2);
+    auto beta = regWith(1, n, 20, 0.2);
+    auto out = rf.alloc(m, n, "out");
+
+    Instruction i;
+    i.op = Opcode::VpuLayerNorm;
+    i.dst = out;
+    i.src0 = x;
+    i.src1 = gamma;
+    i.aux = beta;
+    i.m = m;
+    i.n = n;
+    i.scale = 1e-5f;
+    functional::execute(i, rf, nullptr);
+
+    Tensor<double> ref(m, n);
+    linalg::layerNormRows(asDouble(x), asDouble(gamma), asDouble(beta),
+                          1e-5, ref);
+    EXPECT_LT(maxAbsDiff(asDouble(out), ref), 1e-2);
+}
+
+TEST_F(FunctionalTest, SoftmaxWithScaleMatchesReference)
+{
+    const std::uint32_t m = 4, n = 32;
+    auto x = regWith(m, n, 21, 2.0);
+    auto out = rf.alloc(m, n, "out");
+
+    Instruction i;
+    i.op = Opcode::VpuSoftmax;
+    i.dst = out;
+    i.src0 = x;
+    i.m = m;
+    i.n = n;
+    i.scale = 0.125f;
+    functional::execute(i, rf, nullptr);
+
+    auto ref = asDouble(x);
+    for (std::size_t r = 0; r < ref.rows(); ++r)
+        for (std::size_t c = 0; c < ref.cols(); ++c)
+            ref.at(r, c) *= 0.125;
+    linalg::softmaxRows(ref);
+    EXPECT_LT(maxAbsDiff(asDouble(out), ref), 2e-3);
+}
+
+TEST_F(FunctionalTest, SoftmaxHandlesMaskedMinusInfinity)
+{
+    const std::uint32_t n = 8;
+    auto x = rf.alloc(1, n, "x");
+    for (std::uint32_t c = 0; c < n; ++c) {
+        rf.tensor(x).at(0, c) =
+            c < 3 ? Half(1.0f) : -Half::infinity();
+    }
+    auto out = rf.alloc(1, n, "out");
+
+    Instruction i;
+    i.op = Opcode::VpuSoftmax;
+    i.dst = out;
+    i.src0 = x;
+    i.m = 1;
+    i.n = n;
+    functional::execute(i, rf, nullptr);
+
+    for (std::uint32_t c = 0; c < n; ++c) {
+        const float v = rf.tensor(out).at(0, c).toFloat();
+        if (c < 3)
+            EXPECT_NEAR(v, 1.0 / 3.0, 1e-3);
+        else
+            EXPECT_EQ(v, 0.0f);
+    }
+}
+
+TEST_F(FunctionalTest, VpuAddBroadcastsRow)
+{
+    auto a = regWith(4, 8, 22);
+    auto row = regWith(1, 8, 23);
+    auto out = rf.alloc(4, 8, "out");
+
+    Instruction i;
+    i.op = Opcode::VpuAdd;
+    i.dst = out;
+    i.src0 = a;
+    i.src1 = row;
+    i.m = 4;
+    i.n = 8;
+    functional::execute(i, rf, nullptr);
+
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 8; ++c)
+            EXPECT_FLOAT_EQ(
+                rf.tensor(out).at(r, c).toFloat(),
+                (rf.tensor(a).at(r, c) + rf.tensor(row).at(0, c))
+                    .toFloat());
+}
+
+TEST_F(FunctionalTest, TransposeSemantics)
+{
+    auto a = regWith(3, 7, 24);
+    auto out = rf.alloc(7, 3, "out");
+    Instruction i;
+    i.op = Opcode::MpuTranspose;
+    i.dst = out;
+    i.src0 = a;
+    i.m = 3;
+    i.n = 7;
+    functional::execute(i, rf, nullptr);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 7; ++c)
+            EXPECT_EQ(rf.tensor(out).at(c, r).bits(),
+                      rf.tensor(a).at(r, c).bits());
+}
+
+// ---- Timing model ----
+
+TEST(TimingTest, MvCyclesFollowLaneTileStructure)
+{
+    AccelConfig cfg;
+    Instruction i;
+    i.op = Opcode::MpuMv;
+    i.m = 20480; // FC1 output for d=5120
+    i.n = 5120;
+    // ceil(20480/16) * ceil(5120/128) = 1280 * 40 = 51200 (+fill).
+    EXPECT_EQ(timing::computeCycles(i, cfg).value(),
+              51200u + cfg.pipelineFillCycles);
+}
+
+TEST(TimingTest, PeaCyclesFollowTileStructure)
+{
+    AccelConfig cfg;
+    Instruction i;
+    i.op = Opcode::MpuMmPea;
+    i.m = 64;
+    i.n = 5120;
+    i.k = 5120;
+    // ceil(64/64)*ceil(5120/32)*5120 = 160*5120 = 819200 (+fill).
+    EXPECT_EQ(timing::computeCycles(i, cfg).value(),
+              819200u + cfg.pipelineFillCycles);
+}
+
+TEST(TimingTest, TileEdgeWasteEmergesFromCeils)
+{
+    AccelConfig cfg;
+    Instruction a, b;
+    a.op = b.op = Opcode::MpuMmPea;
+    a.m = 64;
+    b.m = 65; // one row over a tile boundary doubles row tiles
+    a.n = b.n = 32;
+    a.k = b.k = 128;
+    EXPECT_GT(timing::computeCycles(b, cfg).value(),
+              1.9 * timing::computeCycles(a, cfg).value() - 20);
+}
+
+TEST(TimingTest, DmaBytesPerOperandShape)
+{
+    Instruction mv;
+    mv.op = Opcode::MpuMv;
+    mv.flags = isa::FlagMemOperand;
+    mv.m = 100;
+    mv.n = 200;
+    EXPECT_EQ(timing::dmaBytes(mv), 2u * 100 * 200);
+
+    Instruction mm;
+    mm.op = Opcode::MpuMmPea;
+    mm.flags = isa::FlagMemOperand;
+    mm.m = 64;
+    mm.n = 128;
+    mm.k = 256;
+    EXPECT_EQ(timing::dmaBytes(mm), 2u * 256 * 128);
+
+    Instruction rfonly;
+    rfonly.op = Opcode::MpuMmPea;
+    rfonly.m = 64;
+    rfonly.n = 128;
+    rfonly.k = 256;
+    EXPECT_EQ(timing::dmaBytes(rfonly), 0u);
+
+    Instruction st;
+    st.op = Opcode::DmaStore;
+    st.m = 4;
+    st.n = 4;
+    EXPECT_EQ(timing::dmaBytes(st), 32u);
+    EXPECT_FALSE(timing::dmaIsRead(st));
+}
+
+TEST(TimingTest, MacAccountingMatchesShapes)
+{
+    Instruction mv;
+    mv.op = Opcode::MpuMv;
+    mv.m = 10;
+    mv.n = 20;
+    EXPECT_EQ(timing::macOps(mv), 200u);
+
+    Instruction mm;
+    mm.op = Opcode::MpuMmRedumaxPea;
+    mm.m = 2;
+    mm.n = 3;
+    mm.k = 4;
+    EXPECT_EQ(timing::macOps(mm), 24u);
+
+    Instruction ln;
+    ln.op = Opcode::VpuLayerNorm;
+    ln.m = 2;
+    ln.n = 10;
+    EXPECT_EQ(timing::macOps(ln), 0u);
+    EXPECT_EQ(timing::vectorOps(ln), 60u);
+}
+
+// ---- Pipelined execution ----
+
+/** Full device-side stack: DRAM + arbiter + accelerator. */
+class AccelPipelineTest : public ::testing::Test
+{
+  protected:
+    AccelPipelineTest()
+        : root(nullptr, ""),
+          mem(eq, &root, "mem", dram::DramTechSpec::lpddr5x()),
+          arb(eq, &root, "arb", mem, {}),
+          fmem(16ull * MiB),
+          accel(eq, &root, "accel", AccelConfig{}, arb, &fmem)
+    {}
+
+    EventQueue eq;
+    stats::StatGroup root;
+    dram::MultiChannelMemory mem;
+    cxl::HostPnmArbiter arb;
+    FunctionalMemory fmem;
+    Accelerator accel;
+};
+
+TEST_F(AccelPipelineTest, RunsAProgramFunctionally)
+{
+    auto &rf = accel.registerFile();
+    const std::uint32_t m = 8, n = 16;
+    HalfTensor w(m, n);
+    w.fillGaussian(31, 0.5);
+    fmem.writeTensor(0, w);
+
+    auto x = rf.alloc(1, n, "x");
+    rf.tensor(x).fillGaussian(32, 0.5);
+    auto y = rf.alloc(1, m, "y");
+
+    Program p;
+    Instruction i;
+    i.op = Opcode::MpuMv;
+    i.flags = isa::FlagMemOperand;
+    i.dst = y;
+    i.src0 = x;
+    i.m = m;
+    i.n = n;
+    i.memAddr = 0;
+    p.append(i);
+
+    bool done = false;
+    accel.run(p, [&] { done = true; });
+    EXPECT_TRUE(accel.busy());
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_FALSE(accel.busy());
+    EXPECT_GT(accel.lastRunTicks(), 0u);
+    EXPECT_EQ(accel.totalDmaBytes(), 2u * m * n);
+    EXPECT_EQ(accel.totalMacs(), static_cast<std::uint64_t>(m) * n);
+
+    // And the math is right.
+    auto wd = w.cast<double>();
+    auto xd = rf.tensor(x).cast<double>();
+    for (std::uint32_t r = 0; r < m; ++r) {
+        double acc = 0.0;
+        for (std::uint32_t c = 0; c < n; ++c)
+            acc += wd.at(r, c) * xd.at(0, c);
+        EXPECT_NEAR(rf.tensor(y).at(0, r).toFloat(), acc,
+                    std::abs(acc) * 0.02 + 0.02);
+    }
+}
+
+TEST_F(AccelPipelineTest, EmptyProgramCompletes)
+{
+    Program p;
+    bool done = false;
+    accel.run(p, [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+}
+
+TEST_F(AccelPipelineTest, RunWhileBusyPanics)
+{
+    setLogLevel(LogLevel::Silent);
+    Program p;
+    Instruction i;
+    i.op = Opcode::VpuGelu;
+    auto r = accel.registerFile().alloc(1, 8, "r");
+    i.dst = i.src0 = r;
+    i.m = 1;
+    i.n = 8;
+    p.append(i);
+    accel.run(p, nullptr);
+    EXPECT_THROW(accel.run(p, nullptr), PanicError);
+    eq.run();
+    setLogLevel(LogLevel::Info);
+}
+
+TEST_F(AccelPipelineTest, StreamingGemvIsBandwidthBound)
+{
+    // A large streamed GEMV: DMA time should dominate compute and the
+    // run time should approach bytes / sustained module bandwidth.
+    // Weights exceed the functional image, so run timing-only.
+    Accelerator accel(eq, &root, "accel2", AccelConfig{}, arb, nullptr);
+    auto &rf = accel.registerFile();
+    const std::uint32_t m = 1024, n = 2048; // 4 MiB of weights
+    auto x = rf.alloc(1, n, "x");
+    auto y = rf.alloc(1, m, "y");
+
+    Program p;
+    for (int rep = 0; rep < 8; ++rep) {
+        Instruction i;
+        i.op = Opcode::MpuMv;
+        i.flags = isa::FlagMemOperand;
+        i.dst = y;
+        i.src0 = x;
+        i.m = m;
+        i.n = n;
+        i.memAddr = static_cast<Addr>(rep) * 2 * m * n;
+        p.append(i);
+    }
+
+    Tick done = 0;
+    accel.run(p, [&] { done = eq.now(); });
+    eq.run();
+
+    const double bytes = 8.0 * 2 * m * n;
+    const double bw_sec = bytes / mem.sustainedBandwidth();
+    // Within 25%: dispatch overhead and latency add a little.
+    EXPECT_GT(ticksToSeconds(done), bw_sec);
+    EXPECT_LT(ticksToSeconds(done), bw_sec * 1.25 + 100e-6);
+}
+
+TEST_F(AccelPipelineTest, DmaPrefetchOverlapsCompute)
+{
+    // Two instructions: a compute-heavy PEA op (no memory operand)
+    // followed by a streamed op. With prefetch depth 2 the second op's
+    // DMA runs during the first op's compute, so the total is close to
+    // max(compute, dma) + second compute, not the sum of everything.
+    // Timing-only (the streamed operand exceeds the functional image).
+    Accelerator accel(eq, &root, "accel2", AccelConfig{}, arb, nullptr);
+    auto &rf = accel.registerFile();
+    const std::uint32_t m = 256, k = 2048, n = 256;
+    auto a = rf.alloc(m, k, "a");
+    auto b = rf.alloc(k, n, "b");
+    auto o = rf.alloc(m, n, "o");
+    auto x = rf.alloc(1, 4096, "x");
+    auto y = rf.alloc(1, 4096, "y");
+
+    Program p;
+    Instruction gemm;
+    gemm.op = Opcode::MpuMmPea;
+    gemm.dst = o;
+    gemm.src0 = a;
+    gemm.src1 = b;
+    gemm.m = m;
+    gemm.n = n;
+    gemm.k = k;
+    p.append(gemm);
+
+    Instruction mv;
+    mv.op = Opcode::MpuMv;
+    mv.flags = isa::FlagMemOperand;
+    mv.dst = y;
+    mv.src0 = x;
+    mv.m = 4096;
+    mv.n = 4096;
+    mv.memAddr = 0;
+    p.append(mv);
+
+    Tick done = 0;
+    accel.run(p, [&] { done = eq.now(); });
+    eq.run();
+
+    AccelConfig cfg;
+    const double gemm_sec =
+        (timing::computeCycles(gemm, cfg).value() +
+         cfg.dispatchOverheadCycles) / cfg.freqHz;
+    const double mv_dma_sec =
+        (2.0 * 4096 * 4096) / mem.sustainedBandwidth();
+    const double mv_cmp_sec =
+        (timing::computeCycles(mv, cfg).value() +
+         cfg.dispatchOverheadCycles) / cfg.freqHz;
+
+    // Serial would be gemm + dma + compute; overlapped is roughly
+    // max(gemm, dma) + compute.
+    const double serial = gemm_sec + mv_dma_sec + mv_cmp_sec;
+    const double overlapped =
+        std::max(gemm_sec, mv_dma_sec) + mv_cmp_sec;
+    EXPECT_LT(ticksToSeconds(done), serial * 0.95);
+    EXPECT_NEAR(ticksToSeconds(done), overlapped, overlapped * 0.15);
+}
+
+} // namespace
+} // namespace accel
+} // namespace cxlpnm

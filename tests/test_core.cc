@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Core platform tests: device assembly, energy model anchors, the
+ * single-device inference engine, appliance parallelism plans, and the
+ * TCO model reproducing Table III's arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/inference_engine.hh"
+#include "core/platform.hh"
+#include "core/tco.hh"
+#include "llm/model_config.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace core
+{
+namespace
+{
+
+TEST(PlatformTest, DeviceAssembles)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    PnmPlatformConfig cfg;
+    PnmDevice dev(eq, &root, "dev", cfg);
+
+    EXPECT_EQ(dev.memory().channelCount(), 64u);
+    EXPECT_NEAR(dev.memory().capacityBytes() / GB, 512.0, 1.0);
+    EXPECT_EQ(dev.accel().config().peCount(), 2048);
+    EXPECT_EQ(dev.functionalMemory(), nullptr); // timing-only default
+}
+
+TEST(PlatformTest, FunctionalImageWhenRequested)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    PnmPlatformConfig cfg;
+    cfg.functionalBytes = 8 * MiB;
+    PnmDevice dev(eq, &root, "dev", cfg);
+    ASSERT_NE(dev.functionalMemory(), nullptr);
+    EXPECT_EQ(dev.functionalMemory()->size(), 8 * MiB);
+}
+
+TEST(PlatformTest, ChannelGroupingPreservesBandwidth)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    PnmPlatformConfig a, b;
+    b.channelGrouping = 8;
+    PnmDevice da(eq, &root, "a", a);
+    PnmDevice db(eq, &root, "b", b);
+    EXPECT_EQ(db.memory().channelCount(), 8u);
+    EXPECT_NEAR(da.memory().sustainedBandwidth(),
+                db.memory().sustainedBandwidth(), 1.0);
+}
+
+TEST(PlatformTest, MaxPowerWithinBudget)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    PnmDevice dev(eq, &root, "dev", PnmPlatformConfig{});
+    // Table II: platform total ~150 W budget.
+    EXPECT_LT(dev.maxPowerW(), 150.0);
+    EXPECT_GT(dev.maxPowerW(), 50.0);
+}
+
+TEST(PlatformTest, EnergyModelDecomposes)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    PnmDevice dev(eq, &root, "dev", PnmPlatformConfig{});
+
+    PnmDevice::Activity before{}, after{};
+    after.dramBytes = 1000000000ull; // 1 GB moved
+    after.macs = 1000000000ull;
+    after.vecOps = 0;
+
+    const double idle_only =
+        dev.energyJoules(before, before, tickPerSec);
+    const double with_work =
+        dev.energyJoules(before, after, tickPerSec);
+    EXPECT_GT(idle_only, 0.0);       // statics accrue
+    EXPECT_GT(with_work, idle_only); // dynamics add
+    // 1 s of idle ~= static power (30 W controller + DRAM background).
+    EXPECT_NEAR(idle_only, 34.8, 2.0);
+}
+
+TEST(InferenceEngineTest, TinyModelRunsQuickly)
+{
+    llm::InferenceRequest req;
+    req.inputTokens = 4;
+    req.outputTokens = 4;
+    PnmPlatformConfig cfg;
+    const auto r =
+        runPnmSingleDevice(llm::ModelConfig::tiny(), req, cfg);
+    EXPECT_EQ(r.genSeconds.size(), 4u);
+    EXPECT_GT(r.sumSeconds, 0.0);
+    EXPECT_GT(r.energyJoules, 0.0);
+    EXPECT_GT(r.avgPowerW, 0.0);
+    EXPECT_GT(r.programInstructions, 0u);
+}
+
+TEST(InferenceEngineTest, GenTimeTracksWeightBytes)
+{
+    // The headline behaviour: gen latency ~ weights / sustained BW.
+    llm::InferenceRequest req;
+    req.inputTokens = 8;
+    req.outputTokens = 2;
+    PnmPlatformConfig cfg;
+    cfg.channelGrouping = 8;
+
+    const auto m = llm::ModelConfig::opt1_3b();
+    const auto r = runPnmSingleDevice(m, req, cfg);
+    const double bw_bound =
+        static_cast<double>(m.weightBytes()) / (0.913e12);
+    EXPECT_GT(r.genSeconds.back(), bw_bound);
+    EXPECT_LT(r.genSeconds.back(), bw_bound * 1.5);
+}
+
+TEST(InferenceEngineTest, TensorShardReducesPerDeviceTime)
+{
+    llm::InferenceRequest req;
+    req.inputTokens = 8;
+    req.outputTokens = 2;
+    PnmPlatformConfig cfg;
+    cfg.channelGrouping = 8;
+
+    const auto m = llm::ModelConfig::opt2_7b();
+    const auto full = runPnmSingleDevice(m, req, cfg, 1);
+    const auto shard = runPnmSingleDevice(m, req, cfg, 4);
+    // A quarter of the weights: 3-4.5x faster per gen stage.
+    const double ratio = full.genSeconds.back() /
+        shard.genSeconds.back();
+    EXPECT_GT(ratio, 2.8);
+    EXPECT_LT(ratio, 4.6);
+}
+
+TEST(ApplianceTest, DataParallelScalesThroughput)
+{
+    llm::InferenceRequest req;
+    req.inputTokens = 8;
+    req.outputTokens = 4;
+    PnmPlatformConfig cfg;
+    cfg.channelGrouping = 8;
+    const auto m = llm::ModelConfig::opt1_3b();
+
+    const auto dp1 = runPnmAppliance(m, req, cfg, {1, 1});
+    const auto dp8 = runPnmAppliance(m, req, cfg, {1, 8});
+    EXPECT_NEAR(dp8.throughputTokensPerSec,
+                8.0 * dp1.throughputTokensPerSec,
+                0.01 * dp8.throughputTokensPerSec);
+    // Same request latency; 8x the energy.
+    EXPECT_NEAR(dp8.requestLatencySeconds, dp1.requestLatencySeconds,
+                1e-9);
+    EXPECT_NEAR(dp8.energyJoules, 8.0 * dp1.energyJoules,
+                0.01 * dp8.energyJoules);
+}
+
+TEST(ApplianceTest, ModelParallelCutsLatencyAddsComm)
+{
+    llm::InferenceRequest req;
+    req.inputTokens = 8;
+    req.outputTokens = 4;
+    PnmPlatformConfig cfg;
+    cfg.channelGrouping = 8;
+    const auto m = llm::ModelConfig::opt2_7b();
+
+    const auto dp = runPnmAppliance(m, req, cfg, {1, 8});
+    const auto mp = runPnmAppliance(m, req, cfg, {8, 1});
+    EXPECT_LT(mp.tokenLatencySeconds, dp.tokenLatencySeconds);
+    EXPECT_EQ(dp.commFraction, 0.0);
+    EXPECT_GT(mp.commFraction, 0.0);
+    // MP8 single stream yields less aggregate throughput than DP8.
+    EXPECT_LT(mp.throughputTokensPerSec, dp.throughputTokensPerSec);
+}
+
+TEST(ApplianceTest, RejectsBadPlan)
+{
+    setLogLevel(LogLevel::Silent);
+    llm::InferenceRequest req;
+    PnmPlatformConfig cfg;
+    EXPECT_THROW(runPnmAppliance(llm::ModelConfig::tiny(), req, cfg,
+                                 {0, 8}),
+                 FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(D2dModelTest, ReductionCostComponents)
+{
+    D2dModel d2d;
+    cxl::CxlLinkParams link;
+    const double fixed_only = d2d.reductionSeconds(1.0, link);
+    EXPECT_NEAR(fixed_only, d2d.fixedSeconds, 1e-9);
+    const double mb = d2d.reductionSeconds(1e6, link);
+    EXPECT_NEAR(mb, d2d.fixedSeconds + 2e6 / link.usableBytesPerSec(),
+                1e-9);
+}
+
+// ---- TCO (Table III arithmetic with the paper's own inputs) ----
+
+TEST(TcoTest, ReproducesTableThreeGpuColumn)
+{
+    TcoInputs in;
+    in.name = "GPU appliance";
+    in.devices = 8;
+    in.devicePriceUsd = 10000.0;
+    in.appliancePowerW = 1800.0;           // 43.2 kWh/day
+    in.throughputTokensPerSec = 42.824;    // 3.7 M tokens/day
+    const auto r = computeTco(in);
+
+    EXPECT_NEAR(r.hardwareCostUsd, 80000.0, 1.0);
+    EXPECT_NEAR(r.tokensPerDayM, 3.7, 0.01);
+    EXPECT_NEAR(r.kwhPerDay, 43.2, 0.01);
+    EXPECT_NEAR(r.usdPerDay, 4.47, 0.01);  // Table III
+    EXPECT_NEAR(r.co2KgPerDay, 2.46, 0.01);
+    EXPECT_NEAR(r.tokensPerUsdM, 0.83, 0.01);
+    EXPECT_NEAR(r.tokensPerKgM, 1.5, 0.02);
+}
+
+TEST(TcoTest, ReproducesTableThreePnmColumn)
+{
+    TcoInputs in;
+    in.name = "CXL-PNM appliance";
+    in.devices = 8;
+    in.devicePriceUsd = 7000.0;
+    in.appliancePowerW = 641.7;            // 15.4 kWh/day
+    in.throughputTokensPerSec = 65.39;     // 5.65 M tokens/day
+    const auto r = computeTco(in);
+
+    EXPECT_NEAR(r.hardwareCostUsd, 56000.0, 1.0);
+    EXPECT_NEAR(r.tokensPerDayM, 5.65, 0.01);
+    EXPECT_NEAR(r.kwhPerDay, 15.4, 0.05);
+    EXPECT_NEAR(r.usdPerDay, 1.59, 0.01);  // Table III
+    EXPECT_NEAR(r.co2KgPerDay, 0.88, 0.01);
+    EXPECT_NEAR(r.tokensPerUsdM, 3.54, 0.05);
+    EXPECT_NEAR(r.tokensPerKgM, 6.42, 0.08);
+}
+
+TEST(TcoTest, RejectsBadInputs)
+{
+    setLogLevel(LogLevel::Silent);
+    TcoInputs in;
+    in.devices = 0;
+    EXPECT_THROW(computeTco(in), FatalError);
+    in.devices = 8;
+    in.throughputTokensPerSec = 0.0;
+    EXPECT_THROW(computeTco(in), FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+} // namespace
+} // namespace core
+} // namespace cxlpnm

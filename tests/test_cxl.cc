@@ -1,0 +1,299 @@
+/**
+ * @file
+ * CXL layer tests: link timing, host/PNM arbitration policies (D3),
+ * address interleaving (D4), and the CXL.mem / CXL.io ports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cxl/arbiter.hh"
+#include "cxl/interleave.hh"
+#include "cxl/link.hh"
+#include "cxl/ports.hh"
+#include "dram/module.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace cxl
+{
+namespace
+{
+
+/** Shared fixture: an LPDDR5X module behind an arbiter and a link. */
+class CxlFixture : public ::testing::Test
+{
+  protected:
+    CxlFixture()
+        : root(nullptr, ""),
+          mem(eq, &root, "mem", dram::DramTechSpec::lpddr5x()),
+          link(eq, &root, "link", CxlLinkParams{})
+    {}
+
+    EventQueue eq;
+    stats::StatGroup root;
+    dram::MultiChannelMemory mem;
+    CxlLink link;
+};
+
+TEST(CxlLinkTest, Gen5x16UsableBandwidth)
+{
+    CxlLinkParams p;
+    EXPECT_NEAR(p.peakBytesPerSec(), 64.0 * GB, 1e9);
+    EXPECT_NEAR(p.usableBytesPerSec(), 54.4 * GB, 1e9);
+}
+
+TEST_F(CxlFixture, LinkTransferTiming)
+{
+    Tick done = 0;
+    link.channel(Direction::Downstream)
+        .transfer(1u << 20, [&] { done = eq.now(); });
+    eq.run();
+    const double expect =
+        (1u << 20) / link.params().usableBytesPerSec() +
+        link.params().portLatencyNs * 1e-9;
+    EXPECT_NEAR(ticksToSeconds(done), expect, expect * 0.01);
+}
+
+TEST_F(CxlFixture, LinkDirectionsAreIndependent)
+{
+    Tick down = 0, up = 0;
+    link.channel(Direction::Downstream)
+        .transfer(8u << 20, [&] { down = eq.now(); });
+    link.channel(Direction::Upstream)
+        .transfer(8u << 20, [&] { up = eq.now(); });
+    eq.run();
+    // Full duplex: both finish at the same time, not serialised.
+    EXPECT_EQ(down, up);
+}
+
+TEST_F(CxlFixture, HardwareArbiterPassesBothSidesConcurrently)
+{
+    HostPnmArbiter arb(eq, &root, "arb", mem, {});
+    int host_done = 0, pnm_done = 0;
+
+    arb.beginPnmTask(); // ignored by hardware policy
+    dram::MemoryRequest h;
+    h.addr = 0;
+    h.bytes = 4096;
+    h.onComplete = [&] { ++host_done; };
+    arb.access(Requester::Host, std::move(h));
+
+    dram::MemoryRequest p;
+    p.addr = 1 << 20;
+    p.bytes = 4096;
+    p.onComplete = [&] { ++pnm_done; };
+    arb.access(Requester::Pnm, std::move(p));
+    eq.run();
+
+    EXPECT_EQ(host_done, 1);
+    EXPECT_EQ(pnm_done, 1);
+    // Host waited only the grant pipeline (~5 ns).
+    EXPECT_LT(arb.meanHostWaitNs(), 10.0);
+}
+
+TEST_F(CxlFixture, PollingArbiterBlocksHostDuringTask)
+{
+    HostPnmArbiter::Params params;
+    params.policy = HostPnmArbiter::Policy::PollingHandshake;
+    params.pollIntervalUs = 10.0;
+    HostPnmArbiter arb(eq, &root, "arb", mem, params);
+
+    Tick host_done = 0;
+    arb.beginPnmTask();
+    dram::MemoryRequest h;
+    h.addr = 0;
+    h.bytes = 64;
+    h.onComplete = [&] { host_done = eq.now(); };
+    arb.access(Requester::Host, std::move(h));
+
+    // The accelerator task runs 100 us; the host stays blocked.
+    eq.scheduleOneShot("endTask", 100 * tickPerUs,
+                       [&] { arb.endPnmTask(); });
+    eq.run();
+
+    // Released only after task end + half a poll interval.
+    EXPECT_GE(host_done, 100 * tickPerUs + 5 * tickPerUs);
+    EXPECT_GT(arb.meanHostWaitNs(), 100000.0);
+}
+
+TEST_F(CxlFixture, PollingArbiterUnblockedWhenIdle)
+{
+    HostPnmArbiter::Params params;
+    params.policy = HostPnmArbiter::Policy::PollingHandshake;
+    HostPnmArbiter arb(eq, &root, "arb", mem, params);
+
+    bool done = false;
+    dram::MemoryRequest h;
+    h.addr = 0;
+    h.bytes = 64;
+    h.onComplete = [&] { done = true; };
+    arb.access(Requester::Host, std::move(h));
+    eq.run();
+    EXPECT_TRUE(done);
+}
+
+TEST_F(CxlFixture, NestedPnmTaskPanics)
+{
+    setLogLevel(LogLevel::Silent);
+    HostPnmArbiter arb(eq, &root, "arb", mem, {});
+    arb.beginPnmTask();
+    EXPECT_THROW(arb.beginPnmTask(), PanicError);
+    arb.endPnmTask();
+    EXPECT_THROW(arb.endPnmTask(), PanicError);
+    setLogLevel(LogLevel::Info);
+}
+
+// ---- Interleaver ----
+
+TEST(InterleaveTest, MapUnmapBijectionSmall)
+{
+    AddressInterleaver il(4, 256);
+    for (Addr a = 0; a < 8192; ++a) {
+        auto t = il.map(a);
+        EXPECT_LT(t.way, 4u);
+        EXPECT_EQ(il.unmap(t), a);
+    }
+}
+
+TEST(InterleaveTest, ConsecutiveGranulesRotateWays)
+{
+    AddressInterleaver il(8, 256);
+    for (int g = 0; g < 16; ++g)
+        EXPECT_EQ(il.map(g * 256).way, static_cast<std::uint32_t>(g % 8));
+}
+
+TEST(InterleaveTest, HostInterleaveFragmentsContiguousRegion)
+{
+    // D4: with host interleaving across 8 DIMMs, a PNM device on one
+    // DIMM sees only 1/8 of a large contiguous buffer.
+    AddressInterleaver host_il(8, 256);
+    const double frac = host_il.contiguousSpanVisible(0, 1u << 20);
+    EXPECT_NEAR(frac, 0.125, 1e-3);
+
+    // CXL module-local view: one way == the whole module.
+    AddressInterleaver module_il(1, 256);
+    EXPECT_DOUBLE_EQ(module_il.contiguousSpanVisible(0, 1u << 20), 1.0);
+}
+
+/** Property sweep: bijectivity across configurations. */
+class InterleaveParamTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 std::uint64_t>>
+{};
+
+TEST_P(InterleaveParamTest, BijectionAndUniformity)
+{
+    auto [ways, granule] = GetParam();
+    AddressInterleaver il(ways, granule);
+    std::vector<std::uint64_t> per_way(ways, 0);
+
+    // Walk addresses with a stride coprime-ish to the granule.
+    for (Addr a = 0; a < granule * ways * 16; a += 37) {
+        auto t = il.map(a);
+        EXPECT_EQ(il.unmap(t), a);
+        per_way[t.way] += 1;
+    }
+    // Every way is used.
+    for (std::uint32_t w = 0; w < ways; ++w)
+        EXPECT_GT(per_way[w], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, InterleaveParamTest,
+    ::testing::Values(std::make_tuple(1u, 64ull),
+                      std::make_tuple(2u, 256ull),
+                      std::make_tuple(8u, 256ull),
+                      std::make_tuple(8u, 4096ull),
+                      std::make_tuple(64u, 256ull)));
+
+// ---- Ports ----
+
+TEST_F(CxlFixture, HostReadRoundTrip)
+{
+    HostPnmArbiter arb(eq, &root, "arb", mem, {});
+    CxlMemPort port(eq, &root, "memport", link, arb);
+
+    Tick done = 0;
+    port.hostRead(0, 64, [&] { done = eq.now(); });
+    eq.run();
+
+    // 2 port crossings + DRAM access + grant: order ~200 ns.
+    EXPECT_GT(done, 100 * tickPerNs);
+    EXPECT_LT(done, 1000 * tickPerNs);
+    EXPECT_GT(port.meanLatencyNs(), 0.0);
+}
+
+TEST_F(CxlFixture, HostWriteRoundTrip)
+{
+    HostPnmArbiter arb(eq, &root, "arb", mem, {});
+    CxlMemPort port(eq, &root, "memport", link, arb);
+
+    bool done = false;
+    port.hostWrite(4096, 64, [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(mem.channel(cxl::AddressInterleaver(64, 256).map(4096).way)
+                  .bytesWritten(),
+              64u);
+}
+
+TEST_F(CxlFixture, LargeHostReadIsBandwidthBound)
+{
+    HostPnmArbiter arb(eq, &root, "arb", mem, {});
+    CxlMemPort port(eq, &root, "memport", link, arb);
+
+    const std::uint64_t bytes = 64ull << 20;
+    Tick done = 0;
+    port.hostRead(0, bytes, [&] { done = eq.now(); });
+    eq.run();
+
+    // The 54.4 GB/s link, not the 0.92 TB/s DRAM, must dominate.
+    const double link_sec = bytes / link.params().usableBytesPerSec();
+    EXPECT_NEAR(ticksToSeconds(done), link_sec, link_sec * 0.1);
+}
+
+TEST_F(CxlFixture, IoPortRegisterAccessAndInterrupt)
+{
+    CxlIoPort io(eq, &root, "io", link);
+    std::uint64_t reg42 = 0;
+    io.setHandlers([&](Addr a) { return a == 42 ? reg42 : 0; },
+                   [&](Addr a, std::uint64_t v) {
+                       if (a == 42)
+                           reg42 = v;
+                   });
+
+    bool wrote = false;
+    io.writeRegister(42, 0xdead, [&] { wrote = true; });
+    eq.run();
+    EXPECT_TRUE(wrote);
+    EXPECT_EQ(reg42, 0xdeadu);
+
+    std::uint64_t readback = 0;
+    io.readRegister(42, [&](std::uint64_t v) { readback = v; });
+    eq.run();
+    EXPECT_EQ(readback, 0xdeadu);
+
+    Tick isr_at = 0;
+    const Tick t0 = eq.now();
+    io.raiseInterrupt([&] { isr_at = eq.now(); });
+    eq.run();
+    EXPECT_EQ(isr_at - t0,
+              static_cast<Tick>(CxlIoPort::interruptLatencyNs
+                                * tickPerNs));
+}
+
+TEST_F(CxlFixture, IoPortWithoutHandlersPanics)
+{
+    setLogLevel(LogLevel::Silent);
+    CxlIoPort io(eq, &root, "io", link);
+    EXPECT_THROW(io.writeRegister(0, 0, nullptr), PanicError);
+    EXPECT_THROW(io.readRegister(0, [](std::uint64_t) {}), PanicError);
+    setLogLevel(LogLevel::Info);
+}
+
+} // namespace
+} // namespace cxl
+} // namespace cxlpnm

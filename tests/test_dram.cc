@@ -1,0 +1,291 @@
+/**
+ * @file
+ * DRAM subsystem tests: Table I derivations per technology, channel
+ * timing behaviour, module striping, and the power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/channel.hh"
+#include "dram/dram_spec.hh"
+#include "dram/module.hh"
+#include "dram/power.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace dram
+{
+namespace
+{
+
+// ---- Table I: per-package rows ----
+
+TEST(DramSpecTest, Ddr5PackageRow)
+{
+    auto s = DramTechSpec::ddr5();
+    EXPECT_NEAR(s.bandwidthPerPackage(), 2.8 * GB, 1e6);
+    EXPECT_NEAR(s.capacityPerPackage(), 16.0 * GB, 1e6);
+}
+
+TEST(DramSpecTest, Gddr6PackageRow)
+{
+    auto s = DramTechSpec::gddr6();
+    EXPECT_NEAR(s.bandwidthPerPackage(), 96.0 * GB, 1e6);
+    EXPECT_NEAR(s.capacityPerPackage(), 2.0 * GB, 1e6);
+}
+
+TEST(DramSpecTest, Hbm3PackageRow)
+{
+    auto s = DramTechSpec::hbm3();
+    EXPECT_NEAR(s.bandwidthPerPackage(), 819.2 * GB, 1e9);
+    EXPECT_NEAR(s.capacityPerPackage(), 16.0 * GB, 1e6);
+}
+
+TEST(DramSpecTest, Lpddr5xPackageRow)
+{
+    auto s = DramTechSpec::lpddr5x();
+    EXPECT_NEAR(s.bandwidthPerPackage(), 136.0 * GB, 1e9);
+    EXPECT_NEAR(s.capacityPerPackage(), 64.0 * GB, 1e6);
+}
+
+// ---- Table I: per-module rows ----
+
+TEST(DramSpecTest, ModuleRowsMatchTableOne)
+{
+    auto d = DramTechSpec::ddr5();
+    EXPECT_EQ(d.ioWidthPerModule(), 128);
+    EXPECT_NEAR(d.bandwidthPerModule(), 89.6 * GB, 1e9);
+    EXPECT_NEAR(d.capacityPerModule(), 512.0 * GB, 1e9);
+
+    auto g = DramTechSpec::gddr6();
+    EXPECT_EQ(g.ioWidthPerModule(), 512);
+    EXPECT_NEAR(g.bandwidthPerModule(), 1.536 * TB, 1e9);
+    EXPECT_NEAR(g.capacityPerModule(), 32.0 * GB, 1e9);
+
+    auto h = DramTechSpec::hbm3();
+    EXPECT_EQ(h.ioWidthPerModule(), 5120);
+    EXPECT_NEAR(h.bandwidthPerModule(), 4.096 * TB, 1e10);
+    EXPECT_NEAR(h.capacityPerModule(), 80.0 * GB, 1e9);
+
+    auto l = DramTechSpec::lpddr5x();
+    EXPECT_EQ(l.ioWidthPerModule(), 1024);
+    EXPECT_NEAR(l.bandwidthPerModule(), 1.088 * TB, 1e9);
+    EXPECT_NEAR(l.capacityPerModule(), 512.0 * GB, 1e9);
+}
+
+TEST(DramSpecTest, NormalisedModulePowerMatchesTableOne)
+{
+    const double base = DramTechSpec::lpddr5x().powerPerModule();
+    EXPECT_NEAR(DramTechSpec::ddr5().powerPerModule() / base, 0.35, 0.01);
+    EXPECT_NEAR(DramTechSpec::gddr6().powerPerModule() / base, 0.96, 0.01);
+    EXPECT_NEAR(DramTechSpec::hbm3().powerPerModule() / base, 3.00, 0.01);
+    EXPECT_NEAR(base, 40.0, 1.0); // Table II: DRAM total power ~40 W
+}
+
+TEST(DramSpecTest, LpddrEnergyPerBitBelowGddr6)
+{
+    // §I: LPDDR5X has 14% lower pJ/bit than GDDR6.
+    auto l = DramTechSpec::lpddr5x();
+    auto g = DramTechSpec::gddr6();
+    EXPECT_NEAR(l.energyPerBitPj / g.energyPerBitPj, 0.86, 0.01);
+}
+
+TEST(DramSpecTest, OneTerabyteVariant)
+{
+    auto t = DramTechSpec::lpddr5x1Tb();
+    EXPECT_NEAR(t.capacityPerModule(), 1.024 * TB, 1e9);
+    // Same interface: bandwidth unchanged.
+    EXPECT_NEAR(t.bandwidthPerModule(),
+                DramTechSpec::lpddr5x().bandwidthPerModule(), 1.0);
+}
+
+TEST(DramSpecTest, StreamEfficiencyInCalibratedBand)
+{
+    // The sustained/peak ratio the whole evaluation rests on (~0.84).
+    auto l = DramTechSpec::lpddr5x();
+    EXPECT_GT(l.streamEfficiency(), 0.80);
+    EXPECT_LT(l.streamEfficiency(), 0.88);
+}
+
+// ---- Channel timing ----
+
+TEST(ChannelTest, SingleBurstTiming)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    auto spec = DramTechSpec::lpddr5x();
+    MemoryChannel ch(eq, &root, "ch", spec, 17.0 * GB);
+
+    Tick done = 0;
+    ChannelRequest r;
+    r.bytes = 1u << 20; // 1 MiB
+    r.onComplete = [&] { done = eq.now(); };
+    ch.access(std::move(r));
+    eq.run();
+
+    // 1 MiB at 17 GB/s * eff, plus access latency.
+    const double expect_sec =
+        (1u << 20) / (17.0 * GB * spec.streamEfficiency()) +
+        spec.accessLatencyNs * 1e-9;
+    EXPECT_NEAR(ticksToSeconds(done), expect_sec, expect_sec * 0.01);
+    EXPECT_EQ(ch.bytesRead(), 1u << 20);
+}
+
+TEST(ChannelTest, BackToBackBurstsPipeline)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    auto spec = DramTechSpec::lpddr5x();
+    MemoryChannel ch(eq, &root, "ch", spec, 17.0 * GB);
+
+    Tick t1 = 0, t2 = 0;
+    ChannelRequest a, b;
+    a.bytes = b.bytes = 1u << 20;
+    a.onComplete = [&] { t1 = eq.now(); };
+    b.onComplete = [&] { t2 = eq.now(); };
+    ch.access(std::move(a));
+    ch.access(std::move(b));
+    eq.run();
+
+    // The second burst waits for bus occupancy only, not for the first
+    // completion callback: gap == one occupancy, not occupancy+latency.
+    const Tick occupancy = t2 - t1;
+    const double occ_sec =
+        (1u << 20) / (17.0 * GB * spec.streamEfficiency());
+    EXPECT_NEAR(ticksToSeconds(occupancy), occ_sec, occ_sec * 0.01);
+}
+
+TEST(ChannelTest, WritesAreCountedSeparately)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    auto spec = DramTechSpec::lpddr5x();
+    MemoryChannel ch(eq, &root, "ch", spec, 17.0 * GB);
+
+    ChannelRequest w;
+    w.bytes = 4096;
+    w.isRead = false;
+    ch.access(std::move(w));
+    eq.run();
+    EXPECT_EQ(ch.bytesWritten(), 4096u);
+    EXPECT_EQ(ch.bytesRead(), 0u);
+}
+
+TEST(ChannelTest, ZeroByteAccessPanics)
+{
+    setLogLevel(LogLevel::Silent);
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    auto spec = DramTechSpec::lpddr5x();
+    MemoryChannel ch(eq, &root, "ch", spec, 17.0 * GB);
+    EXPECT_THROW(ch.access(ChannelRequest{}), PanicError);
+    setLogLevel(LogLevel::Info);
+}
+
+// ---- Module ----
+
+TEST(ModuleTest, LpddrModuleHas64Channels)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    MultiChannelMemory mem(eq, &root, "mem", DramTechSpec::lpddr5x());
+    EXPECT_EQ(mem.channelCount(), 64u);
+    EXPECT_NEAR(mem.peakBandwidth(), 1.088 * TB, 1e9);
+    EXPECT_NEAR(mem.capacityBytes(), 512.0 * GB, 1e9);
+}
+
+TEST(ModuleTest, StreamingRequestAchievesSustainedBandwidth)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    MultiChannelMemory mem(eq, &root, "mem", DramTechSpec::lpddr5x());
+
+    const std::uint64_t bytes = 256ull << 20; // 256 MiB weight stream
+    Tick done = 0;
+    MemoryRequest r;
+    r.addr = 0;
+    r.bytes = bytes;
+    r.onComplete = [&] { done = eq.now(); };
+    mem.access(std::move(r));
+    eq.run();
+
+    const double achieved = bytes / ticksToSeconds(done);
+    // Within 2% of sustained module bandwidth (latency amortised).
+    EXPECT_NEAR(achieved, mem.sustainedBandwidth(),
+                mem.sustainedBandwidth() * 0.02);
+}
+
+TEST(ModuleTest, SmallRequestHitsOneChannel)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    MultiChannelMemory mem(eq, &root, "mem", DramTechSpec::lpddr5x());
+
+    MemoryRequest r;
+    r.addr = 256 * 5; // granule 5 -> channel 5
+    r.bytes = 64;
+    bool done = false;
+    r.onComplete = [&] { done = true; };
+    mem.access(std::move(r));
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(mem.channel(5).bytesRead(), 64u);
+    EXPECT_EQ(mem.totalBytes(), 64u);
+}
+
+TEST(ModuleTest, UnalignedRequestSplitsAcrossAdjacentChannels)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    MultiChannelMemory mem(eq, &root, "mem", DramTechSpec::lpddr5x());
+
+    MemoryRequest r;
+    r.addr = 256 - 16; // 16 bytes in ch0's granule, 48 into ch1
+    r.bytes = 64;
+    mem.access(std::move(r));
+    eq.run();
+    EXPECT_EQ(mem.channel(0).bytesRead(), 16u);
+    EXPECT_EQ(mem.channel(1).bytesRead(), 48u);
+}
+
+TEST(ModuleTest, OutOfRangeAccessIsFatal)
+{
+    setLogLevel(LogLevel::Silent);
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    MultiChannelMemory mem(eq, &root, "mem", DramTechSpec::lpddr5x());
+    MemoryRequest r;
+    r.addr = mem.capacityBytes() - 32;
+    r.bytes = 64;
+    EXPECT_THROW(mem.access(std::move(r)), FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+// ---- Power ----
+
+TEST(DramPowerTest, StreamingPowerNear40W)
+{
+    auto spec = DramTechSpec::lpddr5x();
+    DramPowerModel p(spec);
+    // Full-stream power is the Table II "DRAM total power ~40W" row.
+    const double w = p.streamingPowerW(spec.bandwidthPerModule());
+    EXPECT_NEAR(w, 40.0, 2.0);
+}
+
+TEST(DramPowerTest, EnergyDecomposition)
+{
+    auto spec = DramTechSpec::lpddr5x();
+    DramPowerModel p(spec);
+    const std::uint64_t bytes = 1000000000ull; // 1 GB
+    const double te = p.transferEnergyJ(bytes);
+    EXPECT_NEAR(te, 8e9 * spec.energyPerBitPj * 1e-12, 1e-6);
+    // One second of background + the transfer.
+    const double total = p.energyJ(bytes, tickPerSec);
+    EXPECT_NEAR(total, te + p.backgroundPowerW(), 1e-9);
+}
+
+} // namespace
+} // namespace dram
+} // namespace cxlpnm

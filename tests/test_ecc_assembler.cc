@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the §IX RAS/ECC model and the textual assembler
+ * (disassemble -> assemble round trips across generated programs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/ecc.hh"
+#include "isa/assembler.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace
+{
+
+// ---- ECC ----
+
+TEST(EccTest, InlineEccCostsCapacityAndBandwidth)
+{
+    auto spec = dram::DramTechSpec::lpddr5x();
+    dram::EccModel ecc(spec, dram::EccConfig{});
+
+    // 8/9 code rate: ~56.9 GB of the 512 GB module holds parity.
+    EXPECT_NEAR(ecc.capacityOverhead(), 1.0 / 9.0, 1e-9);
+    EXPECT_NEAR(ecc.usableCapacityBytes() / GB, 512.0 * 8 / 9, 1.0);
+
+    const double sustained = 0.913e12;
+    const double eff = ecc.effectiveBandwidth(sustained);
+    EXPECT_LT(eff, sustained * 8.0 / 9.0 + 1.0);
+    EXPECT_GT(eff, sustained * 8.0 / 9.0 * 0.99);
+}
+
+TEST(EccTest, ProtectionOffIsFree)
+{
+    auto spec = dram::DramTechSpec::lpddr5x();
+    dram::EccConfig cfg;
+    cfg.onDieEcc = cfg.inlineEcc = cfg.linkEcc = cfg.scrubbing = false;
+    dram::EccModel ecc(spec, cfg);
+    EXPECT_DOUBLE_EQ(ecc.capacityOverhead(), 0.0);
+    EXPECT_DOUBLE_EQ(ecc.effectiveBandwidth(1e12), 1e12);
+    // ...but the raw error rate is catastrophic at datacenter scale.
+    EXPECT_GT(ecc.uncorrectableErrorsPerDay(0.9e12), 1.0);
+}
+
+TEST(EccTest, FullProtectionReachesDatacenterScale)
+{
+    auto spec = dram::DramTechSpec::lpddr5x();
+    dram::EccModel ecc(spec, dram::EccConfig{});
+    // Streaming ~0.9 TB/s all day: far less than one uncorrectable
+    // error per day (the §IX "enough ... for datacenter scale" claim).
+    EXPECT_LT(ecc.uncorrectableErrorsPerDay(0.9e12), 1e-3);
+}
+
+TEST(EccTest, EachStageImprovesResidualRate)
+{
+    auto spec = dram::DramTechSpec::lpddr5x();
+    dram::EccConfig none;
+    none.onDieEcc = none.inlineEcc = none.linkEcc = false;
+    dram::EccConfig ondie = none;
+    ondie.onDieEcc = true;
+    dram::EccConfig both = ondie;
+    both.inlineEcc = true;
+
+    const double p_none =
+        dram::EccModel(spec, none).uncorrectableBitErrorRate();
+    const double p_ondie =
+        dram::EccModel(spec, ondie).uncorrectableBitErrorRate();
+    const double p_both =
+        dram::EccModel(spec, both).uncorrectableBitErrorRate();
+    EXPECT_LT(p_ondie, p_none);
+    EXPECT_LT(p_both, p_ondie);
+
+    dram::EccConfig link = none;
+    const double l_raw =
+        dram::EccModel(spec, link).residualLinkErrorRate();
+    link.linkEcc = true;
+    const double l_ecc =
+        dram::EccModel(spec, link).residualLinkErrorRate();
+    EXPECT_LT(l_ecc, l_raw);
+}
+
+// ---- Assembler ----
+
+TEST(AssemblerTest, SingleLineRoundTrip)
+{
+    isa::Instruction i;
+    i.op = isa::Opcode::MpuMmRedumaxPea;
+    i.flags = isa::FlagTransB | isa::FlagMultiHead |
+        isa::FlagMemOperand;
+    i.dst = 4;
+    i.src0 = 2;
+    i.aux = 9;
+    i.m = 40;
+    i.n = 512;
+    i.k = 128;
+    i.scale = 0.0883883f;
+    i.memAddr = 0xabc000;
+
+    const auto parsed = isa::assembleLine(i.toString());
+    EXPECT_EQ(parsed, i);
+}
+
+TEST(AssemblerTest, SliceWithPackedOffsetsRoundTrips)
+{
+    isa::Instruction i;
+    i.op = isa::Opcode::MpuSlice;
+    i.dst = 1;
+    i.src0 = 2;
+    i.m = 64;
+    i.n = 128;
+    i.k = 3;              // source row offset
+    i.imm = (256u << 16) | 128u;
+    const auto parsed = isa::assembleLine(i.toString());
+    EXPECT_EQ(parsed, i);
+}
+
+TEST(AssemblerTest, ProgramRoundTripWithCommentsAndNumbers)
+{
+    isa::Program p;
+    isa::Instruction a;
+    a.op = isa::Opcode::DmaLoad;
+    a.dst = 0;
+    a.m = 1;
+    a.n = 64;
+    a.memAddr = 0x1000;
+    p.append(a);
+    isa::Instruction b;
+    b.op = isa::Opcode::VpuGelu;
+    b.dst = b.src0 = 0;
+    b.m = 1;
+    b.n = 64;
+    p.append(b);
+
+    // toString emits "N: ..." lines; add comments and blanks.
+    const std::string text =
+        "# acceleration code\n\n" + p.toString() + "\n";
+    const auto q = isa::assemble(text);
+    ASSERT_EQ(q.size(), p.size());
+    for (std::size_t n = 0; n < p.size(); ++n)
+        EXPECT_EQ(q[n], p[n]);
+}
+
+TEST(AssemblerTest, DisassembleMatchesToString)
+{
+    isa::Program p;
+    isa::Instruction i;
+    i.op = isa::Opcode::Sync;
+    p.append(i);
+    EXPECT_EQ(isa::disassemble(p), i.toString() + "\n");
+}
+
+TEST(AssemblerTest, RejectsGarbage)
+{
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(isa::assembleLine("FOO dst=r0"), FatalError);
+    EXPECT_THROW(isa::assembleLine("MPU_MV dst=x3 [m=1 n=2 k=0]"),
+                 FatalError);
+    EXPECT_THROW(isa::assembleLine("MPU_MV dst=r1 src0=r0 src1=-"),
+                 FatalError); // missing dims
+    EXPECT_THROW(isa::assembleLine("MPU_MV dst=r1 wibble [m=1 n=1 k=0]"),
+                 FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+} // namespace
+} // namespace cxlpnm

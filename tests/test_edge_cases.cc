@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Edge-case and error-path coverage across modules: buffer bounds,
+ * malformed inputs, lifecycle corner cases, and stat bookkeeping that
+ * the main suites do not reach.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/functional_memory.hh"
+#include "core/platform.hh"
+#include "cxl/interleave.hh"
+#include "dram/module.hh"
+#include "isa/isa.hh"
+#include "numeric/linalg.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace
+{
+
+TEST(FunctionalMemoryTest, BoundsAreEnforced)
+{
+    setLogLevel(LogLevel::Silent);
+    accel::FunctionalMemory mem(1024);
+    std::uint8_t buf[16] = {};
+    EXPECT_NO_THROW(mem.write(1008, buf, 16));
+    EXPECT_THROW(mem.write(1009, buf, 16), FatalError);
+    EXPECT_THROW(mem.read(1020, buf, 8), FatalError);
+    EXPECT_THROW(mem.readTensor(1000, 4, 4), FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(FunctionalMemoryTest, TensorRoundTripPreservesBits)
+{
+    accel::FunctionalMemory mem(4096);
+    HalfTensor t(3, 7);
+    t.fillGaussian(1, 2.0);
+    t.at(0, 0) = Half::quietNan();
+    t.at(1, 1) = -Half::infinity();
+    t.at(2, 2) = Half::minSubnormal();
+    mem.writeTensor(100, t);
+    HalfTensor back = mem.readTensor(100, 3, 7);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(back.data()[i].bits(), t.data()[i].bits());
+}
+
+TEST(ProgramDecodeTest, StopsAtEmbeddedHalt)
+{
+    isa::Program p;
+    isa::Instruction a;
+    a.op = isa::Opcode::Sync;
+    p.append(a);
+    auto bytes = p.encode(); // Sync + Halt terminator
+    // Append garbage after the halt: decode must not see it.
+    isa::Instruction junk;
+    junk.op = isa::Opcode::VpuGelu;
+    junk.m = junk.n = 4;
+    auto extra = junk.encode();
+    bytes.insert(bytes.end(), extra.begin(), extra.end());
+    const auto q = isa::Program::decode(bytes);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q[0].op, isa::Opcode::Sync);
+}
+
+TEST(InterleaveTest, UnmapRejectsBadWay)
+{
+    setLogLevel(LogLevel::Silent);
+    cxl::AddressInterleaver il(4, 256);
+    cxl::InterleaveTarget t;
+    t.way = 4;
+    EXPECT_THROW(il.unmap(t), PanicError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(InterleaveTest, DegenerateConfigsRejected)
+{
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(cxl::AddressInterleaver(0, 256), FatalError);
+    EXPECT_THROW(cxl::AddressInterleaver(4, 0), FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(ModuleTest, WritesCountTowardTotals)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    dram::MultiChannelMemory mem(eq, &root, "mem",
+                                 dram::DramTechSpec::lpddr5x());
+    dram::MemoryRequest w;
+    w.addr = 0;
+    w.bytes = 1 << 16;
+    w.isRead = false;
+    mem.access(std::move(w));
+    eq.run();
+    EXPECT_EQ(mem.totalBytes(), 1u << 16);
+    EXPECT_EQ(mem.channel(0).bytesRead(), 0u);
+    EXPECT_GT(mem.channel(0).bytesWritten(), 0u);
+}
+
+TEST(ModuleTest, BadChannelGroupingIsFatal)
+{
+    setLogLevel(LogLevel::Silent);
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    // 64 channels are not divisible by 7.
+    EXPECT_THROW(dram::MultiChannelMemory(eq, &root, "mem",
+                                          dram::DramTechSpec::lpddr5x(),
+                                          256, 7),
+                 FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(DriverTest, UnmappedRegisterPanics)
+{
+    setLogLevel(LogLevel::Silent);
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    core::PnmPlatformConfig cfg;
+    core::PnmDevice dev(eq, &root, "dev", cfg);
+    bool threw = false;
+    dev.ioPort().writeRegister(0xdead0, 1, nullptr);
+    try {
+        eq.run();
+    } catch (const PanicError &) {
+        threw = true;
+    }
+    EXPECT_TRUE(threw);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(DriverTest, DoorbellWithoutProgramPanics)
+{
+    setLogLevel(LogLevel::Silent);
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    core::PnmPlatformConfig cfg;
+    core::PnmDevice dev(eq, &root, "dev", cfg);
+    dev.driver().execute(nullptr);
+    EXPECT_THROW(eq.run(), PanicError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(LibraryTest, ShardRequiresTimingOnlyDevice)
+{
+    setLogLevel(LogLevel::Silent);
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    core::PnmPlatformConfig cfg;
+    cfg.functionalBytes = 8 * MiB; // functional -> sharding forbidden
+    core::PnmDevice dev(eq, &root, "dev", cfg);
+    EXPECT_THROW(dev.library().setTensorShard(2), FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(LibraryTest, ContextOverflowIsFatal)
+{
+    setLogLevel(LogLevel::Silent);
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    core::PnmPlatformConfig cfg;
+    cfg.functionalBytes = 24 * MiB;
+    core::PnmDevice dev(eq, &root, "dev", cfg);
+
+    auto model = llm::ModelConfig::tiny();
+    model.maxPositions = 4;
+    dev.library().loadModel(model, 1, nullptr);
+    eq.run();
+    std::uint32_t tok = 0;
+    dev.library().prefill({1, 2, 3}, [&](std::uint32_t t) { tok = t; });
+    eq.run();
+    dev.library().decode(tok, [&](std::uint32_t t) { tok = t; });
+    eq.run(); // context now 4 == maxPositions
+    EXPECT_THROW(dev.library().decode(tok, nullptr), FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(HalfTest, NegationFlipsOnlySignBit)
+{
+    for (std::uint32_t b : {0x0000u, 0x3c00u, 0x7c00u, 0x0001u}) {
+        Half h = Half::fromBits(static_cast<std::uint16_t>(b));
+        EXPECT_EQ((-h).bits(), b ^ 0x8000u);
+    }
+}
+
+TEST(LinalgTest, GemmBiasRejectsBadBias)
+{
+    setLogLevel(LogLevel::Silent);
+    Tensor<double> a(2, 3), b(3, 2), bias(2, 2), out(2, 2);
+    EXPECT_THROW(linalg::gemmBias(a, b, bias, out), PanicError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(StatsTest, AverageDumpIncludesMinMax)
+{
+    stats::StatGroup root(nullptr, "root");
+    stats::Average a(&root, "lat", "latency");
+    a.sample(3.0);
+    std::ostringstream os;
+    root.dumpStats(os);
+    EXPECT_NE(os.str().find("root.lat::min 3"), std::string::npos);
+    EXPECT_NE(os.str().find("root.lat::max 3"), std::string::npos);
+}
+
+TEST(EventQueueTest, UnfiredOneShotsFreedAtDestruction)
+{
+    // Covered by ASAN-free runs; structurally: destroying a queue with
+    // pending one-shots must not crash or double-free.
+    auto *eq = new EventQueue();
+    for (int i = 0; i < 100; ++i)
+        eq->scheduleOneShot("pending", 1000 + i, [] {});
+    delete eq; // reclaims the one-shots
+    SUCCEED();
+}
+
+} // namespace
+} // namespace cxlpnm

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * GPU baseline model tests: spec presets, efficiency curves, roofline
+ * kernel timing, NCCL model, offload path, tensor parallelism and the
+ * power model, with property sweeps for monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/inference.hh"
+#include "llm/model_config.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace gpu
+{
+namespace
+{
+
+TEST(GpuSpecTest, A100Presets)
+{
+    auto s = GpuSpec::a100_40g();
+    EXPECT_EQ(s.memBytes, 40ull * 1000 * 1000 * 1000);
+    EXPECT_NEAR(s.memBandwidth, 1.555e12, 1e9);
+    EXPECT_NEAR(s.peakFp16Flops, 312e12, 1e12);
+    EXPECT_DOUBLE_EQ(s.priceUsd, 10000.0); // Table III
+
+    EXPECT_GT(GpuSpec::a100_80g().memBandwidth, s.memBandwidth);
+    EXPECT_NEAR(GpuSpec::h100().memBandwidth, 4.096e12, 1e10);
+}
+
+TEST(GpuCalibTest, BandwidthEfficiencyCurveShape)
+{
+    GpuCalibration c;
+    // Monotone increasing, saturating at bwEffMax, floored for tiny
+    // kernels.
+    EXPECT_GE(c.bandwidthEfficiency(1.0), 0.03);
+    EXPECT_LT(c.bandwidthEfficiency(1e6),
+              c.bandwidthEfficiency(50e6));
+    EXPECT_LT(c.bandwidthEfficiency(50e6),
+              c.bandwidthEfficiency(500e6));
+    EXPECT_LE(c.bandwidthEfficiency(1e12), c.bwEffMax);
+    EXPECT_NEAR(c.bandwidthEfficiency(1e9), c.bwEffMax, 1e-6);
+}
+
+TEST(GpuCalibTest, ComputeEfficiencyCurveShape)
+{
+    GpuCalibration c;
+    EXPECT_NEAR(c.computeEfficiency(1e3), c.computeEffFloor, 1e-9);
+    EXPECT_LT(c.computeEfficiency(4e9), c.computeEfficiency(40e9));
+    EXPECT_LE(c.computeEfficiency(1e15), c.gemmComputeEffMax);
+}
+
+TEST(GpuCalibTest, AllReduceCostModel)
+{
+    GpuCalibration c;
+    EXPECT_DOUBLE_EQ(c.allReduceSec(1e6, 1), 0.0); // no peers
+    // Latency grows with the GPU count (log term) and the size.
+    EXPECT_LT(c.allReduceSec(1e3, 2), c.allReduceSec(1e3, 8));
+    EXPECT_LT(c.allReduceSec(1e3, 8), c.allReduceSec(100e6, 8));
+    // Small-message 8-GPU all-reduce is ~50 us (Fig. 11 anchor).
+    EXPECT_NEAR(c.allReduceSec(18432.0, 8), 50e-6, 10e-6);
+}
+
+TEST(KernelModelTest, MemoryVsComputeBound)
+{
+    const auto spec = GpuSpec::a100_40g();
+    GpuCalibration calib;
+
+    // GEMV: huge weight traffic, tiny flops -> memory bound.
+    llm::Op gemv;
+    gemv.kind = llm::OpKind::Fc1;
+    gemv.m = 1;
+    gemv.n = 20480;
+    gemv.k = 5120;
+    gemv.weightBytes = 2ull * 20480 * 5120;
+    auto kt = kernelTime(gemv, spec, calib, 1);
+    EXPECT_TRUE(kt.memBound);
+    EXPECT_LT(kt.computeUtil, 0.01);
+
+    // Big GEMM: compute bound.
+    llm::Op gemm = gemv;
+    gemm.m = 2048;
+    auto kt2 = kernelTime(gemm, spec, calib, 1);
+    EXPECT_FALSE(kt2.memBound);
+    EXPECT_GT(kt2.computeUtil, 0.3);
+}
+
+TEST(KernelModelTest, TensorParallelismSplitsWork)
+{
+    const auto spec = GpuSpec::a100_40g();
+    GpuCalibration calib;
+    llm::Op op;
+    op.kind = llm::OpKind::Fc1;
+    op.m = 1;
+    op.n = 20480;
+    op.k = 5120;
+    op.weightBytes = 2ull * 20480 * 5120;
+
+    auto t1 = kernelTime(op, spec, calib, 1);
+    auto t8 = kernelTime(op, spec, calib, 8);
+    // 8-way split is faster but sub-linear (efficiency knee).
+    EXPECT_LT(t8.seconds, t1.seconds);
+    EXPECT_GT(t8.seconds, t1.seconds / 8.0);
+}
+
+TEST(GpuInferenceTest, ModelFitsLogicMatchesPaper)
+{
+    llm::InferenceRequest req;
+    req.inputTokens = 64;
+    req.outputTokens = 1024;
+    const auto spec = GpuSpec::a100_40g();
+    EXPECT_TRUE(modelFits(llm::ModelConfig::opt13b(), req, spec, 1));
+    EXPECT_FALSE(modelFits(llm::ModelConfig::opt30b(), req, spec, 1));
+    EXPECT_FALSE(modelFits(llm::ModelConfig::opt66b(), req, spec, 1));
+    // Eight GPUs hold OPT-66B (the paper's DGX setup).
+    EXPECT_TRUE(modelFits(llm::ModelConfig::opt66b(), req, spec, 8));
+}
+
+TEST(GpuInferenceTest, OffloadDominatedByCopies)
+{
+    llm::InferenceRequest req;
+    req.inputTokens = 64;
+    req.outputTokens = 8;
+    const auto r =
+        runGpuInference(llm::ModelConfig::opt30b(), req,
+                        GpuSpec::a100_40g(), GpuCalibration{}, 1);
+    EXPECT_GT(r.copyFraction, 0.95); // Fig. 3
+    // Offloaded decode is seconds per token.
+    EXPECT_GT(r.genSeconds.back(), 5.0);
+}
+
+TEST(GpuInferenceTest, InMemoryModelHasNoCopies)
+{
+    llm::InferenceRequest req;
+    req.inputTokens = 64;
+    req.outputTokens = 8;
+    const auto r =
+        runGpuInference(llm::ModelConfig::opt13b(), req,
+                        GpuSpec::a100_40g(), GpuCalibration{}, 1);
+    EXPECT_DOUBLE_EQ(r.copyFraction, 0.0);
+    EXPECT_GT(r.genSeconds.back(), 0.0);
+    EXPECT_LT(r.genSeconds.back(), 0.05);
+}
+
+TEST(GpuInferenceTest, GenLatencyGrowsWithContext)
+{
+    llm::InferenceRequest req;
+    req.inputTokens = 64;
+    req.outputTokens = 512;
+    const auto r =
+        runGpuInference(llm::ModelConfig::opt6_7b(), req,
+                        GpuSpec::a100_40g(), GpuCalibration{}, 1);
+    // KV cache grows, so later tokens are slower.
+    EXPECT_GT(r.genSeconds.back(), r.genSeconds.front());
+}
+
+TEST(GpuInferenceTest, PowerWithinDeviceEnvelope)
+{
+    llm::InferenceRequest req;
+    req.inputTokens = 64;
+    req.outputTokens = 64;
+    const auto spec = GpuSpec::a100_40g();
+    for (const auto &m : {llm::ModelConfig::opt1_3b(),
+                          llm::ModelConfig::opt13b()}) {
+        const auto r =
+            runGpuInference(m, req, spec, GpuCalibration{}, 1);
+        EXPECT_GE(r.avgPowerW, spec.idlePowerW);
+        EXPECT_LE(r.avgPowerW, spec.tdpW);
+    }
+}
+
+TEST(GpuInferenceTest, RejectsZeroDevices)
+{
+    setLogLevel(LogLevel::Silent);
+    llm::InferenceRequest req;
+    EXPECT_THROW(runGpuInference(llm::ModelConfig::opt13b(), req,
+                                 GpuSpec::a100_40g(),
+                                 GpuCalibration{}, 0),
+                 FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+/** Property sweep: more GPUs never makes a fitting model slower. */
+class TpSweepTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TpSweepTest, ThroughputScalesReasonably)
+{
+    const int tp = GetParam();
+    llm::InferenceRequest req;
+    req.inputTokens = 64;
+    req.outputTokens = 16;
+    const auto m = llm::ModelConfig::opt66b();
+    const auto base = runGpuInference(m, req, GpuSpec::a100_40g(),
+                                      GpuCalibration{}, 8);
+    const auto r = runGpuInference(m, req, GpuSpec::a100_40g(),
+                                   GpuCalibration{}, tp);
+    if (tp >= 8) {
+        // More devices than the baseline: no worse than 8 with slack
+        // for extra all-reduce latency.
+        EXPECT_LT(r.totalSeconds, base.totalSeconds * 1.3);
+    } else {
+        // Fewer devices must offload or run slower.
+        EXPECT_GT(r.totalSeconds, base.totalSeconds * 0.9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, TpSweepTest,
+                         ::testing::Values(4, 8, 16));
+
+} // namespace
+} // namespace gpu
+} // namespace cxlpnm

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * ISA tests: encode/decode round-trips, program serialisation, opcode
+ * classification, disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace isa
+{
+namespace
+{
+
+Instruction
+sampleInst()
+{
+    Instruction i;
+    i.op = Opcode::MpuMmPea;
+    i.flags = FlagTransB | FlagMemOperand;
+    i.dst = 3;
+    i.src0 = 1;
+    i.src1 = NoReg;
+    i.aux = 7;
+    i.m = 64;
+    i.n = 5120;
+    i.k = 5120;
+    i.imm = 0;
+    i.scale = 0.088388f;
+    i.memAddr = 0x123456789abull;
+    return i;
+}
+
+TEST(IsaTest, EncodeDecodeRoundTrip)
+{
+    Instruction i = sampleInst();
+    auto bytes = i.encode();
+    Instruction j = Instruction::decode(bytes.data());
+    EXPECT_EQ(i, j);
+}
+
+TEST(IsaTest, RoundTripAllOpcodes)
+{
+    const Opcode ops[] = {
+        Opcode::Halt, Opcode::DmaLoad, Opcode::DmaStore, Opcode::MpuMv,
+        Opcode::MpuTranspose, Opcode::MpuIm2col, Opcode::MpuMmPea,
+        Opcode::MpuMmRedumaxPea, Opcode::MpuMaskedMmPea,
+        Opcode::MpuMaskedMmRedumaxPea, Opcode::MpuConv2dPea,
+        Opcode::MpuConv2dGeluPea, Opcode::VpuLayerNorm,
+        Opcode::VpuSoftmax, Opcode::VpuGelu, Opcode::VpuAdd,
+        Opcode::VpuMul, Opcode::VpuReduMax, Opcode::Sync,
+    };
+    for (Opcode op : ops) {
+        Instruction i = sampleInst();
+        i.op = op;
+        auto bytes = i.encode();
+        EXPECT_EQ(Instruction::decode(bytes.data()), i)
+            << opcodeName(op);
+    }
+}
+
+TEST(IsaTest, DecodeRejectsBadOpcode)
+{
+    setLogLevel(LogLevel::Silent);
+    auto bytes = sampleInst().encode();
+    bytes[0] = 0xee;
+    EXPECT_THROW(Instruction::decode(bytes.data()), PanicError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(IsaTest, ProgramEncodeAppendsHaltTerminator)
+{
+    Program p;
+    p.append(sampleInst());
+    p.append(sampleInst());
+    auto bytes = p.encode();
+    EXPECT_EQ(bytes.size(), 3 * Instruction::encodedSize);
+
+    Program q = Program::decode(bytes);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q[0], p[0]);
+    EXPECT_EQ(q[1], p[1]);
+}
+
+TEST(IsaTest, ProgramDecodeRejectsRaggedBuffer)
+{
+    setLogLevel(LogLevel::Silent);
+    std::vector<std::uint8_t> bytes(Instruction::encodedSize + 1, 0);
+    EXPECT_THROW(Program::decode(bytes), FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(IsaTest, OpcodeClassification)
+{
+    EXPECT_TRUE(isPeaOp(Opcode::MpuConv2dGeluPea));
+    EXPECT_FALSE(isPeaOp(Opcode::MpuMv));
+    EXPECT_TRUE(isMpuOp(Opcode::MpuMv));
+    EXPECT_TRUE(isMpuOp(Opcode::MpuMaskedMmPea));
+    EXPECT_FALSE(isMpuOp(Opcode::VpuGelu));
+    EXPECT_TRUE(isVpuOp(Opcode::VpuSoftmax));
+    EXPECT_FALSE(isVpuOp(Opcode::Sync));
+    EXPECT_TRUE(isDmaOp(Opcode::DmaLoad));
+    EXPECT_TRUE(isDmaOp(Opcode::DmaStore));
+    EXPECT_FALSE(isDmaOp(Opcode::Halt));
+}
+
+TEST(IsaTest, DisassemblyMentionsKeyFields)
+{
+    Instruction i = sampleInst();
+    const std::string s = i.toString();
+    EXPECT_NE(s.find("MPU_MM_PEA"), std::string::npos);
+    EXPECT_NE(s.find("transB"), std::string::npos);
+    EXPECT_NE(s.find("m=64"), std::string::npos);
+    EXPECT_NE(s.find("scale="), std::string::npos);
+
+    Program p;
+    p.append(i);
+    EXPECT_NE(p.toString().find("0: MPU_MM_PEA"), std::string::npos);
+}
+
+TEST(IsaTest, TheSixNewPeaInstructionsExist)
+{
+    // The paper's §V-C lists exactly these six additions to DFX's ISA.
+    EXPECT_STREQ(opcodeName(Opcode::MpuMmPea), "MPU_MM_PEA");
+    EXPECT_STREQ(opcodeName(Opcode::MpuMmRedumaxPea),
+                 "MPU_MM_REDUMAX_PEA");
+    EXPECT_STREQ(opcodeName(Opcode::MpuMaskedMmPea), "MPU_MASKEDMM_PEA");
+    EXPECT_STREQ(opcodeName(Opcode::MpuMaskedMmRedumaxPea),
+                 "MPU_MASKEDMM_REDUMAX_PEA");
+    EXPECT_STREQ(opcodeName(Opcode::MpuConv2dPea), "MPU_CONV2D_PEA");
+    EXPECT_STREQ(opcodeName(Opcode::MpuConv2dGeluPea),
+                 "MPU_CONV2D_GELU_PEA");
+}
+
+} // namespace
+} // namespace isa
+} // namespace cxlpnm

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Integration tests pinning the paper's headline comparisons. These
+ * run reduced token counts (the per-token rates are stationary after
+ * a few tokens) so the suite stays fast while still asserting the
+ * ratios the benches reproduce at full scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/inference_engine.hh"
+#include "gpu/inference.hh"
+#include "llm/model_config.hh"
+
+namespace cxlpnm
+{
+namespace
+{
+
+struct Pair
+{
+    gpu::GpuInferenceResult gpu;
+    core::PnmRunResult pnm;
+};
+
+Pair
+runBoth(const llm::ModelConfig &m, std::uint64_t out, int devices = 1)
+{
+    llm::InferenceRequest req;
+    req.inputTokens = 64;
+    req.outputTokens = out;
+    core::PnmPlatformConfig pcfg;
+    pcfg.channelGrouping = 16;
+    Pair p;
+    p.gpu = gpu::runGpuInference(m, req, gpu::GpuSpec::a100_40g(),
+                                 gpu::GpuCalibration{}, devices);
+    p.pnm = runPnmSingleDevice(m, req, pcfg);
+    return p;
+}
+
+TEST(PaperAnchorTest, Fig10Opt13bThroughputGap)
+{
+    // Paper: CXL-PNM delivers 10.8% lower throughput than the A100 on
+    // OPT-13B. Steady-state per-token rate at 48 tokens.
+    const auto r = runBoth(llm::ModelConfig::opt13b(), 48);
+    const double g = r.gpu.genSeconds.back();
+    const double p = r.pnm.genSeconds.back();
+    EXPECT_GT(p / g, 1.05); // PNM slower...
+    EXPECT_LT(p / g, 1.20); // ...by roughly the paper's 12%.
+}
+
+TEST(PaperAnchorTest, Fig10Opt13bPowerAnchors)
+{
+    // Enough output tokens that the (lower-power) sum stage no longer
+    // dilutes the generation-phase average the paper measures.
+    const auto r = runBoth(llm::ModelConfig::opt13b(), 192);
+    EXPECT_NEAR(r.gpu.avgPowerW, 253.0, 30.0);  // paper: 253 W
+    EXPECT_NEAR(r.pnm.avgPowerW, 77.1, 8.0);    // paper: 77.1 W
+}
+
+TEST(PaperAnchorTest, Fig10EnergyEfficiencyRatio)
+{
+    // Paper: 2.9x tokens/J for CXL-PNM on OPT-13B.
+    const auto r = runBoth(llm::ModelConfig::opt13b(), 48);
+    const double ratio =
+        (r.gpu.genSeconds.back() * r.gpu.avgPowerW) /
+        (r.pnm.genSeconds.back() * r.pnm.avgPowerW);
+    EXPECT_GT(ratio, 2.4);
+    EXPECT_LT(ratio, 3.7);
+}
+
+TEST(PaperAnchorTest, Fig10SmallModelOrdering)
+{
+    // Paper: the CXL-PNM advantage shrinks monotonically with model
+    // size (-59% / -38% / -2% for 1.3B / 2.7B / 6.7B).
+    double gaps[3];
+    const llm::ModelConfig models[] = {llm::ModelConfig::opt1_3b(),
+                                       llm::ModelConfig::opt2_7b(),
+                                       llm::ModelConfig::opt6_7b()};
+    for (int i = 0; i < 3; ++i) {
+        const auto r = runBoth(models[i], 24);
+        gaps[i] = 1.0 - r.pnm.genSeconds.back() /
+            r.gpu.genSeconds.back();
+    }
+    EXPECT_GT(gaps[0], gaps[1]);
+    EXPECT_GT(gaps[1], gaps[2]);
+    EXPECT_GT(gaps[0], 0.45); // 1.3B: large win
+    EXPECT_LT(gaps[2], 0.20); // 6.7B: near parity
+}
+
+TEST(PaperAnchorTest, Opt30bCapacityCliff)
+{
+    // Paper: 138.8x lower latency when the GPU must offload OPT-30B.
+    const auto r = runBoth(llm::ModelConfig::opt30b(), 4);
+    const double ratio =
+        r.gpu.genSeconds.back() / r.pnm.genSeconds.back();
+    EXPECT_GT(ratio, 80.0);
+    EXPECT_LT(ratio, 200.0);
+    EXPECT_GT(r.gpu.copyFraction, 0.95); // Fig. 3
+}
+
+TEST(PaperAnchorTest, Fig11DataParallelAppliance)
+{
+    // Paper: +53% throughput for DP8 vs the 8-GPU DGX on OPT-66B.
+    llm::InferenceRequest req;
+    req.inputTokens = 64;
+    req.outputTokens = 16;
+    core::PnmPlatformConfig pcfg;
+    pcfg.channelGrouping = 16;
+
+    const auto g =
+        gpu::runGpuInference(llm::ModelConfig::opt66b(), req,
+                             gpu::GpuSpec::a100_40g(),
+                             gpu::GpuCalibration{}, 8);
+    const auto dp8 = runPnmAppliance(llm::ModelConfig::opt66b(), req,
+                                     pcfg, core::ParallelismPlan{1, 8});
+    // Steady-state rates (sum-stage amortisation differs at this short
+    // token count; the fig11 bench checks the full-scale aggregate).
+    const double gain = (8.0 / dp8.tokenLatencySeconds) /
+        (1.0 / g.genSeconds.back());
+    EXPECT_GT(gain, 1.3);
+    EXPECT_LT(gain, 2.0);
+
+    // Paper: 4.4x energy efficiency (band widened for the short run).
+    const double eff = dp8.tokensPerJoule / g.tokensPerJoule();
+    EXPECT_GT(eff, 3.0);
+    EXPECT_LT(eff, 6.0);
+}
+
+TEST(PaperAnchorTest, Fig11TensorParallelLatency)
+{
+    // Paper: MP8 cuts per-token latency 23% below the GPU appliance.
+    llm::InferenceRequest req;
+    req.inputTokens = 64;
+    req.outputTokens = 16;
+    core::PnmPlatformConfig pcfg;
+    pcfg.channelGrouping = 16;
+    const auto m = llm::ModelConfig::opt66b();
+
+    const auto g = gpu::runGpuInference(m, req, gpu::GpuSpec::a100_40g(),
+                                        gpu::GpuCalibration{}, 8);
+    const auto mp8 =
+        runPnmAppliance(m, req, pcfg, core::ParallelismPlan{8, 1});
+    const double g_token = g.totalSeconds / req.outputTokens;
+    EXPECT_LT(mp8.tokenLatencySeconds, g_token);        // PNM wins
+    EXPECT_GT(mp8.tokenLatencySeconds, 0.6 * g_token);  // modestly
+}
+
+} // namespace
+} // namespace cxlpnm

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Cross-cutting property tests: randomized invariants for the
+ * allocator, the arbiter, FP16 rounding, channel-grouping equivalence,
+ * workload accounting and the sharded code generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/inference_engine.hh"
+#include "cxl/arbiter.hh"
+#include "dram/module.hh"
+#include "llm/workload.hh"
+#include "numeric/fp16.hh"
+#include "runtime/allocator.hh"
+#include "sim/random.hh"
+
+namespace cxlpnm
+{
+namespace
+{
+
+TEST(AllocatorPropertyTest, RandomAllocFreeKeepsInvariants)
+{
+    const std::uint64_t cap = 1 << 20;
+    runtime::CxlMemAllocator alloc(0, cap);
+    SplitMix64 rng(2026);
+    std::map<Addr, std::uint64_t> live; // addr -> size
+
+    for (int step = 0; step < 4000; ++step) {
+        const bool do_alloc = live.empty() || rng.nextDouble() < 0.55;
+        if (do_alloc) {
+            const std::uint64_t sz = 1 + rng.nextBelow(4096);
+            if (alloc.freeBytes() < sz + 4096)
+                continue; // likely fragmented; skip
+            const std::uint64_t align = 1ull << rng.nextBelow(9);
+            Addr a;
+            try {
+                a = alloc.alloc(sz, align);
+            } catch (const FatalError &) {
+                continue; // fragmentation-induced failure is legal
+            }
+            EXPECT_EQ(a % align, 0u);
+            EXPECT_LE(a + sz, cap);
+            // No overlap with any live block.
+            for (const auto &[b, bsz] : live)
+                EXPECT_TRUE(a + sz <= b || b + bsz <= a)
+                    << "overlap at step " << step;
+            live.emplace(a, sz);
+        } else {
+            auto it = live.begin();
+            std::advance(it, rng.nextBelow(live.size()));
+            alloc.free(it->first);
+            live.erase(it);
+        }
+        std::uint64_t used = 0;
+        for (const auto &[b, bsz] : live)
+            used += bsz;
+        EXPECT_EQ(alloc.usedBytes(), used);
+    }
+    for (const auto &[b, bsz] : live)
+        alloc.free(b);
+    EXPECT_EQ(alloc.usedBytes(), 0u);
+    EXPECT_EQ(alloc.largestFreeBlock(), cap); // fully coalesced
+}
+
+TEST(ArbiterPropertyTest, HardwarePolicyNeverStarvesHost)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    dram::MultiChannelMemory mem(eq, &root, "mem",
+                                 dram::DramTechSpec::lpddr5x());
+    cxl::HostPnmArbiter arb(eq, &root, "arb", mem, {});
+    SplitMix64 rng(7);
+
+    int completed = 0;
+    int issued = 0;
+    // Random mix of host reads and PNM streams over 2 ms, with tasks.
+    for (Tick t = 0; t < 2 * tickPerMs;
+         t += 1 + rng.nextBelow(20 * tickPerUs)) {
+        const bool host = rng.nextDouble() < 0.5;
+        ++issued;
+        eq.scheduleOneShot("req", t, [&, host] {
+            dram::MemoryRequest r;
+            r.addr = rng.nextBelow(1 << 24);
+            r.bytes = host ? 64 : 4096 + rng.nextBelow(1 << 16);
+            r.onComplete = [&] { ++completed; };
+            arb.access(host ? cxl::Requester::Host
+                            : cxl::Requester::Pnm,
+                       std::move(r));
+        });
+    }
+    eq.run();
+    EXPECT_EQ(completed, issued);
+    // Hardware policy: host waits only the grant pipeline.
+    EXPECT_LT(arb.meanHostWaitNs(), 10.0);
+}
+
+TEST(Fp16PropertyTest, ArithmeticIsCorrectlyRounded)
+{
+    // Via-float arithmetic == rounding the exact (double) result for
+    // +,-,*,/ (Figueroa: float's 24 bits >= 2*11+2). Random sweep over
+    // magnitudes spanning subnormal to overflow.
+    SplitMix64 rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        const int ea = static_cast<int>(rng.nextBelow(40)) - 24;
+        const int eb = static_cast<int>(rng.nextBelow(40)) - 24;
+        Half a(static_cast<float>(
+            std::ldexp(rng.nextDouble(-2.0, 2.0), ea)));
+        Half b(static_cast<float>(
+            std::ldexp(rng.nextDouble(-2.0, 2.0), eb)));
+        if (a.isNan() || b.isNan() || b.isZero())
+            continue;
+
+        const double da = a.toFloat(), db = b.toFloat();
+        EXPECT_EQ((a + b).bits(),
+                  Half(static_cast<float>(da + db)).bits());
+        EXPECT_EQ((a * b).bits(),
+                  Half(static_cast<float>(da * db)).bits());
+        EXPECT_EQ((a / b).bits(),
+                  Half(static_cast<float>(da / db)).bits());
+    }
+}
+
+/** Channel grouping must be timing-transparent for streaming. */
+class GroupingTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(GroupingTest, StreamCompletionTimeInvariant)
+{
+    auto run = [](int grouping) {
+        EventQueue eq;
+        stats::StatGroup root(nullptr, "");
+        dram::MultiChannelMemory mem(eq, &root, "mem",
+                                     dram::DramTechSpec::lpddr5x(),
+                                     256, grouping);
+        Tick done = 0;
+        dram::MemoryRequest r;
+        r.addr = 0;
+        r.bytes = 64ull << 20;
+        r.onComplete = [&] { done = eq.now(); };
+        mem.access(std::move(r));
+        eq.run();
+        return done;
+    };
+    const Tick exact = run(1);
+    const Tick grouped = run(GetParam());
+    // Within 0.1% (rounding of per-channel shares).
+    EXPECT_NEAR(static_cast<double>(grouped),
+                static_cast<double>(exact), exact * 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Groupings, GroupingTest,
+                         ::testing::Values(2, 8, 16, 64));
+
+/** Workload accounting sweeps across the OPT family. */
+class WorkloadSweepTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(WorkloadSweepTest, AccountingInvariants)
+{
+    const auto cfg = llm::ModelConfig::optFamily()[GetParam()];
+
+    // KV traffic is linear in context; weight traffic constant.
+    const auto g1 = llm::summarize(llm::genStageOps(cfg, 100));
+    const auto g2 = llm::summarize(llm::genStageOps(cfg, 200));
+    EXPECT_EQ(g1.weightBytes, g2.weightBytes);
+    EXPECT_NEAR(static_cast<double>(g2.kvBytes),
+                2.0 * static_cast<double>(g1.kvBytes),
+                g1.kvBytes * 0.01);
+
+    // Sum-stage flops grow superlinearly in L_in (attention term).
+    const auto s1 = llm::summarize(llm::sumStageOps(cfg, 64));
+    const auto s2 = llm::summarize(llm::sumStageOps(cfg, 128));
+    EXPECT_GT(s2.flops, 2.0 * s1.flops * 0.99);
+
+    // Request flops are monotone in output tokens.
+    llm::InferenceRequest a{64, 8}, b{64, 16};
+    EXPECT_LT(llm::requestFlops(cfg, a), llm::requestFlops(cfg, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(OptFamily, WorkloadSweepTest,
+                         ::testing::Range(0, 9));
+
+TEST(ShardPropertyTest, GenDmaTrafficScalesInversely)
+{
+    // A degree-k tensor shard should stream ~1/k of the weights per
+    // token (norms/biases replicate, hence "approximately").
+    llm::InferenceRequest req;
+    req.inputTokens = 8;
+    req.outputTokens = 2;
+    core::PnmPlatformConfig cfg;
+    cfg.channelGrouping = 8;
+    const auto m = llm::ModelConfig::opt2_7b();
+
+    const auto full = runPnmSingleDevice(m, req, cfg, 1);
+    const auto half = runPnmSingleDevice(m, req, cfg, 2);
+    const auto quarter = runPnmSingleDevice(m, req, cfg, 4);
+    const double t1 = full.genSeconds.back();
+    const double t2 = half.genSeconds.back();
+    const double t4 = quarter.genSeconds.back();
+    EXPECT_NEAR(t2 / t1, 0.5, 0.08);
+    EXPECT_NEAR(t4 / t1, 0.25, 0.08);
+}
+
+TEST(EventQueuePropertyTest, ManyOneShotsFireInOrder)
+{
+    EventQueue eq;
+    SplitMix64 rng(5);
+    std::vector<Tick> fire_times;
+    for (int i = 0; i < 2000; ++i) {
+        const Tick when = rng.nextBelow(1000000);
+        eq.scheduleOneShot("p", when, [&eq, &fire_times] {
+            fire_times.push_back(eq.now());
+        });
+    }
+    eq.run();
+    ASSERT_EQ(fire_times.size(), 2000u);
+    for (std::size_t i = 1; i < fire_times.size(); ++i)
+        EXPECT_LE(fire_times[i - 1], fire_times[i]);
+}
+
+} // namespace
+} // namespace cxlpnm

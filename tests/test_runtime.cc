@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Software-stack tests: allocator behaviour, driver register/doorbell/
+ * interrupt/polling flows, and the full functional end-to-end check -
+ * a tiny OPT-like model generated through driver -> codegen ->
+ * accelerator must match the double-precision ReferenceModel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/platform.hh"
+#include "llm/reference_model.hh"
+#include "numeric/linalg.hh"
+#include "runtime/allocator.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace runtime
+{
+namespace
+{
+
+// ---- Allocator ----
+
+TEST(AllocatorTest, FirstFitAndAlignment)
+{
+    CxlMemAllocator a(0, 1 << 20);
+    Addr x = a.alloc(100, 256);
+    Addr y = a.alloc(100, 256);
+    EXPECT_EQ(x % 256, 0u);
+    EXPECT_EQ(y % 256, 0u);
+    EXPECT_NE(x, y);
+    EXPECT_EQ(a.usedBytes(), 200u);
+    EXPECT_EQ(a.liveAllocations(), 2u);
+}
+
+TEST(AllocatorTest, FreeCoalescesNeighbours)
+{
+    CxlMemAllocator a(0, 4096);
+    Addr x = a.alloc(1024, 1);
+    Addr y = a.alloc(1024, 1);
+    Addr z = a.alloc(1024, 1);
+    (void)y;
+    a.free(x);
+    a.free(z);
+    a.free(y); // middle free must merge everything back
+    EXPECT_EQ(a.freeBytes(), 4096u);
+    EXPECT_EQ(a.largestFreeBlock(), 4096u);
+    // The whole region is allocatable again.
+    EXPECT_NO_THROW(a.alloc(4096, 1));
+}
+
+TEST(AllocatorTest, ReusesFreedHole)
+{
+    CxlMemAllocator a(0, 4096);
+    Addr x = a.alloc(1024, 1);
+    a.alloc(1024, 1);
+    a.free(x);
+    Addr z = a.alloc(512, 1);
+    EXPECT_EQ(z, x); // first fit lands in the hole
+}
+
+TEST(AllocatorTest, ExhaustionAndErrors)
+{
+    setLogLevel(LogLevel::Silent);
+    CxlMemAllocator a(0, 1024);
+    EXPECT_THROW(a.alloc(2048), FatalError);
+    EXPECT_THROW(a.alloc(0), FatalError);
+    EXPECT_THROW(a.alloc(10, 3), FatalError); // non-pow2 align
+    EXPECT_THROW(a.free(0x999), PanicError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(AllocatorTest, NonZeroBase)
+{
+    CxlMemAllocator a(0x1000, 4096);
+    Addr x = a.alloc(64);
+    EXPECT_GE(x, 0x1000u);
+}
+
+// ---- Driver + library on a full device ----
+
+class DeviceFixture : public ::testing::Test
+{
+  protected:
+    DeviceFixture() : root(nullptr, "")
+    {
+        core::PnmPlatformConfig cfg;
+        cfg.functionalBytes = 24ull * MiB;
+        dev = std::make_unique<core::PnmDevice>(eq, &root, "dev", cfg);
+    }
+
+    /** Drive the queue until it drains. */
+    void
+    drain()
+    {
+        eq.run();
+    }
+
+    EventQueue eq;
+    stats::StatGroup root;
+    std::unique_ptr<core::PnmDevice> dev;
+};
+
+TEST_F(DeviceFixture, DriverRegisterReadWrite)
+{
+    auto &drv = dev->driver();
+    bool wrote = false;
+    drv.setParam(4, 0x1234, [&] { wrote = true; });
+    drain();
+    EXPECT_TRUE(wrote);
+}
+
+TEST_F(DeviceFixture, DriverRejectsBadParamIndex)
+{
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(dev->driver().setParam(10, 0, nullptr), FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST_F(DeviceFixture, LoadModelPreloadsPersistentRegisters)
+{
+    bool loaded = false;
+    dev->library().loadModel(llm::ModelConfig::tiny(), 42,
+                             [&] { loaded = true; });
+    drain();
+    EXPECT_TRUE(loaded);
+    // Norm parameters + biases live in the RF now.
+    EXPECT_GT(dev->accel().registerFile().usedBytes(), 0u);
+    // The allocator carved out weights, caches and buffers.
+    EXPECT_GT(dev->library().allocator().usedBytes(), 0u);
+}
+
+TEST_F(DeviceFixture, InterruptAndPollingCompletionsBothWork)
+{
+    auto &lib = dev->library();
+    bool loaded = false;
+    lib.loadModel(llm::ModelConfig::tiny(), 42, [&] { loaded = true; });
+    drain();
+    ASSERT_TRUE(loaded);
+
+    // Interrupt mode (default).
+    std::uint32_t tok_a = 0xffffffff;
+    lib.prefill({1, 2, 3}, [&](std::uint32_t t) { tok_a = t; });
+    drain();
+    EXPECT_NE(tok_a, 0xffffffffu);
+    EXPECT_GT(dev->driver().interruptsTaken(), 0u);
+
+    // Polling mode produces the same token on the same context.
+    dev->driver().setCompletionMode(Completion::Polling);
+    std::uint32_t tok_b = 0xffffffff;
+    lib.prefill({1, 2, 3}, [&](std::uint32_t t) { tok_b = t; });
+    drain();
+    EXPECT_EQ(tok_b, tok_a);
+    EXPECT_GT(dev->driver().pollsIssued(), 0u);
+}
+
+TEST_F(DeviceFixture, PrefillMatchesReferenceModel)
+{
+    const auto cfg = llm::ModelConfig::tiny();
+    auto &lib = dev->library();
+    bool loaded = false;
+    lib.loadModel(cfg, 42, [&] { loaded = true; });
+    drain();
+    ASSERT_TRUE(loaded);
+
+    const std::vector<std::uint32_t> prompt{10, 4, 200, 77};
+    std::uint32_t device_tok = 0xffffffff;
+    lib.prefill(prompt, [&](std::uint32_t t) { device_tok = t; });
+    drain();
+
+    llm::ReferenceModel ref(cfg, 42);
+    auto logits = ref.prefill(prompt);
+    const auto ref_tok =
+        static_cast<std::uint32_t>(linalg::argmaxRow(logits, 0));
+    EXPECT_EQ(device_tok, ref_tok);
+}
+
+TEST_F(DeviceFixture, GreedyGenerationMatchesReferenceModel)
+{
+    // The flagship functional test: 6 tokens generated end-to-end on
+    // the simulated device (FP16 datapaths) match the double-precision
+    // reference's greedy decode, token for token.
+    const auto cfg = llm::ModelConfig::tiny();
+    auto &lib = dev->library();
+    bool loaded = false;
+    lib.loadModel(cfg, 42, [&] { loaded = true; });
+    drain();
+    ASSERT_TRUE(loaded);
+
+    const std::vector<std::uint32_t> prompt{3, 141, 59, 26, 5};
+    std::vector<std::uint32_t> device_tokens;
+    lib.generate(prompt, 6,
+                 [&](std::vector<std::uint32_t> t) { device_tokens = t; });
+    drain();
+
+    llm::ReferenceModel ref(cfg, 42);
+    const auto ref_tokens = ref.greedyGenerate(prompt, 6);
+    EXPECT_EQ(device_tokens, ref_tokens);
+    EXPECT_EQ(lib.contextLength(), prompt.size() + 6 - 1);
+}
+
+TEST_F(DeviceFixture, GenerationAdvancesSimulatedTime)
+{
+    const auto cfg = llm::ModelConfig::tiny();
+    auto &lib = dev->library();
+    lib.loadModel(cfg, 42, nullptr);
+    drain();
+
+    const Tick before = eq.now();
+    std::vector<std::uint32_t> out;
+    lib.generate({1, 2}, 3, [&](std::vector<std::uint32_t> t) {
+        out = std::move(t);
+    });
+    drain();
+    EXPECT_EQ(out.size(), 3u);
+    // Sum + 2 gen stages with MMIO, DMA and interrupts: > 10 us.
+    EXPECT_GT(eq.now() - before, 10 * tickPerUs);
+}
+
+TEST_F(DeviceFixture, LayerFunctionCodeHelpers)
+{
+    auto &lib = dev->library();
+    auto &rf = dev->accel().registerFile();
+    auto a = rf.alloc(4, 8, "a");
+    auto b = rf.alloc(4, 8, "b");
+    auto g = rf.alloc(1, 8, "g");
+    auto bt = rf.alloc(1, 8, "bt");
+
+    EXPECT_EQ(lib.layerNormCode(b, a, g, bt, 4, 8).size(), 1u);
+    EXPECT_EQ(lib.softmaxCode(b, a, 4, 8).size(), 1u);
+    EXPECT_EQ(lib.geluCode(b, a, 4, 8).size(), 1u);
+    auto mm = lib.maskedMmCode(b, a, a, 4, 4, 8, 0.5f);
+    EXPECT_EQ(mm.size(), 1u);
+    EXPECT_EQ(mm[0].op, isa::Opcode::MpuMaskedMmPea);
+    auto cv = lib.conv1dCode(b, a, 0x100, bt, 4, 8, 8);
+    EXPECT_EQ(cv[0].op, isa::Opcode::MpuConv2dPea);
+    EXPECT_TRUE(cv[0].has(isa::FlagMemOperand));
+}
+
+TEST_F(DeviceFixture, UsageErrors)
+{
+    setLogLevel(LogLevel::Silent);
+    auto &lib = dev->library();
+    EXPECT_THROW(lib.prefill({1}, nullptr), FatalError); // not loaded
+    lib.loadModel(llm::ModelConfig::tiny(), 1, nullptr);
+    drain();
+    EXPECT_THROW(lib.decode(1, nullptr), FatalError); // before prefill
+    EXPECT_THROW(lib.prefill({}, nullptr), FatalError);
+    EXPECT_THROW(
+        lib.loadModel(llm::ModelConfig::tiny(), 1, nullptr),
+        FatalError); // double load
+    setLogLevel(LogLevel::Info);
+}
+
+} // namespace
+} // namespace runtime
+} // namespace cxlpnm

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering and
+ * rescheduling, clock domains, stats, logging, config parsing, RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/clock_domain.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cxlpnm
+{
+namespace
+{
+
+class QuietLogs : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogLevel(LogLevel::Silent); }
+    void TearDown() override { setLogLevel(LogLevel::Info); }
+};
+
+using EventQueueTest = QuietLogs;
+using LoggingTest = QuietLogs;
+
+TEST_F(EventQueueTest, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    Event a("a", [&] { order.push_back(1); });
+    Event b("b", [&] { order.push_back(2); });
+    Event c("c", [&] { order.push_back(3); });
+
+    eq.schedule(c, 30);
+    eq.schedule(a, 10);
+    eq.schedule(b, 20);
+    EXPECT_EQ(eq.size(), 3u);
+    EXPECT_EQ(eq.nextTick(), 10u);
+
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST_F(EventQueueTest, SameTickOrderedByPriorityThenSequence)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    Event lo("lo", [&] { order.push_back(1); }, 10);
+    Event hi1("hi1", [&] { order.push_back(2); }, 50);
+    Event hi2("hi2", [&] { order.push_back(3); }, 50);
+
+    eq.schedule(hi1, 5);
+    eq.schedule(hi2, 5);
+    eq.schedule(lo, 5);
+    eq.run();
+    // Priority 10 fires first; equal priorities fire in schedule order.
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(EventQueueTest, ScheduleInPastPanics)
+{
+    EventQueue eq;
+    Event a("a", [] {});
+    Event b("b", [] {});
+    eq.schedule(a, 100);
+    eq.run();
+    EXPECT_THROW(eq.schedule(b, 50), PanicError);
+}
+
+TEST_F(EventQueueTest, DoubleSchedulePanics)
+{
+    EventQueue eq;
+    Event a("a", [] {});
+    eq.schedule(a, 10);
+    EXPECT_THROW(eq.schedule(a, 20), PanicError);
+}
+
+TEST_F(EventQueueTest, DescheduleRemovesWithoutFiring)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event a("a", [&] { ++fired; });
+    eq.schedule(a, 10);
+    eq.deschedule(a);
+    EXPECT_FALSE(a.scheduled());
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST_F(EventQueueTest, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    Tick fired_at = 0;
+    Event a("a", [&] { fired_at = eq.now(); });
+    eq.schedule(a, 10);
+    eq.reschedule(a, 42);
+    eq.run();
+    EXPECT_EQ(fired_at, 42u);
+}
+
+TEST_F(EventQueueTest, EventsCanRescheduleThemselves)
+{
+    EventQueue eq;
+    int count = 0;
+    Event tick("tick", [&] {
+        if (++count < 5)
+            eq.schedule(tick, eq.now() + 7);
+    });
+    eq.schedule(tick, 0);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 28u);
+}
+
+TEST_F(EventQueueTest, RunWithLimitStopsAndAdvancesClock)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event a("a", [&] { ++fired; });
+    Event b("b", [&] { ++fired; });
+    eq.schedule(a, 10);
+    eq.schedule(b, 100);
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST_F(EventQueueTest, DestructorDeschedules)
+{
+    EventQueue eq;
+    {
+        Event a("a", [] {});
+        eq.schedule(a, 10);
+    }
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(ClockDomainTest, PeriodAndConversionsAt1GHz)
+{
+    ClockDomain clk(1e9);
+    EXPECT_EQ(clk.period(), 1000u); // 1 ns in ps
+    EXPECT_EQ(clk.cyclesToTicks(Cycles(5)), 5000u);
+    EXPECT_EQ(clk.ticksToCycles(5000).value(), 5u);
+    EXPECT_EQ(clk.ticksToCycles(5001).value(), 6u); // rounds up
+    EXPECT_EQ(clk.nextEdge(1500), 2000u);
+    EXPECT_EQ(clk.nextEdge(2000), 2000u);
+}
+
+TEST(ClockDomainTest, RejectsBadFrequencies)
+{
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(ClockDomain(-1.0), FatalError);
+    EXPECT_THROW(ClockDomain(2e12), FatalError); // above tick resolution
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(TypesTest, TickSecondConversionsRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(ticksToSeconds(tickPerMs), 1e-3);
+    EXPECT_EQ(secondsToTicks(2.5e-6), 2500000u);
+}
+
+TEST(StatsTest, ScalarAccumulatesAndDumps)
+{
+    stats::StatGroup root(nullptr, "root");
+    stats::Scalar s(&root, "bytes", "bytes moved");
+    s += 10;
+    s += 32;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 43.0);
+
+    std::ostringstream os;
+    root.dumpStats(os);
+    EXPECT_NE(os.str().find("root.bytes 43"), std::string::npos);
+
+    root.resetStats();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(StatsTest, AverageTracksMinMaxMean)
+{
+    stats::StatGroup root(nullptr, "root");
+    stats::Average a(&root, "lat", "latency");
+    a.sample(10.0);
+    a.sample(30.0);
+    a.sample(20.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(a.min(), 10.0);
+    EXPECT_DOUBLE_EQ(a.max(), 30.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(StatsTest, HistogramBucketsAndOverflow)
+{
+    stats::StatGroup root(nullptr, "root");
+    stats::Histogram h(&root, "h", "hist", 0.0, 10.0, 5);
+    h.sample(-1.0);
+    h.sample(0.0);
+    h.sample(1.9);
+    h.sample(9.99);
+    h.sample(10.0);
+    h.sample(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.buckets()[4], 1u);
+    EXPECT_EQ(h.count(), 6u);
+}
+
+TEST(StatsTest, NestedGroupsProduceDottedNames)
+{
+    stats::StatGroup root(nullptr, "");
+    stats::StatGroup dev(&root, "device0");
+    stats::StatGroup mc(&dev, "mc");
+    stats::Scalar s(&mc, "reads", "reads");
+    s += 7;
+    std::ostringstream os;
+    root.dumpStats(os);
+    EXPECT_NE(os.str().find("device0.mc.reads 7"), std::string::npos);
+}
+
+TEST(SimObjectTest, BindsQueueAndSchedules)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+
+    struct Obj : SimObject
+    {
+        int fired = 0;
+        Event ev;
+        Obj(EventQueue &q, stats::StatGroup *p)
+            : SimObject(q, p, "obj"), ev("obj.ev", [this] { ++fired; })
+        {}
+    };
+
+    Obj obj(eq, &root);
+    obj.scheduleIn(obj.ev, 100);
+    eq.run();
+    EXPECT_EQ(obj.fired, 1);
+    EXPECT_EQ(obj.now(), 100u);
+}
+
+TEST_F(LoggingTest, PanicAndFatalThrowDistinctTypes)
+{
+    EXPECT_THROW(panic("boom"), PanicError);
+    EXPECT_THROW(fatal("bad config"), FatalError);
+    EXPECT_THROW(panic_if(true, "x"), PanicError);
+    EXPECT_NO_THROW(panic_if(false, "x"));
+    EXPECT_NO_THROW(fatal_if(false, "x"));
+}
+
+TEST(ConfigTest, ParsesTypedValues)
+{
+    auto cfg = Config::fromArgs({"model=opt-13b", "devices=8",
+                                 "bw=1.1e12", "verbose=true"});
+    EXPECT_EQ(cfg.getString("model", ""), "opt-13b");
+    EXPECT_EQ(cfg.getInt("devices", 0), 8);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("bw", 0.0), 1.1e12);
+    EXPECT_TRUE(cfg.getBool("verbose", false));
+    EXPECT_EQ(cfg.getInt("missing", 42), 42);
+    EXPECT_FALSE(cfg.has("missing"));
+}
+
+TEST(ConfigTest, RejectsMalformedInput)
+{
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(Config::fromArgs({"novalue"}), FatalError);
+    EXPECT_THROW(Config::fromArgs({"=x"}), FatalError);
+    auto cfg = Config::fromArgs({"n=abc"});
+    EXPECT_THROW(cfg.getInt("n", 0), FatalError);
+    EXPECT_THROW(cfg.getBool("n", false), FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(RandomTest, DeterministicAcrossInstances)
+{
+    SplitMix64 a(12345);
+    SplitMix64 b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RandomTest, DoublesInUnitInterval)
+{
+    SplitMix64 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RandomTest, NextBelowRespectsBound)
+{
+    SplitMix64 rng(99);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(RandomTest, GaussianHasPlausibleMoments)
+{
+    SplitMix64 rng(2024);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace cxlpnm

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tensor container and reference linear algebra tests, including
+ * parameterized shape sweeps used as golden checks for the accelerator's
+ * functional model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/linalg.hh"
+#include "numeric/tensor.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace
+{
+
+TEST(TensorTest, ShapeAndIndexing)
+{
+    Tensor<double> t(3, 4);
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 4u);
+    EXPECT_EQ(t.size(), 12u);
+    EXPECT_EQ(t.bytes(), 12 * sizeof(double));
+    t.at(2, 3) = 7.5;
+    EXPECT_DOUBLE_EQ(t(2, 3), 7.5);
+    EXPECT_DOUBLE_EQ(t(0, 0), 0.0);
+}
+
+TEST(TensorTest, OutOfBoundsPanics)
+{
+    setLogLevel(LogLevel::Silent);
+    Tensor<double> t(2, 2);
+    EXPECT_THROW(t.at(2, 0), PanicError);
+    EXPECT_THROW(t.at(0, 2), PanicError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(TensorTest, FillGaussianIsDeterministic)
+{
+    Tensor<float> a(8, 8), b(8, 8);
+    a.fillGaussian(123, 0.02);
+    b.fillGaussian(123, 0.02);
+    EXPECT_EQ(maxAbsDiff(a, b), 0.0);
+    Tensor<float> c(8, 8);
+    c.fillGaussian(124, 0.02);
+    EXPECT_GT(maxAbsDiff(a, c), 0.0);
+}
+
+TEST(TensorTest, CastHalfRoundTripsWithinUlp)
+{
+    Tensor<double> d(4, 4);
+    d.fillGaussian(5, 1.0);
+    auto h = d.cast<Half>();
+    auto back = h.cast<double>();
+    EXPECT_LT(maxRelDiff(back, d), 0x1p-10); // half has 11-bit precision
+}
+
+TEST(LinalgTest, GemmSmallKnown)
+{
+    Tensor<double> a(2, 3), b(3, 2), out(2, 2);
+    double av[] = {1, 2, 3, 4, 5, 6};
+    double bv[] = {7, 8, 9, 10, 11, 12};
+    for (int i = 0; i < 6; ++i) {
+        a.data()[i] = av[i];
+        b.data()[i] = bv[i];
+    }
+    linalg::gemm(a, b, out);
+    EXPECT_DOUBLE_EQ(out(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(out(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(out(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(out(1, 1), 154.0);
+}
+
+TEST(LinalgTest, GemmShapeMismatchPanics)
+{
+    setLogLevel(LogLevel::Silent);
+    Tensor<double> a(2, 3), b(2, 2), out(2, 2);
+    EXPECT_THROW(linalg::gemm(a, b, out), PanicError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(LinalgTest, GemvEqualsGemmRow)
+{
+    Tensor<double> x(1, 16), w(16, 8), y(1, 8);
+    x.fillGaussian(1, 1.0);
+    w.fillGaussian(2, 1.0);
+    linalg::gemv(x, w, y);
+    Tensor<double> y2(1, 8);
+    linalg::gemm(x, w, y2);
+    EXPECT_EQ(maxAbsDiff(y, y2), 0.0);
+}
+
+TEST(LinalgTest, SoftmaxRowsSumToOne)
+{
+    Tensor<double> t(5, 13);
+    t.fillGaussian(3, 4.0);
+    linalg::softmaxRows(t);
+    for (std::size_t i = 0; i < t.rows(); ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < t.cols(); ++j) {
+            EXPECT_GE(t(i, j), 0.0);
+            sum += t(i, j);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+}
+
+TEST(LinalgTest, SoftmaxIsShiftInvariantAndStable)
+{
+    Tensor<double> a(1, 4), b(1, 4);
+    double vals[] = {1000.0, 1001.0, 1002.0, 1003.0};
+    for (int j = 0; j < 4; ++j) {
+        a(0, j) = vals[j];
+        b(0, j) = vals[j] - 1000.0;
+    }
+    linalg::softmaxRows(a);
+    linalg::softmaxRows(b);
+    EXPECT_LT(maxAbsDiff(a, b), 1e-12);
+}
+
+TEST(LinalgTest, MaskedSoftmaxZeroesFuture)
+{
+    Tensor<double> t(3, 5);
+    t.fill(1.0);
+    linalg::maskedSoftmaxRows(t, 0);
+    // Row i may attend to cols 0..i only.
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 5; ++j) {
+            if (j > i) {
+                EXPECT_DOUBLE_EQ(t(i, j), 0.0);
+            } else {
+                EXPECT_NEAR(t(i, j), 1.0 / (i + 1), 1e-12);
+            }
+        }
+    }
+}
+
+TEST(LinalgTest, MaskedSoftmaxWithOffsetForGenStage)
+{
+    // Gen stage: one query row attending to L_ctx keys; offset L_ctx-1
+    // means nothing is masked.
+    Tensor<double> t(1, 7);
+    t.fill(0.0);
+    linalg::maskedSoftmaxRows(t, 6);
+    for (std::size_t j = 0; j < 7; ++j)
+        EXPECT_NEAR(t(0, j), 1.0 / 7.0, 1e-12);
+}
+
+TEST(LinalgTest, GeluKnownValues)
+{
+    EXPECT_NEAR(linalg::gelu(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(linalg::gelu(1.0), 0.8411919906, 1e-6);
+    EXPECT_NEAR(linalg::gelu(-1.0), -0.1588080094, 1e-6);
+    // Asymptotics: identity for large x, zero for very negative x.
+    EXPECT_NEAR(linalg::gelu(10.0), 10.0, 1e-6);
+    EXPECT_NEAR(linalg::gelu(-10.0), 0.0, 1e-6);
+}
+
+TEST(LinalgTest, LayerNormNormalises)
+{
+    Tensor<double> x(2, 64), gamma(1, 64), beta(1, 64), out(2, 64);
+    x.fillGaussian(9, 3.0);
+    gamma.fill(1.0);
+    beta.fill(0.0);
+    linalg::layerNormRows(x, gamma, beta, 1e-5, out);
+    for (std::size_t i = 0; i < 2; ++i) {
+        double mean = 0.0, var = 0.0;
+        for (std::size_t j = 0; j < 64; ++j)
+            mean += out(i, j);
+        mean /= 64;
+        for (std::size_t j = 0; j < 64; ++j)
+            var += (out(i, j) - mean) * (out(i, j) - mean);
+        var /= 64;
+        EXPECT_NEAR(mean, 0.0, 1e-10);
+        EXPECT_NEAR(var, 1.0, 1e-3);
+    }
+}
+
+TEST(LinalgTest, LayerNormAppliesGammaBeta)
+{
+    Tensor<double> x(1, 8), gamma(1, 8), beta(1, 8), out(1, 8);
+    x.fillGaussian(11, 1.0);
+    gamma.fill(2.0);
+    beta.fill(0.5);
+    linalg::layerNormRows(x, gamma, beta, 1e-5, out);
+    double mean = 0.0;
+    for (std::size_t j = 0; j < 8; ++j)
+        mean += out(0, j);
+    EXPECT_NEAR(mean / 8, 0.5, 1e-9); // beta shifts the mean
+}
+
+TEST(LinalgTest, TransposeRoundTrip)
+{
+    Tensor<double> a(3, 5);
+    a.fillGaussian(13, 1.0);
+    auto at = linalg::transpose(a);
+    EXPECT_EQ(at.rows(), 5u);
+    EXPECT_EQ(at.cols(), 3u);
+    auto back = linalg::transpose(at);
+    EXPECT_EQ(maxAbsDiff(a, back), 0.0);
+}
+
+TEST(LinalgTest, ArgmaxFindsPeak)
+{
+    Tensor<double> t(2, 10);
+    t.fill(-1.0);
+    t(0, 7) = 3.0;
+    t(1, 0) = 0.5;
+    EXPECT_EQ(linalg::argmaxRow(t, 0), 7u);
+    EXPECT_EQ(linalg::argmaxRow(t, 1), 0u);
+}
+
+/** Parameterized GEMM property sweep across shapes. */
+class GemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(GemmShapeTest, AssociativityWithIdentityAndLinearity)
+{
+    auto [m, k, n] = GetParam();
+    Tensor<double> a(m, k), b(k, n), out(m, n);
+    a.fillGaussian(m * 31 + k, 1.0);
+    b.fillGaussian(k * 17 + n, 1.0);
+    linalg::gemm(a, b, out);
+
+    // Identity: a * I == a.
+    Tensor<double> eye(k, k), aeye(m, k);
+    for (int i = 0; i < k; ++i)
+        eye(i, i) = 1.0;
+    linalg::gemm(a, eye, aeye);
+    EXPECT_LT(maxAbsDiff(aeye, a), 1e-12);
+
+    // Linearity: (2a) * b == 2 (a*b).
+    Tensor<double> a2(m, k), out2(m, n);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a2.data()[i] = 2.0 * a.data()[i];
+    linalg::gemm(a2, b, out2);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_NEAR(out2.data()[i], 2.0 * out.data()[i], 1e-9);
+
+    // Transpose identity: (a b)^T == b^T a^T.
+    auto ot = linalg::transpose(out);
+    Tensor<double> ot2(n, m);
+    linalg::gemm(linalg::transpose(b), linalg::transpose(a), ot2);
+    EXPECT_LT(maxAbsDiff(ot, ot2), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 64, 8),
+                      std::make_tuple(7, 13, 5), std::make_tuple(16, 16, 16),
+                      std::make_tuple(3, 128, 1),
+                      std::make_tuple(32, 8, 64)));
+
+} // namespace
+} // namespace cxlpnm
