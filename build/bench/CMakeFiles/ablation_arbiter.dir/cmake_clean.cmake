@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_arbiter.dir/ablation_arbiter.cc.o"
+  "CMakeFiles/ablation_arbiter.dir/ablation_arbiter.cc.o.d"
+  "ablation_arbiter"
+  "ablation_arbiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

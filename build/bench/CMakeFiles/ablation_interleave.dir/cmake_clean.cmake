@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interleave.dir/ablation_interleave.cc.o"
+  "CMakeFiles/ablation_interleave.dir/ablation_interleave.cc.o.d"
+  "ablation_interleave"
+  "ablation_interleave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

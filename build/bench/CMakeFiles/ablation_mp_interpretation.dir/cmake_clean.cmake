@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mp_interpretation.dir/ablation_mp_interpretation.cc.o"
+  "CMakeFiles/ablation_mp_interpretation.dir/ablation_mp_interpretation.cc.o.d"
+  "ablation_mp_interpretation"
+  "ablation_mp_interpretation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mp_interpretation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pe_array.dir/ablation_pe_array.cc.o"
+  "CMakeFiles/ablation_pe_array.dir/ablation_pe_array.cc.o.d"
+  "ablation_pe_array"
+  "ablation_pe_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pe_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

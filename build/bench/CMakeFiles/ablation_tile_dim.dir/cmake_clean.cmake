@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tile_dim.dir/ablation_tile_dim.cc.o"
+  "CMakeFiles/ablation_tile_dim.dir/ablation_tile_dim.cc.o.d"
+  "ablation_tile_dim"
+  "ablation_tile_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tile_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

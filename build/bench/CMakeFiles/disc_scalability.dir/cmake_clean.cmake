@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_scalability.dir/disc_scalability.cc.o"
+  "CMakeFiles/disc_scalability.dir/disc_scalability.cc.o.d"
+  "disc_scalability"
+  "disc_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_capacity_bandwidth.dir/fig02_capacity_bandwidth.cc.o"
+  "CMakeFiles/fig02_capacity_bandwidth.dir/fig02_capacity_bandwidth.cc.o.d"
+  "fig02_capacity_bandwidth"
+  "fig02_capacity_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_capacity_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_memcpy_breakdown.dir/fig03_memcpy_breakdown.cc.o"
+  "CMakeFiles/fig03_memcpy_breakdown.dir/fig03_memcpy_breakdown.cc.o.d"
+  "fig03_memcpy_breakdown"
+  "fig03_memcpy_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_memcpy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

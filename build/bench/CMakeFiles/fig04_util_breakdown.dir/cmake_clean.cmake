@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_util_breakdown.dir/fig04_util_breakdown.cc.o"
+  "CMakeFiles/fig04_util_breakdown.dir/fig04_util_breakdown.cc.o.d"
+  "fig04_util_breakdown"
+  "fig04_util_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_util_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_opt13b_device.dir/fig10_opt13b_device.cc.o"
+  "CMakeFiles/fig10_opt13b_device.dir/fig10_opt13b_device.cc.o.d"
+  "fig10_opt13b_device"
+  "fig10_opt13b_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_opt13b_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

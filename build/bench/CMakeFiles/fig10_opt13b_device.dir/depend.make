@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_opt13b_device.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_opt66b_appliance.dir/fig11_opt66b_appliance.cc.o"
+  "CMakeFiles/fig11_opt66b_appliance.dir/fig11_opt66b_appliance.cc.o.d"
+  "fig11_opt66b_appliance"
+  "fig11_opt66b_appliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_opt66b_appliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

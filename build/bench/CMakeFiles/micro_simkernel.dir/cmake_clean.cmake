@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_simkernel.dir/micro_simkernel.cc.o"
+  "CMakeFiles/micro_simkernel.dir/micro_simkernel.cc.o.d"
+  "micro_simkernel"
+  "micro_simkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_simkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dram_comparison.dir/table1_dram_comparison.cc.o"
+  "CMakeFiles/table1_dram_comparison.dir/table1_dram_comparison.cc.o.d"
+  "table1_dram_comparison"
+  "table1_dram_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dram_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

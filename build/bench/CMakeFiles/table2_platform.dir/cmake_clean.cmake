@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_platform.dir/table2_platform.cc.o"
+  "CMakeFiles/table2_platform.dir/table2_platform.cc.o.d"
+  "table2_platform"
+  "table2_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

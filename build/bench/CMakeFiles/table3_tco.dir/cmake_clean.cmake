@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_tco.dir/table3_tco.cc.o"
+  "CMakeFiles/table3_tco.dir/table3_tco.cc.o.d"
+  "table3_tco"
+  "table3_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_tour.dir/driver_tour.cpp.o"
+  "CMakeFiles/driver_tour.dir/driver_tour.cpp.o.d"
+  "driver_tour"
+  "driver_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

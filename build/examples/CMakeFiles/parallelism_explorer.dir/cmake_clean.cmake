@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelism_explorer.dir/parallelism_explorer.cpp.o"
+  "CMakeFiles/parallelism_explorer.dir/parallelism_explorer.cpp.o.d"
+  "parallelism_explorer"
+  "parallelism_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelism_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tco_calculator.cpp" "examples/CMakeFiles/tco_calculator.dir/tco_calculator.cpp.o" "gcc" "examples/CMakeFiles/tco_calculator.dir/tco_calculator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cxlpnm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cxlpnm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cxlpnm_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/cxlpnm_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/cxlpnm_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cxlpnm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/cxlpnm_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/cxlpnm_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/cxlpnm_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxlpnm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tco_calculator.dir/tco_calculator.cpp.o"
+  "CMakeFiles/tco_calculator.dir/tco_calculator.cpp.o.d"
+  "tco_calculator"
+  "tco_calculator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tco_calculator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

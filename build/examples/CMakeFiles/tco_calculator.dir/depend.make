@@ -1,0 +1,2 @@
+# Empty dependencies file for tco_calculator.
+# This may be replaced when dependencies are built.

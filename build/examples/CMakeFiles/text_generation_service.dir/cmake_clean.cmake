@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_generation_service.dir/text_generation_service.cpp.o"
+  "CMakeFiles/text_generation_service.dir/text_generation_service.cpp.o.d"
+  "text_generation_service"
+  "text_generation_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_generation_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

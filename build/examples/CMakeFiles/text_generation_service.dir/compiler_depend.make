@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for text_generation_service.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for text_generation_service.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accelerator.cc" "src/accel/CMakeFiles/cxlpnm_accel.dir/accelerator.cc.o" "gcc" "src/accel/CMakeFiles/cxlpnm_accel.dir/accelerator.cc.o.d"
+  "/root/repo/src/accel/functional.cc" "src/accel/CMakeFiles/cxlpnm_accel.dir/functional.cc.o" "gcc" "src/accel/CMakeFiles/cxlpnm_accel.dir/functional.cc.o.d"
+  "/root/repo/src/accel/register_file.cc" "src/accel/CMakeFiles/cxlpnm_accel.dir/register_file.cc.o" "gcc" "src/accel/CMakeFiles/cxlpnm_accel.dir/register_file.cc.o.d"
+  "/root/repo/src/accel/timing.cc" "src/accel/CMakeFiles/cxlpnm_accel.dir/timing.cc.o" "gcc" "src/accel/CMakeFiles/cxlpnm_accel.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/cxlpnm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/cxlpnm_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/cxlpnm_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxlpnm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/cxlpnm_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

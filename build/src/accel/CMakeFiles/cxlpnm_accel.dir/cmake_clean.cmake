@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpnm_accel.dir/accelerator.cc.o"
+  "CMakeFiles/cxlpnm_accel.dir/accelerator.cc.o.d"
+  "CMakeFiles/cxlpnm_accel.dir/functional.cc.o"
+  "CMakeFiles/cxlpnm_accel.dir/functional.cc.o.d"
+  "CMakeFiles/cxlpnm_accel.dir/register_file.cc.o"
+  "CMakeFiles/cxlpnm_accel.dir/register_file.cc.o.d"
+  "CMakeFiles/cxlpnm_accel.dir/timing.cc.o"
+  "CMakeFiles/cxlpnm_accel.dir/timing.cc.o.d"
+  "libcxlpnm_accel.a"
+  "libcxlpnm_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpnm_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpnm_core.dir/inference_engine.cc.o"
+  "CMakeFiles/cxlpnm_core.dir/inference_engine.cc.o.d"
+  "CMakeFiles/cxlpnm_core.dir/platform.cc.o"
+  "CMakeFiles/cxlpnm_core.dir/platform.cc.o.d"
+  "CMakeFiles/cxlpnm_core.dir/tco.cc.o"
+  "CMakeFiles/cxlpnm_core.dir/tco.cc.o.d"
+  "libcxlpnm_core.a"
+  "libcxlpnm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpnm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

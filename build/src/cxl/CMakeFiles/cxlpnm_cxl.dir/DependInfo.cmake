@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cxl/arbiter.cc" "src/cxl/CMakeFiles/cxlpnm_cxl.dir/arbiter.cc.o" "gcc" "src/cxl/CMakeFiles/cxlpnm_cxl.dir/arbiter.cc.o.d"
+  "/root/repo/src/cxl/link.cc" "src/cxl/CMakeFiles/cxlpnm_cxl.dir/link.cc.o" "gcc" "src/cxl/CMakeFiles/cxlpnm_cxl.dir/link.cc.o.d"
+  "/root/repo/src/cxl/ports.cc" "src/cxl/CMakeFiles/cxlpnm_cxl.dir/ports.cc.o" "gcc" "src/cxl/CMakeFiles/cxlpnm_cxl.dir/ports.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/cxlpnm_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxlpnm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

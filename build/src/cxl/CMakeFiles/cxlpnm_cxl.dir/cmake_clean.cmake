@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpnm_cxl.dir/arbiter.cc.o"
+  "CMakeFiles/cxlpnm_cxl.dir/arbiter.cc.o.d"
+  "CMakeFiles/cxlpnm_cxl.dir/link.cc.o"
+  "CMakeFiles/cxlpnm_cxl.dir/link.cc.o.d"
+  "CMakeFiles/cxlpnm_cxl.dir/ports.cc.o"
+  "CMakeFiles/cxlpnm_cxl.dir/ports.cc.o.d"
+  "libcxlpnm_cxl.a"
+  "libcxlpnm_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpnm_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/channel.cc" "src/dram/CMakeFiles/cxlpnm_dram.dir/channel.cc.o" "gcc" "src/dram/CMakeFiles/cxlpnm_dram.dir/channel.cc.o.d"
+  "/root/repo/src/dram/dram_spec.cc" "src/dram/CMakeFiles/cxlpnm_dram.dir/dram_spec.cc.o" "gcc" "src/dram/CMakeFiles/cxlpnm_dram.dir/dram_spec.cc.o.d"
+  "/root/repo/src/dram/module.cc" "src/dram/CMakeFiles/cxlpnm_dram.dir/module.cc.o" "gcc" "src/dram/CMakeFiles/cxlpnm_dram.dir/module.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cxlpnm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpnm_dram.dir/channel.cc.o"
+  "CMakeFiles/cxlpnm_dram.dir/channel.cc.o.d"
+  "CMakeFiles/cxlpnm_dram.dir/dram_spec.cc.o"
+  "CMakeFiles/cxlpnm_dram.dir/dram_spec.cc.o.d"
+  "CMakeFiles/cxlpnm_dram.dir/module.cc.o"
+  "CMakeFiles/cxlpnm_dram.dir/module.cc.o.d"
+  "libcxlpnm_dram.a"
+  "libcxlpnm_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpnm_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

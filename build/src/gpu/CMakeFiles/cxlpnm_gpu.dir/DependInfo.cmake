@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu_spec.cc" "src/gpu/CMakeFiles/cxlpnm_gpu.dir/gpu_spec.cc.o" "gcc" "src/gpu/CMakeFiles/cxlpnm_gpu.dir/gpu_spec.cc.o.d"
+  "/root/repo/src/gpu/inference.cc" "src/gpu/CMakeFiles/cxlpnm_gpu.dir/inference.cc.o" "gcc" "src/gpu/CMakeFiles/cxlpnm_gpu.dir/inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm/CMakeFiles/cxlpnm_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxlpnm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/cxlpnm_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpnm_gpu.dir/gpu_spec.cc.o"
+  "CMakeFiles/cxlpnm_gpu.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/cxlpnm_gpu.dir/inference.cc.o"
+  "CMakeFiles/cxlpnm_gpu.dir/inference.cc.o.d"
+  "libcxlpnm_gpu.a"
+  "libcxlpnm_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpnm_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcxlpnm_gpu.a"
+)

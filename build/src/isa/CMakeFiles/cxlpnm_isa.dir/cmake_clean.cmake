@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpnm_isa.dir/assembler.cc.o"
+  "CMakeFiles/cxlpnm_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/cxlpnm_isa.dir/isa.cc.o"
+  "CMakeFiles/cxlpnm_isa.dir/isa.cc.o.d"
+  "libcxlpnm_isa.a"
+  "libcxlpnm_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpnm_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

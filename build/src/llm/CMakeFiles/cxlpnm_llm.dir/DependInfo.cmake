@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/model_config.cc" "src/llm/CMakeFiles/cxlpnm_llm.dir/model_config.cc.o" "gcc" "src/llm/CMakeFiles/cxlpnm_llm.dir/model_config.cc.o.d"
+  "/root/repo/src/llm/reference_model.cc" "src/llm/CMakeFiles/cxlpnm_llm.dir/reference_model.cc.o" "gcc" "src/llm/CMakeFiles/cxlpnm_llm.dir/reference_model.cc.o.d"
+  "/root/repo/src/llm/synthetic.cc" "src/llm/CMakeFiles/cxlpnm_llm.dir/synthetic.cc.o" "gcc" "src/llm/CMakeFiles/cxlpnm_llm.dir/synthetic.cc.o.d"
+  "/root/repo/src/llm/workload.cc" "src/llm/CMakeFiles/cxlpnm_llm.dir/workload.cc.o" "gcc" "src/llm/CMakeFiles/cxlpnm_llm.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/cxlpnm_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxlpnm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpnm_llm.dir/model_config.cc.o"
+  "CMakeFiles/cxlpnm_llm.dir/model_config.cc.o.d"
+  "CMakeFiles/cxlpnm_llm.dir/reference_model.cc.o"
+  "CMakeFiles/cxlpnm_llm.dir/reference_model.cc.o.d"
+  "CMakeFiles/cxlpnm_llm.dir/synthetic.cc.o"
+  "CMakeFiles/cxlpnm_llm.dir/synthetic.cc.o.d"
+  "CMakeFiles/cxlpnm_llm.dir/workload.cc.o"
+  "CMakeFiles/cxlpnm_llm.dir/workload.cc.o.d"
+  "libcxlpnm_llm.a"
+  "libcxlpnm_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpnm_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/fp16.cc" "src/numeric/CMakeFiles/cxlpnm_numeric.dir/fp16.cc.o" "gcc" "src/numeric/CMakeFiles/cxlpnm_numeric.dir/fp16.cc.o.d"
+  "/root/repo/src/numeric/linalg.cc" "src/numeric/CMakeFiles/cxlpnm_numeric.dir/linalg.cc.o" "gcc" "src/numeric/CMakeFiles/cxlpnm_numeric.dir/linalg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cxlpnm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpnm_numeric.dir/fp16.cc.o"
+  "CMakeFiles/cxlpnm_numeric.dir/fp16.cc.o.d"
+  "CMakeFiles/cxlpnm_numeric.dir/linalg.cc.o"
+  "CMakeFiles/cxlpnm_numeric.dir/linalg.cc.o.d"
+  "libcxlpnm_numeric.a"
+  "libcxlpnm_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpnm_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

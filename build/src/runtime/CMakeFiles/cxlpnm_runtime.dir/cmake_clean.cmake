@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpnm_runtime.dir/allocator.cc.o"
+  "CMakeFiles/cxlpnm_runtime.dir/allocator.cc.o.d"
+  "CMakeFiles/cxlpnm_runtime.dir/driver.cc.o"
+  "CMakeFiles/cxlpnm_runtime.dir/driver.cc.o.d"
+  "CMakeFiles/cxlpnm_runtime.dir/pnm_library.cc.o"
+  "CMakeFiles/cxlpnm_runtime.dir/pnm_library.cc.o.d"
+  "libcxlpnm_runtime.a"
+  "libcxlpnm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpnm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

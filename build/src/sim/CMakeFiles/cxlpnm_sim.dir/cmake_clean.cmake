@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpnm_sim.dir/config.cc.o"
+  "CMakeFiles/cxlpnm_sim.dir/config.cc.o.d"
+  "CMakeFiles/cxlpnm_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cxlpnm_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/cxlpnm_sim.dir/logging.cc.o"
+  "CMakeFiles/cxlpnm_sim.dir/logging.cc.o.d"
+  "CMakeFiles/cxlpnm_sim.dir/stats.cc.o"
+  "CMakeFiles/cxlpnm_sim.dir/stats.cc.o.d"
+  "libcxlpnm_sim.a"
+  "libcxlpnm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpnm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc_assembler.dir/test_ecc_assembler.cc.o"
+  "CMakeFiles/test_ecc_assembler.dir/test_ecc_assembler.cc.o.d"
+  "test_ecc_assembler"
+  "test_ecc_assembler.pdb"
+  "test_ecc_assembler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fp16.dir/test_fp16.cc.o"
+  "CMakeFiles/test_fp16.dir/test_fp16.cc.o.d"
+  "test_fp16"
+  "test_fp16.pdb"
+  "test_fp16[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fp16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

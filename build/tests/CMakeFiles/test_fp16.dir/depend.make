@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fp16.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_misc.dir/test_link_misc.cc.o"
+  "CMakeFiles/test_link_misc.dir/test_link_misc.cc.o.d"
+  "test_link_misc"
+  "test_link_misc.pdb"
+  "test_link_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_llm.dir/test_llm.cc.o"
+  "CMakeFiles/test_llm.dir/test_llm.cc.o.d"
+  "test_llm"
+  "test_llm.pdb"
+  "test_llm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_anchors.dir/test_paper_anchors.cc.o"
+  "CMakeFiles/test_paper_anchors.dir/test_paper_anchors.cc.o.d"
+  "test_paper_anchors"
+  "test_paper_anchors.pdb"
+  "test_paper_anchors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_anchors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor_linalg.dir/test_tensor_linalg.cc.o"
+  "CMakeFiles/test_tensor_linalg.dir/test_tensor_linalg.cc.o.d"
+  "test_tensor_linalg"
+  "test_tensor_linalg.pdb"
+  "test_tensor_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
