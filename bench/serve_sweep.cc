@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Serving-capacity sweep: maximum sustained QPS under a p95 per-token
+ * latency SLO for one CXL-PNM device vs. one A100, using the
+ * continuous-batching serving simulator (src/serve/).
+ *
+ * For each platform the arrival rate climbs a geometric ladder; a rate
+ * is *sustained* when the p95 per-token latency meets the SLO and the
+ * achieved QPS keeps up with the offered rate (the queue is not
+ * growing without bound). The headline for each platform is the last
+ * sustained rung: its QPS, mean batch occupancy, and peak KV-pool
+ * utilization.
+ *
+ * The paper's thesis in serving terms: the GPU's KV capacity
+ * (mem - weights) caps its batch, while the LPDDR-backed CXL-PNM
+ * device trades peak bandwidth for capacity headroom.
+ *
+ *   ./serve_sweep [model=opt-13b] [in=64] [out=256] [n=96] [batch=32]
+ *                 [slo_scale=3] [seed=1] [slo=0]   (slo in seconds
+ *                 overrides slo_scale when > 0)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+#include "serve/cost_model.hh"
+#include "serve/metrics.hh"
+#include "serve/request_generator.hh"
+#include "serve/scheduler.hh"
+#include "sim/config.hh"
+
+using namespace cxlpnm;
+
+namespace
+{
+
+struct SweepPoint
+{
+    double offeredQps = 0.0;
+    serve::ServeReport report;
+    bool sustained = false;
+};
+
+serve::ServeReport
+runAtRate(const llm::ModelConfig &model,
+          const serve::BatchCostModel &cost, std::uint64_t kv_capacity,
+          const serve::SchedulerConfig &sched,
+          const serve::MetricsConfig &mcfg, const serve::TraceConfig &t)
+{
+    serve::ServeMetrics metrics(nullptr, "serve", mcfg);
+    serve::BatchScheduler s(model, cost, kv_capacity, sched, metrics);
+    serve::RequestGenerator gen(t);
+    while (!gen.exhausted())
+        s.submit(gen.next());
+    s.drain();
+    return metrics.report(s.clockSeconds());
+}
+
+/** Climb the rate ladder; returns every rung plus the last sustained. */
+std::vector<SweepPoint>
+sweep(const char *label, const llm::ModelConfig &model,
+      const serve::BatchCostModel &cost, std::uint64_t kv_capacity,
+      std::size_t max_batch, double slo_token_sec,
+      serve::TraceConfig trace)
+{
+    serve::SchedulerConfig sched;
+    sched.maxBatch = max_batch;
+
+    serve::MetricsConfig mcfg;
+    mcfg.sloTokenSeconds = slo_token_sec;
+    mcfg.tokenLatencyHi = 20.0 * slo_token_sec; // p95 at slo/100 grain
+    mcfg.tokenLatencyBuckets = 2000;
+
+    // Start well below one serial stream, climb geometrically.
+    const std::uint64_t full_ctx =
+        trace.input.max() + trace.output.max();
+    const double serial_request_sec =
+        cost.prefillSeconds(trace.input.max()) +
+        trace.output.max() * cost.decodeSeconds(full_ctx);
+    double rate = 0.25 / serial_request_sec;
+
+    std::printf("\n%s  (KV pool %.1f GB, SLO p95 token <= %.1f ms)\n",
+                label, kv_capacity / GB, slo_token_sec * 1e3);
+    std::printf("  %9s %9s %8s %8s %8s %7s %7s %9s\n", "offered/s",
+                "achieved", "p50(ms)", "p95(ms)", "ttft95s", "batch",
+                "kv-pk%", "tok/s");
+
+    std::vector<SweepPoint> points;
+    for (int rung = 0; rung < 40; ++rung) {
+        trace.requestsPerSec = rate;
+        SweepPoint p;
+        p.offeredQps = rate;
+        p.report = runAtRate(model, cost, kv_capacity, sched, mcfg,
+                             trace);
+        p.sustained = p.report.tokenLatencyP95 <= slo_token_sec &&
+            p.report.achievedQps >= 0.9 * rate;
+        points.push_back(p);
+
+        const auto &r = p.report;
+        std::printf("  %9.3f %9.3f %8.2f %8.2f %8.2f %7.2f %7.1f "
+                    "%9.1f%s\n",
+                    rate, r.achievedQps, r.tokenLatencyP50 * 1e3,
+                    r.tokenLatencyP95 * 1e3, r.ttftP95,
+                    r.meanBatchSize, 100.0 * r.peakKvUtilization,
+                    r.throughputTokensPerSec,
+                    p.sustained ? "" : "  <- SLO violated");
+        if (!p.sustained)
+            break;
+        rate *= 1.4;
+    }
+    return points;
+}
+
+const SweepPoint *
+lastSustained(const std::vector<SweepPoint> &pts)
+{
+    const SweepPoint *best = nullptr;
+    for (const auto &p : pts)
+        if (p.sustained)
+            best = &p;
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto cfg = Config::fromArgs({argv + 1, argv + argc});
+    const auto model =
+        llm::ModelConfig::byName(cfg.getString("model", "opt-13b"));
+
+    serve::TraceConfig trace;
+    trace.arrivals = serve::ArrivalProcess::Poisson;
+    trace.numRequests = cfg.getInt("n", 96);
+    trace.input = serve::LengthDistribution::fixed(cfg.getInt("in", 64));
+    trace.output =
+        serve::LengthDistribution::fixed(cfg.getInt("out", 256));
+    trace.seed = cfg.getInt("seed", 1);
+
+    const std::size_t max_batch = cfg.getInt("batch", 32);
+    const std::uint64_t full_ctx =
+        trace.input.max() + trace.output.max();
+
+    bench::header("Serving sweep: " + model.name +
+                  ", continuous batching, one device per platform");
+    std::printf("trace: %zu requests, %llu in / %llu out tokens, "
+                "Poisson arrivals, batch cap %zu\n",
+                trace.numRequests,
+                static_cast<unsigned long long>(trace.input.max()),
+                static_cast<unsigned long long>(trace.output.max()),
+                max_batch);
+
+    // --- calibrate both platforms ---
+    core::PnmPlatformConfig pcfg;
+    pcfg.channelGrouping = 8; // coarse channel model for long sweeps
+    const auto pnm_cost =
+        serve::calibratePnmCostModel(model, pcfg, full_ctx);
+    const auto pnm_kv = serve::pnmKvCapacityBytes(model, pcfg);
+
+    const auto gspec = gpu::GpuSpec::a100_40g();
+    const auto gpu_cost = serve::calibrateGpuCostModel(
+        model, gspec, gpu::GpuCalibration{}, full_ctx);
+    const auto gpu_kv = serve::gpuKvCapacityBytes(model, gspec);
+
+    // One shared absolute SLO so "max sustained QPS" is comparable:
+    // a multiple of the slower platform's unloaded decode latency.
+    double slo = cfg.getDouble("slo", 0.0);
+    if (slo <= 0.0) {
+        const double slo_scale = cfg.getDouble("slo_scale", 3.0);
+        slo = slo_scale * std::max(pnm_cost.decodeSeconds(full_ctx),
+                                   gpu_cost.decodeSeconds(full_ctx));
+    }
+    std::printf("unloaded decode @ctx %llu: PNM %.2f ms, GPU %.2f ms; "
+                "shared SLO %.2f ms\n",
+                static_cast<unsigned long long>(full_ctx),
+                pnm_cost.decodeSeconds(full_ctx) * 1e3,
+                gpu_cost.decodeSeconds(full_ctx) * 1e3, slo * 1e3);
+
+    const auto pnm_pts = sweep("CXL-PNM (one device)", model, pnm_cost,
+                               pnm_kv, max_batch, slo, trace);
+    const auto gpu_pts = sweep("A100-40G (one device)", model, gpu_cost,
+                               gpu_kv, max_batch, slo, trace);
+
+    const SweepPoint *pnm_best = lastSustained(pnm_pts);
+    const SweepPoint *gpu_best = lastSustained(gpu_pts);
+
+    bench::header("Max sustained QPS under the shared p95 token SLO");
+    auto line = [](const char *name, const SweepPoint *p) {
+        if (!p) {
+            std::printf("  %-22s no sustained rate (SLO too tight)\n",
+                        name);
+            return;
+        }
+        std::printf("  %-22s %8.3f QPS  batch %5.2f  peak KV %5.1f%%  "
+                    "goodput %8.1f tok/s\n",
+                    name, p->offeredQps, p->report.meanBatchSize,
+                    100.0 * p->report.peakKvUtilization,
+                    p->report.goodputTokensPerSec);
+    };
+    line("CXL-PNM", pnm_best);
+    line("A100-40G", gpu_best);
+    if (pnm_best && gpu_best)
+        std::printf("  PNM/GPU sustained-QPS ratio: %.2fx\n",
+                    pnm_best->offeredQps / gpu_best->offeredQps);
+    return 0;
+}

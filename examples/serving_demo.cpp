@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Closed-loop serving demo: generate a synthetic request trace and
+ * play it through the continuous-batching serving simulator on a
+ * CXL-PNM appliance (or a GPU node), then print the service-level
+ * report - TTFT and per-token latency percentiles, batch occupancy,
+ * KV-pool utilization, throughput and SLO goodput.
+ *
+ *   ./serving_demo [model=opt-13b] [platform=pnm|gpu] [qps=0.3]
+ *                  [n=64] [in=64] [out=128] [batch=16] [mp=1] [dp=1]
+ *                  [serial=0] [seed=1] [slo_ms=0] [stats=0]
+ *
+ * `mp`/`dp` follow the paper's §VIII-A appliance plans (tensor split
+ * across mp devices, dp independent replicas); `serial=1` turns
+ * continuous batching off for an A/B against one-request-at-a-time
+ * serving. `slo_ms` sets the per-token goodput deadline.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "serve/cost_model.hh"
+#include "serve/dispatcher.hh"
+#include "serve/metrics.hh"
+#include "serve/request_generator.hh"
+#include "sim/config.hh"
+
+using namespace cxlpnm;
+
+int
+main(int argc, char **argv)
+{
+    auto cfg = Config::fromArgs({argv + 1, argv + argc});
+    const auto model =
+        llm::ModelConfig::byName(cfg.getString("model", "opt-13b"));
+    const std::string platform = cfg.getString("platform", "pnm");
+
+    core::ParallelismPlan plan;
+    plan.modelParallel = cfg.getInt("mp", 1);
+    plan.dataParallel = cfg.getInt("dp", 1);
+
+    serve::TraceConfig trace;
+    trace.requestsPerSec = cfg.getDouble("qps", 0.3);
+    trace.numRequests = cfg.getInt("n", 64);
+    trace.input = serve::LengthDistribution::fixed(cfg.getInt("in", 64));
+    trace.output =
+        serve::LengthDistribution::fixed(cfg.getInt("out", 128));
+    trace.seed = cfg.getInt("seed", 1);
+    const std::uint64_t full_ctx =
+        trace.input.max() + trace.output.max();
+
+    serve::SchedulerConfig sched;
+    sched.maxBatch = cfg.getInt("batch", 16);
+    sched.continuousBatching = !cfg.getBool("serial", false);
+
+    // --- calibrate the per-group cost model ---
+    serve::BatchCostModel cost;
+    std::uint64_t group_kv = 0;
+    if (platform == "pnm") {
+        core::PnmPlatformConfig pcfg;
+        pcfg.channelGrouping = 8;
+        cost = serve::calibratePnmCostModel(model, pcfg, full_ctx,
+                                            plan.modelParallel);
+        if (plan.modelParallel > 1)
+            serve::addModelParallelComm(cost, model, pcfg.link,
+                                        core::D2dModel{},
+                                        plan.modelParallel);
+        group_kv = serve::pnmKvCapacityBytes(model, pcfg,
+                                             plan.modelParallel);
+    } else if (platform == "gpu") {
+        if (plan.modelParallel != 1) {
+            std::printf("note: gpu platform models tensor parallelism "
+                        "as an ideal shard (no interconnect cost)\n");
+        }
+        const auto spec = gpu::GpuSpec::a100_40g();
+        cost = serve::calibrateGpuCostModel(model, spec,
+                                            gpu::GpuCalibration{},
+                                            full_ctx,
+                                            plan.modelParallel);
+        group_kv = serve::gpuKvCapacityBytes(model, spec,
+                                             plan.modelParallel);
+    } else {
+        std::fprintf(stderr, "unknown platform '%s' (pnm|gpu)\n",
+                     platform.c_str());
+        return 1;
+    }
+
+    std::printf("serving %s on %s: plan %dx%d (mp x dp), %zu requests "
+                "at %.3f req/s, %llu in / %llu out\n",
+                model.name.c_str(), platform.c_str(),
+                plan.modelParallel, plan.dataParallel,
+                trace.numRequests, trace.requestsPerSec,
+                static_cast<unsigned long long>(trace.input.max()),
+                static_cast<unsigned long long>(trace.output.max()));
+    std::printf("scheduler: %s, batch cap %zu, per-group KV pool "
+                "%.1f GB\n\n",
+                sched.continuousBatching ? "continuous batching"
+                                         : "serial (one at a time)",
+                sched.maxBatch, group_kv / GB);
+
+    // --- play the trace ---
+    serve::MetricsConfig mcfg;
+    mcfg.sloTokenSeconds = cfg.getDouble("slo_ms", 0.0) * 1e-3;
+    serve::ServeMetrics metrics(nullptr, "serve", mcfg);
+    serve::ApplianceDispatcher disp(model, cost, plan, group_kv, sched,
+                                    metrics);
+    serve::RequestGenerator gen(trace);
+    while (!gen.exhausted())
+        disp.submit(gen.next());
+    disp.drain();
+
+    const auto r = metrics.report(disp.clockSeconds());
+
+    std::printf("completed %llu / rejected %llu requests in %.2f s\n",
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.rejected),
+                r.makespanSeconds);
+    for (std::size_t g = 0; g < disp.groupCount(); ++g)
+        std::printf("  group %zu served %zu requests\n", g,
+                    disp.group(g).finished().size());
+
+    std::printf("\nthroughput        %10.2f tokens/s (%.3f req/s)\n",
+                r.throughputTokensPerSec, r.achievedQps);
+    std::printf("token latency     p50 %7.2f ms   p95 %7.2f ms   "
+                "p99 %7.2f ms\n",
+                r.tokenLatencyP50 * 1e3, r.tokenLatencyP95 * 1e3,
+                r.tokenLatencyP99 * 1e3);
+    std::printf("ttft              p50 %7.2f s    p95 %7.2f s\n",
+                r.ttftP50, r.ttftP95);
+    std::printf("batch occupancy   %10.2f mean (cap %zu)\n",
+                r.meanBatchSize, sched.maxBatch);
+    std::printf("queue depth       %10.2f mean\n", r.meanQueueDepth);
+    std::printf("KV utilization    %10.1f %% peak\n",
+                100.0 * r.peakKvUtilization);
+    if (mcfg.sloTokenSeconds > 0.0)
+        std::printf("goodput           %10.2f tokens/s (%.0f%% of "
+                    "requests met the SLO)\n",
+                    r.goodputTokensPerSec, 100.0 * r.sloFraction);
+
+    if (cfg.getBool("stats", false)) {
+        std::printf("\n--- stat dump ---\n");
+        metrics.dumpStats(std::cout);
+    }
+    return 0;
+}

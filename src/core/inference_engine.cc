@@ -1,6 +1,7 @@
 #include "core/inference_engine.hh"
 
 #include <algorithm>
+#include <memory>
 
 #include "sim/logging.hh"
 
@@ -9,57 +10,111 @@ namespace cxlpnm
 namespace core
 {
 
+namespace
+{
+
+/** Shared device-bringup for the whole-request and per-stage paths. */
+struct LoadedDevice
+{
+    EventQueue eq;
+    stats::StatGroup root{nullptr, ""};
+    std::unique_ptr<PnmDevice> dev;
+
+    LoadedDevice(const llm::ModelConfig &model,
+                 const PnmPlatformConfig &cfg, int tensor_shard)
+    {
+        dev = std::make_unique<PnmDevice>(eq, &root, "pnm0", cfg);
+        if (tensor_shard > 1)
+            dev->library().setTensorShard(tensor_shard);
+        bool done = false;
+        dev->library().loadModel(model, /*seed=*/1, [&] { done = true; });
+        eq.run();
+        panic_if(!done, "model load did not complete");
+    }
+
+    runtime::PnmLibrary &library() { return dev->library(); }
+
+    /** Run a prefill of @p l_in zero tokens; returns stage seconds. */
+    double
+    prefill(std::uint64_t l_in)
+    {
+        const std::vector<std::uint32_t> prompt(l_in, 0);
+        bool done = false;
+        const Tick t0 = eq.now();
+        library().prefill(prompt, [&](std::uint32_t) { done = true; });
+        eq.run();
+        panic_if(!done, "prefill did not complete");
+        return ticksToSeconds(eq.now() - t0);
+    }
+
+    /** Run one decode stage; returns stage seconds. */
+    double
+    decode()
+    {
+        bool done = false;
+        const Tick t0 = eq.now();
+        library().decode(0, [&](std::uint32_t) { done = true; });
+        eq.run();
+        panic_if(!done, "decode did not complete");
+        return ticksToSeconds(eq.now() - t0);
+    }
+};
+
+} // namespace
+
 PnmRunResult
 runPnmSingleDevice(const llm::ModelConfig &model,
                    const llm::InferenceRequest &req,
                    const PnmPlatformConfig &cfg, int tensor_shard)
 {
-    EventQueue eq;
-    stats::StatGroup root(nullptr, "");
-    PnmDevice dev(eq, &root, "pnm0", cfg);
-    runtime::PnmLibrary &lib = dev.library();
+    req.validate(model);
 
-    if (tensor_shard > 1)
-        lib.setTensorShard(tensor_shard);
-
-    bool done = false;
-    lib.loadModel(model, /*seed=*/1, [&] { done = true; });
-    eq.run();
-    panic_if(!done, "model load did not complete");
+    LoadedDevice ld(model, cfg, tensor_shard);
 
     PnmRunResult res;
-    const auto before = dev.activity();
-    const Tick t_start = eq.now();
+    const auto before = ld.dev->activity();
+    const Tick t_start = ld.eq.now();
 
-    // Sum stage over a synthetic prompt.
-    const std::vector<std::uint32_t> prompt(req.inputTokens, 0);
-    done = false;
-    Tick t0 = eq.now();
-    lib.prefill(prompt, [&](std::uint32_t) { done = true; });
-    eq.run();
-    panic_if(!done, "prefill did not complete");
-    res.sumSeconds = ticksToSeconds(eq.now() - t0);
-
-    // Gen stages.
+    // Sum stage over a synthetic prompt, then the gen stages.
+    res.sumSeconds = ld.prefill(req.inputTokens);
     res.genSeconds.reserve(req.outputTokens);
-    for (std::uint64_t t = 0; t < req.outputTokens; ++t) {
-        done = false;
-        t0 = eq.now();
-        lib.decode(0, [&](std::uint32_t) { done = true; });
-        eq.run();
-        panic_if(!done, "decode did not complete");
-        res.genSeconds.push_back(ticksToSeconds(eq.now() - t0));
-    }
+    for (std::uint64_t t = 0; t < req.outputTokens; ++t)
+        res.genSeconds.push_back(ld.decode());
 
-    const Tick duration = eq.now() - t_start;
+    const Tick duration = ld.eq.now() - t_start;
     res.totalSeconds = ticksToSeconds(duration);
     res.energyJoules =
-        dev.energyJoules(before, dev.activity(), duration);
+        ld.dev->energyJoules(before, ld.dev->activity(), duration);
     res.avgPowerW = res.totalSeconds > 0.0
         ? res.energyJoules / res.totalSeconds
         : 0.0;
-    res.programInstructions = lib.lastProgramSize();
+    res.programInstructions = ld.library().lastProgramSize();
     return res;
+}
+
+double
+pnmSumStageSeconds(const llm::ModelConfig &model,
+                   const PnmPlatformConfig &cfg, std::uint64_t l_in,
+                   int tensor_shard)
+{
+    fatal_if(l_in == 0, "sum stage needs at least one prompt token");
+    fatal_if(l_in > model.maxPositions, "prompt of ", l_in,
+             " tokens exceeds max positions ", model.maxPositions);
+    LoadedDevice ld(model, cfg, tensor_shard);
+    return ld.prefill(l_in);
+}
+
+double
+pnmGenStageSeconds(const llm::ModelConfig &model,
+                   const PnmPlatformConfig &cfg, std::uint64_t context,
+                   int tensor_shard)
+{
+    fatal_if(context < 2, "gen stage needs a preceding context");
+    fatal_if(context > model.maxPositions, "context of ", context,
+             " tokens exceeds max positions ", model.maxPositions);
+    LoadedDevice ld(model, cfg, tensor_shard);
+    ld.prefill(context - 1);
+    return ld.decode();
 }
 
 PnmApplianceResult

@@ -55,6 +55,28 @@ PnmRunResult runPnmSingleDevice(const llm::ModelConfig &model,
                                 const PnmPlatformConfig &cfg,
                                 int tensor_shard = 1);
 
+/**
+ * Per-stage cost hooks for the serving simulator (src/serve): time one
+ * stage in isolation on a freshly assembled device instead of a whole
+ * request. Both create their own event queue, load the model, and
+ * return simulated seconds for just the stage of interest.
+ */
+
+/** One sum (prefill) stage over @p l_in prompt tokens. */
+double pnmSumStageSeconds(const llm::ModelConfig &model,
+                          const PnmPlatformConfig &cfg,
+                          std::uint64_t l_in, int tensor_shard = 1);
+
+/**
+ * One gen (decode) stage whose attended context (prompt + generated,
+ * including the token being produced) is @p context tokens. Requires
+ * 2 <= context <= model.maxPositions: the context is established with
+ * a prefill of context-1 tokens, then the timed decode extends it.
+ */
+double pnmGenStageSeconds(const llm::ModelConfig &model,
+                          const PnmPlatformConfig &cfg,
+                          std::uint64_t context, int tensor_shard = 1);
+
 /** How an appliance's 8 devices are partitioned (§VIII-A). */
 struct ParallelismPlan
 {

@@ -144,6 +144,7 @@ runGpuInference(const llm::ModelConfig &cfg,
                 const GpuCalibration &calib, int devices)
 {
     fatal_if(devices < 1, "need at least one GPU");
+    req.validate(cfg);
     GpuInferenceResult res;
     res.devices = devices;
     const bool offload = !modelFits(cfg, req, spec, devices);

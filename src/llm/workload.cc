@@ -139,6 +139,24 @@ genStageOps(const ModelConfig &cfg, std::uint64_t context)
     return ops;
 }
 
+bool
+InferenceRequest::fits(const ModelConfig &cfg) const
+{
+    return inputTokens > 0 && outputTokens > 0 &&
+        totalTokens() <= cfg.maxPositions;
+}
+
+void
+InferenceRequest::validate(const ModelConfig &cfg) const
+{
+    fatal_if(inputTokens == 0, "request needs a non-empty prompt");
+    fatal_if(outputTokens == 0,
+             "request must generate at least one token");
+    fatal_if(totalTokens() > cfg.maxPositions, "request context ",
+             totalTokens(), " exceeds ", cfg.name, " max positions ",
+             cfg.maxPositions);
+}
+
 OpStats
 summarize(const std::vector<Op> &ops)
 {

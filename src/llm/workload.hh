@@ -109,6 +109,21 @@ struct InferenceRequest
 {
     std::uint64_t inputTokens = 64;
     std::uint64_t outputTokens = 1024;
+
+    /** Total attended context once fully generated. */
+    std::uint64_t
+    totalTokens() const
+    {
+        return inputTokens + outputTokens;
+    }
+
+    /** True when the request is well-formed for @p cfg (non-empty
+     *  prompt, at least one generated token, context within the
+     *  model's positional range). */
+    bool fits(const ModelConfig &cfg) const;
+
+    /** fatal() unless fits(cfg); engines call this before running. */
+    void validate(const ModelConfig &cfg) const;
 };
 
 /** Total FLOPs of a request (sum + all gen stages). */

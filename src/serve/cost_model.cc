@@ -1,0 +1,236 @@
+#include "serve/cost_model.hh"
+
+#include <algorithm>
+
+#include "gpu/inference.hh"
+#include "llm/workload.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+void
+CostCurve::addSample(std::uint64_t tokens, double seconds)
+{
+    fatal_if(!points_.empty() &&
+                 static_cast<double>(tokens) <= points_.back().tokens,
+             "cost-curve samples must have increasing token counts");
+    fatal_if(seconds < 0.0, "cost-curve sample with negative seconds");
+    points_.push_back({static_cast<double>(tokens), seconds});
+}
+
+double
+CostCurve::at(std::uint64_t tokens) const
+{
+    fatal_if(points_.empty(), "evaluating an empty cost curve");
+    const double t = static_cast<double>(tokens);
+    if (points_.size() == 1)
+        return points_.front().seconds;
+
+    // Find the segment whose [lo, hi) brackets t; the first/last
+    // segment extrapolates beyond the sampled range.
+    std::size_t hi = 1;
+    while (hi + 1 < points_.size() && points_[hi].tokens < t)
+        ++hi;
+    const Point &a = points_[hi - 1];
+    const Point &b = points_[hi];
+    const double slope =
+        (b.seconds - a.seconds) / (b.tokens - a.tokens);
+    return std::max(0.0, a.seconds + slope * (t - a.tokens));
+}
+
+double
+BatchCostModel::prefillSeconds(std::uint64_t l_in) const
+{
+    return sumCurve.at(l_in) + commPerIterationSeconds +
+        commPerTokenSeconds * static_cast<double>(l_in);
+}
+
+double
+BatchCostModel::decodeIterationSeconds(
+    const std::vector<std::uint64_t> &contexts) const
+{
+    if (contexts.empty())
+        return 0.0;
+    const double batch = static_cast<double>(contexts.size());
+    double ctx_sum = 0.0;
+    for (std::uint64_t c : contexts)
+        ctx_sum += static_cast<double>(c);
+
+    // Weights stream once for everyone; KV traffic is per member. The
+    // compute floor kicks in when the batched GEMM stops being
+    // memory-bound.
+    const double mem =
+        genWeightSeconds + genKvPerTokenSeconds * ctx_sum;
+    const double compute = perTokenComputeSeconds * batch;
+    return std::max(mem, compute) + perTokenHostSeconds * batch +
+        commPerIterationSeconds + commPerTokenSeconds * batch;
+}
+
+double
+BatchCostModel::decodeSeconds(std::uint64_t context) const
+{
+    return decodeIterationSeconds({context});
+}
+
+namespace
+{
+
+/** Calibration points shared by the PNM and GPU paths. */
+struct SamplePlan
+{
+    std::uint64_t genLo, genHi;
+    std::vector<std::uint64_t> sumLengths;
+};
+
+SamplePlan
+planSamples(const llm::ModelConfig &model, std::uint64_t max_context)
+{
+    fatal_if(model.maxPositions < 4, "model positional range too small "
+             "to calibrate a serving cost model");
+    const std::uint64_t hi = std::clamp<std::uint64_t>(
+        max_context, 4, model.maxPositions);
+
+    SamplePlan plan;
+    plan.genLo = std::max<std::uint64_t>(2, hi / 8);
+    plan.genHi = hi;
+    if (plan.genHi <= plan.genLo)
+        plan.genHi = plan.genLo + 1;
+
+    for (std::uint64_t l : {std::max<std::uint64_t>(1, hi / 8),
+                            std::max<std::uint64_t>(2, hi / 2), hi}) {
+        if (plan.sumLengths.empty() || l > plan.sumLengths.back())
+            plan.sumLengths.push_back(l);
+    }
+    return plan;
+}
+
+/** Decompose two gen-stage samples into shared + per-context terms. */
+void
+fitGenLine(BatchCostModel &cost, const SamplePlan &plan, double g_lo,
+           double g_hi)
+{
+    const double slope = (g_hi - g_lo) /
+        static_cast<double>(plan.genHi - plan.genLo);
+    cost.genKvPerTokenSeconds = std::max(0.0, slope);
+    cost.genWeightSeconds = std::max(
+        0.0, g_lo - cost.genKvPerTokenSeconds *
+                 static_cast<double>(plan.genLo));
+}
+
+double
+genFlopsPerToken(const llm::ModelConfig &model)
+{
+    // Context 1 isolates the context-independent (weight) FLOPs.
+    return llm::summarize(llm::genStageOps(model, 1)).flops;
+}
+
+} // namespace
+
+BatchCostModel
+calibratePnmCostModel(const llm::ModelConfig &model,
+                      const core::PnmPlatformConfig &cfg,
+                      std::uint64_t max_context, int tensor_shard)
+{
+    const SamplePlan plan = planSamples(model, max_context);
+
+    BatchCostModel cost;
+    fitGenLine(cost, plan,
+               core::pnmGenStageSeconds(model, cfg, plan.genLo,
+                                        tensor_shard),
+               core::pnmGenStageSeconds(model, cfg, plan.genHi,
+                                        tensor_shard));
+    for (std::uint64_t l : plan.sumLengths)
+        cost.sumCurve.addSample(
+            l, core::pnmSumStageSeconds(model, cfg, l, tensor_shard));
+
+    // Batched decode lands on the PE array as a thin GEMM; assume the
+    // sum-stage steady-state efficiency.
+    cost.perTokenComputeSeconds = genFlopsPerToken(model) /
+        tensor_shard / (0.8 * cfg.accel.peArrayPeakFlops());
+    return cost;
+}
+
+BatchCostModel
+calibrateGpuCostModel(const llm::ModelConfig &model,
+                      const gpu::GpuSpec &spec,
+                      const gpu::GpuCalibration &calib,
+                      std::uint64_t max_context, int tensor_parallel)
+{
+    fatal_if(tensor_parallel < 1, "need at least one GPU");
+    const SamplePlan plan = planSamples(model, max_context);
+    const bool offload = model.weightBytes() /
+            static_cast<std::uint64_t>(tensor_parallel) >
+        spec.memBytes;
+
+    auto stage_seconds = [&](const std::vector<llm::Op> &ops) {
+        return gpu::runStage(ops, spec, calib, tensor_parallel,
+                             offload)
+            .seconds;
+    };
+
+    BatchCostModel cost;
+    fitGenLine(cost, plan,
+               stage_seconds(llm::genStageOps(model, plan.genLo)),
+               stage_seconds(llm::genStageOps(model, plan.genHi)));
+    for (std::uint64_t l : plan.sumLengths)
+        cost.sumCurve.addSample(
+            l, stage_seconds(llm::sumStageOps(model, l)));
+
+    cost.perTokenComputeSeconds = genFlopsPerToken(model) /
+        tensor_parallel / (0.5 * spec.peakFp16Flops);
+    cost.perTokenHostSeconds = calib.frameworkPerTokenSec;
+    return cost;
+}
+
+void
+addModelParallelComm(BatchCostModel &cost,
+                     const llm::ModelConfig &model,
+                     const cxl::CxlLinkParams &link,
+                     const core::D2dModel &d2d, int model_parallel)
+{
+    fatal_if(model_parallel < 1, "bad model-parallel degree");
+    if (model_parallel == 1)
+        return;
+
+    // Two reductions per layer per stage (after Proj and FC2, as in
+    // core::runPnmAppliance); each token-row contributes a 2*dModel
+    // byte payload crossing two link hops.
+    const double reductions = 2.0 * model.numLayers;
+    cost.commPerIterationSeconds += reductions * d2d.fixedSeconds;
+    cost.commPerTokenSeconds += reductions * 2.0 *
+        (2.0 * model.dModel) / link.usableBytesPerSec();
+}
+
+std::uint64_t
+pnmKvCapacityBytes(const llm::ModelConfig &model,
+                   const core::PnmPlatformConfig &cfg,
+                   int model_parallel)
+{
+    fatal_if(model_parallel < 1, "bad model-parallel degree");
+    const std::uint64_t capacity =
+        static_cast<std::uint64_t>(cfg.dramSpec.capacityPerModule()) *
+        static_cast<std::uint64_t>(model_parallel);
+    fatal_if(model.weightBytes() >= capacity, "model ", model.name,
+             " does not fit ", model_parallel, " CXL-PNM device(s)");
+    return capacity - model.weightBytes();
+}
+
+std::uint64_t
+gpuKvCapacityBytes(const llm::ModelConfig &model,
+                   const gpu::GpuSpec &spec, int tensor_parallel)
+{
+    fatal_if(tensor_parallel < 1, "bad tensor-parallel degree");
+    const std::uint64_t capacity = spec.memBytes *
+        static_cast<std::uint64_t>(tensor_parallel);
+    // When the weights do not fit they stream from the host
+    // (offload path) and the whole device memory backs KV instead.
+    if (model.weightBytes() > capacity)
+        return capacity;
+    return capacity - model.weightBytes();
+}
+
+} // namespace serve
+} // namespace cxlpnm

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Iteration-level batch cost models for the serving simulator.
+ *
+ * The continuous-batching scheduler executes one *iteration* at a time
+ * (every running request advances by one token, Orca-style). Its cost
+ * model is decomposed per stage rather than per request:
+ *
+ *   prefill(l)        - one sum stage over an l-token prompt, charged
+ *                       when the request joins the batch;
+ *   decode iteration  - the weights stream once for the whole batch
+ *                       (the shared term that makes batching pay on a
+ *                       memory-bound device), each member adds its own
+ *                       KV-cache traffic, and per-token compute/host
+ *                       floors bound the benefit at large batches.
+ *
+ * The coefficients are *calibrated*, not invented: the CXL-PNM model
+ * times single stages on the event-driven engine
+ * (core::pnmSumStageSeconds / pnmGenStageSeconds), the GPU model
+ * evaluates the calibrated roofline (gpu::runStage) on the same op
+ * lists.
+ */
+
+#ifndef CXLPNM_SERVE_COST_MODEL_HH
+#define CXLPNM_SERVE_COST_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/inference_engine.hh"
+#include "core/platform.hh"
+#include "gpu/gpu_spec.hh"
+#include "llm/model_config.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+/** Piecewise-linear seconds-vs-tokens curve over measured samples. */
+class CostCurve
+{
+  public:
+    /** Samples must be added with strictly increasing token counts. */
+    void addSample(std::uint64_t tokens, double seconds);
+
+    bool empty() const { return points_.empty(); }
+
+    /**
+     * Seconds at @p tokens: linear interpolation between samples,
+     * linear extrapolation beyond them (clamped to >= 0).
+     */
+    double at(std::uint64_t tokens) const;
+
+  private:
+    struct Point
+    {
+        double tokens;
+        double seconds;
+    };
+    std::vector<Point> points_;
+};
+
+/** Cost of one scheduler iteration for a given batch composition. */
+struct BatchCostModel
+{
+    /** Prefill (sum-stage) seconds vs. prompt length. */
+    CostCurve sumCurve;
+
+    /** Decode: weight streaming + control, shared per iteration. */
+    double genWeightSeconds = 0.0;
+    /** Decode: KV-read seconds per attended context token. */
+    double genKvPerTokenSeconds = 0.0;
+    /** Compute floor per batched token (batching turns the GEMVs into
+     *  a thin GEMM; compute grows with the batch). */
+    double perTokenComputeSeconds = 0.0;
+    /** Host-side framework work per generated token. */
+    double perTokenHostSeconds = 0.0;
+
+    /** Model-parallel reductions: fixed cost per iteration and
+     *  payload cost per batched token (0 when modelParallel == 1). */
+    double commPerIterationSeconds = 0.0;
+    double commPerTokenSeconds = 0.0;
+
+    /** One sum stage over an @p l_in-token prompt. */
+    double prefillSeconds(std::uint64_t l_in) const;
+
+    /**
+     * One decode iteration over a batch whose members attend
+     * @p contexts tokens each (empty batch: 0).
+     */
+    double
+    decodeIterationSeconds(const std::vector<std::uint64_t> &contexts)
+        const;
+
+    /** Convenience: a batch of one. */
+    double decodeSeconds(std::uint64_t context) const;
+};
+
+/**
+ * Calibrate a CXL-PNM cost model by timing single stages on the
+ * event-driven engine. @p max_context bounds the calibration range
+ * (and the cost of calibration itself); clamped to the model's
+ * positional range. @p tensor_shard mirrors §VIII-A model parallelism.
+ */
+BatchCostModel calibratePnmCostModel(const llm::ModelConfig &model,
+                                     const core::PnmPlatformConfig &cfg,
+                                     std::uint64_t max_context,
+                                     int tensor_shard = 1);
+
+/** Calibrate a GPU cost model from the roofline kernel model. */
+BatchCostModel calibrateGpuCostModel(const llm::ModelConfig &model,
+                                     const gpu::GpuSpec &spec,
+                                     const gpu::GpuCalibration &calib,
+                                     std::uint64_t max_context,
+                                     int tensor_parallel = 1);
+
+/**
+ * Add §VIII-A host-orchestrated d2d reduction costs for a
+ * tensor-parallel group of @p model_parallel devices: two reductions
+ * per layer per stage. The fixed/per-token comm terms apply to both
+ * prefill stages and decode iterations.
+ */
+void addModelParallelComm(BatchCostModel &cost,
+                          const llm::ModelConfig &model,
+                          const cxl::CxlLinkParams &link,
+                          const core::D2dModel &d2d,
+                          int model_parallel);
+
+/** KV bytes left on one CXL-PNM model instance of @p model_parallel
+ *  devices after the (sharded) weights. */
+std::uint64_t pnmKvCapacityBytes(const llm::ModelConfig &model,
+                                 const core::PnmPlatformConfig &cfg,
+                                 int model_parallel = 1);
+
+/** KV bytes left on @p tensor_parallel GPUs after the weights
+ *  (0 when the weights alone do not fit). */
+std::uint64_t gpuKvCapacityBytes(const llm::ModelConfig &model,
+                                 const gpu::GpuSpec &spec,
+                                 int tensor_parallel = 1);
+
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_COST_MODEL_HH

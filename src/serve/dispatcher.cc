@@ -1,0 +1,61 @@
+#include "serve/dispatcher.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+ApplianceDispatcher::ApplianceDispatcher(
+    const llm::ModelConfig &model, const BatchCostModel &cost,
+    const core::ParallelismPlan &plan,
+    std::uint64_t kv_capacity_bytes, const SchedulerConfig &cfg,
+    ServeMetrics &metrics)
+{
+    fatal_if(plan.modelParallel < 1 || plan.dataParallel < 1,
+             "bad parallelism plan");
+    groups_.reserve(plan.dataParallel);
+    for (int g = 0; g < plan.dataParallel; ++g)
+        groups_.push_back(std::make_unique<BatchScheduler>(
+            model, cost, kv_capacity_bytes, cfg, metrics));
+}
+
+void
+ApplianceDispatcher::submit(const ServeRequest &req)
+{
+    // Bring every group up to the arrival instant so the routing
+    // decision sees current load, then pick the emptiest.
+    std::size_t best = 0;
+    std::uint64_t best_tokens = ~0ull;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        groups_[g]->advanceTo(req.arrivalSeconds);
+        const std::uint64_t t = groups_[g]->outstandingTokens();
+        if (t < best_tokens) {
+            best_tokens = t;
+            best = g;
+        }
+    }
+    groups_[best]->submit(req);
+}
+
+void
+ApplianceDispatcher::drain()
+{
+    for (auto &g : groups_)
+        g->drain();
+}
+
+double
+ApplianceDispatcher::clockSeconds() const
+{
+    double t = 0.0;
+    for (const auto &g : groups_)
+        t = std::max(t, g->clockSeconds());
+    return t;
+}
+
+} // namespace serve
+} // namespace cxlpnm

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Appliance-level serving: one scheduler per data-parallel device
+ * group of the §VIII-A parallelism plan, with arrivals routed to the
+ * group holding the least outstanding work (tokens yet to compute).
+ * Model-parallel groups share a cost model calibrated at the tensor
+ * shard plus d2d reduction costs.
+ */
+
+#ifndef CXLPNM_SERVE_DISPATCHER_HH
+#define CXLPNM_SERVE_DISPATCHER_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/inference_engine.hh"
+#include "serve/scheduler.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+/** Routes one arrival stream across data-parallel model instances. */
+class ApplianceDispatcher
+{
+  public:
+    /**
+     * @param cost  Cost model of ONE group (already calibrated at
+     *              tensor shard plan.modelParallel, comm included).
+     * @param kv_capacity_bytes  KV pool of one group.
+     */
+    ApplianceDispatcher(const llm::ModelConfig &model,
+                        const BatchCostModel &cost,
+                        const core::ParallelismPlan &plan,
+                        std::uint64_t kv_capacity_bytes,
+                        const SchedulerConfig &cfg,
+                        ServeMetrics &metrics);
+
+    /** Advance every group to the arrival, then route it to the
+     *  least-loaded one (ties break to the lowest group index). */
+    void submit(const ServeRequest &req);
+
+    /** Drain every group. */
+    void drain();
+
+    /** The appliance finishes when its slowest group does. */
+    double clockSeconds() const;
+
+    std::size_t groupCount() const { return groups_.size(); }
+    const BatchScheduler &group(std::size_t i) const
+    {
+        return *groups_[i];
+    }
+
+  private:
+    std::vector<std::unique_ptr<BatchScheduler>> groups_;
+};
+
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_DISPATCHER_HH

@@ -1,0 +1,37 @@
+#include "serve/kv_pool.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+KvCachePool::KvCachePool(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes)
+{
+    fatal_if(capacity_ == 0, "KV pool needs a non-zero capacity");
+}
+
+void
+KvCachePool::reserve(std::uint64_t bytes)
+{
+    fatal_if(!canReserve(bytes), "KV pool overflow: ", bytes,
+             " bytes requested, ", capacity_ - reserved_, " free of ",
+             capacity_);
+    reserved_ += bytes;
+    peakReserved_ = std::max(peakReserved_, reserved_);
+}
+
+void
+KvCachePool::release(std::uint64_t bytes)
+{
+    fatal_if(bytes > reserved_, "KV pool release of ", bytes,
+             " bytes exceeds ", reserved_, " reserved");
+    reserved_ -= bytes;
+}
+
+} // namespace serve
+} // namespace cxlpnm

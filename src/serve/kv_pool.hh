@@ -1,0 +1,67 @@
+/**
+ * @file
+ * KV-cache capacity accounting for one model instance. The pool holds
+ * the device memory left after the weights and gates admission: a
+ * request joins the running batch only when its worst-case KV
+ * footprint still fits, so a batch can never outgrow the module
+ * (the paper's LPDDR5X capacity headroom vs. HBM, Table I / §V-A).
+ */
+
+#ifndef CXLPNM_SERVE_KV_POOL_HH
+#define CXLPNM_SERVE_KV_POOL_HH
+
+#include <cstdint>
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+/** Byte-granular reservation tracker against a fixed capacity. */
+class KvCachePool
+{
+  public:
+    explicit KvCachePool(std::uint64_t capacity_bytes);
+
+    std::uint64_t capacityBytes() const { return capacity_; }
+    std::uint64_t reservedBytes() const { return reserved_; }
+    std::uint64_t peakReservedBytes() const { return peakReserved_; }
+
+    /** Would a reservation of @p bytes still fit? */
+    bool
+    canReserve(std::uint64_t bytes) const
+    {
+        return bytes <= capacity_ - reserved_;
+    }
+
+    /** Reserve @p bytes; fatal when the pool would overflow. */
+    void reserve(std::uint64_t bytes);
+
+    /** Return @p bytes; fatal when more is released than reserved. */
+    void release(std::uint64_t bytes);
+
+    double
+    utilization() const
+    {
+        return capacity_ ? static_cast<double>(reserved_) / capacity_
+                         : 0.0;
+    }
+
+    double
+    peakUtilization() const
+    {
+        return capacity_
+            ? static_cast<double>(peakReserved_) / capacity_
+            : 0.0;
+    }
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t reserved_ = 0;
+    std::uint64_t peakReserved_ = 0;
+};
+
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_KV_POOL_HH

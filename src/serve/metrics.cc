@@ -1,0 +1,119 @@
+#include "serve/metrics.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+ServeMetrics::ServeMetrics(stats::StatGroup *parent, std::string name,
+                           const MetricsConfig &cfg)
+    : cfg_(cfg), group_(parent, std::move(name)),
+      tokenLatency_(&group_, "token_latency",
+                    "seconds between successive tokens", 0.0,
+                    cfg.tokenLatencyHi, cfg.tokenLatencyBuckets),
+      ttft_(&group_, "ttft", "time to first token, seconds", 0.0,
+            cfg.ttftHi, cfg.ttftBuckets),
+      batchSize_(&group_, "batch_size", "requests per iteration"),
+      queueDepth_(&group_, "queue_depth",
+                  "requests waiting for admission"),
+      kvUtilization_(&group_, "kv_utilization",
+                     "reserved fraction of the KV pool"),
+      completedStat_(&group_, "completed", "requests finished"),
+      rejectedStat_(&group_, "rejected", "requests never admissible"),
+      tokensStat_(&group_, "tokens", "output tokens produced"),
+      sloMetStat_(&group_, "slo_met", "finished requests meeting SLO")
+{
+}
+
+void
+ServeMetrics::sampleIteration(std::size_t batch_size,
+                              std::size_t queue_depth,
+                              double kv_utilization)
+{
+    batchSize_.sample(static_cast<double>(batch_size));
+    queueDepth_.sample(static_cast<double>(queue_depth));
+    kvUtilization_.sample(kv_utilization);
+    peakKvUtil_ = std::max(peakKvUtil_, kv_utilization);
+}
+
+void
+ServeMetrics::sampleTokenLatency(double seconds, std::uint64_t tokens)
+{
+    for (std::uint64_t i = 0; i < tokens; ++i)
+        tokenLatency_.sample(seconds);
+}
+
+void
+ServeMetrics::sampleTtft(double seconds)
+{
+    ttft_.sample(seconds);
+}
+
+void
+ServeMetrics::finishRequest(const ServeRequest &req)
+{
+    panic_if(req.state != RequestState::Finished,
+             "finishRequest on a live request");
+    ++completedStat_;
+    ++completedN_;
+    tokensStat_ += static_cast<double>(req.outputTokens);
+    tokensN_ += req.outputTokens;
+
+    // Mean inter-token gap after the first token; single-token
+    // requests trivially meet the per-token deadline.
+    const double decode_span = req.finishSeconds - req.firstTokenSeconds;
+    const double mean_token = req.outputTokens > 1
+        ? decode_span / static_cast<double>(req.outputTokens - 1)
+        : 0.0;
+    const bool slo_ok =
+        (cfg_.sloTokenSeconds <= 0.0 ||
+         mean_token <= cfg_.sloTokenSeconds) &&
+        (cfg_.sloTtftSeconds <= 0.0 ||
+         req.ttftSeconds() <= cfg_.sloTtftSeconds);
+    if (slo_ok) {
+        ++sloMetStat_;
+        ++sloMetRequests_;
+        sloMetTokens_ += req.outputTokens;
+    }
+}
+
+void
+ServeMetrics::rejectRequest()
+{
+    ++rejectedStat_;
+    ++rejectedN_;
+}
+
+ServeReport
+ServeMetrics::report(double makespan_seconds) const
+{
+    ServeReport r;
+    r.completed = completedN_;
+    r.rejected = rejectedN_;
+    r.tokensGenerated = tokensN_;
+    r.makespanSeconds = makespan_seconds;
+    if (makespan_seconds > 0.0) {
+        r.achievedQps = completedN_ / makespan_seconds;
+        r.throughputTokensPerSec = tokensN_ / makespan_seconds;
+        r.goodputTokensPerSec = sloMetTokens_ / makespan_seconds;
+    }
+    r.tokenLatencyP50 = tokenLatency_.percentile(0.50);
+    r.tokenLatencyP95 = tokenLatency_.percentile(0.95);
+    r.tokenLatencyP99 = tokenLatency_.percentile(0.99);
+    r.ttftP50 = ttft_.percentile(0.50);
+    r.ttftP95 = ttft_.percentile(0.95);
+    r.meanBatchSize = batchSize_.mean();
+    r.meanQueueDepth = queueDepth_.mean();
+    r.peakKvUtilization = peakKvUtil_;
+    r.sloFraction = completedN_
+        ? static_cast<double>(sloMetRequests_) / completedN_
+        : 0.0;
+    return r;
+}
+
+} // namespace serve
+} // namespace cxlpnm

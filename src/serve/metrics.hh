@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Service-level metrics for the serving simulator: time-to-first-token
+ * and per-token latency distributions (p50/p95/p99 via
+ * stats::Histogram), queue depth, batch occupancy, KV-pool
+ * utilization, and goodput under an SLO deadline.
+ */
+
+#ifndef CXLPNM_SERVE_METRICS_HH
+#define CXLPNM_SERVE_METRICS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serve/request.hh"
+#include "sim/stats.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+/** Histogram ranges and the (optional) latency SLOs. */
+struct MetricsConfig
+{
+    /** Per-token latency histogram range [0, hi) seconds. */
+    double tokenLatencyHi = 2.0;
+    std::size_t tokenLatencyBuckets = 2000;
+    /** Time-to-first-token histogram range [0, hi) seconds. */
+    double ttftHi = 120.0;
+    std::size_t ttftBuckets = 1200;
+
+    /** A finished request meets the SLO when its mean per-token
+     *  latency and TTFT are within these deadlines (0 = don't care). */
+    double sloTokenSeconds = 0.0;
+    double sloTtftSeconds = 0.0;
+};
+
+/** Everything a sweep wants to compare, in one value struct. */
+struct ServeReport
+{
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t tokensGenerated = 0;
+    double makespanSeconds = 0.0;
+
+    double achievedQps = 0.0;
+    double throughputTokensPerSec = 0.0;
+
+    double tokenLatencyP50 = 0.0;
+    double tokenLatencyP95 = 0.0;
+    double tokenLatencyP99 = 0.0;
+    double ttftP50 = 0.0;
+    double ttftP95 = 0.0;
+
+    double meanBatchSize = 0.0;
+    double meanQueueDepth = 0.0;
+    double peakKvUtilization = 0.0;
+
+    /** Tokens/s from requests that met the SLO deadlines. */
+    double goodputTokensPerSec = 0.0;
+    /** Fraction of finished requests meeting the SLO. */
+    double sloFraction = 0.0;
+};
+
+/** Collects samples from one or more schedulers. */
+class ServeMetrics
+{
+  public:
+    /** @param parent Null builds a private root group. */
+    ServeMetrics(stats::StatGroup *parent, std::string name,
+                 const MetricsConfig &cfg = {});
+
+    const MetricsConfig &config() const { return cfg_; }
+
+    /** Once per scheduler iteration, after it completes. */
+    void sampleIteration(std::size_t batch_size,
+                         std::size_t queue_depth,
+                         double kv_utilization);
+
+    /** One decoded token whose latency was @p seconds. */
+    void sampleTokenLatency(double seconds, std::uint64_t tokens = 1);
+
+    void sampleTtft(double seconds);
+
+    /** Request retired; accounts throughput, SLO and goodput. */
+    void finishRequest(const ServeRequest &req);
+
+    void rejectRequest();
+
+    std::uint64_t completed() const { return completedN_; }
+    std::uint64_t rejected() const { return rejectedN_; }
+    std::uint64_t tokensGenerated() const { return tokensN_; }
+    double peakKvUtilization() const { return peakKvUtil_; }
+
+    /** Summarise; @p makespan is the serving clock at drain. */
+    ServeReport report(double makespan_seconds) const;
+
+    /** Dump the underlying stat hierarchy (diff-friendly). */
+    void dumpStats(std::ostream &os) const { group_.dumpStats(os); }
+
+  private:
+    MetricsConfig cfg_;
+    stats::StatGroup group_;
+
+    stats::Histogram tokenLatency_;
+    stats::Histogram ttft_;
+    stats::Average batchSize_;
+    stats::Average queueDepth_;
+    stats::Average kvUtilization_;
+    stats::Scalar completedStat_;
+    stats::Scalar rejectedStat_;
+    stats::Scalar tokensStat_;
+    stats::Scalar sloMetStat_;
+
+    std::uint64_t completedN_ = 0;
+    std::uint64_t rejectedN_ = 0;
+    std::uint64_t tokensN_ = 0;
+    std::uint64_t sloMetRequests_ = 0;
+    std::uint64_t sloMetTokens_ = 0;
+    double peakKvUtil_ = 0.0;
+};
+
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_METRICS_HH

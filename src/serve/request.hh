@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The unit of work of the serving simulator: one text-generation
+ * request flowing through arrival -> admission -> continuous-batched
+ * execution -> retirement (§I's datacenter service workload).
+ */
+
+#ifndef CXLPNM_SERVE_REQUEST_HH
+#define CXLPNM_SERVE_REQUEST_HH
+
+#include <cstdint>
+
+#include "llm/model_config.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+/** Lifecycle of a request inside one scheduler. */
+enum class RequestState
+{
+    Queued,   // arrived, waiting for KV capacity or a batch slot
+    Running,  // member of the current iteration batch
+    Finished, // all output tokens produced
+    Rejected, // can never fit (context > model or KV pool capacity)
+};
+
+const char *requestStateName(RequestState s);
+
+/** One serving request plus its measured timeline. */
+struct ServeRequest
+{
+    std::uint64_t id = 0;
+    /** Arrival time on the simulator's seconds clock. */
+    double arrivalSeconds = 0.0;
+    std::uint64_t inputTokens = 0;
+    std::uint64_t outputTokens = 0;
+
+    // --- progress, maintained by the scheduler ---
+    RequestState state = RequestState::Queued;
+    /** Output tokens produced so far. */
+    std::uint64_t generated = 0;
+    double admitSeconds = -1.0;
+    double firstTokenSeconds = -1.0;
+    double finishSeconds = -1.0;
+
+    /** Attended context right now (prompt + generated). */
+    std::uint64_t
+    contextTokens() const
+    {
+        return inputTokens + generated;
+    }
+
+    /** Output tokens still to produce. */
+    std::uint64_t
+    remainingTokens() const
+    {
+        return outputTokens - generated;
+    }
+
+    /**
+     * KV bytes this request can grow to if run to its full output
+     * length; the admission gate reserves this worst case up front so
+     * a running batch can never outgrow the pool (§V-A capacity).
+     */
+    std::uint64_t
+    worstCaseKvBytes(const llm::ModelConfig &cfg) const
+    {
+        return cfg.kvCacheBytes(inputTokens + outputTokens);
+    }
+
+    /** Time-to-first-token; negative before the first token exists. */
+    double
+    ttftSeconds() const
+    {
+        return firstTokenSeconds < 0.0
+            ? -1.0
+            : firstTokenSeconds - arrivalSeconds;
+    }
+};
+
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_REQUEST_HH

@@ -1,0 +1,116 @@
+#include "serve/request_generator.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+LengthDistribution
+LengthDistribution::fixed(std::uint64_t n)
+{
+    LengthDistribution d;
+    d.kind = Kind::Fixed;
+    d.lo = d.hi = n;
+    return d;
+}
+
+LengthDistribution
+LengthDistribution::uniform(std::uint64_t lo, std::uint64_t hi)
+{
+    LengthDistribution d;
+    d.kind = Kind::Uniform;
+    d.lo = lo;
+    d.hi = hi;
+    return d;
+}
+
+LengthDistribution
+LengthDistribution::bimodal(std::uint64_t lo, std::uint64_t hi,
+                            double p_lo)
+{
+    LengthDistribution d;
+    d.kind = Kind::Bimodal;
+    d.lo = lo;
+    d.hi = hi;
+    d.pLo = p_lo;
+    return d;
+}
+
+std::uint64_t
+LengthDistribution::max() const
+{
+    return kind == Kind::Fixed ? lo : hi;
+}
+
+std::uint64_t
+LengthDistribution::draw(SplitMix64 &rng) const
+{
+    fatal_if(lo == 0, "token lengths must be positive");
+    fatal_if(kind != Kind::Fixed && hi < lo,
+             "length distribution with hi < lo");
+    switch (kind) {
+      case Kind::Fixed:
+        return lo;
+      case Kind::Uniform:
+        return lo + rng.nextBelow(hi - lo + 1);
+      case Kind::Bimodal:
+        return rng.nextDouble() < pLo ? lo : hi;
+    }
+    return lo;
+}
+
+RequestGenerator::RequestGenerator(const TraceConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+    fatal_if(cfg_.requestsPerSec <= 0.0,
+             "arrival rate must be positive");
+}
+
+ServeRequest
+RequestGenerator::next()
+{
+    fatal_if(exhausted(), "request trace exhausted");
+
+    if (produced_ > 0) {
+        // The first request arrives at t=0; later ones after a gap.
+        double gap = 0.0;
+        const double mean_gap = 1.0 / cfg_.requestsPerSec;
+        switch (cfg_.arrivals) {
+          case ArrivalProcess::Poisson:
+            // Inverse-CDF exponential; nextDouble() < 1 keeps log(.)
+            // finite.
+            gap = -std::log(1.0 - rng_.nextDouble()) * mean_gap;
+            break;
+          case ArrivalProcess::Fixed:
+            gap = mean_gap;
+            break;
+        }
+        clock_ += gap;
+    }
+
+    ServeRequest req;
+    req.id = produced_;
+    req.arrivalSeconds = clock_;
+    req.inputTokens = cfg_.input.draw(rng_);
+    req.outputTokens = cfg_.output.draw(rng_);
+    ++produced_;
+    return req;
+}
+
+std::vector<ServeRequest>
+RequestGenerator::generate(const TraceConfig &cfg)
+{
+    RequestGenerator gen(cfg);
+    std::vector<ServeRequest> trace;
+    trace.reserve(cfg.numRequests);
+    while (!gen.exhausted())
+        trace.push_back(gen.next());
+    return trace;
+}
+
+} // namespace serve
+} // namespace cxlpnm

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Synthetic arrival streams for the serving simulator: Poisson or
+ * fixed-rate inter-arrival gaps with per-request input/output token
+ * lengths drawn from configurable distributions. Fully deterministic
+ * under a seed (SplitMix64, see sim/random.hh).
+ */
+
+#ifndef CXLPNM_SERVE_REQUEST_GENERATOR_HH
+#define CXLPNM_SERVE_REQUEST_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hh"
+#include "sim/random.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+/** How inter-arrival gaps are drawn. */
+enum class ArrivalProcess
+{
+    Poisson, // exponential gaps, the classic open-loop service model
+    Fixed,   // constant gaps (a perfectly paced load generator)
+};
+
+/** How a per-request token length is drawn. */
+struct LengthDistribution
+{
+    enum class Kind
+    {
+        Fixed,   // always lo
+        Uniform, // integer uniform over [lo, hi]
+        Bimodal, // lo with probability pLo, else hi (chat vs. document)
+    };
+
+    Kind kind = Kind::Fixed;
+    std::uint64_t lo = 64;
+    std::uint64_t hi = 64;
+    double pLo = 0.5; // Bimodal only
+
+    static LengthDistribution fixed(std::uint64_t n);
+    static LengthDistribution uniform(std::uint64_t lo, std::uint64_t hi);
+    static LengthDistribution bimodal(std::uint64_t lo, std::uint64_t hi,
+                                      double p_lo);
+
+    /** Largest value the distribution can produce. */
+    std::uint64_t max() const;
+
+    std::uint64_t draw(SplitMix64 &rng) const;
+};
+
+/** Everything describing one synthetic request trace. */
+struct TraceConfig
+{
+    ArrivalProcess arrivals = ArrivalProcess::Poisson;
+    /** Mean arrival rate, requests per second (> 0). */
+    double requestsPerSec = 1.0;
+    std::size_t numRequests = 128;
+    LengthDistribution input = LengthDistribution::fixed(64);
+    LengthDistribution output = LengthDistribution::fixed(256);
+    std::uint64_t seed = 1;
+};
+
+/** Streams one trace; arrival times are monotonically non-decreasing. */
+class RequestGenerator
+{
+  public:
+    explicit RequestGenerator(const TraceConfig &cfg);
+
+    bool exhausted() const { return produced_ >= cfg_.numRequests; }
+
+    /** Next request; fatal when exhausted. */
+    ServeRequest next();
+
+    /** Materialise the whole trace (convenience for benches/tests). */
+    static std::vector<ServeRequest> generate(const TraceConfig &cfg);
+
+  private:
+    TraceConfig cfg_;
+    SplitMix64 rng_;
+    std::size_t produced_ = 0;
+    double clock_ = 0.0;
+};
+
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_REQUEST_GENERATOR_HH

@@ -1,0 +1,176 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+const char *
+requestStateName(RequestState s)
+{
+    switch (s) {
+      case RequestState::Queued: return "queued";
+      case RequestState::Running: return "running";
+      case RequestState::Finished: return "finished";
+      case RequestState::Rejected: return "rejected";
+    }
+    return "<bad>";
+}
+
+BatchScheduler::BatchScheduler(const llm::ModelConfig &model,
+                               const BatchCostModel &cost,
+                               std::uint64_t kv_capacity_bytes,
+                               const SchedulerConfig &cfg,
+                               ServeMetrics &metrics)
+    : model_(model), cost_(cost), kv_(kv_capacity_bytes), cfg_(cfg),
+      metrics_(metrics)
+{
+    fatal_if(cfg_.maxBatch == 0, "batch cap must be positive");
+}
+
+void
+BatchScheduler::submit(ServeRequest req)
+{
+    fatal_if(req.arrivalSeconds < lastArrival_,
+             "submissions must come in arrival order");
+    lastArrival_ = req.arrivalSeconds;
+
+    const bool malformed = req.inputTokens == 0 ||
+        req.outputTokens == 0 ||
+        req.inputTokens + req.outputTokens > model_.maxPositions;
+    if (malformed || req.worstCaseKvBytes(model_) > kv_.capacityBytes()) {
+        req.state = RequestState::Rejected;
+        rejected_.push_back(req);
+        metrics_.rejectRequest();
+        return;
+    }
+    queue_.push_back(req);
+}
+
+void
+BatchScheduler::admit(std::vector<ServeRequest> &joining)
+{
+    while (!queue_.empty()) {
+        // Serial baseline: one request owns the device end to end.
+        if (!cfg_.continuousBatching &&
+            (!batch_.empty() || !joining.empty()))
+            return;
+        if (batch_.size() + joining.size() >= cfg_.maxBatch)
+            return;
+
+        ServeRequest &head = queue_.front();
+        if (head.arrivalSeconds > clock_)
+            return; // not here yet
+        if (!kv_.canReserve(head.worstCaseKvBytes(model_)))
+            return; // head-of-line blocks until KV frees up
+
+        kv_.reserve(head.worstCaseKvBytes(model_));
+        head.state = RequestState::Running;
+        head.admitSeconds = clock_;
+        joining.push_back(head);
+        queue_.pop_front();
+    }
+}
+
+bool
+BatchScheduler::step()
+{
+    std::vector<ServeRequest> joining;
+    admit(joining);
+
+    // Idle: fast-forward to the next arrival and try again.
+    if (batch_.empty() && joining.empty()) {
+        if (queue_.empty())
+            return false;
+        clock_ = std::max(clock_, queue_.front().arrivalSeconds);
+        admit(joining);
+        if (joining.empty())
+            return false;
+    }
+
+    // Iteration cost: joiners pay their prefill, everyone already in
+    // the batch decodes one token against their current context.
+    double cost = 0.0;
+    for (const ServeRequest &r : joining)
+        cost += cost_.prefillSeconds(r.inputTokens);
+    std::vector<std::uint64_t> contexts;
+    contexts.reserve(batch_.size());
+    for (const ServeRequest &r : batch_)
+        contexts.push_back(r.contextTokens() + 1); // token being made
+    cost += cost_.decodeIterationSeconds(contexts);
+    clock_ += cost;
+
+    // Prefill produced each joiner's first token.
+    for (ServeRequest &r : joining) {
+        r.generated = 1;
+        r.firstTokenSeconds = clock_;
+        metrics_.sampleTtft(r.ttftSeconds());
+    }
+    // Decoding members each produced one more token; their token
+    // latency is the whole iteration (prefill interference included).
+    for (ServeRequest &r : batch_) {
+        ++r.generated;
+        metrics_.sampleTokenLatency(cost);
+    }
+
+    const std::size_t iter_batch = batch_.size() + joining.size();
+    batch_.insert(batch_.end(), joining.begin(), joining.end());
+
+    // Retire finished members immediately; their KV frees now.
+    std::vector<ServeRequest> still_running;
+    still_running.reserve(batch_.size());
+    for (ServeRequest &r : batch_) {
+        if (r.generated >= r.outputTokens) {
+            r.state = RequestState::Finished;
+            r.finishSeconds = clock_;
+            kv_.release(r.worstCaseKvBytes(model_));
+            metrics_.finishRequest(r);
+            finished_.push_back(r);
+        } else {
+            still_running.push_back(r);
+        }
+    }
+    batch_ = std::move(still_running);
+
+    metrics_.sampleIteration(iter_batch, queue_.size(),
+                             kv_.utilization());
+    return true;
+}
+
+void
+BatchScheduler::advanceTo(double t)
+{
+    while (clock_ < t) {
+        const bool startable = !batch_.empty() ||
+            (!queue_.empty() && queue_.front().arrivalSeconds <= t);
+        if (!startable || !step())
+            break;
+    }
+}
+
+void
+BatchScheduler::drain()
+{
+    while (step()) {
+    }
+    panic_if(!queue_.empty() || !batch_.empty(),
+             "drain left requests behind");
+}
+
+std::uint64_t
+BatchScheduler::outstandingTokens() const
+{
+    std::uint64_t total = 0;
+    for (const ServeRequest &r : queue_)
+        total += r.inputTokens + r.outputTokens;
+    for (const ServeRequest &r : batch_)
+        total += r.remainingTokens();
+    return total;
+}
+
+} // namespace serve
+} // namespace cxlpnm

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Iteration-level continuous batching for one model instance
+ * (Orca/vLLM-style): the decode loop runs one token step at a time,
+ * new requests join the running batch between steps (paying their
+ * prefill as they join), and finished requests retire immediately,
+ * freeing their KV reservation for the next admission.
+ *
+ * Admission is KV-capacity-aware: a request is admitted only when its
+ * worst-case KV footprint fits the pool, so the batch can never
+ * outgrow device memory. With `continuousBatching = false` the same
+ * loop degenerates to one-request-at-a-time serving - the baseline the
+ * tests compare against.
+ */
+
+#ifndef CXLPNM_SERVE_SCHEDULER_HH
+#define CXLPNM_SERVE_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "serve/cost_model.hh"
+#include "serve/kv_pool.hh"
+#include "serve/metrics.hh"
+#include "serve/request.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+/** Scheduling policy knobs. */
+struct SchedulerConfig
+{
+    /** Iteration batch cap (requests decoded per step). */
+    std::size_t maxBatch = 32;
+    /** False: admit only into an empty batch (serial baseline). */
+    bool continuousBatching = true;
+};
+
+/** One model instance's serving loop on a seconds-resolution clock. */
+class BatchScheduler
+{
+  public:
+    BatchScheduler(const llm::ModelConfig &model,
+                   const BatchCostModel &cost,
+                   std::uint64_t kv_capacity_bytes,
+                   const SchedulerConfig &cfg, ServeMetrics &metrics);
+
+    /**
+     * Hand over an arrival. Submissions must come in arrival order;
+     * requests that can never run (malformed, context beyond the
+     * model, or worst-case KV beyond the whole pool) are rejected
+     * immediately.
+     */
+    void submit(ServeRequest req);
+
+    /** Process iterations until the clock reaches @p t or the
+     *  instance goes idle. */
+    void advanceTo(double t);
+
+    /** Run until every submitted request finished. */
+    void drain();
+
+    double clockSeconds() const { return clock_; }
+
+    /** Queued + running requests. */
+    std::size_t
+    inFlight() const
+    {
+        return queue_.size() + batch_.size();
+    }
+
+    /**
+     * Total tokens of work not yet done (prompt + generation for
+     * queued requests, remaining generation for running ones); the
+     * dispatcher's routing key.
+     */
+    std::uint64_t outstandingTokens() const;
+
+    const KvCachePool &kvPool() const { return kv_; }
+    const std::vector<ServeRequest> &finished() const
+    {
+        return finished_;
+    }
+    const std::vector<ServeRequest> &rejected() const
+    {
+        return rejected_;
+    }
+
+  private:
+    /** Run one iteration; false when there is nothing to do. */
+    bool step();
+
+    /** Move admissible queued requests into @p joining. */
+    void admit(std::vector<ServeRequest> &joining);
+
+    llm::ModelConfig model_;
+    BatchCostModel cost_;
+    KvCachePool kv_;
+    SchedulerConfig cfg_;
+    ServeMetrics &metrics_;
+
+    double clock_ = 0.0;
+    double lastArrival_ = 0.0;
+    std::deque<ServeRequest> queue_; // arrived or future, FIFO
+    std::vector<ServeRequest> batch_; // decoding members
+    std::vector<ServeRequest> finished_;
+    std::vector<ServeRequest> rejected_;
+};
+
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_SCHEDULER_HH

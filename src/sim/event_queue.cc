@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <memory>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -97,11 +98,13 @@ EventQueue::step()
     queue_.erase(it);
     ev->queue_ = nullptr;
     ++fired_;
+    // Hold one-shot ownership across the callback: a throwing handler
+    // (the panic/fatal paths) must not leak the event.
+    std::unique_ptr<Event> reclaim(ev->oneShot_ ? ev : nullptr);
     ev->callback_();
-    if (ev->oneShot_) {
-        panic_if(ev->queue_ != nullptr,
-                 "one-shot event '", ev->name_, "' rescheduled itself");
-        delete ev;
+    if (ev->oneShot_ && ev->queue_ != nullptr) {
+        reclaim.release(); // it is back in the queue, owned there
+        panic("one-shot event '", ev->name_, "' rescheduled itself");
     }
     return true;
 }

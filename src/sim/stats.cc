@@ -1,6 +1,7 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -76,6 +77,31 @@ Histogram::sample(double v)
             (v - lo_) / (hi_ - lo_) * static_cast<double>(buckets_.size()));
         ++buckets_[std::min(idx, buckets_.size() - 1)];
     }
+}
+
+double
+Histogram::percentile(double q) const
+{
+    panic_if(q < 0.0 || q > 1.0, "percentile '", name(),
+             "' quantile out of [0,1]");
+    if (count_ == 0)
+        return 0.0;
+    // Nearest rank: the smallest sample index covering fraction q.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    rank = std::max<std::uint64_t>(rank, 1);
+
+    std::uint64_t cum = underflow_;
+    if (rank <= cum)
+        return lo_;
+    const double width =
+        (hi_ - lo_) / static_cast<double>(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        cum += buckets_[i];
+        if (rank <= cum)
+            return lo_ + width * static_cast<double>(i + 1);
+    }
+    return hi_;
 }
 
 void

@@ -102,6 +102,14 @@ class Histogram : public StatBase
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
 
+    /**
+     * Nearest-rank quantile @p q in [0, 1]. Samples are resolved to
+     * their bucket's upper edge; quantiles landing in the underflow
+     * bucket report the lower bound, in the overflow bucket the upper
+     * bound. 0 samples report 0.
+     */
+    double percentile(double q) const;
+
     void dump(std::ostream &os, const std::string &prefix) const override;
     void reset() override;
 

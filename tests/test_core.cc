@@ -177,6 +177,36 @@ TEST(ApplianceTest, ModelParallelCutsLatencyAddsComm)
     EXPECT_LT(mp.throughputTokensPerSec, dp.throughputTokensPerSec);
 }
 
+TEST(ApplianceTest, DegeneratePlansMatchSingleDeviceSemantics)
+{
+    llm::InferenceRequest req;
+    req.inputTokens = 8;
+    req.outputTokens = 4;
+    PnmPlatformConfig cfg;
+    cfg.channelGrouping = 8;
+    const auto m = llm::ModelConfig::opt1_3b();
+
+    // 1x1: an appliance of one whole device is just that device -
+    // no tensor split, so no d2d reductions at all.
+    const auto solo = runPnmAppliance(m, req, cfg, {1, 1});
+    const auto single = runPnmSingleDevice(m, req, cfg, 1);
+    EXPECT_EQ(solo.commFraction, 0.0);
+    EXPECT_NEAR(solo.requestLatencySeconds, single.totalSeconds,
+                1e-2 * single.totalSeconds);
+    EXPECT_NEAR(solo.throughputTokensPerSec,
+                req.outputTokens / solo.requestLatencySeconds, 1e-6);
+
+    // 8x1: all eight devices on one stream. Tensor split means the
+    // reductions show up, and with dataParallel=1 the aggregate
+    // throughput is just the single stream's.
+    const auto mp = runPnmAppliance(m, req, cfg, {8, 1});
+    EXPECT_GT(mp.commFraction, 0.0);
+    EXPECT_LT(mp.commFraction, 1.0);
+    EXPECT_NEAR(mp.throughputTokensPerSec,
+                req.outputTokens / mp.requestLatencySeconds, 1e-6);
+    EXPECT_LT(mp.requestLatencySeconds, solo.requestLatencySeconds);
+}
+
 TEST(ApplianceTest, RejectsBadPlan)
 {
     setLogLevel(LogLevel::Silent);

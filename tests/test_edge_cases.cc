@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include "accel/functional_memory.hh"
+#include "core/inference_engine.hh"
 #include "core/platform.hh"
 #include "cxl/interleave.hh"
 #include "dram/module.hh"
 #include "isa/isa.hh"
+#include "llm/workload.hh"
 #include "numeric/linalg.hh"
 #include "sim/logging.hh"
 
@@ -212,6 +214,41 @@ TEST(EventQueueTest, UnfiredOneShotsFreedAtDestruction)
         eq->scheduleOneShot("pending", 1000 + i, [] {});
     delete eq; // reclaims the one-shots
     SUCCEED();
+}
+
+TEST(InferenceRequestTest, ValidationRejectsImpossibleRequests)
+{
+    const auto m = llm::ModelConfig::tiny(); // maxPositions = 64
+
+    llm::InferenceRequest ok;
+    ok.inputTokens = 32;
+    ok.outputTokens = 32; // exactly fills the positional range
+    EXPECT_TRUE(ok.fits(m));
+    EXPECT_NO_THROW(ok.validate(m));
+    EXPECT_EQ(ok.totalTokens(), 64u);
+
+    setLogLevel(LogLevel::Silent);
+
+    llm::InferenceRequest no_output = ok;
+    no_output.outputTokens = 0;
+    EXPECT_FALSE(no_output.fits(m));
+    EXPECT_THROW(no_output.validate(m), FatalError);
+
+    llm::InferenceRequest no_input = ok;
+    no_input.inputTokens = 0;
+    EXPECT_FALSE(no_input.fits(m));
+    EXPECT_THROW(no_input.validate(m), FatalError);
+
+    llm::InferenceRequest too_long = ok;
+    too_long.outputTokens = 33; // 65 > 64 positions
+    EXPECT_FALSE(too_long.fits(m));
+    EXPECT_THROW(too_long.validate(m), FatalError);
+
+    // The engines reject before touching any device state.
+    EXPECT_THROW(core::runPnmSingleDevice(m, too_long,
+                                          core::PnmPlatformConfig{}),
+                 FatalError);
+    setLogLevel(LogLevel::Info);
 }
 
 } // namespace

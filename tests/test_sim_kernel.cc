@@ -221,6 +221,30 @@ TEST(StatsTest, HistogramBucketsAndOverflow)
     EXPECT_EQ(h.count(), 6u);
 }
 
+TEST(StatsTest, HistogramPercentileNearestRank)
+{
+    stats::StatGroup root(nullptr, "root");
+    stats::Histogram h(&root, "h", "hist", 0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0); // empty: 0
+
+    h.sample(-1.0);  // underflow
+    h.sample(1.0);   // bucket [0, 2)
+    h.sample(1.5);   // bucket [0, 2)
+    h.sample(5.0);   // bucket [4, 6)
+    h.sample(100.0); // overflow
+
+    // Nearest rank over 5 samples: rank = ceil(q * 5), min 1.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);  // underflow -> lo
+    EXPECT_DOUBLE_EQ(h.percentile(0.2), 0.0);  // still the underflow
+    EXPECT_DOUBLE_EQ(h.percentile(0.4), 2.0);  // bucket upper edge
+    EXPECT_DOUBLE_EQ(h.percentile(0.6), 2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.8), 6.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0); // overflow -> hi
+
+    EXPECT_THROW(h.percentile(-0.1), PanicError);
+    EXPECT_THROW(h.percentile(1.1), PanicError);
+}
+
 TEST(StatsTest, NestedGroupsProduceDottedNames)
 {
     stats::StatGroup root(nullptr, "");
