@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic parallel sweep runner.
+ *
+ * Fans the stock design-space grid (core::defaultSweepGrid) across a
+ * thread pool and writes the simulated metrics as JSON. The JSON is a
+ * pure function of the simulation — no timestamps, host names, or
+ * timings — so any two runs (any thread count) produce byte-identical
+ * files; wall-clock telemetry goes to stderr and, optionally, to a
+ * separate BENCH_e2e.json via benchout=.
+ *
+ * Usage:
+ *   sweep_runner [threads=N] [quick=1] [out=sweep.json]
+ *                [benchout=BENCH_e2e.json]
+ *
+ *   threads=0 (default) uses all hardware threads; threads=1 runs the
+ *   grid inline — the reference order the parallel runs must match.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/inference_engine.hh"
+#include "core/sweep.hh"
+#include "llm/model_config.hh"
+#include "sim/config.hh"
+#include "sim/thread_pool.hh"
+
+using namespace cxlpnm;
+
+namespace
+{
+
+double
+wallSeconds()
+{
+    using namespace std::chrono;
+    return duration<double>(steady_clock::now().time_since_epoch())
+        .count();
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto cfg = Config::fromArgs({argv + 1, argv + argc});
+    const unsigned threads =
+        static_cast<unsigned>(cfg.getInt("threads", 0));
+    const bool quick = cfg.getBool("quick", false);
+    const std::string out = cfg.getString("out", "");
+    const std::string benchout = cfg.getString("benchout", "");
+
+    const auto points = core::defaultSweepGrid(quick);
+    std::fprintf(stderr, "sweep_runner: %zu points, threads=%u%s\n",
+                 points.size(),
+                 threads == 0 ? ThreadPool().threadCount() : threads,
+                 quick ? " (quick)" : "");
+
+    const double t0 = wallSeconds();
+    const auto results = core::runSweep(points, threads);
+    const double elapsed = wallSeconds() - t0;
+
+    const std::string json = core::sweepResultsJson(results);
+    if (out.empty()) {
+        std::fputs(json.c_str(), stdout);
+    } else if (!writeFile(out, json)) {
+        std::fprintf(stderr, "sweep_runner: cannot write %s\n",
+                     out.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "sweep_runner: %zu points in %.2f s wall\n",
+                 results.size(), elapsed);
+
+    if (!benchout.empty()) {
+        // Machine-readable end-to-end timing record (intentionally NOT
+        // part of the deterministic sweep output). Includes the fig10
+        // smoke: one OPT-13B 64-in/1024-out single-device run, the
+        // paper's headline workload, timed wall-clock.
+        const double f0 = wallSeconds();
+        llm::InferenceRequest smoke;
+        smoke.inputTokens = 64;
+        smoke.outputTokens = 1024;
+        core::PnmPlatformConfig pcfg;
+        pcfg.channelGrouping = 8;
+        const auto run = core::runPnmSingleDevice(
+            llm::ModelConfig::opt13b(), smoke, pcfg);
+        const double fig10 = wallSeconds() - f0;
+        std::fprintf(stderr,
+                     "sweep_runner: fig10 smoke %.2f s wall "
+                     "(%.3f simulated s)\n",
+                     fig10, run.totalSeconds);
+
+        char buf[512];
+        std::snprintf(buf, sizeof buf,
+                      "{\n"
+                      "  \"benchmark\": \"sweep_e2e\",\n"
+                      "  \"points\": %zu,\n"
+                      "  \"threads\": %u,\n"
+                      "  \"quick\": %s,\n"
+                      "  \"sweep_wall_seconds\": %.3f,\n"
+                      "  \"fig10_smoke_wall_seconds\": %.3f,\n"
+                      "  \"fig10_smoke_simulated_seconds\": %.6f\n"
+                      "}\n",
+                      results.size(), threads, quick ? "true" : "false",
+                      elapsed, fig10, run.totalSeconds);
+        if (!writeFile(benchout, buf)) {
+            std::fprintf(stderr, "sweep_runner: cannot write %s\n",
+                         benchout.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 #include <vector>
 
+#include "numeric/fp16.hh"
 #include "numeric/linalg.hh"
 #include "sim/logging.hh"
 
@@ -51,6 +53,27 @@ addBiasRow(HalfTensor &out, const HalfTensor &bias)
             out.at(i, j) = out.at(i, j) + bias.at(0, j);
 }
 
+/**
+ * In-place adder tree over widened (exact binary16-valued) floats:
+ * each level forms Half(buf[2i] + buf[2i+1]) — an odd element carries
+ * to the back of the next level — until one value remains. Identical
+ * node-by-node to the original Half-typed reduction; the floats only
+ * hold the exact widened value of each Half node.
+ */
+float
+treeReduceRounded(float *buf, float *tmp, std::size_t n)
+{
+    while (n > 1) {
+        const std::size_t pairs = n / 2;
+        fp16::addPairsRoundedSpan(buf, tmp, pairs);
+        if (n % 2)
+            tmp[pairs] = buf[n - 1];
+        n = (n + 1) / 2;
+        std::swap(buf, tmp);
+    }
+    return buf[0];
+}
+
 /** Adder-tree GEMV: y(1 x m) = M(m x n) . x(n). */
 void
 execMv(const Instruction &inst, RegisterFileManager &rf,
@@ -63,11 +86,21 @@ execMv(const Instruction &inst, RegisterFileManager &rf,
     HalfTensor &y = rf.tensor(inst.dst);
     panic_if(y.rows() != 1 || y.cols() != m, "MV output must be 1 x m");
 
-    std::vector<Half> prods(n);
+    // Widen the vector once and each matrix row once; the multiplier
+    // array rounds every product to binary16 (mulRoundedSpan), and the
+    // adder tree reduces in the exact original node order.
+    std::vector<float> &xf = rf.scratchF(0, n);
+    std::vector<float> &rowf = rf.scratchF(1, n);
+    std::vector<float> &prods = rf.scratchF(2, n);
+    std::vector<float> &tmp = rf.scratchF(3, (n + 1) / 2);
+    fp16::toFloatSpan(x.data(), xf.data(), n);
     for (std::uint32_t i = 0; i < m; ++i) {
-        for (std::uint32_t j = 0; j < n; ++j)
-            prods[j] = mat.at(i, j) * x.at(0, j);
-        y.at(0, i) = addTreeReduce(prods.data(), n);
+        fp16::toFloatSpan(mat.data() + static_cast<std::size_t>(i) * n,
+                          rowf.data(), n);
+        fp16::mulRoundedSpan(rowf.data(), xf.data(), prods.data(), n);
+        y.at(0, i) = n == 0
+            ? Half()
+            : Half(treeReduceRounded(prods.data(), tmp.data(), n));
     }
     if (inst.has(isa::FlagBias))
         addBiasRow(y, rf.tensor(inst.aux));
@@ -109,6 +142,25 @@ execPeaMultiHead(const Instruction &inst, RegisterFileManager &rf,
                  "multi-head REDUMAX output must be 1 x heads");
     }
 
+    if (score)
+        panic_if(a.rows() != 1 || a.cols() != heads * k,
+                 "multi-head score A must be 1 x heads*k");
+    else
+        panic_if(a.rows() != heads || a.cols() != k,
+                 "multi-head context A must be heads x k");
+
+    // Widen A (heads*k elements either way) and the whole KV operand
+    // once. The per-element accumulation below visits exactly the same
+    // float values in exactly the same p order as the original strided
+    // at() loops — only the conversions and bounds checks are hoisted.
+    const std::size_t an = static_cast<std::size_t>(heads) * k;
+    const std::size_t bn = b.size();
+    std::vector<float> &af = rf.scratchF(0, an);
+    std::vector<float> &bf = rf.scratchF(1, bn);
+    fp16::toFloatSpan(a.data(), af.data(), an);
+    fp16::toFloatSpan(b.data(), bf.data(), bn);
+    const std::size_t bstride = b.cols();
+
     for (std::uint32_t h = 0; h < heads; ++h) {
         float mx = -std::numeric_limits<float>::infinity();
         for (std::uint32_t j = 0; j < n; ++j) {
@@ -118,18 +170,18 @@ execPeaMultiHead(const Instruction &inst, RegisterFileManager &rf,
             } else {
                 float acc = 0.0f;
                 if (score) {
-                    panic_if(a.rows() != 1 ||
-                                 a.cols() != heads * k,
-                             "multi-head score A must be 1 x heads*k");
+                    const float *ap = af.data() + h * k;
+                    const float *bp =
+                        bf.data() + j * bstride + h * k;
                     for (std::uint32_t p = 0; p < k; ++p)
-                        acc += a.at(0, h * k + p).toFloat() *
-                            b.at(j, h * k + p).toFloat();
+                        acc += ap[p] * bp[p];
                 } else {
-                    panic_if(a.rows() != heads || a.cols() != k,
-                             "multi-head context A must be heads x k");
+                    const float *ap =
+                        af.data() + static_cast<std::size_t>(h) * k;
+                    const float *bp =
+                        bf.data() + static_cast<std::size_t>(h) * n + j;
                     for (std::uint32_t p = 0; p < k; ++p)
-                        acc += a.at(h, p).toFloat() *
-                            b.at(p, h * n + j).toFloat();
+                        acc += ap[p] * bp[p * bstride];
                 }
                 r = Half(acc * inst.scale);
             }
@@ -219,8 +271,33 @@ execPea(const Instruction &inst, RegisterFileManager &rf,
                  "PEA bias must be 1 x n");
     }
 
+    // Widen both operands once, and pack the strided (k x n) B into a
+    // j-major layout so every dot product streams two contiguous rows.
+    // The accumulation still runs p = 0..k-1 per element with a single
+    // float accumulator — same values, same order, same bits as the
+    // original at()-based loop.
+    const std::size_t ak = static_cast<std::size_t>(m) * k;
+    const std::size_t bk = static_cast<std::size_t>(n) * k;
+    std::vector<float> &af = rf.scratchF(0, ak);
+    std::vector<float> &btf = rf.scratchF(1, bk);
+    fp16::toFloatSpan(a.data(), af.data(), ak);
+    if (trans_b) {
+        fp16::toFloatSpan(b.data(), btf.data(), bk); // already n x k
+    } else {
+        std::vector<float> &bf = rf.scratchF(2, bk);
+        fp16::toFloatSpan(b.data(), bf.data(), bk);
+        for (std::uint32_t p = 0; p < k; ++p)
+            for (std::uint32_t j = 0; j < n; ++j)
+                btf[static_cast<std::size_t>(j) * k + p] =
+                    bf[static_cast<std::size_t>(p) * n + j];
+    }
+    std::vector<float> &biasf = rf.scratchF(3, bias ? n : 0);
+    if (bias)
+        fp16::toFloatSpan(bias->data(), biasf.data(), n);
+
     for (std::uint32_t i = 0; i < m; ++i) {
         float mx = -std::numeric_limits<float>::infinity();
+        const float *ap = af.data() + static_cast<std::size_t>(i) * k;
         for (std::uint32_t j = 0; j < n; ++j) {
             Half r;
             if (masked && j > i + inst.imm) {
@@ -228,13 +305,12 @@ execPea(const Instruction &inst, RegisterFileManager &rf,
             } else {
                 // FP16 multipliers, FP32 accumulator, one rounding.
                 float acc = 0.0f;
-                for (std::uint32_t p = 0; p < k; ++p) {
-                    const Half bv =
-                        trans_b ? b.at(j, p) : b.at(p, j);
-                    acc += a.at(i, p).toFloat() * bv.toFloat();
-                }
+                const float *bp =
+                    btf.data() + static_cast<std::size_t>(j) * k;
+                for (std::uint32_t p = 0; p < k; ++p)
+                    acc += ap[p] * bp[p];
                 if (bias) // bias precedes the fused activation
-                    acc += bias->at(0, j).toFloat();
+                    acc += biasf[j];
                 r = Half(acc * inst.scale);
                 if (fuse_gelu) {
                     r = Half(static_cast<float>(linalg::gelu(
@@ -360,16 +436,15 @@ addTreeReduce(const Half *values, std::size_t n)
 {
     if (n == 0)
         return Half();
-    std::vector<Half> level(values, values + n);
-    while (level.size() > 1) {
-        std::vector<Half> next((level.size() + 1) / 2);
-        for (std::size_t i = 0; i + 1 < level.size(); i += 2)
-            next[i / 2] = level[i] + level[i + 1];
-        if (level.size() % 2)
-            next.back() = level.back();
-        level = std::move(next);
-    }
-    return level[0];
+    // thread_local ping-pong scratch: no allocation in steady state,
+    // and safe under the parallel sweep runner (one pair per thread).
+    static thread_local std::vector<float> buf, tmp;
+    if (buf.size() < n)
+        buf.resize(n);
+    if (tmp.size() < (n + 1) / 2)
+        tmp.resize((n + 1) / 2);
+    fp16::toFloatSpan(values, buf.data(), n);
+    return Half(treeReduceRounded(buf.data(), tmp.data(), n));
 }
 
 void

@@ -8,9 +8,11 @@
 #ifndef CXLPNM_ACCEL_REGISTER_FILE_HH
 #define CXLPNM_ACCEL_REGISTER_FILE_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "isa/isa.hh"
 #include "numeric/tensor.hh"
@@ -67,6 +69,34 @@ class RegisterFileManager
     /** High-water mark of SRAM usage, bytes. */
     std::uint64_t peakBytes() const { return peak_; }
 
+    /** Number of independent scratch slots per element type. */
+    static constexpr std::size_t numScratchSlots = 8;
+
+    /**
+     * Reusable kernel scratch (widened operands, packed B tiles,
+     * reduction ping-pong). Keyed by slot so a kernel can hold several
+     * live buffers; grown monotonically, never shrunk, so steady-state
+     * execution does no allocation. Slots are a fixed array so a
+     * returned reference stays valid while other slots are fetched.
+     * Models the fixed SRAM staging buffers next to the MPU — contents
+     * are undefined between calls.
+     */
+    std::vector<float> &
+    scratchF(std::size_t slot, std::size_t n)
+    {
+        if (scratchF_[slot].size() < n)
+            scratchF_[slot].resize(n);
+        return scratchF_[slot];
+    }
+
+    std::vector<Half> &
+    scratchH(std::size_t slot, std::size_t n)
+    {
+        if (scratchH_[slot].size() < n)
+            scratchH_[slot].resize(n);
+        return scratchH_[slot];
+    }
+
   private:
     struct Entry
     {
@@ -80,6 +110,8 @@ class RegisterFileManager
     std::uint64_t peak_ = 0;
     isa::RegId next_ = 0;
     std::unordered_map<isa::RegId, Entry> regs_;
+    std::array<std::vector<float>, numScratchSlots> scratchF_;
+    std::array<std::vector<Half>, numScratchSlots> scratchH_;
 };
 
 } // namespace accel

@@ -1,0 +1,125 @@
+#include "core/sweep.hh"
+
+#include <cstdio>
+
+#include "sim/thread_pool.hh"
+
+namespace cxlpnm
+{
+namespace core
+{
+
+namespace
+{
+
+SweepResult
+runPoint(const SweepPoint &p)
+{
+    SweepResult r;
+    r.name = p.name;
+    if (p.plan.devices() > 1) {
+        const PnmApplianceResult a =
+            runPnmAppliance(p.model, p.req, p.cfg, p.plan);
+        r.requestLatencySeconds = a.requestLatencySeconds;
+        r.tokenLatencySeconds = a.tokenLatencySeconds;
+        r.throughputTokensPerSec = a.throughputTokensPerSec;
+        r.energyJoules = a.energyJoules;
+        r.tokensPerJoule = a.tokensPerJoule;
+    } else {
+        const PnmRunResult s = runPnmSingleDevice(p.model, p.req, p.cfg);
+        r.requestLatencySeconds = s.totalSeconds;
+        double gen = 0.0;
+        for (double t : s.genSeconds)
+            gen += t;
+        r.tokenLatencySeconds =
+            s.genSeconds.empty() ? 0.0 : gen / s.genSeconds.size();
+        r.throughputTokensPerSec = s.throughputTokensPerSec();
+        r.energyJoules = s.energyJoules;
+        r.tokensPerJoule = s.tokensPerJoule();
+    }
+    return r;
+}
+
+/** Shortest round-trip formatting: equal doubles -> equal text. */
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::vector<SweepPoint>
+defaultSweepGrid(bool quick)
+{
+    const std::uint64_t out = quick ? 64 : 256;
+    std::vector<SweepPoint> points;
+
+    PnmPlatformConfig cfg;
+    cfg.channelGrouping = 8; // coarse channel model, as in fig10
+
+    llm::InferenceRequest req;
+    req.inputTokens = 64;
+    req.outputTokens = out;
+
+    // Single-device frontier across the OPT family that fits one module.
+    for (const char *name : {"opt-6.7b", "opt-13b", "opt-30b"}) {
+        SweepPoint p;
+        p.model = llm::ModelConfig::byName(name);
+        p.req = req;
+        p.cfg = cfg;
+        p.plan = ParallelismPlan{1, 1};
+        p.name = std::string(name) + "/mp1";
+        points.push_back(std::move(p));
+    }
+
+    // Appliance parallelism ladder on OPT-30B (the §VIII study shape).
+    for (int mp : {2, 4, 8}) {
+        SweepPoint p;
+        p.model = llm::ModelConfig::opt30b();
+        p.req = req;
+        p.cfg = cfg;
+        p.plan = ParallelismPlan{mp, 8 / mp};
+        p.name = "opt-30b/mp" + std::to_string(mp) + "dp" +
+            std::to_string(8 / mp);
+        points.push_back(std::move(p));
+    }
+
+    return points;
+}
+
+std::vector<SweepResult>
+runSweep(const std::vector<SweepPoint> &points, unsigned threads)
+{
+    // Results land in a pre-sized slot per point: completion order (a
+    // scheduling artifact) cannot reorder or interleave them.
+    std::vector<SweepResult> results(points.size());
+    ThreadPool::parallelFor(points.size(), threads,
+                            [&](std::size_t i) {
+        results[i] = runPoint(points[i]);
+    });
+    return results;
+}
+
+std::string
+sweepResultsJson(const std::vector<SweepResult> &results)
+{
+    std::string out = "{\n  \"points\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SweepResult &r = results[i];
+        out += "    {\"name\": \"" + r.name + "\"";
+        out += ", \"request_latency_s\": " + num(r.requestLatencySeconds);
+        out += ", \"token_latency_s\": " + num(r.tokenLatencySeconds);
+        out += ", \"throughput_tok_s\": " + num(r.throughputTokensPerSec);
+        out += ", \"energy_j\": " + num(r.energyJoules);
+        out += ", \"tokens_per_joule\": " + num(r.tokensPerJoule);
+        out += i + 1 < results.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+} // namespace core
+} // namespace cxlpnm

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic parallel design-space sweeps over PNM simulation points.
+ *
+ * A sweep point is one fully self-contained simulation run (model,
+ * request, platform, parallelism plan). Points never share state: each
+ * run constructs a private EventQueue, StatGroup, and device tree, so
+ * fanning points across a ThreadPool cannot perturb results — the
+ * rendered output is byte-identical for any worker count (a tier-1 test
+ * asserts this). See DESIGN.md §9.
+ */
+
+#ifndef CXLPNM_CORE_SWEEP_HH
+#define CXLPNM_CORE_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "core/inference_engine.hh"
+#include "core/platform.hh"
+#include "llm/model_config.hh"
+#include "llm/workload.hh"
+
+namespace cxlpnm
+{
+namespace core
+{
+
+/** One independent simulation point of a sweep. */
+struct SweepPoint
+{
+    std::string name;
+    llm::ModelConfig model;
+    llm::InferenceRequest req;
+    PnmPlatformConfig cfg;
+    /** devices() == 1 runs a single device, otherwise an appliance. */
+    ParallelismPlan plan{1, 1};
+};
+
+/** Simulated (deterministic) metrics of one point. */
+struct SweepResult
+{
+    std::string name;
+    double requestLatencySeconds = 0.0;
+    double tokenLatencySeconds = 0.0;
+    double throughputTokensPerSec = 0.0;
+    double energyJoules = 0.0;
+    double tokensPerJoule = 0.0;
+};
+
+/**
+ * The stock grid: OPT models x parallelism plans with the paper's
+ * 64-token prompt. @p quick trims output tokens for smoke runs.
+ */
+std::vector<SweepPoint> defaultSweepGrid(bool quick);
+
+/**
+ * Run every point, fanned over @p threads workers (0 = hardware
+ * concurrency, 1 = inline on the caller). Results are returned in
+ * point order regardless of completion order.
+ */
+std::vector<SweepResult> runSweep(const std::vector<SweepPoint> &points,
+                                  unsigned threads);
+
+/**
+ * Render results as JSON. Purely a function of the results (fixed
+ * formatting, no timestamps or host info), so equal results render to
+ * byte-identical text.
+ */
+std::string sweepResultsJson(const std::vector<SweepResult> &results);
+
+} // namespace core
+} // namespace cxlpnm
+
+#endif // CXLPNM_CORE_SWEEP_HH

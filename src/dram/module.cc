@@ -82,22 +82,34 @@ MultiChannelMemory::access(MemoryRequest req)
     // Stripe the request across channels at granule_ granularity,
     // starting from the channel the base address maps to. Each channel
     // receives one coalesced burst (its total share), since a streaming
-    // DMA issues its stripes contiguously.
+    // DMA issues its stripes contiguously. Shares are computed in
+    // closed form — O(channels), not O(bytes/granule): a partial head
+    // chunk on the first channel, whole granules dealt round-robin
+    // (each channel gets the same base count, the next `extra` channels
+    // in rotation one more), then a partial tail chunk.
     const std::size_t n = channels_.size();
-    std::vector<std::uint64_t> share(n, 0);
+    std::vector<std::uint64_t> &share = shareScratch_;
+    share.assign(n, 0);
     const std::uint64_t first = req.addr / granule_;
     const std::uint64_t head = req.addr % granule_;
 
-    std::uint64_t remaining = req.bytes;
-    std::uint64_t g = first;
-    std::uint64_t offset = head;
-    while (remaining > 0) {
-        const std::uint64_t take = std::min(remaining, granule_ - offset);
-        share[g % n] += take;
-        remaining -= take;
-        offset = 0;
-        ++g;
+    const std::uint64_t chunk0 = std::min(req.bytes, granule_ - head);
+    share[first % n] += chunk0;
+    const std::uint64_t rest = req.bytes - chunk0;
+    const std::uint64_t nfull = rest / granule_;
+    const std::uint64_t tail = rest % granule_;
+    if (nfull > 0) {
+        const std::uint64_t base = nfull / n;
+        const std::uint64_t extra = nfull % n;
+        if (base > 0) {
+            for (std::size_t c = 0; c < n; ++c)
+                share[c] += base * granule_;
+        }
+        for (std::uint64_t e = 0; e < extra; ++e)
+            share[(first + 1 + e) % n] += granule_;
     }
+    if (tail > 0)
+        share[(first + 1 + nfull) % n] += tail;
 
     // Completion when the last stripe lands.
     auto outstanding = std::make_shared<std::size_t>(0);

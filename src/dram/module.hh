@@ -78,6 +78,8 @@ class MultiChannelMemory : public SimObject
     std::uint64_t granule_;
     std::uint64_t capacity_;
     std::vector<std::unique_ptr<MemoryChannel>> channels_;
+    /** Per-access stripe shares, reused to avoid per-request allocation. */
+    std::vector<std::uint64_t> shareScratch_;
 
     stats::Scalar requests_;
     stats::Average requestBytes_;

@@ -3,6 +3,13 @@
 #include <bit>
 #include <cmath>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CXLPNM_FP16_X86_DISPATCH 1
+#include <immintrin.h>
+#else
+#define CXLPNM_FP16_X86_DISPATCH 0
+#endif
+
 namespace cxlpnm
 {
 
@@ -16,10 +23,27 @@ constexpr int f16ManBits = 10;
 constexpr int f32Bias = 127;
 constexpr int f16Bias = 15;
 
+constexpr std::array<float, 1 << 16>
+buildH2fTable()
+{
+    std::array<float, 1 << 16> t{};
+    for (std::uint32_t b = 0; b < (1u << 16); ++b)
+        t[b] = Half::halfToFloat(static_cast<std::uint16_t>(b));
+    return t;
+}
+
 } // namespace
 
+namespace fp16
+{
+// Built at compile time from the reference routine: no startup cost, no
+// static-initialisation-order hazard for code that converts during
+// global construction.
+constinit const std::array<float, 1 << 16> h2fTable = buildH2fTable();
+} // namespace fp16
+
 std::uint16_t
-Half::fromFloat(float f)
+Half::fromFloatReference(float f)
 {
     const std::uint32_t u = std::bit_cast<std::uint32_t>(f);
     const std::uint16_t sign =
@@ -88,38 +112,56 @@ Half::fromFloat(float f)
     return sign;
 }
 
-float
-Half::halfToFloat(std::uint16_t bits)
+std::uint16_t
+Half::fromFloat(float f)
 {
-    const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000)
-        << 16;
-    const std::uint32_t exp = (bits >> f16ManBits) & 0x1fu;
-    std::uint32_t man = bits & 0x3ffu;
+    // Branch-light exact RNE narrowing. Normal-range values round via an
+    // integer add of (half-ulp - 1) plus the kept-LSB ("round up the
+    // odd-mantissa ties" makes nearest-even), which carries cleanly into
+    // the exponent and into infinity at 0x7bff + 1. Values below 2^-14
+    // are rounded by the FP adder: adding 0.5f aligns the significand so
+    // the hardware's own nearest-even rounding produces the subnormal
+    // mantissa directly ("denormal magic").
+    constexpr std::uint32_t f32InfBits = 0x7f800000u;
+    constexpr std::uint32_t f16MaxBits = (f32Bias + 16) << f32ManBits;
+    constexpr std::uint32_t f16MinNormBits =
+        (f32Bias - 14) << f32ManBits;
+    constexpr float denormMagic = std::bit_cast<float>(
+        static_cast<std::uint32_t>((f32Bias - f16Bias) +
+                                   (f32ManBits - f16ManBits) + 1)
+        << f32ManBits);
 
-    std::uint32_t out;
-    if (exp == 0x1f) {
-        // Inf/NaN.
-        out = sign | 0x7f800000u | (man << (f32ManBits - f16ManBits));
-    } else if (exp != 0) {
-        // Normal.
-        out = sign |
-            ((exp - f16Bias + f32Bias) << f32ManBits) |
-            (man << (f32ManBits - f16ManBits));
-    } else if (man != 0) {
-        // Subnormal: normalise into float's normal range. With the
-        // leading set bit of man at position k, the value is
-        // 2^(k-24) * (1 + lower/2^k); shift the k low bits up into the
-        // top of the 10-bit fraction field and drop the leading 1.
-        int shift = std::countl_zero(man) - (32 - 11); // == 10 - k
-        man = (man << shift) & 0x3ffu;
-        std::uint32_t e = static_cast<std::uint32_t>(
-            -14 - shift + f32Bias); // == (k - 24) + 127
-        out = sign | (e << f32ManBits) |
-            (man << (f32ManBits - f16ManBits));
+    std::uint32_t u = std::bit_cast<std::uint32_t>(f);
+    const std::uint16_t sign =
+        static_cast<std::uint16_t>((u & f32SignMask) >> 16);
+    u &= ~f32SignMask;
+
+    std::uint16_t o;
+    if (u >= f16MaxBits) {
+        if (u > f32InfBits) {
+            // NaN: quiet it and keep the payload's top ten bits,
+            // exactly like the reference.
+            o = static_cast<std::uint16_t>(
+                0x7e00 | ((u & ((1u << f32ManBits) - 1)) >>
+                          (f32ManBits - f16ManBits)));
+        } else {
+            o = 0x7c00; // overflow (and inf) -> inf
+        }
+    } else if (u < f16MinNormBits) {
+        const float v =
+            std::bit_cast<float>(u) + denormMagic;
+        o = static_cast<std::uint16_t>(std::bit_cast<std::uint32_t>(v) -
+                                       std::bit_cast<std::uint32_t>(
+                                           denormMagic));
     } else {
-        out = sign; // +-0
+        const std::uint32_t mantOdd =
+            (u >> (f32ManBits - f16ManBits)) & 1;
+        u += (static_cast<std::uint32_t>(f16Bias - f32Bias)
+              << f32ManBits) +
+            ((1u << (f32ManBits - f16ManBits - 1)) - 1) + mantOdd;
+        o = static_cast<std::uint16_t>(u >> (f32ManBits - f16ManBits));
     }
-    return std::bit_cast<float>(out);
+    return sign | o;
 }
 
 bool
@@ -169,5 +211,245 @@ fmaHalf(Half a, Half b, Half c)
     // (24 >= 2*11 + 2 holds).
     return Half(static_cast<float>(prod));
 }
+
+namespace fp16
+{
+
+namespace
+{
+
+void
+toFloatSpanScalar(const Half *in, float *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = h2fTable[in[i].bits()];
+}
+
+void
+fromFloatSpanScalar(const float *in, Half *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = Half::fromBits(Half::fromFloat(in[i]));
+}
+
+void
+mulToHalfSpanScalar(const float *a, const float *b, Half *out,
+                    std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = Half::fromBits(Half::fromFloat(a[i] * b[i]));
+}
+
+void
+addPairsToHalfSpanScalar(const float *in, Half *out, std::size_t pairs)
+{
+    for (std::size_t i = 0; i < pairs; ++i)
+        out[i] =
+            Half::fromBits(Half::fromFloat(in[2 * i] + in[2 * i + 1]));
+}
+
+void
+mulRoundedSpanScalar(const float *a, const float *b, float *out,
+                     std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = h2fTable[Half::fromFloat(a[i] * b[i])];
+}
+
+void
+addPairsRoundedSpanScalar(const float *in, float *out, std::size_t pairs)
+{
+    for (std::size_t i = 0; i < pairs; ++i)
+        out[i] = h2fTable[Half::fromFloat(in[2 * i] + in[2 * i + 1])];
+}
+
+#if CXLPNM_FP16_X86_DISPATCH
+
+__attribute__((target("f16c,avx2"))) void
+toFloatSpanF16c(const Half *in, float *out, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i h = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(in + i));
+        _mm256_storeu_ps(out + i, _mm256_cvtph_ps(h));
+    }
+    toFloatSpanScalar(in + i, out + i, n - i);
+}
+
+__attribute__((target("f16c,avx2"))) void
+fromFloatSpanF16c(const float *in, Half *out, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 v = _mm256_loadu_ps(in + i);
+        const __m128i h = _mm256_cvtps_ph(
+            v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i), h);
+    }
+    fromFloatSpanScalar(in + i, out + i, n - i);
+}
+
+__attribute__((target("f16c,avx2"))) void
+mulToHalfSpanF16c(const float *a, const float *b, Half *out,
+                  std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 v =
+            _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+        const __m128i h = _mm256_cvtps_ph(
+            v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i), h);
+    }
+    mulToHalfSpanScalar(a + i, b + i, out + i, n - i);
+}
+
+__attribute__((target("f16c,avx2"))) void
+addPairsToHalfSpanF16c(const float *in, Half *out, std::size_t pairs)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= pairs; i += 8) {
+        const __m256 lo = _mm256_loadu_ps(in + 2 * i);
+        const __m256 hi = _mm256_loadu_ps(in + 2 * i + 8);
+        // hadd interleaves 128-bit halves of its operands; a 64-bit
+        // lane permute restores pair order 0..7.
+        const __m256 sums = _mm256_castpd_ps(_mm256_permute4x64_pd(
+            _mm256_castps_pd(_mm256_hadd_ps(lo, hi)),
+            _MM_SHUFFLE(3, 1, 2, 0)));
+        const __m128i h = _mm256_cvtps_ph(
+            sums, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i), h);
+    }
+    addPairsToHalfSpanScalar(in + 2 * i, out + i, pairs - i);
+}
+
+__attribute__((target("f16c,avx2"))) void
+mulRoundedSpanF16c(const float *a, const float *b, float *out,
+                   std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 v =
+            _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+        const __m128i h = _mm256_cvtps_ph(
+            v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        _mm256_storeu_ps(out + i, _mm256_cvtph_ps(h));
+    }
+    mulRoundedSpanScalar(a + i, b + i, out + i, n - i);
+}
+
+__attribute__((target("f16c,avx2"))) void
+addPairsRoundedSpanF16c(const float *in, float *out, std::size_t pairs)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= pairs; i += 8) {
+        const __m256 lo = _mm256_loadu_ps(in + 2 * i);
+        const __m256 hi = _mm256_loadu_ps(in + 2 * i + 8);
+        const __m256 sums = _mm256_castpd_ps(_mm256_permute4x64_pd(
+            _mm256_castps_pd(_mm256_hadd_ps(lo, hi)),
+            _MM_SHUFFLE(3, 1, 2, 0)));
+        const __m128i h = _mm256_cvtps_ph(
+            sums, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        _mm256_storeu_ps(out + i, _mm256_cvtph_ps(h));
+    }
+    addPairsRoundedSpanScalar(in + 2 * i, out + i, pairs - i);
+}
+
+bool
+cpuHasF16c()
+{
+    static const bool has = __builtin_cpu_supports("f16c") &&
+        __builtin_cpu_supports("avx2");
+    return has;
+}
+
+#endif // CXLPNM_FP16_X86_DISPATCH
+
+} // namespace
+
+bool
+usingHardwareF16c()
+{
+#if CXLPNM_FP16_X86_DISPATCH
+    return cpuHasF16c();
+#else
+    return false;
+#endif
+}
+
+void
+toFloatSpan(const Half *in, float *out, std::size_t n)
+{
+#if CXLPNM_FP16_X86_DISPATCH
+    if (cpuHasF16c()) {
+        toFloatSpanF16c(in, out, n);
+        return;
+    }
+#endif
+    toFloatSpanScalar(in, out, n);
+}
+
+void
+fromFloatSpan(const float *in, Half *out, std::size_t n)
+{
+#if CXLPNM_FP16_X86_DISPATCH
+    if (cpuHasF16c()) {
+        fromFloatSpanF16c(in, out, n);
+        return;
+    }
+#endif
+    fromFloatSpanScalar(in, out, n);
+}
+
+void
+mulToHalfSpan(const float *a, const float *b, Half *out, std::size_t n)
+{
+#if CXLPNM_FP16_X86_DISPATCH
+    if (cpuHasF16c()) {
+        mulToHalfSpanF16c(a, b, out, n);
+        return;
+    }
+#endif
+    mulToHalfSpanScalar(a, b, out, n);
+}
+
+void
+addPairsToHalfSpan(const float *in, Half *out, std::size_t pairs)
+{
+#if CXLPNM_FP16_X86_DISPATCH
+    if (cpuHasF16c()) {
+        addPairsToHalfSpanF16c(in, out, pairs);
+        return;
+    }
+#endif
+    addPairsToHalfSpanScalar(in, out, pairs);
+}
+
+void
+mulRoundedSpan(const float *a, const float *b, float *out, std::size_t n)
+{
+#if CXLPNM_FP16_X86_DISPATCH
+    if (cpuHasF16c()) {
+        mulRoundedSpanF16c(a, b, out, n);
+        return;
+    }
+#endif
+    mulRoundedSpanScalar(a, b, out, n);
+}
+
+void
+addPairsRoundedSpan(const float *in, float *out, std::size_t pairs)
+{
+#if CXLPNM_FP16_X86_DISPATCH
+    if (cpuHasF16c()) {
+        addPairsRoundedSpanF16c(in, out, pairs);
+        return;
+    }
+#endif
+    addPairsRoundedSpanScalar(in, out, pairs);
+}
+
+} // namespace fp16
 
 } // namespace cxlpnm

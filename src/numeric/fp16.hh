@@ -10,15 +10,33 @@
  * back. Because float carries 24 significand bits >= 2*11 + 2, the double
  * rounding is innocuous for +, -, *, / (Figueroa's theorem), i.e. results
  * equal directly-rounded binary16 arithmetic.
+ *
+ * Performance layer (see DESIGN.md §9): the widening conversion reads a
+ * 65,536-entry float table built at compile time from the exact
+ * bit-manipulation routine (kept as halfToFloat, the reference); the
+ * narrowing conversion uses a branch-light round-to-nearest-even
+ * algorithm verified bit-identical to the reference fromFloatReference
+ * on every rounding boundary. Bulk span conversions (fp16::toFloatSpan
+ * and friends) additionally dispatch to F16C/AVX2 kernels at runtime
+ * where available; every path produces the same bits.
  */
 
 #ifndef CXLPNM_NUMERIC_FP16_HH
 #define CXLPNM_NUMERIC_FP16_HH
 
+#include <array>
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 
 namespace cxlpnm
 {
+
+namespace fp16
+{
+/** half -> float lookup table, indexed by the raw binary16 bits. */
+extern const std::array<float, 1 << 16> h2fTable;
+} // namespace fp16
 
 /** An IEEE 754 binary16 value. */
 class Half
@@ -42,8 +60,8 @@ class Half
 
     constexpr std::uint16_t bits() const { return bits_; }
 
-    /** Exact widening conversion. */
-    float toFloat() const { return halfToFloat(bits_); }
+    /** Exact widening conversion (table lookup). */
+    float toFloat() const { return fp16::h2fTable[bits_]; }
     explicit operator float() const { return toFloat(); }
     explicit operator double() const { return toFloat(); }
 
@@ -65,9 +83,23 @@ class Half
     Half operator/(Half o) const { return Half(toFloat() / o.toFloat()); }
     Half operator-() const { return fromBits(bits_ ^ 0x8000); }
 
-    /** Core conversion routines, exposed for targeted unit tests. */
+    /**
+     * Fast exact float -> binary16 rounding (RNE). Subnormal results are
+     * rounded by the FP adder itself via the denormal-magic trick, so
+     * the only branches left are the overflow/NaN and subnormal range
+     * checks. Bit-identical to fromFloatReference for every input
+     * (test_fp16 checks all rounding boundaries and special values).
+     */
     static std::uint16_t fromFloat(float f);
-    static float halfToFloat(std::uint16_t bits);
+
+    /**
+     * Reference conversions, exposed for targeted unit tests and as the
+     * generators of the fast paths: halfToFloat builds h2fTable;
+     * fromFloatReference is the explicit round-to-nearest-even
+     * bit-manipulation fromFloat is validated against.
+     */
+    static constexpr float halfToFloat(std::uint16_t bits);
+    static std::uint16_t fromFloatReference(float f);
 
     /** Useful constants. */
     static constexpr Half zero() { return fromBits(0x0000); }
@@ -85,12 +117,98 @@ class Half
     std::uint16_t bits_;
 };
 
+constexpr float
+Half::halfToFloat(std::uint16_t bits)
+{
+    constexpr int f32ManBits = 23;
+    constexpr int f16ManBits = 10;
+    constexpr int f32Bias = 127;
+    constexpr int f16Bias = 15;
+
+    const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000)
+        << 16;
+    const std::uint32_t exp = (bits >> f16ManBits) & 0x1fu;
+    std::uint32_t man = bits & 0x3ffu;
+
+    std::uint32_t out;
+    if (exp == 0x1f) {
+        // Inf/NaN.
+        out = sign | 0x7f800000u | (man << (f32ManBits - f16ManBits));
+    } else if (exp != 0) {
+        // Normal.
+        out = sign |
+            ((exp - f16Bias + f32Bias) << f32ManBits) |
+            (man << (f32ManBits - f16ManBits));
+    } else if (man != 0) {
+        // Subnormal: normalise into float's normal range. With the
+        // leading set bit of man at position k, the value is
+        // 2^(k-24) * (1 + lower/2^k); shift the k low bits up into the
+        // top of the 10-bit fraction field and drop the leading 1.
+        int shift = std::countl_zero(man) - (32 - 11); // == 10 - k
+        man = (man << shift) & 0x3ffu;
+        std::uint32_t e = static_cast<std::uint32_t>(
+            -14 - shift + f32Bias); // == (k - 24) + 127
+        out = sign | (e << f32ManBits) |
+            (man << (f32ManBits - f16ManBits));
+    } else {
+        out = sign; // +-0
+    }
+    return std::bit_cast<float>(out);
+}
+
 /**
  * Fused multiply-add on binary16 operands: rounds once from a double
  * intermediate, matching a hardware MAC with a wide accumulator feeding a
  * final FP16 rounder.
  */
 Half fmaHalf(Half a, Half b, Half c);
+
+namespace fp16
+{
+
+/**
+ * Bulk conversions over contiguous spans. The hot kernels (adder-tree
+ * GEMV, PE-array GEMM, reductions) convert whole operand rows once
+ * through these instead of per scalar. Each call produces bits
+ * identical to the equivalent scalar loop; on x86 with F16C+AVX2 the
+ * work is done 8 lanes at a time by the hardware converters.
+ */
+
+/** out[i] = float(in[i]) for i in [0, n). */
+void toFloatSpan(const Half *in, float *out, std::size_t n);
+
+/** out[i] = Half(in[i]) (round-to-nearest-even) for i in [0, n). */
+void fromFloatSpan(const float *in, Half *out, std::size_t n);
+
+/**
+ * out[i] = Half(a[i] * b[i]): the FP16 multiplier array feeding the
+ * adder tree (multiply in float, round the product to binary16).
+ */
+void mulToHalfSpan(const float *a, const float *b, Half *out,
+                   std::size_t n);
+
+/**
+ * One adder-tree level over float inputs: out[i] = Half(in[2i] +
+ * in[2i+1]) for i in [0, pairs). Inputs are the widened values of the
+ * previous level; each sum rounds to binary16 exactly as the scalar
+ * Half operator+ does.
+ */
+void addPairsToHalfSpan(const float *in, Half *out, std::size_t pairs);
+
+/**
+ * Float-to-float variants that round through binary16 at each step —
+ * out[i] = float(Half(...)) — so multi-level reductions can stay in
+ * widened form without rewidening between levels. Exactly equivalent
+ * (bit for bit) to going through Half and back.
+ */
+void mulRoundedSpan(const float *a, const float *b, float *out,
+                    std::size_t n);
+void addPairsRoundedSpan(const float *in, float *out, std::size_t pairs);
+
+/** True when the span kernels use F16C/AVX2 (informational/bench). */
+bool usingHardwareF16c();
+
+} // namespace fp16
 
 } // namespace cxlpnm
 

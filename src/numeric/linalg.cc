@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "sim/logging.hh"
 
@@ -17,11 +18,29 @@ gemm(const Tensor<double> &a, const Tensor<double> &b, Tensor<double> &out)
              " vs ", b.rows());
     panic_if(out.rows() != a.rows() || out.cols() != b.cols(),
              "gemm output shape mismatch");
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-        for (std::size_t j = 0; j < b.cols(); ++j) {
+
+    const std::size_t m = a.rows(), n = b.cols(), kk = a.cols();
+
+    // Pack B transposed so both dot-product operands stream
+    // contiguously (B's column walk is the cache killer for large k).
+    // The accumulation below still runs k = 0..kk-1 per element with a
+    // single accumulator: identical order, identical results.
+    static thread_local std::vector<double> bt;
+    if (bt.size() < n * kk)
+        bt.resize(n * kk);
+    for (std::size_t k = 0; k < kk; ++k) {
+        const double *brow = b.data() + k * n;
+        for (std::size_t j = 0; j < n; ++j)
+            bt[j * kk + k] = brow[j];
+    }
+
+    for (std::size_t i = 0; i < m; ++i) {
+        const double *arow = a.data() + i * kk;
+        for (std::size_t j = 0; j < n; ++j) {
+            const double *bcol = bt.data() + j * kk;
             double acc = 0.0;
-            for (std::size_t k = 0; k < a.cols(); ++k)
-                acc += a.at(i, k) * b.at(k, j);
+            for (std::size_t k = 0; k < kk; ++k)
+                acc += arow[k] * bcol[k];
             out.at(i, j) = acc;
         }
     }

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -28,6 +29,74 @@ Event::when() const
     return when_;
 }
 
+bool
+EventQueue::before(const Event *a, const Event *b)
+{
+    if (a->when_ != b->when_)
+        return a->when_ < b->when_;
+    if (a->priority_ != b->priority_)
+        return a->priority_ < b->priority_;
+    return a->sequence_ < b->sequence_;
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    Event *ev = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / heapArity;
+        if (!before(ev, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        heap_[i]->heapIndex_ = i;
+        i = parent;
+    }
+    heap_[i] = ev;
+    ev->heapIndex_ = i;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    Event *ev = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+        const std::size_t first = i * heapArity + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        const std::size_t last = std::min(first + heapArity, n);
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (before(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!before(heap_[best], ev))
+            break;
+        heap_[i] = heap_[best];
+        heap_[i]->heapIndex_ = i;
+        i = best;
+    }
+    heap_[i] = ev;
+    ev->heapIndex_ = i;
+}
+
+Event *
+EventQueue::removeAt(std::size_t i)
+{
+    Event *removed = heap_[i];
+    Event *moved = heap_.back();
+    heap_.pop_back();
+    if (i < heap_.size()) {
+        heap_[i] = moved;
+        moved->heapIndex_ = i;
+        // The hole's replacement may need to travel either direction.
+        siftDown(i);
+        siftUp(moved->heapIndex_);
+    }
+    removed->queue_ = nullptr;
+    return removed;
+}
+
 void
 EventQueue::schedule(Event &ev, Tick when)
 {
@@ -39,19 +108,20 @@ EventQueue::schedule(Event &ev, Tick when)
     ev.queue_ = this;
     ev.when_ = when;
     ev.sequence_ = nextSequence_++;
-    queue_.emplace(Key{when, ev.priority_, ev.sequence_}, &ev);
+    heap_.push_back(&ev);
+    siftUp(heap_.size() - 1);
 }
 
 EventQueue::~EventQueue()
 {
     // Reclaim one-shot events that never fired. Regular events are owned
     // by their components; just detach them.
-    for (auto &[key, ev] : queue_) {
+    for (Event *ev : heap_) {
         ev->queue_ = nullptr;
         if (ev->oneShot_)
             delete ev;
     }
-    queue_.clear();
+    heap_.clear();
 }
 
 void
@@ -68,8 +138,7 @@ EventQueue::deschedule(Event &ev)
 {
     panic_if(ev.queue_ != this,
              "deschedule of event '", ev.name_, "' not in this queue");
-    queue_.erase(Key{ev.when_, ev.priority_, ev.sequence_});
-    ev.queue_ = nullptr;
+    removeAt(ev.heapIndex_);
 }
 
 void
@@ -83,20 +152,17 @@ EventQueue::reschedule(Event &ev, Tick when)
 Tick
 EventQueue::nextTick() const
 {
-    return queue_.empty() ? MaxTick : queue_.begin()->first.when;
+    return heap_.empty() ? MaxTick : heap_.front()->when_;
 }
 
 bool
 EventQueue::step()
 {
-    if (queue_.empty())
+    if (heap_.empty())
         return false;
 
-    auto it = queue_.begin();
-    Event *ev = it->second;
-    now_ = it->first.when;
-    queue_.erase(it);
-    ev->queue_ = nullptr;
+    now_ = heap_.front()->when_;
+    Event *ev = removeAt(0);
     ++fired_;
     // Hold one-shot ownership across the callback: a throwing handler
     // (the panic/fatal paths) must not leak the event.
@@ -113,7 +179,7 @@ std::uint64_t
 EventQueue::run(Tick limit)
 {
     std::uint64_t n = 0;
-    while (!queue_.empty() && queue_.begin()->first.when <= limit) {
+    while (!heap_.empty() && heap_.front()->when_ <= limit) {
         step();
         ++n;
     }

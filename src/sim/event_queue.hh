@@ -13,8 +13,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -70,6 +70,8 @@ class Event
     EventQueue *queue_ = nullptr;
     Tick when_ = 0;
     std::uint64_t sequence_ = 0;
+    /** Position in the owning queue's heap; valid while scheduled. */
+    std::size_t heapIndex_ = 0;
 };
 
 /**
@@ -108,8 +110,8 @@ class EventQueue
     /** Deschedule (if scheduled) then schedule at a new tick. */
     void reschedule(Event &ev, Tick when);
 
-    bool empty() const { return queue_.empty(); }
-    std::size_t size() const { return queue_.size(); }
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
 
     /** Tick of the next pending event; MaxTick when empty. */
     Tick nextTick() const;
@@ -130,24 +132,23 @@ class EventQueue
     std::uint64_t eventsFired() const { return fired_; }
 
   private:
-    struct Key
-    {
-        Tick when;
-        int priority;
-        std::uint64_t sequence;
+    /**
+     * Index-tracking d-ary min-heap ordered by (when, priority,
+     * sequence): each Event carries its own heap slot (heapIndex_), so
+     * deschedule/reschedule are O(log n) with no per-node allocation —
+     * the backing vector is reused across the whole run. The sequence
+     * tiebreak keeps same-tick same-priority events firing in schedule
+     * order, exactly as the old ordered-map implementation did.
+     */
+    static constexpr std::size_t heapArity = 4;
 
-        bool
-        operator<(const Key &o) const
-        {
-            if (when != o.when)
-                return when < o.when;
-            if (priority != o.priority)
-                return priority < o.priority;
-            return sequence < o.sequence;
-        }
-    };
+    static bool before(const Event *a, const Event *b);
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    /** Detach heap_[i] from the heap and restore the heap property. */
+    Event *removeAt(std::size_t i);
 
-    std::map<Key, Event *> queue_;
+    std::vector<Event *> heap_;
     Tick now_ = 0;
     std::uint64_t nextSequence_ = 0;
     std::uint64_t fired_ = 0;

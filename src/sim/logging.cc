@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <iostream>
 
 namespace cxlpnm
@@ -7,26 +8,28 @@ namespace cxlpnm
 
 namespace
 {
-LogLevel g_level = LogLevel::Info;
+// Atomic so worker threads of the parallel sweep runner can consult the
+// level while another thread (e.g. a test fixture) flips it.
+std::atomic<LogLevel> g_level{LogLevel::Info};
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     std::string full = msgCat("panic: ", msg, " @ ", file, ":", line);
-    if (g_level >= LogLevel::Error)
+    if (logLevel() >= LogLevel::Error)
         std::cerr << full << "\n";
     throw PanicError(full);
 }
@@ -35,7 +38,7 @@ void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::string full = msgCat("fatal: ", msg, " @ ", file, ":", line);
-    if (g_level >= LogLevel::Error)
+    if (logLevel() >= LogLevel::Error)
         std::cerr << full << "\n";
     throw FatalError(full);
 }
@@ -43,14 +46,14 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Warn)
+    if (logLevel() >= LogLevel::Warn)
         std::cerr << "warn: " << msg << "\n";
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Info)
+    if (logLevel() >= LogLevel::Info)
         std::cout << "info: " << msg << "\n";
 }
 

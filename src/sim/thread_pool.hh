@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A minimal fixed-size worker pool for fanning *independent* simulation
+ * points across host threads (the parallel sweep runner).
+ *
+ * The event-driven simulator itself stays single-threaded: one
+ * EventQueue is always driven by exactly one thread. Parallelism lives
+ * strictly above it — each submitted task builds its own queue, RNGs,
+ * and devices, so results are bit-deterministic regardless of worker
+ * count or scheduling (see DESIGN.md §9).
+ */
+
+#ifndef CXLPNM_SIM_THREAD_POOL_HH
+#define CXLPNM_SIM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cxlpnm
+{
+
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; 0 means hardware_concurrency. */
+    explicit ThreadPool(unsigned threads = 0);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Drains remaining tasks, then joins the workers. */
+    ~ThreadPool();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Enqueue @p fn for execution on some worker. Tasks must be
+     * independent: they may not touch shared mutable state without
+     * their own synchronisation. Exceptions escaping @p fn terminate
+     * (tasks are expected to catch and record their own failures).
+     */
+    void submit(std::function<void()> fn);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /**
+     * Run fn(i) for i in [0, n) on @p threads workers and wait.
+     * With threads <= 1 the indices run inline on the caller, in
+     * order — the reference execution the parallel path must match.
+     */
+    static void parallelFor(std::size_t n, unsigned threads,
+                            const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable taskReady_;
+    std::condition_variable allDone_;
+    std::size_t inFlight_ = 0; // queued + executing
+    bool stopping_ = false;
+};
+
+} // namespace cxlpnm
+
+#endif // CXLPNM_SIM_THREAD_POOL_HH

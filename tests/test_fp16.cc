@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
+#include <limits>
+#include <vector>
 
 #include "numeric/fp16.hh"
 #include "sim/random.hh"
@@ -170,6 +173,126 @@ TEST(Fp16Test, ComparisonOperators)
     EXPECT_FALSE(Half(2.0f) < Half(1.0f));
     EXPECT_TRUE(Half(-1.0f) < Half(0.0f));
     EXPECT_FALSE(Half::quietNan() < Half(1.0f));
+}
+
+TEST(Fp16Test, LutMatchesReferenceOnAllEncodings)
+{
+    // The widening LUT must agree with the exact bit-manipulation
+    // routine on every one of the 65,536 encodings, bit for bit —
+    // including every NaN payload, +-inf, all subnormals, and +-0.
+    for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+        const auto bits = static_cast<std::uint16_t>(b);
+        const float lut = Half::fromBits(bits).toFloat();
+        const float ref = Half::halfToFloat(bits);
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(lut),
+                  std::bit_cast<std::uint32_t>(ref))
+            << "half bits 0x" << std::hex << b;
+    }
+}
+
+TEST(Fp16Test, FastFromFloatMatchesReferenceOnAllHalfImages)
+{
+    // Round-trip every encoding: fromFloat(halfToFloat(h)) == h for all
+    // finite non-NaN h, and fast == reference everywhere (NaNs keep the
+    // same payload mapping in both).
+    for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+        const auto bits = static_cast<std::uint16_t>(b);
+        const Half h = Half::fromBits(bits);
+        const float f = h.toFloat();
+        EXPECT_EQ(Half::fromFloat(f), Half::fromFloatReference(f))
+            << "half bits 0x" << std::hex << b;
+        if (!h.isNan()) {
+            EXPECT_EQ(Half::fromFloat(f), bits)
+                << "half bits 0x" << std::hex << b;
+        }
+    }
+}
+
+TEST(Fp16Test, FastFromFloatMatchesReferenceOnRoundingBoundaries)
+{
+    // For every pair of adjacent finite halves, the exact midpoint and
+    // its float neighbours on each side exercise all round/tie
+    // decisions; the fast converter must match the reference on each.
+    auto check = [](float f) {
+        EXPECT_EQ(Half::fromFloat(f), Half::fromFloatReference(f))
+            << "float bits 0x" << std::hex
+            << std::bit_cast<std::uint32_t>(f);
+    };
+    for (std::uint32_t b = 0; b < 0x7bff; ++b) {
+        const float lo = Half::halfToFloat(static_cast<std::uint16_t>(b));
+        const float hi =
+            Half::halfToFloat(static_cast<std::uint16_t>(b + 1));
+        const float mid = (lo + hi) / 2; // exact in float
+        check(mid);
+        check(std::nextafterf(mid, lo));
+        check(std::nextafterf(mid, hi));
+        check(-mid);
+        check(std::nextafterf(-mid, -lo));
+        check(std::nextafterf(-mid, -hi));
+    }
+    // Overflow threshold: 65520 ties up to inf, just below stays max.
+    check(65520.0f);
+    check(std::nextafterf(65520.0f, 0.0f));
+    check(std::nextafterf(65520.0f, 1e30f));
+    // Underflow threshold around 2^-25.
+    check(std::ldexp(1.0f, -25));
+    check(std::nextafterf(std::ldexp(1.0f, -25), 0.0f));
+    check(std::nextafterf(std::ldexp(1.0f, -25), 1.0f));
+    check(std::numeric_limits<float>::infinity());
+    check(-std::numeric_limits<float>::infinity());
+    check(std::numeric_limits<float>::max());
+    check(std::numeric_limits<float>::denorm_min());
+}
+
+TEST(Fp16Test, FastFromFloatMatchesReferenceOnRandomFloats)
+{
+    SplitMix64 rng(1234);
+    for (int i = 0; i < 200000; ++i) {
+        const auto u = static_cast<std::uint32_t>(rng.next());
+        const float f = std::bit_cast<float>(u);
+        EXPECT_EQ(Half::fromFloat(f), Half::fromFloatReference(f))
+            << "float bits 0x" << std::hex << u;
+    }
+}
+
+TEST(Fp16Test, SpanConversionsMatchScalar)
+{
+    // Span kernels (possibly F16C/AVX2) must produce the same bits as
+    // the scalar definitions, including over vector-width remainders.
+    SplitMix64 rng(99);
+    for (std::size_t n : {0ul, 1ul, 7ul, 8ul, 9ul, 31ul, 64ul, 1000ul}) {
+        std::vector<Half> hs(n), outH(n), outM(n);
+        std::vector<float> fs(n), fs2(n), outF(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            hs[i] = Half::fromBits(
+                static_cast<std::uint16_t>(rng.next()));
+            if (hs[i].isNan()) // NaN bit patterns may legally vary
+                hs[i] = Half::one(); // through hardware converters
+            fs[i] = static_cast<float>(rng.nextDouble(-300.0, 300.0));
+            fs2[i] = static_cast<float>(rng.nextDouble(-300.0, 300.0));
+        }
+
+        fp16::toFloatSpan(hs.data(), outF.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(std::bit_cast<std::uint32_t>(outF[i]),
+                      std::bit_cast<std::uint32_t>(hs[i].toFloat()));
+
+        fp16::fromFloatSpan(fs.data(), outH.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(outH[i].bits(), Half(fs[i]).bits());
+
+        fp16::mulToHalfSpan(fs.data(), fs2.data(), outM.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(outM[i].bits(), Half(fs[i] * fs2[i]).bits());
+
+        if (n % 2 == 0 && n > 0) {
+            std::vector<Half> sums(n / 2);
+            fp16::addPairsToHalfSpan(fs.data(), sums.data(), n / 2);
+            for (std::size_t i = 0; i < n / 2; ++i)
+                EXPECT_EQ(sums[i].bits(),
+                          Half(fs[2 * i] + fs[2 * i + 1]).bits());
+        }
+    }
 }
 
 } // namespace

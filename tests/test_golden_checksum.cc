@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Bit-exactness regression guard: a fixed OPT-125M-style decoder run on
+ * the functional device must produce byte-identical FP16 state across
+ * refactors of the numeric hot paths (FP16 conversion LUTs, blocked
+ * kernels, operand packing). The golden hash below was recorded from the
+ * seed implementation; any change to it means the simulated hardware no
+ * longer computes the same bits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/platform.hh"
+#include "llm/model_config.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace
+{
+
+/** FNV-1a over a little stream of 16-bit words. */
+class Fnv1a
+{
+  public:
+    void
+    add16(std::uint16_t v)
+    {
+        addByte(static_cast<std::uint8_t>(v & 0xff));
+        addByte(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    add32(std::uint32_t v)
+    {
+        add16(static_cast<std::uint16_t>(v & 0xffff));
+        add16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    void
+    addByte(std::uint8_t b)
+    {
+        h_ ^= b;
+        h_ *= 0x100000001b3ull;
+    }
+
+    std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+/** A small decoder with the OPT-125M shape family (scaled to test size). */
+llm::ModelConfig
+opt125mStyle()
+{
+    llm::ModelConfig c;
+    c.name = "opt-125m-style";
+    c.numLayers = 4;
+    c.dModel = 128;
+    c.numHeads = 8;
+    c.ffnDim = 512;
+    c.vocabSize = 512;
+    c.maxPositions = 128;
+    return c;
+}
+
+TEST(GoldenChecksum, FixedDecoderRunIsBitStable)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    core::PnmPlatformConfig cfg;
+    cfg.functionalBytes = 24ull * MiB;
+    core::PnmDevice dev(eq, &root, "dev", cfg);
+
+    const auto model = opt125mStyle();
+    bool loaded = false;
+    dev.library().loadModel(model, /*seed=*/7, [&] { loaded = true; });
+    eq.run();
+    ASSERT_TRUE(loaded);
+
+    const std::vector<std::uint32_t> prompt{5, 17, 42};
+    constexpr std::uint32_t n_gen = 8;
+    std::vector<std::uint32_t> out;
+    dev.library().generate(prompt, n_gen,
+                           [&](std::vector<std::uint32_t> t) {
+        out = std::move(t);
+    });
+    eq.run();
+    ASSERT_EQ(out.size(), n_gen);
+
+    Fnv1a h;
+    for (std::uint32_t t : out)
+        h.add32(t);
+
+    // Every populated KV-cache row of every layer, bit for bit, plus the
+    // final logits. Any numeric deviation anywhere in the decoder
+    // (embeddings, LN, QKV, attention, FFN) perturbs these.
+    auto *fmem = dev.functionalMemory();
+    const std::uint32_t ctx =
+        static_cast<std::uint32_t>(prompt.size()) + n_gen - 1;
+    const auto &wm = dev.library().weightMap();
+    for (const auto &layer : wm.layers) {
+        HalfTensor k = fmem->readTensor(layer.kCache, ctx, model.dModel);
+        HalfTensor v = fmem->readTensor(layer.vCache, ctx, model.dModel);
+        for (std::size_t i = 0; i < k.size(); ++i)
+            h.add16(k.data()[i].bits());
+        for (std::size_t i = 0; i < v.size(); ++i)
+            h.add16(v.data()[i].bits());
+    }
+    HalfTensor logits =
+        fmem->readTensor(wm.outputBuffer, 1, model.vocabSize);
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        h.add16(logits.data()[i].bits());
+
+    // Recorded from the seed implementation (pre-LUT, pre-blocking).
+    // If this fails, the functional simulator's FP16 results are no
+    // longer bit-identical to the original datapath definition.
+    EXPECT_EQ(h.value(), 0x305df77b2121831eull)
+        << "golden hash now 0x" << std::hex << h.value();
+}
+
+} // namespace
+} // namespace cxlpnm

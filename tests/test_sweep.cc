@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Thread pool and deterministic-parallel-sweep tests: every index runs
+ * exactly once, and the rendered sweep output is byte-identical no
+ * matter how many worker threads execute the points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "llm/model_config.hh"
+#include "sim/logging.hh"
+#include "sim/thread_pool.hh"
+
+namespace cxlpnm
+{
+namespace
+{
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexOnce)
+{
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        constexpr std::size_t n = 500;
+        std::vector<std::atomic<int>> hits(n);
+        ThreadPool::parallelFor(n, threads, [&](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i
+                                         << " threads " << threads;
+    }
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitDrains)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.threadCount(), 3u);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 100);
+    // The pool is reusable after a wait().
+    pool.submit([&] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 101);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsDefaultsToHardware)
+{
+    ThreadPool pool;
+    EXPECT_GE(pool.threadCount(), 1u);
+}
+
+/** A fast grid: tiny model, short requests, single device + appliance. */
+std::vector<core::SweepPoint>
+tinyGrid()
+{
+    std::vector<core::SweepPoint> points;
+    core::PnmPlatformConfig cfg;
+    cfg.channelGrouping = 8;
+    for (std::uint64_t out : {2ull, 4ull, 8ull}) {
+        core::SweepPoint p;
+        p.model = llm::ModelConfig::tiny();
+        p.req.inputTokens = 8;
+        p.req.outputTokens = out;
+        p.cfg = cfg;
+        p.plan = core::ParallelismPlan{1, 1};
+        p.name = "tiny/out" + std::to_string(out);
+        points.push_back(std::move(p));
+    }
+    for (int mp : {2, 4}) {
+        core::SweepPoint p;
+        p.model = llm::ModelConfig::tiny();
+        p.req.inputTokens = 8;
+        p.req.outputTokens = 4;
+        p.cfg = cfg;
+        p.plan = core::ParallelismPlan{mp, 8 / mp};
+        p.name = "tiny/mp" + std::to_string(mp);
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+TEST(SweepTest, OutputByteIdenticalAcrossThreadCounts)
+{
+    setLogLevel(LogLevel::Silent);
+    const auto points = tinyGrid();
+    const std::string ref =
+        core::sweepResultsJson(core::runSweep(points, 1));
+    EXPECT_FALSE(ref.empty());
+    EXPECT_NE(ref.find("tiny/out2"), std::string::npos);
+    for (unsigned threads : {2u, 4u, 8u}) {
+        const std::string got =
+            core::sweepResultsJson(core::runSweep(points, threads));
+        EXPECT_EQ(got, ref) << "threads=" << threads;
+    }
+    // And re-running at the same thread count is stable too.
+    EXPECT_EQ(core::sweepResultsJson(core::runSweep(points, 4)), ref);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(SweepTest, ResultsStayInPointOrder)
+{
+    setLogLevel(LogLevel::Silent);
+    const auto points = tinyGrid();
+    const auto results = core::runSweep(points, 4);
+    ASSERT_EQ(results.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(results[i].name, points[i].name);
+        EXPECT_GT(results[i].requestLatencySeconds, 0.0);
+        EXPECT_GT(results[i].throughputTokensPerSec, 0.0);
+    }
+    setLogLevel(LogLevel::Info);
+}
+
+} // namespace
+} // namespace cxlpnm
