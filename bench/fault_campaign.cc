@@ -1,0 +1,544 @@
+/**
+ * @file
+ * Deterministic fault-injection campaign (§IX RAS, end to end).
+ *
+ * Two halves:
+ *
+ *  1. Device ladder - one PNM device per scenario, each scripted to
+ *     exercise exactly one recovery tier: watchdog doorbell retry,
+ *     watchdog device reset + program reload, poisoned-run doorbell
+ *     retry, an ECC corrected/scrubbed bit-flip stream, and CXL
+ *     link-layer CRC replay. Every scenario must complete its
+ *     generation despite the faults.
+ *
+ *  2. Serving campaign - a data-parallel appliance serving a Poisson
+ *     trace, clean vs. with per-group iteration faults, across several
+ *     seeds fanned over a thread pool. Reports availability and the
+ *     p99 token latency under faults vs. clean.
+ *
+ * The out= JSON is a pure function of the simulation (no wall clock,
+ * no host info), so any two runs - any thread count - produce
+ * byte-identical files; CI diffs threads=1 against threads=4.
+ *
+ *   fault_campaign [seed=42] [threads=0] [n=120] [seeds=4] [rate=0.02]
+ *                  [model=opt-13b] [dp=4] [qps=0 (auto)]
+ *                  [out=BENCH_faults.json] [check=0] [avail_min=0.90]
+ */
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/platform.hh"
+#include "serve/cost_model.hh"
+#include "serve/dispatcher.hh"
+#include "serve/request_generator.hh"
+#include "sim/config.hh"
+#include "sim/fault.hh"
+#include "sim/thread_pool.hh"
+
+using namespace cxlpnm;
+
+namespace
+{
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+// ---- half 1: the device recovery ladder ----
+
+struct DeviceScenario
+{
+    const char *name;
+    const char *tier; // recovery mechanism the scenario demonstrates
+    std::vector<fault::FaultSpec> specs;
+    bool uncapEscalation = false; // keep singles correctable forever
+};
+
+struct DeviceResult
+{
+    std::string name;
+    std::string tier;
+    bool completed = false;
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t watchdogTimeouts = 0;
+    std::uint64_t doorbellRetries = 0;
+    std::uint64_t deviceResets = 0;
+    std::uint64_t programReloads = 0;
+    std::uint64_t poisonedRuns = 0;
+    std::uint64_t eccCorrected = 0;
+    std::uint64_t eccPoisoned = 0;
+    std::uint64_t eccSilent = 0;
+    std::uint64_t eccScrubPasses = 0;
+    std::uint64_t linkCrcErrors = 0;
+    std::uint64_t linkReplays = 0;
+    std::uint64_t linkPoisoned = 0;
+};
+
+DeviceResult
+runDeviceScenario(const DeviceScenario &sc, std::uint64_t seed)
+{
+    EventQueue eq;
+    stats::StatGroup root(nullptr, "");
+    core::PnmPlatformConfig cfg;
+    cfg.functionalBytes = 24ull * MiB;
+    if (sc.uncapEscalation)
+        cfg.ecc.latentEscalationThreshold = ~0ull;
+    core::PnmDevice dev(eq, &root, "dev", cfg);
+
+    // Load first, then arm: scripted access indices count from the
+    // first post-load DMA, independent of the model-upload traffic.
+    dev.library().loadModel(llm::ModelConfig::tiny(), 42, nullptr);
+    eq.run();
+
+    fault::FaultInjector inj(seed);
+    for (const auto &s : sc.specs)
+        inj.arm(s);
+    dev.attachFaultInjector(&inj);
+
+    DeviceResult r;
+    r.name = sc.name;
+    r.tier = sc.tier;
+    dev.library().generate({1, 2, 3}, 4,
+                           [&](std::vector<std::uint32_t> toks) {
+                               r.completed = toks.size() == 4;
+                           });
+    eq.run();
+
+    const auto &drv = dev.driver();
+    r.faultsInjected = inj.totalFired();
+    r.watchdogTimeouts = drv.watchdogTimeouts();
+    r.doorbellRetries = drv.doorbellRetries();
+    r.deviceResets = drv.deviceResets();
+    r.programReloads = drv.programReloads();
+    r.poisonedRuns = drv.poisonedRuns();
+    if (const auto *ecc = dev.memory().eccEvents()) {
+        r.eccCorrected = ecc->corrected();
+        r.eccPoisoned = ecc->poisoned();
+        r.eccSilent = ecc->silentCorruptions();
+        r.eccScrubPasses = ecc->scrubPasses();
+    }
+    const auto &down = dev.link().channel(cxl::Direction::Downstream);
+    const auto &up = dev.link().channel(cxl::Direction::Upstream);
+    r.linkCrcErrors = down.crcErrors() + up.crcErrors();
+    r.linkReplays = down.replays() + up.replays();
+    r.linkPoisoned = down.poisonedTransfers() + up.poisonedTransfers();
+    return r;
+}
+
+std::vector<DeviceScenario>
+deviceLadder()
+{
+    using fault::FaultKind;
+    using fault::FaultSpec;
+    std::vector<DeviceScenario> ladder;
+    ladder.push_back({"clean", "none", {}, false});
+    ladder.push_back(
+        {"watchdog_retry",
+         "doorbell retry",
+         {FaultSpec::scriptedAccess("dev.driver.launch",
+                                    FaultKind::DeviceHang, 0)},
+         false});
+    ladder.push_back(
+        {"device_reset",
+         "device reset + program reload",
+         {FaultSpec::scriptedAccess("dev.driver.launch",
+                                    FaultKind::DeviceHang, 0),
+          FaultSpec::scriptedAccess("dev.driver.launch",
+                                    FaultKind::DeviceHang, 1),
+          FaultSpec::scriptedAccess("dev.driver.launch",
+                                    FaultKind::DeviceHang, 2)},
+         false});
+    ladder.push_back(
+        {"lost_completion",
+         "watchdog catches a dropped MSI-X",
+         {FaultSpec::scriptedAccess("dev.driver.launch",
+                                    FaultKind::DropCompletion, 0)},
+         false});
+    ladder.push_back(
+        {"poison_retry",
+         "poisoned run retried from the doorbell",
+         {FaultSpec::scriptedAccess("dev.mem.read",
+                                    FaultKind::DoubleBitFlip, 0)},
+         false});
+    ladder.push_back(
+        {"ecc_stream",
+         "on-die SEC corrects, ECS scrubs latent errors",
+         {FaultSpec::probabilistic("dev.mem.read", FaultKind::BitFlip,
+                                   0.3)},
+         true});
+    ladder.push_back(
+        {"link_replay",
+         "CXL flit CRC -> link-layer replay",
+         // Scripted: host traffic during a short generation is only a
+         // handful of flits, so probabilistic rates would mostly miss.
+         {FaultSpec::scriptedAccess("dev.link.down.crc",
+                                    FaultKind::LinkCrc, 0),
+          FaultSpec::scriptedAccess("dev.link.up.crc",
+                                    FaultKind::LinkCrc, 1)},
+         false});
+    return ladder;
+}
+
+// ---- half 2: the serving campaign ----
+
+struct ServeCell
+{
+    bool faulty = false;
+    std::uint64_t seed = 0;
+    serve::ServeReport report;
+    std::string faultLog;
+};
+
+ServeCell
+runServeCell(bool faulty, std::uint64_t seed, double fault_rate,
+             const llm::ModelConfig &model,
+             const serve::BatchCostModel &cost, std::uint64_t kv_bytes,
+             int dp, const serve::TraceConfig &trace_base)
+{
+    serve::MetricsConfig mcfg;
+    mcfg.tokenLatencyHi = 20.0;
+    mcfg.tokenLatencyBuckets = 4000;
+    serve::ServeMetrics metrics(nullptr, "serve", mcfg);
+
+    serve::SchedulerConfig scfg;
+    core::ParallelismPlan plan;
+    plan.modelParallel = 1;
+    plan.dataParallel = dp;
+    serve::ApplianceDispatcher app(model, cost, plan, kv_bytes, scfg,
+                                   metrics);
+
+    fault::FaultInjector inj(seed);
+    if (faulty) {
+        for (int g = 0; g < dp; ++g)
+            inj.arm(fault::FaultSpec::probabilistic(
+                "app.group" + std::to_string(g) + ".iteration",
+                fault::FaultKind::IterationFail, fault_rate));
+    }
+    app.attachFaultInjector(&inj, "app");
+
+    serve::TraceConfig trace = trace_base;
+    trace.seed = seed;
+    serve::RequestGenerator gen(trace);
+    while (!gen.exhausted())
+        app.submit(gen.next());
+    app.drain();
+
+    ServeCell cell;
+    cell.faulty = faulty;
+    cell.seed = seed;
+    cell.report = metrics.report(app.clockSeconds());
+    cell.faultLog = inj.logString();
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto cfg = Config::fromArgs({argv + 1, argv + argc});
+    const std::uint64_t seed = cfg.getInt("seed", 42);
+    const unsigned threads =
+        static_cast<unsigned>(cfg.getInt("threads", 0));
+    const std::size_t n_requests = cfg.getInt("n", 120);
+    const int n_seeds = cfg.getInt("seeds", 4);
+    const double rate = cfg.getDouble("rate", 0.01);
+    const int dp = cfg.getInt("dp", 4);
+    const std::string out = cfg.getString("out", "");
+    const bool check = cfg.getBool("check", false);
+    const double avail_min = cfg.getDouble("avail_min", 0.90);
+    const auto model =
+        llm::ModelConfig::byName(cfg.getString("model", "opt-13b"));
+
+    bench::header("Fault-injection campaign: " + model.name +
+                  ", seed " + std::to_string(seed));
+
+    // --- device recovery ladder (inline: each cell is milliseconds) ---
+    const auto ladder = deviceLadder();
+    std::vector<DeviceResult> device;
+    std::printf("\nDevice recovery ladder (tiny model, 4 tokens):\n");
+    std::printf("  %-16s %5s %5s %5s %5s %5s %6s %6s %6s %6s  %s\n",
+                "scenario", "inj", "wdto", "retry", "reset", "psn",
+                "eccC", "scrub", "crc", "rply", "done");
+    for (const auto &sc : ladder) {
+        device.push_back(runDeviceScenario(sc, seed));
+        const auto &r = device.back();
+        std::printf(
+            "  %-16s %5llu %5llu %5llu %5llu %5llu %6llu %6llu %6llu "
+            "%6llu  %s\n",
+            r.name.c_str(),
+            static_cast<unsigned long long>(r.faultsInjected),
+            static_cast<unsigned long long>(r.watchdogTimeouts),
+            static_cast<unsigned long long>(r.doorbellRetries),
+            static_cast<unsigned long long>(r.deviceResets),
+            static_cast<unsigned long long>(r.poisonedRuns),
+            static_cast<unsigned long long>(r.eccCorrected),
+            static_cast<unsigned long long>(r.eccScrubPasses),
+            static_cast<unsigned long long>(r.linkCrcErrors),
+            static_cast<unsigned long long>(r.linkReplays),
+            r.completed ? "yes" : "NO");
+    }
+
+    // --- serving campaign ---
+    core::PnmPlatformConfig pcfg;
+    pcfg.channelGrouping = 8;
+
+    serve::TraceConfig trace;
+    trace.arrivals = serve::ArrivalProcess::Poisson;
+    trace.numRequests = n_requests;
+    trace.input = serve::LengthDistribution::fixed(64);
+    trace.output = serve::LengthDistribution::fixed(64);
+    const std::uint64_t full_ctx =
+        trace.input.max() + trace.output.max();
+
+    const auto cost =
+        serve::calibratePnmCostModel(model, pcfg, full_ctx);
+    const auto kv_bytes = serve::pnmKvCapacityBytes(model, pcfg);
+
+    double qps = cfg.getDouble("qps", 0.0);
+    if (qps <= 0.0) {
+        const double serial_sec =
+            cost.prefillSeconds(trace.input.max()) +
+            trace.output.max() * cost.decodeSeconds(full_ctx);
+        qps = 0.6 * dp / serial_sec; // comfortably sustainable
+    }
+    trace.requestsPerSec = qps;
+
+    // Cells: clean + faulty for each seed, fanned over the pool. Each
+    // cell owns its queue-free scheduler stack and injector, so results
+    // are bit-deterministic regardless of worker count.
+    std::vector<ServeCell> cells(2 * n_seeds);
+    ThreadPool::parallelFor(
+        cells.size(), threads, [&](std::size_t i) {
+            const bool faulty = i % 2 != 0;
+            const std::uint64_t s = seed + i / 2;
+            cells[i] = runServeCell(faulty, s, rate, model, cost,
+                                    kv_bytes, dp, trace);
+        });
+
+    std::printf("\nServing campaign: %s, %d groups, %zu requests at "
+                "%.2f req/s, iteration fault rate %.3f:\n",
+                model.name.c_str(), dp, n_requests, qps, rate);
+    std::printf("  %-6s %5s %5s %5s %5s %5s %9s %9s %7s\n", "mode",
+                "seed", "done", "fail", "retry", "iterF", "p99(ms)",
+                "degr(s)", "avail");
+    double sum_avail = 0.0, min_avail = 1.0;
+    for (const auto &c : cells) {
+        const auto &r = c.report;
+        std::printf("  %-6s %5llu %5llu %5llu %5llu %5llu %9.2f %9.3f "
+                    "%7.4f\n",
+                    c.faulty ? "faulty" : "clean",
+                    static_cast<unsigned long long>(c.seed),
+                    static_cast<unsigned long long>(r.completed),
+                    static_cast<unsigned long long>(r.requestsFailed),
+                    static_cast<unsigned long long>(r.requestRetries),
+                    static_cast<unsigned long long>(r.iterationFailures),
+                    r.tokenLatencyP99 * 1e3, r.degradedSeconds,
+                    r.availability);
+        if (c.faulty) {
+            sum_avail += r.availability;
+            min_avail = std::min(min_avail, r.availability);
+        }
+    }
+    const double mean_avail = sum_avail / n_seeds;
+
+    // Seed-0 pair is the headline p99 comparison.
+    const auto &clean0 = cells[0].report;
+    const auto &faulty0 = cells[1].report;
+    std::printf("\n  p99 token latency: clean %.2f ms, under faults "
+                "%.2f ms (%.2fx); mean availability %.4f\n",
+                clean0.tokenLatencyP99 * 1e3,
+                faulty0.tokenLatencyP99 * 1e3,
+                faulty0.tokenLatencyP99 /
+                    std::max(clean0.tokenLatencyP99, 1e-12),
+                mean_avail);
+
+    // --- deterministic JSON artifact ---
+    std::string json;
+    appendf(json, "{\n  \"benchmark\": \"fault_campaign\",\n");
+    appendf(json, "  \"seed\": %llu,\n",
+            static_cast<unsigned long long>(seed));
+    appendf(json, "  \"device_scenarios\": [\n");
+    for (std::size_t i = 0; i < device.size(); ++i) {
+        const auto &r = device[i];
+        appendf(json,
+                "    {\"name\": \"%s\", \"tier\": \"%s\", "
+                "\"completed\": %s,\n"
+                "     \"faults_injected\": %llu, "
+                "\"watchdog_timeouts\": %llu, "
+                "\"doorbell_retries\": %llu,\n"
+                "     \"device_resets\": %llu, "
+                "\"program_reloads\": %llu, \"poisoned_runs\": %llu,\n"
+                "     \"ecc_corrected\": %llu, \"ecc_poisoned\": %llu, "
+                "\"ecc_silent\": %llu, \"ecc_scrub_passes\": %llu,\n"
+                "     \"link_crc_errors\": %llu, "
+                "\"link_replays\": %llu, \"link_poisoned\": %llu}%s\n",
+                r.name.c_str(), r.tier.c_str(),
+                r.completed ? "true" : "false",
+                static_cast<unsigned long long>(r.faultsInjected),
+                static_cast<unsigned long long>(r.watchdogTimeouts),
+                static_cast<unsigned long long>(r.doorbellRetries),
+                static_cast<unsigned long long>(r.deviceResets),
+                static_cast<unsigned long long>(r.programReloads),
+                static_cast<unsigned long long>(r.poisonedRuns),
+                static_cast<unsigned long long>(r.eccCorrected),
+                static_cast<unsigned long long>(r.eccPoisoned),
+                static_cast<unsigned long long>(r.eccSilent),
+                static_cast<unsigned long long>(r.eccScrubPasses),
+                static_cast<unsigned long long>(r.linkCrcErrors),
+                static_cast<unsigned long long>(r.linkReplays),
+                static_cast<unsigned long long>(r.linkPoisoned),
+                i + 1 < device.size() ? "," : "");
+    }
+    appendf(json, "  ],\n");
+    appendf(json, "  \"serve\": {\n");
+    appendf(json, "    \"model\": \"%s\",\n", model.name.c_str());
+    appendf(json, "    \"groups\": %d,\n", dp);
+    appendf(json, "    \"requests\": %zu,\n", n_requests);
+    appendf(json, "    \"offered_qps\": %.9g,\n", qps);
+    appendf(json, "    \"iteration_fault_rate\": %.9g,\n", rate);
+    appendf(json, "    \"cells\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &c = cells[i];
+        const auto &r = c.report;
+        appendf(json,
+                "      {\"mode\": \"%s\", \"seed\": %llu, "
+                "\"completed\": %llu, \"failed\": %llu,\n"
+                "       \"retries\": %llu, \"iteration_failures\": "
+                "%llu, \"fault_log_entries\": %llu,\n"
+                "       \"p99_token_seconds\": %.9g, "
+                "\"throughput_tokens_per_sec\": %.9g,\n"
+                "       \"degraded_seconds\": %.9g, "
+                "\"availability\": %.9g}%s\n",
+                c.faulty ? "faulty" : "clean",
+                static_cast<unsigned long long>(c.seed),
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.requestsFailed),
+                static_cast<unsigned long long>(r.requestRetries),
+                static_cast<unsigned long long>(r.iterationFailures),
+                static_cast<unsigned long long>(
+                    std::count(c.faultLog.begin(), c.faultLog.end(),
+                               '\n')),
+                r.tokenLatencyP99, r.throughputTokensPerSec,
+                r.degradedSeconds, r.availability,
+                i + 1 < cells.size() ? "," : "");
+    }
+    appendf(json, "    ],\n");
+    appendf(json, "    \"summary\": {\n");
+    appendf(json, "      \"clean_p99_token_seconds\": %.9g,\n",
+            clean0.tokenLatencyP99);
+    appendf(json, "      \"faulty_p99_token_seconds\": %.9g,\n",
+            faulty0.tokenLatencyP99);
+    appendf(json, "      \"mean_availability\": %.9g,\n", mean_avail);
+    appendf(json, "      \"min_availability\": %.9g\n", min_avail);
+    appendf(json, "    }\n  }\n}\n");
+
+    if (!out.empty()) {
+        if (!writeFile(out, json)) {
+            std::fprintf(stderr, "fault_campaign: cannot write %s\n",
+                         out.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "fault_campaign: wrote %s\n", out.c_str());
+    }
+
+    // --- check mode: the CI gate ---
+    if (check) {
+        int failures = 0;
+        auto expect = [&](bool ok, const char *what) {
+            if (!ok) {
+                ++failures;
+                std::fprintf(stderr, "CHECK FAILED: %s\n", what);
+            }
+        };
+        auto byName = [&](const char *name) -> const DeviceResult & {
+            for (const auto &r : device)
+                if (r.name == name)
+                    return r;
+            std::fprintf(stderr, "missing scenario %s\n", name);
+            std::exit(2);
+        };
+        const auto &clean = byName("clean");
+        expect(clean.completed && clean.faultsInjected == 0 &&
+                   clean.watchdogTimeouts == 0,
+               "clean scenario is quiet and completes");
+        const auto &retry = byName("watchdog_retry");
+        expect(retry.completed && retry.doorbellRetries == 1 &&
+                   retry.deviceResets == 0,
+               "hang recovered by one doorbell retry");
+        const auto &reset = byName("device_reset");
+        expect(reset.completed && reset.deviceResets == 1 &&
+                   reset.programReloads == 1,
+               "persistent hang recovered by device reset");
+        const auto &lost = byName("lost_completion");
+        expect(lost.completed && lost.watchdogTimeouts == 1,
+               "dropped completion caught by the watchdog");
+        const auto &psn = byName("poison_retry");
+        expect(psn.completed && psn.poisonedRuns == 1 &&
+                   psn.doorbellRetries == 1,
+               "poisoned run recovered by doorbell retry");
+        const auto &ecc = byName("ecc_stream");
+        expect(ecc.completed && ecc.eccCorrected > 0 &&
+                   ecc.eccScrubPasses > 0 && ecc.eccSilent == 0,
+               "bit-flip stream corrected and scrubbed, zero escapes");
+        const auto &link = byName("link_replay");
+        expect(link.completed && link.linkReplays > 0 &&
+                   link.linkPoisoned == 0,
+               "CRC errors replayed without poison");
+        for (const auto &r : device)
+            expect(r.eccSilent == 0,
+                   "no silent corruption anywhere in the ladder");
+
+        std::uint64_t iter_failures = 0;
+        for (const auto &c : cells) {
+            const auto &r = c.report;
+            expect(r.completed + r.requestsFailed + r.rejected ==
+                       n_requests,
+                   "every request accounted for (done/failed/rejected)");
+            if (c.faulty)
+                iter_failures += r.iterationFailures;
+            else
+                expect(r.availability == 1.0 && r.requestsFailed == 0,
+                       "clean serving cells are fully available");
+        }
+        expect(iter_failures > 0,
+               "the faulty cells actually saw iteration faults");
+        expect(min_avail >= avail_min,
+               "availability under faults meets the floor");
+        expect(faulty0.tokenLatencyP99 >= clean0.tokenLatencyP99,
+               "faults cannot make the tail faster");
+
+        if (failures != 0) {
+            std::fprintf(stderr, "fault_campaign: %d checks failed\n",
+                         failures);
+            return 1;
+        }
+        std::printf("\nAll campaign checks passed.\n");
+    }
+    return 0;
+}

@@ -9,11 +9,17 @@
  *   ./serving_demo [model=opt-13b] [platform=pnm|gpu] [qps=0.3]
  *                  [n=64] [in=64] [out=128] [batch=16] [mp=1] [dp=1]
  *                  [serial=0] [seed=1] [slo_ms=0] [stats=0]
+ *                  [faults=0] [fseed=42]
  *
  * `mp`/`dp` follow the paper's §VIII-A appliance plans (tensor split
  * across mp devices, dp independent replicas); `serial=1` turns
  * continuous batching off for an A/B against one-request-at-a-time
  * serving. `slo_ms` sets the per-token goodput deadline.
+ *
+ * `faults=<rate>` injects IterationFail faults at that per-iteration
+ * probability on every group (seeded by fseed, fully deterministic)
+ * and prints the RAS summary: iteration failures, request retries,
+ * abandoned requests, degraded time, and availability.
  */
 
 #include <cstdio>
@@ -25,6 +31,7 @@
 #include "serve/metrics.hh"
 #include "serve/request_generator.hh"
 #include "sim/config.hh"
+#include "sim/fault.hh"
 
 using namespace cxlpnm;
 
@@ -105,6 +112,22 @@ main(int argc, char **argv)
     serve::ServeMetrics metrics(nullptr, "serve", mcfg);
     serve::ApplianceDispatcher disp(model, cost, plan, group_kv, sched,
                                     metrics);
+
+    const double fault_rate = cfg.getDouble("faults", 0.0);
+    fault::FaultInjector inj(
+        static_cast<std::uint64_t>(cfg.getInt("fseed", 42)));
+    if (fault_rate > 0.0) {
+        for (int g = 0; g < plan.dataParallel; ++g)
+            inj.arm(fault::FaultSpec::probabilistic(
+                "appliance.group" + std::to_string(g) + ".iteration",
+                fault::FaultKind::IterationFail, fault_rate));
+        disp.attachFaultInjector(&inj, "appliance");
+        std::printf("fault injection: IterationFail at %.4f per "
+                    "iteration on every group (seed %llu)\n\n",
+                    fault_rate,
+                    static_cast<unsigned long long>(inj.seed()));
+    }
+
     serve::RequestGenerator gen(trace);
     while (!gen.exhausted())
         disp.submit(gen.next());
@@ -137,6 +160,23 @@ main(int argc, char **argv)
         std::printf("goodput           %10.2f tokens/s (%.0f%% of "
                     "requests met the SLO)\n",
                     r.goodputTokensPerSec, 100.0 * r.sloFraction);
+
+    if (fault_rate > 0.0) {
+        std::printf("\n--- RAS summary ---\n");
+        std::printf("faults injected   %10llu\n",
+                    static_cast<unsigned long long>(inj.totalFired()));
+        std::printf("iteration fails   %10llu\n",
+                    static_cast<unsigned long long>(
+                        r.iterationFailures));
+        std::printf("request retries   %10llu\n",
+                    static_cast<unsigned long long>(r.requestRetries));
+        std::printf("requests failed   %10llu (retry budget "
+                    "exhausted)\n",
+                    static_cast<unsigned long long>(r.requestsFailed));
+        std::printf("degraded time     %10.2f s across %zu groups\n",
+                    r.degradedSeconds, disp.groupCount());
+        std::printf("availability      %10.4f\n", r.availability);
+    }
 
     if (cfg.getBool("stats", false)) {
         std::printf("\n--- stat dump ---\n");

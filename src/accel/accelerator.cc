@@ -45,6 +45,8 @@ Accelerator::run(const isa::Program &prog,
     nextExec_ = 0;
     dmaDone_.assign(prog.size(), false);
     computeInFlight_ = false;
+    runPoisoned_ = false;
+    ++runGen_;
     runs_ += 1;
 
     if (prog.empty()) {
@@ -55,6 +57,20 @@ Accelerator::run(const isa::Program &prog,
     }
     issueDma();
     tryStartCompute();
+}
+
+void
+Accelerator::abort()
+{
+    if (!running_)
+        return;
+    if (computeEndEvent_.scheduled())
+        eventQueue().deschedule(computeEndEvent_);
+    computeInFlight_ = false;
+    running_ = false;
+    prog_ = nullptr;
+    onComplete_ = nullptr;
+    ++runGen_; // orphan any in-flight DMA completions
 }
 
 void
@@ -75,7 +91,12 @@ Accelerator::issueDma()
         req.addr = inst.memAddr;
         req.bytes = bytes;
         req.isRead = timing::dmaIsRead(inst);
-        req.onComplete = [this, i] {
+        req.poison = &runPoisoned_;
+        req.onComplete = [this, i, gen = runGen_] {
+            // A completion from a run that was since aborted (device
+            // reset) must not touch the new run's bookkeeping.
+            if (gen != runGen_)
+                return;
             dmaDone_[i] = true;
             // A finished stream frees a staging buffer: let the DMA
             // engine pull the next descriptor immediately so the module

@@ -51,6 +51,20 @@ class Accelerator : public SimObject
     void run(const isa::Program &prog,
              std::function<void()> on_complete);
 
+    /**
+     * Abort the running program without completing it (device reset
+     * path). Outstanding DMA completions are ignored; the completion
+     * callback is dropped. No-op when idle.
+     */
+    void abort();
+
+    /**
+     * True when the last (or current) run observed an ECC poison on
+     * one of its DMA reads - the device-side signal behind the
+     * STATUS error bit.
+     */
+    bool runPoisoned() const { return runPoisoned_; }
+
     bool busy() const { return running_; }
     const AccelConfig &config() const { return cfg_; }
     RegisterFileManager &registerFile() { return rf_; }
@@ -99,6 +113,9 @@ class Accelerator : public SimObject
     std::size_t nextExec_ = 0;
     std::vector<bool> dmaDone_;
     bool computeInFlight_ = false;
+    bool runPoisoned_ = false;
+    /** Bumped per run/abort so stale DMA completions are ignored. */
+    std::uint64_t runGen_ = 0;
     Event computeEndEvent_;
 
     stats::Scalar instructions_;

@@ -41,6 +41,14 @@ PnmDevice::PnmDevice(EventQueue &eq, stats::StatGroup *parent,
         eq, this, "library", *driver_, *accel_, managed);
 }
 
+void
+PnmDevice::attachFaultInjector(fault::FaultInjector *inj)
+{
+    mem_->attachFaultInjector(inj, cfg_.ecc);
+    link_->attachFaultInjector(inj);
+    driver_->attachFaultInjector(inj);
+}
+
 PnmDevice::Activity
 PnmDevice::activity() const
 {

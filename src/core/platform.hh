@@ -51,6 +51,9 @@ struct PnmPlatformConfig
 
     /** Table III: CXL-PNM device price. */
     double priceUsd = 7000.0;
+
+    /** ECC stack (§IX) used when a fault injector is attached. */
+    dram::EccConfig ecc;
 };
 
 /** Energy parameters of the CXL-PNM controller (7 nm, Table II). */
@@ -86,6 +89,15 @@ class PnmDevice : public SimObject
     accel::FunctionalMemory *functionalMemory() { return fmem_.get(); }
 
     const PnmPlatformConfig &config() const { return cfg_; }
+
+    /**
+     * Attach fault injection across the whole device: DRAM read bit
+     * flips behind the §IX ECC stack, CXL flit CRC errors with
+     * link-layer replay, and doorbell launch faults guarded by the
+     * driver watchdog. Sites are "<name>.mem.read",
+     * "<name>.link.{down,up}.crc" and "<name>.driver.launch".
+     */
+    void attachFaultInjector(fault::FaultInjector *inj);
 
     /** Activity snapshot for energy accounting. */
     struct Activity

@@ -17,7 +17,10 @@ LinkChannel::LinkChannel(EventQueue &eq, stats::StatGroup *parent,
       latency_(latency),
       dispatchEvent_(this->name() + ".dispatch", [this] { dispatch(); }),
       bytes_(this, "bytes", "bytes moved through this direction"),
-      transfers_(this, "transfers", "transfers served")
+      transfers_(this, "transfers", "transfers served"),
+      crcErrors_(this, "crcErrors", "flit CRC errors detected"),
+      replays_(this, "replays", "link-layer flit replays"),
+      poisoned_(this, "poisoned", "transfers poisoned after replay")
 {
     fatal_if(bytes_per_sec <= 0.0, "link bandwidth must be positive");
 }
@@ -25,6 +28,13 @@ LinkChannel::LinkChannel(EventQueue &eq, stats::StatGroup *parent,
 void
 LinkChannel::transfer(std::uint64_t bytes,
                       std::function<void()> on_complete)
+{
+    transfer(bytes, std::move(on_complete), nullptr);
+}
+
+void
+LinkChannel::transfer(std::uint64_t bytes,
+                      std::function<void()> on_complete, bool *poison)
 {
     panic_if(bytes == 0, "zero-byte link transfer");
 
@@ -35,6 +45,26 @@ LinkChannel::transfer(std::uint64_t bytes,
 
     bytes_ += static_cast<double>(bytes);
     transfers_ += 1;
+
+    // Link-layer retry: a corrupt flit is detected by CRC at the
+    // receiver and replayed from the transmitter's retry buffer, each
+    // attempt costing replayPenalty_ of extra pipe time. When the
+    // replay budget runs out the flit is delivered poisoned.
+    if (faultSite_ != nullptr) {
+        int attempts = 0;
+        while (faultSite_->poll(now()) == fault::FaultKind::LinkCrc) {
+            crcErrors_ += 1;
+            if (attempts >= maxReplays_) {
+                poisoned_ += 1;
+                if (poison != nullptr)
+                    *poison = true;
+                break;
+            }
+            ++attempts;
+            replays_ += 1;
+            busyUntil_ += replayPenalty_;
+        }
+    }
 
     if (on_complete) {
         pending_.emplace(busyUntil_ + latency_, std::move(on_complete));
@@ -61,6 +91,22 @@ CxlLink::CxlLink(EventQueue &eq, stats::StatGroup *parent, std::string name,
       down_(eq, this, "down", params.usableBytesPerSec(), portLatency()),
       up_(eq, this, "up", params.usableBytesPerSec(), portLatency())
 {}
+
+void
+CxlLink::attachFaultInjector(fault::FaultInjector *inj)
+{
+    const Tick penalty =
+        static_cast<Tick>(params_.crcReplayLatencyNs * tickPerNs);
+    if (inj == nullptr) {
+        down_.attachFaults(nullptr, 0, 0);
+        up_.attachFaults(nullptr, 0, 0);
+        return;
+    }
+    down_.attachFaults(inj->site(down_.fullName() + ".crc"), penalty,
+                       params_.maxCrcReplays);
+    up_.attachFaults(inj->site(up_.fullName() + ".crc"), penalty,
+                     params_.maxCrcReplays);
+}
 
 } // namespace cxl
 } // namespace cxlpnm

@@ -16,6 +16,7 @@
 #include <map>
 #include <string>
 
+#include "sim/fault.hh"
 #include "sim/sim_object.hh"
 
 namespace cxlpnm
@@ -40,6 +41,15 @@ struct CxlLinkParams
     /** One-way port-to-port latency (PHY+link+transaction layers), ns. */
     double portLatencyNs = 25.0;
 
+    /**
+     * Link-layer retry (flit replay) penalty per attempt: the CRC
+     * failure is detected at the receiver, a retry request crosses
+     * back, and the transmitter replays from its retry buffer.
+     */
+    double crcReplayLatencyNs = 100.0;
+    /** Replay attempts before the flit is poisoned upstream. */
+    int maxCrcReplays = 3;
+
     double
     peakBytesPerSec() const
     {
@@ -63,6 +73,41 @@ class LinkChannel : public SimObject
     /** Move @p bytes; callback fires when the tail arrives. */
     void transfer(std::uint64_t bytes, std::function<void()> on_complete);
 
+    /**
+     * As above, with a poison sink: when an injected flit CRC error
+     * exhausts the link-layer replay budget, @p poison is set to true
+     * before the completion fires (CXL poison propagation upstream).
+     * Successful replays only cost latency.
+     */
+    void transfer(std::uint64_t bytes, std::function<void()> on_complete,
+                  bool *poison);
+
+    /**
+     * Attach fault injection: @p site is polled once per transfer plus
+     * once per replay attempt; kind LinkCrc marks the flit corrupt.
+     */
+    void
+    attachFaults(fault::FaultSite *site, Tick replay_penalty,
+                 int max_replays)
+    {
+        faultSite_ = site;
+        replayPenalty_ = replay_penalty;
+        maxReplays_ = max_replays;
+    }
+
+    std::uint64_t crcErrors() const
+    {
+        return static_cast<std::uint64_t>(crcErrors_.value());
+    }
+    std::uint64_t replays() const
+    {
+        return static_cast<std::uint64_t>(replays_.value());
+    }
+    std::uint64_t poisonedTransfers() const
+    {
+        return static_cast<std::uint64_t>(poisoned_.value());
+    }
+
     double bandwidth() const { return bytesPerSec_; }
     Tick latency() const { return latency_; }
     std::uint64_t bytesMoved() const
@@ -81,8 +126,16 @@ class LinkChannel : public SimObject
     std::multimap<Tick, std::function<void()>> pending_;
     Event dispatchEvent_;
 
+    /** Fault injection (null = fault-free, the default). */
+    fault::FaultSite *faultSite_ = nullptr;
+    Tick replayPenalty_ = 0;
+    int maxReplays_ = 0;
+
     stats::Scalar bytes_;
     stats::Scalar transfers_;
+    stats::Scalar crcErrors_;
+    stats::Scalar replays_;
+    stats::Scalar poisoned_;
 };
 
 /** A full-duplex CXL link between the host and one device. */
@@ -96,6 +149,12 @@ class CxlLink : public SimObject
     {
         return d == Direction::Downstream ? down_ : up_;
     }
+
+    /**
+     * Attach fault injection to both directions; sites are
+     * "<link>.down.crc" and "<link>.up.crc". Null detaches.
+     */
+    void attachFaultInjector(fault::FaultInjector *inj);
 
     const CxlLinkParams &params() const { return params_; }
 

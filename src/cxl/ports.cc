@@ -22,24 +22,30 @@ CxlMemPort::CxlMemPort(EventQueue &eq, stats::StatGroup *parent,
 
 void
 CxlMemPort::hostRead(Addr addr, std::uint64_t bytes,
-                     std::function<void()> on_complete)
+                     std::function<void()> on_complete, bool *poison)
 {
     reads_ += 1;
     const Tick issued = now();
 
-    // Request flit downstream -> arbiter+DRAM -> data upstream.
+    // Request flit downstream -> arbiter+DRAM -> data upstream. The
+    // poison sink is threaded through both the DRAM ECC stack and the
+    // upstream data transfer.
     link_.channel(Direction::Downstream).transfer(flitBytes, [=, this] {
         dram::MemoryRequest req;
         req.addr = addr;
         req.bytes = bytes;
         req.isRead = true;
+        req.poison = poison;
         req.onComplete = [=, this] {
-            link_.channel(Direction::Upstream).transfer(bytes, [=, this] {
-                latency_.sample(
-                    static_cast<double>(now() - issued) / tickPerNs);
-                if (on_complete)
-                    on_complete();
-            });
+            link_.channel(Direction::Upstream).transfer(
+                bytes,
+                [=, this] {
+                    latency_.sample(
+                        static_cast<double>(now() - issued) / tickPerNs);
+                    if (on_complete)
+                        on_complete();
+                },
+                poison);
         };
         arbiter_.access(Requester::Host, std::move(req));
     });
@@ -47,28 +53,32 @@ CxlMemPort::hostRead(Addr addr, std::uint64_t bytes,
 
 void
 CxlMemPort::hostWrite(Addr addr, std::uint64_t bytes,
-                      std::function<void()> on_complete)
+                      std::function<void()> on_complete, bool *poison)
 {
     writes_ += 1;
     const Tick issued = now();
 
     // Data flows downstream; a header-sized ack returns upstream.
-    link_.channel(Direction::Downstream).transfer(bytes, [=, this] {
-        dram::MemoryRequest req;
-        req.addr = addr;
-        req.bytes = bytes;
-        req.isRead = false;
-        req.onComplete = [=, this] {
-            link_.channel(Direction::Upstream).transfer(flitBytes,
-                                                        [=, this] {
-                latency_.sample(
-                    static_cast<double>(now() - issued) / tickPerNs);
-                if (on_complete)
-                    on_complete();
-            });
-        };
-        arbiter_.access(Requester::Host, std::move(req));
-    });
+    link_.channel(Direction::Downstream).transfer(
+        bytes,
+        [=, this] {
+            dram::MemoryRequest req;
+            req.addr = addr;
+            req.bytes = bytes;
+            req.isRead = false;
+            req.poison = poison;
+            req.onComplete = [=, this] {
+                link_.channel(Direction::Upstream).transfer(flitBytes,
+                                                            [=, this] {
+                    latency_.sample(
+                        static_cast<double>(now() - issued) / tickPerNs);
+                    if (on_complete)
+                        on_complete();
+                });
+            };
+            arbiter_.access(Requester::Host, std::move(req));
+        },
+        poison);
 }
 
 CxlIoPort::CxlIoPort(EventQueue &eq, stats::StatGroup *parent,

@@ -36,13 +36,20 @@ class CxlMemPort : public SimObject
     CxlMemPort(EventQueue &eq, stats::StatGroup *parent, std::string name,
                CxlLink &link, HostPnmArbiter &arbiter);
 
-    /** Host read: callback fires when data has arrived at the host. */
+    /**
+     * Host read: callback fires when data has arrived at the host.
+     * @p poison (optional) is set before the callback when the data
+     * carries an uncorrectable-error poison from the DRAM ECC stack or
+     * from the upstream link after replay exhaustion.
+     */
     void hostRead(Addr addr, std::uint64_t bytes,
-                  std::function<void()> on_complete);
+                  std::function<void()> on_complete,
+                  bool *poison = nullptr);
 
     /** Host write: callback fires when the device acknowledges. */
     void hostWrite(Addr addr, std::uint64_t bytes,
-                   std::function<void()> on_complete);
+                   std::function<void()> on_complete,
+                   bool *poison = nullptr);
 
     /** Mean end-to-end host access latency observed so far, ns. */
     double meanLatencyNs() const { return latency_.mean(); }

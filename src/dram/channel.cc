@@ -34,6 +34,19 @@ MemoryChannel::access(ChannelRequest req)
 {
     panic_if(req.bytes == 0, "zero-byte channel access");
 
+    // Injected array errors surface on reads; the ECC stack decides
+    // whether the requester ever notices.
+    if (faultSite_ != nullptr && eccEvents_ != nullptr && req.isRead) {
+        const fault::FaultKind k = faultSite_->poll(now());
+        if (k == fault::FaultKind::BitFlip ||
+            k == fault::FaultKind::DoubleBitFlip) {
+            const EccOutcome o = eccEvents_->onReadFault(
+                k == fault::FaultKind::DoubleBitFlip);
+            if (o == EccOutcome::Poisoned && req.poison != nullptr)
+                *req.poison = true;
+        }
+    }
+
     // Claim the next free bus slot; bursts pipeline back to back.
     const double sec = static_cast<double>(req.bytes) /
         sustainedBandwidth();

@@ -21,6 +21,8 @@
 #include <string>
 
 #include "dram/dram_spec.hh"
+#include "dram/ecc.hh"
+#include "sim/fault.hh"
 #include "sim/sim_object.hh"
 
 namespace cxlpnm
@@ -35,6 +37,12 @@ struct ChannelRequest
     bool isRead = true;
     /** Invoked at completion time. */
     std::function<void()> onComplete;
+    /**
+     * Optional poison sink: set to true before onComplete fires when
+     * the ECC stack detected an uncorrectable error in this burst.
+     * Null when the requester does not track poison.
+     */
+    bool *poison = nullptr;
 };
 
 /** One DRAM channel (e.g. a 16-bit LPDDR5X channel at 17 GB/s peak). */
@@ -51,6 +59,21 @@ class MemoryChannel : public SimObject
 
     /** Enqueue a burst; the callback fires when the data has arrived. */
     void access(ChannelRequest req);
+
+    /**
+     * Attach fault injection to this channel: @p site is polled once
+     * per read burst and raw errors are classified by @p ecc (shared
+     * with sibling channels of the same module). Either may be null to
+     * leave the channel fault-free. Used by standalone channels; a
+     * MultiChannelMemory injects at module level instead so fault
+     * rates do not scale with channel grouping.
+     */
+    void
+    attachFaults(fault::FaultSite *site, EccEventState *ecc)
+    {
+        faultSite_ = site;
+        eccEvents_ = ecc;
+    }
 
     /** Peak data rate, bytes/s. */
     double peakBandwidth() const { return peakBw_; }
@@ -82,6 +105,10 @@ class MemoryChannel : public SimObject
     double peakBw_;
     double efficiency_;
     Tick accessLatency_;
+
+    /** Fault injection (null = fault-free, the default). */
+    fault::FaultSite *faultSite_ = nullptr;
+    EccEventState *eccEvents_ = nullptr;
 
     /** Completion callbacks keyed by delivery tick. */
     std::multimap<Tick, std::function<void()>> pending_;

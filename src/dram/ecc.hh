@@ -56,6 +56,129 @@ struct EccConfig
     double rawBitErrorRate = 1e-15;
     /** Raw transfer error rate of the interface per bit. */
     double rawLinkErrorRate = 1e-12;
+
+    // --- event-level (fault-injection) parameters ---
+
+    /**
+     * ECS pass latency for the event-level model. Real ECS visits every
+     * row in ~24 h; the simulated interval is compressed so campaigns
+     * of simulated seconds still exercise scrubbing. Only consulted
+     * when a FaultInjector is attached.
+     */
+    double scrubIntervalUs = 500.0;
+
+    /**
+     * Latent (corrected-but-unscrubbed) errors tolerated before a new
+     * single-bit upset is assumed to align with an old one and become
+     * an uncorrectable double-bit error. This is what makes disabling
+     * ECS observable in an injection campaign.
+     */
+    std::uint64_t latentEscalationThreshold = 4;
+};
+
+/** Outcome of one read access under the event-level ECC stack. */
+enum class EccOutcome
+{
+    Clean,           // no raw error this access
+    CorrectedOnDie,  // single-bit, fixed by the on-die SEC
+    CorrectedInline, // single-bit, fixed by inline SEC-DED
+    Poisoned,        // double-bit, detected -> poison to the requester
+    SilentCorruption,// escaped every enabled mechanism
+};
+
+inline const char *
+eccOutcomeName(EccOutcome o)
+{
+    switch (o) {
+      case EccOutcome::Clean: return "clean";
+      case EccOutcome::CorrectedOnDie: return "corrected_on_die";
+      case EccOutcome::CorrectedInline: return "corrected_inline";
+      case EccOutcome::Poisoned: return "poisoned";
+      case EccOutcome::SilentCorruption: return "silent_corruption";
+    }
+    return "<bad>";
+}
+
+/**
+ * Event-level ECC state machine for one module. Classifies injected
+ * raw errors (from sim/fault) into corrected / poisoned / silent
+ * outcomes and tracks the latent-error population that ECS scrubbing
+ * exists to bound. Purely deterministic: no randomness of its own.
+ */
+class EccEventState
+{
+  public:
+    explicit EccEventState(const EccConfig &cfg) : cfg_(cfg) {}
+
+    const EccConfig &config() const { return cfg_; }
+
+    /** Classify an injected raw array error on a read access. */
+    EccOutcome
+    onReadFault(bool double_bit)
+    {
+        // A single-bit upset aligned with an unscrubbed latent error
+        // behaves like a double-bit error in that codeword.
+        if (!double_bit && latent_ >= cfg_.latentEscalationThreshold) {
+            double_bit = true;
+            ++escalations_;
+        }
+        if (!double_bit) {
+            ++latent_; // corrected in the read path, still in the array
+            if (cfg_.onDieEcc) {
+                ++correctedOnDie_;
+                return EccOutcome::CorrectedOnDie;
+            }
+            if (cfg_.inlineEcc) {
+                ++correctedInline_;
+                return EccOutcome::CorrectedInline;
+            }
+            ++silent_;
+            return EccOutcome::SilentCorruption;
+        }
+        // Double-bit: SEC cannot correct; inline SEC-DED detects and
+        // poisons the response so the requester can recover.
+        latent_ = 0; // the offending codeword is retired/repaired
+        if (cfg_.inlineEcc) {
+            ++poisoned_;
+            return EccOutcome::Poisoned;
+        }
+        ++silent_;
+        return EccOutcome::SilentCorruption;
+    }
+
+    /** One ECS pass: every latent error is corrected in place. */
+    void
+    scrub()
+    {
+        ++scrubPasses_;
+        scrubbed_ += latent_;
+        latent_ = 0;
+    }
+
+    bool scrubbing() const { return cfg_.scrubbing; }
+    std::uint64_t latentErrors() const { return latent_; }
+    std::uint64_t correctedOnDie() const { return correctedOnDie_; }
+    std::uint64_t correctedInline() const { return correctedInline_; }
+    std::uint64_t corrected() const
+    {
+        return correctedOnDie_ + correctedInline_;
+    }
+    std::uint64_t poisoned() const { return poisoned_; }
+    std::uint64_t silentCorruptions() const { return silent_; }
+    std::uint64_t scrubbedErrors() const { return scrubbed_; }
+    std::uint64_t scrubPasses() const { return scrubPasses_; }
+    std::uint64_t escalations() const { return escalations_; }
+
+  private:
+    EccConfig cfg_;
+    std::uint64_t latent_ = 0;
+    std::uint64_t correctedOnDie_ = 0;
+    std::uint64_t correctedInline_ = 0;
+    std::uint64_t poisoned_ = 0;
+    std::uint64_t silent_ = 0;
+    std::uint64_t scrubbed_ = 0;
+    std::uint64_t scrubPasses_ = 0;
+    std::uint64_t escalations_ = 0;
 };
 
 /** Derived RAS figures for one module. */

@@ -20,6 +20,7 @@ MultiChannelMemory::MultiChannelMemory(EventQueue &eq,
       spec_(spec),
       granule_(granule * std::max(1, channel_grouping)),
       capacity_(static_cast<std::uint64_t>(spec.capacityPerModule())),
+      scrubEvent_(this->name() + ".scrub", [this] { scrubPass(); }),
       requests_(this, "requests", "module-level requests"),
       requestBytes_(this, "requestBytes", "bytes per module request")
 {
@@ -45,6 +46,29 @@ MultiChannelMemory::MultiChannelMemory(EventQueue &eq,
         channels_.push_back(std::make_unique<MemoryChannel>(
             eq, this, "ch" + std::to_string(i), spec_, chan_bw));
     }
+}
+
+void
+MultiChannelMemory::attachFaultInjector(fault::FaultInjector *inj,
+                                        const EccConfig &ecc)
+{
+    if (inj == nullptr) {
+        faultSite_ = nullptr;
+        eccEvents_.reset();
+        return;
+    }
+    faultSite_ = inj->site(fullName() + ".read");
+    eccEvents_ = std::make_unique<EccEventState>(ecc);
+    scrubInterval_ =
+        static_cast<Tick>(ecc.scrubIntervalUs * tickPerUs);
+}
+
+void
+MultiChannelMemory::scrubPass()
+{
+    eccEvents_->scrub();
+    // ECS stays quiet until new latent errors appear; scheduling
+    // lazily keeps the event queue drainable at end of simulation.
 }
 
 double
@@ -78,6 +102,25 @@ MultiChannelMemory::access(MemoryRequest req)
 
     requests_ += 1;
     requestBytes_.sample(static_cast<double>(req.bytes));
+
+    // Fault injection happens once per module-level read, before the
+    // stripes are formed: the ECC outcome is a property of the request,
+    // not of how many channels served it.
+    if (faultSite_ != nullptr && req.isRead) {
+        const fault::FaultKind k = faultSite_->poll(now());
+        if (k == fault::FaultKind::BitFlip ||
+            k == fault::FaultKind::DoubleBitFlip) {
+            const EccOutcome o = eccEvents_->onReadFault(
+                k == fault::FaultKind::DoubleBitFlip);
+            if (o == EccOutcome::Poisoned && req.poison != nullptr)
+                *req.poison = true;
+            // Corrected errors leave latent state for ECS to clean up.
+            if (eccEvents_->scrubbing() &&
+                eccEvents_->latentErrors() > 0 &&
+                !scrubEvent_.scheduled())
+                scheduleIn(scrubEvent_, scrubInterval_);
+        }
+    }
 
     // Stripe the request across channels at granule_ granularity,
     // starting from the channel the base address maps to. Each channel

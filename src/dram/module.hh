@@ -21,6 +21,8 @@
 
 #include "dram/channel.hh"
 #include "dram/dram_spec.hh"
+#include "dram/ecc.hh"
+#include "sim/fault.hh"
 #include "sim/sim_object.hh"
 
 namespace cxlpnm
@@ -35,6 +37,11 @@ struct MemoryRequest
     std::uint64_t bytes = 0;
     bool isRead = true;
     std::function<void()> onComplete;
+    /**
+     * Optional poison sink: set to true before onComplete fires when
+     * the ECC stack detected an uncorrectable error in this request.
+     */
+    bool *poison = nullptr;
 };
 
 /** All DRAM on one CXL memory module, behind local interleaving. */
@@ -56,6 +63,21 @@ class MultiChannelMemory : public SimObject
     /** Issue a request; callback fires when every stripe has completed. */
     void access(MemoryRequest req);
 
+    /**
+     * Attach fault injection: the site "<name>.read" is polled once
+     * per module-level read (so fault rates are independent of channel
+     * grouping) and classified through an event-level ECC stack built
+     * from @p ecc. ECS scrub passes are scheduled lazily whenever
+     * corrected errors leave latent state behind. With no injector
+     * attached (the default) the module is bit-identical to the
+     * fault-free model.
+     */
+    void attachFaultInjector(fault::FaultInjector *inj,
+                             const EccConfig &ecc = {});
+
+    /** Event-level RAS counters; null before attachFaultInjector. */
+    const EccEventState *eccEvents() const { return eccEvents_.get(); }
+
     const DramTechSpec &spec() const { return spec_; }
     std::size_t channelCount() const { return channels_.size(); }
     std::uint64_t capacityBytes() const { return capacity_; }
@@ -74,12 +96,20 @@ class MultiChannelMemory : public SimObject
     }
 
   private:
+    void scrubPass();
+
     DramTechSpec spec_;
     std::uint64_t granule_;
     std::uint64_t capacity_;
     std::vector<std::unique_ptr<MemoryChannel>> channels_;
     /** Per-access stripe shares, reused to avoid per-request allocation. */
     std::vector<std::uint64_t> shareScratch_;
+
+    /** Fault injection (null = fault-free, the default). */
+    fault::FaultSite *faultSite_ = nullptr;
+    std::unique_ptr<EccEventState> eccEvents_;
+    Tick scrubInterval_ = 0;
+    Event scrubEvent_;
 
     stats::Scalar requests_;
     stats::Average requestBytes_;

@@ -1,5 +1,6 @@
 #include "runtime/driver.hh"
 
+#include <cmath>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -16,9 +17,17 @@ PnmDriver::PnmDriver(EventQueue &eq, stats::StatGroup *parent,
       io_(io),
       mem_(mem),
       accel_(accel),
+      watchdogEvent_(this->name() + ".watchdog",
+                     [this] { watchdogFired(); }),
       launches_(this, "launches", "programs launched via doorbell"),
       interrupts_(this, "interrupts", "MSI-X completions taken"),
-      polls_(this, "polls", "status-register polls issued")
+      polls_(this, "polls", "status-register polls issued"),
+      timeouts_(this, "watchdogTimeouts", "execute() watchdog expiries"),
+      retries_(this, "doorbellRetries", "doorbell retries after faults"),
+      resets_(this, "deviceResets", "full device resets performed"),
+      reloads_(this, "programReloads", "programs reloaded after reset"),
+      poisonedRuns_(this, "poisonedRuns",
+                    "runs completing with the STATUS poison bit")
 {
     io_.setHandlers(
         [this](Addr a) { return deviceRegRead(a); },
@@ -29,6 +38,22 @@ PnmDriver::PnmDriver(EventQueue &eq, stats::StatGroup *parent,
                      "bulk write outside the instruction buffer");
             instrBuffer_ = bytes;
         });
+}
+
+void
+PnmDriver::setWatchdog(const WatchdogConfig &wd)
+{
+    wd_ = wd;
+    watchdogEnabled_ = true;
+}
+
+void
+PnmDriver::attachFaultInjector(fault::FaultInjector *inj)
+{
+    launchSite_ =
+        inj != nullptr ? inj->site(fullName() + ".launch") : nullptr;
+    if (inj != nullptr)
+        watchdogEnabled_ = true;
 }
 
 std::uint64_t
@@ -74,8 +99,11 @@ void
 PnmDriver::loadProgram(const isa::Program &prog,
                        std::function<void()> on_complete)
 {
-    io_.writeBulk(reg::InstrBuffer, prog.encode(),
-                  std::move(on_complete));
+    // Retain the image host-side: a device reset wipes the instruction
+    // buffer and the recovery path reloads from this copy.
+    hostProgram_ = prog.encode();
+    programLoaded_ = true;
+    io_.writeBulk(reg::InstrBuffer, hostProgram_, std::move(on_complete));
 }
 
 void
@@ -91,9 +119,32 @@ PnmDriver::setParam(int index, std::uint32_t value,
 void
 PnmDriver::execute(std::function<void()> on_complete)
 {
+    if (!programLoaded_) {
+        throw DeviceError(DeviceError::Code::NoProgram,
+                          name() + ": execute() before loadProgram()");
+    }
     panic_if(userCompletion_ != nullptr, "execute() while one is pending");
     userCompletion_ = std::move(on_complete);
+    attempt_ = 0;
+    resetsDone_ = 0;
+    ringDoorbell();
+}
+
+void
+PnmDriver::ringDoorbell()
+{
     io_.writeRegister(reg::Doorbell, 1, nullptr);
+    if (watchdogEnabled_)
+        armWatchdog();
+}
+
+void
+PnmDriver::armWatchdog()
+{
+    const double us =
+        wd_.timeoutUs * std::pow(wd_.backoffFactor, attempt_);
+    const Tick delay = static_cast<Tick>(us * tickPerUs);
+    eventQueue().reschedule(watchdogEvent_, now() + delay);
 }
 
 void
@@ -101,23 +152,33 @@ PnmDriver::launch()
 {
     // Device side: decode the instruction buffer, clear STATUS, run.
     panic_if(instrBuffer_.empty(), "doorbell with empty instruction buffer");
+
+    const fault::FaultKind fk = fault::poll(launchSite_, now());
+    if (fk == fault::FaultKind::DeviceHang) {
+        // Doorbell lost inside the control unit: nothing starts and no
+        // completion will ever arrive. Only the watchdog recovers this.
+        return;
+    }
+    const bool dropCompletion = fk == fault::FaultKind::DropCompletion;
+
     current_ = isa::Program::decode(instrBuffer_);
     statusReg_ = 0;
     launches_ += 1;
 
-    accel_.run(current_, [this] {
-        statusReg_ = 1; // done bit
-        if (mode_ == Completion::Interrupt) {
+    accel_.run(current_, [this, dropCompletion] {
+        // bit0: done; bit1: a DMA read returned poisoned data.
+        const bool poisoned = accel_.runPoisoned();
+        statusReg_ = poisoned ? 0x3 : 0x1;
+        if (poisoned)
+            poisonedRuns_ += 1;
+        if (mode_ == Completion::Interrupt && !dropCompletion) {
             io_.raiseInterrupt([this] {
-                // ISR body: acknowledge and hand off to the library.
                 interrupts_ += 1;
-                auto cb = std::move(userCompletion_);
-                userCompletion_ = nullptr;
-                if (cb)
-                    cb();
+                completeAttempt();
             });
         }
-        // Polling mode: the host's poll loop discovers STATUS below.
+        // Polling mode: the host's poll loop discovers STATUS below
+        // regardless of a lost MSI-X.
     });
 
     if (mode_ == Completion::Polling) {
@@ -130,13 +191,12 @@ PnmDriver::launch()
 void
 PnmDriver::pollOnce()
 {
+    if (userCompletion_ == nullptr)
+        return; // a parallel poll loop (doorbell retry) already finished
     polls_ += 1;
     io_.readRegister(reg::Status, [this](std::uint64_t status) {
         if (status & 1) {
-            auto cb = std::move(userCompletion_);
-            userCompletion_ = nullptr;
-            if (cb)
-                cb();
+            completeAttempt();
             return;
         }
         eventQueue().scheduleOneShot(
@@ -144,6 +204,93 @@ PnmDriver::pollOnce()
             now() + static_cast<Tick>(pollIntervalUs_ * tickPerUs),
             [this] { pollOnce(); });
     });
+}
+
+void
+PnmDriver::completeAttempt()
+{
+    if (userCompletion_ == nullptr)
+        return; // duplicate completion (retried run raced the original)
+    if (watchdogEvent_.scheduled())
+        eventQueue().deschedule(watchdogEvent_);
+
+    if (watchdogEnabled_ && (statusReg_ & 0x2) != 0) {
+        // Poisoned run: the data path hit an uncorrectable error. A
+        // transient fault may not recur, so retry from the doorbell;
+        // after the budget, surface it as uncorrectable.
+        if (attempt_ < wd_.maxRetries) {
+            ++attempt_;
+            retries_ += 1;
+            ringDoorbell();
+            return;
+        }
+        failExecute(DeviceError::Code::Uncorrectable,
+                    "run poisoned after exhausting doorbell retries");
+        return;
+    }
+
+    auto cb = std::move(userCompletion_);
+    userCompletion_ = nullptr;
+    attempt_ = 0;
+    resetsDone_ = 0;
+    if (cb)
+        cb();
+}
+
+void
+PnmDriver::watchdogFired()
+{
+    if (userCompletion_ == nullptr)
+        return; // completed in the same tick
+    if (accel_.busy()) {
+        // The device is making progress - a legitimately long program,
+        // not a hang. Re-arm without escalating.
+        armWatchdog();
+        return;
+    }
+    timeouts_ += 1;
+    if (attempt_ < wd_.maxRetries) {
+        ++attempt_;
+        retries_ += 1;
+        ringDoorbell();
+        return;
+    }
+    if (resetsDone_ < wd_.maxResets) {
+        ++resetsDone_;
+        resetDevice();
+        return;
+    }
+    failExecute(DeviceError::Code::Hang,
+                "device unresponsive after retries and reset");
+}
+
+void
+PnmDriver::resetDevice()
+{
+    resets_ += 1;
+    accel_.abort();
+    statusReg_ = 0;
+    ctrlReg_ = 0;
+    instrBuffer_.clear();
+    attempt_ = 0;
+    // Reload the retained program image, then relaunch.
+    reloads_ += 1;
+    io_.writeBulk(reg::InstrBuffer, hostProgram_,
+                  [this] { ringDoorbell(); });
+}
+
+void
+PnmDriver::failExecute(DeviceError::Code code, const std::string &what)
+{
+    userCompletion_ = nullptr;
+    attempt_ = 0;
+    resetsDone_ = 0;
+    const DeviceError err(code, name() + ": " + what);
+    if (errorHandler_) {
+        errorHandler_(err);
+        return;
+    }
+    panic("unrecoverable device error: ", err.what());
 }
 
 } // namespace runtime

@@ -18,11 +18,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "accel/accelerator.hh"
 #include "cxl/ports.hh"
 #include "isa/isa.hh"
+#include "sim/fault.hh"
 #include "sim/sim_object.hh"
 
 namespace cxlpnm
@@ -46,6 +49,43 @@ constexpr Addr InstrBuffer = 0x1000;
 /** Completion notification mechanism. */
 enum class Completion { Interrupt, Polling };
 
+/**
+ * Typed error surfaced by the driver: misuse (execute before a
+ * program is loaded) or an unrecoverable device condition after the
+ * RAS machinery exhausted its retry/reset budget.
+ */
+class DeviceError : public std::runtime_error
+{
+  public:
+    enum class Code
+    {
+        NoProgram,     // execute() before loadProgram()
+        Hang,          // watchdog retries and resets all failed
+        Uncorrectable, // poisoned data survived every retry
+    };
+
+    DeviceError(Code code, const std::string &what)
+        : std::runtime_error(what), code_(code)
+    {}
+
+    Code code() const { return code_; }
+
+  private:
+    Code code_;
+};
+
+/** Watchdog / recovery policy for execute(). */
+struct WatchdogConfig
+{
+    /** Initial completion timeout; doubles (backoffFactor) per retry. */
+    double timeoutUs = 10000.0;
+    double backoffFactor = 2.0;
+    /** Doorbell retries before escalating to a device reset. */
+    int maxRetries = 2;
+    /** Device resets (with program reload) before giving up. */
+    int maxResets = 1;
+};
+
 /** Host driver + device control-unit registers for one CXL-PNM device. */
 class PnmDriver : public SimObject
 {
@@ -57,6 +97,31 @@ class PnmDriver : public SimObject
     /** Select interrupt (default) or polling completion. */
     void setCompletionMode(Completion mode) { mode_ = mode; }
     void setPollIntervalUs(double us) { pollIntervalUs_ = us; }
+
+    /**
+     * Enable the execute() watchdog: a timer armed at every doorbell
+     * that, on expiry, retries the doorbell with exponential backoff
+     * and, after maxRetries, performs a device reset + program reload.
+     * Also turns completion-status checking on: a run that finished
+     * with the STATUS error (poison) bit set is retried the same way.
+     */
+    void setWatchdog(const WatchdogConfig &wd);
+
+    /**
+     * Receives the typed error when recovery is exhausted. Without a
+     * handler an unrecoverable device error is a simulator panic.
+     */
+    void setErrorHandler(std::function<void(const DeviceError &)> h)
+    {
+        errorHandler_ = std::move(h);
+    }
+
+    /**
+     * Attach fault injection (site "<name>.launch": DeviceHang drops
+     * the whole launch, DropCompletion loses only the interrupt) and
+     * enable the watchdog with its current configuration.
+     */
+    void attachFaultInjector(fault::FaultInjector *inj);
 
     /**
      * Program the instruction buffer over CXL.io (write-combined burst)
@@ -95,11 +160,40 @@ class PnmDriver : public SimObject
         return static_cast<std::uint64_t>(polls_.value());
     }
 
+    // --- RAS observability ---
+    std::uint64_t watchdogTimeouts() const
+    {
+        return static_cast<std::uint64_t>(timeouts_.value());
+    }
+    std::uint64_t doorbellRetries() const
+    {
+        return static_cast<std::uint64_t>(retries_.value());
+    }
+    std::uint64_t deviceResets() const
+    {
+        return static_cast<std::uint64_t>(resets_.value());
+    }
+    std::uint64_t programReloads() const
+    {
+        return static_cast<std::uint64_t>(reloads_.value());
+    }
+    std::uint64_t poisonedRuns() const
+    {
+        return static_cast<std::uint64_t>(poisonedRuns_.value());
+    }
+
   private:
     void deviceRegWrite(Addr addr, std::uint64_t value);
     std::uint64_t deviceRegRead(Addr addr) const;
     void launch();
     void pollOnce();
+    void ringDoorbell();
+    void armWatchdog();
+    void watchdogFired();
+    void resetDevice();
+    /** Host-side completion: check status, retry or hand off. */
+    void completeAttempt();
+    void failExecute(DeviceError::Code code, const std::string &what);
 
     cxl::CxlIoPort &io_;
     cxl::CxlMemPort &mem_;
@@ -107,6 +201,18 @@ class PnmDriver : public SimObject
 
     Completion mode_ = Completion::Interrupt;
     double pollIntervalUs_ = 5.0;
+
+    // RAS machinery.
+    WatchdogConfig wd_;
+    bool watchdogEnabled_ = false;
+    fault::FaultSite *launchSite_ = nullptr;
+    std::function<void(const DeviceError &)> errorHandler_;
+    Event watchdogEvent_;
+    int attempt_ = 0;    // doorbell retries since the last clean start
+    int resetsDone_ = 0; // resets within the current execute()
+    /** Host-retained program image for post-reset reload. */
+    std::vector<std::uint8_t> hostProgram_;
+    bool programLoaded_ = false;
 
     // Device-side state.
     std::vector<std::uint8_t> instrBuffer_;
@@ -120,6 +226,11 @@ class PnmDriver : public SimObject
     stats::Scalar launches_;
     stats::Scalar interrupts_;
     stats::Scalar polls_;
+    stats::Scalar timeouts_;
+    stats::Scalar retries_;
+    stats::Scalar resets_;
+    stats::Scalar reloads_;
+    stats::Scalar poisonedRuns_;
 };
 
 } // namespace runtime

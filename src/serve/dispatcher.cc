@@ -24,18 +24,37 @@ ApplianceDispatcher::ApplianceDispatcher(
 }
 
 void
+ApplianceDispatcher::attachFaultInjector(fault::FaultInjector *inj,
+                                         const std::string &prefix)
+{
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        groups_[g]->attachFaultSite(
+            inj == nullptr ? nullptr
+                           : inj->site(prefix + ".group" +
+                                       std::to_string(g) + ".iteration"));
+    }
+}
+
+void
 ApplianceDispatcher::submit(const ServeRequest &req)
 {
     // Bring every group up to the arrival instant so the routing
-    // decision sees current load, then pick the emptiest.
+    // decision sees current load, then pick the emptiest. A group in
+    // post-failure cooldown (degraded) is routed around unless every
+    // group is degraded, in which case load wins as usual.
     std::size_t best = 0;
     std::uint64_t best_tokens = ~0ull;
+    bool best_degraded = true;
     for (std::size_t g = 0; g < groups_.size(); ++g) {
         groups_[g]->advanceTo(req.arrivalSeconds);
         const std::uint64_t t = groups_[g]->outstandingTokens();
-        if (t < best_tokens) {
+        const bool degraded = groups_[g]->degradedAt(req.arrivalSeconds);
+        const bool better = (!degraded && best_degraded) ||
+            (degraded == best_degraded && t < best_tokens);
+        if (better) {
             best_tokens = t;
             best = g;
+            best_degraded = degraded;
         }
     }
     groups_[best]->submit(req);

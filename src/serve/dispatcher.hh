@@ -11,6 +11,7 @@
 #define CXLPNM_SERVE_DISPATCHER_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/inference_engine.hh"
@@ -37,8 +38,17 @@ class ApplianceDispatcher
                         const SchedulerConfig &cfg,
                         ServeMetrics &metrics);
 
+    /**
+     * Attach fault injection: each group g polls the site
+     * "<prefix>.group<g>.iteration" once per batch iteration
+     * (kind IterationFail). Degraded groups are routed around.
+     */
+    void attachFaultInjector(fault::FaultInjector *inj,
+                             const std::string &prefix);
+
     /** Advance every group to the arrival, then route it to the
-     *  least-loaded one (ties break to the lowest group index). */
+     *  least-loaded one (ties break to the lowest group index;
+     *  degraded groups lose to healthy ones). */
     void submit(const ServeRequest &req);
 
     /** Drain every group. */

@@ -25,7 +25,15 @@ ServeMetrics::ServeMetrics(stats::StatGroup *parent, std::string name,
       completedStat_(&group_, "completed", "requests finished"),
       rejectedStat_(&group_, "rejected", "requests never admissible"),
       tokensStat_(&group_, "tokens", "output tokens produced"),
-      sloMetStat_(&group_, "slo_met", "finished requests meeting SLO")
+      sloMetStat_(&group_, "slo_met", "finished requests meeting SLO"),
+      iterFailStat_(&group_, "iteration_failures",
+                    "batch iterations lost to injected faults"),
+      retryStat_(&group_, "request_retries",
+                 "requests restarted after a failed iteration"),
+      failedStat_(&group_, "requests_failed",
+                  "requests abandoned after their retry budget"),
+      degradedStat_(&group_, "degraded_seconds",
+                    "device-seconds in post-failure cooldown")
 {
 }
 
@@ -88,6 +96,34 @@ ServeMetrics::rejectRequest()
     ++rejectedN_;
 }
 
+void
+ServeMetrics::noteIterationFailure()
+{
+    ++iterFailStat_;
+    ++iterFailN_;
+}
+
+void
+ServeMetrics::noteRequestRetry()
+{
+    ++retryStat_;
+    ++retryN_;
+}
+
+void
+ServeMetrics::noteDegraded(double seconds)
+{
+    degradedStat_ += seconds;
+    degradedSeconds_ += seconds;
+}
+
+void
+ServeMetrics::failRequest()
+{
+    ++failedStat_;
+    ++failedN_;
+}
+
 ServeReport
 ServeMetrics::report(double makespan_seconds) const
 {
@@ -112,6 +148,17 @@ ServeMetrics::report(double makespan_seconds) const
     r.sloFraction = completedN_
         ? static_cast<double>(sloMetRequests_) / completedN_
         : 0.0;
+
+    r.iterationFailures = iterFailN_;
+    r.requestRetries = retryN_;
+    r.requestsFailed = failedN_;
+    r.degradedSeconds = degradedSeconds_;
+    const double device_seconds =
+        makespan_seconds * static_cast<double>(std::max<std::uint64_t>(
+                               devicesN_, 1));
+    r.availability = device_seconds > 0.0
+        ? std::max(0.0, 1.0 - degradedSeconds_ / device_seconds)
+        : 1.0;
     return r;
 }
 

@@ -61,6 +61,18 @@ struct ServeReport
     double goodputTokensPerSec = 0.0;
     /** Fraction of finished requests meeting the SLO. */
     double sloFraction = 0.0;
+
+    // --- RAS (fault-injection campaigns) ---
+    /** Batch iterations whose work was lost to an injected fault. */
+    std::uint64_t iterationFailures = 0;
+    /** Requests restarted after a failed iteration. */
+    std::uint64_t requestRetries = 0;
+    /** Requests abandoned after exhausting their retry budget. */
+    std::uint64_t requestsFailed = 0;
+    /** Device-seconds spent in post-failure cooldown. */
+    double degradedSeconds = 0.0;
+    /** 1 - degraded device-seconds / total device-seconds. */
+    double availability = 1.0;
 };
 
 /** Collects samples from one or more schedulers. */
@@ -88,9 +100,23 @@ class ServeMetrics
 
     void rejectRequest();
 
+    // --- RAS accounting (fault-injection campaigns) ---
+    /** One scheduler (device group) reporting into this collector;
+     *  the denominator of the availability figure. */
+    void registerDevice() { ++devicesN_; }
+    /** A batch iteration's work was lost to a fault. */
+    void noteIterationFailure();
+    /** A request was re-enqueued after a failed iteration. */
+    void noteRequestRetry();
+    /** A device group entered post-failure cooldown for @p seconds. */
+    void noteDegraded(double seconds);
+    /** Request abandoned after exhausting its retry budget. */
+    void failRequest();
+
     std::uint64_t completed() const { return completedN_; }
     std::uint64_t rejected() const { return rejectedN_; }
     std::uint64_t tokensGenerated() const { return tokensN_; }
+    std::uint64_t requestsFailed() const { return failedN_; }
     double peakKvUtilization() const { return peakKvUtil_; }
 
     /** Summarise; @p makespan is the serving clock at drain. */
@@ -112,12 +138,21 @@ class ServeMetrics
     stats::Scalar rejectedStat_;
     stats::Scalar tokensStat_;
     stats::Scalar sloMetStat_;
+    stats::Scalar iterFailStat_;
+    stats::Scalar retryStat_;
+    stats::Scalar failedStat_;
+    stats::Scalar degradedStat_;
 
     std::uint64_t completedN_ = 0;
     std::uint64_t rejectedN_ = 0;
     std::uint64_t tokensN_ = 0;
     std::uint64_t sloMetRequests_ = 0;
     std::uint64_t sloMetTokens_ = 0;
+    std::uint64_t iterFailN_ = 0;
+    std::uint64_t retryN_ = 0;
+    std::uint64_t failedN_ = 0;
+    std::uint64_t devicesN_ = 0;
+    double degradedSeconds_ = 0.0;
     double peakKvUtil_ = 0.0;
 };
 

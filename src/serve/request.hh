@@ -24,6 +24,7 @@ enum class RequestState
     Running,  // member of the current iteration batch
     Finished, // all output tokens produced
     Rejected, // can never fit (context > model or KV pool capacity)
+    Failed,   // lost to device faults after exhausting its retries
 };
 
 const char *requestStateName(RequestState s);
@@ -41,6 +42,8 @@ struct ServeRequest
     RequestState state = RequestState::Queued;
     /** Output tokens produced so far. */
     std::uint64_t generated = 0;
+    /** Times this request was restarted after an iteration failure. */
+    std::uint64_t retries = 0;
     double admitSeconds = -1.0;
     double firstTokenSeconds = -1.0;
     double finishSeconds = -1.0;

@@ -17,6 +17,7 @@ requestStateName(RequestState s)
       case RequestState::Running: return "running";
       case RequestState::Finished: return "finished";
       case RequestState::Rejected: return "rejected";
+      case RequestState::Failed: return "failed";
     }
     return "<bad>";
 }
@@ -30,6 +31,7 @@ BatchScheduler::BatchScheduler(const llm::ModelConfig &model,
       metrics_(metrics)
 {
     fatal_if(cfg_.maxBatch == 0, "batch cap must be positive");
+    metrics_.registerDevice();
 }
 
 void
@@ -104,11 +106,24 @@ BatchScheduler::step()
     cost += cost_.decodeIterationSeconds(contexts);
     clock_ += cost;
 
-    // Prefill produced each joiner's first token.
+    // The iteration's work can be lost to an injected fault; the time
+    // it burned still passed.
+    if (faultSite_ != nullptr &&
+        faultSite_->poll(secondsToTicks(clock_)) ==
+            fault::FaultKind::IterationFail) {
+        failIteration(joining);
+        return true;
+    }
+
+    // Prefill produced each joiner's first token. A request restarted
+    // after a failed iteration keeps its original first-token time (and
+    // its TTFT was already sampled).
     for (ServeRequest &r : joining) {
         r.generated = 1;
-        r.firstTokenSeconds = clock_;
-        metrics_.sampleTtft(r.ttftSeconds());
+        if (r.firstTokenSeconds < 0.0) {
+            r.firstTokenSeconds = clock_;
+            metrics_.sampleTtft(r.ttftSeconds());
+        }
     }
     // Decoding members each produced one more token; their token
     // latency is the whole iteration (prefill interference included).
@@ -139,6 +154,44 @@ BatchScheduler::step()
     metrics_.sampleIteration(iter_batch, queue_.size(),
                              kv_.utilization());
     return true;
+}
+
+void
+BatchScheduler::failIteration(std::vector<ServeRequest> &joining)
+{
+    metrics_.noteIterationFailure();
+
+    // Recovery dead time (device reset + reload as the serving layer
+    // sees it); the dispatcher routes new arrivals around this window.
+    clock_ += cfg_.ras.degradedCooldownSeconds;
+    degradedUntil_ = clock_;
+    metrics_.noteDegraded(cfg_.ras.degradedCooldownSeconds);
+
+    // Everyone in the iteration loses their progress: KV state is
+    // gone, so survivors restart from their prompt. Relative order is
+    // preserved at the head of the queue.
+    std::vector<ServeRequest> members;
+    members.reserve(batch_.size() + joining.size());
+    members.insert(members.end(), batch_.begin(), batch_.end());
+    members.insert(members.end(), joining.begin(), joining.end());
+    batch_.clear();
+
+    for (auto it = members.rbegin(); it != members.rend(); ++it) {
+        ServeRequest r = *it;
+        kv_.release(r.worstCaseKvBytes(model_));
+        r.generated = 0;
+        ++r.retries;
+        if (r.retries > cfg_.ras.maxRequestRetries) {
+            r.state = RequestState::Failed;
+            r.finishSeconds = clock_;
+            metrics_.failRequest();
+            failed_.push_back(r);
+            continue;
+        }
+        metrics_.noteRequestRetry();
+        r.state = RequestState::Queued;
+        queue_.push_front(r);
+    }
 }
 
 void

@@ -24,11 +24,29 @@
 #include "serve/kv_pool.hh"
 #include "serve/metrics.hh"
 #include "serve/request.hh"
+#include "sim/fault.hh"
 
 namespace cxlpnm
 {
 namespace serve
 {
+
+/** Recovery policy when a batch iteration fails (injected fault). */
+struct RasPolicy
+{
+    /**
+     * Restarts a request survives before it is abandoned as Failed.
+     * A failed iteration loses all in-progress generation: members
+     * restart from their prompt on the next admission.
+     */
+    std::uint64_t maxRequestRetries = 2;
+    /**
+     * Dead time after a failed iteration (device reset + program
+     * reload as seen from the serving layer). The group is routed
+     * around by the dispatcher for this window.
+     */
+    double degradedCooldownSeconds = 0.5;
+};
 
 /** Scheduling policy knobs. */
 struct SchedulerConfig
@@ -37,6 +55,8 @@ struct SchedulerConfig
     std::size_t maxBatch = 32;
     /** False: admit only into an empty batch (serial baseline). */
     bool continuousBatching = true;
+    /** Recovery policy under fault injection. */
+    RasPolicy ras;
 };
 
 /** One model instance's serving loop on a seconds-resolution clock. */
@@ -63,7 +83,20 @@ class BatchScheduler
     /** Run until every submitted request finished. */
     void drain();
 
+    /**
+     * Attach fault injection: @p site is polled once per iteration (at
+     * the tick of the iteration's end). Kind IterationFail loses the
+     * iteration's work - batch members are re-enqueued from scratch
+     * (bounded by RasPolicy::maxRequestRetries, then Failed) and the
+     * group sits out a cooldown window during which the dispatcher
+     * routes new arrivals around it.
+     */
+    void attachFaultSite(fault::FaultSite *site) { faultSite_ = site; }
+
     double clockSeconds() const { return clock_; }
+
+    /** True while @p t lies inside a post-failure cooldown window. */
+    bool degradedAt(double t) const { return t < degradedUntil_; }
 
     /** Queued + running requests. */
     std::size_t
@@ -88,6 +121,7 @@ class BatchScheduler
     {
         return rejected_;
     }
+    const std::vector<ServeRequest> &failed() const { return failed_; }
 
   private:
     /** Run one iteration; false when there is nothing to do. */
@@ -95,6 +129,9 @@ class BatchScheduler
 
     /** Move admissible queued requests into @p joining. */
     void admit(std::vector<ServeRequest> &joining);
+
+    /** Lose @p joining + batch_ to a fault; requeue or abandon. */
+    void failIteration(std::vector<ServeRequest> &joining);
 
     llm::ModelConfig model_;
     BatchCostModel cost_;
@@ -108,6 +145,11 @@ class BatchScheduler
     std::vector<ServeRequest> batch_; // decoding members
     std::vector<ServeRequest> finished_;
     std::vector<ServeRequest> rejected_;
+    std::vector<ServeRequest> failed_;
+
+    /** Fault injection (null = fault-free, the default). */
+    fault::FaultSite *faultSite_ = nullptr;
+    double degradedUntil_ = 0.0;
 };
 
 } // namespace serve

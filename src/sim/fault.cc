@@ -1,0 +1,209 @@
+#include "sim/fault.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace fault
+{
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::None: return "none";
+      case FaultKind::BitFlip: return "bit_flip";
+      case FaultKind::DoubleBitFlip: return "double_bit_flip";
+      case FaultKind::LinkCrc: return "link_crc";
+      case FaultKind::DeviceHang: return "device_hang";
+      case FaultKind::DropCompletion: return "drop_completion";
+      case FaultKind::IterationFail: return "iteration_fail";
+    }
+    return "<bad>";
+}
+
+FaultSpec
+FaultSpec::probabilistic(std::string site, FaultKind kind, double p)
+{
+    FaultSpec s;
+    s.site = std::move(site);
+    s.kind = kind;
+    s.schedule = Schedule::Probabilistic;
+    s.probability = p;
+    return s;
+}
+
+FaultSpec
+FaultSpec::scriptedTick(std::string site, FaultKind kind, Tick t)
+{
+    FaultSpec s;
+    s.site = std::move(site);
+    s.kind = kind;
+    s.schedule = Schedule::AtTick;
+    s.atTick = t;
+    return s;
+}
+
+FaultSpec
+FaultSpec::scriptedAccess(std::string site, FaultKind kind,
+                          std::uint64_t n)
+{
+    FaultSpec s;
+    s.site = std::move(site);
+    s.kind = kind;
+    s.schedule = Schedule::AtAccess;
+    s.atAccess = n;
+    return s;
+}
+
+FaultSpec
+FaultSpec::burst(std::string site, FaultKind kind, Tick start, Tick end,
+                 double p)
+{
+    FaultSpec s;
+    s.site = std::move(site);
+    s.kind = kind;
+    s.schedule = Schedule::Burst;
+    s.burstStart = start;
+    s.burstEnd = end;
+    s.probability = p;
+    return s;
+}
+
+namespace
+{
+
+/** FNV-1a over the site name: registration-order-independent seeds. */
+std::uint64_t
+hashName(const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : name) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+FaultSite::FaultSite(FaultInjector &owner, std::string name,
+                     std::uint64_t seed)
+    : owner_(owner), name_(std::move(name)), rng_(seed)
+{}
+
+FaultKind
+FaultSite::poll(Tick now)
+{
+    const std::uint64_t access = accesses_++;
+    FaultKind hit = FaultKind::None;
+    for (Armed &a : armed_) {
+        bool fires = false;
+        switch (a.spec.schedule) {
+          case Schedule::Probabilistic:
+            // Draw unconditionally so the stream stays aligned with the
+            // access sequence even after another spec already fired.
+            fires = rng_.nextDouble() < a.spec.probability;
+            break;
+          case Schedule::AtTick:
+            fires = !a.fired && now >= a.spec.atTick;
+            a.fired |= fires;
+            break;
+          case Schedule::AtAccess:
+            fires = !a.fired && access == a.spec.atAccess;
+            a.fired |= fires;
+            break;
+          case Schedule::Burst:
+            if (now >= a.spec.burstStart && now < a.spec.burstEnd)
+                fires = rng_.nextDouble() < a.spec.probability;
+            break;
+        }
+        if (fires && hit == FaultKind::None)
+            hit = a.spec.kind;
+    }
+    if (hit != FaultKind::None)
+        owner_.record(name_, hit, now, access);
+    return hit;
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+void
+FaultInjector::arm(const FaultSpec &spec)
+{
+    fatal_if(spec.site.empty(), "fault spec needs a site name");
+    fatal_if(spec.kind == FaultKind::None, "cannot arm FaultKind::None");
+    fatal_if(spec.probability < 0.0 || spec.probability > 1.0,
+             "fault probability ", spec.probability, " out of [0,1]");
+    auto it = sites_.find(spec.site);
+    if (it != sites_.end()) {
+        it->second->armed_.push_back({spec, false});
+        return;
+    }
+    pending_.push_back(spec);
+}
+
+FaultSite *
+FaultInjector::site(const std::string &name)
+{
+    auto it = sites_.find(name);
+    if (it != sites_.end())
+        return it->second.get();
+
+    auto s = std::unique_ptr<FaultSite>(
+        new FaultSite(*this, name, seed_ ^ hashName(name)));
+    for (const FaultSpec &spec : pending_) {
+        if (spec.site == name)
+            s->armed_.push_back({spec, false});
+    }
+    FaultSite *raw = s.get();
+    sites_.emplace(name, std::move(s));
+    return raw;
+}
+
+std::uint64_t
+FaultInjector::firedCount(FaultKind k) const
+{
+    std::uint64_t n = 0;
+    for (const Record &r : log_)
+        if (r.kind == k)
+            ++n;
+    return n;
+}
+
+void
+FaultInjector::record(const std::string &site, FaultKind kind, Tick tick,
+                      std::uint64_t access)
+{
+    Record r;
+    r.seq = log_.size();
+    r.tick = tick;
+    r.site = site;
+    r.kind = kind;
+    r.access = access;
+    log_.push_back(std::move(r));
+}
+
+void
+FaultInjector::writeLog(std::ostream &os) const
+{
+    for (const Record &r : log_) {
+        os << "seq=" << r.seq << " tick=" << r.tick << " site=" << r.site
+           << " kind=" << faultKindName(r.kind) << " access=" << r.access
+           << "\n";
+    }
+}
+
+std::string
+FaultInjector::logString() const
+{
+    std::ostringstream os;
+    writeLog(os);
+    return os.str();
+}
+
+} // namespace fault
+} // namespace cxlpnm

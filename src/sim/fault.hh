@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Deterministic fault injection for RAS testing (§IX).
+ *
+ * A FaultInjector owns a registry of named fault *sites* - points in
+ * the simulated stack where an error can be made to occur (a DRAM read
+ * burst, a CXL flit transfer, a doorbell launch, a serving iteration).
+ * Components obtain their site once and poll it on every access; with
+ * no injector attached the poll is a null-pointer check and the
+ * simulation is bit-identical to a fault-free run.
+ *
+ * Three schedules arm a site:
+ *  - Probabilistic : each access faults with probability p;
+ *  - Scripted      : fire once at a given tick (AtTick) or on the
+ *                    N-th access to the site (AtAccess);
+ *  - Burst         : every access inside a tick window faults with
+ *                    probability p (an error storm, e.g. a cosmic-ray
+ *                    shower or a marginal link).
+ *
+ * Every random draw comes from a per-site SplitMix64 stream seeded by
+ * mixing the injector seed with the site name, so a given seed yields a
+ * byte-identical fault log regardless of site registration order or
+ * how many sibling simulations run on other threads.
+ */
+
+#ifndef CXLPNM_SIM_FAULT_HH
+#define CXLPNM_SIM_FAULT_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace cxlpnm
+{
+namespace fault
+{
+
+/** What kind of error a site produces when it fires. */
+enum class FaultKind
+{
+    None = 0,
+    BitFlip,       // single-bit upset in a DRAM read burst
+    DoubleBitFlip, // two flipped bits in one ECC codeword
+    LinkCrc,       // flit CRC error on a CXL link channel
+    DeviceHang,    // doorbell launch that never completes
+    DropCompletion,// device finishes but the completion is lost
+    IterationFail, // serving-level batch iteration failure
+};
+
+const char *faultKindName(FaultKind k);
+
+/** When an armed fault fires. */
+enum class Schedule
+{
+    Probabilistic, // per access, probability `probability`
+    AtTick,        // once, on the first access at or after `atTick`
+    AtAccess,      // once, on access number `atAccess` (0-based)
+    Burst,         // inside [burstStart, burstEnd) ticks, probability
+                   // `probability` per access
+};
+
+/** One armed fault: a site name, a kind, and a schedule. */
+struct FaultSpec
+{
+    std::string site;
+    FaultKind kind = FaultKind::BitFlip;
+    Schedule schedule = Schedule::Probabilistic;
+
+    /** Probabilistic/Burst: chance per access in [0, 1]. */
+    double probability = 0.0;
+    /** AtTick: first access at or after this tick fires (once). */
+    Tick atTick = 0;
+    /** AtAccess: 0-based access index that fires (once). */
+    std::uint64_t atAccess = 0;
+    /** Burst: tick window. */
+    Tick burstStart = 0;
+    Tick burstEnd = 0;
+
+    static FaultSpec probabilistic(std::string site, FaultKind kind,
+                                   double p);
+    static FaultSpec scriptedTick(std::string site, FaultKind kind,
+                                  Tick t);
+    static FaultSpec scriptedAccess(std::string site, FaultKind kind,
+                                    std::uint64_t n);
+    static FaultSpec burst(std::string site, FaultKind kind, Tick start,
+                           Tick end, double p);
+};
+
+class FaultInjector;
+
+/**
+ * One injection point. Components hold a FaultSite* (null when no
+ * injector is attached) and poll it per access; the first armed spec
+ * that fires wins and is appended to the injector's log.
+ */
+class FaultSite
+{
+  public:
+    const std::string &name() const { return name_; }
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Evaluate all armed schedules for this access. */
+    FaultKind poll(Tick now);
+
+  private:
+    friend class FaultInjector;
+
+    FaultSite(FaultInjector &owner, std::string name,
+              std::uint64_t seed);
+
+    struct Armed
+    {
+        FaultSpec spec;
+        bool fired = false; // AtTick/AtAccess fire once
+    };
+
+    FaultInjector &owner_;
+    std::string name_;
+    SplitMix64 rng_;
+    std::uint64_t accesses_ = 0;
+    std::vector<Armed> armed_;
+};
+
+/** Convenience null-safe poll. */
+inline FaultKind
+poll(FaultSite *site, Tick now)
+{
+    return site != nullptr ? site->poll(now) : FaultKind::None;
+}
+
+/** The per-simulation fault authority: registry, schedules, log. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(std::uint64_t seed);
+
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Arm a fault. The site need not exist yet; the spec attaches when
+     * the owning component registers it.
+     */
+    void arm(const FaultSpec &spec);
+
+    /**
+     * Find or create a site. The returned pointer is stable for the
+     * injector's lifetime.
+     */
+    FaultSite *site(const std::string &name);
+
+    /** One fired fault, in firing order. */
+    struct Record
+    {
+        std::uint64_t seq = 0;
+        Tick tick = 0;
+        std::string site;
+        FaultKind kind = FaultKind::None;
+        /** Access index at the site when the fault fired. */
+        std::uint64_t access = 0;
+    };
+
+    const std::vector<Record> &records() const { return log_; }
+    std::uint64_t firedCount(FaultKind k) const;
+    std::uint64_t totalFired() const { return log_.size(); }
+
+    /** Byte-stable textual fault log (the determinism artifact). */
+    void writeLog(std::ostream &os) const;
+    std::string logString() const;
+
+  private:
+    friend class FaultSite;
+
+    void record(const std::string &site, FaultKind kind, Tick tick,
+                std::uint64_t access);
+
+    std::uint64_t seed_;
+    /** Ordered map: stable iteration for debugging dumps. */
+    std::map<std::string, std::unique_ptr<FaultSite>> sites_;
+    /** Specs armed before their site exists. */
+    std::vector<FaultSpec> pending_;
+    std::vector<Record> log_;
+};
+
+} // namespace fault
+} // namespace cxlpnm
+
+#endif // CXLPNM_SIM_FAULT_HH

@@ -132,16 +132,24 @@ TEST(DriverTest, UnmappedRegisterPanics)
     setLogLevel(LogLevel::Info);
 }
 
-TEST(DriverTest, DoorbellWithoutProgramPanics)
+TEST(DriverTest, ExecuteWithoutProgramIsTypedError)
 {
-    setLogLevel(LogLevel::Silent);
+    // execute() before loadProgram() must fail synchronously with a
+    // typed DeviceError, not a deferred doorbell panic.
     EventQueue eq;
     stats::StatGroup root(nullptr, "");
     core::PnmPlatformConfig cfg;
     core::PnmDevice dev(eq, &root, "dev", cfg);
-    dev.driver().execute(nullptr);
-    EXPECT_THROW(eq.run(), PanicError);
-    setLogLevel(LogLevel::Info);
+    try {
+        dev.driver().execute(nullptr);
+        FAIL() << "execute() without a program did not throw";
+    } catch (const runtime::DeviceError &e) {
+        EXPECT_EQ(e.code(), runtime::DeviceError::Code::NoProgram);
+    }
+    // The error left no pending completion: a later, correct sequence
+    // still works.
+    eq.run();
+    EXPECT_EQ(dev.driver().launches(), 0u);
 }
 
 TEST(LibraryTest, ShardRequiresTimingOnlyDevice)
