@@ -23,6 +23,12 @@
  *   fault_campaign [seed=42] [threads=0] [n=120] [seeds=4] [rate=0.02]
  *                  [model=opt-13b] [dp=4] [qps=0 (auto)]
  *                  [out=BENCH_faults.json] [check=0] [avail_min=0.90]
+ *                  [trace=]
+ *
+ * `trace=<path>` additionally records the seed-0 faulty serving cell
+ * as Chrome-trace JSON. The traced cell is one self-contained
+ * deterministic simulation, so the trace bytes are identical for any
+ * threads= value - the tracing counterpart of the out= guarantee.
  */
 
 #include <algorithm>
@@ -41,6 +47,7 @@
 #include "sim/config.hh"
 #include "sim/fault.hh"
 #include "sim/thread_pool.hh"
+#include "sim/trace.hh"
 
 using namespace cxlpnm;
 
@@ -218,7 +225,8 @@ ServeCell
 runServeCell(bool faulty, std::uint64_t seed, double fault_rate,
              const llm::ModelConfig &model,
              const serve::BatchCostModel &cost, std::uint64_t kv_bytes,
-             int dp, const serve::TraceConfig &trace_base)
+             int dp, const serve::TraceConfig &trace_base,
+             trace::Tracer *tracer = nullptr)
 {
     serve::MetricsConfig mcfg;
     mcfg.tokenLatencyHi = 20.0;
@@ -240,6 +248,8 @@ runServeCell(bool faulty, std::uint64_t seed, double fault_rate,
                 fault::FaultKind::IterationFail, fault_rate));
     }
     app.attachFaultInjector(&inj, "app");
+    if (tracer != nullptr)
+        app.attachTracer(tracer, "app");
 
     serve::TraceConfig trace = trace_base;
     trace.seed = seed;
@@ -331,15 +341,34 @@ main(int argc, char **argv)
 
     // Cells: clean + faulty for each seed, fanned over the pool. Each
     // cell owns its queue-free scheduler stack and injector, so results
-    // are bit-deterministic regardless of worker count.
+    // are bit-deterministic regardless of worker count. The optional
+    // tracer watches exactly one cell (seed-0 faulty, index 1) from
+    // whichever worker runs it, so the trace inherits the same
+    // thread-count independence.
+    const std::string trace_path = cfg.getString("trace", "");
+    trace::Tracer tracer;
     std::vector<ServeCell> cells(2 * n_seeds);
     ThreadPool::parallelFor(
         cells.size(), threads, [&](std::size_t i) {
             const bool faulty = i % 2 != 0;
             const std::uint64_t s = seed + i / 2;
+            trace::Tracer *tr =
+                (i == 1 && !trace_path.empty()) ? &tracer : nullptr;
             cells[i] = runServeCell(faulty, s, rate, model, cost,
-                                    kv_bytes, dp, trace);
+                                    kv_bytes, dp, trace, tr);
         });
+
+    if (!trace_path.empty()) {
+        if (!tracer.writeFile(trace_path)) {
+            std::fprintf(stderr, "fault_campaign: cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::printf("\ntraced seed-0 faulty cell: %zu events on %zu "
+                    "tracks -> %s\n",
+                    tracer.eventCount(), tracer.trackCount(),
+                    trace_path.c_str());
+    }
 
     std::printf("\nServing campaign: %s, %d groups, %zu requests at "
                 "%.2f req/s, iteration fault rate %.3f:\n",

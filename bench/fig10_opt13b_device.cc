@@ -11,15 +11,26 @@
  *   OPT-13B @1024: CXL-PNM throughput -10.8%, energy efficiency 2.9x.
  *   OPT-1.3B/2.7B/6.7B @1024: latency -59% / -38% / -2%.
  *   OPT-30B single device: 138.8x lower latency, 127.9x energy eff.
+ *
+ * `trace=<path>` additionally records one small traced device run
+ * (64-in / trace_out-out, default 8, so the file stays viewable) as
+ * Chrome-trace JSON: DRAM channel busy windows, CXL link transfers
+ * and arbiter grants, accelerator DMA/MPU/VPU pipeline stages, and
+ * driver execute spans. `trace_events=1` adds one instant per
+ * event-queue dispatch. A per-component busy summary prints after.
  */
 
 #include <cstdio>
+#include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hh"
 #include "core/inference_engine.hh"
 #include "gpu/inference.hh"
 #include "llm/model_config.hh"
+#include "sim/config.hh"
+#include "sim/trace.hh"
 
 using namespace cxlpnm;
 
@@ -61,8 +72,10 @@ totalUpTo(const std::vector<double> &gen, double sum, std::size_t n)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto cfg = Config::fromArgs({argv + 1, argv + argc});
+
     bench::header("Fig. 10: OPT-13B, 64 input tokens, single device");
 
     const auto model = llm::ModelConfig::opt13b();
@@ -136,6 +149,36 @@ main()
             (1.0 / (tok_g * r.gpu.avgPowerW));
         bench::anchor("energy-efficiency ratio (paper 127.9x)", 127.9,
                       eff_ratio, 0.40);
+    }
+
+    // Optional traced run, separate from the figures above so tracing
+    // can never perturb them: a short OPT-13B request with the same
+    // platform config, every device layer contributing tracks.
+    const std::string trace_path = cfg.getString("trace", "");
+    if (!trace_path.empty()) {
+        bench::header("Traced device run (trace=)");
+        trace::Tracer tracer;
+        tracer.setEventDispatch(cfg.getBool("trace_events", false));
+
+        llm::InferenceRequest req;
+        req.inputTokens = 64;
+        req.outputTokens =
+            static_cast<std::uint64_t>(cfg.getInt("trace_out", 8));
+        core::PnmPlatformConfig pcfg;
+        pcfg.channelGrouping = 8;
+        runPnmSingleDevice(model, req, pcfg, 1, &tracer);
+
+        if (!tracer.writeFile(trace_path)) {
+            std::fprintf(stderr, "cannot write trace to '%s'\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::printf("trace: %zu events on %zu tracks -> %s\n",
+                    tracer.eventCount(), tracer.trackCount(),
+                    trace_path.c_str());
+        tracer.summary(std::cout,
+                       static_cast<std::size_t>(
+                           cfg.getInt("trace_topk", 5)));
     }
     return 0;
 }

@@ -9,7 +9,7 @@
  *   ./serving_demo [model=opt-13b] [platform=pnm|gpu] [qps=0.3]
  *                  [n=64] [in=64] [out=128] [batch=16] [mp=1] [dp=1]
  *                  [serial=0] [seed=1] [slo_ms=0] [stats=0]
- *                  [faults=0] [fseed=42]
+ *                  [faults=0] [fseed=42] [trace=] [trace_topk=5]
  *
  * `mp`/`dp` follow the paper's §VIII-A appliance plans (tensor split
  * across mp devices, dp independent replicas); `serial=1` turns
@@ -20,6 +20,12 @@
  * probability on every group (seeded by fseed, fully deterministic)
  * and prints the RAS summary: iteration failures, request retries,
  * abandoned requests, degraded time, and availability.
+ *
+ * `trace=<path>` records the serving request lifecycle (arrivals,
+ * admissions, per-token instants, retire/requeue/fail), iteration
+ * spans and queue/KV/batch counters as Chrome-trace JSON - open it at
+ * ui.perfetto.dev - and prints a per-track busy summary. The trace is
+ * byte-deterministic for a given seed.
  */
 
 #include <cstdio>
@@ -32,6 +38,7 @@
 #include "serve/request_generator.hh"
 #include "sim/config.hh"
 #include "sim/fault.hh"
+#include "sim/trace.hh"
 
 using namespace cxlpnm;
 
@@ -128,10 +135,30 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(inj.seed()));
     }
 
+    const std::string trace_path = cfg.getString("trace", "");
+    trace::Tracer tracer;
+    if (!trace_path.empty())
+        disp.attachTracer(&tracer, "appliance");
+
     serve::RequestGenerator gen(trace);
     while (!gen.exhausted())
         disp.submit(gen.next());
     disp.drain();
+
+    if (!trace_path.empty()) {
+        if (!tracer.writeFile(trace_path)) {
+            std::fprintf(stderr, "cannot write trace to '%s'\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::printf("trace: %zu events on %zu tracks -> %s\n\n",
+                    tracer.eventCount(), tracer.trackCount(),
+                    trace_path.c_str());
+        tracer.summary(std::cout,
+                       static_cast<std::size_t>(
+                           cfg.getInt("trace_topk", 5)));
+        std::printf("\n");
+    }
 
     const auto r = metrics.report(disp.clockSeconds());
 

@@ -5,6 +5,7 @@
 #include "accel/functional.hh"
 #include "accel/timing.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace cxlpnm
 {
@@ -74,6 +75,17 @@ Accelerator::abort()
 }
 
 void
+Accelerator::initTraceTracks(trace::Tracer *tr)
+{
+    if (dmaTrack_ != trace::InvalidTrack)
+        return;
+    dmaTrack_ = tr->track(fullName() + ".dma", "accel");
+    mpuTrack_ = tr->track(fullName() + ".mpu", "accel");
+    vpuTrack_ = tr->track(fullName() + ".vpu", "accel");
+    ctrlTrack_ = tr->track(fullName() + ".ctrl", "accel");
+}
+
+void
 Accelerator::issueDma()
 {
     while (running_ && nextDmaIssue_ < prog_->size() &&
@@ -92,11 +104,17 @@ Accelerator::issueDma()
         req.bytes = bytes;
         req.isRead = timing::dmaIsRead(inst);
         req.poison = &runPoisoned_;
-        req.onComplete = [this, i, gen = runGen_] {
+        req.onComplete = [this, i, gen = runGen_, issued = now(),
+                          rd = req.isRead] {
             // A completion from a run that was since aborted (device
             // reset) must not touch the new run's bookkeeping.
             if (gen != runGen_)
                 return;
+            if (auto *tr = eventQueue().tracer()) {
+                initTraceTracks(tr);
+                tr->complete(dmaTrack_, rd ? "dma_in" : "dma_out",
+                             issued, now());
+            }
             dmaDone_[i] = true;
             // A finished stream frees a staging buffer: let the DMA
             // engine pull the next descriptor immediately so the module
@@ -122,6 +140,7 @@ Accelerator::tryStartCompute()
     const Tick dur = clk_.cyclesToTicks(cycles);
 
     computeInFlight_ = true;
+    computeStart_ = now();
     computeBusy_ += static_cast<double>(dur);
     scheduleIn(computeEndEvent_, dur);
 }
@@ -134,6 +153,15 @@ Accelerator::computeDone()
     instructions_ += 1;
     macs_ += static_cast<double>(timing::macOps(inst));
     vecOps_ += static_cast<double>(timing::vectorOps(inst));
+
+    if (auto *tr = eventQueue().tracer()) {
+        initTraceTracks(tr);
+        const trace::TrackId unit = isa::isMpuOp(inst.op) ? mpuTrack_
+            : isa::isVpuOp(inst.op)                       ? vpuTrack_
+                                                          : ctrlTrack_;
+        tr->complete(unit, isa::opcodeName(inst.op), computeStart_,
+                     now());
+    }
 
     if (fmem_ != nullptr)
         functional::execute(inst, rf_, fmem_);
@@ -152,6 +180,10 @@ Accelerator::computeDone()
 void
 Accelerator::finishRun()
 {
+    if (auto *tr = eventQueue().tracer()) {
+        initTraceTracks(tr);
+        tr->complete(ctrlTrack_, "run", runStart_, now());
+    }
     running_ = false;
     lastRunTicks_ = now() - runStart_;
     prog_ = nullptr;

@@ -27,6 +27,7 @@
 #include "cxl/arbiter.hh"
 #include "isa/isa.hh"
 #include "sim/clock_domain.hh"
+#include "sim/trace.hh"
 #include "sim/sim_object.hh"
 
 namespace cxlpnm
@@ -113,6 +114,17 @@ class Accelerator : public SimObject
     std::size_t nextExec_ = 0;
     std::vector<bool> dmaDone_;
     bool computeInFlight_ = false;
+    Tick computeStart_ = 0;
+
+    /**
+     * Lazily registered pipeline trace tracks: DMA streams, the two
+     * compute units, and control (run-level spans + Halt/Sync).
+     */
+    trace::TrackId dmaTrack_ = trace::InvalidTrack;
+    trace::TrackId mpuTrack_ = trace::InvalidTrack;
+    trace::TrackId vpuTrack_ = trace::InvalidTrack;
+    trace::TrackId ctrlTrack_ = trace::InvalidTrack;
+    void initTraceTracks(trace::Tracer *tr);
     bool runPoisoned_ = false;
     /** Bumped per run/abort so stale DMA completions are ignored. */
     std::uint64_t runGen_ = 0;

@@ -65,11 +65,20 @@ struct LoadedDevice
 PnmRunResult
 runPnmSingleDevice(const llm::ModelConfig &model,
                    const llm::InferenceRequest &req,
-                   const PnmPlatformConfig &cfg, int tensor_shard)
+                   const PnmPlatformConfig &cfg, int tensor_shard,
+                   trace::Tracer *tracer)
 {
     req.validate(model);
 
     LoadedDevice ld(model, cfg, tensor_shard);
+
+    // Attach tracing only after bringup: the weight upload is orders
+    // of magnitude more traffic than one request and would swamp the
+    // trace. Components register their tracks lazily on first use.
+    ld.eq.setTracer(tracer);
+    trace::TrackId reqTrack = trace::InvalidTrack;
+    if (tracer != nullptr)
+        reqTrack = tracer->track("host.request", "core");
 
     PnmRunResult res;
     const auto before = ld.dev->activity();
@@ -77,9 +86,15 @@ runPnmSingleDevice(const llm::ModelConfig &model,
 
     // Sum stage over a synthetic prompt, then the gen stages.
     res.sumSeconds = ld.prefill(req.inputTokens);
+    if (tracer != nullptr)
+        tracer->complete(reqTrack, "sum", t_start, ld.eq.now());
     res.genSeconds.reserve(req.outputTokens);
-    for (std::uint64_t t = 0; t < req.outputTokens; ++t)
+    for (std::uint64_t t = 0; t < req.outputTokens; ++t) {
+        const Tick g0 = ld.eq.now();
         res.genSeconds.push_back(ld.decode());
+        if (tracer != nullptr)
+            tracer->complete(reqTrack, "gen", g0, ld.eq.now());
+    }
 
     const Tick duration = ld.eq.now() - t_start;
     res.totalSeconds = ticksToSeconds(duration);

@@ -13,6 +13,7 @@
 
 #include "core/platform.hh"
 #include "llm/workload.hh"
+#include "sim/trace.hh"
 
 namespace cxlpnm
 {
@@ -49,11 +50,18 @@ struct PnmRunResult
  * tensor-parallel shard of degree @p tensor_shard (the device holds
  * 1/shard of every layer, FasterTransformer-style). Creates its own
  * event queue and device; returns per-stage timings and energy.
+ *
+ * A non-null @p tracer records the run: it attaches after the model
+ * load completes (load traffic would dwarf the request itself), adds
+ * request-level sum/gen spans on a "host.request" track, and every
+ * device component (channels, link, arbiter, accelerator, driver)
+ * contributes its own tracks. Tracing never affects timing.
  */
 PnmRunResult runPnmSingleDevice(const llm::ModelConfig &model,
                                 const llm::InferenceRequest &req,
                                 const PnmPlatformConfig &cfg,
-                                int tensor_shard = 1);
+                                int tensor_shard = 1,
+                                trace::Tracer *tracer = nullptr);
 
 /**
  * Per-stage cost hooks for the serving simulator (src/serve): time one

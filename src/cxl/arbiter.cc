@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace cxlpnm
 {
@@ -35,6 +36,11 @@ HostPnmArbiter::access(Requester who, dram::MemoryRequest req)
             // host's request sits until the post-task poll discovers the
             // release flag.
             hostBlocked_ += 1;
+            if (auto *tr = eventQueue().tracer()) {
+                if (traceTrack_ == trace::InvalidTrack)
+                    traceTrack_ = tr->track(fullName(), "cxl");
+                tr->instant(traceTrack_, "host_blocked", now());
+            }
             blockedHost_.push_back(std::move(req));
             blockedSince_.push_back(now());
             return;
@@ -55,6 +61,15 @@ HostPnmArbiter::issue(dram::MemoryRequest req, Tick queued_at,
             static_cast<double>(now() + grantLatency_ - queued_at) /
             tickPerNs);
     }
+    if (auto *tr = eventQueue().tracer()) {
+        if (traceTrack_ == trace::InvalidTrack)
+            traceTrack_ = tr->track(fullName(), "cxl");
+        // The span covers queueing (host requests blocked behind a PNM
+        // task start at their arrival tick) plus the grant pipeline.
+        tr->complete(traceTrack_,
+                     who == Requester::Host ? "grant.host" : "grant.pnm",
+                     queued_at, now() + grantLatency_);
+    }
     // Model the grant pipeline by deferring the DRAM issue. Completion
     // callbacks pass through unchanged.
     if (grantLatency_ == 0) {
@@ -73,6 +88,7 @@ HostPnmArbiter::beginPnmTask()
 {
     panic_if(taskActive_, "nested PNM task");
     taskActive_ = true;
+    taskSince_ = now();
 }
 
 void
@@ -80,6 +96,11 @@ HostPnmArbiter::endPnmTask()
 {
     panic_if(!taskActive_, "endPnmTask without begin");
     taskActive_ = false;
+    if (auto *tr = eventQueue().tracer()) {
+        if (traceTrack_ == trace::InvalidTrack)
+            traceTrack_ = tr->track(fullName(), "cxl");
+        tr->complete(traceTrack_, "pnm_task", taskSince_, now());
+    }
     if (params_.policy == Policy::PollingHandshake &&
         !blockedHost_.empty()) {
         // The host discovers the release at its next poll boundary: on

@@ -25,6 +25,7 @@
 
 #include "dram/module.hh"
 #include "sim/sim_object.hh"
+#include "sim/trace.hh"
 
 namespace cxlpnm
 {
@@ -81,9 +82,13 @@ class HostPnmArbiter : public SimObject
     Tick grantLatency_;
 
     bool taskActive_ = false;
+    Tick taskSince_ = 0;
     std::deque<dram::MemoryRequest> blockedHost_;
     std::deque<Tick> blockedSince_;
     Event releaseEvent_;
+
+    /** Lazily registered grant/ownership trace track. */
+    trace::TrackId traceTrack_ = trace::InvalidTrack;
 
     stats::Scalar hostRequests_;
     stats::Scalar pnmRequests_;

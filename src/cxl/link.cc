@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace cxlpnm
 {
@@ -50,6 +51,10 @@ LinkChannel::transfer(std::uint64_t bytes,
     // receiver and replayed from the transmitter's retry buffer, each
     // attempt costing replayPenalty_ of extra pipe time. When the
     // replay budget runs out the flit is delivered poisoned.
+    trace::Tracer *tr = eventQueue().tracer();
+    if (tr != nullptr && traceTrack_ == trace::InvalidTrack)
+        traceTrack_ = tr->track(fullName(), "cxl");
+
     if (faultSite_ != nullptr) {
         int attempts = 0;
         while (faultSite_->poll(now()) == fault::FaultKind::LinkCrc) {
@@ -58,13 +63,21 @@ LinkChannel::transfer(std::uint64_t bytes,
                 poisoned_ += 1;
                 if (poison != nullptr)
                     *poison = true;
+                if (tr != nullptr)
+                    tr->instant(traceTrack_, "crc_poisoned", busyUntil_);
                 break;
             }
             ++attempts;
             replays_ += 1;
+            if (tr != nullptr)
+                tr->instant(traceTrack_, "crc_replay", busyUntil_);
             busyUntil_ += replayPenalty_;
         }
     }
+
+    // The span covers bus occupancy plus any replay stall.
+    if (tr != nullptr)
+        tr->complete(traceTrack_, "xfer", start, busyUntil_);
 
     if (on_complete) {
         pending_.emplace(busyUntil_ + latency_, std::move(on_complete));

@@ -18,6 +18,7 @@
 
 #include "sim/fault.hh"
 #include "sim/sim_object.hh"
+#include "sim/trace.hh"
 
 namespace cxlpnm
 {
@@ -130,6 +131,9 @@ class LinkChannel : public SimObject
     fault::FaultSite *faultSite_ = nullptr;
     Tick replayPenalty_ = 0;
     int maxReplays_ = 0;
+
+    /** Lazily registered transfer/replay trace track. */
+    trace::TrackId traceTrack_ = trace::InvalidTrack;
 
     stats::Scalar bytes_;
     stats::Scalar transfers_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace cxlpnm
 {
@@ -53,6 +54,13 @@ MemoryChannel::access(ChannelRequest req)
     const Tick occupancy = secondsToTicks(sec) + 1;
     const Tick start = std::max(now(), busyUntil_);
     busyUntil_ = start + occupancy;
+
+    if (auto *tr = eventQueue().tracer()) {
+        if (traceTrack_ == trace::InvalidTrack)
+            traceTrack_ = tr->track(fullName(), "dram");
+        tr->complete(traceTrack_, req.isRead ? "rd" : "wr", start,
+                     busyUntil_);
+    }
 
     busyTicks_ += static_cast<double>(occupancy);
     requests_ += 1;

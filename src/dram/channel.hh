@@ -24,6 +24,7 @@
 #include "dram/ecc.hh"
 #include "sim/fault.hh"
 #include "sim/sim_object.hh"
+#include "sim/trace.hh"
 
 namespace cxlpnm
 {
@@ -109,6 +110,9 @@ class MemoryChannel : public SimObject
     /** Fault injection (null = fault-free, the default). */
     fault::FaultSite *faultSite_ = nullptr;
     EccEventState *eccEvents_ = nullptr;
+
+    /** Lazily registered bus-busy trace track. */
+    trace::TrackId traceTrack_ = trace::InvalidTrack;
 
     /** Completion callbacks keyed by delivery tick. */
     std::multimap<Tick, std::function<void()>> pending_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace cxlpnm
 {
@@ -66,6 +67,11 @@ MultiChannelMemory::attachFaultInjector(fault::FaultInjector *inj,
 void
 MultiChannelMemory::scrubPass()
 {
+    if (auto *tr = eventQueue().tracer()) {
+        if (traceTrack_ == trace::InvalidTrack)
+            traceTrack_ = tr->track(fullName(), "dram");
+        tr->instant(traceTrack_, "ecs_scrub", now());
+    }
     eccEvents_->scrub();
     // ECS stays quiet until new latent errors appear; scheduling
     // lazily keeps the event queue drainable at end of simulation.
@@ -114,6 +120,13 @@ MultiChannelMemory::access(MemoryRequest req)
                 k == fault::FaultKind::DoubleBitFlip);
             if (o == EccOutcome::Poisoned && req.poison != nullptr)
                 *req.poison = true;
+            if (auto *tr = eventQueue().tracer()) {
+                if (traceTrack_ == trace::InvalidTrack)
+                    traceTrack_ = tr->track(fullName(), "dram");
+                tr->instant(traceTrack_,
+                            std::string("ecc_") + eccOutcomeName(o),
+                            now());
+            }
             // Corrected errors leave latent state for ECS to clean up.
             if (eccEvents_->scrubbing() &&
                 eccEvents_->latentErrors() > 0 &&

@@ -108,6 +108,8 @@ class MultiChannelMemory : public SimObject
     /** Fault injection (null = fault-free, the default). */
     fault::FaultSite *faultSite_ = nullptr;
     std::unique_ptr<EccEventState> eccEvents_;
+    /** Lazily registered ECC/ECS annotation track. */
+    trace::TrackId traceTrack_ = trace::InvalidTrack;
     Tick scrubInterval_ = 0;
     Event scrubEvent_;
 

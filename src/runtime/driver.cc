@@ -1,9 +1,11 @@
 #include "runtime/driver.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace cxlpnm
 {
@@ -116,6 +118,15 @@ PnmDriver::setParam(int index, std::uint32_t value,
                       std::move(on_complete));
 }
 
+trace::Tracer *
+PnmDriver::traceTracer()
+{
+    trace::Tracer *tr = eventQueue().tracer();
+    if (tr != nullptr && traceTrack_ == trace::InvalidTrack)
+        traceTrack_ = tr->track(fullName(), "runtime");
+    return tr;
+}
+
 void
 PnmDriver::execute(std::function<void()> on_complete)
 {
@@ -127,12 +138,15 @@ PnmDriver::execute(std::function<void()> on_complete)
     userCompletion_ = std::move(on_complete);
     attempt_ = 0;
     resetsDone_ = 0;
+    executeStart_ = now();
     ringDoorbell();
 }
 
 void
 PnmDriver::ringDoorbell()
 {
+    if (auto *tr = traceTracer())
+        tr->instant(traceTrack_, "doorbell", now());
     io_.writeRegister(reg::Doorbell, 1, nullptr);
     if (watchdogEnabled_)
         armWatchdog();
@@ -141,9 +155,22 @@ PnmDriver::ringDoorbell()
 void
 PnmDriver::armWatchdog()
 {
-    const double us =
-        wd_.timeoutUs * std::pow(wd_.backoffFactor, attempt_);
-    const Tick delay = static_cast<Tick>(us * tickPerUs);
+    // Exponential backoff with a hard ceiling: unbounded, the product
+    // overflows the double->Tick conversion after ~63 doublings and the
+    // watchdog would reschedule itself into the past. Saturate at the
+    // configured ceiling (or ~1 simulated hour) and keep now() + delay
+    // representable.
+    const double cap_us =
+        wd_.maxTimeoutUs > 0.0 ? wd_.maxTimeoutUs : 3.6e9;
+    const double us = std::min(
+        cap_us, wd_.timeoutUs * std::pow(wd_.backoffFactor, attempt_));
+    const double ticks = us * static_cast<double>(tickPerUs);
+    const Tick headroom = MaxTick - now();
+    Tick delay;
+    if (!(ticks < static_cast<double>(headroom)))
+        delay = headroom; // also catches inf/NaN from extreme configs
+    else
+        delay = static_cast<Tick>(ticks);
     eventQueue().reschedule(watchdogEvent_, now() + delay);
 }
 
@@ -218,6 +245,8 @@ PnmDriver::completeAttempt()
         // Poisoned run: the data path hit an uncorrectable error. A
         // transient fault may not recur, so retry from the doorbell;
         // after the budget, surface it as uncorrectable.
+        if (auto *tr = traceTracer())
+            tr->instant(traceTrack_, "poisoned_run", now());
         if (attempt_ < wd_.maxRetries) {
             ++attempt_;
             retries_ += 1;
@@ -229,6 +258,8 @@ PnmDriver::completeAttempt()
         return;
     }
 
+    if (auto *tr = traceTracer())
+        tr->complete(traceTrack_, "execute", executeStart_, now());
     auto cb = std::move(userCompletion_);
     userCompletion_ = nullptr;
     attempt_ = 0;
@@ -249,6 +280,8 @@ PnmDriver::watchdogFired()
         return;
     }
     timeouts_ += 1;
+    if (auto *tr = traceTracer())
+        tr->instant(traceTrack_, "watchdog_timeout", now());
     if (attempt_ < wd_.maxRetries) {
         ++attempt_;
         retries_ += 1;
@@ -267,6 +300,8 @@ PnmDriver::watchdogFired()
 void
 PnmDriver::resetDevice()
 {
+    if (auto *tr = traceTracer())
+        tr->instant(traceTrack_, "device_reset", now());
     resets_ += 1;
     accel_.abort();
     statusReg_ = 0;
@@ -282,6 +317,8 @@ PnmDriver::resetDevice()
 void
 PnmDriver::failExecute(DeviceError::Code code, const std::string &what)
 {
+    if (auto *tr = traceTracer())
+        tr->complete(traceTrack_, "execute_failed", executeStart_, now());
     userCompletion_ = nullptr;
     attempt_ = 0;
     resetsDone_ = 0;

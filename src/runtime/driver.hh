@@ -27,6 +27,7 @@
 #include "isa/isa.hh"
 #include "sim/fault.hh"
 #include "sim/sim_object.hh"
+#include "sim/trace.hh"
 
 namespace cxlpnm
 {
@@ -80,6 +81,14 @@ struct WatchdogConfig
     /** Initial completion timeout; doubles (backoffFactor) per retry. */
     double timeoutUs = 10000.0;
     double backoffFactor = 2.0;
+    /**
+     * Ceiling on the backed-off timeout. Without one, timeoutUs *
+     * backoffFactor^attempt grows without bound and the double->Tick
+     * conversion overflows once the delay passes 2^63 ps (undefined
+     * behaviour, then events scheduled in the past). Non-positive
+     * values fall back to the built-in ~1 simulated hour cap.
+     */
+    double maxTimeoutUs = 10e6;
     /** Doorbell retries before escalating to a device reset. */
     int maxRetries = 2;
     /** Device resets (with program reload) before giving up. */
@@ -210,6 +219,11 @@ class PnmDriver : public SimObject
     Event watchdogEvent_;
     int attempt_ = 0;    // doorbell retries since the last clean start
     int resetsDone_ = 0; // resets within the current execute()
+
+    /** Lazily registered execute/watchdog trace track. */
+    trace::TrackId traceTrack_ = trace::InvalidTrack;
+    trace::Tracer *traceTracer();
+    Tick executeStart_ = 0;
     /** Host-retained program image for post-reset reload. */
     std::vector<std::uint8_t> hostProgram_;
     bool programLoaded_ = false;

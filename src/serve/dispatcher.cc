@@ -36,6 +36,19 @@ ApplianceDispatcher::attachFaultInjector(fault::FaultInjector *inj,
 }
 
 void
+ApplianceDispatcher::attachTracer(trace::Tracer *t,
+                                  const std::string &prefix)
+{
+    tracer_ = t;
+    routeTrack_ = t == nullptr
+        ? trace::InvalidTrack
+        : t->track(prefix + ".dispatch", "serve");
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+        groups_[g]->attachTracer(
+            t, prefix + ".group" + std::to_string(g));
+}
+
+void
 ApplianceDispatcher::submit(const ServeRequest &req)
 {
     // Bring every group up to the arrival instant so the routing
@@ -57,6 +70,11 @@ ApplianceDispatcher::submit(const ServeRequest &req)
             best_degraded = degraded;
         }
     }
+    if (tracer_ != nullptr)
+        tracer_->instant(routeTrack_,
+                         "route#" + std::to_string(req.id) + "->g" +
+                             std::to_string(best),
+                         secondsToTicks(req.arrivalSeconds));
     groups_[best]->submit(req);
 }
 

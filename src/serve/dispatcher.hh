@@ -46,6 +46,13 @@ class ApplianceDispatcher
     void attachFaultInjector(fault::FaultInjector *inj,
                              const std::string &prefix);
 
+    /**
+     * Attach a tracer appliance-wide: a "<prefix>.dispatch" routing
+     * track plus per-group scheduler tracks ("<prefix>.group<g>.…").
+     * Null detaches.
+     */
+    void attachTracer(trace::Tracer *t, const std::string &prefix);
+
     /** Advance every group to the arrival, then route it to the
      *  least-loaded one (ties break to the lowest group index;
      *  degraded groups lose to healthy ones). */
@@ -65,6 +72,10 @@ class ApplianceDispatcher
 
   private:
     std::vector<std::unique_ptr<BatchScheduler>> groups_;
+
+    /** Tracing (null = off, the default). */
+    trace::Tracer *tracer_ = nullptr;
+    trace::TrackId routeTrack_ = trace::InvalidTrack;
 };
 
 } // namespace serve

@@ -89,6 +89,10 @@ RequestGenerator::next()
             gap = mean_gap;
             break;
         }
+        // The header promises monotonically non-decreasing arrivals;
+        // enforce it against pathological configs (e.g. an extreme
+        // rate driving mean_gap to a denormal or the draw to NaN).
+        fatal_if(!(gap >= 0.0), "negative or NaN arrival gap ", gap);
         clock_ += gap;
     }
 

@@ -1,6 +1,7 @@
 #include "serve/scheduler.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "sim/logging.hh"
 
@@ -35,6 +36,19 @@ BatchScheduler::BatchScheduler(const llm::ModelConfig &model,
 }
 
 void
+BatchScheduler::attachTracer(trace::Tracer *t, const std::string &prefix)
+{
+    tracer_ = t;
+    if (t == nullptr)
+        return;
+    iterTrack_ = t->track(prefix + ".iterations", "serve");
+    reqTrack_ = t->track(prefix + ".requests", "serve");
+    queueTrack_ = t->track(prefix + ".queue_depth", "serve");
+    kvTrack_ = t->track(prefix + ".kv_utilization", "serve");
+    batchTrack_ = t->track(prefix + ".batch_size", "serve");
+}
+
+void
 BatchScheduler::submit(ServeRequest req)
 {
     fatal_if(req.arrivalSeconds < lastArrival_,
@@ -46,10 +60,17 @@ BatchScheduler::submit(ServeRequest req)
         req.inputTokens + req.outputTokens > model_.maxPositions;
     if (malformed || req.worstCaseKvBytes(model_) > kv_.capacityBytes()) {
         req.state = RequestState::Rejected;
+        if (tracer_ != nullptr)
+            tracer_->instant(reqTrack_,
+                             "reject#" + std::to_string(req.id),
+                             secondsToTicks(req.arrivalSeconds));
         rejected_.push_back(req);
         metrics_.rejectRequest();
         return;
     }
+    if (tracer_ != nullptr)
+        tracer_->instant(reqTrack_, "arrive#" + std::to_string(req.id),
+                         secondsToTicks(req.arrivalSeconds));
     queue_.push_back(req);
 }
 
@@ -73,6 +94,10 @@ BatchScheduler::admit(std::vector<ServeRequest> &joining)
         kv_.reserve(head.worstCaseKvBytes(model_));
         head.state = RequestState::Running;
         head.admitSeconds = clock_;
+        if (tracer_ != nullptr)
+            tracer_->instant(reqTrack_,
+                             "admit#" + std::to_string(head.id),
+                             secondsToTicks(clock_));
         joining.push_back(head);
         queue_.pop_front();
     }
@@ -94,6 +119,8 @@ BatchScheduler::step()
             return false;
     }
 
+    const double iter_start = clock_;
+
     // Iteration cost: joiners pay their prefill, everyone already in
     // the batch decodes one token against their current context.
     double cost = 0.0;
@@ -111,6 +138,13 @@ BatchScheduler::step()
     if (faultSite_ != nullptr &&
         faultSite_->poll(secondsToTicks(clock_)) ==
             fault::FaultKind::IterationFail) {
+        if (tracer_ != nullptr) {
+            tracer_->complete(iterTrack_, "iter_failed",
+                              secondsToTicks(iter_start),
+                              secondsToTicks(clock_));
+            tracer_->instant(iterTrack_, "iteration_fault",
+                             secondsToTicks(clock_));
+        }
         failIteration(joining);
         return true;
     }
@@ -124,12 +158,20 @@ BatchScheduler::step()
             r.firstTokenSeconds = clock_;
             metrics_.sampleTtft(r.ttftSeconds());
         }
+        if (tracer_ != nullptr)
+            tracer_->instant(reqTrack_,
+                             "first_token#" + std::to_string(r.id),
+                             secondsToTicks(clock_));
     }
     // Decoding members each produced one more token; their token
     // latency is the whole iteration (prefill interference included).
     for (ServeRequest &r : batch_) {
         ++r.generated;
         metrics_.sampleTokenLatency(cost);
+        if (tracer_ != nullptr)
+            tracer_->instant(reqTrack_,
+                             "token#" + std::to_string(r.id),
+                             secondsToTicks(clock_));
     }
 
     const std::size_t iter_batch = batch_.size() + joining.size();
@@ -143,6 +185,10 @@ BatchScheduler::step()
             r.state = RequestState::Finished;
             r.finishSeconds = clock_;
             kv_.release(r.worstCaseKvBytes(model_));
+            if (tracer_ != nullptr)
+                tracer_->instant(reqTrack_,
+                                 "retire#" + std::to_string(r.id),
+                                 secondsToTicks(clock_));
             metrics_.finishRequest(r);
             finished_.push_back(r);
         } else {
@@ -153,6 +199,16 @@ BatchScheduler::step()
 
     metrics_.sampleIteration(iter_batch, queue_.size(),
                              kv_.utilization());
+    if (tracer_ != nullptr) {
+        const Tick end = secondsToTicks(clock_);
+        tracer_->complete(iterTrack_, "iter",
+                          secondsToTicks(iter_start), end);
+        tracer_->counter(queueTrack_, end,
+                         static_cast<double>(queue_.size()));
+        tracer_->counter(kvTrack_, end, kv_.utilization());
+        tracer_->counter(batchTrack_, end,
+                         static_cast<double>(iter_batch));
+    }
     return true;
 }
 
@@ -163,9 +219,14 @@ BatchScheduler::failIteration(std::vector<ServeRequest> &joining)
 
     // Recovery dead time (device reset + reload as the serving layer
     // sees it); the dispatcher routes new arrivals around this window.
+    const double degraded_from = clock_;
     clock_ += cfg_.ras.degradedCooldownSeconds;
     degradedUntil_ = clock_;
     metrics_.noteDegraded(cfg_.ras.degradedCooldownSeconds);
+    if (tracer_ != nullptr)
+        tracer_->complete(iterTrack_, "degraded",
+                          secondsToTicks(degraded_from),
+                          secondsToTicks(degradedUntil_));
 
     // Everyone in the iteration loses their progress: KV state is
     // gone, so survivors restart from their prompt. Relative order is
@@ -184,12 +245,20 @@ BatchScheduler::failIteration(std::vector<ServeRequest> &joining)
         if (r.retries > cfg_.ras.maxRequestRetries) {
             r.state = RequestState::Failed;
             r.finishSeconds = clock_;
+            if (tracer_ != nullptr)
+                tracer_->instant(reqTrack_,
+                                 "fail#" + std::to_string(r.id),
+                                 secondsToTicks(clock_));
             metrics_.failRequest();
             failed_.push_back(r);
             continue;
         }
         metrics_.noteRequestRetry();
         r.state = RequestState::Queued;
+        if (tracer_ != nullptr)
+            tracer_->instant(reqTrack_,
+                             "requeue#" + std::to_string(r.id),
+                             secondsToTicks(clock_));
         queue_.push_front(r);
     }
 }
@@ -212,6 +281,12 @@ BatchScheduler::drain()
     }
     panic_if(!queue_.empty() || !batch_.empty(),
              "drain left requests behind");
+    // Every reserve must have been paired with exactly one release by
+    // now (retire, or the requeue/Failed fault path): a non-zero
+    // residue here is a KV accounting leak or double-release.
+    panic_if(kv_.reservedBytes() != 0, "drain left ",
+             kv_.reservedBytes(), " KV bytes reserved with no request "
+             "in flight");
 }
 
 std::uint64_t

@@ -25,6 +25,7 @@
 #include "serve/metrics.hh"
 #include "serve/request.hh"
 #include "sim/fault.hh"
+#include "sim/trace.hh"
 
 namespace cxlpnm
 {
@@ -93,6 +94,15 @@ class BatchScheduler
      */
     void attachFaultSite(fault::FaultSite *site) { faultSite_ = site; }
 
+    /**
+     * Attach a tracer; tracks register eagerly as "<prefix>.…" so ids
+     * depend only on attach order. The serving clock is seconds and
+     * converts to trace ticks via secondsToTicks. Emits iteration
+     * spans, request-lifecycle instants (arrive/admit/token/retire,
+     * requeue/fail under fault injection) and queue/KV/batch counters.
+     */
+    void attachTracer(trace::Tracer *t, const std::string &prefix);
+
     double clockSeconds() const { return clock_; }
 
     /** True while @p t lies inside a post-failure cooldown window. */
@@ -150,6 +160,14 @@ class BatchScheduler
     /** Fault injection (null = fault-free, the default). */
     fault::FaultSite *faultSite_ = nullptr;
     double degradedUntil_ = 0.0;
+
+    /** Tracing (null = off, the default). */
+    trace::Tracer *tracer_ = nullptr;
+    trace::TrackId iterTrack_ = trace::InvalidTrack;
+    trace::TrackId reqTrack_ = trace::InvalidTrack;
+    trace::TrackId queueTrack_ = trace::InvalidTrack;
+    trace::TrackId kvTrack_ = trace::InvalidTrack;
+    trace::TrackId batchTrack_ = trace::InvalidTrack;
 };
 
 } // namespace serve

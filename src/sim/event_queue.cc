@@ -5,9 +5,17 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace cxlpnm
 {
+
+void
+EventQueue::setTracer(trace::Tracer *t)
+{
+    tracer_ = t;
+    traceTrack_ = t ? t->track("sim.events", "sim") : 0;
+}
 
 Event::Event(std::string name, std::function<void()> callback, int priority)
     : name_(std::move(name)), callback_(std::move(callback)),
@@ -164,6 +172,8 @@ EventQueue::step()
     now_ = heap_.front()->when_;
     Event *ev = removeAt(0);
     ++fired_;
+    if (tracer_ != nullptr && tracer_->eventDispatch())
+        tracer_->instant(traceTrack_, ev->name_, now_);
     // Hold one-shot ownership across the callback: a throwing handler
     // (the panic/fatal paths) must not leak the event.
     std::unique_ptr<Event> reclaim(ev->oneShot_ ? ev : nullptr);

@@ -21,6 +21,11 @@
 namespace cxlpnm
 {
 
+namespace trace
+{
+class Tracer;
+}
+
 class EventQueue;
 
 /**
@@ -131,6 +136,15 @@ class EventQueue
     /** Total events fired since construction. */
     std::uint64_t eventsFired() const { return fired_; }
 
+    /**
+     * Tracer shared by every component on this queue; null (the
+     * default) disables tracing. Components reach it through
+     * `eventQueue().tracer()` and must treat null as "off". The
+     * queue does not own the tracer.
+     */
+    trace::Tracer *tracer() const { return tracer_; }
+    void setTracer(trace::Tracer *t);
+
   private:
     /**
      * Index-tracking d-ary min-heap ordered by (when, priority,
@@ -152,6 +166,10 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t nextSequence_ = 0;
     std::uint64_t fired_ = 0;
+
+    trace::Tracer *tracer_ = nullptr;
+    /** Dispatch-instant track; registered by setTracer. */
+    std::uint32_t traceTrack_ = 0;
 };
 
 } // namespace cxlpnm

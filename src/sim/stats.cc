@@ -73,9 +73,22 @@ Histogram::sample(double v)
     } else if (v >= hi_) {
         ++overflow_;
     } else {
-        auto idx = static_cast<std::size_t>(
-            (v - lo_) / (hi_ - lo_) * static_cast<double>(buckets_.size()));
-        ++buckets_[std::min(idx, buckets_.size() - 1)];
+        // Bucket i covers [lo + i*width, lo + (i+1)*width) with the
+        // same edges dump() prints and percentile() reports. The
+        // division can land an exact-edge sample one bucket off (e.g.
+        // (0.8 - 0) / 0.4 evaluating just under 2), so correct the
+        // index against the computed edges instead of trusting the
+        // quotient.
+        const double width =
+            (hi_ - lo_) / static_cast<double>(buckets_.size());
+        auto idx = static_cast<std::size_t>((v - lo_) / width);
+        idx = std::min(idx, buckets_.size() - 1);
+        if (idx + 1 < buckets_.size() &&
+            v >= lo_ + width * static_cast<double>(idx + 1))
+            ++idx;
+        else if (idx > 0 && v < lo_ + width * static_cast<double>(idx))
+            --idx;
+        ++buckets_[idx];
     }
 }
 

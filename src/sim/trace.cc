@@ -1,0 +1,278 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace trace
+{
+
+namespace
+{
+
+/**
+ * Ticks are picoseconds; the trace format wants microseconds. Render
+ * "<us>.<6-digit ps remainder>" with integer math only, so the bytes
+ * never depend on floating-point formatting.
+ */
+void
+appendMicros(std::string &out, Tick t)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%llu.%06llu",
+                  static_cast<unsigned long long>(t / 1000000ull),
+                  static_cast<unsigned long long>(t % 1000000ull));
+    out += buf;
+}
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+std::string
+formatSeconds(Tick t)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%llu.%06llu",
+                  static_cast<unsigned long long>(t / tickPerSec),
+                  static_cast<unsigned long long>((t % tickPerSec) /
+                                                  1000000ull));
+    return buf;
+}
+
+} // namespace
+
+TrackId
+Tracer::track(const std::string &name, const char *category)
+{
+    auto it = trackByName_.find(name);
+    if (it != trackByName_.end())
+        return it->second;
+    tracks_.push_back(Track{name, category ? category : ""});
+    const auto id = static_cast<TrackId>(tracks_.size()); // 1-based
+    trackByName_.emplace(name, id);
+    return id;
+}
+
+void
+Tracer::complete(TrackId t, const std::string &name, Tick start, Tick end)
+{
+    panic_if(t == InvalidTrack || t > tracks_.size(),
+             "trace span '", name, "' on unregistered track");
+    panic_if(end < start, "trace span '", name, "' ends before it starts");
+    records_.push_back(Record{Phase::Complete, t, start, end - start, 0.0,
+                              name});
+}
+
+void
+Tracer::instant(TrackId t, const std::string &name, Tick ts)
+{
+    panic_if(t == InvalidTrack || t > tracks_.size(),
+             "trace instant '", name, "' on unregistered track");
+    records_.push_back(Record{Phase::Instant, t, ts, 0, 0.0, name});
+}
+
+void
+Tracer::counter(TrackId t, Tick ts, double value)
+{
+    panic_if(t == InvalidTrack || t > tracks_.size(),
+             "trace counter on unregistered track");
+    records_.push_back(Record{Phase::Counter, t, ts, 0, value,
+                              tracks_[t - 1].name});
+}
+
+void
+Tracer::write(std::ostream &os) const
+{
+    // Stable order: (ts, track, emission sequence). The emission
+    // sequence is the buffer index, so the sort is a total order and
+    // per-track timestamps come out monotonically non-decreasing.
+    std::vector<std::size_t> order(records_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [this](std::size_t a, std::size_t b) {
+                  const Record &ra = records_[a];
+                  const Record &rb = records_[b];
+                  if (ra.ts != rb.ts)
+                      return ra.ts < rb.ts;
+                  if (ra.track != rb.track)
+                      return ra.track < rb.track;
+                  return a < b;
+              });
+
+    std::string out;
+    out.reserve(96 * (records_.size() + tracks_.size()) + 256);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+           "\"args\":{\"name\":\"cxlpnm\"}}";
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+        out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+        out += std::to_string(i + 1);
+        out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+        appendEscaped(out, tracks_[i].name);
+        out += "\"}}";
+    }
+    for (std::size_t i : order) {
+        const Record &r = records_[i];
+        const Track &tk = tracks_[r.track - 1];
+        out += ",\n{\"ph\":\"";
+        switch (r.ph) {
+          case Phase::Complete: out += 'X'; break;
+          case Phase::Instant: out += 'i'; break;
+          case Phase::Counter: out += 'C'; break;
+        }
+        out += "\",\"pid\":1,\"tid\":";
+        out += std::to_string(r.track);
+        out += ",\"ts\":";
+        appendMicros(out, r.ts);
+        if (r.ph == Phase::Complete) {
+            out += ",\"dur\":";
+            appendMicros(out, r.dur);
+        }
+        if (r.ph == Phase::Instant)
+            out += ",\"s\":\"t\"";
+        out += ",\"name\":\"";
+        appendEscaped(out, r.name);
+        out += "\"";
+        if (r.ph == Phase::Counter) {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.9g", r.value);
+            out += ",\"args\":{\"value\":";
+            out += buf;
+            out += "}";
+        } else if (!tk.category.empty()) {
+            out += ",\"cat\":\"";
+            appendEscaped(out, tk.category);
+            out += "\"";
+        }
+        out += "}";
+    }
+    out += "\n]}\n";
+    os << out;
+}
+
+std::string
+Tracer::json() const
+{
+    std::ostringstream ss;
+    write(ss);
+    return ss.str();
+}
+
+bool
+Tracer::writeFile(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    write(f);
+    return static_cast<bool>(f);
+}
+
+void
+Tracer::summary(std::ostream &os, std::size_t top_k) const
+{
+    struct Busy
+    {
+        Tick busy = 0;
+        std::uint64_t spans = 0;
+    };
+    std::vector<Busy> busy(tracks_.size());
+    Tick t0 = MaxTick, t1 = 0;
+    for (const Record &r : records_) {
+        t0 = std::min(t0, r.ts);
+        t1 = std::max(t1, r.ts + r.dur);
+        if (r.ph == Phase::Complete) {
+            busy[r.track - 1].busy += r.dur;
+            ++busy[r.track - 1].spans;
+        }
+    }
+    if (records_.empty())
+        t0 = t1 = 0;
+    const Tick window = t1 > t0 ? t1 - t0 : 1;
+
+    os << "--- trace summary: " << records_.size() << " events on "
+       << tracks_.size() << " tracks over " << formatSeconds(t1 - t0)
+       << " s (simulated) ---\n";
+
+    // Busy % per track, highest first; ties broken by track id so the
+    // report is deterministic. Overlapping spans sum, so pipelined
+    // tracks can exceed 100%.
+    std::vector<std::size_t> by_busy;
+    for (std::size_t i = 0; i < tracks_.size(); ++i)
+        if (busy[i].spans > 0)
+            by_busy.push_back(i);
+    std::sort(by_busy.begin(), by_busy.end(),
+              [&busy](std::size_t a, std::size_t b) {
+                  if (busy[a].busy != busy[b].busy)
+                      return busy[a].busy > busy[b].busy;
+                  return a < b;
+              });
+    os << "busy fraction by track (duration spans only):\n";
+    for (std::size_t i : by_busy) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "  %6.1f%%  %-40s %8llu spans, %s s busy\n",
+                      100.0 * static_cast<double>(busy[i].busy) /
+                          static_cast<double>(window),
+                      tracks_[i].name.c_str(),
+                      static_cast<unsigned long long>(busy[i].spans),
+                      formatSeconds(busy[i].busy).c_str());
+        os << line;
+    }
+
+    // Top-k longest spans (duration, then earliest, then track).
+    std::vector<std::size_t> spans;
+    for (std::size_t i = 0; i < records_.size(); ++i)
+        if (records_[i].ph == Phase::Complete)
+            spans.push_back(i);
+    const std::size_t k = std::min(top_k, spans.size());
+    std::partial_sort(spans.begin(), spans.begin() + k, spans.end(),
+                      [this](std::size_t a, std::size_t b) {
+                          const Record &ra = records_[a];
+                          const Record &rb = records_[b];
+                          if (ra.dur != rb.dur)
+                              return ra.dur > rb.dur;
+                          if (ra.ts != rb.ts)
+                              return ra.ts < rb.ts;
+                          return a < b;
+                      });
+    os << "top " << k << " longest spans:\n";
+    for (std::size_t i = 0; i < k; ++i) {
+        const Record &r = records_[spans[i]];
+        char line[200];
+        std::snprintf(line, sizeof(line),
+                      "  %s s  %-24s @ %s [t=%s s]\n",
+                      formatSeconds(r.dur).c_str(), r.name.c_str(),
+                      tracks_[r.track - 1].name.c_str(),
+                      formatSeconds(r.ts).c_str());
+        os << line;
+    }
+}
+
+} // namespace trace
+} // namespace cxlpnm

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Chrome-trace / Perfetto-compatible tracing for the simulator.
+ *
+ * A Tracer collects duration spans ("ph":"X"), instant events
+ * ("ph":"i") and counter samples ("ph":"C") on named tracks and writes
+ * them as Trace Event Format JSON that chrome://tracing and
+ * ui.perfetto.dev load directly. Timestamps are *simulated* time:
+ * callers pass Ticks (picoseconds) and the writer renders microseconds
+ * with pure integer math, so the emitted bytes are a function of the
+ * simulation alone — same seed, same trace, regardless of host, build
+ * or worker-thread count (the same discipline as the fault log).
+ *
+ * Determinism contract:
+ *  - Track IDs are assigned in first-registration order, which is
+ *    itself deterministic (component construction / first activity).
+ *  - Records are buffered and stable-ordered at write time by
+ *    (timestamp, track, emission sequence), so per-track timestamps
+ *    are monotonically non-decreasing in the output.
+ *  - No wall-clock, pointers, or iteration-order-dependent state is
+ *    ever emitted.
+ *
+ * Overhead contract: tracing is off by default. The gate is a null
+ * Tracer pointer — e.g. `eventQueue().tracer()` — checked at each
+ * instrumentation site, so a disabled run costs one predictable
+ * branch per site and perturbs neither simulated timing nor numerics
+ * (the golden checksum is bit-identical either way).
+ */
+
+#ifndef CXLPNM_SIM_TRACE_HH
+#define CXLPNM_SIM_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cxlpnm
+{
+namespace trace
+{
+
+/**
+ * Stable identifier of one timeline, rendered as a Perfetto "thread".
+ * 0 is reserved as the unset/invalid value so call sites can cache a
+ * TrackId member and lazily register on first use.
+ */
+using TrackId = std::uint32_t;
+
+constexpr TrackId InvalidTrack = 0;
+
+/** Convenience gate for instrumentation sites:
+ *  `if (CXLPNM_TRACING(tr)) tr->instant(...);` compiles to a single
+ *  pointer test when tracing is disabled. */
+#define CXLPNM_TRACING(tracer_ptr) ((tracer_ptr) != nullptr)
+
+class Tracer
+{
+  public:
+    Tracer() = default;
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /**
+     * Intern a track by name (idempotent: same name, same id). The id
+     * is the 1-based registration order, so a deterministic call
+     * sequence yields deterministic ids. @p category becomes the
+     * "cat" field of the track's events.
+     */
+    TrackId track(const std::string &name, const char *category = "");
+
+    /** Duration span [start, end] on @p t; end >= start required. */
+    void complete(TrackId t, const std::string &name, Tick start,
+                  Tick end);
+
+    /** Zero-duration marker at @p ts. */
+    void instant(TrackId t, const std::string &name, Tick ts);
+
+    /**
+     * Counter sample at @p ts; the series is named after the track, so
+     * dedicate one track per counter (e.g. "app.queue_depth").
+     */
+    void counter(TrackId t, Tick ts, double value);
+
+    /**
+     * When true, EventQueue::step emits one instant per dispatched
+     * event. Off by default: per-event instants dominate trace size
+     * on event-dense device runs.
+     */
+    bool eventDispatch() const { return eventDispatch_; }
+    void setEventDispatch(bool on) { eventDispatch_ = on; }
+
+    std::size_t eventCount() const { return records_.size(); }
+    std::size_t trackCount() const { return tracks_.size(); }
+
+    /** Serialize as Chrome Trace Event Format JSON. */
+    void write(std::ostream &os) const;
+    std::string json() const;
+
+    /** Write JSON to @p path; false (with errno intact) on failure. */
+    bool writeFile(const std::string &path) const;
+
+    /**
+     * Post-run profiling report: per-track busy % over the traced
+     * window (complete spans only; overlapping spans are summed, so
+     * pipelined tracks can exceed 100%) and the @p top_k longest
+     * spans. Deterministic ordering.
+     */
+    void summary(std::ostream &os, std::size_t top_k = 5) const;
+
+  private:
+    enum class Phase : std::uint8_t { Complete, Instant, Counter };
+
+    struct Track
+    {
+        std::string name;
+        std::string category;
+    };
+
+    struct Record
+    {
+        Phase ph;
+        TrackId track;
+        Tick ts;
+        Tick dur;     // Complete only
+        double value; // Counter only
+        std::string name;
+    };
+
+    std::vector<Track> tracks_;
+    std::unordered_map<std::string, TrackId> trackByName_;
+    std::vector<Record> records_;
+    bool eventDispatch_ = false;
+};
+
+} // namespace trace
+} // namespace cxlpnm
+
+#endif // CXLPNM_SIM_TRACE_HH

@@ -510,6 +510,43 @@ TEST_F(DriverRasFixture, CorrectedBitFlipsAreInvisibleToTheRun)
     (void)handled;
 }
 
+TEST_F(DriverRasFixture, ManyRetryBackoffStaysBoundedByTheCap)
+{
+    // A permanently hung device with a large retry budget drives the
+    // exponential backoff far past any sane delay; without the
+    // maxTimeoutUs cap the double->Tick conversion overflows 2^63 ps
+    // around attempt 40 and the watchdog re-arms in the past. With the
+    // cap, 150 retries complete with bounded, monotone simulated time.
+    FaultInjector inj(3);
+    inj.arm(FaultSpec::probabilistic("dev.driver.launch",
+                                     FaultKind::DeviceHang, 1.0));
+    dev->attachFaultInjector(&inj);
+    runtime::WatchdogConfig wd;
+    wd.timeoutUs = 10.0;
+    wd.backoffFactor = 4.0; // 4^150 us uncapped: astronomically past 2^63
+    wd.maxTimeoutUs = 1000.0;
+    wd.maxRetries = 150;
+    wd.maxResets = 0;
+    dev->driver().setWatchdog(wd);
+
+    bool handled = false;
+    dev->driver().setErrorHandler(
+        [&](const runtime::DeviceError &e) {
+            handled = true;
+            EXPECT_EQ(e.code(), runtime::DeviceError::Code::Hang);
+        });
+
+    const Tick before = eq.now();
+    EXPECT_FALSE(prefillCompletes());
+    EXPECT_TRUE(handled);
+    EXPECT_EQ(dev->driver().doorbellRetries(), 150u);
+    EXPECT_EQ(dev->driver().watchdogTimeouts(), 151u);
+    // Time advanced (every timeout waited) but stayed within the cap's
+    // budget: 151 timeouts of at most 1000 us each, plus slack.
+    EXPECT_GT(eq.now(), before);
+    EXPECT_LT(eq.now() - before, 200 * 1000 * tickPerUs);
+}
+
 // ---- device-level determinism: same seed, byte-identical fault log ----
 
 TEST(FaultDeterminismTest, DeviceCampaignLogIsSeedStable)

@@ -17,6 +17,7 @@
 #include "llm/workload.hh"
 #include "numeric/fp16.hh"
 #include "runtime/allocator.hh"
+#include "serve/request_generator.hh"
 #include "sim/random.hh"
 
 namespace cxlpnm
@@ -205,6 +206,34 @@ TEST(ShardPropertyTest, GenDmaTrafficScalesInversely)
     const double t4 = quarter.genSeconds.back();
     EXPECT_NEAR(t2 / t1, 0.5, 0.08);
     EXPECT_NEAR(t4 / t1, 0.25, 0.08);
+}
+
+TEST(GeneratorPropertyTest, ArrivalsMonotoneUnderExtremeRates)
+{
+    // The serving layer assumes submissions arrive in order; the
+    // generator must hold that invariant at any rate, from one request
+    // per ~11 days (gaps of ~1e6 s that dwarf the clock's ulp) to 1e12
+    // req/s (gaps of ~1e-12 s that vanish beneath it), for both
+    // arrival processes and across seeds.
+    for (const double qps : {1e-6, 0.5, 1e6, 1e12}) {
+        for (const auto proc : {serve::ArrivalProcess::Poisson,
+                                serve::ArrivalProcess::Fixed}) {
+            serve::TraceConfig cfg;
+            cfg.arrivals = proc;
+            cfg.requestsPerSec = qps;
+            cfg.numRequests = 3000;
+            cfg.seed = 1234;
+            const auto t = serve::RequestGenerator::generate(cfg);
+            ASSERT_EQ(t.size(), cfg.numRequests);
+            double prev = 0.0;
+            for (const auto &r : t) {
+                ASSERT_TRUE(std::isfinite(r.arrivalSeconds))
+                    << "qps " << qps;
+                ASSERT_GE(r.arrivalSeconds, prev) << "qps " << qps;
+                prev = r.arrivalSeconds;
+            }
+        }
+    }
 }
 
 TEST(EventQueuePropertyTest, ManyOneShotsFireInOrder)

@@ -349,6 +349,141 @@ TEST(SchedulerTest, TtftIncludesQueueingDelay)
               a.finishSeconds - a.arrivalSeconds - 1e-12);
 }
 
+// ---- KV accounting under adversarial fault orderings ----
+
+TEST(KvAccountingTest, FaultAtEveryIterationIndexLeavesNoReservation)
+{
+    // Sweep the failing iteration across the whole run - including the
+    // iterations on which requests join, produce their last token, and
+    // retire - and require the pool to balance after every drain. The
+    // drain itself panics on leaked reservations, so completing at all
+    // is the real assertion.
+    for (std::uint64_t n = 0; n < 12; ++n) {
+        ServeMetrics metrics(nullptr, "serve");
+        SchedulerConfig cfg;
+        cfg.ras.maxRequestRetries = 1;
+        cfg.ras.degradedCooldownSeconds = 0.05;
+        BatchScheduler s(llm::ModelConfig::tiny(), syntheticCost(),
+                         1ull << 30, cfg, metrics);
+        fault::FaultInjector inj(17);
+        inj.arm(fault::FaultSpec::scriptedAccess(
+            "grp", fault::FaultKind::IterationFail, n));
+        s.attachFaultSite(inj.site("grp"));
+
+        for (std::uint64_t id = 0; id < 4; ++id) {
+            ServeRequest r;
+            r.id = id;
+            r.arrivalSeconds = 0.01 * static_cast<double>(id);
+            r.inputTokens = 8;
+            r.outputTokens = 2 + id;
+            s.submit(r);
+        }
+        s.drain();
+        EXPECT_EQ(s.kvPool().reservedBytes(), 0u) << "fault at " << n;
+        EXPECT_EQ(s.finished().size() + s.failed().size() +
+                      s.rejected().size(),
+                  4u)
+            << "fault at " << n;
+    }
+}
+
+TEST(KvAccountingTest, RetryExhaustionUnderTightPoolBalances)
+{
+    // Every iteration fails, so every request walks the full requeue ->
+    // readmit -> fail path; the pool is sized for two requests, so the
+    // failures interleave with fresh admissions from the queue.
+    ServeRequest probe;
+    probe.inputTokens = 8;
+    probe.outputTokens = 4;
+    const auto model = llm::ModelConfig::tiny();
+    const std::uint64_t capacity = 2 * probe.worstCaseKvBytes(model);
+
+    ServeMetrics metrics(nullptr, "serve");
+    SchedulerConfig cfg;
+    cfg.ras.maxRequestRetries = 2;
+    cfg.ras.degradedCooldownSeconds = 0.01;
+    BatchScheduler s(model, syntheticCost(), capacity, cfg, metrics);
+    fault::FaultInjector inj(23);
+    inj.arm(fault::FaultSpec::probabilistic(
+        "grp", fault::FaultKind::IterationFail, 1.0));
+    s.attachFaultSite(inj.site("grp"));
+
+    for (std::uint64_t id = 0; id < 6; ++id) {
+        ServeRequest r = probe;
+        r.id = id;
+        s.submit(r);
+    }
+    s.drain();
+    EXPECT_EQ(s.kvPool().reservedBytes(), 0u);
+    EXPECT_EQ(s.failed().size(), 6u);
+    EXPECT_EQ(s.finished().size(), 0u);
+    for (const auto &r : s.failed())
+        EXPECT_EQ(r.retries, 3u); // initial + 2 retries, all lost
+}
+
+TEST(KvAccountingTest, IntermittentFaultsNeverLeakAcrossSeeds)
+{
+    const auto model = llm::ModelConfig::tiny();
+    ServeRequest probe;
+    probe.inputTokens = 8;
+    probe.outputTokens = 6;
+    const std::uint64_t capacity = 3 * probe.worstCaseKvBytes(model);
+
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        ServeMetrics metrics(nullptr, "serve");
+        SchedulerConfig cfg;
+        cfg.ras.maxRequestRetries = 1;
+        cfg.ras.degradedCooldownSeconds = 0.02;
+        BatchScheduler s(model, syntheticCost(), capacity, cfg,
+                         metrics);
+        fault::FaultInjector inj(seed);
+        inj.arm(fault::FaultSpec::probabilistic(
+            "grp", fault::FaultKind::IterationFail, 0.4));
+        s.attachFaultSite(inj.site("grp"));
+
+        RequestGenerator gen(saturatingTrace(12, 8, 6));
+        while (!gen.exhausted())
+            s.submit(gen.next());
+        s.drain();
+        EXPECT_EQ(s.kvPool().reservedBytes(), 0u) << "seed " << seed;
+        EXPECT_EQ(s.finished().size() + s.failed().size(), 12u)
+            << "seed " << seed;
+    }
+}
+
+// ---- SLO edge classification ----
+
+TEST(MetricsTest, DeadlineExactlyMetCountsTowardGoodput)
+{
+    // A mean per-token latency exactly equal to the deadline meets the
+    // SLO (<=, not <). Use binary-exact values so "exactly equal" is
+    // not at the mercy of decimal rounding.
+    MetricsConfig mcfg;
+    mcfg.sloTokenSeconds = 0.125;
+    ServeMetrics metrics(nullptr, "serve", mcfg);
+
+    ServeRequest r;
+    r.id = 0;
+    r.outputTokens = 3;
+    r.state = RequestState::Finished;
+    r.arrivalSeconds = 0.0;
+    r.admitSeconds = 0.0;
+    r.firstTokenSeconds = 0.0;
+    r.finishSeconds = 0.25; // two gaps of exactly 0.125 s
+    metrics.finishRequest(r);
+
+    const auto rep = metrics.report(1.0);
+    EXPECT_EQ(rep.completed, 1u);
+    EXPECT_DOUBLE_EQ(rep.sloFraction, 1.0);
+    EXPECT_GT(rep.goodputTokensPerSec, 0.0);
+
+    // A hair past the deadline misses it.
+    ServeMetrics strict(nullptr, "serve2", mcfg);
+    r.finishSeconds = 0.25 * (1.0 + 1e-12);
+    strict.finishRequest(r);
+    EXPECT_DOUBLE_EQ(strict.report(1.0).sloFraction, 0.0);
+}
+
 // ---- dispatcher ----
 
 TEST(DispatcherTest, SpreadsLoadAcrossDataParallelGroups)

@@ -322,6 +322,64 @@ TEST(StatsTest, HistogramBucketsAndOverflow)
     EXPECT_EQ(h.count(), 6u);
 }
 
+TEST(StatsTest, HistogramExactEdgeSamplesClassifyRightOpen)
+{
+    // Bucket i covers [lo + i*width, lo + (i+1)*width): a sample
+    // exactly on an interior edge belongs to the bucket the edge
+    // opens, even when (v - lo) / width rounds just under the integer
+    // (the historical bug: lo=0, hi=1.2, 3 buckets, v=0.8 landed in
+    // bucket 1 instead of 2).
+    stats::StatGroup root(nullptr, "root");
+    const double lo = 0.0, hi = 1.2;
+    const std::size_t n = 3;
+    stats::Histogram h(&root, "h", "hist", lo, hi, n);
+    const double width = (hi - lo) / static_cast<double>(n);
+
+    for (std::size_t i = 1; i < n; ++i)
+        h.sample(lo + width * static_cast<double>(i));
+    EXPECT_EQ(h.buckets()[0], 0u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+
+    h.sample(0.8); // the decimal-literal twin of edge 2
+    EXPECT_EQ(h.buckets()[2], 2u);
+    h.sample(lo);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    // The upper bound itself is out of range, exactly like the
+    // percentile resolution treats it.
+    h.sample(hi);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+}
+
+TEST(StatsTest, HistogramEdgeSampleAgreesWithPercentileEdges)
+{
+    // An exact-edge sample must resolve to the same bucket whose upper
+    // edge percentile() reports - classification and reporting use the
+    // same computed edges.
+    stats::StatGroup root(nullptr, "root");
+    const double lo = 0.0, hi = 1.2;
+    stats::Histogram h(&root, "h", "hist", lo, hi, 3);
+    const double width = (hi - lo) / 3.0;
+
+    h.sample(lo + width * 2.0); // opens bucket 2
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), lo + width * 3.0);
+
+    // Awkward widths from SLO-style ranges: 0..2.0 s over 4000 buckets
+    // (width 5e-4 is not a binary fraction). Every 100th edge must
+    // classify into the bucket it opens.
+    stats::Histogram t(&root, "t", "tok", 0.0, 2.0, 4000);
+    const double tw = 2.0 / 4000.0;
+    for (std::size_t i = 100; i < 4000; i += 100)
+        t.sample(0.0 + tw * static_cast<double>(i));
+    const auto &b = t.buckets();
+    for (std::size_t i = 100; i < 4000; i += 100)
+        EXPECT_EQ(b[i], 1u) << "edge " << i;
+    EXPECT_EQ(t.underflow(), 0u);
+    EXPECT_EQ(t.overflow(), 0u);
+}
+
 TEST(StatsTest, HistogramPercentileNearestRank)
 {
     stats::StatGroup root(nullptr, "root");

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tracing tests: Tracer determinism and Chrome-trace output format,
+ * write-time per-track ordering, the null-tracer overhead contract
+ * (identical timing with tracing on or off), and byte-determinism of
+ * full traced runs at both the device and the serving layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/inference_engine.hh"
+#include "serve/cost_model.hh"
+#include "serve/dispatcher.hh"
+#include "serve/request_generator.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace cxlpnm
+{
+namespace
+{
+
+// ---- Tracer unit behaviour ----
+
+TEST(TracerTest, TrackInterningIsStableAndOneBased)
+{
+    trace::Tracer t;
+    const auto a = t.track("alpha", "cat");
+    const auto b = t.track("beta");
+    EXPECT_EQ(a, 1u);
+    EXPECT_EQ(b, 2u);
+    EXPECT_EQ(t.track("alpha"), a); // idempotent
+    EXPECT_EQ(t.trackCount(), 2u);
+    EXPECT_NE(a, trace::InvalidTrack);
+}
+
+TEST(TracerTest, EmitsChromeTraceJsonWithMicrosecondTimestamps)
+{
+    trace::Tracer t;
+    const auto tr = t.track("unit", "test");
+    // 2.5 us and 1 us duration, expressed in ticks (picoseconds).
+    t.complete(tr, "span", 2 * tickPerUs + tickPerUs / 2,
+               3 * tickPerUs + tickPerUs / 2);
+    t.instant(tr, "mark", 7 * tickPerUs);
+    t.counter(tr, 8 * tickPerUs, 0.25);
+
+    const std::string js = t.json();
+    EXPECT_NE(js.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+    EXPECT_NE(js.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(js.find("\"ph\":\"M\""), std::string::npos); // metadata
+    EXPECT_NE(js.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(js.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(js.find("\"ph\":\"C\""), std::string::npos);
+    // Integer-math microsecond rendering, six fractional digits.
+    EXPECT_NE(js.find("\"ts\":2.500000"), std::string::npos);
+    EXPECT_NE(js.find("\"dur\":1.000000"), std::string::npos);
+    EXPECT_NE(js.find("\"value\":0.25"), std::string::npos);
+    EXPECT_NE(js.find("\"cat\":\"test\""), std::string::npos);
+    EXPECT_EQ(t.eventCount(), 3u);
+}
+
+TEST(TracerTest, EscapesJsonSpecialsInNames)
+{
+    trace::Tracer t;
+    const auto tr = t.track("quo\"te\\track");
+    t.instant(tr, "line\nbreak\ttab", 0);
+    const std::string js = t.json();
+    EXPECT_NE(js.find("quo\\\"te\\\\track"), std::string::npos);
+    EXPECT_NE(js.find("line\\nbreak\\ttab"), std::string::npos);
+}
+
+TEST(TracerTest, IdenticalSequencesGiveIdenticalBytes)
+{
+    auto build = [](Tick skew) {
+        trace::Tracer t;
+        const auto a = t.track("a", "x");
+        const auto b = t.track("b");
+        for (Tick i = 0; i < 50; ++i) {
+            t.complete(a, "work", i * 100 + skew, i * 100 + 60 + skew);
+            t.instant(b, "tick", i * 100 + skew);
+            t.counter(b, i * 100 + skew, static_cast<double>(i) / 3.0);
+        }
+        return t.json();
+    };
+    EXPECT_EQ(build(0), build(0));
+    EXPECT_NE(build(0), build(1));
+}
+
+TEST(TracerTest, WriteOrdersRecordsByTimestampPerTrack)
+{
+    trace::Tracer t;
+    const auto tr = t.track("ooo");
+    // Emitted out of order: the writer must sort by timestamp.
+    t.instant(tr, "late_mark", 9 * tickPerUs);
+    t.complete(tr, "early_span", 1 * tickPerUs, 2 * tickPerUs);
+    t.instant(tr, "middle_mark", 5 * tickPerUs);
+    const std::string js = t.json();
+    const auto early = js.find("early_span");
+    const auto middle = js.find("middle_mark");
+    const auto late = js.find("late_mark");
+    ASSERT_NE(early, std::string::npos);
+    ASSERT_NE(middle, std::string::npos);
+    ASSERT_NE(late, std::string::npos);
+    EXPECT_LT(early, middle);
+    EXPECT_LT(middle, late);
+}
+
+TEST(TracerTest, RejectsInvalidSpansAndTracks)
+{
+    setLogLevel(LogLevel::Silent);
+    trace::Tracer t;
+    const auto tr = t.track("x");
+    EXPECT_THROW(t.complete(tr, "neg", 10, 5), PanicError);
+    EXPECT_THROW(t.instant(trace::InvalidTrack, "bad", 0), PanicError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(TracerTest, SummaryIsDeterministicAndNamesTracks)
+{
+    trace::Tracer t;
+    const auto a = t.track("busy.track");
+    t.complete(a, "s0", 0, 80);
+    t.complete(a, "s1", 100, 120);
+    std::ostringstream s1, s2;
+    t.summary(s1, 2);
+    t.summary(s2, 2);
+    EXPECT_EQ(s1.str(), s2.str());
+    EXPECT_NE(s1.str().find("busy.track"), std::string::npos);
+    EXPECT_NE(s1.str().find("s0"), std::string::npos);
+}
+
+// ---- traced device runs ----
+
+core::PnmPlatformConfig
+tinyPlatform()
+{
+    core::PnmPlatformConfig cfg;
+    cfg.functionalBytes = 24ull * MiB;
+    return cfg;
+}
+
+TEST(DeviceTraceTest, TracedRunIsByteDeterministic)
+{
+    auto run = [] {
+        trace::Tracer t;
+        llm::InferenceRequest req;
+        req.inputTokens = 8;
+        req.outputTokens = 3;
+        core::runPnmSingleDevice(llm::ModelConfig::tiny(), req,
+                                 tinyPlatform(), 1, &t);
+        return t.json();
+    };
+    const std::string a = run();
+    EXPECT_EQ(a, run());
+    // Every layer contributed: request, driver, accel pipeline,
+    // channels, link, arbiter.
+    EXPECT_NE(a.find("host.request"), std::string::npos);
+    EXPECT_NE(a.find("pnm0.driver"), std::string::npos);
+    EXPECT_NE(a.find("pnm0.accel.mpu"), std::string::npos);
+    EXPECT_NE(a.find("pnm0.accel.dma"), std::string::npos);
+    EXPECT_NE(a.find("pnm0.mem.ch0"), std::string::npos);
+    EXPECT_NE(a.find("pnm0.link.down"), std::string::npos);
+    EXPECT_NE(a.find("pnm0.arbiter"), std::string::npos);
+}
+
+TEST(DeviceTraceTest, TracingDoesNotPerturbTiming)
+{
+    llm::InferenceRequest req;
+    req.inputTokens = 8;
+    req.outputTokens = 3;
+    const auto model = llm::ModelConfig::tiny();
+
+    trace::Tracer t;
+    const auto plain =
+        core::runPnmSingleDevice(model, req, tinyPlatform());
+    const auto traced =
+        core::runPnmSingleDevice(model, req, tinyPlatform(), 1, &t);
+
+    EXPECT_GT(t.eventCount(), 0u);
+    // Bit-identical results: the null-tracer gate must be the only
+    // difference between the two runs.
+    EXPECT_EQ(plain.sumSeconds, traced.sumSeconds);
+    EXPECT_EQ(plain.totalSeconds, traced.totalSeconds);
+    EXPECT_EQ(plain.energyJoules, traced.energyJoules);
+    ASSERT_EQ(plain.genSeconds.size(), traced.genSeconds.size());
+    for (std::size_t i = 0; i < plain.genSeconds.size(); ++i)
+        EXPECT_EQ(plain.genSeconds[i], traced.genSeconds[i]);
+}
+
+TEST(DeviceTraceTest, EventDispatchInstantsAreOptIn)
+{
+    llm::InferenceRequest req;
+    req.inputTokens = 8;
+    req.outputTokens = 2;
+    const auto model = llm::ModelConfig::tiny();
+
+    trace::Tracer off;
+    core::runPnmSingleDevice(model, req, tinyPlatform(), 1, &off);
+    trace::Tracer on;
+    on.setEventDispatch(true);
+    core::runPnmSingleDevice(model, req, tinyPlatform(), 1, &on);
+
+    EXPECT_GT(on.eventCount(), off.eventCount());
+    EXPECT_NE(on.json().find("sim.events"), std::string::npos);
+}
+
+// ---- traced serving runs ----
+
+serve::BatchCostModel
+syntheticCost()
+{
+    serve::BatchCostModel c;
+    c.sumCurve.addSample(1, 1.0e-3);
+    c.sumCurve.addSample(1024, 10.0e-3);
+    c.genWeightSeconds = 10.0e-3;
+    c.genKvPerTokenSeconds = 2.0e-6;
+    c.perTokenComputeSeconds = 0.2e-3;
+    return c;
+}
+
+std::string
+tracedServeRun(std::uint64_t seed)
+{
+    serve::ServeMetrics metrics(nullptr, "serve");
+    core::ParallelismPlan plan;
+    plan.modelParallel = 1;
+    plan.dataParallel = 2;
+    serve::ApplianceDispatcher app(llm::ModelConfig::tiny(),
+                                   syntheticCost(), plan, 1ull << 30,
+                                   serve::SchedulerConfig{}, metrics);
+    trace::Tracer tracer;
+    app.attachTracer(&tracer, "app");
+
+    serve::TraceConfig trace;
+    trace.requestsPerSec = 40.0;
+    trace.numRequests = 24;
+    trace.input = serve::LengthDistribution::uniform(8, 32);
+    trace.output = serve::LengthDistribution::fixed(6);
+    trace.seed = seed;
+    serve::RequestGenerator gen(trace);
+    while (!gen.exhausted())
+        app.submit(gen.next());
+    app.drain();
+    return tracer.json();
+}
+
+TEST(ServeTraceTest, ApplianceTraceIsByteDeterministic)
+{
+    const std::string a = tracedServeRun(5);
+    EXPECT_EQ(a, tracedServeRun(5));
+    EXPECT_NE(a, tracedServeRun(6));
+    // Lifecycle instants, iteration spans and counters all present.
+    EXPECT_NE(a.find("route#"), std::string::npos);
+    EXPECT_NE(a.find("arrive#"), std::string::npos);
+    EXPECT_NE(a.find("admit#"), std::string::npos);
+    EXPECT_NE(a.find("first_token#"), std::string::npos);
+    EXPECT_NE(a.find("retire#"), std::string::npos);
+    EXPECT_NE(a.find("\"iter\""), std::string::npos);
+    EXPECT_NE(a.find("app.group0.kv_utilization"), std::string::npos);
+    EXPECT_NE(a.find("app.group1.queue_depth"), std::string::npos);
+}
+
+TEST(ServeTraceTest, TracingDoesNotPerturbServingMetrics)
+{
+    auto run = [](bool traced) {
+        serve::ServeMetrics metrics(nullptr, "serve");
+        serve::BatchScheduler s(llm::ModelConfig::tiny(),
+                                syntheticCost(), 1ull << 30,
+                                serve::SchedulerConfig{}, metrics);
+        trace::Tracer tracer;
+        if (traced)
+            s.attachTracer(&tracer, "grp");
+        serve::TraceConfig trace;
+        trace.requestsPerSec = 25.0;
+        trace.numRequests = 16;
+        trace.output = serve::LengthDistribution::fixed(4);
+        trace.seed = 3;
+        serve::RequestGenerator gen(trace);
+        while (!gen.exhausted())
+            s.submit(gen.next());
+        s.drain();
+        return metrics.report(s.clockSeconds());
+    };
+    const auto plain = run(false);
+    const auto traced = run(true);
+    EXPECT_EQ(plain.completed, traced.completed);
+    EXPECT_EQ(plain.makespanSeconds, traced.makespanSeconds);
+    EXPECT_EQ(plain.tokenLatencyP99, traced.tokenLatencyP99);
+    EXPECT_EQ(plain.meanBatchSize, traced.meanBatchSize);
+}
+
+} // namespace
+} // namespace cxlpnm
