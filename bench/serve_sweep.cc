@@ -18,10 +18,30 @@
  *   ./serve_sweep [model=opt-13b] [in=64] [out=256] [n=96] [batch=32]
  *                 [slo_scale=3] [seed=1] [slo=0]   (slo in seconds
  *                 overrides slo_scale when > 0)
+ *
+ * KV-paging mode (`kvout=BENCH_kv.json`) replaces the platform A/B
+ * with a prefix-reuse x block-size sweep on the PNM cost model at a
+ * deliberately KV-bound capacity (`kv_gb=0.5` by default, a pool two
+ * worst-case requests deep, where byte admission is most wasteful;
+ * the SLO is loosened to `slo_scale=10` so capacity rather than
+ * latency is the binding constraint): for each reuse in {0, 0.5,
+ * 0.9} a worst-case byte-admission baseline and paged runs at {16,
+ * 64, 256}-token blocks climb the same rate ladder, plus a
+ * fixed-rate head-to-head at the baseline's last sustained rate.
+ * Cells fan out over `threads=`; the JSON is a pure function of the
+ * simulation, so any thread count produces byte-identical output.
+ * `check=1` exits non-zero unless paged admission at reuse 0.5 beats
+ * the byte baseline on sustained throughput and head-to-head p50
+ * TTFT with a non-zero prefix hit rate.
+ *
+ *   ./serve_sweep kvout=BENCH_kv.json [kv_gb=0.5] [threads=0]
+ *                 [check=0] [prefix_tokens=48] [prefix_groups=4] [...]
  */
 
 #include <algorithm>
+#include <cstdarg>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hh"
@@ -30,6 +50,7 @@
 #include "serve/request_generator.hh"
 #include "serve/scheduler.hh"
 #include "sim/config.hh"
+#include "sim/thread_pool.hh"
 
 using namespace cxlpnm;
 
@@ -123,6 +144,309 @@ lastSustained(const std::vector<SweepPoint> &pts)
     return best;
 }
 
+// ---- KV-paging mode (kvout=) ----
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+/** One (reuse, admission mode) cell of the KV sweep. */
+struct KvCell
+{
+    double reuse = 0.0;
+    std::uint32_t blockTokens = 0; // 0 = worst-case byte admission
+    bool hasSustained = false;
+    double sustainedQps = 0.0;
+    serve::ServeReport best; // at the last sustained rung
+};
+
+serve::SchedulerConfig
+kvSched(std::size_t max_batch, std::uint32_t block_tokens)
+{
+    serve::SchedulerConfig sched;
+    sched.maxBatch = max_batch;
+    if (block_tokens > 0) {
+        sched.paged.enabled = true;
+        sched.paged.blockTokens = block_tokens;
+    }
+    return sched;
+}
+
+/** sweep() without the narration: climb the ladder, keep the last
+ *  sustained rung (quiet so cells can run on a thread pool). */
+KvCell
+climbQuiet(const llm::ModelConfig &model,
+           const serve::BatchCostModel &cost, std::uint64_t kv_capacity,
+           std::size_t max_batch, double slo_token_sec,
+           serve::TraceConfig trace, std::uint32_t block_tokens)
+{
+    const auto sched = kvSched(max_batch, block_tokens);
+    serve::MetricsConfig mcfg;
+    mcfg.sloTokenSeconds = slo_token_sec;
+    mcfg.tokenLatencyHi = 20.0 * slo_token_sec;
+    mcfg.tokenLatencyBuckets = 2000;
+
+    const std::uint64_t full_ctx =
+        trace.input.max() + trace.output.max();
+    const double serial_request_sec =
+        cost.prefillSeconds(trace.input.max()) +
+        trace.output.max() * cost.decodeSeconds(full_ctx);
+
+    KvCell cell;
+    cell.reuse = trace.prefixReuse;
+    cell.blockTokens = block_tokens;
+    double rate = 0.25 / serial_request_sec;
+    for (int rung = 0; rung < 40; ++rung) {
+        trace.requestsPerSec = rate;
+        const auto r =
+            runAtRate(model, cost, kv_capacity, sched, mcfg, trace);
+        const bool sustained = r.tokenLatencyP95 <= slo_token_sec &&
+            r.achievedQps >= 0.9 * rate;
+        if (!sustained)
+            break;
+        cell.hasSustained = true;
+        cell.sustainedQps = rate;
+        cell.best = r;
+        rate *= 1.4;
+    }
+    return cell;
+}
+
+/** Fixed-rate head-to-head: paged vs. the byte baseline's last
+ *  sustained rate, same trace. */
+struct HeadToHead
+{
+    double reuse = 0.0;
+    std::uint32_t blockTokens = 0;
+    double rateQps = 0.0;
+    serve::ServeReport paged;
+};
+
+void
+appendCellJson(std::string &json, const KvCell &c, bool last)
+{
+    appendf(json,
+            "    {\"reuse\": %.2f, \"mode\": \"%s\", "
+            "\"block_tokens\": %u,\n",
+            c.reuse, c.blockTokens == 0 ? "byte" : "paged",
+            c.blockTokens);
+    appendf(json,
+            "     \"sustained\": %s, \"sustained_qps\": %.6f, "
+            "\"throughput_tok_s\": %.3f, \"ttft_p50_s\": %.6f, "
+            "\"token_p95_ms\": %.4f,\n",
+            c.hasSustained ? "true" : "false", c.sustainedQps,
+            c.best.throughputTokensPerSec, c.best.ttftP50,
+            c.best.tokenLatencyP95 * 1e3);
+    appendf(json,
+            "     \"prefix_hit_rate\": %.4f, \"cached_tokens\": %llu, "
+            "\"cow_copies\": %llu, \"cache_evictions\": %llu,\n",
+            c.best.prefixHitRate,
+            static_cast<unsigned long long>(c.best.cachedPrefixTokens),
+            static_cast<unsigned long long>(c.best.cowCopies),
+            static_cast<unsigned long long>(c.best.cacheEvictions));
+    appendf(json,
+            "     \"preemptions\": %llu, \"recompute_tokens\": %llu, "
+            "\"peak_blocks\": %llu, \"mean_blocks\": %.2f, "
+            "\"fragmentation\": %.4f, \"time_avg_kv_util\": %.4f}%s\n",
+            static_cast<unsigned long long>(
+                c.best.preemptionsForCapacity),
+            static_cast<unsigned long long>(c.best.recomputeTokens),
+            static_cast<unsigned long long>(c.best.peakKvBlocksInUse),
+            c.best.meanKvBlocksInUse, c.best.kvFragmentation,
+            c.best.timeAvgKvUtilization, last ? "" : ",");
+}
+
+int
+runKvSweep(Config &cfg, const llm::ModelConfig &model,
+           serve::TraceConfig trace, std::size_t max_batch)
+{
+    const std::string out_path = cfg.getString("kvout", "");
+    const double kv_gb = cfg.getDouble("kv_gb", 0.5);
+    const std::uint64_t kv_capacity =
+        static_cast<std::uint64_t>(kv_gb * GB);
+    const unsigned threads =
+        static_cast<unsigned>(cfg.getInt("threads", 0));
+
+    trace.prefixTokens = cfg.getInt("prefix_tokens", 48);
+    trace.prefixGroups = cfg.getInt("prefix_groups", 4);
+
+    const std::uint64_t full_ctx =
+        trace.input.max() + trace.output.max();
+    core::PnmPlatformConfig pcfg;
+    pcfg.channelGrouping = 8;
+    const auto cost = serve::calibratePnmCostModel(model, pcfg, full_ctx);
+
+    double slo = cfg.getDouble("slo", 0.0);
+    if (slo <= 0.0)
+        slo = cfg.getDouble("slo_scale", 10.0) *
+            cost.decodeSeconds(full_ctx);
+
+    const std::vector<double> reuses = {0.0, 0.5, 0.9};
+    const std::vector<std::uint32_t> blocks = {0, 16, 64, 256};
+
+    bench::header("KV paging sweep: " + model.name +
+                  ", byte vs. paged admission");
+    std::printf("KV pool %.2f GB, %zu requests, %llu in / %llu out, "
+                "shared prefix %llu tokens over %zu groups, SLO p95 "
+                "token <= %.2f ms\n",
+                kv_gb, trace.numRequests,
+                static_cast<unsigned long long>(trace.input.max()),
+                static_cast<unsigned long long>(trace.output.max()),
+                static_cast<unsigned long long>(trace.prefixTokens),
+                trace.prefixGroups, slo * 1e3);
+
+    // Phase 1: every (reuse, mode) ladder, fanned over the pool. Each
+    // cell is a self-contained seeded simulation, so the fan-out
+    // cannot perturb results.
+    std::vector<KvCell> cells(reuses.size() * blocks.size());
+    ThreadPool::parallelFor(
+        cells.size(), threads, [&](std::size_t i) {
+            serve::TraceConfig t = trace;
+            t.prefixReuse = reuses[i / blocks.size()];
+            cells[i] = climbQuiet(model, cost, kv_capacity, max_batch,
+                                  slo, t, blocks[i % blocks.size()]);
+        });
+
+    // Phase 2: head-to-head at each reuse row's byte-baseline rate.
+    std::vector<HeadToHead> h2h;
+    for (std::size_t ri = 0; ri < reuses.size(); ++ri) {
+        const KvCell &base = cells[ri * blocks.size()];
+        if (!base.hasSustained)
+            continue;
+        for (std::size_t bi = 1; bi < blocks.size(); ++bi) {
+            HeadToHead h;
+            h.reuse = reuses[ri];
+            h.blockTokens = blocks[bi];
+            h.rateQps = base.sustainedQps;
+            h2h.push_back(h);
+        }
+    }
+    ThreadPool::parallelFor(h2h.size(), threads, [&](std::size_t i) {
+        serve::TraceConfig t = trace;
+        t.prefixReuse = h2h[i].reuse;
+        t.requestsPerSec = h2h[i].rateQps;
+        serve::MetricsConfig mcfg;
+        mcfg.sloTokenSeconds = slo;
+        mcfg.tokenLatencyHi = 20.0 * slo;
+        mcfg.tokenLatencyBuckets = 2000;
+        h2h[i].paged =
+            runAtRate(model, cost, kv_capacity,
+                      kvSched(max_batch, h2h[i].blockTokens), mcfg, t);
+    });
+
+    std::printf("\n  %5s %9s %11s %9s %9s %6s %8s %8s\n", "reuse",
+                "mode", "sustained/s", "tok/s", "ttft50ms", "hit%",
+                "preempt", "frag%");
+    for (const auto &c : cells) {
+        char mode[16];
+        std::snprintf(mode, sizeof mode,
+                      c.blockTokens == 0 ? "byte" : "paged%u",
+                      c.blockTokens);
+        std::printf("  %5.2f %9s %11.3f %9.1f %9.1f %6.1f %8llu "
+                    "%8.1f%s\n",
+                    c.reuse, mode, c.sustainedQps,
+                    c.best.throughputTokensPerSec,
+                    c.best.ttftP50 * 1e3, 100.0 * c.best.prefixHitRate,
+                    static_cast<unsigned long long>(
+                        c.best.preemptionsForCapacity),
+                    100.0 * c.best.kvFragmentation,
+                    c.hasSustained ? "" : "  <- nothing sustained");
+    }
+
+    // --- JSON (deterministic: simulation outputs only) ---
+    std::string json = "{\n";
+    appendf(json, "  \"model\": \"%s\",\n", model.name.c_str());
+    appendf(json,
+            "  \"kv_gb\": %.3f, \"requests\": %zu, \"in\": %llu, "
+            "\"out\": %llu, \"batch\": %zu,\n",
+            kv_gb, trace.numRequests,
+            static_cast<unsigned long long>(trace.input.max()),
+            static_cast<unsigned long long>(trace.output.max()),
+            max_batch);
+    appendf(json,
+            "  \"prefix_tokens\": %llu, \"prefix_groups\": %zu, "
+            "\"seed\": %llu, \"slo_token_ms\": %.4f,\n",
+            static_cast<unsigned long long>(trace.prefixTokens),
+            trace.prefixGroups,
+            static_cast<unsigned long long>(trace.seed), slo * 1e3);
+    json += "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        appendCellJson(json, cells[i], i + 1 == cells.size());
+    json += "  ],\n  \"head_to_head\": [\n";
+    for (std::size_t i = 0; i < h2h.size(); ++i) {
+        const auto &h = h2h[i];
+        appendf(json,
+                "    {\"reuse\": %.2f, \"block_tokens\": %u, "
+                "\"rate_qps\": %.6f, \"paged_ttft_p50_s\": %.6f, "
+                "\"paged_tok_s\": %.3f, \"paged_hit_rate\": %.4f}%s\n",
+                h.reuse, h.blockTokens, h.rateQps, h.paged.ttftP50,
+                h.paged.throughputTokensPerSec, h.paged.prefixHitRate,
+                i + 1 == h2h.size() ? "" : ",");
+    }
+    json += "  ]\n}\n";
+    if (!writeFile(out_path, json)) {
+        std::fprintf(stderr, "serve_sweep: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::printf("\nwrote %s\n", out_path.c_str());
+
+    if (!cfg.getBool("check", false))
+        return 0;
+
+    // Acceptance gate: at reuse 0.5 some paged block size must beat
+    // the byte baseline - strictly higher sustained throughput AND a
+    // lower p50 TTFT at the baseline's own last sustained rate - with
+    // a non-zero prefix hit rate.
+    const std::size_t r05 = 1; // index of reuse 0.5 in `reuses`
+    const KvCell &base = cells[r05 * blocks.size()];
+    bool ok = false;
+    for (std::size_t bi = 1; bi < blocks.size() && !ok; ++bi) {
+        const KvCell &p = cells[r05 * blocks.size() + bi];
+        if (!p.hasSustained || p.best.prefixHitRate <= 0.0)
+            continue;
+        if (!base.hasSustained) {
+            ok = true; // byte admission sustained nothing at all
+            continue;
+        }
+        const HeadToHead *h = nullptr;
+        for (const auto &c : h2h)
+            if (c.reuse == reuses[r05] && c.blockTokens == blocks[bi])
+                h = &c;
+        ok = p.best.throughputTokensPerSec >
+                base.best.throughputTokensPerSec &&
+            h != nullptr && h->paged.ttftP50 < base.best.ttftP50;
+    }
+    if (!ok) {
+        std::fprintf(stderr,
+                     "serve_sweep: KV paging check FAILED - paged "
+                     "admission did not beat the byte baseline at "
+                     "reuse 0.5\n");
+        return 1;
+    }
+    std::printf("check: paged admission beats byte baseline at reuse "
+                "0.5 (throughput, head-to-head p50 TTFT, hit rate)\n");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -141,6 +465,8 @@ main(int argc, char **argv)
     trace.seed = cfg.getInt("seed", 1);
 
     const std::size_t max_batch = cfg.getInt("batch", 32);
+    if (!cfg.getString("kvout", "").empty())
+        return runKvSweep(cfg, model, trace, max_batch);
     const std::uint64_t full_ctx =
         trace.input.max() + trace.output.max();
 

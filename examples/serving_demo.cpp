@@ -10,11 +10,23 @@
  *                  [n=64] [in=64] [out=128] [batch=16] [mp=1] [dp=1]
  *                  [serial=0] [seed=1] [slo_ms=0] [stats=0]
  *                  [faults=0] [fseed=42] [trace=] [trace_topk=5]
+ *                  [kv_block=0] [prefix_reuse=0] [prefix_tokens=32]
+ *                  [prefix_groups=4] [preempt=1] [kv_gb=0]
  *
  * `mp`/`dp` follow the paper's §VIII-A appliance plans (tensor split
  * across mp devices, dp independent replicas); `serial=1` turns
  * continuous batching off for an A/B against one-request-at-a-time
  * serving. `slo_ms` sets the per-token goodput deadline.
+ *
+ * `kv_block=<tokens>` switches KV admission from the worst-case byte
+ * pool to the paged block manager at that block size (0 keeps the
+ * byte pool and leaves every output bit-identical to the non-paged
+ * build). Under paging, `prefix_reuse`/`prefix_tokens`/
+ * `prefix_groups` add a shared-prefix workload whose common blocks
+ * the prefix cache deduplicates, `preempt=0` disables
+ * preempt-and-recompute in favor of stalling, and the demo prints a
+ * paging report (hit rate, blocks, fragmentation, preemptions).
+ * `kv_gb` overrides the per-group KV capacity to make the pool bind.
  *
  * `faults=<rate>` injects IterationFail faults at that per-iteration
  * probability on every group (seeded by fseed, fully deterministic)
@@ -61,12 +73,21 @@ main(int argc, char **argv)
     trace.output =
         serve::LengthDistribution::fixed(cfg.getInt("out", 128));
     trace.seed = cfg.getInt("seed", 1);
+    trace.prefixReuse = cfg.getDouble("prefix_reuse", 0.0);
+    trace.prefixTokens = cfg.getInt("prefix_tokens", 32);
+    trace.prefixGroups = cfg.getInt("prefix_groups", 4);
     const std::uint64_t full_ctx =
         trace.input.max() + trace.output.max();
 
     serve::SchedulerConfig sched;
     sched.maxBatch = cfg.getInt("batch", 16);
     sched.continuousBatching = !cfg.getBool("serial", false);
+    const std::uint64_t kv_block = cfg.getInt("kv_block", 0);
+    if (kv_block > 0) {
+        sched.paged.enabled = true;
+        sched.paged.blockTokens = static_cast<std::uint32_t>(kv_block);
+        sched.paged.preemption = cfg.getBool("preempt", true);
+    }
 
     // --- calibrate the per-group cost model ---
     serve::BatchCostModel cost;
@@ -107,11 +128,26 @@ main(int argc, char **argv)
                 trace.numRequests, trace.requestsPerSec,
                 static_cast<unsigned long long>(trace.input.max()),
                 static_cast<unsigned long long>(trace.output.max()));
+    const double kv_gb = cfg.getDouble("kv_gb", 0.0);
+    if (kv_gb > 0.0)
+        group_kv = static_cast<std::uint64_t>(kv_gb * GB);
+
     std::printf("scheduler: %s, batch cap %zu, per-group KV pool "
-                "%.1f GB\n\n",
+                "%.1f GB\n",
                 sched.continuousBatching ? "continuous batching"
                                          : "serial (one at a time)",
                 sched.maxBatch, group_kv / GB);
+    if (sched.paged.enabled)
+        std::printf("paged KV: %u-token blocks (%.1f KB each), "
+                    "prefix caching on, preemption %s, "
+                    "prefix reuse %.2f over %zu groups x %llu tokens\n",
+                    sched.paged.blockTokens,
+                    model.kvCacheBytes(sched.paged.blockTokens) / 1024.0,
+                    sched.paged.preemption ? "on" : "off",
+                    trace.prefixReuse, trace.prefixGroups,
+                    static_cast<unsigned long long>(
+                        trace.prefixTokens));
+    std::printf("\n");
 
     // --- play the trace ---
     serve::MetricsConfig mcfg;
@@ -187,6 +223,37 @@ main(int argc, char **argv)
         std::printf("goodput           %10.2f tokens/s (%.0f%% of "
                     "requests met the SLO)\n",
                     r.goodputTokensPerSec, 100.0 * r.sloFraction);
+
+    if (sched.paged.enabled) {
+        std::printf("\n--- paged KV report ---\n");
+        std::printf("KV utilization    %10.1f %% time-weighted\n",
+                    100.0 * r.timeAvgKvUtilization);
+        std::printf("KV blocks         %10llu peak, %.1f mean in use\n",
+                    static_cast<unsigned long long>(
+                        r.peakKvBlocksInUse),
+                    r.meanKvBlocksInUse);
+        std::printf("fragmentation     %10.1f %% of allocated slots\n",
+                    100.0 * r.kvFragmentation);
+        std::printf("prefix hit rate   %10.1f %% (%llu / %llu shared "
+                    "tokens cached, %llu / %llu full blocks)\n",
+                    100.0 * r.prefixHitRate,
+                    static_cast<unsigned long long>(
+                        r.cachedPrefixTokens),
+                    static_cast<unsigned long long>(
+                        r.sharedPrefixTokens),
+                    static_cast<unsigned long long>(r.prefixHitBlocks),
+                    static_cast<unsigned long long>(
+                        r.prefixLookupBlocks));
+        std::printf("cow copies        %10llu\n",
+                    static_cast<unsigned long long>(r.cowCopies));
+        std::printf("cache evictions   %10llu\n",
+                    static_cast<unsigned long long>(r.cacheEvictions));
+        std::printf("preemptions       %10llu (%llu tokens "
+                    "recomputed)\n",
+                    static_cast<unsigned long long>(
+                        r.preemptionsForCapacity),
+                    static_cast<unsigned long long>(r.recomputeTokens));
+    }
 
     if (fault_rate > 0.0) {
         std::printf("\n--- RAS summary ---\n");

@@ -49,6 +49,15 @@ BatchCostModel::prefillSeconds(std::uint64_t l_in) const
 }
 
 double
+BatchCostModel::prefillSeconds(std::uint64_t l_in,
+                               std::uint64_t cached_tokens) const
+{
+    const std::uint64_t computed =
+        cached_tokens >= l_in ? 1 : l_in - cached_tokens;
+    return prefillSeconds(computed);
+}
+
+double
 BatchCostModel::decodeIterationSeconds(
     const std::vector<std::uint64_t> &contexts) const
 {

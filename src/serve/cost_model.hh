@@ -86,6 +86,16 @@ struct BatchCostModel
     double prefillSeconds(std::uint64_t l_in) const;
 
     /**
+     * Prefill with @p cached_tokens of the prompt already resident in
+     * the KV cache (prefix-cache hit): only the uncached suffix runs
+     * the sum stage and crosses the reduction links. At least one
+     * token is always computed - the last prompt position must run to
+     * produce the first output logits even on a full-prefix hit.
+     */
+    double prefillSeconds(std::uint64_t l_in,
+                          std::uint64_t cached_tokens) const;
+
+    /**
      * One decode iteration over a batch whose members attend
      * @p contexts tokens each (empty batch: 0).
      */

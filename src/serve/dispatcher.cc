@@ -52,20 +52,29 @@ void
 ApplianceDispatcher::submit(const ServeRequest &req)
 {
     // Bring every group up to the arrival instant so the routing
-    // decision sees current load, then pick the emptiest. A group in
-    // post-failure cooldown (degraded) is routed around unless every
-    // group is degraded, in which case load wins as usual.
+    // decision sees current load, then pick the best by (healthy,
+    // cached prefix tokens, least outstanding work, lowest index). A
+    // group in post-failure cooldown (degraded) is routed around
+    // unless every group is degraded, in which case load wins as
+    // usual. Cache affinity only discriminates under paged prefix
+    // caching; otherwise every probe is 0 and routing reduces exactly
+    // to least-outstanding-work.
     std::size_t best = 0;
     std::uint64_t best_tokens = ~0ull;
+    std::uint64_t best_cached = 0;
     bool best_degraded = true;
     for (std::size_t g = 0; g < groups_.size(); ++g) {
         groups_[g]->advanceTo(req.arrivalSeconds);
         const std::uint64_t t = groups_[g]->outstandingTokens();
+        const std::uint64_t cached = groups_[g]->probeCachedTokens(req);
         const bool degraded = groups_[g]->degradedAt(req.arrivalSeconds);
         const bool better = (!degraded && best_degraded) ||
-            (degraded == best_degraded && t < best_tokens);
+            (degraded == best_degraded &&
+             (cached > best_cached ||
+              (cached == best_cached && t < best_tokens)));
         if (better) {
             best_tokens = t;
+            best_cached = cached;
             best = g;
             best_degraded = degraded;
         }

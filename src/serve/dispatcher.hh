@@ -53,9 +53,12 @@ class ApplianceDispatcher
      */
     void attachTracer(trace::Tracer *t, const std::string &prefix);
 
-    /** Advance every group to the arrival, then route it to the
-     *  least-loaded one (ties break to the lowest group index;
-     *  degraded groups lose to healthy ones). */
+    /** Advance every group to the arrival, then route it by
+     *  (healthy first, most cached prefix tokens, least outstanding
+     *  work, lowest group index). The cache-affinity term is only
+     *  non-zero under paged prefix caching, where it keeps a prefix
+     *  group's requests landing on the scheduler already holding
+     *  their shared blocks; otherwise routing is pure least-load. */
     void submit(const ServeRequest &req);
 
     /** Drain every group. */

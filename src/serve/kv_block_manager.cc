@@ -1,0 +1,73 @@
+#include "serve/kv_block_manager.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+KvBlockManager::KvBlockManager(std::uint64_t capacity_bytes,
+                               std::uint64_t block_bytes)
+    : blockBytes_(block_bytes)
+{
+    fatal_if(capacity_bytes == 0,
+             "KV block manager needs a non-zero capacity");
+    fatal_if(block_bytes == 0,
+             "KV block manager needs a non-zero block size");
+    const std::uint64_t n = capacity_bytes / block_bytes;
+    fatal_if(n == 0, "KV capacity ", capacity_bytes,
+             " bytes smaller than one ", block_bytes, "-byte block");
+    refs_.assign(static_cast<std::size_t>(n), 0);
+    freeList_.reserve(refs_.size());
+    for (std::size_t i = refs_.size(); i-- > 0;)
+        freeList_.push_back(static_cast<BlockId>(i));
+}
+
+BlockId
+KvBlockManager::tryAllocate()
+{
+    if (freeList_.empty())
+        return InvalidBlock;
+    const BlockId b = freeList_.back();
+    freeList_.pop_back();
+    refs_[b] = 1;
+    ++allocations_;
+    peakUsed_ = std::max(peakUsed_, usedBlocks());
+    return b;
+}
+
+void
+KvBlockManager::addRef(BlockId b)
+{
+    fatal_if(b >= refs_.size(), "addRef on block ", b, " of ",
+             refs_.size());
+    fatal_if(refs_[b] == 0, "addRef on free block ", b);
+    ++refs_[b];
+}
+
+bool
+KvBlockManager::release(BlockId b)
+{
+    fatal_if(b >= refs_.size(), "release of block ", b, " of ",
+             refs_.size());
+    fatal_if(refs_[b] == 0, "double release of block ", b);
+    if (--refs_[b] > 0)
+        return false;
+    freeList_.push_back(b);
+    ++frees_;
+    return true;
+}
+
+std::uint32_t
+KvBlockManager::refCount(BlockId b) const
+{
+    fatal_if(b >= refs_.size(), "refCount of block ", b, " of ",
+             refs_.size());
+    return refs_[b];
+}
+
+} // namespace serve
+} // namespace cxlpnm

@@ -15,14 +15,22 @@ KvCachePool::KvCachePool(std::uint64_t capacity_bytes)
     fatal_if(capacity_ == 0, "KV pool needs a non-zero capacity");
 }
 
+bool
+KvCachePool::tryReserve(std::uint64_t bytes)
+{
+    if (!canReserve(bytes))
+        return false;
+    reserved_ += bytes;
+    peakReserved_ = std::max(peakReserved_, reserved_);
+    return true;
+}
+
 void
 KvCachePool::reserve(std::uint64_t bytes)
 {
-    fatal_if(!canReserve(bytes), "KV pool overflow: ", bytes,
+    fatal_if(!tryReserve(bytes), "KV pool overflow: ", bytes,
              " bytes requested, ", capacity_ - reserved_, " free of ",
              capacity_);
-    reserved_ += bytes;
-    peakReserved_ = std::max(peakReserved_, reserved_);
 }
 
 void

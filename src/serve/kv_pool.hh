@@ -34,6 +34,14 @@ class KvCachePool
         return bytes <= capacity_ - reserved_;
     }
 
+    /**
+     * Check-and-reserve in one step: reserve @p bytes when they fit
+     * and return true, leave the pool untouched otherwise. Callers
+     * gating admission use this instead of a canReserve()/reserve()
+     * pair, so there is no window for the two to disagree.
+     */
+    bool tryReserve(std::uint64_t bytes);
+
     /** Reserve @p bytes; fatal when the pool would overflow. */
     void reserve(std::uint64_t bytes);
 

@@ -33,7 +33,25 @@ ServeMetrics::ServeMetrics(stats::StatGroup *parent, std::string name,
       failedStat_(&group_, "requests_failed",
                   "requests abandoned after their retry budget"),
       degradedStat_(&group_, "degraded_seconds",
-                    "device-seconds in post-failure cooldown")
+                    "device-seconds in post-failure cooldown"),
+      prefixHitStat_(&group_, "prefix_hit_blocks",
+                     "shared-prefix blocks served from the cache"),
+      prefixLookupStat_(&group_, "prefix_lookup_blocks",
+                        "shared-prefix blocks looked up at admission"),
+      cachedTokenStat_(&group_, "cached_prefix_tokens",
+                       "prompt tokens that skipped the sum stage"),
+      sharedTokenStat_(&group_, "shared_prefix_tokens",
+                       "shared prompt tokens looked up at admission"),
+      cowStat_(&group_, "cow_copies",
+               "copy-on-write block copies (partial-tail sharing)"),
+      cacheEvictStat_(&group_, "cache_evictions",
+                      "prefix-cache blocks evicted under pressure"),
+      preemptStat_(&group_, "preemptions",
+                   "requests evicted from the batch for KV capacity"),
+      recomputeStat_(&group_, "recompute_tokens",
+                     "tokens discarded by preemption, recomputed later"),
+      kvFragmentation_(&group_, "kv_fragmentation",
+                       "unused slot fraction of allocated KV blocks")
 {
 }
 
@@ -46,6 +64,67 @@ ServeMetrics::sampleIteration(std::size_t batch_size,
     queueDepth_.sample(static_cast<double>(queue_depth));
     kvUtilization_.sample(kv_utilization);
     peakKvUtil_ = std::max(peakKvUtil_, kv_utilization);
+}
+
+void
+ServeMetrics::noteKvInterval(double seconds, double kv_utilization,
+                             std::uint64_t blocks_in_use)
+{
+    kvUtilSecondsIntegral_ += kv_utilization * seconds;
+    kvBlockSecondsIntegral_ +=
+        static_cast<double>(blocks_in_use) * seconds;
+    kvIntervalSeconds_ += seconds;
+}
+
+void
+ServeMetrics::notePrefixLookup(std::uint64_t lookup_blocks,
+                               std::uint64_t hit_blocks,
+                               std::uint64_t shared_tokens,
+                               std::uint64_t cached_tokens)
+{
+    prefixLookupN_ += lookup_blocks;
+    prefixHitN_ += hit_blocks;
+    sharedTokensN_ += shared_tokens;
+    cachedTokensN_ += cached_tokens;
+    prefixLookupStat_ += static_cast<double>(lookup_blocks);
+    prefixHitStat_ += static_cast<double>(hit_blocks);
+    sharedTokenStat_ += static_cast<double>(shared_tokens);
+    cachedTokenStat_ += static_cast<double>(cached_tokens);
+}
+
+void
+ServeMetrics::noteCowCopy()
+{
+    ++cowN_;
+    ++cowStat_;
+}
+
+void
+ServeMetrics::noteCacheEvictions(std::uint64_t n)
+{
+    cacheEvictN_ += n;
+    cacheEvictStat_ += static_cast<double>(n);
+}
+
+void
+ServeMetrics::notePreemption(std::uint64_t recompute_tokens)
+{
+    ++preemptN_;
+    ++preemptStat_;
+    recomputeN_ += recompute_tokens;
+    recomputeStat_ += static_cast<double>(recompute_tokens);
+}
+
+void
+ServeMetrics::sampleKvFragmentation(double fraction)
+{
+    kvFragmentation_.sample(fraction);
+}
+
+void
+ServeMetrics::notePeakKvBlocks(std::uint64_t blocks)
+{
+    peakKvBlocks_ = std::max(peakKvBlocks_, blocks);
 }
 
 void
@@ -145,6 +224,27 @@ ServeMetrics::report(double makespan_seconds) const
     r.meanBatchSize = batchSize_.mean();
     r.meanQueueDepth = queueDepth_.mean();
     r.peakKvUtilization = peakKvUtil_;
+    if (kvIntervalSeconds_ > 0.0) {
+        r.timeAvgKvUtilization =
+            kvUtilSecondsIntegral_ / kvIntervalSeconds_;
+        r.meanKvBlocksInUse =
+            kvBlockSecondsIntegral_ / kvIntervalSeconds_;
+    }
+    r.prefixLookupBlocks = prefixLookupN_;
+    r.prefixHitBlocks = prefixHitN_;
+    r.sharedPrefixTokens = sharedTokensN_;
+    // Token-granular so sub-block prefixes (served entirely by the
+    // copy-on-write tail) still register as hits.
+    r.prefixHitRate = sharedTokensN_
+        ? static_cast<double>(cachedTokensN_) / sharedTokensN_
+        : 0.0;
+    r.cachedPrefixTokens = cachedTokensN_;
+    r.cowCopies = cowN_;
+    r.cacheEvictions = cacheEvictN_;
+    r.preemptionsForCapacity = preemptN_;
+    r.recomputeTokens = recomputeN_;
+    r.peakKvBlocksInUse = peakKvBlocks_;
+    r.kvFragmentation = kvFragmentation_.mean();
     r.sloFraction = completedN_
         ? static_cast<double>(sloMetRequests_) / completedN_
         : 0.0;

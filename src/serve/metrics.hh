@@ -56,6 +56,42 @@ struct ServeReport
     double meanBatchSize = 0.0;
     double meanQueueDepth = 0.0;
     double peakKvUtilization = 0.0;
+    /**
+     * KV utilization averaged over *busy device time* (∑ util·dt over
+     * the iteration intervals / ∑ dt), not over iteration counts, so
+     * long and short iterations weigh honestly - the figure that makes
+     * paged and worst-case admission comparable.
+     */
+    double timeAvgKvUtilization = 0.0;
+
+    // --- paged KV / prefix cache (zero when paging is off) ---
+    /** Shared-prefix full blocks looked up at admission. */
+    std::uint64_t prefixLookupBlocks = 0;
+    /** ... of which were served from the prefix cache. */
+    std::uint64_t prefixHitBlocks = 0;
+    /** Shared prompt tokens looked up at admission. */
+    std::uint64_t sharedPrefixTokens = 0;
+    /** cachedPrefixTokens / sharedPrefixTokens (0 when no lookups);
+     *  token-granular so partial-tail hits count. */
+    double prefixHitRate = 0.0;
+    /** Prompt tokens that skipped the sum stage via the cache. */
+    std::uint64_t cachedPrefixTokens = 0;
+    /** Copy-on-write block copies (partial-tail sharing). */
+    std::uint64_t cowCopies = 0;
+    /** Prefix-cache blocks evicted to satisfy allocations. */
+    std::uint64_t cacheEvictions = 0;
+    /** Requests evicted from the running batch for KV capacity. */
+    std::uint64_t preemptionsForCapacity = 0;
+    /** Prompt + generated tokens discarded by those preemptions
+     *  (recomputed after the request is re-admitted). */
+    std::uint64_t recomputeTokens = 0;
+    /** Peak KV blocks allocated at once. */
+    std::uint64_t peakKvBlocksInUse = 0;
+    /** Time-weighted mean of allocated KV blocks. */
+    double meanKvBlocksInUse = 0.0;
+    /** Mean unused slots in running requests' allocated blocks
+     *  (internal fragmentation of the paged layout). */
+    double kvFragmentation = 0.0;
 
     /** Tokens/s from requests that met the SLO deadlines. */
     double goodputTokensPerSec = 0.0;
@@ -90,6 +126,35 @@ class ServeMetrics
                          std::size_t queue_depth,
                          double kv_utilization);
 
+    /**
+     * One interval of @p seconds during which KV utilization (and, in
+     * paged mode, @p blocks_in_use allocated blocks) held steady; the
+     * accumulator behind the time-weighted averages.
+     */
+    void noteKvInterval(double seconds, double kv_utilization,
+                        std::uint64_t blocks_in_use = 0);
+
+    // --- paged KV / prefix cache accounting ---
+    /** One admission-time prefix lookup over @p lookup_blocks full
+     *  blocks (@p shared_tokens prompt tokens), of which
+     *  @p hit_blocks were cached, serving @p cached_tokens prompt
+     *  tokens (partial tail included). */
+    void notePrefixLookup(std::uint64_t lookup_blocks,
+                          std::uint64_t hit_blocks,
+                          std::uint64_t shared_tokens,
+                          std::uint64_t cached_tokens);
+    /** One copy-on-write block copy. */
+    void noteCowCopy();
+    /** @p n prefix-cache blocks evicted for allocation pressure. */
+    void noteCacheEvictions(std::uint64_t n);
+    /** A running request was preempted; @p recompute_tokens of its
+     *  prompt + generation must be recomputed after re-admission. */
+    void notePreemption(std::uint64_t recompute_tokens);
+    /** Paged-layout fragmentation sample (once per iteration). */
+    void sampleKvFragmentation(double fraction);
+    /** Peak allocated blocks (monotone max). */
+    void notePeakKvBlocks(std::uint64_t blocks);
+
     /** One decoded token whose latency was @p seconds. */
     void sampleTokenLatency(double seconds, std::uint64_t tokens = 1);
 
@@ -118,6 +183,9 @@ class ServeMetrics
     std::uint64_t tokensGenerated() const { return tokensN_; }
     std::uint64_t requestsFailed() const { return failedN_; }
     double peakKvUtilization() const { return peakKvUtil_; }
+    std::uint64_t preemptions() const { return preemptN_; }
+    std::uint64_t recomputeTokens() const { return recomputeN_; }
+    std::uint64_t prefixHitBlocks() const { return prefixHitN_; }
 
     /** Summarise; @p makespan is the serving clock at drain. */
     ServeReport report(double makespan_seconds) const;
@@ -142,6 +210,15 @@ class ServeMetrics
     stats::Scalar retryStat_;
     stats::Scalar failedStat_;
     stats::Scalar degradedStat_;
+    stats::Scalar prefixHitStat_;
+    stats::Scalar prefixLookupStat_;
+    stats::Scalar cachedTokenStat_;
+    stats::Scalar sharedTokenStat_;
+    stats::Scalar cowStat_;
+    stats::Scalar cacheEvictStat_;
+    stats::Scalar preemptStat_;
+    stats::Scalar recomputeStat_;
+    stats::Average kvFragmentation_;
 
     std::uint64_t completedN_ = 0;
     std::uint64_t rejectedN_ = 0;
@@ -154,6 +231,21 @@ class ServeMetrics
     std::uint64_t devicesN_ = 0;
     double degradedSeconds_ = 0.0;
     double peakKvUtil_ = 0.0;
+
+    // Time-weighted KV accumulators (∑ value·dt, ∑ dt).
+    double kvUtilSecondsIntegral_ = 0.0;
+    double kvBlockSecondsIntegral_ = 0.0;
+    double kvIntervalSeconds_ = 0.0;
+
+    std::uint64_t prefixLookupN_ = 0;
+    std::uint64_t prefixHitN_ = 0;
+    std::uint64_t sharedTokensN_ = 0;
+    std::uint64_t cachedTokensN_ = 0;
+    std::uint64_t cowN_ = 0;
+    std::uint64_t cacheEvictN_ = 0;
+    std::uint64_t preemptN_ = 0;
+    std::uint64_t recomputeN_ = 0;
+    std::uint64_t peakKvBlocks_ = 0;
 };
 
 } // namespace serve

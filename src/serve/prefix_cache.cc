@@ -1,0 +1,178 @@
+#include "serve/prefix_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+PrefixCache::~PrefixCache()
+{
+    clear();
+}
+
+std::uint64_t
+PrefixCache::chainHash(std::uint64_t parent, std::uint64_t key)
+{
+    // SplitMix64 finalizer over the combined state: collision odds are
+    // ~2^-64 per pair, negligible against the simulator's block counts.
+    std::uint64_t z = parent + 0x9e3779b97f4a7c15ull + key;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return z == 0 ? 1 : z; // 0 is the root sentinel
+}
+
+std::uint64_t
+PrefixCache::tailHash(std::uint64_t parent, std::uint64_t tail_key,
+                      std::uint64_t partial_tokens)
+{
+    // Distinct namespace from full-block children of the same node.
+    // The tail block's content key must participate: prefixes shorter
+    // than one block hang their tail off the root, where the parent
+    // hash alone no longer distinguishes prefix groups.
+    return chainHash(chainHash(parent ^ 0xa5a5a5a5a5a5a5a5ull,
+                               tail_key),
+                     partial_tokens);
+}
+
+PrefixCache::Match
+PrefixCache::lookup(const std::vector<std::uint64_t> &keys,
+                    std::uint64_t partial_tokens, std::uint64_t tail_key)
+{
+    Match m;
+    std::uint64_t node = 0;
+    for (std::uint64_t key : keys) {
+        const std::uint64_t h = chainHash(node, key);
+        auto it = entries_.find(h);
+        if (it == entries_.end())
+            break;
+        it->second.lastUse = ++seq_;
+        mgr_.addRef(it->second.block);
+        m.blocks.push_back(it->second.block);
+        node = h;
+    }
+    // The partial tail only continues a fully matched chain.
+    if (partial_tokens > 0 && m.blocks.size() == keys.size()) {
+        auto it = entries_.find(tailHash(node, tail_key,
+                                         partial_tokens));
+        if (it != entries_.end()) {
+            it->second.lastUse = ++seq_;
+            m.partialTokens = partial_tokens;
+        }
+    }
+    return m;
+}
+
+std::uint64_t
+PrefixCache::peekCachedTokens(const std::vector<std::uint64_t> &keys,
+                              std::uint64_t partial_tokens,
+                              std::uint64_t tail_key,
+                              std::uint64_t block_tokens) const
+{
+    std::uint64_t node = 0;
+    std::uint64_t matched = 0;
+    for (std::uint64_t key : keys) {
+        const auto it = entries_.find(chainHash(node, key));
+        if (it == entries_.end())
+            break;
+        ++matched;
+        node = it->first;
+    }
+    std::uint64_t tokens = matched * block_tokens;
+    if (partial_tokens > 0 && matched == keys.size() &&
+        entries_.count(tailHash(node, tail_key, partial_tokens)))
+        tokens += partial_tokens;
+    return tokens;
+}
+
+void
+PrefixCache::insert(const std::vector<std::uint64_t> &keys,
+                    const std::vector<BlockId> &blocks,
+                    std::uint64_t partial_tokens, std::uint64_t tail_key,
+                    BlockId partial_donor)
+{
+    panic_if(blocks.size() < keys.size(),
+             "prefix-cache insert with fewer blocks than keys");
+    std::uint64_t node = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        const std::uint64_t h = chainHash(node, keys[i]);
+        auto it = entries_.find(h);
+        if (it == entries_.end()) {
+            Entry e;
+            e.block = blocks[i];
+            e.parent = node;
+            e.lastUse = ++seq_;
+            mgr_.addRef(e.block);
+            entries_.emplace(h, e);
+            if (node != 0)
+                ++entries_.at(node).children;
+            ++insertions_;
+        } else {
+            it->second.lastUse = ++seq_;
+        }
+        node = h;
+    }
+    if (partial_tokens > 0 && partial_donor != InvalidBlock) {
+        const std::uint64_t h = tailHash(node, tail_key,
+                                         partial_tokens);
+        auto it = entries_.find(h);
+        if (it == entries_.end()) {
+            Entry e;
+            e.block = partial_donor;
+            e.parent = node;
+            e.lastUse = ++seq_;
+            e.partialTail = true;
+            mgr_.addRef(e.block);
+            entries_.emplace(h, e);
+            if (node != 0)
+                ++entries_.at(node).children;
+            ++insertions_;
+        } else {
+            it->second.lastUse = ++seq_;
+        }
+    }
+}
+
+bool
+PrefixCache::evictOne()
+{
+    // Min over (lastUse, hash): lastUse values are unique, so the
+    // choice never depends on hash-map iteration order.
+    std::uint64_t best_hash = 0;
+    std::uint64_t best_use = ~0ull;
+    for (const auto &[h, e] : entries_) {
+        if (e.children != 0 || mgr_.refCount(e.block) != 1)
+            continue;
+        if (e.lastUse < best_use) {
+            best_use = e.lastUse;
+            best_hash = h;
+        }
+    }
+    if (best_hash == 0)
+        return false;
+
+    const Entry victim = entries_.at(best_hash);
+    entries_.erase(best_hash);
+    if (victim.parent != 0) {
+        auto parent = entries_.find(victim.parent);
+        panic_if(parent == entries_.end(),
+                 "prefix-cache entry with a vanished parent");
+        --parent->second.children;
+    }
+    mgr_.release(victim.block);
+    ++evictions_;
+    return true;
+}
+
+void
+PrefixCache::clear()
+{
+    for (const auto &[h, e] : entries_)
+        mgr_.release(e.block);
+    entries_.clear();
+}
+
+} // namespace serve
+} // namespace cxlpnm

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Radix-style prefix index over KV blocks (the block-manager half of
+ * an automatic-prefix-caching serving engine, cf. the CXL KV-cache
+ * management line of work in PAPERS.md).
+ *
+ * Prompts are modeled as a chain of per-block *content keys* (see
+ * ServeRequest::sharedBlockKey): requests sharing a prompt prefix
+ * produce the same key chain, so the trie maps key chains to the
+ * blocks already holding that prefix's KV. The trie is stored in
+ * adjacency form - each node is addressed by the running hash of its
+ * key chain, with an explicit parent link and child count - which
+ * keeps lookups O(matched blocks) without materialising node objects.
+ *
+ * Sharing rules:
+ *  - Only *full* blocks of the shared prefix are shared in place
+ *    (lookup addRefs them for the caller).
+ *  - The shared prefix's partial tail lives at the head of a donor
+ *    request's block, which also holds that donor's unique tokens.
+ *    A later request matching the tail must *copy-on-write*: it
+ *    allocates its own block and copies the tail KV (accounting only
+ *    here), leaving the donor block untouched.
+ *
+ * Eviction is LRU over leaf entries whose block nobody but the cache
+ * holds, so evicting always returns a block to the free list and
+ * never breaks a chain in the middle. Selection is by a strictly
+ * increasing touch sequence (ties impossible), independent of hash-map
+ * iteration order, so the hit/evict sequence is a pure function of
+ * the operation sequence - the determinism contract the rest of the
+ * stack follows.
+ */
+
+#ifndef CXLPNM_SERVE_PREFIX_CACHE_HH
+#define CXLPNM_SERVE_PREFIX_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/kv_block_manager.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+/** Trie of cached prompt-prefix blocks over a KvBlockManager. */
+class PrefixCache
+{
+  public:
+    explicit PrefixCache(KvBlockManager &mgr) : mgr_(mgr) {}
+    ~PrefixCache();
+    PrefixCache(const PrefixCache &) = delete;
+    PrefixCache &operator=(const PrefixCache &) = delete;
+
+    /** Result of matching one request's shared prefix. */
+    struct Match
+    {
+        /** Cached full blocks, in chain order, one ref taken per
+         *  block on the caller's behalf. */
+        std::vector<BlockId> blocks;
+        /** Tokens of a cached partial tail (0 = no tail hit). The
+         *  caller must copy-on-write into its own block; the donor
+         *  stays with the cache. */
+        std::uint64_t partialTokens = 0;
+    };
+
+    /**
+     * Longest cached chain under @p keys; a @p partial_tokens > 0
+     * additionally probes for the partial-tail donor hanging off the
+     * full-chain node, addressed by the tail block's own content key
+     * @p tail_key (so tails of different prefix groups never collide,
+     * even under the zero-full-block chain where the parent node is
+     * the root for every group). Matched entries are LRU-touched;
+     * matched full blocks are addRef'd for the caller.
+     */
+    Match lookup(const std::vector<std::uint64_t> &keys,
+                 std::uint64_t partial_tokens, std::uint64_t tail_key);
+
+    /**
+     * Side-effect-free variant of lookup (no refs, no LRU touch):
+     * cached tokens a request would hit right now, for cache-affinity
+     * routing. @p block_tokens converts matched blocks to tokens.
+     */
+    std::uint64_t peekCachedTokens(const std::vector<std::uint64_t> &keys,
+                                   std::uint64_t partial_tokens,
+                                   std::uint64_t tail_key,
+                                   std::uint64_t block_tokens) const;
+
+    /**
+     * Register a request's shared-prefix blocks under @p keys
+     * (chain order; @p blocks parallel to keys), plus an optional
+     * partial-tail donor addressed by @p tail_key. Entries the trie
+     * already holds are skipped; new entries take one cache-owned ref
+     * on their block.
+     */
+    void insert(const std::vector<std::uint64_t> &keys,
+                const std::vector<BlockId> &blocks,
+                std::uint64_t partial_tokens, std::uint64_t tail_key,
+                BlockId partial_donor);
+
+    /**
+     * Evict the least-recently-used leaf entry whose block only the
+     * cache still references, returning its block to the free list.
+     * False when nothing is evictable (all cached blocks are shared
+     * with live requests).
+     */
+    bool evictOne();
+
+    /** Drop every entry (and the cache's block refs). */
+    void clear();
+
+    /** Live trie entries == blocks the cache holds a ref on. */
+    std::size_t entries() const { return entries_.size(); }
+
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t insertions() const { return insertions_; }
+
+    /** Running hash of a key chain; exposed for tests. */
+    static std::uint64_t chainHash(std::uint64_t parent,
+                                   std::uint64_t key);
+
+  private:
+    struct Entry
+    {
+        BlockId block = InvalidBlock;
+        std::uint64_t parent = 0; // chain hash; 0 = root
+        std::uint32_t children = 0;
+        std::uint64_t lastUse = 0; // strictly increasing touch seq
+        bool partialTail = false;
+    };
+
+    /** Hash of the partial-tail child of full-chain node @p parent. */
+    static std::uint64_t tailHash(std::uint64_t parent,
+                                  std::uint64_t tail_key,
+                                  std::uint64_t partial_tokens);
+
+    KvBlockManager &mgr_;
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    std::uint64_t seq_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t insertions_ = 0;
+};
+
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_PREFIX_CACHE_HH

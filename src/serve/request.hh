@@ -9,6 +9,7 @@
 #define CXLPNM_SERVE_REQUEST_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "llm/model_config.hh"
 
@@ -37,6 +38,25 @@ struct ServeRequest
     double arrivalSeconds = 0.0;
     std::uint64_t inputTokens = 0;
     std::uint64_t outputTokens = 0;
+
+    // --- shared-prefix identity (paged KV / prefix caching) ---
+    /**
+     * The first sharedPrefixTokens prompt tokens are byte-identical
+     * across every request of the same prefixGroup (a shared system
+     * prompt / few-shot header); 0 means a fully unique prompt. The
+     * prefix cache keys on this, the byte-pool path ignores it.
+     */
+    std::uint64_t prefixGroup = 0;
+    std::uint64_t sharedPrefixTokens = 0;
+
+    /**
+     * Prompt tokens whose KV was served from the prefix cache at the
+     * latest admission (they skip the sum stage); maintained by the
+     * scheduler, reset when the request is preempted or requeued.
+     */
+    std::uint64_t cachedPrefixTokens = 0;
+    /** Times this request was preempted for KV capacity. */
+    std::uint64_t preemptions = 0;
 
     // --- progress, maintained by the scheduler ---
     RequestState state = RequestState::Queued;
@@ -80,6 +100,49 @@ struct ServeRequest
         return firstTokenSeconds < 0.0
             ? -1.0
             : firstTokenSeconds - arrivalSeconds;
+    }
+
+    // --- shared-prefix content keys (paged KV mode) ---
+
+    /** Full blocks of the shared prefix at @p block_tokens grain. */
+    std::uint64_t
+    sharedFullBlocks(std::uint64_t block_tokens) const
+    {
+        return sharedPrefixTokens / block_tokens;
+    }
+
+    /** Shared tokens spilling into the block after the full ones. */
+    std::uint64_t
+    sharedPartialTokens(std::uint64_t block_tokens) const
+    {
+        return sharedPrefixTokens % block_tokens;
+    }
+
+    /**
+     * Content key of shared block @p b: requests of the same group
+     * agree on it, everything else diverges (SplitMix64 finalizer, so
+     * group 0/block 0 does not collapse to a common key).
+     */
+    std::uint64_t
+    sharedBlockKey(std::uint64_t b) const
+    {
+        std::uint64_t z = prefixGroup * 0x9e3779b97f4a7c15ull + b +
+            0x632be59bd9b4e019ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Key chain of every full shared block, for the prefix cache. */
+    std::vector<std::uint64_t>
+    sharedBlockKeys(std::uint64_t block_tokens) const
+    {
+        const std::uint64_t n = sharedFullBlocks(block_tokens);
+        std::vector<std::uint64_t> keys;
+        keys.reserve(n);
+        for (std::uint64_t b = 0; b < n; ++b)
+            keys.push_back(sharedBlockKey(b));
+        return keys;
     }
 };
 

@@ -1,5 +1,6 @@
 #include "serve/request_generator.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/logging.hh"
@@ -68,6 +69,11 @@ RequestGenerator::RequestGenerator(const TraceConfig &cfg)
 {
     fatal_if(cfg_.requestsPerSec <= 0.0,
              "arrival rate must be positive");
+    fatal_if(cfg_.prefixReuse < 0.0 || cfg_.prefixReuse > 1.0,
+             "prefix reuse must be a probability, got ",
+             cfg_.prefixReuse);
+    fatal_if(cfg_.prefixReuse > 0.0 && cfg_.prefixGroups == 0,
+             "shared-prefix mode needs at least one group");
 }
 
 ServeRequest
@@ -101,6 +107,14 @@ RequestGenerator::next()
     req.arrivalSeconds = clock_;
     req.inputTokens = cfg_.input.draw(rng_);
     req.outputTokens = cfg_.output.draw(rng_);
+    // Shared-prefix draws happen only when the mode is on, so the
+    // default config consumes exactly the pre-existing RNG stream.
+    if (cfg_.prefixReuse > 0.0 &&
+        rng_.nextDouble() < cfg_.prefixReuse) {
+        req.prefixGroup = 1 + rng_.nextBelow(cfg_.prefixGroups);
+        req.sharedPrefixTokens =
+            std::min(cfg_.prefixTokens, req.inputTokens);
+    }
     ++produced_;
     return req;
 }

@@ -63,6 +63,19 @@ struct TraceConfig
     LengthDistribution input = LengthDistribution::fixed(64);
     LengthDistribution output = LengthDistribution::fixed(256);
     std::uint64_t seed = 1;
+
+    /**
+     * Shared-prefix workload mode (system prompts / few-shot headers
+     * reused across requests - what prefix caching exploits). Each
+     * request joins one of prefixGroups shared prompts with
+     * probability prefixReuse; its first min(prefixTokens, input)
+     * prompt tokens are then identical to every other member of that
+     * group. 0 (the default) disables the mode and leaves the RNG
+     * stream - hence every pre-existing trace - bit-identical.
+     */
+    double prefixReuse = 0.0;
+    std::size_t prefixGroups = 4;
+    std::uint64_t prefixTokens = 32;
 };
 
 /** Streams one trace; arrival times are monotonically non-decreasing. */

@@ -23,6 +23,19 @@ requestStateName(RequestState s)
     return "<bad>";
 }
 
+namespace
+{
+
+/** Admission priority: earlier arrival wins, ids break ties. */
+bool
+fcfsBefore(const ServeRequest &a, const ServeRequest &b)
+{
+    return a.arrivalSeconds < b.arrivalSeconds ||
+        (a.arrivalSeconds == b.arrivalSeconds && a.id < b.id);
+}
+
+} // namespace
+
 BatchScheduler::BatchScheduler(const llm::ModelConfig &model,
                                const BatchCostModel &cost,
                                std::uint64_t kv_capacity_bytes,
@@ -32,6 +45,14 @@ BatchScheduler::BatchScheduler(const llm::ModelConfig &model,
       metrics_(metrics)
 {
     fatal_if(cfg_.maxBatch == 0, "batch cap must be positive");
+    if (cfg_.paged.enabled) {
+        fatal_if(cfg_.paged.blockTokens == 0,
+                 "paged KV needs a positive block size");
+        blockMgr_ = std::make_unique<KvBlockManager>(
+            kv_capacity_bytes,
+            model_.kvCacheBytes(cfg_.paged.blockTokens));
+        prefixCache_ = std::make_unique<PrefixCache>(*blockMgr_);
+    }
     metrics_.registerDevice();
 }
 
@@ -46,6 +67,13 @@ BatchScheduler::attachTracer(trace::Tracer *t, const std::string &prefix)
     queueTrack_ = t->track(prefix + ".queue_depth", "serve");
     kvTrack_ = t->track(prefix + ".kv_utilization", "serve");
     batchTrack_ = t->track(prefix + ".batch_size", "serve");
+    // Paged-only tracks register last, so with paging off the track
+    // set - and hence every emitted byte - matches the byte-pool-only
+    // scheduler exactly.
+    if (cfg_.paged.enabled) {
+        blocksTrack_ = t->track(prefix + ".kv_blocks", "serve");
+        prefixTrack_ = t->track(prefix + ".prefix_cache", "serve");
+    }
 }
 
 void
@@ -53,12 +81,24 @@ BatchScheduler::submit(ServeRequest req)
 {
     fatal_if(req.arrivalSeconds < lastArrival_,
              "submissions must come in arrival order");
+    fatal_if(req.sharedPrefixTokens > req.inputTokens,
+             "shared prefix longer than the prompt");
     lastArrival_ = req.arrivalSeconds;
 
     const bool malformed = req.inputTokens == 0 ||
         req.outputTokens == 0 ||
         req.inputTokens + req.outputTokens > model_.maxPositions;
-    if (malformed || req.worstCaseKvBytes(model_) > kv_.capacityBytes()) {
+    bool too_big;
+    if (cfg_.paged.enabled) {
+        // Worst case in blocks: the full context, rounded up.
+        const std::uint64_t b = cfg_.paged.blockTokens;
+        const std::uint64_t worst =
+            (req.inputTokens + req.outputTokens + b - 1) / b;
+        too_big = worst > blockMgr_->totalBlocks();
+    } else {
+        too_big = req.worstCaseKvBytes(model_) > kv_.capacityBytes();
+    }
+    if (malformed || too_big) {
         req.state = RequestState::Rejected;
         if (tracer_ != nullptr)
             tracer_->instant(reqTrack_,
@@ -72,6 +112,110 @@ BatchScheduler::submit(ServeRequest req)
         tracer_->instant(reqTrack_, "arrive#" + std::to_string(req.id),
                          secondsToTicks(req.arrivalSeconds));
     queue_.push_back(req);
+}
+
+BlockId
+BatchScheduler::allocateBlock()
+{
+    BlockId b = blockMgr_->tryAllocate();
+    while (b == InvalidBlock && prefixCache_->evictOne()) {
+        metrics_.noteCacheEvictions(1);
+        if (tracer_ != nullptr)
+            tracer_->instant(prefixTrack_, "evict",
+                             secondsToTicks(clock_));
+        b = blockMgr_->tryAllocate();
+    }
+    return b;
+}
+
+void
+BatchScheduler::releaseBlocks(const ServeRequest &req)
+{
+    if (!cfg_.paged.enabled)
+        return;
+    auto it = heldBlocks_.find(req.id);
+    if (it == heldBlocks_.end())
+        return;
+    for (BlockId b : it->second)
+        blockMgr_->release(b);
+    heldBlocks_.erase(it);
+}
+
+bool
+BatchScheduler::tryAdmitPaged(ServeRequest &head)
+{
+    const std::uint64_t B = cfg_.paged.blockTokens;
+
+    std::vector<std::uint64_t> keys;
+    PrefixCache::Match match;
+    std::vector<BlockId> blocks;
+    std::uint64_t cached = 0;
+    bool cow = false;
+    const bool shared = cfg_.paged.prefixCaching &&
+        head.sharedPrefixTokens > 0;
+
+    auto rollback = [&]() {
+        for (BlockId b : blocks)
+            blockMgr_->release(b);
+        return false;
+    };
+
+    if (shared) {
+        keys = head.sharedBlockKeys(B);
+        match = prefixCache_->lookup(keys, head.sharedPartialTokens(B),
+                                     head.sharedBlockKey(keys.size()));
+        blocks = match.blocks; // ref'd for us by lookup
+        cached = blocks.size() * B;
+        if (match.partialTokens > 0) {
+            // Copy-on-write: the cached partial tail is copied into a
+            // private block that will also hold our unique tokens.
+            const BlockId b = allocateBlock();
+            if (b == InvalidBlock)
+                return rollback();
+            blocks.push_back(b);
+            cached += match.partialTokens;
+            cow = true;
+        }
+    }
+
+    // Blocks for the whole prompt plus the first decoded token.
+    const std::uint64_t needed = (head.inputTokens + 1 + B - 1) / B;
+    while (blocks.size() < needed) {
+        const BlockId b = allocateBlock();
+        if (b == InvalidBlock)
+            return rollback();
+        blocks.push_back(b);
+    }
+
+    // Success: account the lookup, publish our shared blocks so later
+    // group members (and re-admissions) hit them.
+    if (shared) {
+        metrics_.notePrefixLookup(keys.size(), match.blocks.size(),
+                                  head.sharedPrefixTokens, cached);
+        if (cow) {
+            metrics_.noteCowCopy();
+            if (tracer_ != nullptr)
+                tracer_->instant(prefixTrack_,
+                                 "cow#" + std::to_string(head.id),
+                                 secondsToTicks(clock_));
+        }
+        if (tracer_ != nullptr)
+            tracer_->instant(prefixTrack_,
+                             (cached > 0 ? "hit#" : "miss#") +
+                                 std::to_string(head.id),
+                             secondsToTicks(clock_));
+        const std::uint64_t partial = head.sharedPartialTokens(B);
+        const BlockId donor = partial > 0 && !cow
+            ? blocks[keys.size()]
+            : InvalidBlock;
+        prefixCache_->insert(keys, blocks, partial,
+                             head.sharedBlockKey(keys.size()), donor);
+    }
+
+    head.cachedPrefixTokens = cached;
+    heldBlocks_[head.id] = std::move(blocks);
+    metrics_.notePeakKvBlocks(blockMgr_->usedBlocks());
+    return true;
 }
 
 void
@@ -88,10 +232,15 @@ BatchScheduler::admit(std::vector<ServeRequest> &joining)
         ServeRequest &head = queue_.front();
         if (head.arrivalSeconds > clock_)
             return; // not here yet
-        if (!kv_.canReserve(head.worstCaseKvBytes(model_)))
+        // Strict FCFS: only ever the head; when it does not fit,
+        // admission stops even if a later request would.
+        if (cfg_.paged.enabled) {
+            if (!tryAdmitPaged(head))
+                return; // head-of-line blocks until blocks free up
+        } else if (!kv_.tryReserve(head.worstCaseKvBytes(model_))) {
             return; // head-of-line blocks until KV frees up
+        }
 
-        kv_.reserve(head.worstCaseKvBytes(model_));
         head.state = RequestState::Running;
         head.admitSeconds = clock_;
         if (tracer_ != nullptr)
@@ -103,9 +252,127 @@ BatchScheduler::admit(std::vector<ServeRequest> &joining)
     }
 }
 
+void
+BatchScheduler::requeueFcfs(ServeRequest r)
+{
+    // The queue is kept sorted by (arrival, id) - true for plain
+    // submissions already - so a preempted request resumes exactly at
+    // its FCFS position instead of jumping earlier arrivals.
+    auto it = std::lower_bound(queue_.begin(), queue_.end(), r,
+                               fcfsBefore);
+    queue_.insert(it, std::move(r));
+}
+
+void
+BatchScheduler::preemptMember(ServeRequest &r)
+{
+    releaseBlocks(r);
+    metrics_.notePreemption(r.inputTokens + r.generated);
+    if (tracer_ != nullptr)
+        tracer_->instant(reqTrack_, "preempt#" + std::to_string(r.id),
+                         secondsToTicks(clock_));
+    r.generated = 0;
+    r.cachedPrefixTokens = 0;
+    ++r.preemptions;
+    r.state = RequestState::Queued;
+    requeueFcfs(r);
+}
+
+std::vector<bool>
+BatchScheduler::growPaged()
+{
+    const std::uint64_t B = cfg_.paged.blockTokens;
+    std::vector<bool> gone(batch_.size(), false);
+    std::vector<bool> stalled(batch_.size(), false);
+
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+        if (gone[i])
+            continue;
+        ServeRequest &r = batch_[i];
+        // Blocks for the token decoded this iteration.
+        const std::uint64_t needed =
+            (r.inputTokens + r.generated + 1 + B - 1) / B;
+        auto &blocks = heldBlocks_[r.id];
+        while (blocks.size() < needed) {
+            const BlockId b = allocateBlock();
+            if (b != InvalidBlock) {
+                blocks.push_back(b);
+                continue;
+            }
+            if (!cfg_.paged.preemption) {
+                // Backpressure without eviction: sit out this
+                // iteration and retry once something retires.
+                stalled[i] = true;
+                break;
+            }
+            // Preempt the lowest-priority live member (latest
+            // arrival, highest id) - possibly the grower itself.
+            std::size_t victim = i;
+            for (std::size_t j = 0; j < batch_.size(); ++j)
+                if (!gone[j] && fcfsBefore(batch_[victim], batch_[j]))
+                    victim = j;
+            preemptMember(batch_[victim]);
+            gone[victim] = true;
+            if (victim == i)
+                break; // its own blocks are gone; stop growing
+        }
+        if (!gone[i] && !stalled[i])
+            metrics_.notePeakKvBlocks(blockMgr_->usedBlocks());
+    }
+
+    // Compact preempted members out, keeping order and stall flags
+    // aligned.
+    std::vector<ServeRequest> keep;
+    std::vector<bool> keep_stalled;
+    keep.reserve(batch_.size());
+    keep_stalled.reserve(batch_.size());
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+        if (gone[i])
+            continue;
+        keep.push_back(std::move(batch_[i]));
+        keep_stalled.push_back(stalled[i]);
+    }
+    batch_ = std::move(keep);
+    return keep_stalled;
+}
+
+double
+BatchScheduler::kvUtilization() const
+{
+    return cfg_.paged.enabled ? blockMgr_->utilization()
+                              : kv_.utilization();
+}
+
+std::uint64_t
+BatchScheduler::probeCachedTokens(const ServeRequest &req) const
+{
+    if (!cfg_.paged.enabled || !cfg_.paged.prefixCaching ||
+        req.sharedPrefixTokens == 0)
+        return 0;
+    const std::uint64_t B = cfg_.paged.blockTokens;
+    return prefixCache_->peekCachedTokens(
+        req.sharedBlockKeys(B), req.sharedPartialTokens(B),
+        req.sharedBlockKey(req.sharedFullBlocks(B)), B);
+}
+
 bool
 BatchScheduler::step()
 {
+    // Paged decode growth: every member must own the block its next
+    // token lands in before the iteration runs. May preempt members
+    // back into the queue (they re-admit at their FCFS position,
+    // recomputing their prompt) or - preemption off - stall them in
+    // place. Growth runs BEFORE admission so running members outrank
+    // new arrivals for blocks: were admission first, the head could
+    // swallow the very block a member's growth then frees for it by
+    // preemption, and since same-step joiners are invisible to the
+    // victim scan, two block-starved requests can otherwise trade
+    // preempt-for-admit forever without either crossing its next
+    // block boundary (a livelock, not just unfairness).
+    std::vector<bool> stalled;
+    if (cfg_.paged.enabled && !batch_.empty())
+        stalled = growPaged();
+
     std::vector<ServeRequest> joining;
     admit(joining);
 
@@ -119,17 +386,28 @@ BatchScheduler::step()
             return false;
     }
 
+    fatal_if(cfg_.paged.enabled && joining.empty() && !batch_.empty() &&
+                 !stalled.empty() &&
+                 std::find(stalled.begin(), stalled.end(), false) ==
+                     stalled.end(),
+             "paged KV deadlock: every batch member is stalled and "
+             "nothing can retire; enable preemption or add capacity");
+    stalled.resize(batch_.size(), false);
+
     const double iter_start = clock_;
 
-    // Iteration cost: joiners pay their prefill, everyone already in
-    // the batch decodes one token against their current context.
+    // Iteration cost: joiners pay their prefill (minus prompt tokens
+    // served by the prefix cache), everyone already in the batch
+    // decodes one token against their current context.
     double cost = 0.0;
     for (const ServeRequest &r : joining)
-        cost += cost_.prefillSeconds(r.inputTokens);
+        cost += cost_.prefillSeconds(r.inputTokens,
+                                     r.cachedPrefixTokens);
     std::vector<std::uint64_t> contexts;
     contexts.reserve(batch_.size());
-    for (const ServeRequest &r : batch_)
-        contexts.push_back(r.contextTokens() + 1); // token being made
+    for (std::size_t i = 0; i < batch_.size(); ++i)
+        if (!stalled[i])
+            contexts.push_back(batch_[i].contextTokens() + 1);
     cost += cost_.decodeIterationSeconds(contexts);
     clock_ += cost;
 
@@ -165,7 +443,11 @@ BatchScheduler::step()
     }
     // Decoding members each produced one more token; their token
     // latency is the whole iteration (prefill interference included).
-    for (ServeRequest &r : batch_) {
+    // Stalled members (paged, preemption off) made no progress.
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+        if (stalled[i])
+            continue;
+        ServeRequest &r = batch_[i];
         ++r.generated;
         metrics_.sampleTokenLatency(cost);
         if (tracer_ != nullptr)
@@ -177,6 +459,28 @@ BatchScheduler::step()
     const std::size_t iter_batch = batch_.size() + joining.size();
     batch_.insert(batch_.end(), joining.begin(), joining.end());
 
+    // Time-weighted KV accounting over the interval this iteration
+    // occupied, measured while the batch still holds its memory.
+    const std::uint64_t used_blocks =
+        cfg_.paged.enabled ? blockMgr_->usedBlocks() : 0;
+    metrics_.noteKvInterval(cost, kvUtilization(), used_blocks);
+    if (cfg_.paged.enabled) {
+        // Internal fragmentation: slots allocated to running requests
+        // but not (yet) holding KV.
+        std::uint64_t alloc_slots = 0;
+        std::uint64_t used_slots = 0;
+        for (const ServeRequest &r : batch_) {
+            auto it = heldBlocks_.find(r.id);
+            if (it == heldBlocks_.end())
+                continue;
+            alloc_slots += it->second.size() * cfg_.paged.blockTokens;
+            used_slots += r.contextTokens();
+        }
+        if (alloc_slots > 0)
+            metrics_.sampleKvFragmentation(
+                1.0 - static_cast<double>(used_slots) / alloc_slots);
+    }
+
     // Retire finished members immediately; their KV frees now.
     std::vector<ServeRequest> still_running;
     still_running.reserve(batch_.size());
@@ -184,7 +488,10 @@ BatchScheduler::step()
         if (r.generated >= r.outputTokens) {
             r.state = RequestState::Finished;
             r.finishSeconds = clock_;
-            kv_.release(r.worstCaseKvBytes(model_));
+            if (cfg_.paged.enabled)
+                releaseBlocks(r);
+            else
+                kv_.release(r.worstCaseKvBytes(model_));
             if (tracer_ != nullptr)
                 tracer_->instant(reqTrack_,
                                  "retire#" + std::to_string(r.id),
@@ -198,16 +505,20 @@ BatchScheduler::step()
     batch_ = std::move(still_running);
 
     metrics_.sampleIteration(iter_batch, queue_.size(),
-                             kv_.utilization());
+                             kvUtilization());
     if (tracer_ != nullptr) {
         const Tick end = secondsToTicks(clock_);
         tracer_->complete(iterTrack_, "iter",
                           secondsToTicks(iter_start), end);
         tracer_->counter(queueTrack_, end,
                          static_cast<double>(queue_.size()));
-        tracer_->counter(kvTrack_, end, kv_.utilization());
+        tracer_->counter(kvTrack_, end, kvUtilization());
         tracer_->counter(batchTrack_, end,
                          static_cast<double>(iter_batch));
+        if (cfg_.paged.enabled)
+            tracer_->counter(blocksTrack_, end,
+                             static_cast<double>(
+                                 blockMgr_->usedBlocks()));
     }
     return true;
 }
@@ -230,7 +541,9 @@ BatchScheduler::failIteration(std::vector<ServeRequest> &joining)
 
     // Everyone in the iteration loses their progress: KV state is
     // gone, so survivors restart from their prompt. Relative order is
-    // preserved at the head of the queue.
+    // preserved at the head of the queue (byte mode; the paged path
+    // re-inserts at exact FCFS positions, which a prior preemption may
+    // have shuffled).
     std::vector<ServeRequest> members;
     members.reserve(batch_.size() + joining.size());
     members.insert(members.end(), batch_.begin(), batch_.end());
@@ -239,7 +552,12 @@ BatchScheduler::failIteration(std::vector<ServeRequest> &joining)
 
     for (auto it = members.rbegin(); it != members.rend(); ++it) {
         ServeRequest r = *it;
-        kv_.release(r.worstCaseKvBytes(model_));
+        if (cfg_.paged.enabled) {
+            releaseBlocks(r);
+            r.cachedPrefixTokens = 0;
+        } else {
+            kv_.release(r.worstCaseKvBytes(model_));
+        }
         r.generated = 0;
         ++r.retries;
         if (r.retries > cfg_.ras.maxRequestRetries) {
@@ -259,7 +577,10 @@ BatchScheduler::failIteration(std::vector<ServeRequest> &joining)
             tracer_->instant(reqTrack_,
                              "requeue#" + std::to_string(r.id),
                              secondsToTicks(clock_));
-        queue_.push_front(r);
+        if (cfg_.paged.enabled)
+            requeueFcfs(std::move(r));
+        else
+            queue_.push_front(r);
     }
 }
 
@@ -282,11 +603,19 @@ BatchScheduler::drain()
     panic_if(!queue_.empty() || !batch_.empty(),
              "drain left requests behind");
     // Every reserve must have been paired with exactly one release by
-    // now (retire, or the requeue/Failed fault path): a non-zero
+    // now (retire, preemption, or the requeue/Failed fault path): a
     // residue here is a KV accounting leak or double-release.
     panic_if(kv_.reservedBytes() != 0, "drain left ",
              kv_.reservedBytes(), " KV bytes reserved with no request "
              "in flight");
+    if (cfg_.paged.enabled) {
+        panic_if(!heldBlocks_.empty(), "drain left ",
+                 heldBlocks_.size(), " requests holding KV blocks");
+        panic_if(blockMgr_->usedBlocks() != prefixCache_->entries(),
+                 "drain left ", blockMgr_->usedBlocks(), " KV blocks "
+                 "used but only ", prefixCache_->entries(),
+                 " prefix-cache entries to account for them");
+    }
 }
 
 std::uint64_t

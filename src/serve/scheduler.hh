@@ -6,11 +6,37 @@
  * prefill as they join), and finished requests retire immediately,
  * freeing their KV reservation for the next admission.
  *
- * Admission is KV-capacity-aware: a request is admitted only when its
- * worst-case KV footprint fits the pool, so the batch can never
- * outgrow device memory. With `continuousBatching = false` the same
- * loop degenerates to one-request-at-a-time serving - the baseline the
- * tests compare against.
+ * Admission is KV-capacity-aware and strictly FCFS: requests are
+ * considered in arrival order and ONLY the queue head is ever
+ * admitted. When the head does not fit (KV or batch slot), admission
+ * stops - later requests never jump a blocked head, even when they
+ * would fit. Head-of-line blocking is the price of the no-starvation
+ * guarantee; the paged allocator below shrinks how often it is paid.
+ *
+ * Two KV backends gate admission:
+ *
+ *  - Worst-case byte pool (the default, `paged.enabled = false`):
+ *    a request reserves `kvCacheBytes(in + out)` up front, so the
+ *    batch can never outgrow the module but capacity is charged for
+ *    generation that may never happen.
+ *
+ *  - Paged block manager (`paged.enabled = true`): capacity is spent
+ *    in `blockTokens`-sized blocks on the *current* context only,
+ *    growing lazily during decode. Requests sharing a prompt prefix
+ *    reuse full blocks through the PrefixCache (copy-on-write on the
+ *    partial tail), and cached prompt tokens skip the sum stage of
+ *    prefill. When growth overflows the pool the scheduler preempts
+ *    the lowest-priority (latest-arrival) running request: its blocks
+ *    free immediately, it re-enters the queue at its FCFS position,
+ *    and it recomputes from its prompt on re-admission - charged
+ *    through the ordinary prefill cost model and surfaced as
+ *    recompute tokens in the metrics.
+ *
+ * With `continuousBatching = false` the same loop degenerates to
+ * one-request-at-a-time serving - the baseline the tests compare
+ * against. Everything remains seeded-deterministic: the paged path
+ * adds no RNG and no ordering that depends on memory layout or
+ * thread count.
  */
 
 #ifndef CXLPNM_SERVE_SCHEDULER_HH
@@ -18,11 +44,15 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/cost_model.hh"
+#include "serve/kv_block_manager.hh"
 #include "serve/kv_pool.hh"
 #include "serve/metrics.hh"
+#include "serve/prefix_cache.hh"
 #include "serve/request.hh"
 #include "sim/fault.hh"
 #include "sim/trace.hh"
@@ -49,6 +79,23 @@ struct RasPolicy
     double degradedCooldownSeconds = 0.5;
 };
 
+/** Paged KV-cache policy (off by default: worst-case byte pool). */
+struct PagedKvConfig
+{
+    bool enabled = false;
+    /** KV slots per block; block bytes = kvCacheBytes(blockTokens). */
+    std::uint32_t blockTokens = 16;
+    /**
+     * Evict the latest-arrival running request when decode growth
+     * overflows the pool (recompute-on-resume). With preemption off,
+     * starved members stall in place until blocks free up; a fully
+     * stalled batch with nothing else to run is a fatal deadlock.
+     */
+    bool preemption = true;
+    /** Share full prompt-prefix blocks through the PrefixCache. */
+    bool prefixCaching = true;
+};
+
 /** Scheduling policy knobs. */
 struct SchedulerConfig
 {
@@ -58,6 +105,8 @@ struct SchedulerConfig
     bool continuousBatching = true;
     /** Recovery policy under fault injection. */
     RasPolicy ras;
+    /** Paged KV backend (block granularity, prefix cache, preempt). */
+    PagedKvConfig paged;
 };
 
 /** One model instance's serving loop on a seconds-resolution clock. */
@@ -99,7 +148,11 @@ class BatchScheduler
      * depend only on attach order. The serving clock is seconds and
      * converts to trace ticks via secondsToTicks. Emits iteration
      * spans, request-lifecycle instants (arrive/admit/token/retire,
-     * requeue/fail under fault injection) and queue/KV/batch counters.
+     * requeue/fail under fault injection, preempt under paging) and
+     * queue/KV/batch counters; paged mode adds a kv_blocks counter
+     * and prefix-cache hit/miss/cow/evict instants. With paging off
+     * the track set and emitted bytes are unchanged from the
+     * byte-pool-only scheduler.
      */
     void attachTracer(trace::Tracer *t, const std::string &prefix);
 
@@ -122,7 +175,19 @@ class BatchScheduler
      */
     std::uint64_t outstandingTokens() const;
 
+    /**
+     * Prompt tokens of @p req the prefix cache would serve right now
+     * (0 with paging/prefix caching off). Side-effect-free; the
+     * dispatcher's cache-affinity routing key.
+     */
+    std::uint64_t probeCachedTokens(const ServeRequest &req) const;
+
     const KvCachePool &kvPool() const { return kv_; }
+    /** Null unless the paged backend is enabled. */
+    const KvBlockManager *blockManager() const { return blockMgr_.get(); }
+    /** Null unless the paged backend is enabled. */
+    const PrefixCache *prefixCache() const { return prefixCache_.get(); }
+
     const std::vector<ServeRequest> &finished() const
     {
         return finished_;
@@ -140,6 +205,37 @@ class BatchScheduler
     /** Move admissible queued requests into @p joining. */
     void admit(std::vector<ServeRequest> &joining);
 
+    /** Paged admission of the queue head: prefix lookup, COW of a
+     *  cached partial tail, block allocation for prompt + one decode
+     *  slot. False (nothing held) when the blocks are not there. */
+    bool tryAdmitPaged(ServeRequest &head);
+
+    /**
+     * Ensure every batch member owns the block its next token lands
+     * in, preempting latest-arrival members (or stalling, with
+     * preemption off) when the pool is exhausted. Returns per-member
+     * stall flags aligned with batch_ after preempted members were
+     * removed.
+     */
+    std::vector<bool> growPaged();
+
+    /** Allocate one block, evicting prefix-cache LRU blocks as
+     *  needed; InvalidBlock when truly out of memory. */
+    BlockId allocateBlock();
+
+    /** Release every block @p req holds (no-op in byte mode). */
+    void releaseBlocks(const ServeRequest &req);
+
+    /** Re-enqueue @p r at its FCFS position (sorted by arrival, id). */
+    void requeueFcfs(ServeRequest r);
+
+    /** Preempt batch member @p r: free blocks, reset progress,
+     *  requeue, count recompute tokens. */
+    void preemptMember(ServeRequest &r);
+
+    /** KV utilization of whichever backend gates admission. */
+    double kvUtilization() const;
+
     /** Lose @p joining + batch_ to a fault; requeue or abandon. */
     void failIteration(std::vector<ServeRequest> &joining);
 
@@ -149,9 +245,15 @@ class BatchScheduler
     SchedulerConfig cfg_;
     ServeMetrics &metrics_;
 
+    /** Paged backend (null in byte-pool mode). */
+    std::unique_ptr<KvBlockManager> blockMgr_;
+    std::unique_ptr<PrefixCache> prefixCache_;
+    /** Blocks held by each live request, by request id. */
+    std::unordered_map<std::uint64_t, std::vector<BlockId>> heldBlocks_;
+
     double clock_ = 0.0;
     double lastArrival_ = 0.0;
-    std::deque<ServeRequest> queue_; // arrived or future, FIFO
+    std::deque<ServeRequest> queue_; // arrived or future, FCFS
     std::vector<ServeRequest> batch_; // decoding members
     std::vector<ServeRequest> finished_;
     std::vector<ServeRequest> rejected_;
@@ -168,6 +270,8 @@ class BatchScheduler
     trace::TrackId queueTrack_ = trace::InvalidTrack;
     trace::TrackId kvTrack_ = trace::InvalidTrack;
     trace::TrackId batchTrack_ = trace::InvalidTrack;
+    trace::TrackId blocksTrack_ = trace::InvalidTrack;
+    trace::TrackId prefixTrack_ = trace::InvalidTrack;
 };
 
 } // namespace serve

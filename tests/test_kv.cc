@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Paged KV-cache tests: the ref-counted block manager, the radix
+ * prefix cache (chain sharing, copy-on-write tails, LRU eviction,
+ * per-group tail keys), check-and-reserve admission on the byte pool,
+ * and the paged scheduler end to end - admission beyond worst-case
+ * byte gating, the preempt -> requeue -> recompute path, shared-prefix
+ * hit accounting, and seeded determinism of the whole hit/evict
+ * sequence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/cost_model.hh"
+#include "serve/dispatcher.hh"
+#include "serve/kv_block_manager.hh"
+#include "serve/kv_pool.hh"
+#include "serve/metrics.hh"
+#include "serve/prefix_cache.hh"
+#include "serve/request_generator.hh"
+#include "serve/scheduler.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+namespace
+{
+
+BatchCostModel
+syntheticCost()
+{
+    BatchCostModel c;
+    c.sumCurve.addSample(1, 1.0e-3);
+    c.sumCurve.addSample(1024, 10.0e-3);
+    c.genWeightSeconds = 10.0e-3;
+    c.genKvPerTokenSeconds = 2.0e-6;
+    c.perTokenComputeSeconds = 0.2e-3;
+    return c;
+}
+
+TraceConfig
+saturatingTrace(std::size_t n, std::uint64_t in, std::uint64_t out)
+{
+    TraceConfig t;
+    t.arrivals = ArrivalProcess::Fixed;
+    t.requestsPerSec = 1.0e6;
+    t.numRequests = n;
+    t.input = LengthDistribution::fixed(in);
+    t.output = LengthDistribution::fixed(out);
+    return t;
+}
+
+ServeReport
+runTrace(const TraceConfig &trace, const llm::ModelConfig &model,
+         std::uint64_t kv_capacity, const SchedulerConfig &sched)
+{
+    ServeMetrics metrics(nullptr, "serve");
+    BatchScheduler s(model, syntheticCost(), kv_capacity, sched,
+                     metrics);
+    RequestGenerator gen(trace);
+    while (!gen.exhausted())
+        s.submit(gen.next());
+    s.drain();
+    return metrics.report(s.clockSeconds());
+}
+
+SchedulerConfig
+pagedConfig(std::uint32_t block_tokens, bool preemption = true)
+{
+    SchedulerConfig cfg;
+    cfg.paged.enabled = true;
+    cfg.paged.blockTokens = block_tokens;
+    cfg.paged.preemption = preemption;
+    return cfg;
+}
+
+// ---- KvCachePool::tryReserve edges ----
+
+TEST(KvPoolTryReserveTest, ExactFitAndRefusalLeaveThePoolConsistent)
+{
+    KvCachePool pool(1000);
+    EXPECT_TRUE(pool.tryReserve(1000)); // exact fit succeeds
+    EXPECT_EQ(pool.reservedBytes(), 1000u);
+    EXPECT_FALSE(pool.tryReserve(1)); // full pool refuses...
+    EXPECT_EQ(pool.reservedBytes(), 1000u); // ...without side effects
+    EXPECT_TRUE(pool.tryReserve(0)); // zero bytes always fit
+    pool.release(1000);
+    EXPECT_FALSE(pool.tryReserve(1001)); // over capacity refuses
+    EXPECT_EQ(pool.reservedBytes(), 0u);
+    EXPECT_TRUE(pool.tryReserve(999));
+    EXPECT_FALSE(pool.tryReserve(2)); // one byte short
+    EXPECT_TRUE(pool.tryReserve(1));
+
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(KvCachePool(0), FatalError); // zero-capacity pool
+    setLogLevel(LogLevel::Info);
+}
+
+// ---- block manager ----
+
+TEST(KvBlockManagerTest, CarvesCapacityAndRefCountsBlocks)
+{
+    // 10 whole blocks plus a remainder that must not become a block.
+    KvBlockManager mgr(10 * 64 + 63, 64);
+    EXPECT_EQ(mgr.totalBlocks(), 10u);
+    EXPECT_EQ(mgr.freeBlocks(), 10u);
+    EXPECT_EQ(mgr.blockBytes(), 64u);
+    EXPECT_DOUBLE_EQ(mgr.utilization(), 0.0);
+
+    const BlockId a = mgr.tryAllocate();
+    ASSERT_NE(a, InvalidBlock);
+    EXPECT_EQ(mgr.refCount(a), 1u);
+    mgr.addRef(a);
+    EXPECT_EQ(mgr.refCount(a), 2u);
+    EXPECT_EQ(mgr.usedBlocks(), 1u);
+
+    EXPECT_FALSE(mgr.release(a)); // one holder left, stays allocated
+    EXPECT_EQ(mgr.usedBlocks(), 1u);
+    EXPECT_TRUE(mgr.release(a)); // last ref frees it
+    EXPECT_EQ(mgr.usedBlocks(), 0u);
+    EXPECT_EQ(mgr.peakUsedBlocks(), 1u);
+    EXPECT_EQ(mgr.allocations(), 1u);
+    EXPECT_EQ(mgr.frees(), 1u);
+}
+
+TEST(KvBlockManagerTest, ExhaustionReturnsInvalidNotFatal)
+{
+    KvBlockManager mgr(3 * 32, 32);
+    std::vector<BlockId> held;
+    for (int i = 0; i < 3; ++i) {
+        const BlockId b = mgr.tryAllocate();
+        ASSERT_NE(b, InvalidBlock);
+        held.push_back(b);
+    }
+    EXPECT_EQ(mgr.tryAllocate(), InvalidBlock);
+    EXPECT_DOUBLE_EQ(mgr.utilization(), 1.0);
+    mgr.release(held.back());
+    EXPECT_NE(mgr.tryAllocate(), InvalidBlock); // freed block reusable
+}
+
+TEST(KvBlockManagerTest, FreeBlockMisuseIsFatal)
+{
+    KvBlockManager mgr(4 * 16, 16);
+    const BlockId b = mgr.tryAllocate();
+    EXPECT_TRUE(mgr.release(b));
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(mgr.release(b), FatalError); // double free
+    EXPECT_THROW(mgr.addRef(b), FatalError);  // ref on a free block
+    EXPECT_THROW(KvBlockManager(64, 0), FatalError);
+    EXPECT_THROW(KvBlockManager(32, 64), FatalError); // < one block
+    setLogLevel(LogLevel::Info);
+}
+
+// ---- prefix cache ----
+
+TEST(PrefixCacheTest, ChainLookupSharesFullBlocksAndCowsTheTail)
+{
+    KvBlockManager mgr(8 * 16, 16);
+    PrefixCache cache(mgr);
+
+    // Donor request: two full shared blocks plus a 5-token tail that
+    // lives at the head of its third (private) block.
+    const std::vector<std::uint64_t> keys = {11, 22};
+    const std::uint64_t tail_key = 33;
+    std::vector<BlockId> blocks;
+    for (int i = 0; i < 3; ++i)
+        blocks.push_back(mgr.tryAllocate());
+    cache.insert(keys, blocks, 5, tail_key, blocks[2]);
+    EXPECT_EQ(cache.entries(), 3u);
+    EXPECT_EQ(cache.insertions(), 3u);
+    EXPECT_EQ(mgr.refCount(blocks[0]), 2u); // donor + cache
+
+    // A second group member hits both full blocks and the tail.
+    auto m = cache.lookup(keys, 5, tail_key);
+    ASSERT_EQ(m.blocks.size(), 2u);
+    EXPECT_EQ(m.blocks[0], blocks[0]);
+    EXPECT_EQ(m.blocks[1], blocks[1]);
+    EXPECT_EQ(m.partialTokens, 5u); // tail must be COW'd by caller
+    EXPECT_EQ(mgr.refCount(blocks[0]), 3u); // lookup ref'd for caller
+    EXPECT_EQ(mgr.refCount(blocks[2]), 2u); // tail donor NOT ref'd
+
+    // A different tail length is a different node: no tail hit.
+    auto m2 = cache.lookup(keys, 7, tail_key);
+    EXPECT_EQ(m2.blocks.size(), 2u);
+    EXPECT_EQ(m2.partialTokens, 0u);
+    for (BlockId b : m2.blocks)
+        mgr.release(b);
+
+    // Prefix of the chain matches partially.
+    auto m3 = cache.lookup({11, 99}, 0, 0);
+    EXPECT_EQ(m3.blocks.size(), 1u);
+    mgr.release(m3.blocks[0]);
+
+    EXPECT_EQ(cache.peekCachedTokens(keys, 5, tail_key, 16),
+              2u * 16u + 5u);
+    for (BlockId b : m.blocks)
+        mgr.release(b);
+}
+
+TEST(PrefixCacheTest, TailKeysKeepPrefixGroupsApart)
+{
+    // Regression: a shared prefix shorter than one block hangs its
+    // tail off the trie root. Without the tail content key, every
+    // group's tail would land on the same node and groups would
+    // falsely hit each other's cached tail.
+    KvBlockManager mgr(4 * 16, 16);
+    PrefixCache cache(mgr);
+
+    const BlockId donor = mgr.tryAllocate();
+    cache.insert({}, {donor}, 6, /*tail_key=*/100, donor);
+
+    EXPECT_EQ(cache.lookup({}, 6, 100).partialTokens, 6u); // own group
+    EXPECT_EQ(cache.lookup({}, 6, 200).partialTokens, 0u); // other
+    EXPECT_EQ(cache.peekCachedTokens({}, 6, 200, 16), 0u);
+    EXPECT_EQ(cache.peekCachedTokens({}, 6, 100, 16), 6u);
+}
+
+TEST(PrefixCacheTest, EvictsLruLeavesOnlyAndNeverLiveBlocks)
+{
+    KvBlockManager mgr(8 * 16, 16);
+    PrefixCache cache(mgr);
+
+    std::vector<BlockId> chain = {mgr.tryAllocate(), mgr.tryAllocate()};
+    cache.insert({1, 2}, chain, 0, 0, InvalidBlock);
+    // Caller drops its refs; only the cache holds the chain now.
+    for (BlockId b : chain)
+        mgr.release(b);
+    EXPECT_EQ(mgr.usedBlocks(), 2u);
+
+    // A second, more recently used chain whose block the caller keeps.
+    const BlockId live = mgr.tryAllocate();
+    cache.insert({9}, {live}, 0, 0, InvalidBlock);
+
+    // Evicts the cold chain leaf-first (never the mid-chain parent
+    // while its child exists, never the live block).
+    EXPECT_TRUE(cache.evictOne());
+    EXPECT_EQ(mgr.usedBlocks(), 2u); // chain[1] went, live + chain[0]
+    EXPECT_EQ(mgr.refCount(chain[0]), 1u);
+    EXPECT_TRUE(cache.evictOne());
+    EXPECT_EQ(mgr.usedBlocks(), 1u);
+    EXPECT_FALSE(cache.evictOne()); // `live` is pinned by the caller
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_EQ(cache.evictions(), 2u);
+    mgr.release(live);
+}
+
+// ---- paged scheduler end to end ----
+
+TEST(PagedSchedulerTest, AdmitsBeyondWorstCaseByteGating)
+{
+    const auto model = llm::ModelConfig::tiny();
+    ServeRequest probe;
+    probe.inputTokens = 8;
+    probe.outputTokens = 48;
+    // Two worst-case requests deep, on a workload where most outputs
+    // are far shorter than the worst case: byte admission reserves
+    // for the longest possible generation and caps the batch at 2,
+    // while paged admission holds only each request's actual context
+    // and packs several short requests into the same pool.
+    const std::uint64_t capacity = 2 * probe.worstCaseKvBytes(model);
+    auto trace = saturatingTrace(24, 8, 48);
+    trace.output = LengthDistribution::bimodal(4, 48, 0.875);
+
+    const auto byte = runTrace(trace, model, capacity, {});
+    const auto paged = runTrace(trace, model, capacity, pagedConfig(8));
+
+    EXPECT_EQ(byte.completed, 24u);
+    EXPECT_EQ(paged.completed, 24u);
+    EXPECT_GT(paged.meanBatchSize, byte.meanBatchSize);
+    EXPECT_GT(paged.throughputTokensPerSec,
+              byte.throughputTokensPerSec);
+    EXPECT_LT(paged.makespanSeconds, byte.makespanSeconds);
+}
+
+TEST(PagedSchedulerTest, PreemptedRequestResumesAndCompletes)
+{
+    const auto model = llm::ModelConfig::tiny();
+    // Pool of 5 8-token blocks; three 8-in/24-out requests each end at
+    // 4 blocks, so decode growth must preempt to make room and the
+    // victims must recompute after resuming.
+    const std::uint64_t capacity = 5 * model.kvCacheBytes(8);
+    const auto rep =
+        runTrace(saturatingTrace(3, 8, 24), model, capacity,
+                 pagedConfig(8));
+
+    EXPECT_EQ(rep.completed, 3u);
+    EXPECT_EQ(rep.requestsFailed, 0u);
+    EXPECT_GT(rep.preemptionsForCapacity, 0u);
+    EXPECT_GT(rep.recomputeTokens, 0u);
+}
+
+TEST(PagedSchedulerTest, PreemptionOffStallsInsteadOfEvicting)
+{
+    // One long request grows toward 7 blocks on a 7-block pool; a
+    // short one (2 blocks, never grows) arrives mid-run. The grower
+    // must stall - not evict anyone - until the short one retires,
+    // and both complete without a single preemption.
+    const auto model = llm::ModelConfig::tiny();
+    ServeMetrics metrics(nullptr, "serve");
+    BatchScheduler s(model, syntheticCost(),
+                     7 * model.kvCacheBytes(8),
+                     pagedConfig(8, /*preemption=*/false), metrics);
+    ServeRequest grower;
+    grower.id = 0;
+    grower.inputTokens = 8;
+    grower.outputTokens = 41; // final context 49 tokens = 7 blocks
+    ServeRequest shorty;
+    shorty.id = 1;
+    shorty.arrivalSeconds = 0.3; // lands while the grower holds ~5
+    shorty.inputTokens = 8;
+    shorty.outputTokens = 7; // fits its 2 admission blocks for good
+    s.submit(grower);
+    s.submit(shorty);
+    s.drain();
+
+    const auto rep = metrics.report(s.clockSeconds());
+    EXPECT_EQ(rep.completed, 2u);
+    EXPECT_EQ(rep.preemptionsForCapacity, 0u);
+    EXPECT_EQ(rep.recomputeTokens, 0u);
+}
+
+TEST(PagedSchedulerTest, AllGrowersStalledWithNoPreemptionIsFatal)
+{
+    // Two concurrent growers that jointly need more blocks than the
+    // pool holds cannot make progress without eviction; with
+    // preemption disabled the scheduler must fail loudly instead of
+    // spinning.
+    const auto model = llm::ModelConfig::tiny();
+    ServeMetrics metrics(nullptr, "serve");
+    BatchScheduler s(model, syntheticCost(),
+                     5 * model.kvCacheBytes(8),
+                     pagedConfig(8, /*preemption=*/false), metrics);
+    for (std::uint64_t id = 0; id < 2; ++id) {
+        ServeRequest r;
+        r.id = id;
+        r.inputTokens = 8;
+        r.outputTokens = 24; // each wants 4 blocks, 8 > 5 jointly
+        s.submit(r);
+    }
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(s.drain(), FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(PagedSchedulerTest, OverlargeRequestIsRejectedUpFront)
+{
+    const auto model = llm::ModelConfig::tiny();
+    ServeMetrics metrics(nullptr, "serve");
+    BatchScheduler s(model, syntheticCost(), 2 * model.kvCacheBytes(8),
+                     pagedConfig(8), metrics);
+    ServeRequest r;
+    r.inputTokens = 16; // needs 3 blocks at its first token already
+    r.outputTokens = 8;
+    s.submit(r);
+    s.drain();
+    EXPECT_EQ(s.rejected().size(), 1u);
+}
+
+TEST(PagedSchedulerTest, SharedPrefixHitsCutPrefillAndRegister)
+{
+    const auto model = llm::ModelConfig::tiny();
+    const std::uint64_t capacity = 24 * model.kvCacheBytes(8);
+    auto trace = saturatingTrace(16, 16, 8);
+    trace.prefixReuse = 1.0;
+    trace.prefixGroups = 1;
+    trace.prefixTokens = 12; // one full 8-token block + 4-token tail
+
+    const auto rep = runTrace(trace, model, capacity, pagedConfig(8));
+    EXPECT_EQ(rep.completed, 16u);
+    EXPECT_GT(rep.prefixHitRate, 0.0);
+    EXPECT_GT(rep.cachedPrefixTokens, 0u);
+    EXPECT_GT(rep.sharedPrefixTokens, rep.cachedPrefixTokens);
+    EXPECT_GT(rep.cowCopies, 0u); // the 4-token tail is COW'd
+
+    auto cold = trace;
+    cold.prefixReuse = 0.0;
+    const auto base = runTrace(cold, model, capacity, pagedConfig(8));
+    EXPECT_DOUBLE_EQ(base.prefixHitRate, 0.0);
+    // Cached prefills are cheaper, so the shared workload drains
+    // strictly faster on the same capacity.
+    EXPECT_LT(rep.makespanSeconds, base.makespanSeconds);
+}
+
+TEST(PagedSchedulerTest, TimeWeightedKvUtilizationIsConsistent)
+{
+    const auto model = llm::ModelConfig::tiny();
+    const std::uint64_t capacity = 6 * model.kvCacheBytes(8);
+    const auto rep = runTrace(saturatingTrace(8, 8, 16), model,
+                              capacity, pagedConfig(8));
+    EXPECT_GT(rep.timeAvgKvUtilization, 0.0);
+    EXPECT_LE(rep.timeAvgKvUtilization, rep.peakKvUtilization + 1e-12);
+    EXPECT_GT(rep.peakKvBlocksInUse, 0u);
+    EXPECT_GT(rep.meanKvBlocksInUse, 0.0);
+    EXPECT_LE(rep.meanKvBlocksInUse,
+              static_cast<double>(rep.peakKvBlocksInUse));
+}
+
+TEST(PagedSchedulerTest, HitAndEvictSequenceIsSeedDeterministic)
+{
+    const auto model = llm::ModelConfig::tiny();
+    TraceConfig trace;
+    trace.requestsPerSec = 500.0;
+    trace.numRequests = 80;
+    trace.input = LengthDistribution::uniform(8, 24);
+    trace.output = LengthDistribution::uniform(4, 24);
+    trace.seed = 11;
+    trace.prefixReuse = 0.7;
+    trace.prefixGroups = 3;
+    trace.prefixTokens = 12;
+    // Tight enough that eviction and preemption both fire.
+    const std::uint64_t capacity = 8 * model.kvCacheBytes(8);
+
+    const auto a = runTrace(trace, model, capacity, pagedConfig(8));
+    const auto b = runTrace(trace, model, capacity, pagedConfig(8));
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.prefixHitBlocks, b.prefixHitBlocks);
+    EXPECT_EQ(a.cachedPrefixTokens, b.cachedPrefixTokens);
+    EXPECT_EQ(a.cacheEvictions, b.cacheEvictions);
+    EXPECT_EQ(a.cowCopies, b.cowCopies);
+    EXPECT_EQ(a.preemptionsForCapacity, b.preemptionsForCapacity);
+    EXPECT_EQ(a.recomputeTokens, b.recomputeTokens);
+    EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_DOUBLE_EQ(a.timeAvgKvUtilization, b.timeAvgKvUtilization);
+
+    auto other = trace;
+    other.seed = 12;
+    const auto c = runTrace(other, model, capacity, pagedConfig(8));
+    EXPECT_NE(a.makespanSeconds, c.makespanSeconds);
+}
+
+// ---- cache-affinity routing ----
+
+TEST(DispatcherTest, RoutesPrefixGroupMembersToTheCachedScheduler)
+{
+    const auto model = llm::ModelConfig::tiny();
+    core::ParallelismPlan plan;
+    plan.modelParallel = 1;
+    plan.dataParallel = 2;
+    const std::uint64_t capacity = 32 * model.kvCacheBytes(8);
+
+    ServeMetrics metrics(nullptr, "appliance");
+    ApplianceDispatcher disp(model, syntheticCost(), plan, capacity,
+                             pagedConfig(8), metrics);
+
+    auto member = [](std::uint64_t id, double at) {
+        ServeRequest r;
+        r.id = id;
+        r.arrivalSeconds = at;
+        r.inputTokens = 16;
+        r.outputTokens = 32;
+        r.prefixGroup = 7;
+        r.sharedPrefixTokens = 12;
+        return r;
+    };
+    // First member lands on group 0 (least-load tie, lowest index)
+    // and seeds its prefix in that scheduler's cache.
+    disp.submit(member(0, 0.0));
+    // While it is still running, a group mate arrives. Pure least-load
+    // would send it to the idle group 1; cache affinity must keep it
+    // on group 0, where its prefix is hot.
+    disp.submit(member(1, 0.05));
+    disp.drain();
+
+    EXPECT_EQ(disp.group(0).finished().size(), 2u);
+    EXPECT_EQ(disp.group(1).finished().size(), 0u);
+    EXPECT_GT(metrics.prefixHitBlocks(), 0u);
+}
+
+} // namespace
+} // namespace serve
+} // namespace cxlpnm

@@ -322,6 +322,48 @@ TEST(SchedulerTest, MetricsAreDeterministicUnderAFixedSeed)
     EXPECT_NE(a.makespanSeconds, c.makespanSeconds);
 }
 
+TEST(SchedulerTest, BlockedHeadNeverLetsLaterRequestsJumpTheQueue)
+{
+    // Strict-FCFS regression: while the queue head does not fit the
+    // KV pool, no later request may be admitted - even one small
+    // enough to fit immediately. The small request's first token must
+    // therefore wait for the blocked head's.
+    const auto model = llm::ModelConfig::tiny();
+    ServeRequest small;
+    small.inputTokens = 8;
+    small.outputTokens = 4;
+    ServeRequest big;
+    big.inputTokens = 8;
+    big.outputTokens = 32;
+    // Fits the running `big` plus `small`, but not two `big`s.
+    const std::uint64_t capacity = big.worstCaseKvBytes(model) +
+        small.worstCaseKvBytes(model);
+
+    ServeMetrics metrics(nullptr, "serve");
+    BatchScheduler s(model, syntheticCost(), capacity, {}, metrics);
+    ServeRequest r0 = big;    // admitted at t=0
+    r0.id = 0;
+    ServeRequest r1 = big;    // blocked behind r0
+    r1.id = 1;
+    ServeRequest r2 = small;  // would fit, must still wait for r1
+    r2.id = 2;
+    s.submit(r0);
+    s.submit(r1);
+    s.submit(r2);
+    s.drain();
+
+    ASSERT_EQ(s.finished().size(), 3u);
+    const ServeRequest *req[3] = {nullptr, nullptr, nullptr};
+    for (const auto &r : s.finished())
+        req[r.id] = &r;
+    // r1 was only admissible once r0 finished...
+    EXPECT_GE(req[1]->admitSeconds,
+              req[0]->finishSeconds - 1e-12);
+    // ...and r2, though it fit all along, never overtook r1.
+    EXPECT_GE(req[2]->admitSeconds, req[1]->admitSeconds);
+    EXPECT_GE(req[2]->firstTokenSeconds, req[1]->firstTokenSeconds);
+}
+
 TEST(SchedulerTest, TtftIncludesQueueingDelay)
 {
     const auto model = llm::ModelConfig::tiny();
