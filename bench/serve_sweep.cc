@@ -36,6 +36,25 @@
  *
  *   ./serve_sweep kvout=BENCH_kv.json [kv_gb=0.5] [threads=0]
  *                 [check=0] [prefix_tokens=48] [prefix_groups=4] [...]
+ *
+ * Tiered-KV long-context mode (`tierout=BENCH_kvtier.json`): a
+ * context-length x tier-configuration grid on the PNM cost model with
+ * the CXL-far KV tier (src/serve/tier/). For each prompt length in
+ * {128k, 256k, 512k, 1M} tokens four cells run the same fixed trace:
+ * near-only (far tier off - prompts beyond the near pool are rejected
+ * at submit), LRU-decode-distance with and without the decode-ahead
+ * prefetcher, and the pinned-recent-window policy. Cells fan out over
+ * `threads=`; every cell is a self-contained seeded simulation, so the
+ * JSON is byte-identical for any thread count. `check=1` exits
+ * non-zero unless (a) some context length is servable with the far
+ * tier and completely unservable without it, and (b) wherever far KV
+ * was actually streamed, prefetch strictly beats no-prefetch on p50
+ * token latency.
+ *
+ *   ./serve_sweep tierout=BENCH_kvtier.json [model=opt-1.3b]
+ *                 [block=1024] [near_tokens=163840]
+ *                 [far_tokens=1310720] [out=64] [n=4] [batch=1]
+ *                 [pin_window=8] [threads=0] [check=0] [seed=1]
  */
 
 #include <algorithm>
@@ -447,12 +466,269 @@ runKvSweep(Config &cfg, const llm::ModelConfig &model,
     return 0;
 }
 
+// ---- Tiered-KV long-context mode (tierout=) ----
+
+/** One (context length, tier configuration) cell. */
+struct TierCell
+{
+    std::uint64_t ctxTokens = 0;
+    const char *label = "";
+    bool tiered = false;
+    serve::tier::TierConfig tier; // farBlocks == 0 for near-only
+    serve::ServeReport report;
+};
+
+int
+runTierSweep(Config &cfg)
+{
+    const std::string out_path = cfg.getString("tierout", "");
+    auto model =
+        llm::ModelConfig::byName(cfg.getString("model", "opt-1.3b"));
+    const std::uint32_t block =
+        static_cast<std::uint32_t>(cfg.getInt("block", 1024));
+    const std::uint64_t near_tokens = cfg.getInt("near_tokens", 163840);
+    const std::uint64_t far_tokens = cfg.getInt("far_tokens", 1310720);
+    const std::uint64_t out_tokens = cfg.getInt("out", 64);
+    const std::size_t n_requests = cfg.getInt("n", 4);
+    const std::size_t max_batch = cfg.getInt("batch", 1);
+    const std::uint32_t pin_window =
+        static_cast<std::uint32_t>(cfg.getInt("pin_window", 8));
+    const unsigned threads =
+        static_cast<unsigned>(cfg.getInt("threads", 0));
+
+    const std::vector<std::uint64_t> ctxs = {131072, 262144, 524288,
+                                             1048576};
+    const std::uint64_t far_blocks = far_tokens / block;
+    const std::uint64_t near_blocks = near_tokens / block;
+    const std::uint64_t total_tokens =
+        (near_blocks + far_blocks) * block;
+
+    // The stock model tops out at chat-scale positions; the whole
+    // point of this sweep is the regime beyond them.
+    model.maxPositions = ctxs.back() + out_tokens + block;
+
+    // Calibrate once at a modest context: the fitted per-token cost
+    // model extrapolates linearly (exactly right for the KV-read and
+    // sum-stage terms that dominate long contexts), while calibrating
+    // at 1M would exhaust the device's register file simulating a 1M
+    // prefill just to produce coefficients.
+    core::PnmPlatformConfig pcfg;
+    pcfg.channelGrouping = 8;
+    const auto cost = serve::calibratePnmCostModel(model, pcfg, 1024);
+    const std::uint64_t near_bytes = model.kvCacheBytes(near_tokens);
+
+    bench::header("Tiered KV long-context sweep: " + model.name);
+    std::printf("near %llu blocks (%.1f GB), far %llu blocks, "
+                "block %u tokens, %zu requests x %llu out tokens\n",
+                static_cast<unsigned long long>(near_blocks),
+                near_bytes / GB,
+                static_cast<unsigned long long>(far_blocks), block,
+                n_requests,
+                static_cast<unsigned long long>(out_tokens));
+
+    // The cell grid: near-only plus three tier configurations.
+    std::vector<TierCell> cells;
+    for (std::uint64_t ctx : ctxs) {
+        TierCell base;
+        base.ctxTokens = ctx;
+        base.tier.link = cxl::CxlLinkParams{};
+
+        TierCell near_only = base;
+        near_only.label = "near_only";
+        cells.push_back(near_only);
+
+        TierCell lru_pf = base;
+        lru_pf.label = "lru_prefetch";
+        lru_pf.tiered = true;
+        lru_pf.tier.farBlocks = far_blocks;
+        lru_pf.tier.policy = serve::tier::TierPolicyKind::LruDecodeDistance;
+        lru_pf.tier.prefetch = true;
+        cells.push_back(lru_pf);
+
+        TierCell lru_nopf = lru_pf;
+        lru_nopf.label = "lru_noprefetch";
+        lru_nopf.tier.prefetch = false;
+        cells.push_back(lru_nopf);
+
+        TierCell pinned = lru_pf;
+        pinned.label = "pinned_prefetch";
+        pinned.tier.policy =
+            serve::tier::TierPolicyKind::PinnedRecentWindow;
+        pinned.tier.pinnedWindowBlocks = pin_window;
+        cells.push_back(pinned);
+    }
+
+    ThreadPool::parallelFor(cells.size(), threads, [&](std::size_t i) {
+        TierCell &c = cells[i];
+
+        serve::TraceConfig t;
+        t.arrivals = serve::ArrivalProcess::Fixed;
+        t.requestsPerSec = 1e6; // saturating: drain-limited makespan
+        t.numRequests = n_requests;
+        t.output = serve::LengthDistribution::fixed(out_tokens);
+        t.seed = cfg.getInt("seed", 1);
+        t.longContext = true;
+        t.longCtxMinTokens = c.ctxTokens;
+        t.longCtxMaxTokens = c.ctxTokens;
+        // A tiered cell must pass admission-capacity validation; the
+        // near-only cell skips the KV bound on purpose so the
+        // scheduler's own reject path is what the sweep measures.
+        t.validate(model.maxPositions, c.tiered ? total_tokens : 0);
+
+        serve::SchedulerConfig sched;
+        sched.maxBatch = max_batch;
+        sched.paged.enabled = true;
+        sched.paged.blockTokens = block;
+        if (c.tiered)
+            sched.paged.tier = c.tier;
+
+        serve::MetricsConfig mcfg;
+        mcfg.tokenLatencyHi = 8.0;
+        mcfg.tokenLatencyBuckets = 4000;
+        mcfg.autoExtendLatencies = true;
+
+        c.report = runAtRate(model, cost, near_bytes, sched, mcfg, t);
+    });
+
+    std::printf("\n  %8s %16s %5s %4s %9s %9s %8s %8s %9s %7s\n",
+                "ctx", "cell", "done", "rej", "tok50(s)", "ttft50(s)",
+                "demote", "stream", "exposed", "hidden");
+    for (const auto &c : cells) {
+        const auto &r = c.report;
+        std::printf("  %8llu %16s %5llu %4llu %9.3f %9.1f %8llu "
+                    "%8llu %9.2f %7.2f\n",
+                    static_cast<unsigned long long>(c.ctxTokens),
+                    c.label,
+                    static_cast<unsigned long long>(r.completed),
+                    static_cast<unsigned long long>(r.rejected),
+                    r.tokenLatencyP50, r.ttftP50,
+                    static_cast<unsigned long long>(r.tierDemotions),
+                    static_cast<unsigned long long>(
+                        r.tierStreamedBytes / (1u << 20)),
+                    r.tierExposedSeconds, r.tierHiddenSeconds);
+    }
+
+    // --- JSON (deterministic: simulation outputs only) ---
+    std::string json = "{\n";
+    appendf(json, "  \"model\": \"%s\",\n", model.name.c_str());
+    appendf(json,
+            "  \"block_tokens\": %u, \"near_blocks\": %llu, "
+            "\"far_blocks\": %llu, \"requests\": %zu, \"out\": %llu, "
+            "\"batch\": %zu, \"pin_window\": %u, \"seed\": %llu,\n",
+            block, static_cast<unsigned long long>(near_blocks),
+            static_cast<unsigned long long>(far_blocks), n_requests,
+            static_cast<unsigned long long>(out_tokens), max_batch,
+            pin_window,
+            static_cast<unsigned long long>(cfg.getInt("seed", 1)));
+    json += "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &c = cells[i];
+        const auto &r = c.report;
+        appendf(json,
+                "    {\"ctx\": %llu, \"cell\": \"%s\", "
+                "\"completed\": %llu, \"rejected\": %llu,\n",
+                static_cast<unsigned long long>(c.ctxTokens), c.label,
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.rejected));
+        appendf(json,
+                "     \"token_p50_s\": %.6f, \"token_p95_s\": %.6f, "
+                "\"ttft_p50_s\": %.4f, \"makespan_s\": %.4f,\n",
+                r.tokenLatencyP50, r.tokenLatencyP95, r.ttftP50,
+                r.makespanSeconds);
+        appendf(json,
+                "     \"demotions\": %llu, \"promotions\": %llu, "
+                "\"far_born\": %llu, \"migrated_bytes\": %llu, "
+                "\"streamed_bytes\": %llu,\n",
+                static_cast<unsigned long long>(r.tierDemotions),
+                static_cast<unsigned long long>(r.tierPromotions),
+                static_cast<unsigned long long>(r.tierFarBornBlocks),
+                static_cast<unsigned long long>(r.tierMigratedBytes),
+                static_cast<unsigned long long>(r.tierStreamedBytes));
+        appendf(json,
+                "     \"exposed_s\": %.6f, \"hidden_s\": %.6f, "
+                "\"abandoned\": %llu, \"pin_violations\": %llu, "
+                "\"peak_near\": %llu, \"peak_far\": %llu}%s\n",
+                r.tierExposedSeconds, r.tierHiddenSeconds,
+                static_cast<unsigned long long>(
+                    r.tierAbandonedMigrations),
+                static_cast<unsigned long long>(r.tierPinViolations),
+                static_cast<unsigned long long>(r.peakNearBlocksInUse),
+                static_cast<unsigned long long>(r.peakFarBlocksInUse),
+                i + 1 == cells.size() ? "" : ",");
+    }
+    json += "  ]\n}\n";
+    if (!writeFile(out_path, json)) {
+        std::fprintf(stderr, "serve_sweep: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::printf("\nwrote %s\n", out_path.c_str());
+
+    if (!cfg.getBool("check", false))
+        return 0;
+
+    // Gate (a): some context length must be beyond the near tier alone
+    // yet fully served through the far tier.
+    auto cell = [&](std::uint64_t ctx,
+                    const char *label) -> const TierCell * {
+        for (const auto &c : cells)
+            if (c.ctxTokens == ctx && std::string(c.label) == label)
+                return &c;
+        return nullptr;
+    };
+    bool capacity_ok = false;
+    for (std::uint64_t ctx : ctxs) {
+        const TierCell *near_only = cell(ctx, "near_only");
+        if (near_only->report.completed != 0)
+            continue;
+        bool all_tiered = true;
+        for (const char *l :
+             {"lru_prefetch", "lru_noprefetch", "pinned_prefetch"})
+            all_tiered = all_tiered &&
+                cell(ctx, l)->report.completed == n_requests;
+        capacity_ok = capacity_ok || all_tiered;
+    }
+    if (!capacity_ok) {
+        std::fprintf(stderr,
+                     "serve_sweep: tier check FAILED - no context "
+                     "length was served by the far tier while "
+                     "unservable near-only\n");
+        return 1;
+    }
+
+    // Gate (b): wherever far KV was streamed, the decode-ahead
+    // prefetcher must strictly improve p50 token latency.
+    for (std::uint64_t ctx : ctxs) {
+        const TierCell *pf = cell(ctx, "lru_prefetch");
+        const TierCell *nopf = cell(ctx, "lru_noprefetch");
+        if (pf->report.tierStreamedBytes == 0)
+            continue;
+        if (!(pf->report.tokenLatencyP50 <
+              nopf->report.tokenLatencyP50)) {
+            std::fprintf(stderr,
+                         "serve_sweep: tier check FAILED - prefetch "
+                         "p50 %.6f s not below no-prefetch %.6f s at "
+                         "ctx %llu\n",
+                         pf->report.tokenLatencyP50,
+                         nopf->report.tokenLatencyP50,
+                         static_cast<unsigned long long>(ctx));
+            return 1;
+        }
+    }
+    std::printf("check: far tier serves contexts near-only cannot; "
+                "prefetch beats no-prefetch p50 wherever far KV "
+                "streams\n");
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     auto cfg = Config::fromArgs({argv + 1, argv + argc});
+    if (!cfg.getString("tierout", "").empty())
+        return runTierSweep(cfg);
     const auto model =
         llm::ModelConfig::byName(cfg.getString("model", "opt-13b"));
 

@@ -12,6 +12,9 @@
  *                  [faults=0] [fseed=42] [trace=] [trace_topk=5]
  *                  [kv_block=0] [prefix_reuse=0] [prefix_tokens=32]
  *                  [prefix_groups=4] [preempt=1] [kv_gb=0]
+ *                  [kv_far_blocks=0] [tier_policy=lru] [prefetch=1]
+ *                  [far_access=stream] [pin_window=4]
+ *                  [long_ctx=0] [ctx_min=131072] [ctx_max=131072]
  *
  * `mp`/`dp` follow the paper's §VIII-A appliance plans (tensor split
  * across mp devices, dp independent replicas); `serial=1` turns
@@ -32,6 +35,19 @@
  * probability on every group (seeded by fseed, fully deterministic)
  * and prints the RAS summary: iteration failures, request retries,
  * abandoned requests, degraded time, and availability.
+ *
+ * `kv_far_blocks=<blocks>` (paged mode only) adds a CXL-far KV tier
+ * of that many blocks behind the near pool: near-tier overflow
+ * demotes blocks across the link instead of blocking admission,
+ * governed by `tier_policy=lru|pinned` (`pin_window` sizes the pinned
+ * recency window), `far_access=stream|promote` picks how far KV is
+ * attended, and `prefetch=0` disables the decode-ahead prefetcher.
+ * `long_ctx=1` switches the trace to long-context prompts drawn
+ * uniform over [ctx_min, ctx_max] tokens (the regime the far tier
+ * exists for) and lets the latency histograms auto-extend; malformed
+ * or oversized long-context configs are rejected up front with a
+ * validation error. The demo prints a tier report (migrations,
+ * streamed bytes, exposed vs. hidden link time).
  *
  * `trace=<path>` records the serving request lifecycle (arrivals,
  * admissions, per-token instants, retire/requeue/fail), iteration
@@ -58,7 +74,7 @@ int
 main(int argc, char **argv)
 {
     auto cfg = Config::fromArgs({argv + 1, argv + argc});
-    const auto model =
+    auto model =
         llm::ModelConfig::byName(cfg.getString("model", "opt-13b"));
     const std::string platform = cfg.getString("platform", "pnm");
 
@@ -76,8 +92,17 @@ main(int argc, char **argv)
     trace.prefixReuse = cfg.getDouble("prefix_reuse", 0.0);
     trace.prefixTokens = cfg.getInt("prefix_tokens", 32);
     trace.prefixGroups = cfg.getInt("prefix_groups", 4);
+
+    const bool long_ctx = cfg.getBool("long_ctx", false);
+    if (long_ctx) {
+        trace.longContext = true;
+        trace.longCtxMinTokens = cfg.getInt("ctx_min", 131072);
+        trace.longCtxMaxTokens = cfg.getInt("ctx_max", 131072);
+    }
     const std::uint64_t full_ctx =
-        trace.input.max() + trace.output.max();
+        trace.maxInputTokens() + trace.output.max();
+    if (long_ctx && model.maxPositions < full_ctx)
+        model.maxPositions = full_ctx;
 
     serve::SchedulerConfig sched;
     sched.maxBatch = cfg.getInt("batch", 16);
@@ -88,14 +113,36 @@ main(int argc, char **argv)
         sched.paged.blockTokens = static_cast<std::uint32_t>(kv_block);
         sched.paged.preemption = cfg.getBool("preempt", true);
     }
+    const std::uint64_t far_blocks = cfg.getInt("kv_far_blocks", 0);
+    if (far_blocks > 0) {
+        if (kv_block == 0) {
+            std::fprintf(stderr, "kv_far_blocks needs the paged "
+                         "backend: set kv_block=<tokens>\n");
+            return 1;
+        }
+        sched.paged.tier.farBlocks = far_blocks;
+        sched.paged.tier.policy = serve::tier::tierPolicyByName(
+            cfg.getString("tier_policy", "lru"));
+        sched.paged.tier.prefetch = cfg.getBool("prefetch", true);
+        sched.paged.tier.farAccess = serve::tier::farAccessByName(
+            cfg.getString("far_access", "stream"));
+        sched.paged.tier.pinnedWindowBlocks = static_cast<std::uint32_t>(
+            cfg.getInt("pin_window", 4));
+    }
 
     // --- calibrate the per-group cost model ---
+    // Long-context runs calibrate at a modest context and let the
+    // fitted linear terms extrapolate: simulating a million-token
+    // prefill just for coefficients would exhaust the device's
+    // register file.
+    const std::uint64_t calib_ctx =
+        long_ctx ? std::min<std::uint64_t>(full_ctx, 1024) : full_ctx;
     serve::BatchCostModel cost;
     std::uint64_t group_kv = 0;
     if (platform == "pnm") {
         core::PnmPlatformConfig pcfg;
         pcfg.channelGrouping = 8;
-        cost = serve::calibratePnmCostModel(model, pcfg, full_ctx,
+        cost = serve::calibratePnmCostModel(model, pcfg, calib_ctx,
                                             plan.modelParallel);
         if (plan.modelParallel > 1)
             serve::addModelParallelComm(cost, model, pcfg.link,
@@ -111,7 +158,7 @@ main(int argc, char **argv)
         const auto spec = gpu::GpuSpec::a100_40g();
         cost = serve::calibrateGpuCostModel(model, spec,
                                             gpu::GpuCalibration{},
-                                            full_ctx,
+                                            calib_ctx,
                                             plan.modelParallel);
         group_kv = serve::gpuKvCapacityBytes(model, spec,
                                              plan.modelParallel);
@@ -132,6 +179,22 @@ main(int argc, char **argv)
     if (kv_gb > 0.0)
         group_kv = static_cast<std::uint64_t>(kv_gb * GB);
 
+    // Reject a workload no group could ever serve before simulating
+    // anything (the typed validation the long-context mode ships).
+    try {
+        std::uint64_t group_tokens = 0;
+        if (sched.paged.enabled) {
+            const std::uint64_t block_bytes =
+                model.kvCacheBytes(sched.paged.blockTokens);
+            group_tokens = (group_kv / block_bytes + far_blocks) *
+                sched.paged.blockTokens;
+        }
+        trace.validate(model.maxPositions, group_tokens);
+    } catch (const serve::TraceConfigError &e) {
+        std::fprintf(stderr, "invalid trace config: %s\n", e.what());
+        return 1;
+    }
+
     std::printf("scheduler: %s, batch cap %zu, per-group KV pool "
                 "%.1f GB\n",
                 sched.continuousBatching ? "continuous batching"
@@ -147,11 +210,31 @@ main(int argc, char **argv)
                     trace.prefixReuse, trace.prefixGroups,
                     static_cast<unsigned long long>(
                         trace.prefixTokens));
+    if (sched.paged.tier.enabled())
+        std::printf("far KV tier: %llu blocks behind the near pool, "
+                    "policy %s (pin window %u), far access %s, "
+                    "decode-ahead prefetch %s\n",
+                    static_cast<unsigned long long>(far_blocks),
+                    serve::tier::tierPolicyName(sched.paged.tier.policy),
+                    sched.paged.tier.pinnedWindowBlocks,
+                    serve::tier::farAccessName(
+                        sched.paged.tier.farAccess),
+                    sched.paged.tier.prefetch ? "on" : "off");
+    if (long_ctx)
+        std::printf("long-context trace: prompts uniform over "
+                    "[%llu, %llu] tokens\n",
+                    static_cast<unsigned long long>(
+                        trace.longCtxMinTokens),
+                    static_cast<unsigned long long>(
+                        trace.longCtxMaxTokens));
     std::printf("\n");
 
     // --- play the trace ---
     serve::MetricsConfig mcfg;
     mcfg.sloTokenSeconds = cfg.getDouble("slo_ms", 0.0) * 1e-3;
+    // A 1M-token prefill's TTFT sits far beyond chat-sized histogram
+    // ranges; let them double instead of clamping.
+    mcfg.autoExtendLatencies = long_ctx;
     serve::ServeMetrics metrics(nullptr, "serve", mcfg);
     serve::ApplianceDispatcher disp(model, cost, plan, group_kv, sched,
                                     metrics);
@@ -253,6 +336,34 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         r.preemptionsForCapacity),
                     static_cast<unsigned long long>(r.recomputeTokens));
+    }
+
+    if (sched.paged.tier.enabled()) {
+        std::printf("\n--- far KV tier report ---\n");
+        std::printf("migrations        %10llu demotions, %llu "
+                    "promotions, %llu far-born blocks\n",
+                    static_cast<unsigned long long>(r.tierDemotions),
+                    static_cast<unsigned long long>(r.tierPromotions),
+                    static_cast<unsigned long long>(
+                        r.tierFarBornBlocks));
+        std::printf("link traffic      %10.2f GB migrated, %.2f GB "
+                    "streamed for attention\n",
+                    r.tierMigratedBytes / GB, r.tierStreamedBytes / GB);
+        std::printf("link time         %10.2f s exposed (stall), "
+                    "%.2f s hidden by prefetch\n",
+                    r.tierExposedSeconds, r.tierHiddenSeconds);
+        std::printf("tier occupancy    %10llu peak near, %llu peak "
+                    "far blocks\n",
+                    static_cast<unsigned long long>(
+                        r.peakNearBlocksInUse),
+                    static_cast<unsigned long long>(
+                        r.peakFarBlocksInUse));
+        std::printf("anomalies         %10llu abandoned migrations, "
+                    "%llu pin violations\n",
+                    static_cast<unsigned long long>(
+                        r.tierAbandonedMigrations),
+                    static_cast<unsigned long long>(
+                        r.tierPinViolations));
     }
 
     if (fault_rate > 0.0) {

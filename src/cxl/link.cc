@@ -10,6 +10,15 @@ namespace cxlpnm
 namespace cxl
 {
 
+double
+transferSeconds(const CxlLinkParams &p, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0.0;
+    return static_cast<double>(bytes) / p.usableBytesPerSec() +
+        p.portLatencyNs * 1e-9;
+}
+
 LinkChannel::LinkChannel(EventQueue &eq, stats::StatGroup *parent,
                          std::string name, double bytes_per_sec,
                          Tick latency)

@@ -64,6 +64,46 @@ struct CxlLinkParams
     }
 };
 
+/**
+ * Analytic one-way cost of moving @p bytes through a link with
+ * parameters @p p: serialization at the usable bandwidth plus the
+ * one-way port latency. The seconds-clock counterpart of LinkChannel
+ * for layers (serve/tier) that price CXL transfers without an event
+ * queue; a zero-byte transfer costs nothing.
+ */
+double transferSeconds(const CxlLinkParams &p, std::uint64_t bytes);
+
+/**
+ * Byte/transfer accounting for analytic link users, per direction.
+ * LinkChannel keeps its own stats; this struct gives the serve tier
+ * the same ledger without instantiating an event-driven channel.
+ */
+struct TransferAccount
+{
+    std::uint64_t downBytes = 0;
+    std::uint64_t upBytes = 0;
+    std::uint64_t downTransfers = 0;
+    std::uint64_t upTransfers = 0;
+
+    void
+    note(Direction d, std::uint64_t bytes)
+    {
+        if (d == Direction::Downstream) {
+            downBytes += bytes;
+            ++downTransfers;
+        } else {
+            upBytes += bytes;
+            ++upTransfers;
+        }
+    }
+
+    std::uint64_t totalBytes() const { return downBytes + upBytes; }
+    std::uint64_t totalTransfers() const
+    {
+        return downTransfers + upTransfers;
+    }
+};
+
 /** One direction of a link: FIFO bandwidth server with fixed latency. */
 class LinkChannel : public SimObject
 {

@@ -36,6 +36,8 @@ KvBlockManager::tryAllocate()
     refs_[b] = 1;
     ++allocations_;
     peakUsed_ = std::max(peakUsed_, usedBlocks());
+    if (observer_ != nullptr)
+        observer_->onAllocated(b);
     return b;
 }
 
@@ -58,7 +60,23 @@ KvBlockManager::release(BlockId b)
         return false;
     freeList_.push_back(b);
     ++frees_;
+    if (observer_ != nullptr)
+        observer_->onFreed(b);
     return true;
+}
+
+KvBlockStats
+KvBlockManager::stats() const
+{
+    KvBlockStats s;
+    s.totalBlocks = totalBlocks();
+    s.freeBlocks = freeBlocks();
+    s.usedBlocks = usedBlocks();
+    s.peakUsedBlocks = peakUsedBlocks();
+    s.blockBytes = blockBytes_;
+    s.allocations = allocations_;
+    s.frees = frees_;
+    return s;
 }
 
 std::uint32_t

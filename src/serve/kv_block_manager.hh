@@ -36,10 +36,41 @@ using BlockId = std::uint32_t;
 
 constexpr BlockId InvalidBlock = static_cast<BlockId>(-1);
 
+/** One-call counter snapshot (metrics / tracer consumers). */
+struct KvBlockStats
+{
+    std::uint64_t totalBlocks = 0;
+    std::uint64_t freeBlocks = 0;
+    std::uint64_t usedBlocks = 0;
+    std::uint64_t peakUsedBlocks = 0;
+    std::uint64_t blockBytes = 0;
+    std::uint64_t allocations = 0;
+    std::uint64_t frees = 0;
+};
+
 /** Fixed-size, ref-counted block allocator over a byte capacity. */
 class KvBlockManager
 {
   public:
+    /**
+     * Block lifecycle observer. The tiered pool hooks this to keep
+     * per-block residency in lockstep with allocation: a block freed
+     * mid-migration (preemption, fault, prefix eviction) must drop its
+     * tier state - and abandon its in-flight transfer - the instant
+     * the manager reclaims it, not when the migration engine next
+     * looks. Null (the default) costs one branch per alloc/free.
+     */
+    class Observer
+    {
+      public:
+        virtual ~Observer() = default;
+        /** @p b was just handed out with refcount 1. */
+        virtual void onAllocated(BlockId b) = 0;
+        /** @p b's last reference dropped; it is back on the free list. */
+        virtual void onFreed(BlockId b) = 0;
+    };
+
+    void setObserver(Observer *o) { observer_ = o; }
     /**
      * @param capacity_bytes  device bytes left for KV (> 0)
      * @param block_bytes     bytes of one block, i.e.
@@ -90,6 +121,9 @@ class KvBlockManager
     std::uint64_t allocations() const { return allocations_; }
     std::uint64_t frees() const { return frees_; }
 
+    /** All counters in one consistent snapshot. */
+    KvBlockStats stats() const;
+
   private:
     std::uint64_t blockBytes_;
     std::vector<std::uint32_t> refs_; // 0 = free
@@ -98,6 +132,7 @@ class KvBlockManager
     std::size_t peakUsed_ = 0;
     std::uint64_t allocations_ = 0;
     std::uint64_t frees_ = 0;
+    Observer *observer_ = nullptr;
 };
 
 } // namespace serve

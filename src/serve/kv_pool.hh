@@ -17,6 +17,14 @@ namespace cxlpnm
 namespace serve
 {
 
+/** One-call counter snapshot (metrics consumers). */
+struct KvPoolStats
+{
+    std::uint64_t capacityBytes = 0;
+    std::uint64_t reservedBytes = 0;
+    std::uint64_t peakReservedBytes = 0;
+};
+
 /** Byte-granular reservation tracker against a fixed capacity. */
 class KvCachePool
 {
@@ -26,6 +34,13 @@ class KvCachePool
     std::uint64_t capacityBytes() const { return capacity_; }
     std::uint64_t reservedBytes() const { return reserved_; }
     std::uint64_t peakReservedBytes() const { return peakReserved_; }
+
+    /** All counters in one consistent snapshot. */
+    KvPoolStats
+    stats() const
+    {
+        return {capacity_, reserved_, peakReserved_};
+    }
 
     /** Would a reservation of @p bytes still fit? */
     bool

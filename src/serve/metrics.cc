@@ -14,9 +14,10 @@ ServeMetrics::ServeMetrics(stats::StatGroup *parent, std::string name,
     : cfg_(cfg), group_(parent, std::move(name)),
       tokenLatency_(&group_, "token_latency",
                     "seconds between successive tokens", 0.0,
-                    cfg.tokenLatencyHi, cfg.tokenLatencyBuckets),
+                    cfg.tokenLatencyHi, cfg.tokenLatencyBuckets,
+                    cfg.autoExtendLatencies),
       ttft_(&group_, "ttft", "time to first token, seconds", 0.0,
-            cfg.ttftHi, cfg.ttftBuckets),
+            cfg.ttftHi, cfg.ttftBuckets, cfg.autoExtendLatencies),
       batchSize_(&group_, "batch_size", "requests per iteration"),
       queueDepth_(&group_, "queue_depth",
                   "requests waiting for admission"),
@@ -125,6 +126,69 @@ void
 ServeMetrics::notePeakKvBlocks(std::uint64_t blocks)
 {
     peakKvBlocks_ = std::max(peakKvBlocks_, blocks);
+}
+
+ServeMetrics::TierStatBlock::TierStatBlock(stats::StatGroup *parent)
+    : group(parent, "tier"),
+      demotions(&group, "demotions",
+                "blocks demoted near -> far by policy"),
+      promotions(&group, "promotions",
+                 "blocks promoted far -> near for attention"),
+      farBorn(&group, "far_born_blocks",
+              "blocks allocated directly into the far tier"),
+      migratedBytes(&group, "migrated_bytes",
+                    "bytes moved between tiers"),
+      streamedBytes(&group, "streamed_bytes",
+                    "far KV bytes streamed for attention"),
+      exposedSeconds(&group, "exposed_seconds",
+                     "link seconds on the iteration critical path"),
+      hiddenSeconds(&group, "hidden_seconds",
+                    "link seconds hidden under compute by prefetch"),
+      abandoned(&group, "abandoned_migrations",
+                "migrations whose block was freed in flight"),
+      pinViolations(&group, "pin_violations",
+                    "forced demotions inside a pinned window")
+{
+}
+
+void
+ServeMetrics::enableTierStats()
+{
+    if (!tierStats_)
+        tierStats_ = std::make_unique<TierStatBlock>(&group_);
+}
+
+void
+ServeMetrics::noteTierIteration(const tier::TierIterationStats &iter,
+                                const tier::TierStats &snap,
+                                std::uint64_t abandoned_delta,
+                                std::uint64_t pin_violation_delta)
+{
+    enableTierStats();
+    tierDemotionsN_ += iter.demotions;
+    tierPromotionsN_ += iter.promotions;
+    tierFarBornN_ += iter.farBornBlocks;
+    tierMigratedBytesN_ += iter.migratedBytes;
+    tierStreamedBytesN_ += iter.streamedBytes;
+    tierExposedSeconds_ += iter.exposedSeconds;
+    tierHiddenSeconds_ += iter.hiddenSeconds;
+    tierAbandonedN_ += abandoned_delta;
+    tierPinViolationsN_ += pin_violation_delta;
+    peakNearBlocks_ = std::max(peakNearBlocks_, snap.nearUsed());
+    peakFarBlocks_ = std::max(peakFarBlocks_, snap.peakFarBlocks);
+
+    tierStats_->demotions += static_cast<double>(iter.demotions);
+    tierStats_->promotions += static_cast<double>(iter.promotions);
+    tierStats_->farBorn += static_cast<double>(iter.farBornBlocks);
+    tierStats_->migratedBytes +=
+        static_cast<double>(iter.migratedBytes);
+    tierStats_->streamedBytes +=
+        static_cast<double>(iter.streamedBytes);
+    tierStats_->exposedSeconds += iter.exposedSeconds;
+    tierStats_->hiddenSeconds += iter.hiddenSeconds;
+    tierStats_->abandoned += static_cast<double>(abandoned_delta);
+    tierStats_->pinViolations +=
+        static_cast<double>(pin_violation_delta);
 }
 
 void
@@ -245,6 +309,17 @@ ServeMetrics::report(double makespan_seconds) const
     r.recomputeTokens = recomputeN_;
     r.peakKvBlocksInUse = peakKvBlocks_;
     r.kvFragmentation = kvFragmentation_.mean();
+    r.tierDemotions = tierDemotionsN_;
+    r.tierPromotions = tierPromotionsN_;
+    r.tierFarBornBlocks = tierFarBornN_;
+    r.tierMigratedBytes = tierMigratedBytesN_;
+    r.tierStreamedBytes = tierStreamedBytesN_;
+    r.tierExposedSeconds = tierExposedSeconds_;
+    r.tierHiddenSeconds = tierHiddenSeconds_;
+    r.tierAbandonedMigrations = tierAbandonedN_;
+    r.tierPinViolations = tierPinViolationsN_;
+    r.peakNearBlocksInUse = peakNearBlocks_;
+    r.peakFarBlocksInUse = peakFarBlocks_;
     r.sloFraction = completedN_
         ? static_cast<double>(sloMetRequests_) / completedN_
         : 0.0;

@@ -10,9 +10,12 @@
 #define CXLPNM_SERVE_METRICS_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "serve/request.hh"
+#include "serve/tier/migration_engine.hh"
+#include "serve/tier/tiered_pool.hh"
 #include "sim/stats.hh"
 
 namespace cxlpnm
@@ -34,6 +37,15 @@ struct MetricsConfig
      *  latency and TTFT are within these deadlines (0 = don't care). */
     double sloTokenSeconds = 0.0;
     double sloTtftSeconds = 0.0;
+
+    /**
+     * Let the latency histograms double their range instead of
+     * clamping at `hi` (long-context mode: a 1M-token prefill's TTFT
+     * sits far beyond any range sized for chat traffic). Off by
+     * default - extension changes the dumped bucket edges, which
+     * fixed-range consumers compare byte-for-byte.
+     */
+    bool autoExtendLatencies = false;
 };
 
 /** Everything a sweep wants to compare, in one value struct. */
@@ -92,6 +104,29 @@ struct ServeReport
     /** Mean unused slots in running requests' allocated blocks
      *  (internal fragmentation of the paged layout). */
     double kvFragmentation = 0.0;
+
+    // --- tiered KV (zero when the far tier is off) ---
+    /** Blocks moved near -> far by the demotion policy. */
+    std::uint64_t tierDemotions = 0;
+    /** Blocks moved far -> near for attention (Promote mode). */
+    std::uint64_t tierPromotions = 0;
+    /** Blocks allocated directly into the far tier. */
+    std::uint64_t tierFarBornBlocks = 0;
+    /** Bytes migrated between tiers (all three flows above). */
+    std::uint64_t tierMigratedBytes = 0;
+    /** Far KV bytes streamed through the link for attention. */
+    std::uint64_t tierStreamedBytes = 0;
+    /** Link seconds on the iteration critical path (stall time). */
+    double tierExposedSeconds = 0.0;
+    /** Link seconds hidden under compute by decode-ahead prefetch. */
+    double tierHiddenSeconds = 0.0;
+    /** Migrations whose block was freed before completion. */
+    std::uint64_t tierAbandonedMigrations = 0;
+    /** Times the pinned-window policy had to break its pin. */
+    std::uint64_t tierPinViolations = 0;
+    /** Peak near frames / far slots occupied at once. */
+    std::uint64_t peakNearBlocksInUse = 0;
+    std::uint64_t peakFarBlocksInUse = 0;
 
     /** Tokens/s from requests that met the SLO deadlines. */
     double goodputTokensPerSec = 0.0;
@@ -154,6 +189,25 @@ class ServeMetrics
     void sampleKvFragmentation(double fraction);
     /** Peak allocated blocks (monotone max). */
     void notePeakKvBlocks(std::uint64_t blocks);
+
+    // --- tiered KV accounting ---
+    /**
+     * Create the tier stat sub-group. Lazy so that with tiering off
+     * the dumped stat hierarchy - and every emitted byte - matches
+     * the untiered collector. Idempotent (dispatcher groups share one
+     * collector).
+     */
+    void enableTierStats();
+    /**
+     * One tiered iteration: the migration engine's per-step ledger
+     * @p iter, the pool snapshot @p snap after completion, and the
+     * step's newly abandoned migrations / pin violations (deltas, so
+     * several schedulers can share one collector).
+     */
+    void noteTierIteration(const tier::TierIterationStats &iter,
+                           const tier::TierStats &snap,
+                           std::uint64_t abandoned_delta,
+                           std::uint64_t pin_violation_delta);
 
     /** One decoded token whose latency was @p seconds. */
     void sampleTokenLatency(double seconds, std::uint64_t tokens = 1);
@@ -220,6 +274,25 @@ class ServeMetrics
     stats::Scalar recomputeStat_;
     stats::Average kvFragmentation_;
 
+    /** Tier stats live in a lazily built sub-group (see
+     *  enableTierStats()). */
+    struct TierStatBlock
+    {
+        explicit TierStatBlock(stats::StatGroup *parent);
+
+        stats::StatGroup group;
+        stats::Scalar demotions;
+        stats::Scalar promotions;
+        stats::Scalar farBorn;
+        stats::Scalar migratedBytes;
+        stats::Scalar streamedBytes;
+        stats::Scalar exposedSeconds;
+        stats::Scalar hiddenSeconds;
+        stats::Scalar abandoned;
+        stats::Scalar pinViolations;
+    };
+    std::unique_ptr<TierStatBlock> tierStats_;
+
     std::uint64_t completedN_ = 0;
     std::uint64_t rejectedN_ = 0;
     std::uint64_t tokensN_ = 0;
@@ -246,6 +319,18 @@ class ServeMetrics
     std::uint64_t preemptN_ = 0;
     std::uint64_t recomputeN_ = 0;
     std::uint64_t peakKvBlocks_ = 0;
+
+    std::uint64_t tierDemotionsN_ = 0;
+    std::uint64_t tierPromotionsN_ = 0;
+    std::uint64_t tierFarBornN_ = 0;
+    std::uint64_t tierMigratedBytesN_ = 0;
+    std::uint64_t tierStreamedBytesN_ = 0;
+    double tierExposedSeconds_ = 0.0;
+    double tierHiddenSeconds_ = 0.0;
+    std::uint64_t tierAbandonedN_ = 0;
+    std::uint64_t tierPinViolationsN_ = 0;
+    std::uint64_t peakNearBlocks_ = 0;
+    std::uint64_t peakFarBlocks_ = 0;
 };
 
 } // namespace serve

@@ -145,6 +145,8 @@ PrefixCache::evictOne()
     for (const auto &[h, e] : entries_) {
         if (e.children != 0 || mgr_.refCount(e.block) != 1)
             continue;
+        if (evictGuard_ && !evictGuard_(e.block))
+            continue;
         if (e.lastUse < best_use) {
             best_use = e.lastUse;
             best_hash = h;

@@ -34,6 +34,7 @@
 #define CXLPNM_SERVE_PREFIX_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -107,6 +108,19 @@ class PrefixCache
      */
     bool evictOne();
 
+    /**
+     * Extra veto applied per candidate during evictOne(): return false
+     * to protect a block (e.g. its bytes are mid-migration between KV
+     * tiers and freeing it would re-issue the frame while the transfer
+     * still owns it). A vetoed candidate is skipped, not terminal -
+     * the scan continues with the next-oldest leaf. Null (default)
+     * vetoes nothing.
+     */
+    void setEvictGuard(std::function<bool(BlockId)> guard)
+    {
+        evictGuard_ = std::move(guard);
+    }
+
     /** Drop every entry (and the cache's block refs). */
     void clear();
 
@@ -136,6 +150,7 @@ class PrefixCache
                                   std::uint64_t partial_tokens);
 
     KvBlockManager &mgr_;
+    std::function<bool(BlockId)> evictGuard_;
     std::unordered_map<std::uint64_t, Entry> entries_;
     std::uint64_t seq_ = 0;
     std::uint64_t evictions_ = 0;

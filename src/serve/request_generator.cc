@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "sim/logging.hh"
 
@@ -64,6 +65,39 @@ LengthDistribution::draw(SplitMix64 &rng) const
     return lo;
 }
 
+std::uint64_t
+TraceConfig::maxInputTokens() const
+{
+    return longContext ? longCtxMaxTokens : input.max();
+}
+
+void
+TraceConfig::validate(std::uint64_t max_positions,
+                      std::uint64_t total_kv_tokens) const
+{
+    auto reject = [](std::string why) {
+        throw TraceConfigError(std::move(why));
+    };
+    if (longContext) {
+        if (longCtxMinTokens == 0)
+            reject("long-context mode needs a positive minimum "
+                   "prompt length");
+        if (longCtxMaxTokens < longCtxMinTokens)
+            reject("long-context prompt range is inverted: max " +
+                   std::to_string(longCtxMaxTokens) + " < min " +
+                   std::to_string(longCtxMinTokens));
+    }
+    const std::uint64_t worst = maxInputTokens() + output.max();
+    if (max_positions > 0 && worst > max_positions)
+        reject("worst-case context of " + std::to_string(worst) +
+               " tokens exceeds the model's " +
+               std::to_string(max_positions) + " positions");
+    if (total_kv_tokens > 0 && worst > total_kv_tokens)
+        reject("worst-case context of " + std::to_string(worst) +
+               " tokens exceeds the two-tier KV capacity of " +
+               std::to_string(total_kv_tokens) + " tokens");
+}
+
 RequestGenerator::RequestGenerator(const TraceConfig &cfg)
     : cfg_(cfg), rng_(cfg.seed)
 {
@@ -74,6 +108,14 @@ RequestGenerator::RequestGenerator(const TraceConfig &cfg)
              cfg_.prefixReuse);
     fatal_if(cfg_.prefixReuse > 0.0 && cfg_.prefixGroups == 0,
              "shared-prefix mode needs at least one group");
+    if (cfg_.longContext) {
+        // Bounds are checked with the typed error even when the
+        // caller skipped validate(): a malformed range must never
+        // reach the draw.
+        cfg_.validate(0, 0);
+        cfg_.input = LengthDistribution::uniform(
+            cfg_.longCtxMinTokens, cfg_.longCtxMaxTokens);
+    }
 }
 
 ServeRequest

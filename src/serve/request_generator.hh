@@ -13,12 +13,26 @@
 #include <vector>
 
 #include "serve/request.hh"
+#include "sim/logging.hh"
 #include "sim/random.hh"
 
 namespace cxlpnm
 {
 namespace serve
 {
+
+/**
+ * A trace configuration that can never be served: thrown by
+ * TraceConfig::validate() so drivers can reject a bad workload with a
+ * message instead of the scheduler hitting a fatal mid-run (a
+ * 1M-token prompt against a pool sized for 128k fails here, not a
+ * thousand simulated seconds in).
+ */
+class TraceConfigError : public FatalError
+{
+  public:
+    using FatalError::FatalError;
+};
 
 /** How inter-arrival gaps are drawn. */
 enum class ArrivalProcess
@@ -76,6 +90,30 @@ struct TraceConfig
     double prefixReuse = 0.0;
     std::size_t prefixGroups = 4;
     std::uint64_t prefixTokens = 32;
+
+    /**
+     * Long-context workload mode (the 128k-1M-token regime the tiered
+     * KV cache exists for). When on, prompt lengths are drawn integer
+     * uniform over [longCtxMinTokens, longCtxMaxTokens], overriding
+     * `input`; decode lengths still come from `output`. Off (the
+     * default) leaves the RNG stream - hence every pre-existing trace
+     * - bit-identical.
+     */
+    bool longContext = false;
+    std::uint64_t longCtxMinTokens = 131072;
+    std::uint64_t longCtxMaxTokens = 131072;
+
+    /** Largest prompt this config can draw. */
+    std::uint64_t maxInputTokens() const;
+
+    /**
+     * Reject configurations no scheduler could serve: malformed
+     * long-context bounds, prompts beyond @p max_positions, or a
+     * worst-case context beyond @p total_kv_tokens (the two-tier KV
+     * capacity; 0 = don't check). Throws TraceConfigError.
+     */
+    void validate(std::uint64_t max_positions,
+                  std::uint64_t total_kv_tokens) const;
 };
 
 /** Streams one trace; arrival times are monotonically non-decreasing. */

@@ -45,13 +45,43 @@ BatchScheduler::BatchScheduler(const llm::ModelConfig &model,
       metrics_(metrics)
 {
     fatal_if(cfg_.maxBatch == 0, "batch cap must be positive");
+    fatal_if(cfg_.paged.tier.enabled() && !cfg_.paged.enabled,
+             "the far KV tier requires the paged backend "
+             "(paged.enabled)");
     if (cfg_.paged.enabled) {
         fatal_if(cfg_.paged.blockTokens == 0,
                  "paged KV needs a positive block size");
+        const std::uint64_t block_bytes =
+            model_.kvCacheBytes(cfg_.paged.blockTokens);
+        // The far tier extends the manager's block-ID space: one dense
+        // range over both tiers keeps refcounts, the prefix cache, and
+        // held-block lists oblivious to residency.
+        const std::uint64_t far_bytes =
+            cfg_.paged.tier.farBlocks * block_bytes;
         blockMgr_ = std::make_unique<KvBlockManager>(
-            kv_capacity_bytes,
-            model_.kvCacheBytes(cfg_.paged.blockTokens));
+            kv_capacity_bytes + far_bytes, block_bytes);
         prefixCache_ = std::make_unique<PrefixCache>(*blockMgr_);
+        if (cfg_.paged.tier.enabled()) {
+            const std::uint64_t near_blocks =
+                blockMgr_->totalBlocks() - cfg_.paged.tier.farBlocks;
+            fatal_if(near_blocks == 0, "near KV capacity ",
+                     kv_capacity_bytes, " bytes smaller than one ",
+                     block_bytes, "-byte block");
+            tierPool_ = std::make_unique<tier::TieredBlockPool>(
+                *blockMgr_, near_blocks);
+            tierPolicy_ = tier::makeTierPolicy(cfg_.paged.tier);
+            migration_ = std::make_unique<tier::MigrationEngine>(
+                *tierPool_, cfg_.paged.tier, block_bytes,
+                model_.numLayers);
+            blockMeta_.assign(blockMgr_->totalBlocks(),
+                              tier::TierBlockMeta{});
+            // A prefix-cache block mid-migration must survive
+            // eviction: the transfer still owns its frame.
+            prefixCache_->setEvictGuard([this](BlockId b) {
+                return !tierPool_->inFlight(b);
+            });
+            metrics_.enableTierStats();
+        }
     }
     metrics_.registerDevice();
 }
@@ -73,6 +103,14 @@ BatchScheduler::attachTracer(trace::Tracer *t, const std::string &prefix)
     if (cfg_.paged.enabled) {
         blocksTrack_ = t->track(prefix + ".kv_blocks", "serve");
         prefixTrack_ = t->track(prefix + ".prefix_cache", "serve");
+    }
+    // Tier tracks after the paged ones, same contract: with the far
+    // tier off nothing registers and the emitted bytes are unchanged.
+    if (tiered()) {
+        tierTrack_ = t->track(prefix + ".kv_tier", "serve");
+        nearTrack_ = t->track(prefix + ".kv_near_blocks", "serve");
+        farTrack_ = t->track(prefix + ".kv_far_blocks", "serve");
+        migration_->attachTracer(t, tierTrack_);
     }
 }
 
@@ -125,7 +163,57 @@ BatchScheduler::allocateBlock()
                              secondsToTicks(clock_));
         b = blockMgr_->tryAllocate();
     }
+    if (b != InvalidBlock && tiered())
+        placeTiered(b);
     return b;
+}
+
+tier::TierPolicyContext
+BatchScheduler::policyContext() const
+{
+    return tier::TierPolicyContext{
+        *tierPool_, blockMeta_,
+        [this](std::uint64_t owner) -> std::uint64_t {
+            auto it = heldBlocks_.find(owner);
+            return it == heldBlocks_.end() ? 0 : it->second.size();
+        }};
+}
+
+void
+BatchScheduler::placeTiered(BlockId b)
+{
+    blockMeta_[b] = tier::TierBlockMeta{};
+    blockMeta_[b].lastTouch = iterationSeq_;
+    if (tierPool_->nearFree() > 0) {
+        tierPool_->placeNear(b);
+        return;
+    }
+    // Near is full. A full near tier with a block still allocatable
+    // means the far tier has a free slot (near + far frames bound the
+    // manager's block count), so either the policy vacates a frame
+    // for the newcomer or the newcomer itself is born far.
+    const tier::TierPolicyContext ctx = policyContext();
+    const BlockId victim = tierPolicy_->selectDemotion(ctx);
+    if (victim != InvalidBlock) {
+        migration_->demote(victim);
+        tierPool_->placeNear(b);
+    } else {
+        tierPool_->placeFar(b);
+        migration_->noteFarBorn(b);
+    }
+}
+
+void
+BatchScheduler::assignChainMeta(std::uint64_t id,
+                                const std::vector<BlockId> &blocks)
+{
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        tier::TierBlockMeta &m = blockMeta_[blocks[i]];
+        m.owner = id;
+        m.chainPos = static_cast<std::uint32_t>(i);
+        m.writeHead = i + 1 == blocks.size();
+        m.lastTouch = iterationSeq_;
+    }
 }
 
 void
@@ -136,8 +224,19 @@ BatchScheduler::releaseBlocks(const ServeRequest &req)
     auto it = heldBlocks_.find(req.id);
     if (it == heldBlocks_.end())
         return;
-    for (BlockId b : it->second)
+    for (BlockId b : it->second) {
+        if (tiered()) {
+            // Blocks surviving through prefix-cache refs lose their
+            // owner (policy treats them as pure capacity); freed
+            // blocks drop residency via the manager's observer.
+            tier::TierBlockMeta &m = blockMeta_[b];
+            if (m.owner == req.id) {
+                m.owner = tier::TierBlockMeta::NoOwner;
+                m.writeHead = false;
+            }
+        }
         blockMgr_->release(b);
+    }
     heldBlocks_.erase(it);
 }
 
@@ -213,8 +312,11 @@ BatchScheduler::tryAdmitPaged(ServeRequest &head)
     }
 
     head.cachedPrefixTokens = cached;
-    heldBlocks_[head.id] = std::move(blocks);
-    metrics_.notePeakKvBlocks(blockMgr_->usedBlocks());
+    auto &held = heldBlocks_[head.id];
+    held = std::move(blocks);
+    if (tiered())
+        assignChainMeta(head.id, held);
+    metrics_.notePeakKvBlocks(blockMgr_->stats().usedBlocks);
     return true;
 }
 
@@ -316,8 +418,11 @@ BatchScheduler::growPaged()
             if (victim == i)
                 break; // its own blocks are gone; stop growing
         }
-        if (!gone[i] && !stalled[i])
-            metrics_.notePeakKvBlocks(blockMgr_->usedBlocks());
+        if (!gone[i] && !stalled[i]) {
+            if (tiered())
+                assignChainMeta(r.id, blocks);
+            metrics_.notePeakKvBlocks(blockMgr_->stats().usedBlocks);
+        }
     }
 
     // Compact preempted members out, keeping order and stall flags
@@ -369,6 +474,13 @@ BatchScheduler::step()
     // victim scan, two block-starved requests can otherwise trade
     // preempt-for-admit forever without either crossing its next
     // block boundary (a livelock, not just unfairness).
+    // The migration iteration opens before growth/admission so any
+    // demotion they trigger lands in this step's transfer batch.
+    if (tiered()) {
+        migration_->beginIteration(clock_);
+        ++iterationSeq_;
+    }
+
     std::vector<bool> stalled;
     if (cfg_.paged.enabled && !batch_.empty())
         stalled = growPaged();
@@ -376,14 +488,27 @@ BatchScheduler::step()
     std::vector<ServeRequest> joining;
     admit(joining);
 
-    // Idle: fast-forward to the next arrival and try again.
+    // Idle: fast-forward to the next arrival and try again. A failed
+    // admission probe may still have demoted victims (its own blocks
+    // rolled back, the victims' transfers did not); settle those on
+    // the pre-jump clock before moving it.
     if (batch_.empty() && joining.empty()) {
-        if (queue_.empty())
+        if (queue_.empty()) {
+            if (tiered())
+                settleTierIdle();
             return false;
+        }
+        if (tiered())
+            settleTierIdle();
         clock_ = std::max(clock_, queue_.front().arrivalSeconds);
+        if (tiered())
+            migration_->beginIteration(clock_);
         admit(joining);
-        if (joining.empty())
+        if (joining.empty()) {
+            if (tiered())
+                settleTierIdle();
             return false;
+        }
     }
 
     fatal_if(cfg_.paged.enabled && joining.empty() && !batch_.empty() &&
@@ -409,7 +534,27 @@ BatchScheduler::step()
         if (!stalled[i])
             contexts.push_back(batch_[i].contextTokens() + 1);
     cost += cost_.decodeIterationSeconds(contexts);
-    clock_ += cost;
+
+    // Far-tier link time the decode-ahead pipeline could not hide
+    // extends the iteration; with tiering off tier_extra stays exactly
+    // 0.0 and dur == cost bit for bit.
+    double tier_extra = 0.0;
+    if (tiered()) {
+        if (cfg_.paged.tier.farAccess == tier::FarAccess::Promote)
+            promoteForBatch(stalled);
+        tier_extra = migration_->priceIteration(
+            cost, farStreamBytes(joining, stalled),
+            inferenceLinkBytes(joining, stalled));
+    }
+    const double dur = cost + tier_extra;
+    clock_ += dur;
+
+    // Transfers settle with the step, before the fault poll: a lost
+    // iteration loses generated tokens, not bytes already moved.
+    if (tiered()) {
+        noteTierMetrics(migration_->endIteration(clock_));
+        touchTierMeta(stalled);
+    }
 
     // The iteration's work can be lost to an injected fault; the time
     // it burned still passed.
@@ -449,7 +594,7 @@ BatchScheduler::step()
             continue;
         ServeRequest &r = batch_[i];
         ++r.generated;
-        metrics_.sampleTokenLatency(cost);
+        metrics_.sampleTokenLatency(dur);
         if (tracer_ != nullptr)
             tracer_->instant(reqTrack_,
                              "token#" + std::to_string(r.id),
@@ -463,7 +608,7 @@ BatchScheduler::step()
     // occupied, measured while the batch still holds its memory.
     const std::uint64_t used_blocks =
         cfg_.paged.enabled ? blockMgr_->usedBlocks() : 0;
-    metrics_.noteKvInterval(cost, kvUtilization(), used_blocks);
+    metrics_.noteKvInterval(dur, kvUtilization(), used_blocks);
     if (cfg_.paged.enabled) {
         // Internal fragmentation: slots allocated to running requests
         // but not (yet) holding KV.
@@ -519,6 +664,13 @@ BatchScheduler::step()
             tracer_->counter(blocksTrack_, end,
                              static_cast<double>(
                                  blockMgr_->usedBlocks()));
+        if (tiered()) {
+            const tier::TierStats &ts = tierPool_->stats();
+            tracer_->counter(nearTrack_, end,
+                             static_cast<double>(ts.nearUsed()));
+            tracer_->counter(farTrack_, end,
+                             static_cast<double>(ts.farUsed()));
+        }
     }
     return true;
 }
@@ -616,6 +768,126 @@ BatchScheduler::drain()
                  "used but only ", prefixCache_->entries(),
                  " prefix-cache entries to account for them");
     }
+    if (tiered()) {
+        tierPool_->checkConsistency();
+        const tier::TierStats &ts = tierPool_->stats();
+        panic_if(ts.promoteInFlight != 0 || ts.demoteInFlight != 0,
+                 "drain left ", ts.promoteInFlight, " promotions and ",
+                 ts.demoteInFlight, " demotions in flight");
+    }
+}
+
+void
+BatchScheduler::promoteForBatch(const std::vector<bool> &stalled)
+{
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+        if (i < stalled.size() && stalled[i])
+            continue;
+        auto it = heldBlocks_.find(batch_[i].id);
+        if (it == heldBlocks_.end())
+            continue;
+        for (BlockId b : it->second) {
+            if (tierPool_->residency(b) != tier::Residency::Far)
+                continue;
+            if (tierPool_->nearFree() == 0)
+                return; // promotions need frames; none left this step
+            migration_->promote(b);
+        }
+    }
+}
+
+std::uint64_t
+BatchScheduler::farStreamBytes(const std::vector<ServeRequest> &joining,
+                               const std::vector<bool> &stalled) const
+{
+    // Every far-resident block of a request attending this step is
+    // read across the link (promoted blocks already moved to
+    // PromoteInFlight and pay as migrations instead).
+    std::uint64_t bytes = 0;
+    auto chain = [&](std::uint64_t id) {
+        auto it = heldBlocks_.find(id);
+        if (it == heldBlocks_.end())
+            return;
+        for (BlockId b : it->second)
+            if (tierPool_->residency(b) == tier::Residency::Far)
+                bytes += blockMgr_->blockBytes();
+    };
+    for (std::size_t i = 0; i < batch_.size(); ++i)
+        if (!(i < stalled.size() && stalled[i]))
+            chain(batch_[i].id);
+    for (const ServeRequest &r : joining)
+        chain(r.id);
+    return bytes;
+}
+
+std::uint64_t
+BatchScheduler::inferenceLinkBytes(
+    const std::vector<ServeRequest> &joining,
+    const std::vector<bool> &stalled) const
+{
+    // Host-link activation traffic competing with tier transfers: one
+    // fp16 dModel vector down and up per prompt token (prefill) or
+    // decode step.
+    const std::uint64_t act = 2ull * model_.dModel;
+    std::uint64_t bytes = 0;
+    for (const ServeRequest &r : joining)
+        bytes += r.inputTokens * act;
+    for (std::size_t i = 0; i < batch_.size(); ++i)
+        if (!(i < stalled.size() && stalled[i]))
+            bytes += 2ull * act;
+    return bytes;
+}
+
+void
+BatchScheduler::touchTierMeta(const std::vector<bool> &stalled)
+{
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+        if (i < stalled.size() && stalled[i])
+            continue;
+        auto it = heldBlocks_.find(batch_[i].id);
+        if (it == heldBlocks_.end())
+            continue;
+        for (BlockId b : it->second)
+            blockMeta_[b].lastTouch = iterationSeq_;
+    }
+}
+
+void
+BatchScheduler::settleTierIdle()
+{
+    if (migration_->pendingMigrations() == 0)
+        return;
+    // No compute to hide behind: the whole transfer batch is exposed.
+    const double exposed = migration_->priceIteration(0.0, 0, 0);
+    clock_ += exposed;
+    noteTierMetrics(migration_->endIteration(clock_));
+}
+
+void
+BatchScheduler::noteTierMetrics(const tier::TierIterationStats &iter)
+{
+    const tier::TierStats snap = tierPool_->stats();
+    const std::uint64_t abandoned_delta =
+        snap.abandonedMigrations - lastAbandoned_;
+    lastAbandoned_ = snap.abandonedMigrations;
+    const std::uint64_t pin_delta =
+        tierPolicy_->pinViolations() - lastPinViolations_;
+    lastPinViolations_ = tierPolicy_->pinViolations();
+    metrics_.noteTierIteration(iter, snap, abandoned_delta, pin_delta);
+}
+
+KvSnapshot
+BatchScheduler::kvSnapshot() const
+{
+    KvSnapshot s;
+    s.pool = kv_.stats();
+    s.paged = cfg_.paged.enabled;
+    if (s.paged)
+        s.blocks = blockMgr_->stats();
+    s.tiered = tiered();
+    if (s.tiered)
+        s.tier = tierPool_->stats();
+    return s;
 }
 
 std::uint64_t

@@ -54,6 +54,10 @@
 #include "serve/metrics.hh"
 #include "serve/prefix_cache.hh"
 #include "serve/request.hh"
+#include "serve/tier/migration_engine.hh"
+#include "serve/tier/tier_config.hh"
+#include "serve/tier/tier_policy.hh"
+#include "serve/tier/tiered_pool.hh"
 #include "sim/fault.hh"
 #include "sim/trace.hh"
 
@@ -94,6 +98,15 @@ struct PagedKvConfig
     bool preemption = true;
     /** Share full prompt-prefix blocks through the PrefixCache. */
     bool prefixCaching = true;
+    /**
+     * CXL-far tier behind the block manager. With `tier.farBlocks`
+     * > 0 the manager's capacity grows by that many blocks and the
+     * near tier (the byte capacity handed to the scheduler) becomes a
+     * frame-count constraint: overflow demotes blocks through the
+     * migration engine instead of blocking admission. All-default
+     * (farBlocks = 0) is bit-identical to the untiered scheduler.
+     */
+    tier::TierConfig tier;
 };
 
 /** Scheduling policy knobs. */
@@ -107,6 +120,22 @@ struct SchedulerConfig
     RasPolicy ras;
     /** Paged KV backend (block granularity, prefix cache, preempt). */
     PagedKvConfig paged;
+};
+
+/**
+ * One consistent view of the KV backend's occupancy for metrics,
+ * tracer counters, and reports (replaces ad-hoc getter fishing).
+ */
+struct KvSnapshot
+{
+    /** Byte-pool ledger (always valid). */
+    KvPoolStats pool;
+    /** Block ledger; zero in byte mode. */
+    KvBlockStats blocks;
+    /** Residency ledger; zero with the far tier off. */
+    tier::TierStats tier;
+    bool paged = false;
+    bool tiered = false;
 };
 
 /** One model instance's serving loop on a seconds-resolution clock. */
@@ -187,6 +216,19 @@ class BatchScheduler
     const KvBlockManager *blockManager() const { return blockMgr_.get(); }
     /** Null unless the paged backend is enabled. */
     const PrefixCache *prefixCache() const { return prefixCache_.get(); }
+    /** Null unless the far tier is enabled. */
+    const tier::TieredBlockPool *tierPool() const
+    {
+        return tierPool_.get();
+    }
+    /** Null unless the far tier is enabled. */
+    const tier::MigrationEngine *migrationEngine() const
+    {
+        return migration_.get();
+    }
+
+    /** All KV occupancy counters in one consistent snapshot. */
+    KvSnapshot kvSnapshot() const;
 
     const std::vector<ServeRequest> &finished() const
     {
@@ -239,6 +281,46 @@ class BatchScheduler
     /** Lose @p joining + batch_ to a fault; requeue or abandon. */
     void failIteration(std::vector<ServeRequest> &joining);
 
+    // --- far tier (all no-ops / unreachable with tiering off) ---
+    bool tiered() const { return tierPool_ != nullptr; }
+
+    /** Give a fresh allocation a home: a free near frame, a frame
+     *  vacated by a policy demotion, or - when nothing near is
+     *  demotable - the far tier itself. */
+    void placeTiered(BlockId b);
+
+    /** Victim-selection view over the current ledger. */
+    tier::TierPolicyContext policyContext() const;
+
+    /** Rewrite @p req's chain metadata (owner / position / write
+     *  head) after admission or growth. */
+    void assignChainMeta(std::uint64_t id,
+                         const std::vector<BlockId> &blocks);
+
+    /** Promote-mode: pull far blocks of decoding members into free
+     *  near frames (batch order, chain order) before pricing. */
+    void promoteForBatch(const std::vector<bool> &stalled);
+
+    /** Far KV streamed for this step's attention, in bytes. */
+    std::uint64_t farStreamBytes(
+        const std::vector<ServeRequest> &joining,
+        const std::vector<bool> &stalled) const;
+
+    /** Host-link activation traffic of this step, in bytes. */
+    std::uint64_t inferenceLinkBytes(
+        const std::vector<ServeRequest> &joining,
+        const std::vector<bool> &stalled) const;
+
+    /** LRU-touch every block attended this step. */
+    void touchTierMeta(const std::vector<bool> &stalled);
+
+    /** Price + complete any migrations issued by an admission attempt
+     *  that ended with nothing to run (rollback after demotions). */
+    void settleTierIdle();
+
+    /** Feed the step's tier ledger to metrics (delta-corrected). */
+    void noteTierMetrics(const tier::TierIterationStats &iter);
+
     llm::ModelConfig model_;
     BatchCostModel cost_;
     KvCachePool kv_;
@@ -250,6 +332,21 @@ class BatchScheduler
     std::unique_ptr<PrefixCache> prefixCache_;
     /** Blocks held by each live request, by request id. */
     std::unordered_map<std::uint64_t, std::vector<BlockId>> heldBlocks_;
+
+    /**
+     * Far tier (null with tiering off). Declared after prefixCache_
+     * so destruction detaches the pool's manager observer before the
+     * cache's clear() releases its blocks.
+     */
+    std::unique_ptr<tier::TieredBlockPool> tierPool_;
+    std::unique_ptr<tier::TierPolicy> tierPolicy_;
+    std::unique_ptr<tier::MigrationEngine> migration_;
+    /** Placement metadata by BlockId (tier mode only). */
+    std::vector<tier::TierBlockMeta> blockMeta_;
+    std::uint64_t iterationSeq_ = 0;
+    /** Last cumulative figures fed to metrics (delta source). */
+    std::uint64_t lastAbandoned_ = 0;
+    std::uint64_t lastPinViolations_ = 0;
 
     double clock_ = 0.0;
     double lastArrival_ = 0.0;
@@ -272,6 +369,9 @@ class BatchScheduler
     trace::TrackId batchTrack_ = trace::InvalidTrack;
     trace::TrackId blocksTrack_ = trace::InvalidTrack;
     trace::TrackId prefixTrack_ = trace::InvalidTrack;
+    trace::TrackId tierTrack_ = trace::InvalidTrack;
+    trace::TrackId nearTrack_ = trace::InvalidTrack;
+    trace::TrackId farTrack_ = trace::InvalidTrack;
 };
 
 } // namespace serve

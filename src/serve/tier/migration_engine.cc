@@ -1,0 +1,145 @@
+#include "serve/tier/migration_engine.hh"
+
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+namespace tier
+{
+
+MigrationEngine::MigrationEngine(TieredBlockPool &pool,
+                                 const TierConfig &cfg,
+                                 std::uint64_t block_bytes,
+                                 std::uint32_t num_layers)
+    : pool_(pool), cfg_(cfg), blockBytes_(block_bytes),
+      prefetch_(num_layers, cfg.prefetch)
+{
+    fatal_if(block_bytes == 0, "migration engine with 0-byte blocks");
+}
+
+void
+MigrationEngine::beginIteration(double now)
+{
+    panic_if(!issued_.empty(),
+             "beginIteration with migrations still in flight");
+    iterStart_ = now;
+    priced_ = false;
+    iter_ = TierIterationStats{};
+}
+
+void
+MigrationEngine::demote(BlockId b)
+{
+    panic_if(priced_, "demote issued after the step was priced");
+    pool_.beginDemote(b);
+    issued_.push_back({b, false});
+    ++iter_.demotions;
+    iter_.migratedBytes += blockBytes_;
+    // Near -> far pool crosses the device-to-host direction.
+    traffic_.note(cxl::Direction::Upstream, blockBytes_);
+}
+
+void
+MigrationEngine::promote(BlockId b)
+{
+    panic_if(priced_, "promote issued after the step was priced");
+    pool_.beginPromote(b);
+    issued_.push_back({b, true});
+    ++iter_.promotions;
+    iter_.migratedBytes += blockBytes_;
+    traffic_.note(cxl::Direction::Downstream, blockBytes_);
+}
+
+void
+MigrationEngine::noteFarBorn(BlockId b)
+{
+    panic_if(priced_, "far-born block noted after the step was priced");
+    ++iter_.farBornBlocks;
+    iter_.migratedBytes += blockBytes_;
+    traffic_.note(cxl::Direction::Upstream, blockBytes_);
+    if (tracer_ != nullptr)
+        tracer_->instant(migTrack_, "far_born#" + std::to_string(b),
+                         secondsToTicks(iterStart_));
+}
+
+double
+MigrationEngine::priceIteration(double compute_seconds,
+                                std::uint64_t stream_bytes,
+                                std::uint64_t inference_bytes)
+{
+    panic_if(priced_, "iteration priced twice");
+    priced_ = true;
+    iter_.streamedBytes = stream_bytes;
+    if (stream_bytes > 0)
+        traffic_.note(cxl::Direction::Downstream, stream_bytes);
+
+    // Every byte of the step shares the one link: per-block migration
+    // transfers (each paying the port latency), the streamed far KV,
+    // and the inference activations themselves.
+    double link_seconds = 0.0;
+    const std::uint64_t migrations =
+        iter_.promotions + iter_.demotions + iter_.farBornBlocks;
+    for (std::uint64_t i = 0; i < migrations; ++i)
+        link_seconds += cxl::transferSeconds(cfg_.link, blockBytes_);
+    link_seconds += cxl::transferSeconds(cfg_.link, stream_bytes);
+    link_seconds += cxl::transferSeconds(cfg_.link, inference_bytes);
+
+    const auto ov = prefetch_.overlap(compute_seconds, link_seconds);
+    iter_.exposedSeconds = ov.exposedSeconds;
+    iter_.hiddenSeconds = ov.hiddenSeconds;
+    return ov.exposedSeconds;
+}
+
+const TierIterationStats &
+MigrationEngine::endIteration(double end)
+{
+    panic_if(!priced_ && !issued_.empty(),
+             "endIteration with unpriced migrations");
+    // Spans serialize on the link from the step's start; the exposed
+    // extension guarantees they all fit before @p end.
+    double t = iterStart_;
+    for (const Issued &m : issued_) {
+        const double dur = cxl::transferSeconds(cfg_.link, blockBytes_);
+        const Residency want = m.isPromote ? Residency::PromoteInFlight
+                                           : Residency::DemoteInFlight;
+        // A block freed since issue already left the ledger via the
+        // manager's observer (counted abandoned); its data died with
+        // it and there is nothing to flip.
+        const bool live = pool_.residency(m.block) == want;
+        if (live) {
+            if (m.isPromote)
+                pool_.finishPromote(m.block);
+            else
+                pool_.finishDemote(m.block);
+        }
+        if (tracer_ != nullptr && live) {
+            tracer_->complete(
+                migTrack_,
+                std::string(m.isPromote ? "promote#" : "demote#") +
+                    std::to_string(m.block),
+                secondsToTicks(t), secondsToTicks(t + dur));
+        }
+        t += dur;
+    }
+    panic_if(t > end + 1e-9 && !issued_.empty(),
+             "migration spans overran the iteration end");
+    issued_.clear();
+
+    promotionsTotal_ += iter_.promotions;
+    demotionsTotal_ += iter_.demotions;
+    farBornTotal_ += iter_.farBornBlocks;
+    migratedBytesTotal_ += iter_.migratedBytes;
+    streamedBytesTotal_ += iter_.streamedBytes;
+    exposedTotal_ += iter_.exposedSeconds;
+    hiddenTotal_ += iter_.hiddenSeconds;
+    return iter_;
+}
+
+} // namespace tier
+} // namespace serve
+} // namespace cxlpnm

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Prices and completes tier migrations on the serving layer's
+ * iteration clock.
+ *
+ * Migrations are iteration-synchronous: every transfer issued while
+ * step k runs (demotions from the policy, promotions for far
+ * attention, far-born block writes) completes by the end of step k,
+ * and the step's duration is extended by exactly the link time the
+ * decode-ahead pipeline could not hide. All tier traffic - migrated
+ * blocks, streamed far KV, and the iteration's own activation bytes -
+ * shares one CxlLinkParams budget, so migrations contend with
+ * inference instead of riding a free side channel.
+ *
+ * Within a step the in-flight residency states are real: a block
+ * freed between issue and endIteration() (preemption, prefix-cache
+ * eviction) drops out of the ledger via the manager's observer and
+ * its completion is skipped (counted abandoned by the pool).
+ */
+
+#ifndef CXLPNM_SERVE_TIER_MIGRATION_ENGINE_HH
+#define CXLPNM_SERVE_TIER_MIGRATION_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cxl/link.hh"
+#include "serve/tier/prefetcher.hh"
+#include "serve/tier/tier_config.hh"
+#include "serve/tier/tiered_pool.hh"
+#include "sim/trace.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+namespace tier
+{
+
+/** One iteration's tier activity (metrics feed, reset per step). */
+struct TierIterationStats
+{
+    std::uint64_t promotions = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t farBornBlocks = 0;
+    std::uint64_t migratedBytes = 0;
+    std::uint64_t streamedBytes = 0;
+    double exposedSeconds = 0.0;
+    double hiddenSeconds = 0.0;
+};
+
+/** Issues, prices, and retires one iteration's tier transfers. */
+class MigrationEngine
+{
+  public:
+    MigrationEngine(TieredBlockPool &pool, const TierConfig &cfg,
+                    std::uint64_t block_bytes,
+                    std::uint32_t num_layers);
+
+    /** Migration spans land on @p migration_track. */
+    void
+    attachTracer(trace::Tracer *t, trace::TrackId migration_track)
+    {
+        tracer_ = t;
+        migTrack_ = migration_track;
+    }
+
+    /** Start step k at clock @p now; resets the per-step ledger. */
+    void beginIteration(double now);
+
+    /** Near -> far, frame handed over immediately (victim buffer). */
+    void demote(BlockId b);
+    /** Far -> near into a free frame; data arrives within the step. */
+    void promote(BlockId b);
+    /** A block allocated directly far: its KV is written across the
+     *  link as it is produced this step. */
+    void noteFarBorn(BlockId b);
+
+    /**
+     * Price the step: @p stream_bytes of far KV read for attention
+     * plus everything issued above plus @p inference_bytes of
+     * activation traffic, pipelined against @p compute_seconds by the
+     * prefetcher. Returns the exposed seconds the iteration extends
+     * by.
+     */
+    double priceIteration(double compute_seconds,
+                          std::uint64_t stream_bytes,
+                          std::uint64_t inference_bytes);
+
+    /**
+     * Complete the step at clock @p end: flip every still-in-flight
+     * issued migration to its settled tier (blocks freed since issue
+     * are skipped - the pool already counted them abandoned) and emit
+     * migration spans. Returns the step's ledger.
+     */
+    const TierIterationStats &endIteration(double end);
+
+    /** Migrations issued this step and not yet completed. */
+    std::size_t pendingMigrations() const { return issued_.size(); }
+
+    const DecodeAheadPrefetcher &prefetcher() const { return prefetch_; }
+    const cxl::TransferAccount &traffic() const { return traffic_; }
+
+    // --- cumulative counters (report feed) ---
+    std::uint64_t promotions() const { return promotionsTotal_; }
+    std::uint64_t demotions() const { return demotionsTotal_; }
+    std::uint64_t farBornBlocks() const { return farBornTotal_; }
+    std::uint64_t migratedBytes() const { return migratedBytesTotal_; }
+    std::uint64_t streamedBytes() const { return streamedBytesTotal_; }
+    double exposedSeconds() const { return exposedTotal_; }
+    double hiddenSeconds() const { return hiddenTotal_; }
+
+  private:
+    struct Issued
+    {
+        BlockId block;
+        bool isPromote;
+    };
+
+    TieredBlockPool &pool_;
+    TierConfig cfg_;
+    std::uint64_t blockBytes_;
+    DecodeAheadPrefetcher prefetch_;
+    cxl::TransferAccount traffic_;
+
+    double iterStart_ = 0.0;
+    bool priced_ = false;
+    std::vector<Issued> issued_;
+    TierIterationStats iter_;
+
+    std::uint64_t promotionsTotal_ = 0;
+    std::uint64_t demotionsTotal_ = 0;
+    std::uint64_t farBornTotal_ = 0;
+    std::uint64_t migratedBytesTotal_ = 0;
+    std::uint64_t streamedBytesTotal_ = 0;
+    double exposedTotal_ = 0.0;
+    double hiddenTotal_ = 0.0;
+
+    trace::Tracer *tracer_ = nullptr;
+    trace::TrackId migTrack_ = trace::InvalidTrack;
+};
+
+} // namespace tier
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_TIER_MIGRATION_ENGINE_HH

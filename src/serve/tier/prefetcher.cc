@@ -1,0 +1,51 @@
+#include "serve/tier/prefetcher.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+namespace tier
+{
+
+DecodeAheadPrefetcher::DecodeAheadPrefetcher(std::uint32_t num_layers,
+                                             bool enabled)
+    : numLayers_(num_layers), enabled_(enabled)
+{
+    fatal_if(num_layers == 0, "prefetcher needs at least one layer");
+}
+
+DecodeAheadPrefetcher::Overlap
+DecodeAheadPrefetcher::overlap(double compute_seconds,
+                               double link_seconds) const
+{
+    panic_if(compute_seconds < 0.0 || link_seconds < 0.0,
+             "negative seconds in prefetch overlap");
+    Overlap o;
+    if (link_seconds <= 0.0)
+        return o;
+    if (!enabled_ || numLayers_ <= 1) {
+        // No pipeline: the fetches serialize ahead of the compute.
+        o.exposedSeconds = link_seconds;
+        return o;
+    }
+    const double L = static_cast<double>(numLayers_);
+    const double cl = compute_seconds / L;
+    const double fl = link_seconds / L;
+    const double pipeline_end = fl + cl + (L - 1.0) * std::max(cl, fl);
+    const double end = std::max({pipeline_end, link_seconds,
+                                 compute_seconds});
+    o.exposedSeconds = end - compute_seconds;
+    o.hiddenSeconds = link_seconds - o.exposedSeconds;
+    panic_if(o.exposedSeconds < 0.0 || o.hiddenSeconds < -1e-12,
+             "prefetch overlap produced negative time");
+    o.hiddenSeconds = std::max(o.hiddenSeconds, 0.0);
+    return o;
+}
+
+} // namespace tier
+} // namespace serve
+} // namespace cxlpnm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Decode-ahead prefetch model: overlapping next-layers' far-block
+ * fetches with current-layer compute.
+ *
+ * Attention reads each layer's KV in layer order, so an iteration
+ * that needs far-resident KV does not need all of it at once: while
+ * layer l computes, the link can be fetching layers l+1.. - the
+ * software pipeline the scalable-PNM long-context work builds on. The
+ * model splits the iteration's compute C and far-link traffic F
+ * evenly over L layers and exposes only what the pipeline cannot
+ * hide:
+ *
+ *   pipeline end = F/L + C/L + (L-1) * max(C/L, F/L)
+ *   exposed      = max(pipeline end, F, C) - C
+ *
+ * (F bounds link occupancy, C bounds compute; with prefetch off or a
+ * single layer the whole F serializes in front of the compute.) The
+ * arithmetic is closed-form rather than event-driven because the
+ * serving layer runs on a seconds clock; the cycle-level link model
+ * calibrates the bandwidth/latency constants the formula consumes.
+ */
+
+#ifndef CXLPNM_SERVE_TIER_PREFETCHER_HH
+#define CXLPNM_SERVE_TIER_PREFETCHER_HH
+
+#include <cstdint>
+
+namespace cxlpnm
+{
+namespace serve
+{
+namespace tier
+{
+
+/** Closed-form overlap of far-KV fetches with layer compute. */
+class DecodeAheadPrefetcher
+{
+  public:
+    DecodeAheadPrefetcher(std::uint32_t num_layers, bool enabled);
+
+    /** Link seconds split into critical-path and hidden time. */
+    struct Overlap
+    {
+        /** Added to the iteration beyond its compute cost. */
+        double exposedSeconds = 0.0;
+        /** Link seconds overlapped under compute. */
+        double hiddenSeconds = 0.0;
+    };
+
+    /**
+     * Schedule @p link_seconds of far traffic against
+     * @p compute_seconds of iteration compute.
+     */
+    Overlap overlap(double compute_seconds, double link_seconds) const;
+
+    bool enabled() const { return enabled_; }
+    std::uint32_t numLayers() const { return numLayers_; }
+
+  private:
+    std::uint32_t numLayers_;
+    bool enabled_;
+};
+
+} // namespace tier
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_TIER_PREFETCHER_HH

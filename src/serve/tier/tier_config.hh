@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Configuration of the two-tier (near / CXL-far) KV cache.
+ *
+ * The near tier is the device-local LPDDR the paged KvBlockManager
+ * already models; the far tier is a CXL-attached memory pool behind
+ * the host port. Tiering multiplies servable context length (the
+ * 1M-token regime of the scalable-PNM follow-up work in PAPERS.md) at
+ * the price of link traffic: every block demoted, promoted, or
+ * streamed for attention crosses the same CXL link the inference
+ * activations use, and the migration engine prices them together.
+ */
+
+#ifndef CXLPNM_SERVE_TIER_TIER_CONFIG_HH
+#define CXLPNM_SERVE_TIER_TIER_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cxl/link.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+namespace tier
+{
+
+/** Which policy picks demotion victims when the near tier overflows. */
+enum class TierPolicyKind
+{
+    /**
+     * Evict the coldest block by last-attended iteration, preferring
+     * blocks farther behind their owner's write head (deep prompt
+     * history over the recent window a decode step re-reads hardest).
+     */
+    LruDecodeDistance,
+    /**
+     * Never demote a request's last `pinnedWindowBlocks` blocks (the
+     * sliding attention window); among the rest, demote the earliest
+     * chain position first.
+     */
+    PinnedRecentWindow,
+};
+
+/** How attention over far-resident blocks is served. */
+enum class FarAccess
+{
+    /**
+     * Stream far KV through the link each iteration it is attended
+     * (no residency change). The decode-ahead prefetcher can overlap
+     * these fetches with compute.
+     */
+    Stream,
+    /**
+     * Promote far blocks into free near frames before the iteration
+     * (stall-for-promotion); whatever finds no free frame streams.
+     */
+    Promote,
+};
+
+const char *tierPolicyName(TierPolicyKind k);
+const char *farAccessName(FarAccess m);
+/** Parse a demo/bench knob; fatal on an unknown name. */
+TierPolicyKind tierPolicyByName(const std::string &name);
+FarAccess farAccessByName(const std::string &name);
+
+/** Far-tier knobs hanging off PagedKvConfig. */
+struct TierConfig
+{
+    /** CXL-far blocks added behind the near pool; 0 = tiering off. */
+    std::uint64_t farBlocks = 0;
+    TierPolicyKind policy = TierPolicyKind::LruDecodeDistance;
+    /** PinnedRecentWindow: per-request blocks exempt from demotion. */
+    std::uint32_t pinnedWindowBlocks = 4;
+    /** Overlap next-layers' far fetches with current-layer compute. */
+    bool prefetch = true;
+    FarAccess farAccess = FarAccess::Stream;
+    /** The link migrations and far streams are priced through. */
+    cxl::CxlLinkParams link;
+
+    bool enabled() const { return farBlocks > 0; }
+};
+
+} // namespace tier
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_TIER_TIER_CONFIG_HH

@@ -1,0 +1,164 @@
+#include "serve/tier/tier_policy.hh"
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+namespace tier
+{
+namespace
+{
+
+/** Shared candidate scan: the best Near, non-write-head block under a
+ *  strict-weak "better victim" order; InvalidBlock when none. */
+template <typename Better, typename Admit>
+BlockId
+scanVictims(const TierPolicyContext &ctx, Admit admit, Better better)
+{
+    BlockId best = InvalidBlock;
+    const BlockId n = static_cast<BlockId>(ctx.meta.size());
+    for (BlockId b = 0; b < n; ++b) {
+        if (ctx.pool.residency(b) != Residency::Near)
+            continue;
+        if (ctx.meta[b].writeHead)
+            continue;
+        if (!admit(ctx.meta[b]))
+            continue;
+        if (best == InvalidBlock || better(ctx.meta[b], ctx.meta[best]))
+            best = b;
+    }
+    return best;
+}
+
+/** Decode distance: how far behind its owner's write head @p m sits
+ *  (0 for prefix-cache-only blocks, which have no head). */
+std::uint64_t
+decodeDistance(const TierPolicyContext &ctx, const TierBlockMeta &m)
+{
+    if (m.owner == TierBlockMeta::NoOwner)
+        return 0;
+    const std::uint64_t len = ctx.chainLen(m.owner);
+    return len > m.chainPos ? len - 1 - m.chainPos : 0;
+}
+
+} // namespace
+
+BlockId
+LruDecodeDistancePolicy::selectDemotion(const TierPolicyContext &ctx)
+{
+    // Ownerless (prefix-cache-only) blocks go first: no live request
+    // attends them every step, so they are pure capacity. Among owned
+    // blocks: least recently attended, then the block farthest behind
+    // its owner's write head, then the smallest id.
+    return scanVictims(
+        ctx, [](const TierBlockMeta &) { return true; },
+        [&ctx](const TierBlockMeta &a, const TierBlockMeta &b) {
+            const bool a_owned = a.owner != TierBlockMeta::NoOwner;
+            const bool b_owned = b.owner != TierBlockMeta::NoOwner;
+            if (a_owned != b_owned)
+                return !a_owned;
+            if (a.lastTouch != b.lastTouch)
+                return a.lastTouch < b.lastTouch;
+            return decodeDistance(ctx, a) > decodeDistance(ctx, b);
+            // Equal on all keys: scanVictims keeps the smaller id.
+        });
+}
+
+BlockId
+PinnedRecentWindowPolicy::selectDemotion(const TierPolicyContext &ctx)
+{
+    // A block is pinned while it sits within its owner's last
+    // `window_` blocks (the recency window every decode step
+    // re-reads); ownerless blocks are never pinned.
+    auto pinned = [&](const TierBlockMeta &m) {
+        if (m.owner == TierBlockMeta::NoOwner)
+            return false;
+        const std::uint64_t len = ctx.chainLen(m.owner);
+        return m.chainPos + window_ >= len;
+    };
+    auto better = [&ctx](const TierBlockMeta &a, const TierBlockMeta &b) {
+        const bool a_owned = a.owner != TierBlockMeta::NoOwner;
+        const bool b_owned = b.owner != TierBlockMeta::NoOwner;
+        if (a_owned != b_owned)
+            return !a_owned;
+        if (a.chainPos != b.chainPos)
+            return a.chainPos < b.chainPos;
+        return a.lastTouch < b.lastTouch;
+    };
+    const BlockId b = scanVictims(
+        ctx, [&](const TierBlockMeta &m) { return !pinned(m); },
+        better);
+    if (b != InvalidBlock)
+        return b;
+    // Every unpinned candidate is gone; breaking the pin beats
+    // deadlocking the allocator. Counted so sweeps can see when the
+    // window exceeds what the near tier can actually hold.
+    const BlockId forced = scanVictims(
+        ctx, [](const TierBlockMeta &) { return true; }, better);
+    if (forced != InvalidBlock)
+        ++violations_;
+    return forced;
+}
+
+std::unique_ptr<TierPolicy>
+makeTierPolicy(const TierConfig &cfg)
+{
+    switch (cfg.policy) {
+      case TierPolicyKind::LruDecodeDistance:
+        return std::make_unique<LruDecodeDistancePolicy>();
+      case TierPolicyKind::PinnedRecentWindow:
+        return std::make_unique<PinnedRecentWindowPolicy>(
+            cfg.pinnedWindowBlocks);
+    }
+    panic("unknown tier policy");
+}
+
+const char *
+tierPolicyName(TierPolicyKind k)
+{
+    switch (k) {
+      case TierPolicyKind::LruDecodeDistance:
+        return "lru_decode_distance";
+      case TierPolicyKind::PinnedRecentWindow:
+        return "pinned_recent_window";
+    }
+    return "<bad>";
+}
+
+const char *
+farAccessName(FarAccess m)
+{
+    switch (m) {
+      case FarAccess::Stream: return "stream";
+      case FarAccess::Promote: return "promote";
+    }
+    return "<bad>";
+}
+
+TierPolicyKind
+tierPolicyByName(const std::string &name)
+{
+    if (name == "lru" || name == "lru_decode_distance")
+        return TierPolicyKind::LruDecodeDistance;
+    if (name == "pinned" || name == "pinned_recent_window")
+        return TierPolicyKind::PinnedRecentWindow;
+    fatal("unknown tier policy '", name,
+          "' (expected lru or pinned)");
+}
+
+FarAccess
+farAccessByName(const std::string &name)
+{
+    if (name == "stream")
+        return FarAccess::Stream;
+    if (name == "promote")
+        return FarAccess::Promote;
+    fatal("unknown far-access mode '", name,
+          "' (expected stream or promote)");
+}
+
+} // namespace tier
+} // namespace serve
+} // namespace cxlpnm

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Demotion-victim selection for the two-tier KV cache.
+ *
+ * When an allocation wants a near frame and none is free, the policy
+ * picks which Near-resident block to demote to the far tier. The CXL
+ * fine-tuning allocation study in PAPERS.md is blunt that placement
+ * policy dominates once a far tier exists, so the interface is kept
+ * pluggable and the two shipped policies bracket the design space:
+ * coldest-first (LRU over attended iterations, decode distance as the
+ * tiebreak) versus a hard recency pin (the sliding window attention
+ * re-reads every step must stay near, history pages out first).
+ *
+ * Selection is a pure function of the ledger and block metadata, with
+ * BlockId as the final tiebreak - never container iteration order -
+ * so the demotion sequence is deterministic per the repo's contract.
+ */
+
+#ifndef CXLPNM_SERVE_TIER_TIER_POLICY_HH
+#define CXLPNM_SERVE_TIER_TIER_POLICY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "serve/tier/tier_config.hh"
+#include "serve/tier/tiered_pool.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+namespace tier
+{
+
+/** Scheduler-maintained placement metadata for one block. */
+struct TierBlockMeta
+{
+    static constexpr std::uint64_t NoOwner = ~0ull;
+
+    /** Holding request id; NoOwner = prefix-cache-only block. */
+    std::uint64_t owner = NoOwner;
+    /** Index of this block in its owner's chain (0 = prompt head). */
+    std::uint32_t chainPos = 0;
+    /** The owner's next decoded token lands in this block; write
+     *  heads are never demoted (their slots fill this iteration). */
+    bool writeHead = false;
+    /** Iteration sequence number when last attended. */
+    std::uint64_t lastTouch = 0;
+};
+
+/** Read-only view a policy scans for a victim. */
+struct TierPolicyContext
+{
+    const TieredBlockPool &pool;
+    /** Indexed by BlockId; only Near blocks' entries are meaningful. */
+    const std::vector<TierBlockMeta> &meta;
+    /** Blocks currently held by a request id (decode-distance
+     *  denominator); 0 for unknown owners. */
+    std::function<std::uint64_t(std::uint64_t)> chainLen;
+};
+
+/** Picks demotion victims; stateless apart from its own counters. */
+class TierPolicy
+{
+  public:
+    virtual ~TierPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * The Near block to demote next, or InvalidBlock when nothing is
+     * demotable (no Near block, or only write heads remain).
+     */
+    virtual BlockId selectDemotion(const TierPolicyContext &ctx) = 0;
+
+    /** Times the policy had to break its own protection rule to make
+     *  progress (0 for policies without one). */
+    virtual std::uint64_t pinViolations() const { return 0; }
+};
+
+/** Coldest block first; deeper decode distance breaks LRU ties. */
+class LruDecodeDistancePolicy : public TierPolicy
+{
+  public:
+    const char *name() const override { return "lru_decode_distance"; }
+    BlockId selectDemotion(const TierPolicyContext &ctx) override;
+};
+
+/** Protect each owner's last @p window blocks; demote head-first. */
+class PinnedRecentWindowPolicy : public TierPolicy
+{
+  public:
+    explicit PinnedRecentWindowPolicy(std::uint32_t window)
+        : window_(window)
+    {
+    }
+
+    const char *name() const override { return "pinned_recent_window"; }
+    BlockId selectDemotion(const TierPolicyContext &ctx) override;
+    std::uint64_t pinViolations() const override { return violations_; }
+
+  private:
+    std::uint32_t window_;
+    std::uint64_t violations_ = 0;
+};
+
+std::unique_ptr<TierPolicy> makeTierPolicy(const TierConfig &cfg);
+
+} // namespace tier
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_TIER_TIER_POLICY_HH

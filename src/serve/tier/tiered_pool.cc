@@ -1,0 +1,204 @@
+#include "serve/tier/tiered_pool.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+namespace tier
+{
+
+const char *
+residencyName(Residency r)
+{
+    switch (r) {
+      case Residency::None: return "none";
+      case Residency::Near: return "near";
+      case Residency::Far: return "far";
+      case Residency::PromoteInFlight: return "promote_in_flight";
+      case Residency::DemoteInFlight: return "demote_in_flight";
+    }
+    return "<bad>";
+}
+
+TieredBlockPool::TieredBlockPool(KvBlockManager &mgr,
+                                 std::uint64_t near_capacity_blocks)
+    : mgr_(mgr), residency_(mgr.totalBlocks(), Residency::None)
+{
+    fatal_if(near_capacity_blocks == 0,
+             "near tier smaller than one block");
+    fatal_if(near_capacity_blocks > mgr.totalBlocks(),
+             "near tier (", near_capacity_blocks,
+             " blocks) larger than the whole pool (",
+             mgr.totalBlocks(), ")");
+    stats_.nearCapacity = near_capacity_blocks;
+    stats_.farCapacity = mgr.totalBlocks() - near_capacity_blocks;
+    mgr_.setObserver(this);
+}
+
+TieredBlockPool::~TieredBlockPool()
+{
+    mgr_.setObserver(nullptr);
+}
+
+Residency
+TieredBlockPool::residency(BlockId b) const
+{
+    panic_if(b >= residency_.size(), "residency of block ", b, " of ",
+             residency_.size());
+    return residency_[b];
+}
+
+void
+TieredBlockPool::placeNear(BlockId b)
+{
+    panic_if(residency(b) != Residency::None, "placeNear on a ",
+             residencyName(residency_[b]), " block ", b);
+    panic_if(stats_.nearFree() == 0,
+             "placeNear with no free near frame");
+    residency_[b] = Residency::Near;
+    ++stats_.nearBlocks;
+}
+
+void
+TieredBlockPool::placeFar(BlockId b)
+{
+    panic_if(residency(b) != Residency::None, "placeFar on a ",
+             residencyName(residency_[b]), " block ", b);
+    panic_if(stats_.farUsed() >= stats_.farCapacity,
+             "placeFar with the far tier full");
+    residency_[b] = Residency::Far;
+    ++stats_.farBlocks;
+    stats_.peakFarBlocks =
+        std::max(stats_.peakFarBlocks, stats_.farUsed());
+}
+
+void
+TieredBlockPool::beginDemote(BlockId b)
+{
+    panic_if(residency(b) != Residency::Near, "beginDemote on a ",
+             residencyName(residency_[b]), " block ", b);
+    panic_if(stats_.farUsed() >= stats_.farCapacity,
+             "beginDemote with the far tier full");
+    residency_[b] = Residency::DemoteInFlight;
+    --stats_.nearBlocks;
+    ++stats_.demoteInFlight;
+    stats_.peakFarBlocks =
+        std::max(stats_.peakFarBlocks, stats_.farUsed());
+}
+
+void
+TieredBlockPool::finishDemote(BlockId b)
+{
+    panic_if(residency(b) != Residency::DemoteInFlight,
+             "finishDemote on a ", residencyName(residency_[b]),
+             " block ", b);
+    residency_[b] = Residency::Far;
+    --stats_.demoteInFlight;
+    ++stats_.farBlocks;
+}
+
+void
+TieredBlockPool::beginPromote(BlockId b)
+{
+    panic_if(residency(b) != Residency::Far, "beginPromote on a ",
+             residencyName(residency_[b]), " block ", b);
+    panic_if(stats_.nearFree() == 0,
+             "beginPromote with no free near frame");
+    residency_[b] = Residency::PromoteInFlight;
+    --stats_.farBlocks;
+    ++stats_.promoteInFlight;
+}
+
+void
+TieredBlockPool::finishPromote(BlockId b)
+{
+    panic_if(residency(b) != Residency::PromoteInFlight,
+             "finishPromote on a ", residencyName(residency_[b]),
+             " block ", b);
+    residency_[b] = Residency::Near;
+    --stats_.promoteInFlight;
+    ++stats_.nearBlocks;
+}
+
+void
+TieredBlockPool::dropResident(BlockId b)
+{
+    switch (residency_[b]) {
+      case Residency::None:
+        break;
+      case Residency::Near:
+        --stats_.nearBlocks;
+        break;
+      case Residency::Far:
+        --stats_.farBlocks;
+        break;
+      case Residency::PromoteInFlight:
+        --stats_.promoteInFlight;
+        ++stats_.abandonedMigrations;
+        break;
+      case Residency::DemoteInFlight:
+        --stats_.demoteInFlight;
+        ++stats_.abandonedMigrations;
+        break;
+    }
+    residency_[b] = Residency::None;
+}
+
+void
+TieredBlockPool::onAllocated(BlockId b)
+{
+    panic_if(residency(b) != Residency::None,
+             "allocated block ", b, " still ",
+             residencyName(residency_[b]), " in the tier ledger");
+}
+
+void
+TieredBlockPool::onFreed(BlockId b)
+{
+    panic_if(b >= residency_.size(), "freed block ", b, " of ",
+             residency_.size());
+    dropResident(b);
+}
+
+void
+TieredBlockPool::checkConsistency() const
+{
+    TierStats derived;
+    for (Residency r : residency_) {
+        switch (r) {
+          case Residency::None: break;
+          case Residency::Near: ++derived.nearBlocks; break;
+          case Residency::Far: ++derived.farBlocks; break;
+          case Residency::PromoteInFlight:
+            ++derived.promoteInFlight;
+            break;
+          case Residency::DemoteInFlight:
+            ++derived.demoteInFlight;
+            break;
+        }
+    }
+    panic_if(derived.nearBlocks != stats_.nearBlocks ||
+                 derived.farBlocks != stats_.farBlocks ||
+                 derived.promoteInFlight != stats_.promoteInFlight ||
+                 derived.demoteInFlight != stats_.demoteInFlight,
+             "tier ledger drift: counters near=", stats_.nearBlocks,
+             " far=", stats_.farBlocks, " promote=",
+             stats_.promoteInFlight, " demote=", stats_.demoteInFlight,
+             " vs per-block near=", derived.nearBlocks, " far=",
+             derived.farBlocks, " promote=", derived.promoteInFlight,
+             " demote=", derived.demoteInFlight);
+    panic_if(stats_.nearUsed() > stats_.nearCapacity,
+             "tier ledger holds ", stats_.nearUsed(),
+             " near frames of ", stats_.nearCapacity);
+    panic_if(stats_.farUsed() > stats_.farCapacity,
+             "tier ledger holds ", stats_.farUsed(),
+             " far slots of ", stats_.farCapacity);
+}
+
+} // namespace tier
+} // namespace serve
+} // namespace cxlpnm

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Per-block residency tracking over a KvBlockManager whose capacity
+ * spans both tiers.
+ *
+ * The manager's block-ID space covers near + far blocks in one dense
+ * range, so ref-counting, the prefix cache, and every held-block list
+ * work unchanged; this pool only answers *where* each allocated block
+ * currently lives. The near tier is a count of frames, not a set of
+ * reserved IDs: any block may occupy a near frame, and demotion hands
+ * the victim's frame to the newcomer immediately (victim-buffer
+ * semantics - the demoted bytes are on the wire or in the port's
+ * victim buffer, so DemoteInFlight does not hold a near frame while
+ * PromoteInFlight already does).
+ *
+ * As the manager's Observer, the pool sees every free: a block
+ * released mid-migration (preemption, fault recovery, prefix-cache
+ * eviction) drops to None on the spot and its transfer is counted
+ * abandoned, so the migration engine never completes a move into a
+ * reissued block.
+ */
+
+#ifndef CXLPNM_SERVE_TIER_TIERED_POOL_HH
+#define CXLPNM_SERVE_TIER_TIERED_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/kv_block_manager.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+namespace tier
+{
+
+/** Where an allocated block's KV bytes live. */
+enum class Residency : std::uint8_t
+{
+    None,            // free block (or never placed)
+    Near,            // device-local LPDDR
+    Far,             // CXL-attached pool
+    PromoteInFlight, // far -> near transfer issued this iteration
+    DemoteInFlight,  // near -> far transfer issued this iteration
+};
+
+const char *residencyName(Residency r);
+
+/** Snapshot of the pool's residency ledger. */
+struct TierStats
+{
+    std::uint64_t nearCapacity = 0;
+    std::uint64_t farCapacity = 0;
+    /** Settled residents per tier. */
+    std::uint64_t nearBlocks = 0;
+    std::uint64_t farBlocks = 0;
+    std::uint64_t promoteInFlight = 0;
+    std::uint64_t demoteInFlight = 0;
+    std::uint64_t peakFarBlocks = 0;
+    /** Migrations whose block was freed before completion. */
+    std::uint64_t abandonedMigrations = 0;
+
+    /** Near frames occupied (a promotion holds its target frame). */
+    std::uint64_t nearUsed() const { return nearBlocks + promoteInFlight; }
+    /** Far slots occupied (a demotion holds its target slot). */
+    std::uint64_t farUsed() const { return farBlocks + demoteInFlight; }
+    std::uint64_t nearFree() const { return nearCapacity - nearUsed(); }
+};
+
+/** Residency ledger; all transitions are scheduler-driven. */
+class TieredBlockPool : public KvBlockManager::Observer
+{
+  public:
+    /**
+     * @param mgr  block manager spanning both tiers (total blocks =
+     *             near + far); the pool registers as its observer.
+     * @param near_capacity_blocks  frames in the near tier (> 0,
+     *             <= mgr.totalBlocks()).
+     */
+    TieredBlockPool(KvBlockManager &mgr,
+                    std::uint64_t near_capacity_blocks);
+    ~TieredBlockPool() override;
+
+    TieredBlockPool(const TieredBlockPool &) = delete;
+    TieredBlockPool &operator=(const TieredBlockPool &) = delete;
+
+    Residency residency(BlockId b) const;
+    bool
+    inFlight(BlockId b) const
+    {
+        const Residency r = residency(b);
+        return r == Residency::PromoteInFlight ||
+            r == Residency::DemoteInFlight;
+    }
+
+    std::uint64_t nearFree() const { return stats_.nearFree(); }
+
+    // --- transitions (panic on an illegal source state) ---
+    /** None -> Near: a fresh allocation takes a free near frame. */
+    void placeNear(BlockId b);
+    /** None -> Far: born far; its KV is written across the link. */
+    void placeFar(BlockId b);
+    /** Near -> DemoteInFlight: frame freed for reuse immediately. */
+    void beginDemote(BlockId b);
+    /** DemoteInFlight -> Far: the transfer's tail arrived. */
+    void finishDemote(BlockId b);
+    /** Far -> PromoteInFlight: claims a free near frame now. */
+    void beginPromote(BlockId b);
+    /** PromoteInFlight -> Near. */
+    void finishPromote(BlockId b);
+
+    const TierStats &stats() const { return stats_; }
+
+    /** Residency counters re-derived from the per-block array; panics
+     *  on any divergence from the incremental ledger (drain checks). */
+    void checkConsistency() const;
+
+    // --- KvBlockManager::Observer ---
+    void onAllocated(BlockId b) override;
+    void onFreed(BlockId b) override;
+
+  private:
+    void dropResident(BlockId b);
+
+    KvBlockManager &mgr_;
+    std::vector<Residency> residency_;
+    TierStats stats_;
+};
+
+} // namespace tier
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_TIER_TIERED_POOL_HH

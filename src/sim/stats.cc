@@ -55,12 +55,33 @@ Average::reset()
 }
 
 Histogram::Histogram(StatGroup *parent, std::string name, std::string desc,
-                     double lo, double hi, std::size_t buckets)
+                     double lo, double hi, std::size_t buckets,
+                     bool auto_extend)
     : StatBase(parent, std::move(name), std::move(desc)),
-      lo_(lo), hi_(hi), buckets_(buckets, 0)
+      lo_(lo), hi_(hi), initialHi_(hi), autoExtend_(auto_extend),
+      buckets_(buckets, 0)
 {
     panic_if(buckets == 0, "histogram '", this->name(), "' with 0 buckets");
     panic_if(hi <= lo, "histogram '", this->name(), "' with hi <= lo");
+}
+
+void
+Histogram::extend()
+{
+    // New bucket i spans exactly old buckets 2i and 2i+1 (the width
+    // doubles with the range), so past samples stay in buckets whose
+    // edges still bound them - percentiles coarsen but never move
+    // outside a sample's true bucket.
+    const std::size_t n = buckets_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t a = 2 * i;
+        std::uint64_t merged = a < n ? buckets_[a] : 0;
+        if (a + 1 < n)
+            merged += buckets_[a + 1];
+        buckets_[i] = merged;
+    }
+    hi_ = lo_ + 2.0 * (hi_ - lo_);
+    ++extensions_;
 }
 
 void
@@ -68,6 +89,10 @@ Histogram::sample(double v)
 {
     ++count_;
     sum_ += v;
+    if (autoExtend_ && v >= hi_ && std::isfinite(v)) {
+        while (v >= hi_)
+            extend();
+    }
     if (v < lo_) {
         ++underflow_;
     } else if (v >= hi_) {
@@ -141,6 +166,10 @@ Histogram::reset()
     std::fill(buckets_.begin(), buckets_.end(), 0);
     underflow_ = overflow_ = count_ = 0;
     sum_ = 0.0;
+    // A reset histogram matches a freshly constructed one, extensions
+    // included.
+    hi_ = initialHi_;
+    extensions_ = 0;
 }
 
 StatGroup::StatGroup(StatGroup *parent, std::string name)

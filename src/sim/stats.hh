@@ -88,12 +88,24 @@ class Average : public StatBase
     std::uint64_t count_ = 0;
 };
 
-/** Fixed-width linear histogram with under/overflow buckets. */
+/**
+ * Fixed-width linear histogram with under/overflow buckets.
+ *
+ * With @p auto_extend the histogram doubles its range instead of
+ * counting overflow: bucket pairs merge (halving resolution, keeping
+ * the bucket count) until the sample fits. Percentiles then keep
+ * resolving real values - at coarser granularity - where the fixed
+ * range would silently clamp them at `hi` (long-context TTFT can be
+ * orders of magnitude past any range chosen for chat traffic). The
+ * flag is opt-in because extension changes the dumped bucket edges,
+ * which fixed-range consumers diff byte-for-byte.
+ */
 class Histogram : public StatBase
 {
   public:
     Histogram(StatGroup *parent, std::string name, std::string desc,
-              double lo, double hi, std::size_t buckets);
+              double lo, double hi, std::size_t buckets,
+              bool auto_extend = false);
 
     void sample(double v);
     std::uint64_t count() const { return count_; }
@@ -101,6 +113,10 @@ class Histogram : public StatBase
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
+    /** Current (possibly extended) upper edge. */
+    double hi() const { return hi_; }
+    /** Range doublings performed so far (0 without auto-extend). */
+    std::uint32_t extensions() const { return extensions_; }
 
     /**
      * Nearest-rank quantile @p q in [0, 1]. Samples are resolved to
@@ -114,8 +130,14 @@ class Histogram : public StatBase
     void reset() override;
 
   private:
+    /** Double the range once, merging adjacent bucket pairs. */
+    void extend();
+
     double lo_;
     double hi_;
+    const double initialHi_;
+    const bool autoExtend_;
+    std::uint32_t extensions_ = 0;
     std::vector<std::uint64_t> buckets_;
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;

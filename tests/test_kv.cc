@@ -19,6 +19,7 @@
 #include "serve/prefix_cache.hh"
 #include "serve/request_generator.hh"
 #include "serve/scheduler.hh"
+#include "serve/tier/tiered_pool.hh"
 #include "sim/logging.hh"
 
 namespace cxlpnm
@@ -244,6 +245,75 @@ TEST(PrefixCacheTest, EvictsLruLeavesOnlyAndNeverLiveBlocks)
     EXPECT_EQ(cache.entries(), 1u);
     EXPECT_EQ(cache.evictions(), 2u);
     mgr.release(live);
+}
+
+TEST(PrefixCacheTest, EvictGuardSkipsBlocksMidTierMigration)
+{
+    // Adversarial interleaving of LRU eviction with a tier demotion:
+    // the cache's oldest evictable block goes in flight between tiers
+    // before eviction runs. Freeing it would hand the frame to a new
+    // allocation while the transfer still owns the bytes, so the
+    // guard must skip it - and the scan must continue to the
+    // next-oldest candidate instead of giving up.
+    KvBlockManager mgr(6 * 16, 16);
+    tier::TieredBlockPool pool(mgr, 4);
+    PrefixCache cache(mgr);
+    cache.setEvictGuard(
+        [&pool](BlockId b) { return !pool.inFlight(b); });
+
+    const BlockId a = mgr.tryAllocate();
+    const BlockId b = mgr.tryAllocate();
+    pool.placeNear(a);
+    pool.placeNear(b);
+    cache.insert({1}, {a}, 0, 0, InvalidBlock); // a is the LRU leaf
+    cache.insert({2}, {b}, 0, 0, InvalidBlock);
+    mgr.release(a);
+    mgr.release(b);
+    EXPECT_EQ(mgr.usedBlocks(), 2u);
+
+    pool.beginDemote(a); // a's bytes are on the wire
+    EXPECT_TRUE(cache.evictOne());
+    // The LRU order says a, the guard says b: a must survive with its
+    // in-flight state intact.
+    EXPECT_EQ(mgr.usedBlocks(), 1u);
+    EXPECT_EQ(mgr.refCount(a), 1u);
+    EXPECT_EQ(pool.residency(a), tier::Residency::DemoteInFlight);
+    EXPECT_EQ(pool.stats().abandonedMigrations, 0u);
+
+    // Every remaining candidate vetoed: eviction reports failure
+    // rather than freeing a protected block.
+    EXPECT_FALSE(cache.evictOne());
+
+    // Once the transfer settles the block is fair game again; its
+    // free drops the (now Far) residency through the observer.
+    pool.finishDemote(a);
+    EXPECT_TRUE(cache.evictOne());
+    EXPECT_EQ(mgr.usedBlocks(), 0u);
+    EXPECT_EQ(pool.residency(a), tier::Residency::None);
+    EXPECT_EQ(pool.stats().abandonedMigrations, 0u);
+    pool.checkConsistency();
+}
+
+TEST(PrefixCacheTest, EvictionDuringDemotionAbandonsOnlyWithoutGuard)
+{
+    // The complementary fault the guard exists to prevent: with no
+    // guard installed, evicting a mid-demotion block reclaims it and
+    // the pool must count the transfer abandoned (the engine will
+    // skip its completion). The ledger stays consistent either way.
+    KvBlockManager mgr(4 * 16, 16);
+    tier::TieredBlockPool pool(mgr, 2);
+    PrefixCache cache(mgr);
+
+    const BlockId a = mgr.tryAllocate();
+    pool.placeNear(a);
+    cache.insert({1}, {a}, 0, 0, InvalidBlock);
+    mgr.release(a);
+
+    pool.beginDemote(a);
+    EXPECT_TRUE(cache.evictOne()); // no guard: the free goes through
+    EXPECT_EQ(pool.residency(a), tier::Residency::None);
+    EXPECT_EQ(pool.stats().abandonedMigrations, 1u);
+    pool.checkConsistency();
 }
 
 // ---- paged scheduler end to end ----

@@ -1,0 +1,689 @@
+/**
+ * @file
+ * Two-tier (near / CXL-far) KV cache tests: the residency ledger and
+ * its victim-buffer transition accounting, observer-driven
+ * abandonment of mid-migration frees, both demotion policies, the
+ * decode-ahead prefetch closed form, migration pricing through the
+ * shared CXL link, the tiered scheduler end to end (admission beyond
+ * near-only capacity, inert tier knobs at farBlocks = 0, prefetch
+ * hiding link time, promote mode, far-born allocation, drain
+ * invariants, seeded determinism), and the long-context trace
+ * generator with its typed config validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cxl/link.hh"
+#include "serve/cost_model.hh"
+#include "serve/kv_block_manager.hh"
+#include "serve/metrics.hh"
+#include "serve/request_generator.hh"
+#include "serve/scheduler.hh"
+#include "serve/tier/migration_engine.hh"
+#include "serve/tier/prefetcher.hh"
+#include "serve/tier/tier_policy.hh"
+#include "serve/tier/tiered_pool.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+namespace
+{
+
+using tier::DecodeAheadPrefetcher;
+using tier::FarAccess;
+using tier::LruDecodeDistancePolicy;
+using tier::MigrationEngine;
+using tier::PinnedRecentWindowPolicy;
+using tier::Residency;
+using tier::TierBlockMeta;
+using tier::TierConfig;
+using tier::TieredBlockPool;
+using tier::TierPolicyContext;
+using tier::TierPolicyKind;
+
+BatchCostModel
+syntheticCost()
+{
+    BatchCostModel c;
+    c.sumCurve.addSample(1, 1.0e-3);
+    c.sumCurve.addSample(1024, 10.0e-3);
+    c.genWeightSeconds = 10.0e-3;
+    c.genKvPerTokenSeconds = 2.0e-6;
+    c.perTokenComputeSeconds = 0.2e-3;
+    return c;
+}
+
+SchedulerConfig
+tieredConfig(std::uint32_t block_tokens, std::uint64_t far_blocks,
+             bool prefetch = true,
+             FarAccess far_access = FarAccess::Stream)
+{
+    SchedulerConfig cfg;
+    cfg.paged.enabled = true;
+    cfg.paged.blockTokens = block_tokens;
+    cfg.paged.tier.farBlocks = far_blocks;
+    cfg.paged.tier.prefetch = prefetch;
+    cfg.paged.tier.farAccess = far_access;
+    return cfg;
+}
+
+ServeReport
+runTrace(const TraceConfig &trace, const llm::ModelConfig &model,
+         std::uint64_t kv_capacity, const SchedulerConfig &sched)
+{
+    ServeMetrics metrics(nullptr, "serve");
+    BatchScheduler s(model, syntheticCost(), kv_capacity, sched,
+                     metrics);
+    RequestGenerator gen(trace);
+    while (!gen.exhausted())
+        s.submit(gen.next());
+    s.drain();
+    return metrics.report(s.clockSeconds());
+}
+
+// ---- residency ledger ----
+
+TEST(TieredBlockPoolTest, VictimBufferTransitionsKeepTheLedgerTight)
+{
+    KvBlockManager mgr(6 * 64, 64);
+    TieredBlockPool pool(mgr, 2);
+    EXPECT_EQ(pool.stats().nearCapacity, 2u);
+    EXPECT_EQ(pool.stats().farCapacity, 4u);
+
+    const BlockId b0 = mgr.tryAllocate();
+    const BlockId b1 = mgr.tryAllocate();
+    const BlockId b2 = mgr.tryAllocate();
+    const BlockId b3 = mgr.tryAllocate();
+    pool.placeNear(b0);
+    pool.placeNear(b1);
+    EXPECT_EQ(pool.nearFree(), 0u);
+    pool.placeFar(b2);
+    EXPECT_EQ(pool.stats().farUsed(), 1u);
+
+    // The victim buffer frees the frame at issue, not at completion:
+    // a demote makes room for the newcomer immediately while holding
+    // its far slot for the in-flight bytes.
+    pool.beginDemote(b0);
+    EXPECT_EQ(pool.residency(b0), Residency::DemoteInFlight);
+    EXPECT_TRUE(pool.inFlight(b0));
+    EXPECT_EQ(pool.nearFree(), 1u);
+    EXPECT_EQ(pool.stats().farUsed(), 2u);
+    pool.placeNear(b3); // reuses the vacated frame within the step
+    EXPECT_EQ(pool.nearFree(), 0u);
+
+    pool.finishDemote(b0);
+    EXPECT_EQ(pool.residency(b0), Residency::Far);
+    EXPECT_EQ(pool.stats().demoteInFlight, 0u);
+    EXPECT_EQ(pool.stats().farBlocks, 2u);
+
+    // A promotion claims its target frame at issue.
+    pool.beginDemote(b3);
+    pool.finishDemote(b3);
+    pool.beginPromote(b0);
+    EXPECT_EQ(pool.residency(b0), Residency::PromoteInFlight);
+    EXPECT_EQ(pool.stats().nearUsed(), 2u); // b1 + the claimed frame
+    EXPECT_EQ(pool.nearFree(), 0u);
+    pool.finishPromote(b0);
+    EXPECT_EQ(pool.residency(b0), Residency::Near);
+
+    // farUsed() peaked while b0 and b2 were settled far and b3's
+    // demotion still held its slot.
+    EXPECT_EQ(pool.stats().peakFarBlocks, 3u);
+    pool.checkConsistency();
+}
+
+TEST(TieredBlockPoolTest, IllegalTransitionsPanic)
+{
+    KvBlockManager mgr(4 * 64, 64);
+    TieredBlockPool pool(mgr, 1);
+    const BlockId a = mgr.tryAllocate();
+    const BlockId b = mgr.tryAllocate();
+    pool.placeNear(a);
+
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(pool.placeNear(a), PanicError);  // already placed
+    EXPECT_THROW(pool.placeFar(a), PanicError);   // already placed
+    EXPECT_THROW(pool.placeNear(b), PanicError);  // no free frame
+    EXPECT_THROW(pool.beginDemote(b), PanicError); // not Near
+    EXPECT_THROW(pool.finishDemote(a), PanicError); // not in flight
+    EXPECT_THROW(pool.beginPromote(a), PanicError); // not Far
+    EXPECT_THROW(pool.finishPromote(a), PanicError);
+
+    pool.placeFar(b);
+    // Near full: a promotion has no frame to claim.
+    EXPECT_THROW(pool.beginPromote(b), PanicError);
+
+    // Constructor bounds are user errors, not invariants.
+    EXPECT_THROW(TieredBlockPool(mgr, 0), FatalError);
+    EXPECT_THROW(TieredBlockPool(mgr, 5), FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(TieredBlockPoolTest, FreeingMidMigrationAbandonsTheTransfer)
+{
+    KvBlockManager mgr(4 * 64, 64);
+    TieredBlockPool pool(mgr, 2);
+    const BlockId a = mgr.tryAllocate();
+    const BlockId b = mgr.tryAllocate();
+    pool.placeNear(a);
+    pool.placeFar(b);
+
+    // Preemption / prefix eviction frees the block while its demote
+    // is on the wire: the observer drops the residency immediately
+    // and the move is counted abandoned.
+    pool.beginDemote(a);
+    mgr.release(a);
+    EXPECT_EQ(pool.residency(a), Residency::None);
+    EXPECT_EQ(pool.stats().abandonedMigrations, 1u);
+    EXPECT_EQ(pool.stats().demoteInFlight, 0u);
+
+    pool.beginPromote(b);
+    mgr.release(b);
+    EXPECT_EQ(pool.residency(b), Residency::None);
+    EXPECT_EQ(pool.stats().abandonedMigrations, 2u);
+    EXPECT_EQ(pool.stats().promoteInFlight, 0u);
+    pool.checkConsistency();
+
+    // A reissued id starts from a clean ledger entry.
+    const BlockId c = mgr.tryAllocate();
+    EXPECT_EQ(pool.residency(c), Residency::None);
+    pool.placeNear(c);
+}
+
+// ---- demotion policies ----
+
+TEST(TierPolicyTest, LruPrefersOwnerlessThenColdestThenDeepest)
+{
+    KvBlockManager mgr(12 * 64, 64);
+    TieredBlockPool pool(mgr, 6);
+    std::vector<TierBlockMeta> meta(6);
+    for (int i = 0; i < 5; ++i)
+        pool.placeNear(mgr.tryAllocate()); // blocks 0..4
+
+    // Request 7 holds chain [b0 b1 b2 b3] (b3 is the write head);
+    // b4 belongs to the prefix cache only.
+    for (BlockId b = 0; b < 4; ++b) {
+        meta[b].owner = 7;
+        meta[b].chainPos = b;
+    }
+    meta[0].lastTouch = 3;
+    meta[1].lastTouch = 3;
+    meta[2].lastTouch = 5;
+    meta[3].lastTouch = 5;
+    meta[3].writeHead = true;
+    meta[4].lastTouch = 9; // recently touched but ownerless
+    auto chain_len = [](std::uint64_t owner) {
+        return owner == 7 ? 4u : 0u;
+    };
+    TierPolicyContext ctx{pool, meta, chain_len};
+    LruDecodeDistancePolicy lru;
+
+    // Ownerless capacity goes first regardless of recency.
+    EXPECT_EQ(lru.selectDemotion(ctx), 4u);
+    pool.beginDemote(4);
+    pool.finishDemote(4);
+
+    // b0 and b1 tie on lastTouch: the deeper decode distance (b0 sits
+    // 3 behind the write head, b1 only 2) breaks the tie.
+    EXPECT_EQ(lru.selectDemotion(ctx), 0u);
+    pool.beginDemote(0);
+    pool.finishDemote(0);
+    EXPECT_EQ(lru.selectDemotion(ctx), 1u);
+    pool.beginDemote(1);
+    pool.finishDemote(1);
+
+    // Only b2 (warm) and b3 (write head) remain: the write head is
+    // never demoted, however cold.
+    EXPECT_EQ(lru.selectDemotion(ctx), 2u);
+    pool.beginDemote(2);
+    pool.finishDemote(2);
+    EXPECT_EQ(lru.selectDemotion(ctx), InvalidBlock);
+    EXPECT_EQ(lru.pinViolations(), 0u);
+}
+
+TEST(TierPolicyTest, PinnedWindowProtectsTheTailAndCountsForcedBreaks)
+{
+    KvBlockManager mgr(8 * 64, 64);
+    TieredBlockPool pool(mgr, 4);
+    std::vector<TierBlockMeta> meta(4);
+    for (int i = 0; i < 3; ++i)
+        pool.placeNear(mgr.tryAllocate()); // blocks 0..2
+
+    // One request's chain [b0 b1 b2]; window 2 pins chainPos >= 1.
+    for (BlockId b = 0; b < 3; ++b) {
+        meta[b].owner = 1;
+        meta[b].chainPos = b;
+    }
+    meta[2].writeHead = true;
+    auto chain_len = [](std::uint64_t) { return 3u; };
+    TierPolicyContext ctx{pool, meta, chain_len};
+    PinnedRecentWindowPolicy pinned(2);
+
+    // Head-first within the unpinned prefix.
+    EXPECT_EQ(pinned.selectDemotion(ctx), 0u);
+    pool.beginDemote(0);
+    pool.finishDemote(0);
+    EXPECT_EQ(pinned.pinViolations(), 0u);
+
+    // Only pinned blocks remain: breaking the pin beats deadlock, and
+    // the break is counted. The write head still never goes.
+    EXPECT_EQ(pinned.selectDemotion(ctx), 1u);
+    EXPECT_EQ(pinned.pinViolations(), 1u);
+    pool.beginDemote(1);
+    pool.finishDemote(1);
+    EXPECT_EQ(pinned.selectDemotion(ctx), InvalidBlock);
+    EXPECT_EQ(pinned.pinViolations(), 1u);
+}
+
+// ---- decode-ahead prefetch closed form ----
+
+TEST(PrefetcherTest, PipelineClosedFormMatchesHandComputation)
+{
+    const DecodeAheadPrefetcher pf(4, true);
+
+    // Compute-bound: C=1.0, F=0.5 over 4 layers. cl=0.25 > fl=0.125,
+    // pipeline end = 0.125 + 0.25 + 3*0.25 = 1.125.
+    auto o = pf.overlap(1.0, 0.5);
+    EXPECT_DOUBLE_EQ(o.exposedSeconds, 0.125);
+    EXPECT_DOUBLE_EQ(o.hiddenSeconds, 0.375);
+
+    // Link-bound: C=1.0, F=8.0. fl=2.0 > cl=0.25, pipeline end =
+    // 2.0 + 0.25 + 3*2.0 = 8.25, exposed = 8.25 - 1.0.
+    o = pf.overlap(1.0, 8.0);
+    EXPECT_DOUBLE_EQ(o.exposedSeconds, 7.25);
+    EXPECT_DOUBLE_EQ(o.hiddenSeconds, 0.75);
+
+    // Idle settle (no compute to hide under): everything exposed.
+    o = pf.overlap(0.0, 0.5);
+    EXPECT_DOUBLE_EQ(o.exposedSeconds, 0.5);
+    EXPECT_DOUBLE_EQ(o.hiddenSeconds, 0.0);
+
+    // No far traffic: free.
+    o = pf.overlap(1.0, 0.0);
+    EXPECT_DOUBLE_EQ(o.exposedSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(o.hiddenSeconds, 0.0);
+}
+
+TEST(PrefetcherTest, DisabledOrSingleLayerExposesTheWholeLink)
+{
+    const DecodeAheadPrefetcher off(4, false);
+    auto o = off.overlap(1.0, 0.5);
+    EXPECT_DOUBLE_EQ(o.exposedSeconds, 0.5);
+    EXPECT_DOUBLE_EQ(o.hiddenSeconds, 0.0);
+
+    // One layer has nothing to pipeline against.
+    const DecodeAheadPrefetcher single(1, true);
+    o = single.overlap(1.0, 0.5);
+    EXPECT_DOUBLE_EQ(o.exposedSeconds, 0.5);
+
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(DecodeAheadPrefetcher(0, true), FatalError);
+    setLogLevel(LogLevel::Info);
+}
+
+// ---- migration engine ----
+
+TEST(MigrationEngineTest, PricesAllTrafficThroughTheSharedLink)
+{
+    KvBlockManager mgr(4 * 64, 64);
+    TieredBlockPool pool(mgr, 2);
+    TierConfig cfg;
+    cfg.farBlocks = 2;
+    MigrationEngine eng(pool, cfg, 64, /*num_layers=*/4);
+
+    const BlockId a = mgr.tryAllocate();
+    pool.placeNear(a);
+
+    eng.beginIteration(0.0);
+    eng.demote(a);
+    EXPECT_EQ(eng.pendingMigrations(), 1u);
+    EXPECT_EQ(pool.residency(a), Residency::DemoteInFlight);
+
+    // One demoted block + 128 streamed + 256 activation bytes all
+    // share the link; with C far above F the pipeline hides all but
+    // one layer's slice: exposed = F / L.
+    const double link = cxl::transferSeconds(cfg.link, 64) +
+        cxl::transferSeconds(cfg.link, 128) +
+        cxl::transferSeconds(cfg.link, 256);
+    const double exposed = eng.priceIteration(1.0, 128, 256);
+    // exposed = (F/L + C) - C: equal to F/L up to one rounding step.
+    EXPECT_NEAR(exposed, link / 4.0, 1e-15);
+
+    const auto &iter = eng.endIteration(1.0 + exposed);
+    EXPECT_EQ(pool.residency(a), Residency::Far);
+    EXPECT_EQ(eng.pendingMigrations(), 0u);
+    EXPECT_EQ(iter.demotions, 1u);
+    EXPECT_EQ(iter.migratedBytes, 64u);
+    EXPECT_EQ(iter.streamedBytes, 128u);
+    EXPECT_DOUBLE_EQ(iter.exposedSeconds, exposed);
+    EXPECT_DOUBLE_EQ(iter.hiddenSeconds, link - exposed);
+
+    // Direction accounting: demotions go upstream, streams come down.
+    EXPECT_EQ(eng.traffic().upBytes, 64u);
+    EXPECT_EQ(eng.traffic().downBytes, 128u);
+    EXPECT_EQ(eng.demotions(), 1u);
+    EXPECT_DOUBLE_EQ(eng.exposedSeconds(), exposed);
+}
+
+TEST(MigrationEngineTest, AbandonedBlockSkipsCompletion)
+{
+    KvBlockManager mgr(4 * 64, 64);
+    TieredBlockPool pool(mgr, 2);
+    TierConfig cfg;
+    cfg.farBlocks = 2;
+    MigrationEngine eng(pool, cfg, 64, 2);
+
+    const BlockId a = mgr.tryAllocate();
+    pool.placeNear(a);
+    eng.beginIteration(0.0);
+    eng.demote(a);
+    mgr.release(a); // preempted mid-flight: the observer drops it
+    EXPECT_EQ(pool.stats().abandonedMigrations, 1u);
+
+    const double exposed = eng.priceIteration(0.0, 0, 0);
+    EXPECT_GT(exposed, 0.0); // the wire time was still spent
+    eng.endIteration(exposed); // must not flip the reclaimed block
+    EXPECT_EQ(pool.residency(a), Residency::None);
+    pool.checkConsistency();
+}
+
+TEST(MigrationEngineTest, StepProtocolMisusePanics)
+{
+    KvBlockManager mgr(4 * 64, 64);
+    TieredBlockPool pool(mgr, 2);
+    TierConfig cfg;
+    cfg.farBlocks = 2;
+    MigrationEngine eng(pool, cfg, 64, 2);
+    const BlockId a = mgr.tryAllocate();
+    const BlockId b = mgr.tryAllocate();
+    pool.placeNear(a);
+    pool.placeNear(b);
+
+    eng.beginIteration(0.0);
+    eng.demote(a);
+    eng.priceIteration(0.1, 0, 0);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(eng.priceIteration(0.1, 0, 0), PanicError);
+    EXPECT_THROW(eng.demote(b), PanicError); // issue after pricing
+    EXPECT_THROW(eng.beginIteration(1.0), PanicError); // in flight
+    setLogLevel(LogLevel::Info);
+}
+
+// ---- tiered scheduler end to end ----
+
+TEST(TieredSchedulerTest, FarTierAdmitsContextsNearOnlyRejects)
+{
+    const auto model = llm::ModelConfig::tiny();
+    // Near pool of 2 8-token blocks; the request's prompt alone needs
+    // 4 blocks, so the untiered scheduler rejects it up front while 6
+    // far blocks let the tiered one serve it.
+    const std::uint64_t capacity = 2 * model.kvCacheBytes(8);
+    TraceConfig trace;
+    trace.arrivals = ArrivalProcess::Fixed;
+    trace.requestsPerSec = 1.0e6;
+    trace.numRequests = 1;
+    trace.input = LengthDistribution::fixed(24);
+    trace.output = LengthDistribution::fixed(8);
+
+    SchedulerConfig near_only;
+    near_only.paged.enabled = true;
+    near_only.paged.blockTokens = 8;
+    const auto rej = runTrace(trace, model, capacity, near_only);
+    EXPECT_EQ(rej.completed, 0u);
+    EXPECT_EQ(rej.rejected, 1u);
+
+    const auto rep =
+        runTrace(trace, model, capacity, tieredConfig(8, 6));
+    EXPECT_EQ(rep.completed, 1u);
+    EXPECT_EQ(rep.rejected, 0u);
+    EXPECT_GT(rep.tierDemotions + rep.tierFarBornBlocks, 0u);
+    EXPECT_GT(rep.peakFarBlocksInUse, 0u);
+    EXPECT_LE(rep.peakNearBlocksInUse, 2u);
+    EXPECT_GT(rep.tierMigratedBytes + rep.tierStreamedBytes, 0u);
+}
+
+TEST(TieredSchedulerTest, TierKnobsAreInertWithFarBlocksZero)
+{
+    // farBlocks = 0 disables the tier outright: every other tier knob
+    // must change nothing against the plain paged scheduler.
+    const auto model = llm::ModelConfig::tiny();
+    const std::uint64_t capacity = 8 * model.kvCacheBytes(8);
+    TraceConfig trace;
+    trace.requestsPerSec = 500.0;
+    trace.numRequests = 40;
+    trace.input = LengthDistribution::uniform(8, 24);
+    trace.output = LengthDistribution::uniform(4, 24);
+    trace.seed = 11;
+
+    SchedulerConfig paged;
+    paged.paged.enabled = true;
+    paged.paged.blockTokens = 8;
+    auto knobs = paged;
+    knobs.paged.tier.farBlocks = 0;
+    knobs.paged.tier.policy = TierPolicyKind::PinnedRecentWindow;
+    knobs.paged.tier.prefetch = false;
+    knobs.paged.tier.farAccess = FarAccess::Promote;
+
+    const auto a = runTrace(trace, model, capacity, paged);
+    const auto b = runTrace(trace, model, capacity, knobs);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.preemptionsForCapacity, b.preemptionsForCapacity);
+    EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_DOUBLE_EQ(a.timeAvgKvUtilization, b.timeAvgKvUtilization);
+    EXPECT_EQ(b.tierDemotions, 0u);
+    EXPECT_EQ(b.tierMigratedBytes, 0u);
+    EXPECT_DOUBLE_EQ(b.tierExposedSeconds, 0.0);
+}
+
+TEST(TieredSchedulerTest, PrefetchHidesFarLinkTimeBehindCompute)
+{
+    const auto model = llm::ModelConfig::tiny();
+    const std::uint64_t capacity = 2 * model.kvCacheBytes(8);
+    TraceConfig trace;
+    trace.arrivals = ArrivalProcess::Fixed;
+    trace.requestsPerSec = 1.0e6;
+    trace.numRequests = 1;
+    trace.input = LengthDistribution::fixed(40);
+    trace.output = LengthDistribution::fixed(16);
+
+    const auto pf =
+        runTrace(trace, model, capacity, tieredConfig(8, 8, true));
+    const auto nopf =
+        runTrace(trace, model, capacity, tieredConfig(8, 8, false));
+    EXPECT_EQ(pf.completed, 1u);
+    EXPECT_EQ(nopf.completed, 1u);
+    // Identical traffic either way; prefetch only moves link seconds
+    // off the critical path.
+    EXPECT_EQ(pf.tierStreamedBytes, nopf.tierStreamedBytes);
+    EXPECT_EQ(pf.tierMigratedBytes, nopf.tierMigratedBytes);
+    EXPECT_GT(pf.tierStreamedBytes, 0u);
+    EXPECT_GT(pf.tierHiddenSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(nopf.tierHiddenSeconds, 0.0);
+    EXPECT_LT(pf.tierExposedSeconds, nopf.tierExposedSeconds);
+    EXPECT_LT(pf.makespanSeconds, nopf.makespanSeconds);
+}
+
+TEST(TieredSchedulerTest, PromoteModePullsFarBlocksIntoFreedFrames)
+{
+    auto model = llm::ModelConfig::tiny();
+    model.maxPositions = 256;
+    ServeMetrics metrics(nullptr, "serve");
+    BatchScheduler s(model, syntheticCost(),
+                     6 * model.kvCacheBytes(8),
+                     tieredConfig(8, 6, true, FarAccess::Promote),
+                     metrics);
+    // A short request crowds the near tier, then retires; the long
+    // request's far-resident blocks must be promoted into the freed
+    // frames instead of streaming forever.
+    ServeRequest shorty;
+    shorty.id = 0;
+    shorty.inputTokens = 8;
+    shorty.outputTokens = 16;
+    ServeRequest grower;
+    grower.id = 1;
+    grower.inputTokens = 48;
+    grower.outputTokens = 40;
+    s.submit(shorty);
+    s.submit(grower);
+    s.drain();
+
+    const auto rep = metrics.report(s.clockSeconds());
+    EXPECT_EQ(rep.completed, 2u);
+    EXPECT_GT(rep.tierPromotions, 0u);
+    EXPECT_GT(rep.tierDemotions, 0u);
+
+    // Drain settles every migration; the ledger must agree with the
+    // per-block array.
+    ASSERT_NE(s.tierPool(), nullptr);
+    EXPECT_EQ(s.tierPool()->stats().promoteInFlight, 0u);
+    EXPECT_EQ(s.tierPool()->stats().demoteInFlight, 0u);
+    s.tierPool()->checkConsistency();
+}
+
+TEST(TieredSchedulerTest, WriteHeadsAreNeverDemotedSoBlocksAreBornFar)
+{
+    // A one-frame near tier: once the only near block is the write
+    // head, the next allocation has no demotable victim and must be
+    // placed directly far.
+    const auto model = llm::ModelConfig::tiny();
+    ServeMetrics metrics(nullptr, "serve");
+    BatchScheduler s(model, syntheticCost(), model.kvCacheBytes(8),
+                     tieredConfig(8, 4), metrics);
+    ServeRequest r;
+    r.id = 0;
+    r.inputTokens = 8;
+    r.outputTokens = 10;
+    s.submit(r);
+    s.drain();
+
+    const auto rep = metrics.report(s.clockSeconds());
+    EXPECT_EQ(rep.completed, 1u);
+    EXPECT_GT(rep.tierFarBornBlocks, 0u);
+    EXPECT_EQ(rep.peakNearBlocksInUse, 1u);
+}
+
+TEST(TieredSchedulerTest, TieredRunIsSeedDeterministic)
+{
+    const auto model = llm::ModelConfig::tiny();
+    const std::uint64_t capacity = 4 * model.kvCacheBytes(8);
+    TraceConfig trace;
+    trace.requestsPerSec = 200.0;
+    trace.numRequests = 16;
+    trace.input = LengthDistribution::uniform(8, 40);
+    trace.output = LengthDistribution::uniform(4, 16);
+    trace.seed = 7;
+
+    const auto cfg = tieredConfig(8, 12);
+    const auto a = runTrace(trace, model, capacity, cfg);
+    const auto b = runTrace(trace, model, capacity, cfg);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.tierDemotions, b.tierDemotions);
+    EXPECT_EQ(a.tierPromotions, b.tierPromotions);
+    EXPECT_EQ(a.tierFarBornBlocks, b.tierFarBornBlocks);
+    EXPECT_EQ(a.tierMigratedBytes, b.tierMigratedBytes);
+    EXPECT_EQ(a.tierStreamedBytes, b.tierStreamedBytes);
+    EXPECT_EQ(a.tierAbandonedMigrations, b.tierAbandonedMigrations);
+    EXPECT_EQ(a.peakNearBlocksInUse, b.peakNearBlocksInUse);
+    EXPECT_EQ(a.peakFarBlocksInUse, b.peakFarBlocksInUse);
+    EXPECT_DOUBLE_EQ(a.tierExposedSeconds, b.tierExposedSeconds);
+    EXPECT_DOUBLE_EQ(a.tierHiddenSeconds, b.tierHiddenSeconds);
+    EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_GT(a.tierDemotions, 0u); // the workload actually tiers
+
+    auto other = trace;
+    other.seed = 8;
+    const auto c = runTrace(other, model, capacity, cfg);
+    EXPECT_NE(a.makespanSeconds, c.makespanSeconds);
+}
+
+TEST(TieredSchedulerTest, PinnedPolicyServesTheSameWorkload)
+{
+    const auto model = llm::ModelConfig::tiny();
+    const std::uint64_t capacity = 2 * model.kvCacheBytes(8);
+    TraceConfig trace;
+    trace.arrivals = ArrivalProcess::Fixed;
+    trace.requestsPerSec = 1.0e6;
+    trace.numRequests = 2;
+    trace.input = LengthDistribution::fixed(32);
+    trace.output = LengthDistribution::fixed(8);
+
+    auto cfg = tieredConfig(8, 12);
+    cfg.paged.tier.policy = TierPolicyKind::PinnedRecentWindow;
+    cfg.paged.tier.pinnedWindowBlocks = 2;
+    const auto rep = runTrace(trace, model, capacity, cfg);
+    EXPECT_EQ(rep.completed, 2u);
+    EXPECT_GT(rep.tierDemotions + rep.tierFarBornBlocks, 0u);
+}
+
+// ---- long-context trace generation ----
+
+TEST(LongContextTraceTest, DrawsPromptsWithinTheConfiguredRange)
+{
+    TraceConfig t;
+    t.numRequests = 64;
+    t.longContext = true;
+    t.longCtxMinTokens = 100;
+    t.longCtxMaxTokens = 200;
+    t.output = LengthDistribution::fixed(8);
+    EXPECT_EQ(t.maxInputTokens(), 200u);
+    EXPECT_NO_THROW(t.validate(256, 0));
+
+    const auto reqs = RequestGenerator::generate(t);
+    ASSERT_EQ(reqs.size(), 64u);
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (const auto &r : reqs) {
+        EXPECT_GE(r.inputTokens, 100u);
+        EXPECT_LE(r.inputTokens, 200u);
+        lo = std::min(lo, r.inputTokens);
+        hi = std::max(hi, r.inputTokens);
+    }
+    EXPECT_LT(lo, hi); // uniform, not collapsed to a constant
+
+    // Same seed, same trace; the mode is deterministic.
+    const auto again = RequestGenerator::generate(t);
+    for (std::size_t i = 0; i < reqs.size(); ++i)
+        EXPECT_EQ(reqs[i].inputTokens, again[i].inputTokens);
+}
+
+TEST(LongContextTraceTest, InvalidConfigsThrowTypedErrors)
+{
+    TraceConfig t;
+    t.longContext = true;
+    t.longCtxMinTokens = 200;
+    t.longCtxMaxTokens = 100; // inverted
+    t.output = LengthDistribution::fixed(8);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_THROW(t.validate(0, 0), TraceConfigError);
+    // The generator itself refuses a malformed range, validated or not.
+    EXPECT_THROW(RequestGenerator gen(t), TraceConfigError);
+
+    t.longCtxMinTokens = 0;
+    t.longCtxMaxTokens = 100;
+    EXPECT_THROW(t.validate(0, 0), TraceConfigError);
+
+    t.longCtxMinTokens = 100;
+    // Worst case 108 tokens vs a 64-position model.
+    EXPECT_THROW(t.validate(64, 0), TraceConfigError);
+    // ... and vs a two-tier pool of 64 token slots.
+    EXPECT_THROW(t.validate(0, 64), TraceConfigError);
+    EXPECT_NO_THROW(t.validate(128, 128));
+
+    // The typed error is still a FatalError for generic handlers.
+    try {
+        t.validate(64, 0);
+        FAIL() << "validate did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("64 positions"),
+                  std::string::npos);
+    }
+    setLogLevel(LogLevel::Info);
+}
+
+} // namespace
+} // namespace serve
+} // namespace cxlpnm

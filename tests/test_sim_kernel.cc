@@ -404,6 +404,54 @@ TEST(StatsTest, HistogramPercentileNearestRank)
     EXPECT_THROW(h.percentile(1.1), PanicError);
 }
 
+TEST(StatsTest, HistogramAutoExtendDoublesRangeInsteadOfClamping)
+{
+    // Long-context regression: a latency far past the configured
+    // range must keep resolving to a real (coarser) value instead of
+    // clamping at `hi` the way the fixed-range histogram does.
+    stats::StatGroup root(nullptr, "root");
+    stats::Histogram ext(&root, "e", "auto", 0.0, 10.0, 5,
+                         /*auto_extend=*/true);
+    stats::Histogram fix(&root, "f", "fixed", 0.0, 10.0, 5);
+
+    for (auto *h : {&ext, &fix}) {
+        h->sample(1.0);
+        h->sample(9.0);
+        h->sample(25.0); // past hi: extend 10 -> 20 -> 40
+    }
+
+    EXPECT_EQ(ext.extensions(), 2u);
+    EXPECT_DOUBLE_EQ(ext.hi(), 40.0);
+    EXPECT_EQ(ext.overflow(), 0u);
+    EXPECT_EQ(ext.count(), 3u);
+    // Bucket pairs merged twice: width is now 8, and the old samples
+    // sit in buckets whose edges still bound them.
+    EXPECT_EQ(ext.buckets().size(), 5u);
+    EXPECT_EQ(ext.buckets()[0], 1u); // 1.0 in [0, 8)
+    EXPECT_EQ(ext.buckets()[1], 1u); // 9.0 in [8, 16)
+    EXPECT_EQ(ext.buckets()[3], 1u); // 25.0 in [24, 32)
+    EXPECT_DOUBLE_EQ(ext.percentile(1.0), 32.0); // real, coarse
+
+    EXPECT_EQ(fix.extensions(), 0u);
+    EXPECT_EQ(fix.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(fix.percentile(1.0), 10.0); // clamped at hi
+}
+
+TEST(StatsTest, HistogramResetRestoresTheInitialRange)
+{
+    stats::StatGroup root(nullptr, "root");
+    stats::Histogram h(&root, "h", "hist", 0.0, 10.0, 5, true);
+    h.sample(77.0);
+    EXPECT_GT(h.extensions(), 0u);
+
+    h.reset();
+    EXPECT_EQ(h.extensions(), 0u);
+    EXPECT_DOUBLE_EQ(h.hi(), 10.0);
+    EXPECT_EQ(h.count(), 0u);
+    h.sample(5.0); // original 2-wide buckets again
+    EXPECT_EQ(h.buckets()[2], 1u);
+}
+
 TEST(StatsTest, NestedGroupsProduceDottedNames)
 {
     stats::StatGroup root(nullptr, "");
