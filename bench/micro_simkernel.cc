@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "accel/functional.hh"
@@ -45,6 +47,65 @@ BM_EventQueueOneShot(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EventQueueOneShot);
+
+/**
+ * Push/pop throughput with a populated heap: schedule a burst of
+ * one-shots at staggered ticks, then drain. One item = one event
+ * through the full schedule -> sift -> dispatch -> recycle path.
+ */
+void
+BM_EventQueueBurstPushPop(benchmark::State &state)
+{
+    const std::size_t burst = static_cast<std::size_t>(state.range(0));
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < burst; ++i)
+            eq.scheduleOneShot("b", eq.now() + 1 + (i % 13),
+                               [&] { ++fired; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.iterations() * burst);
+}
+BENCHMARK(BM_EventQueueBurstPushPop)->Arg(64)->Arg(1024);
+
+/**
+ * Steady-state heap allocations per dispatched one-shot. The recycle
+ * pool should absorb every round after the first, so allocs_per_event
+ * must sit at ~0 and pool_reuse_rate at ~1 (the tentpole's
+ * zero-allocation claim, measured rather than asserted).
+ */
+void
+BM_EventQueueOneShotSteadyState(benchmark::State &state)
+{
+    constexpr std::size_t burst = 64;
+    EventQueue eq;
+    // Warm the pool to the working-set size before timing.
+    for (std::size_t i = 0; i < burst; ++i)
+        eq.scheduleOneShot("w", eq.now() + 1, [] {});
+    eq.run();
+
+    const std::uint64_t allocs0 = eq.oneShotHeapAllocs();
+    const std::uint64_t fired0 = eq.eventsFired();
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < burst; ++i)
+            eq.scheduleOneShot("s", eq.now() + 1 + (i % 5), [] {});
+        eq.run();
+    }
+    const double dispatched =
+        static_cast<double>(eq.eventsFired() - fired0);
+    state.SetItemsProcessed(static_cast<std::int64_t>(dispatched));
+    state.counters["allocs_per_event"] = benchmark::Counter(
+        static_cast<double>(eq.oneShotHeapAllocs() - allocs0) /
+        std::max(1.0, dispatched));
+    state.counters["pool_reuse_rate"] = benchmark::Counter(
+        static_cast<double>(eq.oneShotPoolReuses()) /
+        std::max<double>(1.0, static_cast<double>(
+                                  eq.oneShotPoolReuses() +
+                                  eq.oneShotHeapAllocs())));
+}
+BENCHMARK(BM_EventQueueOneShotSteadyState);
 
 void
 BM_Fp16FromFloat(benchmark::State &state)

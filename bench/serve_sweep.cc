@@ -55,16 +55,37 @@
  *                 [block=1024] [near_tokens=163840]
  *                 [far_tokens=1310720] [out=64] [n=4] [batch=1]
  *                 [pin_window=8] [threads=0] [check=0] [seed=1]
+ *
+ * Calibrated fast-forward mode (`e2eout=BENCH_e2e.json`): the quick
+ * PNM serve ladder run twice over the identical rung set - once with
+ * every iteration priced by the cycle-level engine (CyclePricer, a
+ * fresh memo per rung so each rung is a self-contained simulation)
+ * and once in analytic fast-forward (AnalyticPricer) - plus a
+ * mixed-mode validation point (two dispatcher groups, group 0
+ * cycle-accurate, group 1 analytic). calibrateWithAnchors() reports
+ * the fitted model's worst held-out relative error. Every JSON field
+ * except the wall-clock timings is a pure function of the simulation;
+ * `check=1` exits non-zero unless calibration_max_rel_err <= 0.05,
+ * the fast-forward ladder is >= 5x faster than the cycle ladder, and
+ * the mixed point completes every request.
+ *
+ *   ./serve_sweep e2eout=BENCH_e2e.json [model=opt-13b] [n=32]
+ *                 [in=64] [out=256] [batch=16] [rungs=4] [seed=1]
+ *                 [slo_scale=3] [check=0] [calib=profile.txt]
  */
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.hh"
+#include "serve/calibration.hh"
 #include "serve/cost_model.hh"
+#include "serve/dispatcher.hh"
 #include "serve/metrics.hh"
 #include "serve/request_generator.hh"
 #include "serve/scheduler.hh"
@@ -87,10 +108,12 @@ serve::ServeReport
 runAtRate(const llm::ModelConfig &model,
           const serve::BatchCostModel &cost, std::uint64_t kv_capacity,
           const serve::SchedulerConfig &sched,
-          const serve::MetricsConfig &mcfg, const serve::TraceConfig &t)
+          const serve::MetricsConfig &mcfg, const serve::TraceConfig &t,
+          const serve::IterationPricer *pricer = nullptr)
 {
     serve::ServeMetrics metrics(nullptr, "serve", mcfg);
     serve::BatchScheduler s(model, cost, kv_capacity, sched, metrics);
+    s.setPricer(pricer);
     serve::RequestGenerator gen(t);
     while (!gen.exhausted())
         s.submit(gen.next());
@@ -721,12 +744,251 @@ runTierSweep(Config &cfg)
     return 0;
 }
 
+// ---- Calibrated fast-forward e2e mode (e2eout=) ----
+
+double
+wallSeconds()
+{
+    using namespace std::chrono;
+    return duration<double>(steady_clock::now().time_since_epoch())
+        .count();
+}
+
+int
+runE2eSweep(Config &cfg)
+{
+    const std::string out_path = cfg.getString("e2eout", "");
+    const auto model =
+        llm::ModelConfig::byName(cfg.getString("model", "opt-13b"));
+
+    serve::TraceConfig trace;
+    trace.arrivals = serve::ArrivalProcess::Poisson;
+    trace.numRequests = cfg.getInt("n", 32);
+    trace.input =
+        serve::LengthDistribution::fixed(cfg.getInt("in", 64));
+    trace.output =
+        serve::LengthDistribution::fixed(cfg.getInt("out", 256));
+    trace.seed = cfg.getInt("seed", 1);
+    const std::size_t max_batch = cfg.getInt("batch", 16);
+    const int rungs = std::max(1, static_cast<int>(cfg.getInt("rungs", 4)));
+
+    const std::uint64_t full_ctx =
+        trace.input.max() + trace.output.max();
+    core::PnmPlatformConfig pcfg;
+    pcfg.channelGrouping = 8;
+
+    bench::header("Calibrated fast-forward e2e sweep: " + model.name);
+
+    // Calibrate once; the profile carries the held-out anchor errors
+    // the analytic mode is trusted on. calib= persists it so a fleet
+    // pays the engine-calibration cost once.
+    const double c0 = wallSeconds();
+    const auto profile =
+        serve::calibrateWithAnchors(model, pcfg, full_ctx);
+    const double calib_wall = wallSeconds() - c0;
+    const std::string calib_path = cfg.getString("calib", "");
+    if (!calib_path.empty())
+        serve::saveProfile(profile, calib_path);
+    const serve::BatchCostModel &cost = profile.cost;
+    const std::uint64_t kv = serve::pnmKvCapacityBytes(model, pcfg);
+
+    double slo = cfg.getDouble("slo", 0.0);
+    if (slo <= 0.0)
+        slo = cfg.getDouble("slo_scale", 3.0) *
+            cost.decodeSeconds(full_ctx);
+
+    serve::SchedulerConfig sched;
+    sched.maxBatch = max_batch;
+    serve::MetricsConfig mcfg;
+    mcfg.sloTokenSeconds = slo;
+    mcfg.tokenLatencyHi = 20.0 * slo;
+    mcfg.tokenLatencyBuckets = 2000;
+
+    // Fixed geometric rung set, no SLO early-exit: both modes must
+    // time the identical simulated work for the wall comparison to
+    // mean anything.
+    const double serial_request_sec =
+        cost.prefillSeconds(trace.input.max()) +
+        trace.output.max() * cost.decodeSeconds(full_ctx);
+    std::vector<double> rates(rungs);
+    double rate = 0.25 / serial_request_sec;
+    for (int i = 0; i < rungs; ++i) {
+        rates[i] = rate;
+        rate *= 1.4;
+    }
+
+    std::printf("calibration: %zu anchors, max rel err %.4f%% "
+                "(%.2f s wall)\n",
+                profile.anchors.size(), 100.0 * profile.maxRelErr(),
+                calib_wall);
+
+    // Cycle ladder: a fresh pricer per rung keeps each rung a
+    // self-contained simulation (the cell idiom the other sweep modes
+    // use), so the cycle wall honestly pays its engine stage runs.
+    std::vector<serve::ServeReport> cyc(rungs), fast(rungs);
+    std::vector<std::uint64_t> stage_runs(rungs), memo_hits(rungs);
+    const double t_cyc = wallSeconds();
+    for (int i = 0; i < rungs; ++i) {
+        serve::CyclePricer cp(model, pcfg, cost);
+        serve::TraceConfig t = trace;
+        t.requestsPerSec = rates[i];
+        cyc[i] = runAtRate(model, cost, kv, sched, mcfg, t, &cp);
+        stage_runs[i] = cp.engineStageRuns();
+        memo_hits[i] = cp.memoHits();
+    }
+    const double wall_cycle = wallSeconds() - t_cyc;
+
+    const serve::AnalyticPricer analytic(cost);
+    const double t_ff = wallSeconds();
+    for (int i = 0; i < rungs; ++i) {
+        serve::TraceConfig t = trace;
+        t.requestsPerSec = rates[i];
+        fast[i] = runAtRate(model, cost, kv, sched, mcfg, t, &analytic);
+    }
+    const double wall_ff = wallSeconds() - t_ff;
+    const double speedup = wall_ff > 0.0 ? wall_cycle / wall_ff : 0.0;
+
+    // Mixed-mode validation point at the middle rung: one dispatcher,
+    // group 0 cycle-accurate, group 1 analytic (ExecMode::Mixed as a
+    // driver would wire it).
+    const double mixed_rate = rates[rungs / 2];
+    serve::ServeMetrics mixed_metrics(nullptr, "serve", mcfg);
+    core::ParallelismPlan plan;
+    plan.dataParallel = 2;
+    serve::ApplianceDispatcher disp(model, cost, plan, kv, sched,
+                                    mixed_metrics);
+    serve::CyclePricer mixed_cycle(model, pcfg, cost);
+    disp.setPricer(0, &mixed_cycle);
+    disp.setPricer(1, &analytic);
+    {
+        serve::TraceConfig t = trace;
+        t.requestsPerSec = mixed_rate;
+        serve::RequestGenerator gen(t);
+        while (!gen.exhausted())
+            disp.submit(gen.next());
+        disp.drain();
+    }
+    const auto mixed = mixed_metrics.report(disp.clockSeconds());
+
+    std::printf("\n  %9s %10s %10s %7s %9s %8s\n", "offered/s",
+                "cyc tok/s", "ff tok/s", "err%", "stages", "memohit");
+    for (int i = 0; i < rungs; ++i) {
+        const double rel =
+            cyc[i].throughputTokensPerSec > 0.0
+                ? std::abs(fast[i].throughputTokensPerSec -
+                           cyc[i].throughputTokensPerSec) /
+                    cyc[i].throughputTokensPerSec
+                : 0.0;
+        std::printf("  %9.3f %10.1f %10.1f %7.3f %9llu %8llu\n",
+                    rates[i], cyc[i].throughputTokensPerSec,
+                    fast[i].throughputTokensPerSec, 100.0 * rel,
+                    static_cast<unsigned long long>(stage_runs[i]),
+                    static_cast<unsigned long long>(memo_hits[i]));
+    }
+    std::printf("\nwall: cycle %.3f s, fast-forward %.3f s  (%.1fx); "
+                "mixed point %llu/%zu completed\n",
+                wall_cycle, wall_ff, speedup,
+                static_cast<unsigned long long>(mixed.completed),
+                trace.numRequests);
+
+    // --- JSON: everything except the *_wall_seconds timings is a pure
+    // function of the simulation ---
+    std::string json = "{\n";
+    appendf(json, "  \"benchmark\": \"serve_e2e_fastforward\",\n");
+    appendf(json,
+            "  \"model\": \"%s\", \"requests\": %zu, \"in\": %llu, "
+            "\"out\": %llu, \"batch\": %zu, \"rungs\": %d, "
+            "\"seed\": %llu,\n",
+            model.name.c_str(), trace.numRequests,
+            static_cast<unsigned long long>(trace.input.max()),
+            static_cast<unsigned long long>(trace.output.max()),
+            max_batch, rungs,
+            static_cast<unsigned long long>(trace.seed));
+    appendf(json,
+            "  \"calibration_anchors\": %zu, "
+            "\"calibration_max_rel_err\": %.6f,\n",
+            profile.anchors.size(), profile.maxRelErr());
+    appendf(json,
+            "  \"calibration_wall_seconds\": %.3f,\n"
+            "  \"sweep_wall_seconds_cycle\": %.3f,\n"
+            "  \"sweep_wall_seconds_fastforward\": %.3f,\n"
+            "  \"fastforward_speedup\": %.2f,\n",
+            calib_wall, wall_cycle, wall_ff, speedup);
+    json += "  \"rung_detail\": [\n";
+    for (int i = 0; i < rungs; ++i) {
+        const double rel =
+            cyc[i].throughputTokensPerSec > 0.0
+                ? std::abs(fast[i].throughputTokensPerSec -
+                           cyc[i].throughputTokensPerSec) /
+                    cyc[i].throughputTokensPerSec
+                : 0.0;
+        appendf(json,
+                "    {\"offered_qps\": %.6f, \"cycle_tok_s\": %.3f, "
+                "\"fastforward_tok_s\": %.3f, "
+                "\"throughput_rel_err\": %.6f, "
+                "\"engine_stage_runs\": %llu, \"memo_hits\": %llu}%s\n",
+                rates[i], cyc[i].throughputTokensPerSec,
+                fast[i].throughputTokensPerSec, rel,
+                static_cast<unsigned long long>(stage_runs[i]),
+                static_cast<unsigned long long>(memo_hits[i]),
+                i + 1 == rungs ? "" : ",");
+    }
+    json += "  ],\n";
+    appendf(json,
+            "  \"mixed\": {\"offered_qps\": %.6f, \"groups\": 2, "
+            "\"completed\": %llu, \"throughput_tok_s\": %.3f}\n",
+            mixed_rate,
+            static_cast<unsigned long long>(mixed.completed),
+            mixed.throughputTokensPerSec);
+    json += "}\n";
+    if (!writeFile(out_path, json)) {
+        std::fprintf(stderr, "serve_sweep: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (!cfg.getBool("check", false))
+        return 0;
+
+    bool ok = true;
+    if (profile.maxRelErr() > 0.05) {
+        std::fprintf(stderr,
+                     "serve_sweep: e2e check FAILED - calibration max "
+                     "rel err %.4f > 0.05\n",
+                     profile.maxRelErr());
+        ok = false;
+    }
+    if (speedup < 5.0) {
+        std::fprintf(stderr,
+                     "serve_sweep: e2e check FAILED - fast-forward "
+                     "speedup %.2fx < 5x\n",
+                     speedup);
+        ok = false;
+    }
+    if (mixed.completed != trace.numRequests) {
+        std::fprintf(stderr,
+                     "serve_sweep: e2e check FAILED - mixed mode "
+                     "completed %llu of %zu\n",
+                     static_cast<unsigned long long>(mixed.completed),
+                     trace.numRequests);
+        ok = false;
+    }
+    if (!ok)
+        return 1;
+    std::printf("check: calibration err <= 5%%, fast-forward >= 5x, "
+                "mixed point completed all requests\n");
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     auto cfg = Config::fromArgs({argv + 1, argv + argc});
+    if (!cfg.getString("e2eout", "").empty())
+        return runE2eSweep(cfg);
     if (!cfg.getString("tierout", "").empty())
         return runTierSweep(cfg);
     const auto model =

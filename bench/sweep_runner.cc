@@ -7,11 +7,12 @@
  * pure function of the simulation — no timestamps, host names, or
  * timings — so any two runs (any thread count) produce byte-identical
  * files; wall-clock telemetry goes to stderr and, optionally, to a
- * separate BENCH_e2e.json via benchout=.
+ * separate timing record via benchout=. (BENCH_e2e.json is owned by
+ * `serve_sweep e2eout=`, the calibrated fast-forward benchmark.)
  *
  * Usage:
  *   sweep_runner [threads=N] [quick=1] [out=sweep.json]
- *                [benchout=BENCH_e2e.json]
+ *                [benchout=BENCH_grid.json]
  *
  *   threads=0 (default) uses all hardware threads; threads=1 runs the
  *   grid inline — the reference order the parallel runs must match.
@@ -106,7 +107,7 @@ main(int argc, char **argv)
         char buf[512];
         std::snprintf(buf, sizeof buf,
                       "{\n"
-                      "  \"benchmark\": \"sweep_e2e\",\n"
+                      "  \"benchmark\": \"sweep_grid\",\n"
                       "  \"points\": %zu,\n"
                       "  \"threads\": %u,\n"
                       "  \"quick\": %s,\n"

@@ -15,6 +15,8 @@
  *                  [kv_far_blocks=0] [tier_policy=lru] [prefetch=1]
  *                  [far_access=stream] [pin_window=4]
  *                  [long_ctx=0] [ctx_min=131072] [ctx_max=131072]
+ *                  [mode=cycle|analytic|mixed] [calib=profile.txt]
+ *                  [snapshot=warm.snap] [restore=warm.snap]
  *
  * `mp`/`dp` follow the paper's §VIII-A appliance plans (tensor split
  * across mp devices, dp independent replicas); `serial=1` turns
@@ -54,18 +56,40 @@
  * spans and queue/KV/batch counters as Chrome-trace JSON - open it at
  * ui.perfetto.dev - and prints a per-track busy summary. The trace is
  * byte-deterministic for a given seed.
+ *
+ * `mode=cycle|analytic|mixed` selects the execution mode (PNM only):
+ * cycle prices every iteration through the event-driven engine,
+ * analytic fast-forwards on the calibrated cost model, mixed keeps
+ * group 0 cycle-accurate while the other groups fast-forward. The
+ * cost model comes from calibrateWithAnchors (held-out validation
+ * error is printed); `calib=<path>` loads a stored profile when the
+ * file exists and calibrates-then-saves otherwise. Long-context
+ * traces must run analytic - the cycle engine simulates the full
+ * prompt. Bad modes, platform mismatches, and profile-fingerprint
+ * mismatches are rejected up front with a typed error.
+ *
+ * `snapshot=<path>` saves the warm serving state (every group, the
+ * metrics, fault/trace/generator state when attached) once every
+ * request has been submitted; `restore=<path>` starts a later run
+ * from that state instead of regenerating and resubmitting, and its
+ * report is byte-identical to the saving run's. The restoring stack
+ * must be configured identically - mismatches are typed errors.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "serve/calibration.hh"
 #include "serve/cost_model.hh"
 #include "serve/dispatcher.hh"
 #include "serve/metrics.hh"
 #include "serve/request_generator.hh"
+#include "serve/snapshot.hh"
 #include "sim/config.hh"
 #include "sim/fault.hh"
+#include "sim/logging.hh"
 #include "sim/trace.hh"
 
 using namespace cxlpnm;
@@ -139,9 +163,9 @@ main(int argc, char **argv)
         long_ctx ? std::min<std::uint64_t>(full_ctx, 1024) : full_ctx;
     serve::BatchCostModel cost;
     std::uint64_t group_kv = 0;
+    core::PnmPlatformConfig pcfg;
+    pcfg.channelGrouping = 8;
     if (platform == "pnm") {
-        core::PnmPlatformConfig pcfg;
-        pcfg.channelGrouping = 8;
         cost = serve::calibratePnmCostModel(model, pcfg, calib_ctx,
                                             plan.modelParallel);
         if (plan.modelParallel > 1)
@@ -165,6 +189,62 @@ main(int argc, char **argv)
     } else {
         std::fprintf(stderr, "unknown platform '%s' (pnm|gpu)\n",
                      platform.c_str());
+        return 1;
+    }
+
+    // --- calibrated fast-forward configuration (mode=/calib=) ---
+    serve::ExecMode mode = serve::ExecMode::Analytic;
+    bool mode_set = false;
+    serve::CalibrationProfile profile;
+    bool have_profile = false;
+    try {
+        const std::string mode_name = cfg.getString("mode", "");
+        const std::string calib_path = cfg.getString("calib", "");
+        if (!mode_name.empty()) {
+            mode = serve::execModeByName(mode_name);
+            mode_set = true;
+            if (platform != "pnm")
+                throw serve::CalibrationError(
+                    "mode= prices PNM stages; platform=gpu always "
+                    "runs its analytic cost model");
+            if (long_ctx && mode != serve::ExecMode::Analytic)
+                throw serve::CalibrationError(
+                    "long-context traces must run mode=analytic: the "
+                    "cycle engine simulates the full prompt");
+        }
+        if (mode_set || !calib_path.empty()) {
+            if (platform != "pnm")
+                throw serve::CalibrationError(
+                    "calib= profiles are calibrated against the PNM "
+                    "engine; use platform=pnm");
+            bool cached = false;
+            if (!calib_path.empty()) {
+                if (std::FILE *f = std::fopen(calib_path.c_str(),
+                                              "rb")) {
+                    std::fclose(f);
+                    cached = true;
+                }
+            }
+            profile = cached
+                ? serve::loadProfile(calib_path, model, pcfg,
+                                     calib_ctx, plan.modelParallel)
+                : serve::calibrateWithAnchors(model, pcfg, calib_ctx,
+                                              plan.modelParallel);
+            if (!cached && !calib_path.empty())
+                serve::saveProfile(profile, calib_path);
+            have_profile = true;
+            // Price through the anchored profile so the analytic
+            // fast-forward path and the scheduler's built-in model
+            // agree bit for bit.
+            cost = profile.cost;
+            if (plan.modelParallel > 1)
+                serve::addModelParallelComm(cost, model, pcfg.link,
+                                            core::D2dModel{},
+                                            plan.modelParallel);
+        }
+    } catch (const serve::CalibrationError &e) {
+        std::fprintf(stderr, "invalid fast-forward config: %s\n",
+                     e.what());
         return 1;
     }
 
@@ -200,6 +280,17 @@ main(int argc, char **argv)
                 sched.continuousBatching ? "continuous batching"
                                          : "serial (one at a time)",
                 sched.maxBatch, group_kv / GB);
+    if (mode_set)
+        std::printf("execution mode: %s (calibration max rel err "
+                    "%.3f%% over %zu held-out anchors)\n",
+                    serve::execModeName(mode),
+                    100.0 * profile.maxRelErr(),
+                    profile.anchors.size());
+    else if (have_profile)
+        std::printf("calibration profile: max rel err %.3f%% over "
+                    "%zu held-out anchors\n",
+                    100.0 * profile.maxRelErr(),
+                    profile.anchors.size());
     if (sched.paged.enabled)
         std::printf("paged KV: %u-token blocks (%.1f KB each), "
                     "prefix caching on, preemption %s, "
@@ -239,6 +330,22 @@ main(int argc, char **argv)
     serve::ApplianceDispatcher disp(model, cost, plan, group_kv, sched,
                                     metrics);
 
+    std::unique_ptr<serve::AnalyticPricer> analytic;
+    std::unique_ptr<serve::CyclePricer> cycle;
+    if (mode_set) {
+        analytic = std::make_unique<serve::AnalyticPricer>(cost);
+        if (mode != serve::ExecMode::Analytic)
+            cycle = std::make_unique<serve::CyclePricer>(
+                model, pcfg, cost, plan.modelParallel);
+        for (std::size_t g = 0; g < disp.groupCount(); ++g) {
+            const serve::IterationPricer *p = analytic.get();
+            if (mode == serve::ExecMode::Cycle ||
+                (mode == serve::ExecMode::Mixed && g == 0))
+                p = cycle.get();
+            disp.setPricer(g, p);
+        }
+    }
+
     const double fault_rate = cfg.getDouble("faults", 0.0);
     fault::FaultInjector inj(
         static_cast<std::uint64_t>(cfg.getInt("fseed", 42)));
@@ -259,9 +366,61 @@ main(int argc, char **argv)
     if (!trace_path.empty())
         disp.attachTracer(&tracer, "appliance");
 
+    const std::string snap_path = cfg.getString("snapshot", "");
+    const std::string restore_path = cfg.getString("restore", "");
     serve::RequestGenerator gen(trace);
-    while (!gen.exhausted())
-        disp.submit(gen.next());
+    try {
+        if (!restore_path.empty()) {
+            // Skip generation and submission entirely: pick up the
+            // warm post-submission state a `snapshot=` run saved. The
+            // stack must be configured identically (component
+            // restores fatal on structural mismatch).
+            const auto snap = serve::loadSnapshot(restore_path);
+            disp.restore(snap.groups);
+            metrics.restore(snap.metrics);
+            if (snap.hasFaults)
+                inj.restore(snap.faults);
+            if (snap.hasTrace && !trace_path.empty())
+                tracer.restore(snap.trace);
+            if (snap.hasGenerator)
+                gen.restore(snap.generator);
+            std::printf("restored warm state from %s "
+                        "(clock %.3f s)\n\n",
+                        restore_path.c_str(), disp.clockSeconds());
+        } else {
+            while (!gen.exhausted())
+                disp.submit(gen.next());
+            if (!snap_path.empty()) {
+                // Warm state: every request submitted, every group
+                // advanced to the last arrival. A restore= run resumes
+                // here and reports byte-identically.
+                serve::ServingSnapshot snap;
+                snap.groups = disp.state();
+                snap.metrics = metrics.state();
+                if (fault_rate > 0.0) {
+                    snap.hasFaults = true;
+                    snap.faults = inj.state();
+                }
+                if (!trace_path.empty()) {
+                    snap.hasTrace = true;
+                    snap.trace = tracer.state();
+                }
+                snap.hasGenerator = true;
+                snap.generator = gen.state();
+                serve::saveSnapshot(snap, snap_path);
+                std::printf("saved warm snapshot to %s "
+                            "(clock %.3f s)\n\n",
+                            snap_path.c_str(), disp.clockSeconds());
+            }
+        }
+    } catch (const serve::SnapshotError &e) {
+        std::fprintf(stderr, "invalid snapshot config: %s\n", e.what());
+        return 1;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "snapshot does not match this stack: %s\n",
+                     e.what());
+        return 1;
+    }
     disp.drain();
 
     if (!trace_path.empty()) {

@@ -17,6 +17,7 @@ HostPnmArbiter::HostPnmArbiter(EventQueue &eq, stats::StatGroup *parent,
       mem_(mem),
       params_(params),
       grantLatency_(static_cast<Tick>(params.grantLatencyNs * tickPerNs)),
+      grantName_(this->name() + ".grant"),
       releaseEvent_(this->name() + ".release", [this] { releaseHost(); }),
       hostRequests_(this, "hostRequests", "requests issued by the host"),
       pnmRequests_(this, "pnmRequests",
@@ -76,8 +77,11 @@ HostPnmArbiter::issue(dram::MemoryRequest req, Tick queued_at,
         mem_.access(std::move(req));
         return;
     }
+    // The name is copied from the cached string: a recycled one-shot's
+    // string assignment reuses its existing capacity, so the only
+    // steady-state allocation left per grant is the closure capture.
     eventQueue().scheduleOneShot(
-        name() + ".grant", now() + grantLatency_,
+        grantName_, now() + grantLatency_,
         [this, r = std::move(req)]() mutable {
             mem_.access(std::move(r));
         });

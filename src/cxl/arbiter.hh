@@ -80,6 +80,8 @@ class HostPnmArbiter : public SimObject
     dram::MultiChannelMemory &mem_;
     Params params_;
     Tick grantLatency_;
+    /** Cached "<name>.grant" so per-grant scheduling allocates nothing. */
+    std::string grantName_;
 
     bool taskActive_ = false;
     Tick taskSince_ = 0;

@@ -89,21 +89,26 @@ LinkChannel::transfer(std::uint64_t bytes,
         tr->complete(traceTrack_, "xfer", start, busyUntil_);
 
     if (on_complete) {
-        pending_.emplace(busyUntil_ + latency_, std::move(on_complete));
-        eventQueue().reschedule(dispatchEvent_, pending_.begin()->first);
+        const Tick done = busyUntil_ + latency_;
+        panic_if(!pending_.empty() && done < pending_.back().first,
+                 "non-monotone delivery tick on ", fullName());
+        const bool was_idle = pending_.empty();
+        pending_.emplace_back(done, std::move(on_complete));
+        if (was_idle)
+            eventQueue().reschedule(dispatchEvent_, done);
     }
 }
 
 void
 LinkChannel::dispatch()
 {
-    while (!pending_.empty() && pending_.begin()->first <= now()) {
-        auto cb = std::move(pending_.begin()->second);
-        pending_.erase(pending_.begin());
+    while (!pending_.empty() && pending_.front().first <= now()) {
+        auto cb = std::move(pending_.front().second);
+        pending_.pop_front();
         cb();
     }
-    if (!pending_.empty())
-        eventQueue().reschedule(dispatchEvent_, pending_.begin()->first);
+    if (!pending_.empty() && !dispatchEvent_.scheduled())
+        eventQueue().reschedule(dispatchEvent_, pending_.front().first);
 }
 
 CxlLink::CxlLink(EventQueue &eq, stats::StatGroup *parent, std::string name,

@@ -12,9 +12,10 @@
 #define CXLPNM_CXL_LINK_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
 #include <string>
+#include <utility>
 
 #include "sim/fault.hh"
 #include "sim/sim_object.hh"
@@ -164,7 +165,14 @@ class LinkChannel : public SimObject
     double bytesPerSec_;
     Tick latency_;
     Tick busyUntil_ = 0;
-    std::multimap<Tick, std::function<void()>> pending_;
+    /**
+     * Completion callbacks in delivery order. busyUntil_ only grows
+     * (CRC replays extend it further) and the port latency is fixed,
+     * so delivery ticks are non-decreasing in enqueue order (asserted
+     * in transfer()): a deque replaces the old tick-keyed multimap and
+     * the dispatch event is armed only while a transfer is in flight.
+     */
+    std::deque<std::pair<Tick, std::function<void()>>> pending_;
     Event dispatchEvent_;
 
     /** Fault injection (null = fault-free, the default). */

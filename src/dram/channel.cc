@@ -71,8 +71,15 @@ MemoryChannel::access(ChannelRequest req)
 
     const Tick done = busyUntil_ + accessLatency_;
     if (req.onComplete) {
-        pending_.emplace(done, std::move(req.onComplete));
-        eventQueue().reschedule(dispatchEvent_, pending_.begin()->first);
+        panic_if(!pending_.empty() && done < pending_.back().first,
+                 "non-monotone completion tick on ", fullName());
+        const bool was_idle = pending_.empty();
+        pending_.emplace_back(done, std::move(req.onComplete));
+        // With completions already in flight the dispatch event is
+        // armed at the (still unchanged) front tick; only an idle
+        // channel needs to arm it.
+        if (was_idle)
+            eventQueue().reschedule(dispatchEvent_, done);
     }
 }
 
@@ -80,13 +87,13 @@ void
 MemoryChannel::dispatch()
 {
     // Deliver every completion due now; later ones re-arm the event.
-    while (!pending_.empty() && pending_.begin()->first <= now()) {
-        auto cb = std::move(pending_.begin()->second);
-        pending_.erase(pending_.begin());
+    while (!pending_.empty() && pending_.front().first <= now()) {
+        auto cb = std::move(pending_.front().second);
+        pending_.pop_front();
         cb();
     }
-    if (!pending_.empty())
-        eventQueue().reschedule(dispatchEvent_, pending_.begin()->first);
+    if (!pending_.empty() && !dispatchEvent_.scheduled())
+        eventQueue().reschedule(dispatchEvent_, pending_.front().first);
 }
 
 } // namespace dram

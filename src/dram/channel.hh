@@ -16,9 +16,10 @@
 #define CXLPNM_DRAM_CHANNEL_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
 #include <string>
+#include <utility>
 
 #include "dram/dram_spec.hh"
 #include "dram/ecc.hh"
@@ -114,8 +115,17 @@ class MemoryChannel : public SimObject
     /** Lazily registered bus-busy trace track. */
     trace::TrackId traceTrack_ = trace::InvalidTrack;
 
-    /** Completion callbacks keyed by delivery tick. */
-    std::multimap<Tick, std::function<void()>> pending_;
+    /**
+     * Completion callbacks in delivery order. The channel is a FIFO
+     * bandwidth server with a constant access latency, so delivery
+     * ticks are provably non-decreasing in enqueue order (asserted in
+     * access()) and a plain deque replaces the old tick-keyed multimap:
+     * no per-request node allocation, O(1) front/back. The dispatch
+     * event is armed only while a completion is in flight — an idle
+     * channel costs nothing per tick — and re-arming is skipped when
+     * the event already sits at the (unchanged) front delivery tick.
+     */
+    std::deque<std::pair<Tick, std::function<void()>>> pending_;
     Tick busyUntil_ = 0;
     Event dispatchEvent_;
 

@@ -167,16 +167,21 @@ MultiChannelMemory::access(MemoryRequest req)
     if (tail > 0)
         share[(first + 1 + nfull) % n] += tail;
 
-    // Completion when the last stripe lands.
-    auto outstanding = std::make_shared<std::size_t>(0);
-    auto cb = std::make_shared<std::function<void()>>(
-        std::move(req.onComplete));
+    // Completion when the last stripe lands: one shared fan-in record
+    // per request (counter and callback together) instead of the two
+    // separate control blocks this used to allocate.
+    struct FanIn
+    {
+        std::size_t outstanding = 0;
+        std::function<void()> cb;
+    };
+    auto fan = std::make_shared<FanIn>();
+    fan->cb = std::move(req.onComplete);
     for (std::size_t c = 0; c < n; ++c) {
-        if (share[c] == 0)
-            continue;
-        ++*outstanding;
+        if (share[c] != 0)
+            ++fan->outstanding;
     }
-    panic_if(*outstanding == 0, "request produced no stripes");
+    panic_if(fan->outstanding == 0, "request produced no stripes");
 
     for (std::size_t c = 0; c < n; ++c) {
         if (share[c] == 0)
@@ -184,9 +189,9 @@ MultiChannelMemory::access(MemoryRequest req)
         ChannelRequest cr;
         cr.bytes = share[c];
         cr.isRead = req.isRead;
-        cr.onComplete = [outstanding, cb] {
-            if (--*outstanding == 0 && *cb)
-                (*cb)();
+        cr.onComplete = [fan] {
+            if (--fan->outstanding == 0 && fan->cb)
+                fan->cb();
         };
         channels_[c]->access(std::move(cr));
     }

@@ -1,0 +1,418 @@
+#include "serve/calibration.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/inference_engine.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+const char *
+execModeName(ExecMode m)
+{
+    switch (m) {
+    case ExecMode::Cycle:
+        return "cycle";
+    case ExecMode::Analytic:
+        return "analytic";
+    case ExecMode::Mixed:
+        return "mixed";
+    }
+    return "?";
+}
+
+ExecMode
+execModeByName(const std::string &name)
+{
+    if (name == "cycle")
+        return ExecMode::Cycle;
+    if (name == "analytic")
+        return ExecMode::Analytic;
+    if (name == "mixed")
+        return ExecMode::Mixed;
+    throw CalibrationError("unknown execution mode '" + name +
+                           "' (want cycle, analytic or mixed)");
+}
+
+// ---- CyclePricer ----
+
+CyclePricer::CyclePricer(const llm::ModelConfig &model,
+                         const core::PnmPlatformConfig &pcfg,
+                         const BatchCostModel &cost, int tensor_shard)
+    : model_(model), pcfg_(pcfg), cost_(cost), shard_(tensor_shard)
+{
+    fatal_if(tensor_shard < 1, "bad tensor shard for cycle pricing");
+}
+
+double
+CyclePricer::sumStage(std::uint64_t l) const
+{
+    auto it = sumMemo_.find(l);
+    if (it != sumMemo_.end()) {
+        ++memoHits_;
+        return it->second;
+    }
+    const double s = core::pnmSumStageSeconds(model_, pcfg_, l, shard_);
+    ++stageRuns_;
+    sumMemo_.emplace(l, s);
+    return s;
+}
+
+double
+CyclePricer::genStage(std::uint64_t c) const
+{
+    auto it = genMemo_.find(c);
+    if (it != genMemo_.end()) {
+        ++memoHits_;
+        return it->second;
+    }
+    const double s = core::pnmGenStageSeconds(model_, pcfg_, c, shard_);
+    ++stageRuns_;
+    genMemo_.emplace(c, s);
+    return s;
+}
+
+double
+CyclePricer::prefillSeconds(std::uint64_t l_in,
+                            std::uint64_t cached_tokens) const
+{
+    const std::uint64_t computed =
+        cached_tokens >= l_in ? 1 : l_in - cached_tokens;
+    return sumStage(computed) + cost_.commPerIterationSeconds +
+        cost_.commPerTokenSeconds * static_cast<double>(computed);
+}
+
+double
+CyclePricer::decodeIterationSeconds(
+    const std::vector<std::uint64_t> &contexts) const
+{
+    if (contexts.empty())
+        return 0.0;
+    const double batch = static_cast<double>(contexts.size());
+
+    // The first member pays one full exact gen stage (the weights
+    // stream once for the whole batch); every further member adds its
+    // cycle-measured marginal cost over the minimal 2-token stage —
+    // its own KV traffic as the engine actually times it.
+    const auto ctx = [](std::uint64_t c) {
+        return std::max<std::uint64_t>(2, c);
+    };
+    double mem = genStage(ctx(contexts[0]));
+    if (contexts.size() > 1) {
+        const double ref = genStage(2);
+        for (std::size_t i = 1; i < contexts.size(); ++i)
+            mem += std::max(0.0, genStage(ctx(contexts[i])) - ref);
+    }
+    const double compute = cost_.perTokenComputeSeconds * batch;
+    return std::max(mem, compute) +
+        cost_.perTokenHostSeconds * batch +
+        cost_.commPerIterationSeconds + cost_.commPerTokenSeconds * batch;
+}
+
+// ---- calibration with held-out anchors ----
+
+double
+CalibrationProfile::maxRelErr() const
+{
+    double m = 0.0;
+    for (const auto &a : anchors)
+        m = std::max(m, a.relErr);
+    return m;
+}
+
+CalibrationProfile
+calibrateWithAnchors(const llm::ModelConfig &model,
+                     const core::PnmPlatformConfig &pcfg,
+                     std::uint64_t max_context, int tensor_shard)
+{
+    CalibrationProfile p;
+    const std::uint64_t hi = std::clamp<std::uint64_t>(
+        max_context, 4, model.maxPositions);
+    p.modelName = model.name;
+    p.channelGrouping = pcfg.channelGrouping;
+    p.tensorShard = tensor_shard;
+    p.maxContext = hi;
+    p.cost = calibratePnmCostModel(model, pcfg, hi, tensor_shard);
+
+    // The stock three-point sum curve is plenty for scheduling but
+    // hopeless against a percent-level held-out validation: the
+    // engine's sum stage is a *staircase* in ceil(l / peRows) - every
+    // GEMM maps prompt rows onto the PE array in peRows-tall tiles -
+    // and a sparse piecewise-linear fit interpolates straight across
+    // the risers. Refit the sum curve sampling both sides of every
+    // tile boundary (so the curve reproduces the steps) plus an
+    // eighth-point grid (so it tracks the gentle slope within each
+    // plateau). The gen line is genuinely linear and keeps its
+    // two-point fit.
+    {
+        const std::uint64_t tile = static_cast<std::uint64_t>(
+            std::max(1, pcfg.accel.peRows));
+        std::vector<std::uint64_t> grid;
+        for (int k = 1; k <= 8; ++k)
+            grid.push_back(std::max<std::uint64_t>(
+                1, (static_cast<std::uint64_t>(k) * hi) / 8));
+        grid.push_back(1);
+        for (std::uint64_t b = tile; b < hi; b += tile) {
+            grid.push_back(b);
+            grid.push_back(b + 1);
+        }
+        grid.push_back(hi);
+        std::sort(grid.begin(), grid.end());
+        grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+
+        CostCurve dense;
+        for (std::uint64_t l : grid)
+            dense.addSample(l, core::pnmSumStageSeconds(model, pcfg, l,
+                                                        tensor_shard));
+        p.cost.sumCurve = dense;
+    }
+
+    // Held-out anchors: shapes the fit never saw. Sum stages validate
+    // at odd sixteenth points between the eighth-point fit grid; gen
+    // stages at the quarter points between the two-point line.
+    auto add_anchor = [&](char kind, std::uint64_t tokens) {
+        for (const auto &a : p.anchors)
+            if (a.kind == kind && a.tokens == tokens)
+                return;
+        CalibrationAnchor a;
+        a.kind = kind;
+        a.tokens = tokens;
+        if (kind == 's') {
+            a.engineSeconds = core::pnmSumStageSeconds(model, pcfg,
+                                                       tokens,
+                                                       tensor_shard);
+            a.modelSeconds = p.cost.sumCurve.at(tokens);
+        } else {
+            a.engineSeconds = core::pnmGenStageSeconds(model, pcfg,
+                                                       tokens,
+                                                       tensor_shard);
+            a.modelSeconds = p.cost.genWeightSeconds +
+                p.cost.genKvPerTokenSeconds *
+                    static_cast<double>(tokens);
+        }
+        a.relErr = a.engineSeconds > 0.0
+            ? std::abs(a.modelSeconds - a.engineSeconds) /
+                a.engineSeconds
+            : 0.0;
+        p.anchors.push_back(a);
+    };
+    add_anchor('s', std::max<std::uint64_t>(1, (3 * hi) / 16));
+    add_anchor('s', std::max<std::uint64_t>(1, (11 * hi) / 16));
+    add_anchor('g', std::max<std::uint64_t>(2, hi / 4));
+    add_anchor('g', std::max<std::uint64_t>(2, (3 * hi) / 4));
+    return p;
+}
+
+// ---- profile (de)serialization ----
+
+namespace
+{
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+constexpr const char *kMagic = "cxlpnm-calibration-v1";
+
+} // namespace
+
+std::string
+profileToText(const CalibrationProfile &p)
+{
+    std::string out;
+    out += kMagic;
+    out += '\n';
+    appendf(out, "model %s\n", p.modelName.c_str());
+    appendf(out, "channel_grouping %d\n", p.channelGrouping);
+    appendf(out, "tensor_shard %d\n", p.tensorShard);
+    appendf(out, "max_context %" PRIu64 "\n", p.maxContext);
+    appendf(out, "gen_weight %.17g\n", p.cost.genWeightSeconds);
+    appendf(out, "gen_kv_per_token %.17g\n",
+            p.cost.genKvPerTokenSeconds);
+    appendf(out, "per_token_compute %.17g\n",
+            p.cost.perTokenComputeSeconds);
+    appendf(out, "per_token_host %.17g\n", p.cost.perTokenHostSeconds);
+    appendf(out, "comm_per_iteration %.17g\n",
+            p.cost.commPerIterationSeconds);
+    appendf(out, "comm_per_token %.17g\n", p.cost.commPerTokenSeconds);
+    const auto &pts = p.cost.sumCurve.points();
+    appendf(out, "sum_points %zu\n", pts.size());
+    for (const auto &pt : pts)
+        appendf(out, "%llu %.17g\n",
+                static_cast<unsigned long long>(pt.tokens), pt.seconds);
+    appendf(out, "anchors %zu\n", p.anchors.size());
+    for (const auto &a : p.anchors)
+        appendf(out, "%c %" PRIu64 " %.17g %.17g %.17g\n", a.kind,
+                a.tokens, a.engineSeconds, a.modelSeconds, a.relErr);
+    out += "end\n";
+    return out;
+}
+
+namespace
+{
+
+/** Line cursor over the profile text; throws on premature end. */
+struct LineReader
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    std::string
+    next()
+    {
+        if (pos >= text.size())
+            throw CalibrationError(
+                "calibration profile truncated");
+        const std::size_t nl = text.find('\n', pos);
+        const std::size_t end =
+            nl == std::string::npos ? text.size() : nl;
+        std::string line = text.substr(pos, end - pos);
+        pos = nl == std::string::npos ? text.size() : nl + 1;
+        return line;
+    }
+};
+
+double
+parseField(const std::string &line, const char *key)
+{
+    const std::string prefix = std::string(key) + " ";
+    if (line.rfind(prefix, 0) != 0)
+        throw CalibrationError("calibration profile: expected '" +
+                               std::string(key) + "', got '" + line +
+                               "'");
+    char *end = nullptr;
+    const double v = std::strtod(line.c_str() + prefix.size(), &end);
+    if (end == line.c_str() + prefix.size())
+        throw CalibrationError("calibration profile: bad value in '" +
+                               line + "'");
+    return v;
+}
+
+} // namespace
+
+CalibrationProfile
+profileFromText(const std::string &text)
+{
+    LineReader in{text};
+    if (in.next() != kMagic)
+        throw CalibrationError(
+            "not a calibration profile (bad magic)");
+
+    CalibrationProfile p;
+    {
+        const std::string line = in.next();
+        if (line.rfind("model ", 0) != 0 || line.size() <= 6)
+            throw CalibrationError(
+                "calibration profile: missing model name");
+        p.modelName = line.substr(6);
+    }
+    p.channelGrouping =
+        static_cast<int>(parseField(in.next(), "channel_grouping"));
+    p.tensorShard =
+        static_cast<int>(parseField(in.next(), "tensor_shard"));
+    p.maxContext = static_cast<std::uint64_t>(
+        parseField(in.next(), "max_context"));
+    p.cost.genWeightSeconds = parseField(in.next(), "gen_weight");
+    p.cost.genKvPerTokenSeconds =
+        parseField(in.next(), "gen_kv_per_token");
+    p.cost.perTokenComputeSeconds =
+        parseField(in.next(), "per_token_compute");
+    p.cost.perTokenHostSeconds =
+        parseField(in.next(), "per_token_host");
+    p.cost.commPerIterationSeconds =
+        parseField(in.next(), "comm_per_iteration");
+    p.cost.commPerTokenSeconds =
+        parseField(in.next(), "comm_per_token");
+
+    const auto n_sum =
+        static_cast<std::size_t>(parseField(in.next(), "sum_points"));
+    for (std::size_t i = 0; i < n_sum; ++i) {
+        unsigned long long tokens = 0;
+        double seconds = 0.0;
+        if (std::sscanf(in.next().c_str(), "%llu %lf", &tokens,
+                        &seconds) != 2)
+            throw CalibrationError(
+                "calibration profile: bad sum-curve point");
+        p.cost.sumCurve.addSample(tokens, seconds);
+    }
+
+    const auto n_anchor =
+        static_cast<std::size_t>(parseField(in.next(), "anchors"));
+    for (std::size_t i = 0; i < n_anchor; ++i) {
+        CalibrationAnchor a;
+        unsigned long long tokens = 0;
+        if (std::sscanf(in.next().c_str(), "%c %llu %lf %lf %lf",
+                        &a.kind, &tokens, &a.engineSeconds,
+                        &a.modelSeconds, &a.relErr) != 5 ||
+            (a.kind != 's' && a.kind != 'g'))
+            throw CalibrationError(
+                "calibration profile: bad anchor line");
+        a.tokens = tokens;
+        p.anchors.push_back(a);
+    }
+    if (in.next() != "end")
+        throw CalibrationError(
+            "calibration profile: missing end marker");
+    return p;
+}
+
+void
+saveProfile(const CalibrationProfile &p, const std::string &path)
+{
+    const std::string text = profileToText(p);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        throw CalibrationError("cannot write calibration profile '" +
+                               path + "'");
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+CalibrationProfile
+loadProfile(const std::string &path, const llm::ModelConfig &model,
+            const core::PnmPlatformConfig &pcfg,
+            std::uint64_t max_context, int tensor_shard)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        throw CalibrationError("cannot read calibration profile '" +
+                               path + "'");
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    CalibrationProfile p = profileFromText(text);
+    const std::uint64_t hi = std::clamp<std::uint64_t>(
+        max_context, 4, model.maxPositions);
+    if (p.modelName != model.name ||
+        p.channelGrouping != pcfg.channelGrouping ||
+        p.tensorShard != tensor_shard || p.maxContext != hi)
+        throw CalibrationError(
+            "calibration profile '" + path + "' was calibrated for " +
+            p.modelName + " (grouping " +
+            std::to_string(p.channelGrouping) + ", shard " +
+            std::to_string(p.tensorShard) + ", context " +
+            std::to_string(p.maxContext) + "), not this run");
+    return p;
+}
+
+} // namespace serve
+} // namespace cxlpnm

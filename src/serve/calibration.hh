@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Calibrated fast-forward execution for the serving simulator.
+ *
+ * The serving layer prices every iteration through one of two
+ * interchangeable pricers:
+ *
+ *  - cycle: exact per-shape timings from the event-driven engine
+ *    (core::pnmSumStageSeconds / pnmGenStageSeconds), memoized so each
+ *    distinct stage shape is simulated once. This is the reference the
+ *    fleet-scale analytic mode is validated against.
+ *
+ *  - analytic (fast-forward): the fitted BatchCostModel the scheduler
+ *    has always used — piecewise-linear sum curve plus a two-point
+ *    decode line. Orders of magnitude cheaper per iteration and
+ *    explicitly approximate.
+ *
+ * calibrateWithAnchors() fits the analytic model and then validates it
+ * on *held-out* anchor shapes (stage lengths not used in the fit),
+ * reporting the relative error per anchor and the maximum across them.
+ * The resulting CalibrationProfile can be saved to and reloaded from a
+ * deterministic text file, so a fleet sweep pays the engine-calibration
+ * cost once. Execution mode is selected per device group: a mixed
+ * appliance keeps one cell cycle-accurate while the rest fast-forward.
+ */
+
+#ifndef CXLPNM_SERVE_CALIBRATION_HH
+#define CXLPNM_SERVE_CALIBRATION_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/platform.hh"
+#include "llm/model_config.hh"
+#include "serve/cost_model.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+/**
+ * A fast-forward configuration that cannot be used: unknown execution
+ * mode, malformed or mismatched calibration profile. Thrown instead of
+ * a fatal so drivers can print a message and exit cleanly (the same
+ * contract as TraceConfigError).
+ */
+class CalibrationError : public FatalError
+{
+  public:
+    using FatalError::FatalError;
+};
+
+/** How a device group prices its iterations. */
+enum class ExecMode
+{
+    Cycle,    // exact memoized engine stage runs (the reference)
+    Analytic, // fitted cost model (fast-forward, approximate)
+    Mixed,    // group 0 cycle-accurate, every other group analytic
+};
+
+const char *execModeName(ExecMode m);
+/** Parse "cycle" / "analytic" / "mixed"; throws CalibrationError. */
+ExecMode execModeByName(const std::string &name);
+
+/**
+ * Per-iteration pricing interface consulted by BatchScheduler when a
+ * pricer is attached; with none attached the scheduler prices through
+ * its own BatchCostModel, bit-identical to the pre-fast-forward code.
+ */
+class IterationPricer
+{
+  public:
+    virtual ~IterationPricer() = default;
+
+    /** Prefill with @p cached_tokens already resident (>= 1 token is
+     *  always computed), matching BatchCostModel::prefillSeconds. */
+    virtual double prefillSeconds(std::uint64_t l_in,
+                                  std::uint64_t cached_tokens) const = 0;
+
+    /** One decode iteration over members attending @p contexts. */
+    virtual double decodeIterationSeconds(
+        const std::vector<std::uint64_t> &contexts) const = 0;
+};
+
+/** The fitted cost model behind the IterationPricer interface; prices
+ *  identically to a scheduler with no pricer attached. */
+class AnalyticPricer : public IterationPricer
+{
+  public:
+    explicit AnalyticPricer(const BatchCostModel &cost) : cost_(cost) {}
+
+    double
+    prefillSeconds(std::uint64_t l_in,
+                   std::uint64_t cached_tokens) const override
+    {
+        return cost_.prefillSeconds(l_in, cached_tokens);
+    }
+
+    double
+    decodeIterationSeconds(
+        const std::vector<std::uint64_t> &contexts) const override
+    {
+        return cost_.decodeIterationSeconds(contexts);
+    }
+
+  private:
+    BatchCostModel cost_;
+};
+
+/**
+ * Cycle-accurate pricing: every stage shape is timed by the
+ * event-driven engine itself and memoized (a shape is one
+ * deterministic simulation, so the first run's result is exact for
+ * all repeats). Prefill prices the uncached suffix as one exact sum
+ * stage. A decode iteration charges one full exact gen stage for the
+ * first member (weights stream once for the whole batch) plus each
+ * further member's marginal cost over the minimal 2-token stage —
+ * i.e. its cycle-measured KV traffic. Compute floor, host work and
+ * model-parallel comm constants are shared with the analytic model so
+ * the two modes differ only in the engine-vs-fit stage timings.
+ *
+ * The engine simulates the full prompt, so this pricer is only
+ * practical at chat-scale contexts; long-context (tiered) workloads
+ * must run analytic.
+ */
+class CyclePricer : public IterationPricer
+{
+  public:
+    CyclePricer(const llm::ModelConfig &model,
+                const core::PnmPlatformConfig &pcfg,
+                const BatchCostModel &cost, int tensor_shard = 1);
+
+    double prefillSeconds(std::uint64_t l_in,
+                          std::uint64_t cached_tokens) const override;
+    double decodeIterationSeconds(
+        const std::vector<std::uint64_t> &contexts) const override;
+
+    /** Distinct stage shapes actually simulated so far. */
+    std::uint64_t engineStageRuns() const { return stageRuns_; }
+    /** Stage lookups served from the memo instead. */
+    std::uint64_t memoHits() const { return memoHits_; }
+
+  private:
+    double sumStage(std::uint64_t l) const;
+    double genStage(std::uint64_t c) const;
+
+    llm::ModelConfig model_;
+    core::PnmPlatformConfig pcfg_;
+    BatchCostModel cost_;
+    int shard_;
+
+    mutable std::unordered_map<std::uint64_t, double> sumMemo_;
+    mutable std::unordered_map<std::uint64_t, double> genMemo_;
+    mutable std::uint64_t stageRuns_ = 0;
+    mutable std::uint64_t memoHits_ = 0;
+};
+
+/** One held-out validation point of a calibration. */
+struct CalibrationAnchor
+{
+    /** 's' = sum (prefill) stage, 'g' = gen (decode) stage. */
+    char kind = 's';
+    std::uint64_t tokens = 0;
+    /** Exact engine timing of the stage. */
+    double engineSeconds = 0.0;
+    /** The fitted model's prediction for the same shape. */
+    double modelSeconds = 0.0;
+    /** |model - engine| / engine. */
+    double relErr = 0.0;
+};
+
+/**
+ * A fitted analytic cost model plus the evidence for trusting it: the
+ * held-out anchors it was validated on and a fingerprint of what it
+ * was calibrated for (model / platform / shard / context bound), so a
+ * stored profile can refuse to price a different configuration.
+ */
+struct CalibrationProfile
+{
+    std::string modelName;
+    int channelGrouping = 1;
+    int tensorShard = 1;
+    std::uint64_t maxContext = 0;
+
+    BatchCostModel cost;
+    std::vector<CalibrationAnchor> anchors;
+
+    /** Largest relative error across the anchors (0 when none). */
+    double maxRelErr() const;
+};
+
+/**
+ * Calibrate the analytic model as calibratePnmCostModel does but with
+ * the sum curve refit on a denser eighth-point grid (the stock
+ * three-point curve misses the engine's curvature below hi/2 by more
+ * than the fast-forward error budget), then validate it on held-out
+ * sum/gen anchors at token counts the fit never saw. Deterministic;
+ * anchors exclude model-parallel comm (both sides of the comparison
+ * are single-shard stage times).
+ */
+CalibrationProfile
+calibrateWithAnchors(const llm::ModelConfig &model,
+                     const core::PnmPlatformConfig &pcfg,
+                     std::uint64_t max_context, int tensor_shard = 1);
+
+/** Deterministic text form of a profile (line-oriented, fixed
+ *  precision; byte-identical for identical profiles). */
+std::string profileToText(const CalibrationProfile &p);
+
+/** Parse profileToText output; throws CalibrationError on anything
+ *  malformed. */
+CalibrationProfile profileFromText(const std::string &text);
+
+/** Write/read a profile file; throws CalibrationError on I/O or parse
+ *  failure. loadProfile also rejects a fingerprint mismatch against
+ *  the requested configuration. */
+void saveProfile(const CalibrationProfile &p, const std::string &path);
+CalibrationProfile loadProfile(const std::string &path,
+                               const llm::ModelConfig &model,
+                               const core::PnmPlatformConfig &pcfg,
+                               std::uint64_t max_context,
+                               int tensor_shard);
+
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_CALIBRATION_HH

@@ -41,10 +41,19 @@ namespace serve
 class CostCurve
 {
   public:
+    struct Point
+    {
+        double tokens;
+        double seconds;
+    };
+
     /** Samples must be added with strictly increasing token counts. */
     void addSample(std::uint64_t tokens, double seconds);
 
     bool empty() const { return points_.empty(); }
+
+    /** The measured samples, for serialization (serve/calibration). */
+    const std::vector<Point> &points() const { return points_; }
 
     /**
      * Seconds at @p tokens: linear interpolation between samples,
@@ -53,11 +62,6 @@ class CostCurve
     double at(std::uint64_t tokens) const;
 
   private:
-    struct Point
-    {
-        double tokens;
-        double seconds;
-    };
     std::vector<Point> points_;
 };
 

@@ -103,5 +103,15 @@ ApplianceDispatcher::clockSeconds() const
     return t;
 }
 
+void
+ApplianceDispatcher::restore(const std::vector<SchedulerState> &s)
+{
+    fatal_if(s.size() != groups_.size(),
+             "dispatcher restore: state has ", s.size(),
+             " groups, dispatcher has ", groups_.size());
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+        groups_[g]->restore(s[g]);
+}
+
 } // namespace serve
 } // namespace cxlpnm

@@ -73,6 +73,32 @@ class ApplianceDispatcher
         return *groups_[i];
     }
 
+    /**
+     * Route group @p i's iteration pricing through @p pricer
+     * (serve/calibration); null restores the built-in cost model.
+     * Per-group so a mixed appliance keeps one group cycle-accurate
+     * while the rest fast-forward. Non-owning.
+     */
+    void
+    setPricer(std::size_t i, const IterationPricer *pricer)
+    {
+        groups_.at(i)->setPricer(pricer);
+    }
+
+    /** Per-group warm state, for snapshot/restore (serve/snapshot).
+     *  Restore requires an identically configured dispatcher. */
+    std::vector<SchedulerState>
+    state() const
+    {
+        std::vector<SchedulerState> s;
+        s.reserve(groups_.size());
+        for (const auto &g : groups_)
+            s.push_back(g->state());
+        return s;
+    }
+
+    void restore(const std::vector<SchedulerState> &s);
+
   private:
     std::vector<std::unique_ptr<BatchScheduler>> groups_;
 

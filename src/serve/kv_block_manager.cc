@@ -79,6 +79,33 @@ KvBlockManager::stats() const
     return s;
 }
 
+KvBlockManager::State
+KvBlockManager::state() const
+{
+    State s;
+    s.refs = refs_;
+    s.freeList = freeList_;
+    s.peakUsed = peakUsed_;
+    s.allocations = allocations_;
+    s.frees = frees_;
+    return s;
+}
+
+void
+KvBlockManager::restore(const State &s)
+{
+    fatal_if(s.refs.size() != refs_.size(),
+             "block-manager restore: state has ", s.refs.size(),
+             " blocks, manager has ", refs_.size());
+    fatal_if(s.freeList.size() > s.refs.size(),
+             "block-manager restore: free list larger than the pool");
+    refs_ = s.refs;
+    freeList_ = s.freeList;
+    peakUsed_ = s.peakUsed;
+    allocations_ = s.allocations;
+    frees_ = s.frees;
+}
+
 std::uint32_t
 KvBlockManager::refCount(BlockId b) const
 {

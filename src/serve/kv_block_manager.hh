@@ -124,6 +124,21 @@ class KvBlockManager
     /** All counters in one consistent snapshot. */
     KvBlockStats stats() const;
 
+    /** Full allocator state (warm-state snapshot/restore). The
+     *  observer is wiring, not state, and is left untouched. */
+    struct State
+    {
+        std::vector<std::uint32_t> refs;
+        std::vector<BlockId> freeList;
+        std::uint64_t peakUsed = 0;
+        std::uint64_t allocations = 0;
+        std::uint64_t frees = 0;
+    };
+
+    State state() const;
+    /** Fatal when @p s was captured from a differently-sized pool. */
+    void restore(const State &s);
+
   private:
     std::uint64_t blockBytes_;
     std::vector<std::uint32_t> refs_; // 0 = free

@@ -42,6 +42,15 @@ class KvCachePool
         return {capacity_, reserved_, peakReserved_};
     }
 
+    /** Warm-state restore from a stats() snapshot; the capacity must
+     *  match this pool's (it is configuration, not state). */
+    void
+    restore(const KvPoolStats &s)
+    {
+        reserved_ = s.reservedBytes;
+        peakReserved_ = s.peakReservedBytes;
+    }
+
     /** Would a reservation of @p bytes still fit? */
     bool
     canReserve(std::uint64_t bytes) const

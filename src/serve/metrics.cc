@@ -337,5 +337,145 @@ ServeMetrics::report(double makespan_seconds) const
     return r;
 }
 
+ServeMetrics::State
+ServeMetrics::state() const
+{
+    State s;
+    s.tokenLatency = tokenLatency_.state();
+    s.ttft = ttft_.state();
+    s.batchSize = batchSize_.state();
+    s.queueDepth = queueDepth_.state();
+    s.kvUtilization = kvUtilization_.state();
+    s.kvFragmentation = kvFragmentation_.state();
+
+    s.completed = completedN_;
+    s.rejected = rejectedN_;
+    s.tokens = tokensN_;
+    s.sloMetRequests = sloMetRequests_;
+    s.sloMetTokens = sloMetTokens_;
+    s.iterFailures = iterFailN_;
+    s.retries = retryN_;
+    s.failed = failedN_;
+    s.devices = devicesN_;
+    s.degradedSeconds = degradedSeconds_;
+    s.peakKvUtil = peakKvUtil_;
+
+    s.kvUtilSecondsIntegral = kvUtilSecondsIntegral_;
+    s.kvBlockSecondsIntegral = kvBlockSecondsIntegral_;
+    s.kvIntervalSeconds = kvIntervalSeconds_;
+
+    s.prefixLookups = prefixLookupN_;
+    s.prefixHits = prefixHitN_;
+    s.sharedTokens = sharedTokensN_;
+    s.cachedTokens = cachedTokensN_;
+    s.cowCopies = cowN_;
+    s.cacheEvictions = cacheEvictN_;
+    s.preemptions = preemptN_;
+    s.recomputeTokens = recomputeN_;
+    s.peakKvBlocks = peakKvBlocks_;
+
+    s.tierEnabled = tierStats_ != nullptr;
+    s.tierDemotions = tierDemotionsN_;
+    s.tierPromotions = tierPromotionsN_;
+    s.tierFarBorn = tierFarBornN_;
+    s.tierMigratedBytes = tierMigratedBytesN_;
+    s.tierStreamedBytes = tierStreamedBytesN_;
+    s.tierExposedSeconds = tierExposedSeconds_;
+    s.tierHiddenSeconds = tierHiddenSeconds_;
+    s.tierAbandoned = tierAbandonedN_;
+    s.tierPinViolations = tierPinViolationsN_;
+    s.peakNearBlocks = peakNearBlocks_;
+    s.peakFarBlocks = peakFarBlocks_;
+    return s;
+}
+
+void
+ServeMetrics::restore(const State &s)
+{
+    tokenLatency_.restore(s.tokenLatency);
+    ttft_.restore(s.ttft);
+    batchSize_.restore(s.batchSize);
+    queueDepth_.restore(s.queueDepth);
+    kvUtilization_.restore(s.kvUtilization);
+    kvFragmentation_.restore(s.kvFragmentation);
+
+    completedN_ = s.completed;
+    rejectedN_ = s.rejected;
+    tokensN_ = s.tokens;
+    sloMetRequests_ = s.sloMetRequests;
+    sloMetTokens_ = s.sloMetTokens;
+    iterFailN_ = s.iterFailures;
+    retryN_ = s.retries;
+    failedN_ = s.failed;
+    devicesN_ = s.devices;
+    degradedSeconds_ = s.degradedSeconds;
+    peakKvUtil_ = s.peakKvUtil;
+
+    kvUtilSecondsIntegral_ = s.kvUtilSecondsIntegral;
+    kvBlockSecondsIntegral_ = s.kvBlockSecondsIntegral;
+    kvIntervalSeconds_ = s.kvIntervalSeconds;
+
+    prefixLookupN_ = s.prefixLookups;
+    prefixHitN_ = s.prefixHits;
+    sharedTokensN_ = s.sharedTokens;
+    cachedTokensN_ = s.cachedTokens;
+    cowN_ = s.cowCopies;
+    cacheEvictN_ = s.cacheEvictions;
+    preemptN_ = s.preemptions;
+    recomputeN_ = s.recomputeTokens;
+    peakKvBlocks_ = s.peakKvBlocks;
+
+    // The scalars mirror the counters at every accounting site, so
+    // setting them from the counters reproduces the dumped values
+    // bit for bit (integer-valued doubles; degraded is the same
+    // double accumulation on both sides).
+    completedStat_.set(static_cast<double>(completedN_));
+    rejectedStat_.set(static_cast<double>(rejectedN_));
+    tokensStat_.set(static_cast<double>(tokensN_));
+    sloMetStat_.set(static_cast<double>(sloMetRequests_));
+    iterFailStat_.set(static_cast<double>(iterFailN_));
+    retryStat_.set(static_cast<double>(retryN_));
+    failedStat_.set(static_cast<double>(failedN_));
+    degradedStat_.set(degradedSeconds_);
+    prefixHitStat_.set(static_cast<double>(prefixHitN_));
+    prefixLookupStat_.set(static_cast<double>(prefixLookupN_));
+    cachedTokenStat_.set(static_cast<double>(cachedTokensN_));
+    sharedTokenStat_.set(static_cast<double>(sharedTokensN_));
+    cowStat_.set(static_cast<double>(cowN_));
+    cacheEvictStat_.set(static_cast<double>(cacheEvictN_));
+    preemptStat_.set(static_cast<double>(preemptN_));
+    recomputeStat_.set(static_cast<double>(recomputeN_));
+
+    tierDemotionsN_ = s.tierDemotions;
+    tierPromotionsN_ = s.tierPromotions;
+    tierFarBornN_ = s.tierFarBorn;
+    tierMigratedBytesN_ = s.tierMigratedBytes;
+    tierStreamedBytesN_ = s.tierStreamedBytes;
+    tierExposedSeconds_ = s.tierExposedSeconds;
+    tierHiddenSeconds_ = s.tierHiddenSeconds;
+    tierAbandonedN_ = s.tierAbandoned;
+    tierPinViolationsN_ = s.tierPinViolations;
+    peakNearBlocks_ = s.peakNearBlocks;
+    peakFarBlocks_ = s.peakFarBlocks;
+    if (s.tierEnabled) {
+        enableTierStats();
+        tierStats_->demotions.set(
+            static_cast<double>(tierDemotionsN_));
+        tierStats_->promotions.set(
+            static_cast<double>(tierPromotionsN_));
+        tierStats_->farBorn.set(static_cast<double>(tierFarBornN_));
+        tierStats_->migratedBytes.set(
+            static_cast<double>(tierMigratedBytesN_));
+        tierStats_->streamedBytes.set(
+            static_cast<double>(tierStreamedBytesN_));
+        tierStats_->exposedSeconds.set(tierExposedSeconds_);
+        tierStats_->hiddenSeconds.set(tierHiddenSeconds_);
+        tierStats_->abandoned.set(
+            static_cast<double>(tierAbandonedN_));
+        tierStats_->pinViolations.set(
+            static_cast<double>(tierPinViolationsN_));
+    }
+}
+
 } // namespace serve
 } // namespace cxlpnm

@@ -247,6 +247,65 @@ class ServeMetrics
     /** Dump the underlying stat hierarchy (diff-friendly). */
     void dumpStats(std::ostream &os) const { group_.dumpStats(os); }
 
+    /**
+     * Full collector state, for warm-state snapshot/restore. The
+     * Scalar stats are exact mirrors of the counters (updated in
+     * lockstep at every accounting site), so only the counters plus
+     * the Histogram/Average sample states are captured; restore
+     * rebuilds the scalars from the counters bit-identically.
+     */
+    struct State
+    {
+        stats::Histogram::State tokenLatency;
+        stats::Histogram::State ttft;
+        stats::Average::State batchSize;
+        stats::Average::State queueDepth;
+        stats::Average::State kvUtilization;
+        stats::Average::State kvFragmentation;
+
+        std::uint64_t completed = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t tokens = 0;
+        std::uint64_t sloMetRequests = 0;
+        std::uint64_t sloMetTokens = 0;
+        std::uint64_t iterFailures = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t devices = 0;
+        double degradedSeconds = 0.0;
+        double peakKvUtil = 0.0;
+
+        double kvUtilSecondsIntegral = 0.0;
+        double kvBlockSecondsIntegral = 0.0;
+        double kvIntervalSeconds = 0.0;
+
+        std::uint64_t prefixLookups = 0;
+        std::uint64_t prefixHits = 0;
+        std::uint64_t sharedTokens = 0;
+        std::uint64_t cachedTokens = 0;
+        std::uint64_t cowCopies = 0;
+        std::uint64_t cacheEvictions = 0;
+        std::uint64_t preemptions = 0;
+        std::uint64_t recomputeTokens = 0;
+        std::uint64_t peakKvBlocks = 0;
+
+        bool tierEnabled = false;
+        std::uint64_t tierDemotions = 0;
+        std::uint64_t tierPromotions = 0;
+        std::uint64_t tierFarBorn = 0;
+        std::uint64_t tierMigratedBytes = 0;
+        std::uint64_t tierStreamedBytes = 0;
+        double tierExposedSeconds = 0.0;
+        double tierHiddenSeconds = 0.0;
+        std::uint64_t tierAbandoned = 0;
+        std::uint64_t tierPinViolations = 0;
+        std::uint64_t peakNearBlocks = 0;
+        std::uint64_t peakFarBlocks = 0;
+    };
+
+    State state() const;
+    void restore(const State &s);
+
   private:
     MetricsConfig cfg_;
     stats::StatGroup group_;

@@ -1,5 +1,7 @@
 #include "serve/prefix_cache.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace cxlpnm
@@ -174,6 +176,44 @@ PrefixCache::clear()
     for (const auto &[h, e] : entries_)
         mgr_.release(e.block);
     entries_.clear();
+}
+
+PrefixCache::State
+PrefixCache::state() const
+{
+    State s;
+    s.entries.reserve(entries_.size());
+    for (const auto &[h, e] : entries_)
+        s.entries.push_back(EntryState{h, e.block, e.parent,
+                                       e.children, e.lastUse,
+                                       e.partialTail});
+    std::sort(s.entries.begin(), s.entries.end(),
+              [](const EntryState &a, const EntryState &b) {
+                  return a.hash < b.hash;
+              });
+    s.seq = seq_;
+    s.evictions = evictions_;
+    s.insertions = insertions_;
+    return s;
+}
+
+void
+PrefixCache::restore(const State &s)
+{
+    entries_.clear();
+    for (const EntryState &e : s.entries) {
+        Entry entry;
+        entry.block = e.block;
+        entry.parent = e.parent;
+        entry.children = e.children;
+        entry.lastUse = e.lastUse;
+        entry.partialTail = e.partialTail;
+        const bool fresh = entries_.emplace(e.hash, entry).second;
+        fatal_if(!fresh, "prefix-cache restore: duplicate entry hash");
+    }
+    seq_ = s.seq;
+    evictions_ = s.evictions;
+    insertions_ = s.insertions;
 }
 
 } // namespace serve

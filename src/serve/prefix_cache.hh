@@ -130,6 +130,38 @@ class PrefixCache
     std::uint64_t evictions() const { return evictions_; }
     std::uint64_t insertions() const { return insertions_; }
 
+    /** One trie entry, flattened for warm-state snapshot/restore. */
+    struct EntryState
+    {
+        std::uint64_t hash = 0;
+        BlockId block = InvalidBlock;
+        std::uint64_t parent = 0;
+        std::uint32_t children = 0;
+        std::uint64_t lastUse = 0;
+        bool partialTail = false;
+    };
+
+    /** Trie + counters. Entries are hash-sorted so the state (and its
+     *  serialized form) is independent of hash-map iteration order;
+     *  cache behavior already is (LRU by touch sequence). */
+    struct State
+    {
+        std::vector<EntryState> entries;
+        std::uint64_t seq = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t insertions = 0;
+    };
+
+    State state() const;
+
+    /**
+     * Restore @p s. The cache's block refs are part of the manager's
+     * own state (restored separately), so this rebuilds the trie
+     * without touching refcounts; any current entries are dropped the
+     * same way.
+     */
+    void restore(const State &s);
+
     /** Running hash of a key chain; exposed for tests. */
     static std::uint64_t chainHash(std::uint64_t parent,
                                    std::uint64_t key);

@@ -130,6 +130,29 @@ class RequestGenerator
     /** Materialise the whole trace (convenience for benches/tests). */
     static std::vector<ServeRequest> generate(const TraceConfig &cfg);
 
+    /** Generator progress (warm-state snapshot/restore); the config
+     *  is construction-time and must match on restore. */
+    struct State
+    {
+        std::uint64_t rngState = 0;
+        std::uint64_t produced = 0;
+        double clock = 0.0;
+    };
+
+    State
+    state() const
+    {
+        return {rng_.state(), produced_, clock_};
+    }
+
+    void
+    restore(const State &s)
+    {
+        rng_.setState(s.rngState);
+        produced_ = s.produced;
+        clock_ = s.clock;
+    }
+
   private:
     TraceConfig cfg_;
     SplitMix64 rng_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "serve/calibration.hh"
 #include "sim/logging.hh"
 
 namespace cxlpnm
@@ -525,15 +526,23 @@ BatchScheduler::step()
     // served by the prefix cache), everyone already in the batch
     // decodes one token against their current context.
     double cost = 0.0;
-    for (const ServeRequest &r : joining)
-        cost += cost_.prefillSeconds(r.inputTokens,
-                                     r.cachedPrefixTokens);
+    if (pricer_ != nullptr) {
+        for (const ServeRequest &r : joining)
+            cost += pricer_->prefillSeconds(r.inputTokens,
+                                            r.cachedPrefixTokens);
+    } else {
+        for (const ServeRequest &r : joining)
+            cost += cost_.prefillSeconds(r.inputTokens,
+                                         r.cachedPrefixTokens);
+    }
     std::vector<std::uint64_t> contexts;
     contexts.reserve(batch_.size());
     for (std::size_t i = 0; i < batch_.size(); ++i)
         if (!stalled[i])
             contexts.push_back(batch_[i].contextTokens() + 1);
-    cost += cost_.decodeIterationSeconds(contexts);
+    cost += pricer_ != nullptr
+        ? pricer_->decodeIterationSeconds(contexts)
+        : cost_.decodeIterationSeconds(contexts);
 
     // Far-tier link time the decode-ahead pipeline could not hide
     // extends the iteration; with tiering off tier_extra stays exactly
@@ -888,6 +897,96 @@ BatchScheduler::kvSnapshot() const
     if (s.tiered)
         s.tier = tierPool_->stats();
     return s;
+}
+
+SchedulerState
+BatchScheduler::state() const
+{
+    SchedulerState s;
+    s.clock = clock_;
+    s.lastArrival = lastArrival_;
+    s.degradedUntil = degradedUntil_;
+
+    s.queue.assign(queue_.begin(), queue_.end());
+    s.batch = batch_;
+    s.finished = finished_;
+    s.rejected = rejected_;
+    s.failed = failed_;
+
+    s.kvPool = kv_.stats();
+
+    s.paged = cfg_.paged.enabled;
+    if (s.paged) {
+        s.blocks = blockMgr_->state();
+        s.prefix = prefixCache_->state();
+        s.heldBlocks.assign(heldBlocks_.begin(), heldBlocks_.end());
+        std::sort(s.heldBlocks.begin(), s.heldBlocks.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+    }
+
+    s.tiered = tiered();
+    if (s.tiered) {
+        s.tierPool = tierPool_->state();
+        s.migration = migration_->state();
+        s.blockMeta = blockMeta_;
+        s.pinViolations = tierPolicy_->pinViolations();
+    }
+
+    s.iterationSeq = iterationSeq_;
+    s.lastAbandoned = lastAbandoned_;
+    s.lastPinViolations = lastPinViolations_;
+    return s;
+}
+
+void
+BatchScheduler::restore(const SchedulerState &s)
+{
+    fatal_if(s.paged != cfg_.paged.enabled,
+             "scheduler restore: state is ",
+             s.paged ? "paged" : "byte-pool", ", scheduler is ",
+             cfg_.paged.enabled ? "paged" : "byte-pool");
+    fatal_if(s.tiered != tiered(),
+             "scheduler restore: tiering mismatch");
+    fatal_if(s.kvPool.capacityBytes != kv_.capacityBytes(),
+             "scheduler restore: KV capacity ",
+             s.kvPool.capacityBytes, " vs ", kv_.capacityBytes());
+
+    clock_ = s.clock;
+    lastArrival_ = s.lastArrival;
+    degradedUntil_ = s.degradedUntil;
+
+    queue_.assign(s.queue.begin(), s.queue.end());
+    batch_ = s.batch;
+    finished_ = s.finished;
+    rejected_ = s.rejected;
+    failed_ = s.failed;
+
+    kv_.restore(s.kvPool);
+
+    if (s.paged) {
+        blockMgr_->restore(s.blocks);
+        prefixCache_->restore(s.prefix);
+        heldBlocks_.clear();
+        for (const auto &[id, blocks] : s.heldBlocks)
+            heldBlocks_.emplace(id, blocks);
+    }
+
+    if (s.tiered) {
+        tierPool_->restore(s.tierPool);
+        migration_->restore(s.migration);
+        fatal_if(s.blockMeta.size() != blockMeta_.size(),
+                 "scheduler restore: block metadata covers ",
+                 s.blockMeta.size(), " blocks, scheduler has ",
+                 blockMeta_.size());
+        blockMeta_ = s.blockMeta;
+        tierPolicy_->restorePinViolations(s.pinViolations);
+    }
+
+    iterationSeq_ = s.iterationSeq;
+    lastAbandoned_ = s.lastAbandoned;
+    lastPinViolations_ = s.lastPinViolations;
 }
 
 std::uint64_t

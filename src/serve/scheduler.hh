@@ -46,6 +46,7 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "serve/cost_model.hh"
@@ -65,6 +66,8 @@ namespace cxlpnm
 {
 namespace serve
 {
+
+class IterationPricer; // serve/calibration.hh
 
 /** Recovery policy when a batch iteration fails (injected fault). */
 struct RasPolicy
@@ -138,6 +141,47 @@ struct KvSnapshot
     bool tiered = false;
 };
 
+/**
+ * One scheduler's full mutable state between iterations, for warm-state
+ * snapshot/restore (see serve/snapshot for serialization). Captured by
+ * BatchScheduler::state() and applied by restore(); configuration
+ * (model, cost model, scheduler config, KV capacity) is NOT state -
+ * the restore target must be constructed identically.
+ */
+struct SchedulerState
+{
+    double clock = 0.0;
+    double lastArrival = 0.0;
+    double degradedUntil = 0.0;
+
+    std::vector<ServeRequest> queue;
+    std::vector<ServeRequest> batch;
+    std::vector<ServeRequest> finished;
+    std::vector<ServeRequest> rejected;
+    std::vector<ServeRequest> failed;
+
+    KvPoolStats kvPool;
+
+    /** Paged backend (empty with paging off). Held-block lists are
+     *  request-id-sorted so the state is hash-map-order-free. */
+    bool paged = false;
+    KvBlockManager::State blocks;
+    PrefixCache::State prefix;
+    std::vector<std::pair<std::uint64_t, std::vector<BlockId>>>
+        heldBlocks;
+
+    /** Far tier (empty with tiering off). */
+    bool tiered = false;
+    tier::TieredBlockPool::State tierPool;
+    tier::MigrationEngine::State migration;
+    std::vector<tier::TierBlockMeta> blockMeta;
+    std::uint64_t pinViolations = 0;
+
+    std::uint64_t iterationSeq = 0;
+    std::uint64_t lastAbandoned = 0;
+    std::uint64_t lastPinViolations = 0;
+};
+
 /** One model instance's serving loop on a seconds-resolution clock. */
 class BatchScheduler
 {
@@ -185,6 +229,15 @@ class BatchScheduler
      */
     void attachTracer(trace::Tracer *t, const std::string &prefix);
 
+    /**
+     * Route iteration pricing through @p pricer (serve/calibration)
+     * instead of the built-in cost model. Non-owning; the pricer must
+     * outlive the scheduler. With none attached (the default) the
+     * scheduler prices through its own BatchCostModel — bit-identical
+     * to the pre-fast-forward code path.
+     */
+    void setPricer(const IterationPricer *pricer) { pricer_ = pricer; }
+
     double clockSeconds() const { return clock_; }
 
     /** True while @p t lies inside a post-failure cooldown window. */
@@ -229,6 +282,21 @@ class BatchScheduler
 
     /** All KV occupancy counters in one consistent snapshot. */
     KvSnapshot kvSnapshot() const;
+
+    /**
+     * Capture the scheduler's full mutable state between iterations.
+     * Legal whenever no iteration is running (i.e. any time from the
+     * caller's perspective); with tiering on, in-flight migrations
+     * would panic, but between iterations there are none.
+     */
+    SchedulerState state() const;
+
+    /**
+     * Restore @p s onto a scheduler constructed with the same model,
+     * cost model, KV capacity, and config. Fatal on a structural
+     * mismatch (different capacity, paging, or tiering).
+     */
+    void restore(const SchedulerState &s);
 
     const std::vector<ServeRequest> &finished() const
     {
@@ -323,6 +391,8 @@ class BatchScheduler
 
     llm::ModelConfig model_;
     BatchCostModel cost_;
+    /** Iteration pricing override; null = price through cost_. */
+    const IterationPricer *pricer_ = nullptr;
     KvCachePool kv_;
     SchedulerConfig cfg_;
     ServeMetrics &metrics_;

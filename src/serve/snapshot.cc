@@ -1,0 +1,844 @@
+#include "serve/snapshot.hh"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "cxlpnm-snapshot-v1";
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+/** Strings are length-prefixed ("<len> <bytes>") so names with spaces
+ *  survive; newlines cannot appear in any serialized name. */
+void
+appendStr(std::string &out, const std::string &s)
+{
+    appendf(out, "%zu ", s.size());
+    out += s;
+}
+
+void
+appendRequest(std::string &out, const ServeRequest &r)
+{
+    appendf(out,
+            "r %" PRIu64 " %.17g %" PRIu64 " %" PRIu64 " %" PRIu64
+            " %" PRIu64 " %" PRIu64 " %" PRIu64 " %d %" PRIu64
+            " %" PRIu64 " %.17g %.17g %.17g\n",
+            r.id, r.arrivalSeconds, r.inputTokens, r.outputTokens,
+            r.prefixGroup, r.sharedPrefixTokens, r.cachedPrefixTokens,
+            r.preemptions, static_cast<int>(r.state), r.generated,
+            r.retries, r.admitSeconds, r.firstTokenSeconds,
+            r.finishSeconds);
+}
+
+void
+appendRequests(std::string &out, const char *key,
+               const std::vector<ServeRequest> &v)
+{
+    appendf(out, "%s %zu\n", key, v.size());
+    for (const ServeRequest &r : v)
+        appendRequest(out, r);
+}
+
+void
+appendU64Vec(std::string &out, const char *key,
+             const std::vector<std::uint64_t> &v)
+{
+    appendf(out, "%s %zu", key, v.size());
+    for (std::uint64_t x : v)
+        appendf(out, " %" PRIu64, x);
+    out += '\n';
+}
+
+void
+appendHistogram(std::string &out, const char *key,
+                const stats::Histogram::State &h)
+{
+    appendf(out,
+            "%s %.17g %u %" PRIu64 " %" PRIu64 " %" PRIu64
+            " %.17g %zu",
+            key, h.hi, h.extensions, h.underflow, h.overflow, h.count,
+            h.sum, h.buckets.size());
+    for (std::uint64_t b : h.buckets)
+        appendf(out, " %" PRIu64, b);
+    out += '\n';
+}
+
+void
+appendAverage(std::string &out, const char *key,
+              const stats::Average::State &a)
+{
+    appendf(out, "%s %.17g %.17g %.17g %" PRIu64 "\n", key, a.sum,
+            a.min, a.max, a.count);
+}
+
+/** Line cursor over the snapshot text; throws on premature end. */
+struct LineReader
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    std::string
+    next()
+    {
+        if (pos >= text.size())
+            throw SnapshotError("snapshot truncated");
+        const std::size_t nl = text.find('\n', pos);
+        const std::size_t end =
+            nl == std::string::npos ? text.size() : nl;
+        std::string line = text.substr(pos, end - pos);
+        pos = nl == std::string::npos ? text.size() : nl + 1;
+        return line;
+    }
+};
+
+/** Token cursor over one line: typed extraction with the position
+ *  tracking length-prefixed strings need. Owns the line - callers
+ *  feed it LineReader::next() temporaries. */
+struct Tokens
+{
+    std::string line;
+    std::size_t pos = 0;
+
+    void
+    skipSpace()
+    {
+        while (pos < line.size() && line[pos] == ' ')
+            ++pos;
+    }
+
+    double
+    f64()
+    {
+        skipSpace();
+        char *end = nullptr;
+        const double v = std::strtod(line.c_str() + pos, &end);
+        if (end == line.c_str() + pos)
+            throw SnapshotError("snapshot: bad number in '" + line +
+                                "'");
+        pos = static_cast<std::size_t>(end - line.c_str());
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        skipSpace();
+        char *end = nullptr;
+        const unsigned long long v =
+            std::strtoull(line.c_str() + pos, &end, 10);
+        if (end == line.c_str() + pos)
+            throw SnapshotError("snapshot: bad integer in '" + line +
+                                "'");
+        pos = static_cast<std::size_t>(end - line.c_str());
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::size_t len = static_cast<std::size_t>(u64());
+        if (pos >= line.size() || line[pos] != ' ')
+            throw SnapshotError("snapshot: bad string in '" + line +
+                                "'");
+        ++pos; // the single separator space
+        if (pos + len > line.size())
+            throw SnapshotError("snapshot: string overruns line '" +
+                                line + "'");
+        std::string s = line.substr(pos, len);
+        pos += len;
+        return s;
+    }
+
+    void
+    done()
+    {
+        skipSpace();
+        if (pos != line.size())
+            throw SnapshotError("snapshot: trailing junk in '" + line +
+                                "'");
+    }
+};
+
+/** Next line must start with "<key> "; returns a cursor past the key. */
+Tokens
+expect(const std::string &line, const char *key)
+{
+    const std::string prefix = std::string(key);
+    if (line != prefix &&
+        line.rfind(prefix + " ", 0) != 0)
+        throw SnapshotError("snapshot: expected '" + prefix +
+                            "', got '" + line + "'");
+    Tokens t{line, prefix.size()};
+    return t;
+}
+
+ServeRequest
+parseRequest(const std::string &line)
+{
+    Tokens t = expect(line, "r");
+    ServeRequest r;
+    r.id = t.u64();
+    r.arrivalSeconds = t.f64();
+    r.inputTokens = t.u64();
+    r.outputTokens = t.u64();
+    r.prefixGroup = t.u64();
+    r.sharedPrefixTokens = t.u64();
+    r.cachedPrefixTokens = t.u64();
+    r.preemptions = t.u64();
+    const std::uint64_t st = t.u64();
+    if (st > static_cast<std::uint64_t>(RequestState::Failed))
+        throw SnapshotError("snapshot: bad request state in '" + line +
+                            "'");
+    r.state = static_cast<RequestState>(st);
+    r.generated = t.u64();
+    r.retries = t.u64();
+    r.admitSeconds = t.f64();
+    r.firstTokenSeconds = t.f64();
+    r.finishSeconds = t.f64();
+    t.done();
+    return r;
+}
+
+std::vector<ServeRequest>
+parseRequests(LineReader &in, const char *key)
+{
+    Tokens t = expect(in.next(), key);
+    const std::size_t n = static_cast<std::size_t>(t.u64());
+    t.done();
+    std::vector<ServeRequest> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v.push_back(parseRequest(in.next()));
+    return v;
+}
+
+std::vector<std::uint64_t>
+parseU64Vec(const std::string &line, const char *key)
+{
+    Tokens t = expect(line, key);
+    const std::size_t n = static_cast<std::size_t>(t.u64());
+    std::vector<std::uint64_t> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v.push_back(t.u64());
+    t.done();
+    return v;
+}
+
+stats::Histogram::State
+parseHistogram(const std::string &line, const char *key)
+{
+    Tokens t = expect(line, key);
+    stats::Histogram::State h;
+    h.hi = t.f64();
+    h.extensions = static_cast<std::uint32_t>(t.u64());
+    h.underflow = t.u64();
+    h.overflow = t.u64();
+    h.count = t.u64();
+    h.sum = t.f64();
+    const std::size_t n = static_cast<std::size_t>(t.u64());
+    h.buckets.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        h.buckets.push_back(t.u64());
+    t.done();
+    return h;
+}
+
+stats::Average::State
+parseAverage(const std::string &line, const char *key)
+{
+    Tokens t = expect(line, key);
+    stats::Average::State a;
+    a.sum = t.f64();
+    a.min = t.f64();
+    a.max = t.f64();
+    a.count = t.u64();
+    t.done();
+    return a;
+}
+
+bool
+parseFlag(const std::string &line, const char *key)
+{
+    Tokens t = expect(line, key);
+    const std::uint64_t v = t.u64();
+    t.done();
+    if (v > 1)
+        throw SnapshotError("snapshot: bad flag in '" + line + "'");
+    return v != 0;
+}
+
+std::uint64_t
+parseU64Field(const std::string &line, const char *key)
+{
+    Tokens t = expect(line, key);
+    const std::uint64_t v = t.u64();
+    t.done();
+    return v;
+}
+
+void
+appendGroup(std::string &out, const SchedulerState &g)
+{
+    appendf(out, "clock %.17g %.17g %.17g\n", g.clock, g.lastArrival,
+            g.degradedUntil);
+    appendRequests(out, "queue", g.queue);
+    appendRequests(out, "batch", g.batch);
+    appendRequests(out, "finished", g.finished);
+    appendRequests(out, "rejected", g.rejected);
+    appendRequests(out, "failed", g.failed);
+    appendf(out, "kvpool %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+            g.kvPool.capacityBytes, g.kvPool.reservedBytes,
+            g.kvPool.peakReservedBytes);
+
+    appendf(out, "paged %d\n", g.paged ? 1 : 0);
+    if (g.paged) {
+        appendf(out,
+                "blocks %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+                g.blocks.peakUsed, g.blocks.allocations,
+                g.blocks.frees);
+        std::vector<std::uint64_t> refs(g.blocks.refs.begin(),
+                                        g.blocks.refs.end());
+        appendU64Vec(out, "refs", refs);
+        std::vector<std::uint64_t> free(g.blocks.freeList.begin(),
+                                        g.blocks.freeList.end());
+        appendU64Vec(out, "free", free);
+        appendf(out,
+                "prefix %zu %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+                g.prefix.entries.size(), g.prefix.seq,
+                g.prefix.evictions, g.prefix.insertions);
+        for (const PrefixCache::EntryState &e : g.prefix.entries)
+            appendf(out,
+                    "e %" PRIu64 " %" PRIu32 " %" PRIu64 " %" PRIu32
+                    " %" PRIu64 " %d\n",
+                    e.hash, e.block, e.parent, e.children, e.lastUse,
+                    e.partialTail ? 1 : 0);
+        appendf(out, "held %zu\n", g.heldBlocks.size());
+        for (const auto &h : g.heldBlocks) {
+            appendf(out, "h %" PRIu64 " %zu", h.first,
+                    h.second.size());
+            for (BlockId b : h.second)
+                appendf(out, " %" PRIu32, b);
+            out += '\n';
+        }
+    }
+
+    appendf(out, "tiered %d\n", g.tiered ? 1 : 0);
+    if (g.tiered) {
+        std::vector<std::uint64_t> res(g.tierPool.residency.begin(),
+                                       g.tierPool.residency.end());
+        appendU64Vec(out, "residency", res);
+        const tier::TierStats &s = g.tierPool.stats;
+        appendf(out,
+                "tierstats %" PRIu64 " %" PRIu64 " %" PRIu64
+                " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                " %" PRIu64 "\n",
+                s.nearCapacity, s.farCapacity, s.nearBlocks,
+                s.farBlocks, s.promoteInFlight, s.demoteInFlight,
+                s.peakFarBlocks, s.abandonedMigrations);
+        const tier::MigrationEngine::State &m = g.migration;
+        appendf(out,
+                "migration %" PRIu64 " %" PRIu64 " %" PRIu64
+                " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                " %" PRIu64 " %" PRIu64 " %.17g %.17g\n",
+                m.traffic.downBytes, m.traffic.upBytes,
+                m.traffic.downTransfers, m.traffic.upTransfers,
+                m.promotions, m.demotions, m.farBorn, m.migratedBytes,
+                m.streamedBytes, m.exposedSeconds, m.hiddenSeconds);
+        appendf(out, "meta %zu\n", g.blockMeta.size());
+        for (const tier::TierBlockMeta &bm : g.blockMeta)
+            appendf(out,
+                    "m %" PRIu64 " %" PRIu32 " %d %" PRIu64 "\n",
+                    bm.owner, bm.chainPos, bm.writeHead ? 1 : 0,
+                    bm.lastTouch);
+        appendf(out, "pin %" PRIu64 "\n", g.pinViolations);
+    }
+
+    appendf(out, "seqs %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+            g.iterationSeq, g.lastAbandoned, g.lastPinViolations);
+}
+
+SchedulerState
+parseGroup(LineReader &in)
+{
+    SchedulerState g;
+    {
+        Tokens t = expect(in.next(), "clock");
+        g.clock = t.f64();
+        g.lastArrival = t.f64();
+        g.degradedUntil = t.f64();
+        t.done();
+    }
+    g.queue = parseRequests(in, "queue");
+    g.batch = parseRequests(in, "batch");
+    g.finished = parseRequests(in, "finished");
+    g.rejected = parseRequests(in, "rejected");
+    g.failed = parseRequests(in, "failed");
+    {
+        Tokens t = expect(in.next(), "kvpool");
+        g.kvPool.capacityBytes = t.u64();
+        g.kvPool.reservedBytes = t.u64();
+        g.kvPool.peakReservedBytes = t.u64();
+        t.done();
+    }
+
+    g.paged = parseFlag(in.next(), "paged");
+    if (g.paged) {
+        {
+            Tokens t = expect(in.next(), "blocks");
+            g.blocks.peakUsed = t.u64();
+            g.blocks.allocations = t.u64();
+            g.blocks.frees = t.u64();
+            t.done();
+        }
+        for (std::uint64_t v : parseU64Vec(in.next(), "refs"))
+            g.blocks.refs.push_back(
+                static_cast<std::uint32_t>(v));
+        for (std::uint64_t v : parseU64Vec(in.next(), "free"))
+            g.blocks.freeList.push_back(static_cast<BlockId>(v));
+        {
+            Tokens t = expect(in.next(), "prefix");
+            const std::size_t n = static_cast<std::size_t>(t.u64());
+            g.prefix.seq = t.u64();
+            g.prefix.evictions = t.u64();
+            g.prefix.insertions = t.u64();
+            t.done();
+            g.prefix.entries.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                Tokens e = expect(in.next(), "e");
+                PrefixCache::EntryState es;
+                es.hash = e.u64();
+                es.block = static_cast<BlockId>(e.u64());
+                es.parent = e.u64();
+                es.children = static_cast<std::uint32_t>(e.u64());
+                es.lastUse = e.u64();
+                es.partialTail = e.u64() != 0;
+                e.done();
+                g.prefix.entries.push_back(es);
+            }
+        }
+        {
+            Tokens t = expect(in.next(), "held");
+            const std::size_t n = static_cast<std::size_t>(t.u64());
+            t.done();
+            g.heldBlocks.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                Tokens h = expect(in.next(), "h");
+                const std::uint64_t id = h.u64();
+                const std::size_t nb =
+                    static_cast<std::size_t>(h.u64());
+                std::vector<BlockId> blocks;
+                blocks.reserve(nb);
+                for (std::size_t b = 0; b < nb; ++b)
+                    blocks.push_back(static_cast<BlockId>(h.u64()));
+                h.done();
+                g.heldBlocks.emplace_back(id, std::move(blocks));
+            }
+        }
+    }
+
+    g.tiered = parseFlag(in.next(), "tiered");
+    if (g.tiered) {
+        for (std::uint64_t v : parseU64Vec(in.next(), "residency")) {
+            if (v > 4)
+                throw SnapshotError("snapshot: bad residency value");
+            g.tierPool.residency.push_back(
+                static_cast<std::uint8_t>(v));
+        }
+        {
+            Tokens t = expect(in.next(), "tierstats");
+            tier::TierStats &s = g.tierPool.stats;
+            s.nearCapacity = t.u64();
+            s.farCapacity = t.u64();
+            s.nearBlocks = t.u64();
+            s.farBlocks = t.u64();
+            s.promoteInFlight = t.u64();
+            s.demoteInFlight = t.u64();
+            s.peakFarBlocks = t.u64();
+            s.abandonedMigrations = t.u64();
+            t.done();
+        }
+        {
+            Tokens t = expect(in.next(), "migration");
+            tier::MigrationEngine::State &m = g.migration;
+            m.traffic.downBytes = t.u64();
+            m.traffic.upBytes = t.u64();
+            m.traffic.downTransfers = t.u64();
+            m.traffic.upTransfers = t.u64();
+            m.promotions = t.u64();
+            m.demotions = t.u64();
+            m.farBorn = t.u64();
+            m.migratedBytes = t.u64();
+            m.streamedBytes = t.u64();
+            m.exposedSeconds = t.f64();
+            m.hiddenSeconds = t.f64();
+            t.done();
+        }
+        {
+            Tokens t = expect(in.next(), "meta");
+            const std::size_t n = static_cast<std::size_t>(t.u64());
+            t.done();
+            g.blockMeta.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                Tokens m = expect(in.next(), "m");
+                tier::TierBlockMeta bm;
+                bm.owner = m.u64();
+                bm.chainPos = static_cast<std::uint32_t>(m.u64());
+                bm.writeHead = m.u64() != 0;
+                bm.lastTouch = m.u64();
+                m.done();
+                g.blockMeta.push_back(bm);
+            }
+        }
+        g.pinViolations = parseU64Field(in.next(), "pin");
+    }
+
+    {
+        Tokens t = expect(in.next(), "seqs");
+        g.iterationSeq = t.u64();
+        g.lastAbandoned = t.u64();
+        g.lastPinViolations = t.u64();
+        t.done();
+    }
+    return g;
+}
+
+void
+appendMetrics(std::string &out, const ServeMetrics::State &m)
+{
+    out += "metrics\n";
+    appendHistogram(out, "token_latency", m.tokenLatency);
+    appendHistogram(out, "ttft", m.ttft);
+    appendAverage(out, "batch_size", m.batchSize);
+    appendAverage(out, "queue_depth", m.queueDepth);
+    appendAverage(out, "kv_utilization", m.kvUtilization);
+    appendAverage(out, "kv_fragmentation", m.kvFragmentation);
+    appendf(out,
+            "counts %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+            " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+            " %" PRIu64 "\n",
+            m.completed, m.rejected, m.tokens, m.sloMetRequests,
+            m.sloMetTokens, m.iterFailures, m.retries, m.failed,
+            m.devices);
+    appendf(out, "scalars %.17g %.17g %.17g %.17g %.17g\n",
+            m.degradedSeconds, m.peakKvUtil, m.kvUtilSecondsIntegral,
+            m.kvBlockSecondsIntegral, m.kvIntervalSeconds);
+    appendf(out,
+            "pagedcounts %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+            " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+            " %" PRIu64 "\n",
+            m.prefixLookups, m.prefixHits, m.sharedTokens,
+            m.cachedTokens, m.cowCopies, m.cacheEvictions,
+            m.preemptions, m.recomputeTokens, m.peakKvBlocks);
+    appendf(out, "tier %d\n", m.tierEnabled ? 1 : 0);
+    if (m.tierEnabled) {
+        appendf(out,
+                "tiercounts %" PRIu64 " %" PRIu64 " %" PRIu64
+                " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                " %" PRIu64 " %" PRIu64 "\n",
+                m.tierDemotions, m.tierPromotions, m.tierFarBorn,
+                m.tierMigratedBytes, m.tierStreamedBytes,
+                m.tierAbandoned, m.tierPinViolations,
+                m.peakNearBlocks, m.peakFarBlocks);
+        appendf(out, "tierscalars %.17g %.17g\n",
+                m.tierExposedSeconds, m.tierHiddenSeconds);
+    }
+}
+
+ServeMetrics::State
+parseMetrics(LineReader &in)
+{
+    if (in.next() != "metrics")
+        throw SnapshotError("snapshot: missing metrics section");
+    ServeMetrics::State m;
+    m.tokenLatency = parseHistogram(in.next(), "token_latency");
+    m.ttft = parseHistogram(in.next(), "ttft");
+    m.batchSize = parseAverage(in.next(), "batch_size");
+    m.queueDepth = parseAverage(in.next(), "queue_depth");
+    m.kvUtilization = parseAverage(in.next(), "kv_utilization");
+    m.kvFragmentation = parseAverage(in.next(), "kv_fragmentation");
+    {
+        Tokens t = expect(in.next(), "counts");
+        m.completed = t.u64();
+        m.rejected = t.u64();
+        m.tokens = t.u64();
+        m.sloMetRequests = t.u64();
+        m.sloMetTokens = t.u64();
+        m.iterFailures = t.u64();
+        m.retries = t.u64();
+        m.failed = t.u64();
+        m.devices = t.u64();
+        t.done();
+    }
+    {
+        Tokens t = expect(in.next(), "scalars");
+        m.degradedSeconds = t.f64();
+        m.peakKvUtil = t.f64();
+        m.kvUtilSecondsIntegral = t.f64();
+        m.kvBlockSecondsIntegral = t.f64();
+        m.kvIntervalSeconds = t.f64();
+        t.done();
+    }
+    {
+        Tokens t = expect(in.next(), "pagedcounts");
+        m.prefixLookups = t.u64();
+        m.prefixHits = t.u64();
+        m.sharedTokens = t.u64();
+        m.cachedTokens = t.u64();
+        m.cowCopies = t.u64();
+        m.cacheEvictions = t.u64();
+        m.preemptions = t.u64();
+        m.recomputeTokens = t.u64();
+        m.peakKvBlocks = t.u64();
+        t.done();
+    }
+    m.tierEnabled = parseFlag(in.next(), "tier");
+    if (m.tierEnabled) {
+        Tokens t = expect(in.next(), "tiercounts");
+        m.tierDemotions = t.u64();
+        m.tierPromotions = t.u64();
+        m.tierFarBorn = t.u64();
+        m.tierMigratedBytes = t.u64();
+        m.tierStreamedBytes = t.u64();
+        m.tierAbandoned = t.u64();
+        m.tierPinViolations = t.u64();
+        m.peakNearBlocks = t.u64();
+        m.peakFarBlocks = t.u64();
+        t.done();
+        Tokens s = expect(in.next(), "tierscalars");
+        m.tierExposedSeconds = s.f64();
+        m.tierHiddenSeconds = s.f64();
+        s.done();
+    }
+    return m;
+}
+
+} // namespace
+
+std::string
+snapshotToText(const ServingSnapshot &s)
+{
+    std::string out;
+    out += kMagic;
+    out += '\n';
+    appendf(out, "groups %zu\n", s.groups.size());
+    for (std::size_t g = 0; g < s.groups.size(); ++g) {
+        appendf(out, "group %zu\n", g);
+        appendGroup(out, s.groups[g]);
+    }
+    appendMetrics(out, s.metrics);
+
+    appendf(out, "faults %d\n", s.hasFaults ? 1 : 0);
+    if (s.hasFaults) {
+        appendf(out, "sites %zu\n", s.faults.sites.size());
+        for (const auto &site : s.faults.sites) {
+            out += "site ";
+            appendStr(out, site.name);
+            appendf(out, " %" PRIu64 " %" PRIu64 " %zu",
+                    site.rngState, site.accesses, site.fired.size());
+            for (const bool f : site.fired)
+                appendf(out, " %d", f ? 1 : 0);
+            out += '\n';
+        }
+        appendf(out, "flog %zu\n", s.faults.log.size());
+        for (const auto &r : s.faults.log) {
+            appendf(out, "f %" PRIu64 " %" PRIu64 " %d %" PRIu64 " ",
+                    r.seq, static_cast<std::uint64_t>(r.tick),
+                    static_cast<int>(r.kind), r.access);
+            appendStr(out, r.site);
+            out += '\n';
+        }
+    }
+
+    appendf(out, "trace %d\n", s.hasTrace ? 1 : 0);
+    if (s.hasTrace) {
+        appendf(out, "eventdispatch %d\n",
+                s.trace.eventDispatch ? 1 : 0);
+        appendf(out, "tracks %zu\n", s.trace.tracks.size());
+        for (const auto &t : s.trace.tracks) {
+            out += "t ";
+            appendStr(out, t.name);
+            out += ' ';
+            appendStr(out, t.category);
+            out += '\n';
+        }
+        appendf(out, "records %zu\n", s.trace.records.size());
+        for (const auto &r : s.trace.records) {
+            appendf(out,
+                    "x %d %" PRIu32 " %" PRIu64 " %" PRIu64
+                    " %.17g ",
+                    static_cast<int>(r.ph), r.track,
+                    static_cast<std::uint64_t>(r.ts),
+                    static_cast<std::uint64_t>(r.dur), r.value);
+            appendStr(out, r.name);
+            out += '\n';
+        }
+    }
+
+    appendf(out, "generator %d\n", s.hasGenerator ? 1 : 0);
+    if (s.hasGenerator)
+        appendf(out, "gen %" PRIu64 " %" PRIu64 " %.17g\n",
+                s.generator.rngState, s.generator.produced,
+                s.generator.clock);
+
+    out += "end\n";
+    return out;
+}
+
+ServingSnapshot
+snapshotFromText(const std::string &text)
+{
+    LineReader in{text};
+    if (in.next() != kMagic)
+        throw SnapshotError("not a serving snapshot (bad magic)");
+
+    ServingSnapshot s;
+    const std::size_t n_groups =
+        static_cast<std::size_t>(parseU64Field(in.next(), "groups"));
+    s.groups.reserve(n_groups);
+    for (std::size_t g = 0; g < n_groups; ++g) {
+        if (parseU64Field(in.next(), "group") != g)
+            throw SnapshotError("snapshot: group index mismatch");
+        s.groups.push_back(parseGroup(in));
+    }
+    s.metrics = parseMetrics(in);
+
+    s.hasFaults = parseFlag(in.next(), "faults");
+    if (s.hasFaults) {
+        const std::size_t n_sites = static_cast<std::size_t>(
+            parseU64Field(in.next(), "sites"));
+        s.faults.sites.reserve(n_sites);
+        for (std::size_t i = 0; i < n_sites; ++i) {
+            Tokens t = expect(in.next(), "site");
+            fault::FaultInjector::SiteState site;
+            site.name = t.str();
+            site.rngState = t.u64();
+            site.accesses = t.u64();
+            const std::size_t nf =
+                static_cast<std::size_t>(t.u64());
+            site.fired.reserve(nf);
+            for (std::size_t f = 0; f < nf; ++f)
+                site.fired.push_back(t.u64() != 0);
+            t.done();
+            s.faults.sites.push_back(std::move(site));
+        }
+        const std::size_t n_log = static_cast<std::size_t>(
+            parseU64Field(in.next(), "flog"));
+        s.faults.log.reserve(n_log);
+        for (std::size_t i = 0; i < n_log; ++i) {
+            Tokens t = expect(in.next(), "f");
+            fault::FaultInjector::Record r;
+            r.seq = t.u64();
+            r.tick = static_cast<Tick>(t.u64());
+            const std::uint64_t kind = t.u64();
+            if (kind >
+                static_cast<std::uint64_t>(
+                    fault::FaultKind::IterationFail))
+                throw SnapshotError("snapshot: bad fault kind");
+            r.kind = static_cast<fault::FaultKind>(kind);
+            r.access = t.u64();
+            r.site = t.str();
+            t.done();
+            s.faults.log.push_back(std::move(r));
+        }
+    }
+
+    s.hasTrace = parseFlag(in.next(), "trace");
+    if (s.hasTrace) {
+        s.trace.eventDispatch =
+            parseFlag(in.next(), "eventdispatch");
+        const std::size_t n_tracks = static_cast<std::size_t>(
+            parseU64Field(in.next(), "tracks"));
+        s.trace.tracks.reserve(n_tracks);
+        for (std::size_t i = 0; i < n_tracks; ++i) {
+            Tokens t = expect(in.next(), "t");
+            trace::Tracer::Track tr;
+            tr.name = t.str();
+            tr.category = t.str();
+            t.done();
+            s.trace.tracks.push_back(std::move(tr));
+        }
+        const std::size_t n_records = static_cast<std::size_t>(
+            parseU64Field(in.next(), "records"));
+        s.trace.records.reserve(n_records);
+        for (std::size_t i = 0; i < n_records; ++i) {
+            Tokens t = expect(in.next(), "x");
+            trace::Tracer::Record r;
+            const std::uint64_t ph = t.u64();
+            if (ph >
+                static_cast<std::uint64_t>(
+                    trace::Tracer::Phase::Counter))
+                throw SnapshotError("snapshot: bad trace phase");
+            r.ph = static_cast<trace::Tracer::Phase>(ph);
+            r.track = static_cast<trace::TrackId>(t.u64());
+            r.ts = static_cast<Tick>(t.u64());
+            r.dur = static_cast<Tick>(t.u64());
+            r.value = t.f64();
+            r.name = t.str();
+            t.done();
+            s.trace.records.push_back(std::move(r));
+        }
+    }
+
+    s.hasGenerator = parseFlag(in.next(), "generator");
+    if (s.hasGenerator) {
+        Tokens t = expect(in.next(), "gen");
+        s.generator.rngState = t.u64();
+        s.generator.produced = t.u64();
+        s.generator.clock = t.f64();
+        t.done();
+    }
+
+    if (in.next() != "end")
+        throw SnapshotError("snapshot: missing end marker");
+    return s;
+}
+
+void
+saveSnapshot(const ServingSnapshot &s, const std::string &path)
+{
+    const std::string text = snapshotToText(s);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        throw SnapshotError("cannot write snapshot '" + path + "'");
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+ServingSnapshot
+loadSnapshot(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        throw SnapshotError("cannot read snapshot '" + path + "'");
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return snapshotFromText(text);
+}
+
+} // namespace serve
+} // namespace cxlpnm

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Warm-state snapshot/restore for the serving stack.
+ *
+ * A fleet sweep repeats the same warmup (filling the batch, the paged
+ * KV pool, the prefix cache, the tier ledger) at every operating
+ * point. A ServingSnapshot captures the complete mutable state of a
+ * warm serving stack between iterations - every scheduler group, the
+ * metrics collector, and (when attached) the fault injector, tracer,
+ * and request generator - so later runs restore it and continue as if
+ * never interrupted: the contract is *byte-identical* continuation
+ * (stats dump, trace JSON, fault log, KV/tier ledgers) versus the
+ * uninterrupted run, which tests/test_snapshot verifies.
+ *
+ * Configuration is deliberately NOT captured: a snapshot restores onto
+ * a stack rebuilt with the same model, cost model, scheduler config,
+ * and capacities (component restore methods fatal on structural
+ * mismatches; the text loader throws SnapshotError on malformed or
+ * truncated input). Snapshots serialize to a deterministic text form -
+ * identical state produces identical bytes - so snapshot files can be
+ * diffed and checksummed like the other determinism artifacts.
+ */
+
+#ifndef CXLPNM_SERVE_SNAPSHOT_HH
+#define CXLPNM_SERVE_SNAPSHOT_HH
+
+#include <string>
+#include <vector>
+
+#include "serve/dispatcher.hh"
+#include "serve/metrics.hh"
+#include "serve/request_generator.hh"
+#include "serve/scheduler.hh"
+#include "sim/fault.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+/**
+ * A snapshot that cannot be used: malformed or truncated file,
+ * unwritable path. Thrown instead of a fatal so drivers can print a
+ * message and exit cleanly (the same contract as TraceConfigError and
+ * CalibrationError).
+ */
+class SnapshotError : public FatalError
+{
+  public:
+    using FatalError::FatalError;
+};
+
+/** The serving stack's full warm state. Optional sections cover the
+ *  attachments a driver may or may not have wired. */
+struct ServingSnapshot
+{
+    /** One entry per scheduler (dispatcher group order). */
+    std::vector<SchedulerState> groups;
+    ServeMetrics::State metrics;
+
+    bool hasFaults = false;
+    fault::FaultInjector::State faults;
+
+    bool hasTrace = false;
+    trace::Tracer::State trace;
+
+    bool hasGenerator = false;
+    RequestGenerator::State generator;
+};
+
+/** Deterministic text form (identical snapshots, identical bytes). */
+std::string snapshotToText(const ServingSnapshot &s);
+
+/** Parse snapshotToText output; throws SnapshotError on anything
+ *  malformed or truncated. */
+ServingSnapshot snapshotFromText(const std::string &text);
+
+/** Write/read a snapshot file; throws SnapshotError on I/O or parse
+ *  failure. */
+void saveSnapshot(const ServingSnapshot &s, const std::string &path);
+ServingSnapshot loadSnapshot(const std::string &path);
+
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_SNAPSHOT_HH

@@ -140,6 +140,39 @@ MigrationEngine::endIteration(double end)
     return iter_;
 }
 
+MigrationEngine::State
+MigrationEngine::state() const
+{
+    panic_if(!issued_.empty(),
+             "migration-engine snapshot with ", issued_.size(),
+             " transfers in flight; snapshot between iterations");
+    State s;
+    s.traffic = traffic_;
+    s.promotions = promotionsTotal_;
+    s.demotions = demotionsTotal_;
+    s.farBorn = farBornTotal_;
+    s.migratedBytes = migratedBytesTotal_;
+    s.streamedBytes = streamedBytesTotal_;
+    s.exposedSeconds = exposedTotal_;
+    s.hiddenSeconds = hiddenTotal_;
+    return s;
+}
+
+void
+MigrationEngine::restore(const State &s)
+{
+    panic_if(!issued_.empty(),
+             "migration-engine restore with transfers in flight");
+    traffic_ = s.traffic;
+    promotionsTotal_ = s.promotions;
+    demotionsTotal_ = s.demotions;
+    farBornTotal_ = s.farBorn;
+    migratedBytesTotal_ = s.migratedBytes;
+    streamedBytesTotal_ = s.streamedBytes;
+    exposedTotal_ = s.exposedSeconds;
+    hiddenTotal_ = s.hiddenSeconds;
+}
+
 } // namespace tier
 } // namespace serve
 } // namespace cxlpnm

@@ -101,6 +101,25 @@ class MigrationEngine
     const DecodeAheadPrefetcher &prefetcher() const { return prefetch_; }
     const cxl::TransferAccount &traffic() const { return traffic_; }
 
+    /** Cumulative accounting (warm-state snapshot/restore); legal
+     *  only between iterations (pendingMigrations() == 0, panic
+     *  otherwise). Per-step scratch needs no capture - beginIteration
+     *  resets it. */
+    struct State
+    {
+        cxl::TransferAccount traffic;
+        std::uint64_t promotions = 0;
+        std::uint64_t demotions = 0;
+        std::uint64_t farBorn = 0;
+        std::uint64_t migratedBytes = 0;
+        std::uint64_t streamedBytes = 0;
+        double exposedSeconds = 0.0;
+        double hiddenSeconds = 0.0;
+    };
+
+    State state() const;
+    void restore(const State &s);
+
     // --- cumulative counters (report feed) ---
     std::uint64_t promotions() const { return promotionsTotal_; }
     std::uint64_t demotions() const { return demotionsTotal_; }

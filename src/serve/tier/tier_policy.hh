@@ -78,6 +78,10 @@ class TierPolicy
     /** Times the policy had to break its own protection rule to make
      *  progress (0 for policies without one). */
     virtual std::uint64_t pinViolations() const { return 0; }
+
+    /** Warm-state restore of the violation counter (no-op for
+     *  policies without one). */
+    virtual void restorePinViolations(std::uint64_t) {}
 };
 
 /** Coldest block first; deeper decode distance breaks LRU ties. */
@@ -100,6 +104,11 @@ class PinnedRecentWindowPolicy : public TierPolicy
     const char *name() const override { return "pinned_recent_window"; }
     BlockId selectDemotion(const TierPolicyContext &ctx) override;
     std::uint64_t pinViolations() const override { return violations_; }
+    void
+    restorePinViolations(std::uint64_t v) override
+    {
+        violations_ = v;
+    }
 
   private:
     std::uint32_t window_;

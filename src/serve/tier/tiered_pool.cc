@@ -199,6 +199,47 @@ TieredBlockPool::checkConsistency() const
              " far slots of ", stats_.farCapacity);
 }
 
+TieredBlockPool::State
+TieredBlockPool::state() const
+{
+    State s;
+    s.residency.reserve(residency_.size());
+    for (Residency r : residency_) {
+        panic_if(r == Residency::PromoteInFlight ||
+                     r == Residency::DemoteInFlight,
+                 "tier snapshot with a migration in flight; snapshot "
+                 "between iterations");
+        s.residency.push_back(static_cast<std::uint8_t>(r));
+    }
+    s.stats = stats_;
+    return s;
+}
+
+void
+TieredBlockPool::restore(const State &s)
+{
+    fatal_if(s.residency.size() != residency_.size(),
+             "tier restore: state covers ", s.residency.size(),
+             " blocks, pool has ", residency_.size());
+    fatal_if(s.stats.nearCapacity != stats_.nearCapacity ||
+                 s.stats.farCapacity != stats_.farCapacity,
+             "tier restore: capacity mismatch (state ",
+             s.stats.nearCapacity, "+", s.stats.farCapacity,
+             ", pool ", stats_.nearCapacity, "+", stats_.farCapacity,
+             ")");
+    for (std::size_t i = 0; i < s.residency.size(); ++i) {
+        const auto r = static_cast<Residency>(s.residency[i]);
+        fatal_if(r != Residency::None && r != Residency::Near &&
+                     r != Residency::Far,
+                 "tier restore: block ", i, " has residency ",
+                 static_cast<int>(s.residency[i]),
+                 "; only settled states are restorable");
+        residency_[i] = r;
+    }
+    stats_ = s.stats;
+    checkConsistency();
+}
+
 } // namespace tier
 } // namespace serve
 } // namespace cxlpnm

@@ -116,6 +116,19 @@ class TieredBlockPool : public KvBlockManager::Observer
      *  on any divergence from the incremental ledger (drain checks). */
     void checkConsistency() const;
 
+    /** Residency ledger state (warm-state snapshot/restore). Only
+     *  settled residencies are legal: snapshots are taken between
+     *  iterations, when nothing is in flight. */
+    struct State
+    {
+        std::vector<std::uint8_t> residency;
+        TierStats stats;
+    };
+
+    State state() const;
+    /** Fatal on a capacity/size mismatch or in-flight residency. */
+    void restore(const State &s);
+
     // --- KvBlockManager::Observer ---
     void onAllocated(BlockId b) override;
     void onFreed(BlockId b) override;

@@ -130,15 +130,43 @@ EventQueue::~EventQueue()
             delete ev;
     }
     heap_.clear();
+    for (Event *ev : oneShotPool_)
+        delete ev;
+    oneShotPool_.clear();
 }
 
 void
 EventQueue::scheduleOneShot(std::string name, Tick when,
                             std::function<void()> fn, int priority)
 {
-    auto *ev = new Event(std::move(name), std::move(fn), priority);
-    ev->oneShot_ = true;
+    Event *ev;
+    if (!oneShotPool_.empty()) {
+        ev = oneShotPool_.back();
+        oneShotPool_.pop_back();
+        ++oneShotReuses_;
+        // Assignment into the recycled slots reuses their existing
+        // string/function storage where the capacity fits.
+        ev->name_ = std::move(name);
+        ev->callback_ = std::move(fn);
+        ev->priority_ = priority;
+        panic_if(!ev->callback_,
+                 "event '", ev->name_, "' scheduled without callback");
+    } else {
+        ev = new Event(std::move(name), std::move(fn), priority);
+        ev->oneShot_ = true;
+        ++oneShotAllocs_;
+    }
     schedule(*ev, when);
+}
+
+void
+EventQueue::recycleOneShot(Event *ev)
+{
+    // Drop the callback now so its captures die at the same point a
+    // fresh-allocation implementation would have destroyed them (right
+    // after the dispatch), not whenever the slot is next reused.
+    ev->callback_ = nullptr;
+    oneShotPool_.push_back(ev);
 }
 
 void
@@ -175,11 +203,21 @@ EventQueue::step()
     if (tracer_ != nullptr && tracer_->eventDispatch())
         tracer_->instant(traceTrack_, ev->name_, now_);
     // Hold one-shot ownership across the callback: a throwing handler
-    // (the panic/fatal paths) must not leak the event.
-    std::unique_ptr<Event> reclaim(ev->oneShot_ ? ev : nullptr);
+    // (the panic/fatal paths) must not leak the event — it lands in the
+    // recycle pool either way and the queue destructor frees the pool.
+    struct Reclaim
+    {
+        EventQueue *q;
+        Event *ev;
+        ~Reclaim()
+        {
+            if (ev)
+                q->recycleOneShot(ev);
+        }
+    } reclaim{this, ev->oneShot_ ? ev : nullptr};
     ev->callback_();
     if (ev->oneShot_ && ev->queue_ != nullptr) {
-        reclaim.release(); // it is back in the queue, owned there
+        reclaim.ev = nullptr; // it is back in the queue, owned there
         panic("one-shot event '", ev->name_, "' rescheduled itself");
     }
     return true;

@@ -104,10 +104,24 @@ class EventQueue
      * Fire @p fn once at tick @p when. The queue owns the backing event
      * and frees it after it fires (or at queue destruction). Handy for
      * fire-and-forget latencies where no reusable Event member exists.
+     *
+     * Fired one-shots are recycled through an internal free list, so a
+     * steady-state simulation performs no heap allocation per dispatch:
+     * the Event object, its name storage, and (capture-size permitting)
+     * its std::function buffer are all reused. Recycling happens after
+     * the callback returns — timing, ordering, and observable behaviour
+     * are identical to a fresh allocation.
      */
     void scheduleOneShot(std::string name, Tick when,
                          std::function<void()> fn,
                          int priority = Event::defaultPriority);
+
+    /** One-shot events that required a fresh heap allocation. */
+    std::uint64_t oneShotHeapAllocs() const { return oneShotAllocs_; }
+    /** One-shot events served from the recycle pool instead. */
+    std::uint64_t oneShotPoolReuses() const { return oneShotReuses_; }
+    /** Events currently parked in the recycle pool. */
+    std::size_t oneShotPoolSize() const { return oneShotPool_.size(); }
 
     /** Remove a scheduled event without firing it. */
     void deschedule(Event &ev);
@@ -161,11 +175,18 @@ class EventQueue
     void siftDown(std::size_t i);
     /** Detach heap_[i] from the heap and restore the heap property. */
     Event *removeAt(std::size_t i);
+    /** Park a fired one-shot in the pool, releasing its captures. */
+    void recycleOneShot(Event *ev);
 
     std::vector<Event *> heap_;
     Tick now_ = 0;
     std::uint64_t nextSequence_ = 0;
     std::uint64_t fired_ = 0;
+
+    /** Recycle pool for fired one-shot events (see scheduleOneShot). */
+    std::vector<Event *> oneShotPool_;
+    std::uint64_t oneShotAllocs_ = 0;
+    std::uint64_t oneShotReuses_ = 0;
 
     trace::Tracer *tracer_ = nullptr;
     /** Dispatch-instant track; registered by setTracer. */

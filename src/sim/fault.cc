@@ -174,6 +174,48 @@ FaultInjector::firedCount(FaultKind k) const
     return n;
 }
 
+FaultInjector::State
+FaultInjector::state() const
+{
+    State s;
+    // sites_ is an ordered map, so the state is name-sorted and its
+    // serialized form deterministic.
+    for (const auto &[name, site] : sites_) {
+        SiteState ss;
+        ss.name = name;
+        ss.rngState = site->rng_.state();
+        ss.accesses = site->accesses_;
+        ss.fired.reserve(site->armed_.size());
+        for (const auto &a : site->armed_)
+            ss.fired.push_back(a.fired);
+        s.sites.push_back(std::move(ss));
+    }
+    s.log = log_;
+    return s;
+}
+
+void
+FaultInjector::restore(const State &s)
+{
+    for (const SiteState &ss : s.sites) {
+        auto it = sites_.find(ss.name);
+        fatal_if(it == sites_.end(),
+                 "fault restore: site '", ss.name,
+                 "' does not exist; rebuild the stack with the same "
+                 "configuration before restoring");
+        FaultSite &site = *it->second;
+        fatal_if(ss.fired.size() != site.armed_.size(),
+                 "fault restore: site '", ss.name, "' has ",
+                 site.armed_.size(), " armed specs, state has ",
+                 ss.fired.size());
+        site.rng_.setState(ss.rngState);
+        site.accesses_ = ss.accesses;
+        for (std::size_t i = 0; i < ss.fired.size(); ++i)
+            site.armed_[i].fired = ss.fired[i];
+    }
+    log_ = s.log;
+}
+
 void
 FaultInjector::record(const std::string &site, FaultKind kind, Tick tick,
                       std::uint64_t access)

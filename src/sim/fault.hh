@@ -169,6 +169,35 @@ class FaultInjector
     std::uint64_t firedCount(FaultKind k) const;
     std::uint64_t totalFired() const { return log_.size(); }
 
+    /** One site's mutable state (warm-state snapshot/restore). */
+    struct SiteState
+    {
+        std::string name;
+        std::uint64_t rngState = 0;
+        std::uint64_t accesses = 0;
+        /** Per armed spec, in arming order: already fired? */
+        std::vector<bool> fired;
+    };
+
+    /** Injector state: per-site progress plus the fired-fault log.
+     *  Armed specs and the seed are configuration, not state - a
+     *  restore target must be built with the same seed and specs. */
+    struct State
+    {
+        std::vector<SiteState> sites;
+        std::vector<Record> log;
+    };
+
+    State state() const;
+
+    /**
+     * Restore @p s. Every site in @p s must already exist with the
+     * same number of armed specs (i.e. the injector was rebuilt with
+     * the same configuration and its components re-registered their
+     * sites); fatal otherwise.
+     */
+    void restore(const State &s);
+
     /** Byte-stable textual fault log (the determinism artifact). */
     void writeLog(std::ostream &os) const;
     std::string logString() const;

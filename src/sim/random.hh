@@ -20,6 +20,10 @@ class SplitMix64
   public:
     explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
 
+    /** Raw generator state, for warm-state snapshot/restore. */
+    std::uint64_t state() const { return state_; }
+    void setState(std::uint64_t s) { state_ = s; }
+
     /** Next raw 64-bit value. */
     std::uint64_t
     next()

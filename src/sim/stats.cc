@@ -160,6 +160,36 @@ Histogram::dump(std::ostream &os, const std::string &prefix) const
        << hi_ << "\n";
 }
 
+Histogram::State
+Histogram::state() const
+{
+    State s;
+    s.hi = hi_;
+    s.extensions = extensions_;
+    s.buckets = buckets_;
+    s.underflow = underflow_;
+    s.overflow = overflow_;
+    s.count = count_;
+    s.sum = sum_;
+    return s;
+}
+
+void
+Histogram::restore(const State &s)
+{
+    fatal_if(s.buckets.size() != buckets_.size(),
+             "histogram restore: ", s.buckets.size(),
+             " buckets for a histogram configured with ",
+             buckets_.size());
+    hi_ = s.hi;
+    extensions_ = s.extensions;
+    buckets_ = s.buckets;
+    underflow_ = s.underflow;
+    overflow_ = s.overflow;
+    count_ = s.count;
+    sum_ = s.sum;
+}
+
 void
 Histogram::reset()
 {

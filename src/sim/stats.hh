@@ -71,12 +71,33 @@ class Average : public StatBase
   public:
     using StatBase::StatBase;
 
+    /** Raw accumulator state, for warm-state snapshot/restore. The
+     *  raw min/max keep their sentinel values at count 0 (unlike the
+     *  masking getters), so a restored stat dumps byte-identically. */
+    struct State
+    {
+        double sum = 0.0;
+        double min = std::numeric_limits<double>::infinity();
+        double max = -std::numeric_limits<double>::infinity();
+        std::uint64_t count = 0;
+    };
+
     void sample(double v);
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
     double sum() const { return sum_; }
+
+    State state() const { return {sum_, min_, max_, count_}; }
+    void
+    restore(const State &s)
+    {
+        sum_ = s.sum;
+        min_ = s.min;
+        max_ = s.max;
+        count_ = s.count;
+    }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void reset() override;
@@ -125,6 +146,22 @@ class Histogram : public StatBase
      * bound. 0 samples report 0.
      */
     double percentile(double q) const;
+
+    /** Sample state, for warm-state snapshot/restore; the bucket
+     *  vector must match the histogram's configured bucket count. */
+    struct State
+    {
+        double hi = 0.0;
+        std::uint32_t extensions = 0;
+        std::vector<std::uint64_t> buckets;
+        std::uint64_t underflow = 0;
+        std::uint64_t overflow = 0;
+        std::uint64_t count = 0;
+        double sum = 0.0;
+    };
+
+    State state() const;
+    void restore(const State &s);
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void reset() override;

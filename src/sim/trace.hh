@@ -111,7 +111,6 @@ class Tracer
      */
     void summary(std::ostream &os, std::size_t top_k = 5) const;
 
-  private:
     enum class Phase : std::uint8_t { Complete, Instant, Counter };
 
     struct Track
@@ -130,6 +129,34 @@ class Tracer
         std::string name;
     };
 
+    /** Full collector state, for warm-state snapshot/restore: a
+     *  restored tracer emits byte-identical JSON. */
+    struct State
+    {
+        std::vector<Track> tracks;
+        std::vector<Record> records;
+        bool eventDispatch = false;
+    };
+
+    State
+    state() const
+    {
+        return {tracks_, records_, eventDispatch_};
+    }
+
+    void
+    restore(State s)
+    {
+        tracks_ = std::move(s.tracks);
+        records_ = std::move(s.records);
+        eventDispatch_ = s.eventDispatch;
+        trackByName_.clear();
+        for (std::size_t i = 0; i < tracks_.size(); ++i)
+            trackByName_.emplace(tracks_[i].name,
+                                 static_cast<TrackId>(i + 1));
+    }
+
+  private:
     std::vector<Track> tracks_;
     std::unordered_map<std::string, TrackId> trackByName_;
     std::vector<Record> records_;

@@ -250,6 +250,61 @@ TEST_F(EventQueueTest, OneShotNotLeakedWhenCallbackThrows)
     EXPECT_TRUE(eq3.empty());
 }
 
+TEST_F(EventQueueTest, OneShotRecyclePoolReachesSteadyState)
+{
+    // The pool grows to the concurrent working set, then steady-state
+    // dispatch performs no fresh allocations: every further one-shot
+    // is served from the pool.
+    EventQueue eq;
+    constexpr std::size_t burst = 16;
+    for (std::size_t i = 0; i < burst; ++i)
+        eq.scheduleOneShot("warm", eq.now() + 1 + i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.oneShotHeapAllocs(), burst);
+    EXPECT_EQ(eq.oneShotPoolSize(), burst);
+
+    const auto allocs = eq.oneShotHeapAllocs();
+    for (int round = 0; round < 8; ++round) {
+        for (std::size_t i = 0; i < burst; ++i)
+            eq.scheduleOneShot("steady", eq.now() + 1 + i, [] {});
+        eq.run();
+    }
+    EXPECT_EQ(eq.oneShotHeapAllocs(), allocs);
+    EXPECT_EQ(eq.oneShotPoolReuses(), 8u * burst);
+    EXPECT_EQ(eq.oneShotPoolSize(), burst);
+
+    // A burst wider than the pool allocates exactly the shortfall.
+    for (std::size_t i = 0; i < 2 * burst; ++i)
+        eq.scheduleOneShot("wide", eq.now() + 1 + i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.oneShotHeapAllocs(), 2 * burst);
+}
+
+TEST_F(EventQueueTest, RecycledOneShotsReleaseCapturesAndStayOrdered)
+{
+    EventQueue eq;
+
+    // Parking a fired one-shot must drop its captured state — holding
+    // the callback alive in the pool would pin arbitrary resources.
+    auto token = std::make_shared<int>(7);
+    eq.scheduleOneShot("cap", 1, [token] {});
+    EXPECT_EQ(token.use_count(), 2);
+    eq.run();
+    EXPECT_EQ(token.use_count(), 1);
+
+    // Recycling is timing- and order-invariant: a reused event fires
+    // at its new tick with its new priority exactly like a fresh one.
+    std::vector<int> order;
+    eq.scheduleOneShot("late", eq.now() + 5,
+                       [&] { order.push_back(2); },
+                       Event::reportPriority);
+    eq.scheduleOneShot("early", eq.now() + 5,
+                       [&] { order.push_back(1); });
+    eq.run();
+    EXPECT_GT(eq.oneShotPoolReuses(), 0u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
 TEST(ClockDomainTest, PeriodAndConversionsAt1GHz)
 {
     ClockDomain clk(1e9);

@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Warm-state snapshot/restore tests (serve/snapshot): run-to-T,
+ * snapshot, restore onto a fresh identically-configured stack, and
+ * continue - the continuation must be byte-identical to the
+ * uninterrupted run (metrics dump, trace JSON, fault log, request
+ * timelines, KV/tier ledgers). Plus the deterministic text format's
+ * round-trip and typed-error contracts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "serve/request_generator.hh"
+#include "serve/snapshot.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+namespace
+{
+
+/** Hand-built cost model: snapshot logic needs no event sim. */
+BatchCostModel
+syntheticCost()
+{
+    BatchCostModel c;
+    c.sumCurve.addSample(1, 1.0e-3);
+    c.sumCurve.addSample(1024, 10.0e-3);
+    c.genWeightSeconds = 10.0e-3;
+    c.genKvPerTokenSeconds = 2.0e-6;
+    c.perTokenComputeSeconds = 0.2e-3;
+    return c;
+}
+
+struct TempPath
+{
+    std::string path;
+    explicit TempPath(const std::string &p) : path(p) {}
+    ~TempPath() { std::remove(path.c_str()); }
+};
+
+std::string
+statsDump(const ServeMetrics &m)
+{
+    std::ostringstream os;
+    m.dumpStats(os);
+    return os.str();
+}
+
+/**
+ * One serving stack with every optional attachment, so a snapshot
+ * taken from it exercises every section of the format. The trace is
+ * fixed-rate so the first unsubmitted request's arrival time is known
+ * exactly - the split point of the resume tests.
+ */
+struct Stack
+{
+    llm::ModelConfig model = llm::ModelConfig::tiny();
+    ServeMetrics metrics;
+    fault::FaultInjector inj;
+    trace::Tracer tracer;
+    BatchScheduler sched;
+    RequestGenerator gen;
+
+    Stack(const SchedulerConfig &cfg, std::uint64_t capacity,
+          const TraceConfig &trace, std::uint64_t fault_seed,
+          bool with_fault)
+        : metrics(nullptr, "serve"), inj(fault_seed),
+          sched(model, syntheticCost(), capacity, cfg, metrics),
+          gen(trace)
+    {
+        if (with_fault) {
+            inj.arm(fault::FaultSpec::probabilistic(
+                "grp", fault::FaultKind::IterationFail, 0.08));
+            sched.attachFaultSite(inj.site("grp"));
+        }
+        sched.attachTracer(&tracer, "app.serve");
+    }
+
+    /** Pull @p n arrivals out of the generator into the scheduler. */
+    void
+    submitN(std::size_t n)
+    {
+        for (std::size_t i = 0; i < n && !gen.exhausted(); ++i)
+            sched.submit(gen.next());
+    }
+
+    void
+    submitRest()
+    {
+        while (!gen.exhausted())
+            sched.submit(gen.next());
+    }
+
+    ServingSnapshot
+    snapshot(bool with_fault) const
+    {
+        ServingSnapshot s;
+        s.groups.push_back(sched.state());
+        s.metrics = metrics.state();
+        s.hasFaults = with_fault;
+        if (with_fault)
+            s.faults = inj.state();
+        s.hasTrace = true;
+        s.trace = tracer.state();
+        s.hasGenerator = true;
+        s.generator = gen.state();
+        return s;
+    }
+
+    void
+    restore(const ServingSnapshot &s)
+    {
+        ASSERT_EQ(s.groups.size(), 1u);
+        sched.restore(s.groups[0]);
+        metrics.restore(s.metrics);
+        if (s.hasFaults)
+            inj.restore(s.faults);
+        if (s.hasTrace)
+            tracer.restore(s.trace);
+        if (s.hasGenerator)
+            gen.restore(s.generator);
+    }
+};
+
+TraceConfig
+fixedTrace(std::size_t n, double rate)
+{
+    TraceConfig t;
+    t.arrivals = ArrivalProcess::Fixed;
+    t.requestsPerSec = rate;
+    t.numRequests = n;
+    t.input = LengthDistribution::uniform(8, 40);
+    t.output = LengthDistribution::uniform(4, 24);
+    t.seed = 7;
+    t.prefixReuse = 0.6;
+    t.prefixGroups = 3;
+    t.prefixTokens = 24;
+    return t;
+}
+
+SchedulerConfig
+tieredConfig()
+{
+    SchedulerConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.paged.enabled = true;
+    cfg.paged.blockTokens = 8;
+    cfg.paged.preemption = true;
+    cfg.paged.prefixCaching = true;
+    cfg.paged.tier.farBlocks = 12;
+    cfg.ras.maxRequestRetries = 2;
+    cfg.ras.degradedCooldownSeconds = 0.02;
+    return cfg;
+}
+
+/**
+ * Reference run and split run over the same configuration; the split
+ * run snapshots after @p split_n submissions + advanceTo(T), restores
+ * onto a brand-new stack, and continues. Every observable artifact
+ * must match the uninterrupted run byte-for-byte.
+ */
+void
+expectResumeByteIdentical(const SchedulerConfig &cfg,
+                          std::uint64_t capacity, bool with_fault)
+{
+    const std::size_t n = 40;
+    const double rate = 50.0;
+    const std::size_t split_n = 17;
+    // Strictly between the last submitted arrival ((split_n-1)/rate)
+    // and the first unsubmitted one (split_n/rate).
+    const double T = (static_cast<double>(split_n) - 0.5) / rate;
+    const TraceConfig trace = fixedTrace(n, rate);
+
+    // Uninterrupted reference: same submission schedule, no
+    // snapshot/restore (queue-depth samples count submitted-but-
+    // future requests, so the schedule is part of the contract).
+    Stack ref(cfg, capacity, trace, 99, with_fault);
+    ref.submitN(split_n);
+    ref.sched.advanceTo(T);
+    ref.submitRest();
+    ref.sched.drain();
+
+    // First half.
+    ServingSnapshot snap;
+    {
+        Stack a(cfg, capacity, trace, 99, with_fault);
+        a.submitN(split_n);
+        a.sched.advanceTo(T);
+        snap = a.snapshot(with_fault);
+        // The snapshot must round-trip through the text form; resume
+        // from the decoded copy so the serializer is on the tested
+        // path, not just the in-memory structs.
+        snap = snapshotFromText(snapshotToText(snap));
+    }
+
+    // Fresh stack, restore, continue.
+    Stack b(cfg, capacity, trace, 99, with_fault);
+    b.restore(snap);
+    if (cfg.paged.tier.enabled())
+        b.sched.tierPool()->checkConsistency();
+    b.submitRest();
+    b.sched.drain();
+    if (cfg.paged.tier.enabled())
+        b.sched.tierPool()->checkConsistency();
+
+    EXPECT_DOUBLE_EQ(b.sched.clockSeconds(), ref.sched.clockSeconds());
+    EXPECT_EQ(statsDump(b.metrics), statsDump(ref.metrics));
+    EXPECT_EQ(b.tracer.json(), ref.tracer.json());
+    EXPECT_EQ(b.inj.logString(), ref.inj.logString());
+
+    // Entire final states (request timelines, KV ledger, prefix trie,
+    // tier residency, counters) compared through the serializer.
+    ServingSnapshot fin_b = b.snapshot(with_fault);
+    ServingSnapshot fin_ref = ref.snapshot(with_fault);
+    EXPECT_EQ(snapshotToText(fin_b), snapshotToText(fin_ref));
+}
+
+// ---- resume byte-identity ----
+
+TEST(SnapshotResumeTest, BytePoolRunResumesByteIdentically)
+{
+    SchedulerConfig cfg;
+    cfg.maxBatch = 6;
+    expectResumeByteIdentical(cfg, 1ull << 22, false);
+}
+
+TEST(SnapshotResumeTest, PagedPrefixRunResumesByteIdentically)
+{
+    SchedulerConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.paged.enabled = true;
+    cfg.paged.blockTokens = 8;
+    const auto model = llm::ModelConfig::tiny();
+    // ~20 blocks: tight enough to evict and preempt.
+    expectResumeByteIdentical(cfg, 20 * model.kvCacheBytes(8), false);
+}
+
+TEST(SnapshotResumeTest, TieredFaultedRunResumesByteIdentically)
+{
+    const auto model = llm::ModelConfig::tiny();
+    // 10 near frames + 12 far blocks: demotions, far streams, and
+    // injected iteration faults all cross the snapshot point.
+    expectResumeByteIdentical(tieredConfig(),
+                              10 * model.kvCacheBytes(8), true);
+}
+
+TEST(SnapshotResumeTest, SnapshotAtTimeZeroEqualsFreshStart)
+{
+    SchedulerConfig cfg;
+    const TraceConfig trace = fixedTrace(12, 50.0);
+
+    ServingSnapshot snap;
+    {
+        Stack a(cfg, 1ull << 22, trace, 5, false);
+        snap = a.snapshot(false); // nothing has happened yet
+    }
+    Stack b(cfg, 1ull << 22, trace, 5, false);
+    b.restore(snap);
+    b.submitRest();
+    b.sched.drain();
+
+    Stack ref(cfg, 1ull << 22, trace, 5, false);
+    ref.submitRest();
+    ref.sched.drain();
+    EXPECT_EQ(statsDump(b.metrics), statsDump(ref.metrics));
+    EXPECT_EQ(b.tracer.json(), ref.tracer.json());
+}
+
+// ---- text format ----
+
+ServingSnapshot
+richSnapshot()
+{
+    const auto model = llm::ModelConfig::tiny();
+    Stack a(tieredConfig(), 10 * model.kvCacheBytes(8),
+            fixedTrace(40, 50.0), 99, true);
+    a.submitN(17);
+    a.sched.advanceTo(0.33);
+    ServingSnapshot s;
+    s.groups.push_back(a.sched.state());
+    s.metrics = a.metrics.state();
+    s.hasFaults = true;
+    s.faults = a.inj.state();
+    s.hasTrace = true;
+    s.trace = a.tracer.state();
+    s.hasGenerator = true;
+    s.generator = a.gen.state();
+    return s;
+}
+
+TEST(SnapshotFormatTest, TextRoundTripsByteIdentically)
+{
+    const ServingSnapshot s = richSnapshot();
+    const std::string text = snapshotToText(s);
+    EXPECT_EQ(text.rfind("end\n"), text.size() - 4);
+    EXPECT_EQ(snapshotToText(snapshotFromText(text)), text);
+}
+
+TEST(SnapshotFormatTest, MalformedSnapshotsThrowTypedErrors)
+{
+    EXPECT_THROW(snapshotFromText(""), SnapshotError);
+    EXPECT_THROW(snapshotFromText("not-a-snapshot\n"), SnapshotError);
+
+    const std::string good = snapshotToText(richSnapshot());
+    // Truncation anywhere past the magic is a typed error.
+    EXPECT_THROW(snapshotFromText(good.substr(0, good.size() / 2)),
+                 SnapshotError);
+    EXPECT_THROW(snapshotFromText(good.substr(0, good.size() - 4)),
+                 SnapshotError);
+    // A renamed field is a typed error, not a misparse.
+    std::string bad = good;
+    const std::size_t at = bad.find("\nkvpool ");
+    ASSERT_NE(at, std::string::npos);
+    bad.replace(at, 8, "\nkvpooL ");
+    EXPECT_THROW(snapshotFromText(bad), SnapshotError);
+}
+
+TEST(SnapshotFormatTest, FileRoundTripAndMissingFileThrow)
+{
+    const ServingSnapshot s = richSnapshot();
+    TempPath tmp("snapshot_roundtrip_test.txt");
+    saveSnapshot(s, tmp.path);
+    const ServingSnapshot back = loadSnapshot(tmp.path);
+    EXPECT_EQ(snapshotToText(back), snapshotToText(s));
+
+    EXPECT_THROW(loadSnapshot("no/such/snapshot/file.txt"),
+                 SnapshotError);
+}
+
+// ---- structural-mismatch fatals ----
+
+TEST(SnapshotRestoreTest, MismatchedConfigurationIsFatal)
+{
+    const auto model = llm::ModelConfig::tiny();
+    const ServingSnapshot s = richSnapshot(); // paged + tiered state
+
+    // Paged/tiered state into a byte-pool scheduler.
+    {
+        ServeMetrics m(nullptr, "serve");
+        BatchScheduler plain(model, syntheticCost(), 1ull << 22, {},
+                             m);
+        EXPECT_THROW(plain.restore(s.groups[0]), FatalError);
+    }
+    // Same shape, different KV capacity.
+    {
+        ServeMetrics m(nullptr, "serve");
+        BatchScheduler resized(model, syntheticCost(),
+                               11 * model.kvCacheBytes(8),
+                               tieredConfig(), m);
+        EXPECT_THROW(resized.restore(s.groups[0]), FatalError);
+    }
+    // Fault state into an injector whose sites never registered.
+    {
+        fault::FaultInjector empty(99);
+        EXPECT_THROW(empty.restore(s.faults), FatalError);
+    }
+}
+
+// ---- dispatcher (multi-group) resume ----
+
+TEST(SnapshotResumeTest, DispatcherResumeMatchesUninterrupted)
+{
+    const auto model = llm::ModelConfig::tiny();
+    const auto cost = syntheticCost();
+    core::ParallelismPlan plan;
+    plan.dataParallel = 2;
+    SchedulerConfig cfg;
+    cfg.maxBatch = 4;
+    const TraceConfig trace = fixedTrace(30, 50.0);
+    const std::uint64_t cap = 1ull << 22;
+
+    auto run_all = [&](ApplianceDispatcher &d, RequestGenerator &g,
+                       std::size_t from) {
+        std::size_t i = 0;
+        while (!g.exhausted()) {
+            const ServeRequest r = g.next();
+            if (i++ >= from)
+                d.submit(r);
+        }
+        d.drain();
+    };
+
+    ServeMetrics ref_m(nullptr, "serve");
+    ApplianceDispatcher ref(model, cost, plan, cap, cfg, ref_m);
+    {
+        RequestGenerator g(trace);
+        run_all(ref, g, 0);
+    }
+
+    // Split at 13 submissions.
+    ServingSnapshot snap;
+    {
+        ServeMetrics m(nullptr, "serve");
+        ApplianceDispatcher d(model, cost, plan, cap, cfg, m);
+        RequestGenerator g(trace);
+        for (std::size_t i = 0; i < 13; ++i)
+            d.submit(g.next());
+        snap.groups = d.state();
+        snap.metrics = m.state();
+        snap.hasGenerator = true;
+        snap.generator = g.state();
+        snap = snapshotFromText(snapshotToText(snap));
+    }
+
+    ServeMetrics m2(nullptr, "serve");
+    ApplianceDispatcher d2(model, cost, plan, cap, cfg, m2);
+    d2.restore(snap.groups);
+    m2.restore(snap.metrics);
+    RequestGenerator g2(trace);
+    g2.restore(snap.generator);
+    while (!g2.exhausted())
+        d2.submit(g2.next());
+    d2.drain();
+
+    EXPECT_DOUBLE_EQ(d2.clockSeconds(), ref.clockSeconds());
+    EXPECT_EQ(statsDump(m2), statsDump(ref_m));
+
+    // Group-count mismatch is fatal, not silent.
+    core::ParallelismPlan one;
+    one.dataParallel = 1;
+    ServeMetrics m3(nullptr, "serve");
+    ApplianceDispatcher d3(model, cost, one, cap, cfg, m3);
+    EXPECT_THROW(d3.restore(snap.groups), FatalError);
+}
+
+} // namespace
+} // namespace serve
+} // namespace cxlpnm
