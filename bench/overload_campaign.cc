@@ -1,0 +1,542 @@
+/**
+ * @file
+ * Overload-protection campaign: the serving tier pushed 2-4x past its
+ * measured capacity, with and without the protection stack.
+ *
+ * Phase 0 measures capacity: a back-to-back burst (everything arrives
+ * at once) drains at the appliance's saturation token rate, which
+ * anchors every other cell's offered load and the TTFT SLO.
+ *
+ * The campaign cells then compare, at identical arrival streams:
+ *
+ *  - capacity      0.8x saturation, Poisson, no protection - the
+ *                  goodput the appliance can actually deliver.
+ *  - overN_open    Nx saturation, bursty (MMPP), no protection: the
+ *                  FCFS queue grows without bound and nearly every
+ *                  request blows its TTFT SLO - the congestion cliff.
+ *  - overN_prot    the same stream behind the full stack: per-tenant
+ *                  token buckets + queue-depth admission gate,
+ *                  deadline-aware shedding, brownout ladder.
+ *  - over4_shed    shedding + brownout alone (no admission gate):
+ *                  deadline estimates turn guaranteed SLO misses into
+ *                  typed Shed terminations before they burn capacity.
+ *  - breaker       moderate load with scripted whole-group fail-stop
+ *                  faults; the per-group circuit breaker trips and the
+ *                  dispatcher routes around the open group.
+ *
+ * check=1 enforces the paper-level claims: protected goodput stays at
+ * >= goodput_floor (default 0.9) of measured capacity while the
+ * unprotected 4x cell collapses below it, protected strictly beats
+ * unprotected at every overload factor, the p99 TTFT of admitted
+ * requests stays bounded near the SLO, and every cell satisfies the
+ * accounting identity submitted = completed + shed + timed-out +
+ * throttled + rejected + failed.
+ *
+ * The out= JSON is a pure function of the simulation (no wall clock,
+ * no host info), so any two runs - any thread count - produce
+ * byte-identical files; CI diffs threads=1 against threads=4.
+ *
+ *   overload_campaign [seed=42] [threads=0] [n=160] [dp=2]
+ *                     [model=opt-13b] [out=BENCH_overload.json]
+ *                     [check=0] [goodput_floor=0.9] [trace=]
+ *
+ * `trace=<path>` records the protected 4x cell as Chrome-trace JSON
+ * (shed/timeout instants, brownout-level counter included); one
+ * self-contained cell, so the bytes are thread-count independent.
+ */
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/platform.hh"
+#include "serve/cost_model.hh"
+#include "serve/dispatcher.hh"
+#include "serve/request_generator.hh"
+#include "sim/config.hh"
+#include "sim/fault.hh"
+#include "sim/thread_pool.hh"
+#include "sim/trace.hh"
+
+using namespace cxlpnm;
+
+namespace
+{
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+constexpr std::uint64_t kInputTokens = 64;
+constexpr std::uint64_t kOutputTokens = 64;
+constexpr std::size_t kMaxBatch = 8;
+
+/** Everything a cell needs besides its own knobs. */
+struct Shared
+{
+    llm::ModelConfig model;
+    serve::BatchCostModel cost;
+    std::uint64_t kvBytes = 0;
+    int dp = 2;
+    std::uint64_t seed = 42;
+    double satTokensPerSec = 0.0; // phase-0 measured capacity
+    double satQps = 0.0;          // ... in requests/sec
+    double sloTtft = 0.0;         // TTFT SLO = time to serve 40 reqs
+    double burstDwell = 0.0;      // MMPP ON/OFF mean dwell
+};
+
+struct CellSpec
+{
+    std::string name;
+    double qps = 0.0; // Poisson rate, or the MMPP ON-phase rate
+    bool bursty = false;
+    std::size_t n = 0;
+    double deadline = 0.0; // TTFT deadline stamped on requests
+    bool admission = false;
+    bool shed = false;
+    bool brownout = false;
+    bool breaker = false;
+    bool faults = false; // scripted fail-stop + straggler script
+};
+
+struct CellResult
+{
+    CellSpec spec;
+    serve::ServeReport report;
+    std::uint64_t breakerLogLines = 0;
+};
+
+CellResult
+runCell(const CellSpec &sp, const Shared &sh,
+        trace::Tracer *tracer = nullptr)
+{
+    serve::MetricsConfig mcfg;
+    mcfg.tokenLatencyHi = 20.0;
+    mcfg.tokenLatencyBuckets = 4000;
+    mcfg.sloTtftSeconds = sh.sloTtft;
+    serve::ServeMetrics metrics(nullptr, "serve", mcfg);
+
+    serve::SchedulerConfig scfg;
+    scfg.maxBatch = kMaxBatch;
+    if (sp.shed) {
+        scfg.shed.enabled = true;
+        scfg.shed.queueTimeoutSeconds = sh.sloTtft;
+        scfg.shed.estimateMargin = 1.0;
+    }
+    if (sp.brownout) {
+        scfg.brownout.enabled = true;
+        scfg.brownout.queueHighWatermark = 3 * kMaxBatch;
+        scfg.brownout.queueLowWatermark = 4;
+        scfg.brownout.sustainIterations = 4;
+        scfg.brownout.maxLevel = 2;
+        scfg.brownout.contextCapFactor = 0.5;
+        scfg.brownout.batchCapFactor = 0.75;
+    }
+
+    core::ParallelismPlan plan;
+    plan.modelParallel = 1;
+    plan.dataParallel = sh.dp;
+    serve::ApplianceDispatcher app(sh.model, sh.cost, plan, sh.kvBytes,
+                                   scfg, metrics);
+
+    if (sp.admission || sp.breaker) {
+        serve::AdmissionConfig acfg;
+        acfg.enabled = sp.admission;
+        // Per-tenant sustained rate well under a fair capacity share
+        // so heavy tenants visibly throttle; the queue-depth gate
+        // bounds the wait of everything that does get in.
+        acfg.tenantRatePerSec = 0.4 * sh.satQps;
+        acfg.tenantBurst = 8.0;
+        acfg.maxQueueDepth =
+            2 * kMaxBatch * static_cast<std::uint64_t>(sh.dp);
+        serve::CircuitBreakerConfig bcfg;
+        bcfg.enabled = sp.breaker;
+        bcfg.windowSize = 8;
+        bcfg.failureThreshold = 2;
+        bcfg.latencyThresholdSeconds = 0.0;
+        bcfg.backoffBaseSeconds = 1.0;
+        bcfg.backoffMaxSeconds = 8.0;
+        bcfg.jitterFraction = 0.25;
+        bcfg.seed = sh.seed;
+        app.configureOverload(acfg, bcfg);
+    }
+
+    fault::FaultInjector inj(sh.seed);
+    if (sp.faults) {
+        // Two consecutive whole-group outages on group 0 trip its
+        // breaker (threshold 2); a straggler iteration on group 1
+        // stretches its tail without tripping anything.
+        inj.arm(fault::FaultSpec::scriptedAccess(
+            "app.group0.iteration", fault::FaultKind::GroupFailStop,
+            2));
+        inj.arm(fault::FaultSpec::scriptedAccess(
+            "app.group0.iteration", fault::FaultKind::GroupFailStop,
+            3));
+        inj.arm(fault::FaultSpec::scriptedAccess(
+            "app.group1.iteration", fault::FaultKind::IterationSlow,
+            6));
+        app.attachFaultInjector(&inj, "app");
+    }
+    if (tracer != nullptr)
+        app.attachTracer(tracer, "app");
+
+    serve::TraceConfig trace;
+    trace.arrivals = sp.bursty ? serve::ArrivalProcess::Bursty
+                               : serve::ArrivalProcess::Poisson;
+    trace.requestsPerSec = sp.qps;
+    trace.numRequests = sp.n;
+    trace.input = serve::LengthDistribution::fixed(kInputTokens);
+    trace.output = serve::LengthDistribution::fixed(kOutputTokens);
+    trace.seed = sh.seed;
+    trace.numTenants = 4;
+    trace.ttftDeadlineSeconds = sp.deadline;
+    if (sp.bursty) {
+        trace.burstOnSeconds = sh.burstDwell;
+        trace.burstOffSeconds = sh.burstDwell;
+        trace.burstOffRateFraction = 0.0;
+    }
+
+    serve::RequestGenerator gen(trace);
+    while (!gen.exhausted())
+        app.submit(gen.next());
+    app.drain();
+
+    CellResult r;
+    r.spec = sp;
+    r.report = metrics.report(app.clockSeconds());
+    for (std::size_t g = 0; g < app.groupCount(); ++g)
+        if (const auto *b = app.breaker(g))
+            r.breakerLogLines += static_cast<std::uint64_t>(
+                std::count(b->log().begin(), b->log().end(), '\n'));
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto cfg = Config::fromArgs({argv + 1, argv + argc});
+    const std::uint64_t seed = cfg.getInt("seed", 42);
+    const unsigned threads =
+        static_cast<unsigned>(cfg.getInt("threads", 0));
+    const std::size_t n_requests = cfg.getInt("n", 160);
+    const int dp = cfg.getInt("dp", 2);
+    const std::string out = cfg.getString("out", "");
+    const bool check = cfg.getBool("check", false);
+    const double floor = cfg.getDouble("goodput_floor", 0.9);
+    const std::string trace_path = cfg.getString("trace", "");
+    const auto model =
+        llm::ModelConfig::byName(cfg.getString("model", "opt-13b"));
+
+    bench::header("Overload-protection campaign: " + model.name +
+                  ", seed " + std::to_string(seed));
+
+    core::PnmPlatformConfig pcfg;
+    pcfg.channelGrouping = 8;
+    const std::uint64_t full_ctx = kInputTokens + kOutputTokens;
+
+    Shared sh;
+    sh.model = model;
+    sh.cost = serve::calibratePnmCostModel(model, pcfg, full_ctx);
+    sh.kvBytes = serve::pnmKvCapacityBytes(model, pcfg);
+    sh.dp = dp;
+    sh.seed = seed;
+
+    // --- phase 0: measure capacity with a back-to-back burst ---
+    CellSpec probe;
+    probe.name = "probe";
+    probe.qps = 1e6; // everything arrives (effectively) at once
+    probe.n = n_requests;
+    const CellResult probe_r = runCell(probe, sh);
+    sh.satTokensPerSec = probe_r.report.throughputTokensPerSec;
+    sh.satQps =
+        sh.satTokensPerSec / static_cast<double>(kOutputTokens);
+    // SLO: the time the saturated appliance needs to serve 40
+    // requests - generous for a bounded queue, hopeless for an
+    // unbounded one.
+    sh.sloTtft =
+        40.0 * static_cast<double>(kOutputTokens) / sh.satTokensPerSec;
+    sh.burstDwell = sh.sloTtft / 2.0;
+
+    std::printf("\nMeasured capacity: %.1f tokens/s (%.2f req/s); "
+                "TTFT SLO %.3f s\n",
+                sh.satTokensPerSec, sh.satQps, sh.sloTtft);
+
+    // --- phase 1: the campaign cells ---
+    // The MMPP ON rate is 2x the target mean (equal ON/OFF dwell with
+    // a silent OFF phase halves the average), so each ladder step
+    // offers factor x capacity on average with 2-factor-x bursts.
+    std::vector<CellSpec> specs;
+    auto ladder = [&](const char *name, double factor, bool prot) {
+        CellSpec c;
+        c.name = name;
+        c.qps = 2.0 * factor * sh.satQps;
+        c.bursty = true;
+        c.n = n_requests;
+        c.deadline = prot ? sh.sloTtft : 0.0;
+        c.admission = c.shed = c.brownout = prot;
+        specs.push_back(c);
+    };
+    {
+        CellSpec c;
+        c.name = "capacity";
+        c.qps = 0.8 * sh.satQps;
+        c.n = n_requests;
+        specs.push_back(c);
+    }
+    ladder("over2_open", 2.0, false);
+    ladder("over2_prot", 2.0, true);
+    ladder("over4_open", 4.0, false);
+    ladder("over4_prot", 4.0, true);
+    {
+        CellSpec c; // shedding alone, no admission gate
+        c.name = "over4_shed";
+        c.qps = 2.0 * 4.0 * sh.satQps;
+        c.bursty = true;
+        c.n = n_requests;
+        c.deadline = sh.sloTtft;
+        c.shed = c.brownout = true;
+        specs.push_back(c);
+    }
+    {
+        CellSpec c;
+        c.name = "breaker";
+        c.qps = 0.7 * sh.satQps;
+        c.n = n_requests;
+        c.breaker = true;
+        c.faults = true;
+        specs.push_back(c);
+    }
+
+    // Each cell owns its whole serving stack, so results are
+    // bit-deterministic regardless of worker count. The optional
+    // tracer watches exactly one cell (the protected 4x one) from
+    // whichever worker runs it.
+    trace::Tracer tracer;
+    std::vector<CellResult> cells(specs.size());
+    ThreadPool::parallelFor(
+        specs.size(), threads, [&](std::size_t i) {
+            trace::Tracer *tr =
+                (specs[i].name == "over4_prot" && !trace_path.empty())
+                    ? &tracer
+                    : nullptr;
+            cells[i] = runCell(specs[i], sh, tr);
+        });
+
+    if (!trace_path.empty()) {
+        if (!tracer.writeFile(trace_path)) {
+            std::fprintf(stderr, "overload_campaign: cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::printf("\ntraced over4_prot cell: %zu events on %zu "
+                    "tracks -> %s\n",
+                    tracer.eventCount(), tracer.trackCount(),
+                    trace_path.c_str());
+    }
+
+    std::printf("\n  %-10s %5s %5s %5s %5s %5s %9s %9s %7s %5s %5s\n",
+                "cell", "done", "shed", "tmo", "thr", "fail",
+                "goodput", "ttftP99", "sloAtt", "brn", "brkr");
+    auto byName = [&](const char *name) -> const CellResult & {
+        for (const auto &c : cells)
+            if (c.spec.name == name)
+                return c;
+        std::fprintf(stderr, "missing cell %s\n", name);
+        std::exit(2);
+    };
+    for (const auto &c : cells) {
+        const auto &r = c.report;
+        std::printf(
+            "  %-10s %5llu %5llu %5llu %5llu %5llu %9.1f %9.3f "
+            "%7.4f %5llu %5llu\n",
+            c.spec.name.c_str(),
+            static_cast<unsigned long long>(r.completed),
+            static_cast<unsigned long long>(r.shedRequests),
+            static_cast<unsigned long long>(r.timedOutRequests),
+            static_cast<unsigned long long>(r.throttledRequests),
+            static_cast<unsigned long long>(r.requestsFailed),
+            r.goodputTokensPerSec, r.ttftP99, r.sloAttainment,
+            static_cast<unsigned long long>(r.brownoutPeakLevel),
+            static_cast<unsigned long long>(r.breakerOpens));
+    }
+
+    const auto &capacity = byName("capacity").report;
+    std::printf("\n  capacity goodput %.1f tok/s; protected 4x %.1f "
+                "(%.0f%%), unprotected 4x %.1f (%.0f%%)\n",
+                capacity.goodputTokensPerSec,
+                byName("over4_prot").report.goodputTokensPerSec,
+                100.0 * byName("over4_prot").report.goodputTokensPerSec /
+                    capacity.goodputTokensPerSec,
+                byName("over4_open").report.goodputTokensPerSec,
+                100.0 * byName("over4_open").report.goodputTokensPerSec /
+                    capacity.goodputTokensPerSec);
+
+    // --- deterministic JSON artifact ---
+    std::string json;
+    appendf(json, "{\n  \"benchmark\": \"overload_campaign\",\n");
+    appendf(json, "  \"seed\": %llu,\n",
+            static_cast<unsigned long long>(seed));
+    appendf(json, "  \"model\": \"%s\",\n", model.name.c_str());
+    appendf(json, "  \"groups\": %d,\n", dp);
+    appendf(json, "  \"requests\": %zu,\n", n_requests);
+    appendf(json, "  \"capacity\": {\n");
+    appendf(json, "    \"saturation_tokens_per_sec\": %.9g,\n",
+            sh.satTokensPerSec);
+    appendf(json, "    \"saturation_qps\": %.9g,\n", sh.satQps);
+    appendf(json, "    \"slo_ttft_seconds\": %.9g\n  },\n", sh.sloTtft);
+    appendf(json, "  \"cells\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &c = cells[i];
+        const auto &r = c.report;
+        appendf(json,
+                "    {\"name\": \"%s\", \"offered_qps\": %.9g, "
+                "\"submitted\": %llu,\n"
+                "     \"completed\": %llu, \"shed\": %llu, "
+                "\"timed_out\": %llu, \"throttled\": %llu,\n"
+                "     \"rejected\": %llu, \"failed\": %llu, "
+                "\"brownout_peak_level\": %llu,\n"
+                "     \"breaker_opens\": %llu, "
+                "\"breaker_log_lines\": %llu,\n"
+                "     \"goodput_tokens_per_sec\": %.9g, "
+                "\"throughput_tokens_per_sec\": %.9g,\n"
+                "     \"ttft_p99_seconds\": %.9g, "
+                "\"slo_attainment\": %.9g, "
+                "\"served_fraction\": %.9g}%s\n",
+                c.spec.name.c_str(), c.spec.qps,
+                static_cast<unsigned long long>(r.submitted),
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.shedRequests),
+                static_cast<unsigned long long>(r.timedOutRequests),
+                static_cast<unsigned long long>(r.throttledRequests),
+                static_cast<unsigned long long>(r.rejected),
+                static_cast<unsigned long long>(r.requestsFailed),
+                static_cast<unsigned long long>(r.brownoutPeakLevel),
+                static_cast<unsigned long long>(r.breakerOpens),
+                static_cast<unsigned long long>(c.breakerLogLines),
+                r.goodputTokensPerSec, r.throughputTokensPerSec,
+                r.ttftP99, r.sloAttainment, r.servedFraction,
+                i + 1 < cells.size() ? "," : "");
+    }
+    appendf(json, "  ],\n");
+    appendf(json, "  \"summary\": {\n");
+    appendf(json, "    \"capacity_goodput\": %.9g,\n",
+            capacity.goodputTokensPerSec);
+    appendf(json, "    \"protected_over_capacity_2x\": %.9g,\n",
+            byName("over2_prot").report.goodputTokensPerSec /
+                capacity.goodputTokensPerSec);
+    appendf(json, "    \"protected_over_capacity_4x\": %.9g,\n",
+            byName("over4_prot").report.goodputTokensPerSec /
+                capacity.goodputTokensPerSec);
+    appendf(json, "    \"unprotected_over_capacity_4x\": %.9g\n",
+            byName("over4_open").report.goodputTokensPerSec /
+                capacity.goodputTokensPerSec);
+    appendf(json, "  }\n}\n");
+
+    if (!out.empty()) {
+        if (!writeFile(out, json)) {
+            std::fprintf(stderr, "overload_campaign: cannot write %s\n",
+                         out.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "overload_campaign: wrote %s\n",
+                     out.c_str());
+    }
+
+    // --- check mode: the CI gate ---
+    if (check) {
+        int failures = 0;
+        auto expect = [&](bool ok, const char *what) {
+            if (!ok) {
+                ++failures;
+                std::fprintf(stderr, "CHECK FAILED: %s\n", what);
+            }
+        };
+
+        for (const auto &c : cells) {
+            const auto &r = c.report;
+            expect(r.submitted == n_requests,
+                   "every arrival was offered (submitted == n)");
+            expect(r.submitted == r.completed + r.shedRequests +
+                                      r.timedOutRequests +
+                                      r.throttledRequests + r.rejected +
+                                      r.requestsFailed,
+                   "accounting identity: submitted = completed + shed "
+                   "+ timed-out + throttled + rejected + failed");
+        }
+
+        expect(capacity.sloAttainment >= 0.95,
+               "at 0.8x capacity (no protection) nearly everything "
+               "meets the SLO");
+        expect(capacity.shedRequests == 0 &&
+                   capacity.throttledRequests == 0,
+               "the capacity cell never sheds or throttles");
+
+        for (const char *factor : {"2", "4"}) {
+            const auto &open =
+                byName((std::string("over") + factor + "_open").c_str())
+                    .report;
+            const auto &prot =
+                byName((std::string("over") + factor + "_prot").c_str())
+                    .report;
+            expect(prot.goodputTokensPerSec >=
+                       floor * capacity.goodputTokensPerSec,
+                   "protected goodput holds the capacity floor");
+            expect(prot.goodputTokensPerSec >
+                       open.goodputTokensPerSec,
+                   "protection strictly beats the open cell");
+            expect(prot.ttftP99 <= 1.25 * sh.sloTtft,
+                   "admitted p99 TTFT stays bounded near the SLO");
+            expect(prot.throttledRequests > 0,
+                   "the admission gate visibly throttled someone");
+        }
+        const auto &open4 = byName("over4_open").report;
+        expect(open4.goodputTokensPerSec <
+                   floor * capacity.goodputTokensPerSec,
+               "unprotected 4x overload collapses below the floor");
+
+        const auto &shed4 = byName("over4_shed").report;
+        expect(shed4.shedRequests + shed4.timedOutRequests > 0,
+               "the shed-only cell actually shed work");
+        expect(shed4.goodputTokensPerSec >
+                   open4.goodputTokensPerSec,
+               "shedding alone already beats the open cell");
+
+        const auto &brk = byName("breaker");
+        expect(brk.report.breakerOpens >= 1,
+               "the scripted fail-stop tripped a breaker");
+        expect(brk.breakerLogLines >= 2,
+               "the breaker logged its transitions");
+
+        if (failures != 0) {
+            std::fprintf(stderr, "overload_campaign: %d checks failed\n",
+                         failures);
+            return 1;
+        }
+        std::printf("\nAll campaign checks passed.\n");
+    }
+    return 0;
+}

@@ -17,6 +17,14 @@
  *                  [long_ctx=0] [ctx_min=131072] [ctx_max=131072]
  *                  [mode=cycle|analytic|mixed] [calib=profile.txt]
  *                  [snapshot=warm.snap] [restore=warm.snap]
+ *                  [bursty=0] [burst_on=1] [burst_off=1]
+ *                  [burst_frac=0] [tenants=1] [deadline_ms=0]
+ *                  [admit=0] [tenant_rate=0] [tenant_burst=8]
+ *                  [max_queue=0] [kv_headroom=0] [shed=0]
+ *                  [queue_timeout=0] [shed_margin=1] [brownout=0]
+ *                  [bo_high=64] [bo_low=16] [bo_sustain=8] [bo_max=3]
+ *                  [breaker=0] [br_window=16] [br_fails=4]
+ *                  [br_latency_ms=0] [br_backoff=0.5]
  *
  * `mp`/`dp` follow the paper's §VIII-A appliance plans (tensor split
  * across mp devices, dp independent replicas); `serial=1` turns
@@ -74,6 +82,27 @@
  * from that state instead of regenerating and resubmitting, and its
  * report is byte-identical to the saving run's. The restoring stack
  * must be configured identically - mismatches are typed errors.
+ *
+ * Overload protection (all off by default, leaving the output
+ * bit-identical to the unprotected build): `bursty=1` switches
+ * arrivals to a Markov-modulated on/off Poisson stream (`burst_on`/
+ * `burst_off` mean phase seconds, `burst_frac` the OFF-phase rate
+ * fraction); `tenants=<n>` stamps tenant ids; `deadline_ms` stamps a
+ * TTFT deadline on every request. `admit=1` arms the front-door gate
+ * (`tenant_rate`/`tenant_burst` the per-tenant token bucket,
+ * `max_queue` the appliance queue-depth gate, `kv_headroom` the KV
+ * demand gate). `shed=1` arms deadline-aware shedding (`queue_timeout`
+ * the queue-time budget seconds, `shed_margin` the estimate safety
+ * factor) and requires deadlines or a timeout. `brownout=1` arms the
+ * ladder (`bo_high`/`bo_low` queue watermarks, `bo_sustain`
+ * iterations, `bo_max` deepest level). `breaker=1` arms per-group
+ * circuit breakers (`br_window`/`br_fails` the rolling window,
+ * `br_latency_ms` the latency-breach threshold, `br_backoff` the base
+ * backoff seconds); on a single-group appliance it only warns, since
+ * there is nowhere to route around. Malformed combinations are typed
+ * OverloadConfigError rejections. The demo prints an overload report
+ * (shed/timed-out/throttled counts, inclusive SLO attainment,
+ * brownout peak, breaker opens, per-tenant breakdown).
  */
 
 #include <cstdio>
@@ -116,6 +145,15 @@ main(int argc, char **argv)
     trace.prefixReuse = cfg.getDouble("prefix_reuse", 0.0);
     trace.prefixTokens = cfg.getInt("prefix_tokens", 32);
     trace.prefixGroups = cfg.getInt("prefix_groups", 4);
+    if (cfg.getBool("bursty", false)) {
+        trace.arrivals = serve::ArrivalProcess::Bursty;
+        trace.burstOnSeconds = cfg.getDouble("burst_on", 1.0);
+        trace.burstOffSeconds = cfg.getDouble("burst_off", 1.0);
+        trace.burstOffRateFraction = cfg.getDouble("burst_frac", 0.0);
+    }
+    trace.numTenants = cfg.getInt("tenants", 1);
+    trace.ttftDeadlineSeconds =
+        cfg.getDouble("deadline_ms", 0.0) * 1e-3;
 
     const bool long_ctx = cfg.getBool("long_ctx", false);
     if (long_ctx) {
@@ -153,6 +191,67 @@ main(int argc, char **argv)
         sched.paged.tier.pinnedWindowBlocks = static_cast<std::uint32_t>(
             cfg.getInt("pin_window", 4));
     }
+
+    // --- overload protection (all off by default) ---
+    serve::AdmissionConfig admit;
+    serve::CircuitBreakerConfig breaker;
+    try {
+        if (cfg.getBool("shed", false)) {
+            sched.shed.enabled = true;
+            sched.shed.queueTimeoutSeconds =
+                cfg.getDouble("queue_timeout", 0.0);
+            sched.shed.estimateMargin =
+                cfg.getDouble("shed_margin", 1.0);
+            if (trace.ttftDeadlineSeconds <= 0.0 &&
+                sched.shed.queueTimeoutSeconds <= 0.0)
+                throw serve::OverloadConfigError(
+                    "shed=1 without SLO deadlines: set deadline_ms= "
+                    "(or a queue_timeout=) so there is something to "
+                    "shed against");
+            sched.shed.validate();
+        }
+        if (cfg.getBool("brownout", false)) {
+            sched.brownout.enabled = true;
+            sched.brownout.queueHighWatermark =
+                cfg.getInt("bo_high", 64);
+            sched.brownout.queueLowWatermark = cfg.getInt("bo_low", 16);
+            sched.brownout.sustainIterations =
+                cfg.getInt("bo_sustain", 8);
+            sched.brownout.maxLevel = cfg.getInt("bo_max", 3);
+            sched.brownout.validate();
+        }
+        if (cfg.getBool("admit", false)) {
+            admit.enabled = true;
+            admit.tenantRatePerSec = cfg.getDouble("tenant_rate", 0.0);
+            admit.tenantBurst = cfg.getDouble("tenant_burst", 8.0);
+            admit.maxQueueDepth = cfg.getInt("max_queue", 0);
+            admit.kvHeadroomFraction =
+                cfg.getDouble("kv_headroom", 0.0);
+            admit.validate();
+        }
+        if (cfg.getBool("breaker", false)) {
+            breaker.enabled = true;
+            breaker.windowSize = cfg.getInt("br_window", 16);
+            breaker.failureThreshold = cfg.getInt("br_fails", 4);
+            breaker.latencyThresholdSeconds =
+                cfg.getDouble("br_latency_ms", 0.0) * 1e-3;
+            breaker.backoffBaseSeconds =
+                cfg.getDouble("br_backoff", 0.5);
+            breaker.seed = trace.seed;
+            breaker.validate();
+            if (plan.dataParallel == 1)
+                std::fprintf(stderr,
+                             "warning: breaker=1 on a single-group "
+                             "appliance: an open breaker has nowhere "
+                             "to route around\n");
+        }
+    } catch (const serve::OverloadConfigError &e) {
+        std::fprintf(stderr, "invalid overload config: %s\n",
+                     e.what());
+        return 1;
+    }
+    const bool overload_on = sched.shed.enabled ||
+        sched.brownout.enabled || admit.enabled || breaker.enabled;
 
     // --- calibrate the per-group cost model ---
     // Long-context runs calibrate at a modest context and let the
@@ -311,6 +410,13 @@ main(int argc, char **argv)
                     serve::tier::farAccessName(
                         sched.paged.tier.farAccess),
                     sched.paged.tier.prefetch ? "on" : "off");
+    if (overload_on)
+        std::printf("overload protection: admit %s, shed %s, "
+                    "brownout %s, breaker %s\n",
+                    admit.enabled ? "on" : "off",
+                    sched.shed.enabled ? "on" : "off",
+                    sched.brownout.enabled ? "on" : "off",
+                    breaker.enabled ? "on" : "off");
     if (long_ctx)
         std::printf("long-context trace: prompts uniform over "
                     "[%llu, %llu] tokens\n",
@@ -329,6 +435,8 @@ main(int argc, char **argv)
     serve::ServeMetrics metrics(nullptr, "serve", mcfg);
     serve::ApplianceDispatcher disp(model, cost, plan, group_kv, sched,
                                     metrics);
+    if (admit.enabled || breaker.enabled)
+        disp.configureOverload(admit, breaker);
 
     std::unique_ptr<serve::AnalyticPricer> analytic;
     std::unique_ptr<serve::CyclePricer> cycle;
@@ -384,6 +492,8 @@ main(int argc, char **argv)
                 tracer.restore(snap.trace);
             if (snap.hasGenerator)
                 gen.restore(snap.generator);
+            if (snap.hasOverload)
+                disp.restoreOverload(snap.overload);
             std::printf("restored warm state from %s "
                         "(clock %.3f s)\n\n",
                         restore_path.c_str(), disp.clockSeconds());
@@ -407,6 +517,10 @@ main(int argc, char **argv)
                 }
                 snap.hasGenerator = true;
                 snap.generator = gen.state();
+                if (disp.overloadConfigured()) {
+                    snap.hasOverload = true;
+                    snap.overload = disp.overloadState();
+                }
                 serve::saveSnapshot(snap, snap_path);
                 std::printf("saved warm snapshot to %s "
                             "(clock %.3f s)\n\n",
@@ -523,6 +637,54 @@ main(int argc, char **argv)
                         r.tierAbandonedMigrations),
                     static_cast<unsigned long long>(
                         r.tierPinViolations));
+    }
+
+    if (overload_on) {
+        std::printf("\n--- overload report ---\n");
+        std::printf("submitted         %10llu requests\n",
+                    static_cast<unsigned long long>(r.submitted));
+        std::printf("shed              %10llu (deadline) + %llu "
+                    "(queue timeout)\n",
+                    static_cast<unsigned long long>(r.shedRequests),
+                    static_cast<unsigned long long>(
+                        r.timedOutRequests));
+        std::printf("throttled         %10llu at the admission gate\n",
+                    static_cast<unsigned long long>(
+                        r.throttledRequests));
+        std::printf("served fraction   %10.1f %% of submitted\n",
+                    100.0 * r.servedFraction);
+        std::printf("SLO attainment    %10.1f %% (all terminals in "
+                    "the denominator)\n",
+                    100.0 * r.sloAttainment);
+        std::printf("ttft p99          %10.2f s over admitted "
+                    "requests\n", r.ttftP99);
+        if (sched.brownout.enabled)
+            std::printf("brownout peak     %10llu (max level %llu)\n",
+                        static_cast<unsigned long long>(
+                            r.brownoutPeakLevel),
+                        static_cast<unsigned long long>(
+                            sched.brownout.maxLevel));
+        if (breaker.enabled)
+            std::printf("breaker opens     %10llu\n",
+                        static_cast<unsigned long long>(
+                            r.breakerOpens));
+        if (trace.numTenants > 1) {
+            std::printf("per-tenant        submitted completed shed "
+                        "timed-out throttled\n");
+            for (const auto &tb : r.tenants)
+                std::printf("  tenant %-8llu %9llu %9llu %4llu %9llu "
+                            "%9llu\n",
+                            static_cast<unsigned long long>(tb.tenant),
+                            static_cast<unsigned long long>(
+                                tb.submitted),
+                            static_cast<unsigned long long>(
+                                tb.completed),
+                            static_cast<unsigned long long>(tb.shed),
+                            static_cast<unsigned long long>(
+                                tb.timedOut),
+                            static_cast<unsigned long long>(
+                                tb.throttled));
+        }
     }
 
     if (fault_rate > 0.0) {

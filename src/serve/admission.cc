@@ -1,0 +1,117 @@
+#include "serve/admission.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+void
+AdmissionConfig::validate() const
+{
+    if (tenantRatePerSec < 0.0)
+        throw OverloadConfigError(
+            "admission: tenantRatePerSec must be >= 0");
+    if (tenantRatePerSec > 0.0 && !(tenantBurst >= 1.0))
+        throw OverloadConfigError(
+            "admission: tenantBurst must be >= 1 when rate limiting "
+            "is on");
+    if (kvHeadroomFraction < 0.0)
+        throw OverloadConfigError(
+            "admission: kvHeadroomFraction must be >= 0");
+}
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_(rate_per_sec), burst_(burst), fill_(burst)
+{
+}
+
+bool
+TokenBucket::tryTake(double now)
+{
+    if (now > lastRefill_) {
+        fill_ = std::min(burst_,
+                         fill_ + rate_ * (now - lastRefill_));
+        lastRefill_ = now;
+    }
+    if (fill_ < 1.0)
+        return false;
+    fill_ -= 1.0;
+    return true;
+}
+
+const char *
+admissionDecisionName(AdmissionDecision d)
+{
+    switch (d) {
+    case AdmissionDecision::Admit:
+        return "admit";
+    case AdmissionDecision::Throttled:
+        return "throttled";
+    case AdmissionDecision::QueueFull:
+        return "queue_full";
+    case AdmissionDecision::KvSaturated:
+        return "kv_saturated";
+    }
+    return "?";
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.enabled)
+        cfg_.validate();
+}
+
+AdmissionDecision
+AdmissionController::decide(const ServeRequest &req, double now,
+                            std::uint64_t queue_depth,
+                            double kv_demand_fraction)
+{
+    if (!cfg_.enabled)
+        return AdmissionDecision::Admit;
+    if (cfg_.tenantRatePerSec > 0.0) {
+        auto it = buckets_.find(req.tenant);
+        if (it == buckets_.end())
+            it = buckets_
+                     .emplace(req.tenant,
+                              TokenBucket(cfg_.tenantRatePerSec,
+                                          cfg_.tenantBurst))
+                     .first;
+        if (!it->second.tryTake(now))
+            return AdmissionDecision::Throttled;
+    }
+    if (cfg_.maxQueueDepth > 0 && queue_depth >= cfg_.maxQueueDepth)
+        return AdmissionDecision::QueueFull;
+    if (cfg_.kvHeadroomFraction > 0.0 &&
+        kv_demand_fraction > cfg_.kvHeadroomFraction)
+        return AdmissionDecision::KvSaturated;
+    return AdmissionDecision::Admit;
+}
+
+AdmissionController::State
+AdmissionController::state() const
+{
+    State s;
+    s.buckets.reserve(buckets_.size());
+    for (const auto &[tenant, bucket] : buckets_)
+        s.buckets.emplace_back(tenant, bucket.state());
+    return s;
+}
+
+void
+AdmissionController::restore(const State &s)
+{
+    buckets_.clear();
+    for (const auto &[tenant, bs] : s.buckets) {
+        TokenBucket b(cfg_.tenantRatePerSec, cfg_.tenantBurst);
+        b.restore(bs);
+        buckets_.emplace(tenant, b);
+    }
+}
+
+} // namespace serve
+} // namespace cxlpnm

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Front-door admission control for the appliance dispatcher: a
+ * per-tenant token-bucket rate limiter plus appliance-wide
+ * queue-depth and KV-headroom gates. Requests turned away here never
+ * reach a scheduler queue — under sustained overload that keeps the
+ * queues short enough for the admitted requests to still meet their
+ * SLOs. All decisions are pure functions of the request, the
+ * simulated clock and the controller's own state, so admission is
+ * byte-deterministic regardless of the host thread count.
+ */
+
+#ifndef CXLPNM_SERVE_ADMISSION_HH
+#define CXLPNM_SERVE_ADMISSION_HH
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "serve/overload.hh"
+#include "serve/request.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+/** Front-door admission policy (see file comment). */
+struct AdmissionConfig
+{
+    bool enabled = false;
+
+    /**
+     * Per-tenant sustained request rate (requests/sec) enforced by a
+     * token bucket; 0 leaves tenants unlimited.
+     */
+    double tenantRatePerSec = 0.0;
+    /** Bucket capacity: burst headroom above the sustained rate. */
+    double tenantBurst = 8.0;
+
+    /**
+     * Turn arrivals away while the appliance already holds this many
+     * queued-but-not-running requests; 0 disables the gate.
+     */
+    std::uint64_t maxQueueDepth = 0;
+
+    /**
+     * Turn arrivals away while outstanding worst-case KV demand
+     * (queued + running, as a fraction of aggregate pool capacity)
+     * exceeds this; 0 disables the gate.
+     */
+    double kvHeadroomFraction = 0.0;
+
+    /** @throws OverloadConfigError on out-of-range fields. */
+    void validate() const;
+};
+
+/**
+ * Continuous-time token bucket: refills at ratePerSec up to burst,
+ * one token per admitted request.
+ */
+class TokenBucket
+{
+  public:
+    TokenBucket() = default;
+    TokenBucket(double rate_per_sec, double burst);
+
+    /**
+     * Refill to @p now, then take one token when available. Returns
+     * false (and takes nothing) when the bucket is empty.
+     */
+    bool tryTake(double now);
+
+    double fill() const { return fill_; }
+    double lastRefillSeconds() const { return lastRefill_; }
+
+    /** Warm state (fill level + refill clock), for snapshot. */
+    struct State
+    {
+        double fill = 0.0;
+        double lastRefill = 0.0;
+    };
+
+    State state() const { return {fill_, lastRefill_}; }
+
+    void
+    restore(const State &s)
+    {
+        fill_ = s.fill;
+        lastRefill_ = s.lastRefill;
+    }
+
+  private:
+    double rate_ = 0.0;
+    double burst_ = 0.0;
+    double fill_ = 0.0;
+    double lastRefill_ = 0.0;
+};
+
+/** Why the admission controller turned a request away. */
+enum class AdmissionDecision
+{
+    Admit,       // passed every gate
+    Throttled,   // tenant token bucket empty
+    QueueFull,   // appliance queue depth over the gate
+    KvSaturated, // outstanding worst-case KV demand over the gate
+};
+
+const char *admissionDecisionName(AdmissionDecision d);
+
+/**
+ * The appliance's front door. The dispatcher consults it once per
+ * arrival, before routing; a non-Admit decision terminates the
+ * request as Rejected without it ever entering a scheduler queue.
+ */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(const AdmissionConfig &cfg);
+
+    /**
+     * Decide @p req at time @p now. @p queue_depth is the total
+     * queued (not running) request count across every group;
+     * @p kv_demand_fraction is outstanding worst-case KV bytes over
+     * aggregate capacity. Mutates the tenant's bucket on every call
+     * (a throttled request still consumed its refill window).
+     */
+    AdmissionDecision decide(const ServeRequest &req, double now,
+                             std::uint64_t queue_depth,
+                             double kv_demand_fraction);
+
+    const AdmissionConfig &config() const { return cfg_; }
+
+    /** Per-tenant bucket states, tenant-sorted (deterministic). */
+    struct State
+    {
+        std::vector<std::pair<std::uint64_t, TokenBucket::State>>
+            buckets;
+    };
+
+    State state() const;
+    void restore(const State &s);
+
+  private:
+    AdmissionConfig cfg_;
+    /** Ordered by tenant id so state() is registration-order-free. */
+    std::map<std::uint64_t, TokenBucket> buckets_;
+};
+
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_ADMISSION_HH

@@ -1,0 +1,223 @@
+#include "serve/breaker.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/random.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+void
+CircuitBreakerConfig::validate() const
+{
+    if (windowSize == 0)
+        throw OverloadConfigError("breaker: windowSize must be >= 1");
+    if (failureThreshold == 0 || failureThreshold > windowSize)
+        throw OverloadConfigError(
+            "breaker: failureThreshold must be in [1, windowSize]");
+    if (latencyThresholdSeconds < 0.0)
+        throw OverloadConfigError(
+            "breaker: latencyThresholdSeconds must be >= 0");
+    if (!(backoffBaseSeconds > 0.0))
+        throw OverloadConfigError(
+            "breaker: backoffBaseSeconds must be > 0");
+    if (backoffMaxSeconds < backoffBaseSeconds)
+        throw OverloadConfigError(
+            "breaker: backoffMaxSeconds must be >= "
+            "backoffBaseSeconds");
+    if (jitterFraction < 0.0 || jitterFraction >= 1.0)
+        throw OverloadConfigError(
+            "breaker: jitterFraction must be in [0, 1)");
+}
+
+const char *
+breakerStateName(BreakerState s)
+{
+    switch (s) {
+    case BreakerState::Closed:
+        return "closed";
+    case BreakerState::Open:
+        return "open";
+    case BreakerState::HalfOpen:
+        return "half_open";
+    }
+    return "?";
+}
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerConfig &cfg,
+                               std::uint64_t group)
+    : cfg_(cfg), group_(group)
+{
+    if (cfg_.enabled)
+        cfg_.validate();
+}
+
+void
+CircuitBreaker::transition(BreakerState to, double now,
+                           const char *why)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "g%llu t=%.9g %s->%s %s\n",
+                  static_cast<unsigned long long>(group_), now,
+                  breakerStateName(state_), breakerStateName(to),
+                  why);
+    log_ += buf;
+    state_ = to;
+}
+
+double
+CircuitBreaker::backoffSeconds() const
+{
+    double b = cfg_.backoffBaseSeconds;
+    for (std::uint64_t i = 1; i < openCount_; ++i) {
+        b *= 2.0;
+        if (b >= cfg_.backoffMaxSeconds)
+            return cfg_.backoffMaxSeconds;
+    }
+    return std::min(b, cfg_.backoffMaxSeconds);
+}
+
+void
+CircuitBreaker::trip(double now, const char *why)
+{
+    ++openCount_;
+    ++trips_;
+    const double backoff = backoffSeconds();
+    // Deterministic jitter: a pure function of (seed, group, trip
+    // ordinal), so co-tripped groups reopen staggered yet every
+    // rerun — at any thread count — lands the same instant.
+    SplitMix64 jrng(cfg_.seed ^
+                    (group_ * 0x9e3779b97f4a7c15ull + openCount_));
+    const double jitter =
+        cfg_.jitterFraction * backoff * jrng.nextDouble();
+    reopenAt_ = now + backoff + jitter;
+    window_.clear();
+    badInWindow_ = 0;
+    probeOutstanding_ = false;
+    transition(BreakerState::Open, now, why);
+}
+
+void
+CircuitBreaker::noteIteration(bool ok, double dur_seconds,
+                              double now)
+{
+    if (!cfg_.enabled)
+        return;
+    const bool breach = cfg_.latencyThresholdSeconds > 0.0 &&
+        dur_seconds > cfg_.latencyThresholdSeconds;
+    const bool bad = !ok || breach;
+    switch (state_) {
+    case BreakerState::Open:
+        // Pre-trip batch members still draining; their outcomes do
+        // not score (the window restarted at the trip).
+        return;
+    case BreakerState::HalfOpen:
+        // The first outcome after the probe was dispatched decides.
+        probeOutstanding_ = false;
+        if (bad) {
+            trip(now, ok ? "probe_latency_breach" : "probe_failed");
+        } else {
+            window_.clear();
+            badInWindow_ = 0;
+            openCount_ = 0;
+            transition(BreakerState::Closed, now, "probe_ok");
+        }
+        return;
+    case BreakerState::Closed:
+        window_.push_back(bad ? 1 : 0);
+        badInWindow_ += bad ? 1 : 0;
+        if (window_.size() > cfg_.windowSize) {
+            badInWindow_ -= window_.front();
+            window_.pop_front();
+        }
+        if (badInWindow_ >= cfg_.failureThreshold) {
+            char why[64];
+            std::snprintf(why, sizeof(why), "fails=%llu/%llu",
+                          static_cast<unsigned long long>(
+                              badInWindow_),
+                          static_cast<unsigned long long>(
+                              cfg_.windowSize));
+            trip(now, why);
+        }
+        return;
+    }
+}
+
+bool
+CircuitBreaker::allowRoute(double now)
+{
+    if (!cfg_.enabled)
+        return true;
+    switch (state_) {
+    case BreakerState::Closed:
+        return true;
+    case BreakerState::Open:
+        if (now >= reopenAt_) {
+            transition(BreakerState::HalfOpen, now,
+                       "backoff_expired");
+            probeOutstanding_ = true;
+            return true;
+        }
+        return false;
+    case BreakerState::HalfOpen:
+        // Exactly one probe: refuse everything until it resolves.
+        if (!probeOutstanding_) {
+            probeOutstanding_ = true;
+            return true;
+        }
+        return false;
+    }
+    return true;
+}
+
+bool
+CircuitBreaker::wouldAllow(double now) const
+{
+    if (!cfg_.enabled)
+        return true;
+    switch (state_) {
+    case BreakerState::Closed:
+        return true;
+    case BreakerState::Open:
+        return now >= reopenAt_;
+    case BreakerState::HalfOpen:
+        return !probeOutstanding_;
+    }
+    return true;
+}
+
+CircuitBreaker::State
+CircuitBreaker::snapshotState() const
+{
+    State s;
+    s.state = static_cast<int>(state_);
+    s.openCount = openCount_;
+    s.trips = trips_;
+    s.reopenAt = reopenAt_;
+    s.probeOutstanding = probeOutstanding_;
+    s.window.assign(window_.begin(), window_.end());
+    return s;
+}
+
+void
+CircuitBreaker::restore(const State &s)
+{
+    fatal_if(s.state < 0 ||
+                 s.state > static_cast<int>(BreakerState::HalfOpen),
+             "breaker restore: state out of range");
+    state_ = static_cast<BreakerState>(s.state);
+    openCount_ = s.openCount;
+    trips_ = s.trips;
+    reopenAt_ = s.reopenAt;
+    probeOutstanding_ = s.probeOutstanding;
+    window_.assign(s.window.begin(), s.window.end());
+    badInWindow_ = 0;
+    for (const auto b : window_)
+        badInWindow_ += b;
+}
+
+} // namespace serve
+} // namespace cxlpnm

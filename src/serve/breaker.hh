@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Per-device-group serving circuit breaker, layered on the PR 3
+ * degraded-group routing. A rolling window of iteration outcomes
+ * (fault-induced failures plus latency breaches) drives the classic
+ * Closed -> Open -> HalfOpen ladder: a tripped group is routed
+ * around while it backs off exponentially (with deterministic,
+ * seed-derived jitter so co-tripped groups do not reopen in
+ * lockstep), then a single HalfOpen probe request decides between
+ * closing and re-opening with a doubled backoff. Every transition is
+ * appended to a text log that is a pure function of the seed and the
+ * fault script — the determinism tests byte-compare it across
+ * thread counts.
+ */
+
+#ifndef CXLPNM_SERVE_BREAKER_HH
+#define CXLPNM_SERVE_BREAKER_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "serve/overload.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+/** Per-group circuit-breaker policy. */
+struct CircuitBreakerConfig
+{
+    bool enabled = false;
+
+    /** Rolling window length, in iteration outcomes. */
+    std::uint64_t windowSize = 16;
+    /** Bad outcomes inside the window that trip the breaker. */
+    std::uint64_t failureThreshold = 4;
+    /**
+     * Iteration duration counted as a latency breach (a "bad"
+     * outcome even when the iteration succeeded); 0 disables latency
+     * tracking and only fault-induced failures count.
+     */
+    double latencyThresholdSeconds = 0.0;
+
+    /** First Open-state backoff; doubles per consecutive re-open. */
+    double backoffBaseSeconds = 0.5;
+    /** Backoff ceiling. */
+    double backoffMaxSeconds = 8.0;
+    /** Jitter amplitude as a fraction of the backoff (0 = none). */
+    double jitterFraction = 0.25;
+
+    /** Seed for the deterministic jitter stream. */
+    std::uint64_t seed = 1;
+
+    /** @throws OverloadConfigError on out-of-range fields. */
+    void validate() const;
+};
+
+enum class BreakerState
+{
+    Closed,   // healthy: route normally, keep scoring outcomes
+    Open,     // tripped: route around until the backoff expires
+    HalfOpen, // probing: exactly one request may be routed here
+};
+
+const char *breakerStateName(BreakerState s);
+
+/** One device group's breaker (see file comment). */
+class CircuitBreaker
+{
+  public:
+    CircuitBreaker(const CircuitBreakerConfig &cfg,
+                   std::uint64_t group);
+
+    /**
+     * Score one iteration outcome at simulated time @p now.
+     * @p ok is false for fault-induced iteration failures;
+     * @p dur_seconds additionally counts as a breach when it exceeds
+     * the latency threshold. In HalfOpen this resolves the probe.
+     */
+    void noteIteration(bool ok, double dur_seconds, double now);
+
+    /**
+     * May the dispatcher route a request here at time @p now?
+     * Closed: always. Open: flips to HalfOpen once the backoff has
+     * expired, else refuses. HalfOpen: admits exactly one probe —
+     * true once, then false until the probe's iteration resolves it.
+     */
+    bool allowRoute(double now);
+
+    /**
+     * Would allowRoute() say yes, without committing the Open ->
+     * HalfOpen transition or consuming the probe slot? The dispatcher
+     * scans all groups with this, then calls allowRoute() on the one
+     * it actually picks.
+     */
+    bool wouldAllow(double now) const;
+
+    BreakerState state() const { return state_; }
+    std::uint64_t openCount() const { return openCount_; }
+    /** Lifetime trip count (openCount() resets on probe success). */
+    std::uint64_t trips() const { return trips_; }
+    double reopenAtSeconds() const { return reopenAt_; }
+
+    /** Deterministic transition log ("g<g> t=<t> closed->open ..."). */
+    const std::string &log() const { return log_; }
+
+    /** Warm state, for snapshot/restore (the log is not state). */
+    struct State
+    {
+        int state = 0; // BreakerState as int
+        std::uint64_t openCount = 0;
+        std::uint64_t trips = 0;
+        double reopenAt = 0.0;
+        bool probeOutstanding = false;
+        /** Rolling window, oldest first; 1 = bad outcome. */
+        std::vector<std::uint8_t> window;
+    };
+
+    State snapshotState() const;
+    void restore(const State &s);
+
+  private:
+    void transition(BreakerState to, double now, const char *why);
+    void trip(double now, const char *why);
+    double backoffSeconds() const;
+
+    CircuitBreakerConfig cfg_;
+    std::uint64_t group_;
+    BreakerState state_ = BreakerState::Closed;
+    std::deque<std::uint8_t> window_;
+    std::uint64_t badInWindow_ = 0;
+    std::uint64_t openCount_ = 0;
+    std::uint64_t trips_ = 0;
+    double reopenAt_ = 0.0;
+    bool probeOutstanding_ = false;
+    std::string log_;
+};
+
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_BREAKER_HH

@@ -14,6 +14,7 @@ ApplianceDispatcher::ApplianceDispatcher(
     const core::ParallelismPlan &plan,
     std::uint64_t kv_capacity_bytes, const SchedulerConfig &cfg,
     ServeMetrics &metrics)
+    : metrics_(metrics)
 {
     fatal_if(plan.modelParallel < 1 || plan.dataParallel < 1,
              "bad parallelism plan");
@@ -21,6 +22,29 @@ ApplianceDispatcher::ApplianceDispatcher(
     for (int g = 0; g < plan.dataParallel; ++g)
         groups_.push_back(std::make_unique<BatchScheduler>(
             model, cost, kv_capacity_bytes, cfg, metrics));
+}
+
+void
+ApplianceDispatcher::configureOverload(
+    const AdmissionConfig &admission,
+    const CircuitBreakerConfig &breaker)
+{
+    if (admission.enabled) {
+        admission.validate();
+        admission_ = std::make_unique<AdmissionController>(admission);
+    }
+    if (breaker.enabled) {
+        breaker.validate();
+        breakers_.clear();
+        creditedOpens_.assign(groups_.size(), 0);
+        for (std::size_t g = 0; g < groups_.size(); ++g) {
+            breakers_.push_back(
+                std::make_unique<CircuitBreaker>(breaker, g));
+            groups_[g]->setBreaker(breakers_[g].get());
+        }
+    }
+    if (admission.enabled || breaker.enabled)
+        metrics_.enableOverloadStats();
 }
 
 void
@@ -51,40 +75,80 @@ ApplianceDispatcher::attachTracer(trace::Tracer *t,
 void
 ApplianceDispatcher::submit(const ServeRequest &req)
 {
-    // Bring every group up to the arrival instant so the routing
-    // decision sees current load, then pick the best by (healthy,
-    // cached prefix tokens, least outstanding work, lowest index). A
-    // group in post-failure cooldown (degraded) is routed around
-    // unless every group is degraded, in which case load wins as
-    // usual. Cache affinity only discriminates under paged prefix
-    // caching; otherwise every probe is 0 and routing reduces exactly
-    // to least-outstanding-work.
+    // Bring every group up to the arrival instant so both the
+    // admission gate and the routing decision see current load.
+    for (auto &g : groups_)
+        g->advanceTo(req.arrivalSeconds);
+
+    if (admission_ != nullptr) {
+        std::uint64_t depth = 0;
+        double kv_min = 0.0;
+        for (std::size_t g = 0; g < groups_.size(); ++g) {
+            depth += groups_[g]->queueDepth();
+            const double f = groups_[g]->kvDemandFraction();
+            kv_min = g == 0 ? f : std::min(kv_min, f);
+        }
+        const AdmissionDecision d = admission_->decide(
+            req, req.arrivalSeconds, depth, kv_min);
+        if (d != AdmissionDecision::Admit) {
+            ServeRequest r = req;
+            r.state = RequestState::Rejected;
+            r.finishSeconds = req.arrivalSeconds;
+            metrics_.noteSubmitted(r.tenant);
+            metrics_.throttleRequest(r.tenant);
+            if (tracer_ != nullptr)
+                tracer_->instant(
+                    routeTrack_,
+                    std::string(admissionDecisionName(d)) + "#" +
+                        std::to_string(req.id),
+                    secondsToTicks(req.arrivalSeconds));
+            rejectedByAdmission_.push_back(std::move(r));
+            noteBreakerTrips();
+            return;
+        }
+    }
+
+    // Pick the best group by (healthy, cached prefix tokens, least
+    // outstanding work, lowest index). A group in post-failure
+    // cooldown (degraded) or behind an open breaker is routed around
+    // unless every group is blocked, in which case load wins as
+    // usual so the appliance never deadlocks. Cache affinity only
+    // discriminates under paged prefix caching; otherwise every
+    // probe is 0 and routing reduces exactly to
+    // least-outstanding-work. Breaker scanning uses the side-effect-
+    // free wouldAllow(); only the chosen group's breaker commits
+    // (Open -> HalfOpen flip, probe slot) via allowRoute().
     std::size_t best = 0;
     std::uint64_t best_tokens = ~0ull;
     std::uint64_t best_cached = 0;
-    bool best_degraded = true;
+    bool best_blocked = true;
     for (std::size_t g = 0; g < groups_.size(); ++g) {
-        groups_[g]->advanceTo(req.arrivalSeconds);
         const std::uint64_t t = groups_[g]->outstandingTokens();
         const std::uint64_t cached = groups_[g]->probeCachedTokens(req);
-        const bool degraded = groups_[g]->degradedAt(req.arrivalSeconds);
-        const bool better = (!degraded && best_degraded) ||
-            (degraded == best_degraded &&
+        bool blocked = groups_[g]->degradedAt(req.arrivalSeconds);
+        if (!breakers_.empty() &&
+            !breakers_[g]->wouldAllow(req.arrivalSeconds))
+            blocked = true;
+        const bool better = (!blocked && best_blocked) ||
+            (blocked == best_blocked &&
              (cached > best_cached ||
               (cached == best_cached && t < best_tokens)));
         if (better) {
             best_tokens = t;
             best_cached = cached;
             best = g;
-            best_degraded = degraded;
+            best_blocked = blocked;
         }
     }
+    if (!breakers_.empty())
+        breakers_[best]->allowRoute(req.arrivalSeconds);
     if (tracer_ != nullptr)
         tracer_->instant(routeTrack_,
                          "route#" + std::to_string(req.id) + "->g" +
                              std::to_string(best),
                          secondsToTicks(req.arrivalSeconds));
     groups_[best]->submit(req);
+    noteBreakerTrips();
 }
 
 void
@@ -92,6 +156,18 @@ ApplianceDispatcher::drain()
 {
     for (auto &g : groups_)
         g->drain();
+    noteBreakerTrips();
+}
+
+void
+ApplianceDispatcher::noteBreakerTrips()
+{
+    for (std::size_t g = 0; g < breakers_.size(); ++g) {
+        const std::uint64_t n = breakers_[g]->trips();
+        for (std::uint64_t i = creditedOpens_[g]; i < n; ++i)
+            metrics_.noteBreakerOpen();
+        creditedOpens_[g] = n;
+    }
 }
 
 double
@@ -111,6 +187,38 @@ ApplianceDispatcher::restore(const std::vector<SchedulerState> &s)
              " groups, dispatcher has ", groups_.size());
     for (std::size_t g = 0; g < groups_.size(); ++g)
         groups_[g]->restore(s[g]);
+}
+
+ApplianceDispatcher::OverloadState
+ApplianceDispatcher::overloadState() const
+{
+    OverloadState s;
+    if (admission_ != nullptr)
+        s.admission = admission_->state();
+    s.breakers.reserve(breakers_.size());
+    for (const auto &b : breakers_)
+        s.breakers.push_back(b->snapshotState());
+    s.rejected = rejectedByAdmission_;
+    return s;
+}
+
+void
+ApplianceDispatcher::restoreOverload(const OverloadState &s)
+{
+    fatal_if(!s.admission.buckets.empty() && admission_ == nullptr,
+             "overload restore: state has admission buckets but the "
+             "dispatcher has no admission gate; reconfigure first");
+    fatal_if(!s.breakers.empty() &&
+                 s.breakers.size() != breakers_.size(),
+             "overload restore: state has ", s.breakers.size(),
+             " breakers, dispatcher has ", breakers_.size());
+    if (admission_ != nullptr)
+        admission_->restore(s.admission);
+    for (std::size_t g = 0; g < s.breakers.size(); ++g) {
+        breakers_[g]->restore(s.breakers[g]);
+        creditedOpens_[g] = breakers_[g]->trips();
+    }
+    rejectedByAdmission_ = s.rejected;
 }
 
 } // namespace serve

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "core/inference_engine.hh"
+#include "serve/admission.hh"
+#include "serve/breaker.hh"
 #include "serve/scheduler.hh"
 
 namespace cxlpnm
@@ -53,6 +55,16 @@ class ApplianceDispatcher
      */
     void attachTracer(trace::Tracer *t, const std::string &prefix);
 
+    /**
+     * Arm overload protection at the appliance front door: a
+     * per-tenant token-bucket admission gate ahead of routing, plus
+     * one circuit breaker per device group layered on the degraded
+     * routing. Either half may be disabled via its enabled flag.
+     * Call before the first submit. @throws OverloadConfigError.
+     */
+    void configureOverload(const AdmissionConfig &admission,
+                           const CircuitBreakerConfig &breaker);
+
     /** Advance every group to the arrival, then route it by
      *  (healthy first, most cached prefix tokens, least outstanding
      *  work, lowest group index). The cache-affinity term is only
@@ -71,6 +83,22 @@ class ApplianceDispatcher
     const BatchScheduler &group(std::size_t i) const
     {
         return *groups_[i];
+    }
+
+    /** Admission gate, or null when not configured. */
+    const AdmissionController *admission() const
+    {
+        return admission_.get();
+    }
+    /** Group @p i's breaker, or null when breakers are off. */
+    const CircuitBreaker *breaker(std::size_t i) const
+    {
+        return i < breakers_.size() ? breakers_[i].get() : nullptr;
+    }
+    /** Requests refused at the admission gate, in arrival order. */
+    const std::vector<ServeRequest> &rejectedByAdmission() const
+    {
+        return rejectedByAdmission_;
     }
 
     /**
@@ -99,8 +127,34 @@ class ApplianceDispatcher
 
     void restore(const std::vector<SchedulerState> &s);
 
+    /** Front-door warm state (admission buckets, breakers, refused
+     *  requests), for snapshot/restore alongside the group states. */
+    struct OverloadState
+    {
+        AdmissionController::State admission;
+        std::vector<CircuitBreaker::State> breakers;
+        std::vector<ServeRequest> rejected;
+    };
+
+    OverloadState overloadState() const;
+    void restoreOverload(const OverloadState &s);
+    bool overloadConfigured() const
+    {
+        return admission_ != nullptr || !breakers_.empty();
+    }
+
   private:
+    /** Credit breaker trips to metrics since the last check. */
+    void noteBreakerTrips();
+
     std::vector<std::unique_ptr<BatchScheduler>> groups_;
+    ServeMetrics &metrics_;
+
+    /** Overload front door (both null/empty until configured). */
+    std::unique_ptr<AdmissionController> admission_;
+    std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+    std::vector<ServeRequest> rejectedByAdmission_;
+    std::vector<std::uint64_t> creditedOpens_;
 
     /** Tracing (null = off, the default). */
     trace::Tracer *tracer_ = nullptr;

@@ -191,6 +191,83 @@ ServeMetrics::noteTierIteration(const tier::TierIterationStats &iter,
         static_cast<double>(pin_violation_delta);
 }
 
+ServeMetrics::OverloadStatBlock::OverloadStatBlock(
+    stats::StatGroup *parent)
+    : group(parent, "overload"),
+      submitted(&group, "submitted", "requests offered to the system"),
+      shed(&group, "shed",
+           "requests dropped by deadline-aware shedding"),
+      timedOut(&group, "timed_out",
+               "queued requests dropped at their queue timeout"),
+      throttled(&group, "throttled",
+                "requests refused at the admission gate"),
+      brownoutPeak(&group, "brownout_peak_level",
+                   "highest brownout ladder level reached"),
+      breakerOpens(&group, "breaker_opens",
+                   "circuit-breaker Closed/HalfOpen -> Open trips")
+{
+}
+
+void
+ServeMetrics::enableOverloadStats()
+{
+    if (!overloadStats_)
+        overloadStats_ = std::make_unique<OverloadStatBlock>(&group_);
+}
+
+void
+ServeMetrics::noteSubmitted(std::uint64_t tenant)
+{
+    // Called on every submit, overload protection on or off; must not
+    // lazily create the stat block or an off-mode run's stats dump
+    // would grow a new sub-group.
+    ++submittedN_;
+    ++tenants_[tenant].submitted;
+    if (overloadStats_)
+        ++overloadStats_->submitted;
+}
+
+void
+ServeMetrics::shedRequest(const ServeRequest &req, bool timed_out)
+{
+    enableOverloadStats();
+    if (timed_out) {
+        ++timedOutN_;
+        ++tenants_[req.tenant].timedOut;
+        ++overloadStats_->timedOut;
+    } else {
+        ++shedN_;
+        ++tenants_[req.tenant].shed;
+        ++overloadStats_->shed;
+    }
+}
+
+void
+ServeMetrics::throttleRequest(std::uint64_t tenant)
+{
+    enableOverloadStats();
+    ++throttledN_;
+    ++tenants_[tenant].throttled;
+    ++overloadStats_->throttled;
+}
+
+void
+ServeMetrics::noteBrownoutLevel(std::uint64_t level)
+{
+    enableOverloadStats();
+    brownoutPeak_ = std::max(brownoutPeak_, level);
+    overloadStats_->brownoutPeak.set(
+        static_cast<double>(brownoutPeak_));
+}
+
+void
+ServeMetrics::noteBreakerOpen()
+{
+    enableOverloadStats();
+    ++breakerOpensN_;
+    ++overloadStats_->breakerOpens;
+}
+
 void
 ServeMetrics::sampleTokenLatency(double seconds, std::uint64_t tokens)
 {
@@ -211,6 +288,7 @@ ServeMetrics::finishRequest(const ServeRequest &req)
              "finishRequest on a live request");
     ++completedStat_;
     ++completedN_;
+    ++tenants_[req.tenant].completed;
     tokensStat_ += static_cast<double>(req.outputTokens);
     tokensN_ += req.outputTokens;
 
@@ -285,6 +363,7 @@ ServeMetrics::report(double makespan_seconds) const
     r.tokenLatencyP99 = tokenLatency_.percentile(0.99);
     r.ttftP50 = ttft_.percentile(0.50);
     r.ttftP95 = ttft_.percentile(0.95);
+    r.ttftP99 = ttft_.percentile(0.99);
     r.meanBatchSize = batchSize_.mean();
     r.meanQueueDepth = queueDepth_.mean();
     r.peakKvUtilization = peakKvUtil_;
@@ -334,6 +413,35 @@ ServeMetrics::report(double makespan_seconds) const
     r.availability = device_seconds > 0.0
         ? std::max(0.0, 1.0 - degradedSeconds_ / device_seconds)
         : 1.0;
+
+    r.submitted = submittedN_;
+    r.shedRequests = shedN_;
+    r.timedOutRequests = timedOutN_;
+    r.throttledRequests = throttledN_;
+    // Inclusive SLO attainment: every terminal request counts in the
+    // denominator, so shedding cannot inflate the figure the way the
+    // completed-only sloFraction can.
+    const std::uint64_t terminal = completedN_ + shedN_ + timedOutN_ +
+        failedN_ + rejectedN_ + throttledN_;
+    r.sloAttainment = terminal
+        ? static_cast<double>(sloMetRequests_) / terminal
+        : 0.0;
+    r.servedFraction = submittedN_
+        ? static_cast<double>(completedN_) / submittedN_
+        : 0.0;
+    r.brownoutPeakLevel = brownoutPeak_;
+    r.breakerOpens = breakerOpensN_;
+    r.tenants.reserve(tenants_.size());
+    for (const auto &[tenant, tc] : tenants_) {
+        ServeReport::TenantBreakdown tb;
+        tb.tenant = tenant;
+        tb.submitted = tc.submitted;
+        tb.completed = tc.completed;
+        tb.shed = tc.shed;
+        tb.timedOut = tc.timedOut;
+        tb.throttled = tc.throttled;
+        r.tenants.push_back(tb);
+    }
     return r;
 }
 
@@ -386,6 +494,25 @@ ServeMetrics::state() const
     s.tierPinViolations = tierPinViolationsN_;
     s.peakNearBlocks = peakNearBlocks_;
     s.peakFarBlocks = peakFarBlocks_;
+
+    s.overloadEnabled = overloadStats_ != nullptr;
+    s.submitted = submittedN_;
+    s.shed = shedN_;
+    s.timedOut = timedOutN_;
+    s.throttled = throttledN_;
+    s.brownoutPeak = brownoutPeak_;
+    s.breakerOpens = breakerOpensN_;
+    s.tenants.reserve(tenants_.size());
+    for (const auto &[tenant, tc] : tenants_) {
+        ServeReport::TenantBreakdown tb;
+        tb.tenant = tenant;
+        tb.submitted = tc.submitted;
+        tb.completed = tc.completed;
+        tb.shed = tc.shed;
+        tb.timedOut = tc.timedOut;
+        tb.throttled = tc.throttled;
+        s.tenants.push_back(tb);
+    }
     return s;
 }
 
@@ -474,6 +601,37 @@ ServeMetrics::restore(const State &s)
             static_cast<double>(tierAbandonedN_));
         tierStats_->pinViolations.set(
             static_cast<double>(tierPinViolationsN_));
+    }
+
+    submittedN_ = s.submitted;
+    shedN_ = s.shed;
+    timedOutN_ = s.timedOut;
+    throttledN_ = s.throttled;
+    brownoutPeak_ = s.brownoutPeak;
+    breakerOpensN_ = s.breakerOpens;
+    tenants_.clear();
+    for (const ServeReport::TenantBreakdown &tb : s.tenants) {
+        TenantCounters tc;
+        tc.submitted = tb.submitted;
+        tc.completed = tb.completed;
+        tc.shed = tb.shed;
+        tc.timedOut = tb.timedOut;
+        tc.throttled = tb.throttled;
+        tenants_[tb.tenant] = tc;
+    }
+    if (s.overloadEnabled) {
+        enableOverloadStats();
+        overloadStats_->submitted.set(
+            static_cast<double>(submittedN_));
+        overloadStats_->shed.set(static_cast<double>(shedN_));
+        overloadStats_->timedOut.set(
+            static_cast<double>(timedOutN_));
+        overloadStats_->throttled.set(
+            static_cast<double>(throttledN_));
+        overloadStats_->brownoutPeak.set(
+            static_cast<double>(brownoutPeak_));
+        overloadStats_->breakerOpens.set(
+            static_cast<double>(breakerOpensN_));
     }
 }
 

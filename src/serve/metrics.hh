@@ -10,8 +10,10 @@
 #define CXLPNM_SERVE_METRICS_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "serve/request.hh"
 #include "serve/tier/migration_engine.hh"
@@ -64,6 +66,9 @@ struct ServeReport
     double tokenLatencyP99 = 0.0;
     double ttftP50 = 0.0;
     double ttftP95 = 0.0;
+    /** p99 TTFT of requests that got a first token (admitted ones);
+     *  the overload campaign's bounded-latency gate. */
+    double ttftP99 = 0.0;
 
     double meanBatchSize = 0.0;
     double meanQueueDepth = 0.0;
@@ -144,6 +149,43 @@ struct ServeReport
     double degradedSeconds = 0.0;
     /** 1 - degraded device-seconds / total device-seconds. */
     double availability = 1.0;
+
+    // --- overload protection (zero with every knob off) ---
+    /** Requests offered to the serving tier (front door included). */
+    std::uint64_t submitted = 0;
+    /** Deadline-shed before ever running (RequestState::Shed). */
+    std::uint64_t shedRequests = 0;
+    /** Timed out of the queue (RequestState::Shed). */
+    std::uint64_t timedOutRequests = 0;
+    /** Turned away by the admission controller (bucket or gates). */
+    std::uint64_t throttledRequests = 0;
+    /**
+     * SLO attainment with an honest denominator: requests meeting the
+     * SLO over EVERY terminal request - finished, shed, timed out,
+     * throttled, rejected and failed all count against it, so
+     * shedding cannot silently inflate the figure the way
+     * `sloFraction` (finished-only, kept for compatibility) can.
+     */
+    double sloAttainment = 0.0;
+    /** Completed / submitted: the request-level availability figure
+     *  with shed, timed-out and throttled work in the denominator. */
+    double servedFraction = 0.0;
+    /** Deepest brownout ladder level reached. */
+    std::uint64_t brownoutPeakLevel = 0;
+    /** Circuit-breaker trips (Closed/HalfOpen -> Open). */
+    std::uint64_t breakerOpens = 0;
+
+    /** Per-tenant accounting, tenant-sorted. */
+    struct TenantBreakdown
+    {
+        std::uint64_t tenant = 0;
+        std::uint64_t submitted = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t timedOut = 0;
+        std::uint64_t throttled = 0;
+    };
+    std::vector<TenantBreakdown> tenants;
 };
 
 /** Collects samples from one or more schedulers. */
@@ -218,6 +260,27 @@ class ServeMetrics
     void finishRequest(const ServeRequest &req);
 
     void rejectRequest();
+
+    // --- overload-protection accounting ---
+    /**
+     * Create the overload stat sub-group. Lazy for the same reason as
+     * enableTierStats(): with every overload knob off the dumped stat
+     * hierarchy - and every emitted byte - is unchanged. Idempotent.
+     */
+    void enableOverloadStats();
+    /** One request offered to the serving tier (any terminal fate);
+     *  called where the request first enters - the dispatcher's front
+     *  door or a standalone scheduler's submit(). */
+    void noteSubmitted(std::uint64_t tenant);
+    /** Request dropped by overload protection: deadline-shed
+     *  (@p timed_out false) or queue-timeout (@p timed_out true). */
+    void shedRequest(const ServeRequest &req, bool timed_out);
+    /** Request turned away by the admission controller. */
+    void throttleRequest(std::uint64_t tenant);
+    /** Brownout ladder moved; tracks the peak level. */
+    void noteBrownoutLevel(std::uint64_t level);
+    /** A circuit breaker tripped (-> Open). */
+    void noteBreakerOpen();
 
     // --- RAS accounting (fault-injection campaigns) ---
     /** One scheduler (device group) reporting into this collector;
@@ -301,6 +364,16 @@ class ServeMetrics
         std::uint64_t tierPinViolations = 0;
         std::uint64_t peakNearBlocks = 0;
         std::uint64_t peakFarBlocks = 0;
+
+        bool overloadEnabled = false;
+        std::uint64_t submitted = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t timedOut = 0;
+        std::uint64_t throttled = 0;
+        std::uint64_t brownoutPeak = 0;
+        std::uint64_t breakerOpens = 0;
+        /** Per-tenant counters, tenant-sorted. */
+        std::vector<ServeReport::TenantBreakdown> tenants;
     };
 
     State state() const;
@@ -352,6 +425,22 @@ class ServeMetrics
     };
     std::unique_ptr<TierStatBlock> tierStats_;
 
+    /** Overload stats live in a lazily built sub-group (see
+     *  enableOverloadStats()). */
+    struct OverloadStatBlock
+    {
+        explicit OverloadStatBlock(stats::StatGroup *parent);
+
+        stats::StatGroup group;
+        stats::Scalar submitted;
+        stats::Scalar shed;
+        stats::Scalar timedOut;
+        stats::Scalar throttled;
+        stats::Scalar brownoutPeak;
+        stats::Scalar breakerOpens;
+    };
+    std::unique_ptr<OverloadStatBlock> overloadStats_;
+
     std::uint64_t completedN_ = 0;
     std::uint64_t rejectedN_ = 0;
     std::uint64_t tokensN_ = 0;
@@ -390,6 +479,25 @@ class ServeMetrics
     std::uint64_t tierPinViolationsN_ = 0;
     std::uint64_t peakNearBlocks_ = 0;
     std::uint64_t peakFarBlocks_ = 0;
+
+    /** Per-tenant tallies (always maintained; nearly free for the
+     *  default single tenant, invisible in reports until read). */
+    struct TenantCounters
+    {
+        std::uint64_t submitted = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t timedOut = 0;
+        std::uint64_t throttled = 0;
+    };
+    std::map<std::uint64_t, TenantCounters> tenants_;
+
+    std::uint64_t submittedN_ = 0;
+    std::uint64_t shedN_ = 0;
+    std::uint64_t timedOutN_ = 0;
+    std::uint64_t throttledN_ = 0;
+    std::uint64_t brownoutPeak_ = 0;
+    std::uint64_t breakerOpensN_ = 0;
 };
 
 } // namespace serve

@@ -1,0 +1,105 @@
+#include "serve/overload.hh"
+
+#include <cmath>
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+void
+ShedConfig::validate() const
+{
+    if (queueTimeoutSeconds < 0.0)
+        throw OverloadConfigError(
+            "shed: queueTimeoutSeconds must be >= 0");
+    if (!(estimateMargin >= 1.0))
+        throw OverloadConfigError(
+            "shed: estimateMargin must be >= 1.0");
+}
+
+void
+BrownoutConfig::validate() const
+{
+    if (queueLowWatermark >= queueHighWatermark)
+        throw OverloadConfigError(
+            "brownout: queueLowWatermark must be below "
+            "queueHighWatermark");
+    if (sustainIterations == 0)
+        throw OverloadConfigError(
+            "brownout: sustainIterations must be >= 1");
+    if (maxLevel == 0)
+        throw OverloadConfigError("brownout: maxLevel must be >= 1");
+    if (!(contextCapFactor > 0.0) || contextCapFactor >= 1.0)
+        throw OverloadConfigError(
+            "brownout: contextCapFactor must be in (0, 1)");
+    if (!(batchCapFactor > 0.0) || batchCapFactor >= 1.0)
+        throw OverloadConfigError(
+            "brownout: batchCapFactor must be in (0, 1)");
+}
+
+BrownoutController::BrownoutController(const BrownoutConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.enabled)
+        cfg_.validate();
+}
+
+bool
+BrownoutController::observe(std::uint64_t queue_depth)
+{
+    if (!cfg_.enabled)
+        return false;
+    if (queue_depth >= cfg_.queueHighWatermark) {
+        lowStreak_ = 0;
+        if (++highStreak_ >= cfg_.sustainIterations) {
+            highStreak_ = 0;
+            if (level_ < cfg_.maxLevel) {
+                ++level_;
+                return true;
+            }
+        }
+    } else if (queue_depth <= cfg_.queueLowWatermark) {
+        highStreak_ = 0;
+        if (++lowStreak_ >= cfg_.sustainIterations) {
+            lowStreak_ = 0;
+            if (level_ > 0) {
+                --level_;
+                return true;
+            }
+        }
+    } else {
+        // Between watermarks: neither pressure nor relief; both
+        // streaks reset so the ladder only moves on sustained signal.
+        highStreak_ = 0;
+        lowStreak_ = 0;
+    }
+    return false;
+}
+
+std::uint64_t
+BrownoutController::contextCap(std::uint64_t base) const
+{
+    if (!cfg_.enabled || level_ == 0)
+        return base;
+    const double f = std::pow(cfg_.contextCapFactor,
+                              static_cast<double>(level_));
+    const auto cap = static_cast<std::uint64_t>(
+        static_cast<double>(base) * f);
+    return cap > 0 ? cap : 1;
+}
+
+std::uint64_t
+BrownoutController::batchCap(std::uint64_t base) const
+{
+    if (!cfg_.enabled || level_ == 0)
+        return base;
+    const double f = std::pow(cfg_.batchCapFactor,
+                              static_cast<double>(level_));
+    const auto cap = static_cast<std::uint64_t>(
+        static_cast<double>(base) * f);
+    return cap > 0 ? cap : 1;
+}
+
+} // namespace serve
+} // namespace cxlpnm

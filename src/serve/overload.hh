@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Overload protection for the serving tier: deadline-aware load
+ * shedding and a brownout ladder that tightens admission before the
+ * scheduler has to drop work. Under sustained overload a FCFS queue
+ * grows without bound and every request blows its SLO — the classic
+ * congestion cliff. Shedding turns guaranteed SLO misses into typed
+ * Shed terminations, and the brownout ladder trades context length
+ * and batch growth for queue relief first. Everything here is a pure
+ * function of simulated time plus configuration, so protected runs
+ * stay byte-identical across thread counts.
+ */
+
+#ifndef CXLPNM_SERVE_OVERLOAD_HH
+#define CXLPNM_SERVE_OVERLOAD_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+
+/** Invalid overload-protection configuration (typed, catchable). */
+class OverloadConfigError : public FatalError
+{
+  public:
+    using FatalError::FatalError;
+};
+
+/**
+ * Deadline-aware load shedding. A request whose TTFT deadline is
+ * already unmeetable at admission time (estimated via the iteration
+ * pricer / cost model) is shed instead of being run to a guaranteed
+ * SLO miss; a request that sits Queued past its deadline or past the
+ * queue-time budget times out. Both end in RequestState::Shed, but
+ * metrics account them separately (shed vs timed out).
+ */
+struct ShedConfig
+{
+    bool enabled = false;
+
+    /**
+     * Queue-time budget in seconds: a request still Queued this long
+     * after arrival times out. 0 disables the timeout (deadline
+     * shedding alone still applies to requests carrying deadlines).
+     */
+    double queueTimeoutSeconds = 0.0;
+
+    /**
+     * Safety factor on the admission-time TTFT estimate: shed when
+     * estimate * margin > deadline. 1.0 sheds only provably-late
+     * requests; > 1.0 sheds earlier, trading completion for goodput.
+     */
+    double estimateMargin = 1.0;
+
+    /** @throws OverloadConfigError on out-of-range fields. */
+    void validate() const;
+};
+
+/**
+ * Brownout ladder: under sustained queue pressure the scheduler
+ * climbs degradation levels that multiply down the admitted context
+ * length and the batch-growth cap, shedding load quality before it
+ * sheds requests. Pressure and relief must both be sustained for
+ * sustainIterations consecutive iteration boundaries before the
+ * level moves, so a single bursty iteration cannot flap the ladder.
+ */
+struct BrownoutConfig
+{
+    bool enabled = false;
+
+    /** Queue depth at or above which an iteration counts as pressure. */
+    std::uint64_t queueHighWatermark = 64;
+    /** Queue depth at or below which an iteration counts as relief. */
+    std::uint64_t queueLowWatermark = 16;
+    /** Consecutive pressure/relief iterations before the level moves. */
+    std::uint64_t sustainIterations = 8;
+    /** Deepest ladder level. */
+    std::uint64_t maxLevel = 3;
+
+    /** Per-level multiplier on the max admitted context (prompt +
+     *  output tokens); requests over the cap are skipped in the
+     *  queue, not shed. */
+    double contextCapFactor = 0.5;
+    /** Per-level multiplier on the batch-size cap. */
+    double batchCapFactor = 0.5;
+
+    /** @throws OverloadConfigError on out-of-range fields. */
+    void validate() const;
+};
+
+/** Runs one scheduler's brownout ladder (see BrownoutConfig). */
+class BrownoutController
+{
+  public:
+    explicit BrownoutController(const BrownoutConfig &cfg);
+
+    /**
+     * Observe the queue depth at an iteration boundary; returns true
+     * when the ladder level changed (for tracing). Inert when the
+     * config is disabled.
+     */
+    bool observe(std::uint64_t queue_depth);
+
+    std::uint64_t level() const { return level_; }
+
+    /** Max admitted context tokens at the current level. */
+    std::uint64_t contextCap(std::uint64_t base) const;
+
+    /** Batch-size cap at the current level (never below 1). */
+    std::uint64_t batchCap(std::uint64_t base) const;
+
+    /** Warm state, for snapshot/restore. */
+    struct State
+    {
+        std::uint64_t level = 0;
+        std::uint64_t highStreak = 0;
+        std::uint64_t lowStreak = 0;
+    };
+
+    State
+    state() const
+    {
+        return {level_, highStreak_, lowStreak_};
+    }
+
+    void
+    restore(const State &s)
+    {
+        level_ = s.level;
+        highStreak_ = s.highStreak;
+        lowStreak_ = s.lowStreak;
+    }
+
+  private:
+    BrownoutConfig cfg_;
+    std::uint64_t level_ = 0;
+    std::uint64_t highStreak_ = 0;
+    std::uint64_t lowStreak_ = 0;
+};
+
+} // namespace serve
+} // namespace cxlpnm
+
+#endif // CXLPNM_SERVE_OVERLOAD_HH

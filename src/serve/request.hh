@@ -26,6 +26,7 @@ enum class RequestState
     Finished, // all output tokens produced
     Rejected, // can never fit (context > model or KV pool capacity)
     Failed,   // lost to device faults after exhausting its retries
+    Shed,     // dropped by overload protection (deadline or timeout)
 };
 
 const char *requestStateName(RequestState s);
@@ -38,6 +39,15 @@ struct ServeRequest
     double arrivalSeconds = 0.0;
     std::uint64_t inputTokens = 0;
     std::uint64_t outputTokens = 0;
+
+    // --- overload protection (admission / shedding) ---
+    /** Tenant this request bills against; 0 is the default tenant. */
+    std::uint64_t tenant = 0;
+    /**
+     * TTFT SLO deadline relative to arrival, in seconds; 0 means the
+     * request carries no deadline and is never deadline-shed.
+     */
+    double deadlineSeconds = 0.0;
 
     // --- shared-prefix identity (paged KV / prefix caching) ---
     /**

@@ -87,6 +87,24 @@ TraceConfig::validate(std::uint64_t max_positions,
                    std::to_string(longCtxMaxTokens) + " < min " +
                    std::to_string(longCtxMinTokens));
     }
+    if (arrivals == ArrivalProcess::Bursty) {
+        if (!(burstOnSeconds > 0.0))
+            reject("bursty arrivals need a positive mean ON-phase "
+                   "duration, got " + std::to_string(burstOnSeconds));
+        if (burstOffSeconds < 0.0)
+            reject("bursty arrivals: mean OFF-phase duration must be "
+                   ">= 0, got " + std::to_string(burstOffSeconds));
+        if (burstOffRateFraction < 0.0 || burstOffRateFraction > 1.0)
+            reject("bursty arrivals: OFF-phase rate fraction must be "
+                   "in [0, 1], got " +
+                   std::to_string(burstOffRateFraction));
+    }
+    if (numTenants == 0)
+        reject("numTenants must be >= 1 (every request needs an "
+               "owner)");
+    if (ttftDeadlineSeconds < 0.0)
+        reject("ttftDeadlineSeconds must be >= 0, got " +
+               std::to_string(ttftDeadlineSeconds));
     const std::uint64_t worst = maxInputTokens() + output.max();
     if (max_positions > 0 && worst > max_positions)
         reject("worst-case context of " + std::to_string(worst) +
@@ -116,6 +134,30 @@ RequestGenerator::RequestGenerator(const TraceConfig &cfg)
         cfg_.input = LengthDistribution::uniform(
             cfg_.longCtxMinTokens, cfg_.longCtxMaxTokens);
     }
+    if (cfg_.arrivals == ArrivalProcess::Bursty ||
+        cfg_.numTenants != 1 || cfg_.ttftDeadlineSeconds != 0.0) {
+        // Same typed-error guarantee for the overload-mode knobs.
+        cfg_.validate(0, 0);
+    }
+    if (cfg_.arrivals == ArrivalProcess::Bursty) {
+        // Start in the ON phase with an exponentially drawn dwell.
+        phaseEndClock_ =
+            -std::log(1.0 - rng_.nextDouble()) * cfg_.burstOnSeconds;
+    }
+}
+
+void
+RequestGenerator::advancePhase()
+{
+    phaseOn_ = !phaseOn_;
+    const double mean =
+        phaseOn_ ? cfg_.burstOnSeconds : cfg_.burstOffSeconds;
+    // A zero-mean phase (burstOffSeconds = 0) has zero dwell: the
+    // stream degenerates to pure Poisson at the ON rate.
+    const double dwell = mean > 0.0
+        ? -std::log(1.0 - rng_.nextDouble()) * mean
+        : 0.0;
+    phaseEndClock_ += dwell;
 }
 
 ServeRequest
@@ -136,6 +178,34 @@ RequestGenerator::next()
           case ArrivalProcess::Fixed:
             gap = mean_gap;
             break;
+          case ArrivalProcess::Bursty: {
+            // Sample the next arrival of the two-phase MMPP. An
+            // exponential gap that crosses the phase boundary is
+            // discarded and redrawn from the boundary — memoryless,
+            // so this is the exact arrival law. A silent OFF phase
+            // (rate 0) jumps straight to its end.
+            double t = clock_;
+            for (;;) {
+                const double rate = phaseOn_
+                    ? cfg_.requestsPerSec
+                    : cfg_.requestsPerSec * cfg_.burstOffRateFraction;
+                if (rate <= 0.0) {
+                    t = phaseEndClock_;
+                    advancePhase();
+                    continue;
+                }
+                const double g =
+                    -std::log(1.0 - rng_.nextDouble()) / rate;
+                if (t + g <= phaseEndClock_) {
+                    t += g;
+                    break;
+                }
+                t = phaseEndClock_;
+                advancePhase();
+            }
+            gap = t - clock_;
+            break;
+          }
         }
         // The header promises monotonically non-decreasing arrivals;
         // enforce it against pathological configs (e.g. an extreme
@@ -157,6 +227,11 @@ RequestGenerator::next()
         req.sharedPrefixTokens =
             std::min(cfg_.prefixTokens, req.inputTokens);
     }
+    // Tenant draw only in multi-tenant mode (stream stability);
+    // the deadline stamp consumes no randomness.
+    if (cfg_.numTenants > 1)
+        req.tenant = rng_.nextBelow(cfg_.numTenants);
+    req.deadlineSeconds = cfg_.ttftDeadlineSeconds;
     ++produced_;
     return req;
 }

@@ -39,6 +39,9 @@ enum class ArrivalProcess
 {
     Poisson, // exponential gaps, the classic open-loop service model
     Fixed,   // constant gaps (a perfectly paced load generator)
+    Bursty,  // Markov-modulated on/off Poisson (two-phase MMPP):
+             // exponential ON/OFF dwell times, full rate while ON,
+             // a configurable fraction of it while OFF
 };
 
 /** How a per-request token length is drawn. */
@@ -103,6 +106,35 @@ struct TraceConfig
     std::uint64_t longCtxMinTokens = 131072;
     std::uint64_t longCtxMaxTokens = 131072;
 
+    /**
+     * Bursty (MMPP) arrival parameters, used only when
+     * arrivals == ArrivalProcess::Bursty. The stream alternates
+     * between an ON phase (Poisson at requestsPerSec) and an OFF
+     * phase (Poisson at requestsPerSec * burstOffRateFraction; 0
+     * makes the OFF phase silent). Phase dwell times are exponential
+     * with the given means; burstOffSeconds = 0 degenerates to pure
+     * Poisson. The phase draws only happen in bursty mode, so every
+     * pre-existing trace keeps its RNG stream bit-identical.
+     */
+    double burstOnSeconds = 1.0;
+    double burstOffSeconds = 1.0;
+    double burstOffRateFraction = 0.0;
+
+    /**
+     * Multi-tenant mode: each request is stamped with a tenant id
+     * drawn uniformly from [0, numTenants). The draw only happens
+     * when numTenants > 1, so the default single-tenant stream is
+     * bit-identical to pre-existing traces.
+     */
+    std::uint64_t numTenants = 1;
+
+    /**
+     * TTFT deadline stamped on every request (seconds relative to
+     * its arrival; 0 = none). Consumed by deadline-aware shedding
+     * (serve/overload); no RNG draw involved.
+     */
+    double ttftDeadlineSeconds = 0.0;
+
     /** Largest prompt this config can draw. */
     std::uint64_t maxInputTokens() const;
 
@@ -137,12 +169,16 @@ class RequestGenerator
         std::uint64_t rngState = 0;
         std::uint64_t produced = 0;
         double clock = 0.0;
+        /** Bursty (MMPP) phase progress; idle defaults otherwise. */
+        bool phaseOn = true;
+        double phaseEndClock = 0.0;
     };
 
     State
     state() const
     {
-        return {rng_.state(), produced_, clock_};
+        return {rng_.state(), produced_, clock_, phaseOn_,
+                phaseEndClock_};
     }
 
     void
@@ -151,13 +187,20 @@ class RequestGenerator
         rng_.setState(s.rngState);
         produced_ = s.produced;
         clock_ = s.clock;
+        phaseOn_ = s.phaseOn;
+        phaseEndClock_ = s.phaseEndClock;
     }
 
   private:
+    /** Flip the MMPP phase and draw the new dwell time. */
+    void advancePhase();
+
     TraceConfig cfg_;
     SplitMix64 rng_;
     std::size_t produced_ = 0;
     double clock_ = 0.0;
+    bool phaseOn_ = true;
+    double phaseEndClock_ = 0.0;
 };
 
 } // namespace serve

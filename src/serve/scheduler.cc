@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "serve/breaker.hh"
 #include "serve/calibration.hh"
 #include "sim/logging.hh"
 
@@ -20,6 +21,7 @@ requestStateName(RequestState s)
       case RequestState::Finished: return "finished";
       case RequestState::Rejected: return "rejected";
       case RequestState::Failed: return "failed";
+      case RequestState::Shed: return "shed";
     }
     return "<bad>";
 }
@@ -43,9 +45,13 @@ BatchScheduler::BatchScheduler(const llm::ModelConfig &model,
                                const SchedulerConfig &cfg,
                                ServeMetrics &metrics)
     : model_(model), cost_(cost), kv_(kv_capacity_bytes), cfg_(cfg),
-      metrics_(metrics)
+      metrics_(metrics), brownout_(cfg.brownout)
 {
     fatal_if(cfg_.maxBatch == 0, "batch cap must be positive");
+    if (cfg_.shed.enabled)
+        cfg_.shed.validate();
+    if (cfg_.shed.enabled || cfg_.brownout.enabled)
+        metrics_.enableOverloadStats();
     fatal_if(cfg_.paged.tier.enabled() && !cfg_.paged.enabled,
              "the far KV tier requires the paged backend "
              "(paged.enabled)");
@@ -113,6 +119,10 @@ BatchScheduler::attachTracer(trace::Tracer *t, const std::string &prefix)
         farTrack_ = t->track(prefix + ".kv_far_blocks", "serve");
         migration_->attachTracer(t, tierTrack_);
     }
+    // Brownout-ladder counter last, only when the ladder is on: off
+    // means the track set (and every emitted byte) is unchanged.
+    if (cfg_.brownout.enabled)
+        brownoutTrack_ = t->track(prefix + ".brownout_level", "serve");
 }
 
 void
@@ -123,6 +133,7 @@ BatchScheduler::submit(ServeRequest req)
     fatal_if(req.sharedPrefixTokens > req.inputTokens,
              "shared prefix longer than the prompt");
     lastArrival_ = req.arrivalSeconds;
+    metrics_.noteSubmitted(req.tenant);
 
     const bool malformed = req.inputTokens == 0 ||
         req.outputTokens == 0 ||
@@ -324,26 +335,17 @@ BatchScheduler::tryAdmitPaged(ServeRequest &head)
 void
 BatchScheduler::admit(std::vector<ServeRequest> &joining)
 {
-    while (!queue_.empty()) {
-        // Serial baseline: one request owns the device end to end.
-        if (!cfg_.continuousBatching &&
-            (!batch_.empty() || !joining.empty()))
-            return;
-        if (batch_.size() + joining.size() >= cfg_.maxBatch)
-            return;
-
-        ServeRequest &head = queue_.front();
-        if (head.arrivalSeconds > clock_)
-            return; // not here yet
-        // Strict FCFS: only ever the head; when it does not fit,
-        // admission stops even if a later request would.
+    const std::uint64_t batch_cap = brownout_.batchCap(cfg_.maxBatch);
+    const std::uint64_t ctx_cap =
+        brownout_.contextCap(model_.maxPositions);
+    auto admitHead = [&](std::size_t idx) -> bool {
+        ServeRequest &head = queue_[idx];
         if (cfg_.paged.enabled) {
             if (!tryAdmitPaged(head))
-                return; // head-of-line blocks until blocks free up
+                return false;
         } else if (!kv_.tryReserve(head.worstCaseKvBytes(model_))) {
-            return; // head-of-line blocks until KV frees up
+            return false;
         }
-
         head.state = RequestState::Running;
         head.admitSeconds = clock_;
         if (tracer_ != nullptr)
@@ -351,8 +353,117 @@ BatchScheduler::admit(std::vector<ServeRequest> &joining)
                              "admit#" + std::to_string(head.id),
                              secondsToTicks(clock_));
         joining.push_back(head);
-        queue_.pop_front();
+        queue_.erase(queue_.begin() +
+                     static_cast<std::ptrdiff_t>(idx));
+        return true;
+    };
+    constexpr std::size_t kNoSkip = static_cast<std::size_t>(-1);
+    std::size_t first_skip = kNoSkip;
+    std::size_t i = 0;
+    while (i < queue_.size()) {
+        // Serial baseline: one request owns the device end to end.
+        if (!cfg_.continuousBatching &&
+            (!batch_.empty() || !joining.empty()))
+            return;
+        if (batch_.size() + joining.size() >= batch_cap)
+            return;
+
+        ServeRequest &head = queue_[i];
+        if (head.arrivalSeconds > clock_)
+            return; // not here yet (FCFS order: nor is anything later)
+        // Brownout: while the ladder is up, requests over the context
+        // cap are skipped in place - not shed - relaxing strict FCFS
+        // only under sustained pressure (i stays 0 at level 0, so
+        // full service is exactly the head-only loop).
+        if (brownout_.level() > 0 &&
+            head.inputTokens + head.outputTokens > ctx_cap) {
+            if (first_skip == kNoSkip)
+                first_skip = i;
+            ++i;
+            continue;
+        }
+        // Deadline-aware shedding: when the head's first token cannot
+        // land inside its TTFT deadline even by the cheapest estimate,
+        // admitting it only converts capacity into a guaranteed SLO
+        // miss - shed it instead.
+        if (cfg_.shed.enabled && head.deadlineSeconds > 0.0 &&
+            estimateTtftSeconds(head) * cfg_.shed.estimateMargin >
+                head.deadlineSeconds) {
+            ServeRequest gone = std::move(head);
+            queue_.erase(queue_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+            shedRequest(std::move(gone), false);
+            continue;
+        }
+        // Strict FCFS: only ever the (possibly brownout-advanced)
+        // head; when it does not fit, admission stops even if a later
+        // request would.
+        if (!admitHead(i))
+            return; // head-of-line blocks until KV/blocks free up
     }
+    // Progress guarantee: a sustained max-level brownout must not
+    // wedge the group. If the context cap skipped every arrived
+    // request while nothing at all is running, admit the first
+    // skipped one anyway - degraded (serial) service beats none.
+    if (joining.empty() && batch_.empty() && first_skip != kNoSkip)
+        admitHead(first_skip);
+}
+
+std::size_t
+BatchScheduler::shedExpired()
+{
+    if (!cfg_.shed.enabled)
+        return 0;
+    std::size_t dropped = 0;
+    for (std::size_t i = 0; i < queue_.size();) {
+        ServeRequest &r = queue_[i];
+        if (r.arrivalSeconds > clock_)
+            break; // FCFS order: nothing later has arrived yet
+        const double waited = clock_ - r.arrivalSeconds;
+        // Deadline equality counts as met (the PR 4 pin), so only a
+        // strictly blown deadline sheds; the queue-time budget is a
+        // budget, so hitting it exactly does time out.
+        const bool timed_out = cfg_.shed.queueTimeoutSeconds > 0.0 &&
+            waited >= cfg_.shed.queueTimeoutSeconds;
+        const bool blown =
+            r.deadlineSeconds > 0.0 && waited > r.deadlineSeconds;
+        if (!timed_out && !blown) {
+            ++i;
+            continue;
+        }
+        ServeRequest gone = std::move(r);
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        shedRequest(std::move(gone), timed_out);
+        ++dropped;
+    }
+    return dropped;
+}
+
+void
+BatchScheduler::shedRequest(ServeRequest r, bool timed_out)
+{
+    r.state = RequestState::Shed;
+    r.finishSeconds = clock_;
+    if (tracer_ != nullptr)
+        tracer_->instant(reqTrack_,
+                         (timed_out ? "timeout#" : "shed#") +
+                             std::to_string(r.id),
+                         secondsToTicks(clock_));
+    metrics_.shedRequest(r, timed_out);
+    shed_.push_back(std::move(r));
+}
+
+double
+BatchScheduler::estimateTtftSeconds(const ServeRequest &head) const
+{
+    // Earliest possible first token: the wait so far plus the head's
+    // own prefill, ignoring everything else contending for the next
+    // iteration - a lower bound, so margin 1.0 sheds only requests
+    // that are provably already late.
+    const double prefill = pricer_ != nullptr
+        ? pricer_->prefillSeconds(head.inputTokens, 0)
+        : cost_.prefillSeconds(head.inputTokens, 0);
+    return (clock_ - head.arrivalSeconds) + prefill;
 }
 
 void
@@ -477,6 +588,7 @@ BatchScheduler::step()
     // block boundary (a livelock, not just unfairness).
     // The migration iteration opens before growth/admission so any
     // demotion they trigger lands in this step's transfer batch.
+    shedExpired();
     if (tiered()) {
         migration_->beginIteration(clock_);
         ++iterationSeq_;
@@ -504,11 +616,16 @@ BatchScheduler::step()
         clock_ = std::max(clock_, queue_.front().arrivalSeconds);
         if (tiered())
             migration_->beginIteration(clock_);
+        // The fast-forward may have blown queued deadlines; sweep
+        // before admission so an expired head is shed, not admitted.
+        const std::size_t dropped = shedExpired();
         admit(joining);
         if (joining.empty()) {
             if (tiered())
                 settleTierIdle();
-            return false;
+            // Shedding alone is progress: keep draining as long as
+            // the sweep removed something and work remains queued.
+            return dropped > 0 && !queue_.empty();
         }
     }
 
@@ -566,10 +683,14 @@ BatchScheduler::step()
     }
 
     // The iteration's work can be lost to an injected fault; the time
-    // it burned still passed.
-    if (faultSite_ != nullptr &&
-        faultSite_->poll(secondsToTicks(clock_)) ==
-            fault::FaultKind::IterationFail) {
+    // it burned still passed. GroupFailStop takes the same recovery
+    // path with a much longer cooldown (a real outage, not a reset
+    // blip); IterationSlow keeps the work but stretches the step.
+    const fault::FaultKind hit = faultSite_ != nullptr
+        ? faultSite_->poll(secondsToTicks(clock_))
+        : fault::FaultKind::None;
+    if (hit == fault::FaultKind::IterationFail ||
+        hit == fault::FaultKind::GroupFailStop) {
         if (tracer_ != nullptr) {
             tracer_->complete(iterTrack_, "iter_failed",
                               secondsToTicks(iter_start),
@@ -577,8 +698,22 @@ BatchScheduler::step()
             tracer_->instant(iterTrack_, "iteration_fault",
                              secondsToTicks(clock_));
         }
-        failIteration(joining);
+        if (breaker_ != nullptr)
+            breaker_->noteIteration(false, dur, clock_);
+        failIteration(joining,
+                      hit == fault::FaultKind::GroupFailStop);
         return true;
+    }
+    double dur_eff = dur;
+    if (hit == fault::FaultKind::IterationSlow) {
+        // Straggler device: the iteration's tokens all land, late.
+        const double extra =
+            (cfg_.ras.stragglerSlowdownFactor - 1.0) * dur;
+        clock_ += extra;
+        dur_eff += extra;
+        if (tracer_ != nullptr)
+            tracer_->instant(iterTrack_, "straggler",
+                             secondsToTicks(clock_));
     }
 
     // Prefill produced each joiner's first token. A request restarted
@@ -603,7 +738,7 @@ BatchScheduler::step()
             continue;
         ServeRequest &r = batch_[i];
         ++r.generated;
-        metrics_.sampleTokenLatency(dur);
+        metrics_.sampleTokenLatency(dur_eff);
         if (tracer_ != nullptr)
             tracer_->instant(reqTrack_,
                              "token#" + std::to_string(r.id),
@@ -617,7 +752,7 @@ BatchScheduler::step()
     // occupied, measured while the batch still holds its memory.
     const std::uint64_t used_blocks =
         cfg_.paged.enabled ? blockMgr_->usedBlocks() : 0;
-    metrics_.noteKvInterval(dur, kvUtilization(), used_blocks);
+    metrics_.noteKvInterval(dur_eff, kvUtilization(), used_blocks);
     if (cfg_.paged.enabled) {
         // Internal fragmentation: slots allocated to running requests
         // but not (yet) holding KV.
@@ -660,6 +795,16 @@ BatchScheduler::step()
 
     metrics_.sampleIteration(iter_batch, queue_.size(),
                              kvUtilization());
+    if (breaker_ != nullptr)
+        breaker_->noteIteration(true, dur_eff, clock_);
+    if (brownout_.observe(queue_.size())) {
+        metrics_.noteBrownoutLevel(brownout_.level());
+        if (tracer_ != nullptr)
+            tracer_->instant(iterTrack_,
+                             "brownout_level=" +
+                                 std::to_string(brownout_.level()),
+                             secondsToTicks(clock_));
+    }
     if (tracer_ != nullptr) {
         const Tick end = secondsToTicks(clock_);
         tracer_->complete(iterTrack_, "iter",
@@ -680,21 +825,29 @@ BatchScheduler::step()
             tracer_->counter(farTrack_, end,
                              static_cast<double>(ts.farUsed()));
         }
+        if (brownoutTrack_ != trace::InvalidTrack)
+            tracer_->counter(brownoutTrack_, end,
+                             static_cast<double>(brownout_.level()));
     }
     return true;
 }
 
 void
-BatchScheduler::failIteration(std::vector<ServeRequest> &joining)
+BatchScheduler::failIteration(std::vector<ServeRequest> &joining,
+                              bool fail_stop)
 {
     metrics_.noteIterationFailure();
 
     // Recovery dead time (device reset + reload as the serving layer
     // sees it); the dispatcher routes new arrivals around this window.
+    // A fail-stopped group is out for a real outage, not a blip.
+    const double cooldown = fail_stop
+        ? cfg_.ras.failStopCooldownSeconds
+        : cfg_.ras.degradedCooldownSeconds;
     const double degraded_from = clock_;
-    clock_ += cfg_.ras.degradedCooldownSeconds;
+    clock_ += cooldown;
     degradedUntil_ = clock_;
-    metrics_.noteDegraded(cfg_.ras.degradedCooldownSeconds);
+    metrics_.noteDegraded(cooldown);
     if (tracer_ != nullptr)
         tracer_->complete(iterTrack_, "degraded",
                           secondsToTicks(degraded_from),
@@ -912,6 +1065,8 @@ BatchScheduler::state() const
     s.finished = finished_;
     s.rejected = rejected_;
     s.failed = failed_;
+    s.shed = shed_;
+    s.brownout = brownout_.state();
 
     s.kvPool = kv_.stats();
 
@@ -962,6 +1117,8 @@ BatchScheduler::restore(const SchedulerState &s)
     finished_ = s.finished;
     rejected_ = s.rejected;
     failed_ = s.failed;
+    shed_ = s.shed;
+    brownout_.restore(s.brownout);
 
     kv_.restore(s.kvPool);
 
@@ -987,6 +1144,18 @@ BatchScheduler::restore(const SchedulerState &s)
     iterationSeq_ = s.iterationSeq;
     lastAbandoned_ = s.lastAbandoned;
     lastPinViolations_ = s.lastPinViolations;
+}
+
+double
+BatchScheduler::kvDemandFraction() const
+{
+    std::uint64_t demand = 0;
+    for (const ServeRequest &r : queue_)
+        demand += r.worstCaseKvBytes(model_);
+    for (const ServeRequest &r : batch_)
+        demand += r.worstCaseKvBytes(model_);
+    const std::uint64_t cap = kv_.capacityBytes();
+    return cap ? static_cast<double>(demand) / cap : 0.0;
 }
 
 std::uint64_t

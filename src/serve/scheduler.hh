@@ -53,6 +53,7 @@
 #include "serve/kv_block_manager.hh"
 #include "serve/kv_pool.hh"
 #include "serve/metrics.hh"
+#include "serve/overload.hh"
 #include "serve/prefix_cache.hh"
 #include "serve/request.hh"
 #include "serve/tier/migration_engine.hh"
@@ -68,6 +69,7 @@ namespace serve
 {
 
 class IterationPricer; // serve/calibration.hh
+class CircuitBreaker;  // serve/breaker.hh
 
 /** Recovery policy when a batch iteration fails (injected fault). */
 struct RasPolicy
@@ -84,6 +86,20 @@ struct RasPolicy
      * around by the dispatcher for this window.
      */
     double degradedCooldownSeconds = 0.5;
+    /**
+     * Dead time after a GroupFailStop fault: the whole group is out
+     * for a real outage, not a reset blip. Same recovery path as an
+     * iteration failure, much longer cooldown - long enough for a
+     * circuit breaker watching the group to trip.
+     */
+    double failStopCooldownSeconds = 5.0;
+    /**
+     * Duration multiplier applied to an iteration hit by an
+     * IterationSlow fault (a straggler device): the iteration's work
+     * survives but takes this many times longer, which a breaker with
+     * a latency threshold counts as a breach.
+     */
+    double stragglerSlowdownFactor = 4.0;
 };
 
 /** Paged KV-cache policy (off by default: worst-case byte pool). */
@@ -123,6 +139,10 @@ struct SchedulerConfig
     RasPolicy ras;
     /** Paged KV backend (block granularity, prefix cache, preempt). */
     PagedKvConfig paged;
+    /** Deadline-aware load shedding (off by default: inert). */
+    ShedConfig shed;
+    /** Brownout ladder under queue pressure (off by default). */
+    BrownoutConfig brownout;
 };
 
 /**
@@ -159,6 +179,10 @@ struct SchedulerState
     std::vector<ServeRequest> finished;
     std::vector<ServeRequest> rejected;
     std::vector<ServeRequest> failed;
+    std::vector<ServeRequest> shed;
+
+    /** Brownout ladder position (all zero with brownout off). */
+    BrownoutController::State brownout;
 
     KvPoolStats kvPool;
 
@@ -238,6 +262,14 @@ class BatchScheduler
      */
     void setPricer(const IterationPricer *pricer) { pricer_ = pricer; }
 
+    /**
+     * Attach this group's circuit breaker (serve/breaker); every
+     * iteration outcome (success flag + effective duration) is
+     * scored at the iteration's end clock. Non-owning; null (the
+     * default) detaches.
+     */
+    void setBreaker(CircuitBreaker *b) { breaker_ = b; }
+
     double clockSeconds() const { return clock_; }
 
     /** True while @p t lies inside a post-failure cooldown window. */
@@ -249,6 +281,20 @@ class BatchScheduler
     {
         return queue_.size() + batch_.size();
     }
+
+    /** Queued-but-not-running requests (admission-gate input). */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /**
+     * Outstanding worst-case KV demand (queued + running requests'
+     * full-context footprint) as a fraction of pool capacity; the
+     * admission controller's KV-headroom gate input. Can exceed 1
+     * while the queue holds more work than the pool.
+     */
+    double kvDemandFraction() const;
+
+    /** Current brownout ladder level (0 = full service). */
+    std::uint64_t brownoutLevel() const { return brownout_.level(); }
 
     /**
      * Total tokens of work not yet done (prompt + generation for
@@ -307,6 +353,7 @@ class BatchScheduler
         return rejected_;
     }
     const std::vector<ServeRequest> &failed() const { return failed_; }
+    const std::vector<ServeRequest> &shed() const { return shed_; }
 
   private:
     /** Run one iteration; false when there is nothing to do. */
@@ -314,6 +361,23 @@ class BatchScheduler
 
     /** Move admissible queued requests into @p joining. */
     void admit(std::vector<ServeRequest> &joining);
+
+    /**
+     * Shed queued requests whose deadline is already blown or whose
+     * queue-time budget expired (ShedConfig); returns how many were
+     * dropped. No-op with shedding off.
+     */
+    std::size_t shedExpired();
+
+    /** Terminate @p r as Shed (deadline or queue timeout). */
+    void shedRequest(ServeRequest r, bool timed_out);
+
+    /**
+     * Admission-time TTFT estimate for the queue head: the earliest
+     * its first token could land, via the attached pricer or the
+     * built-in cost model. Only called with shedding on.
+     */
+    double estimateTtftSeconds(const ServeRequest &head) const;
 
     /** Paged admission of the queue head: prefix lookup, COW of a
      *  cached partial tail, block allocation for prompt + one decode
@@ -346,8 +410,10 @@ class BatchScheduler
     /** KV utilization of whichever backend gates admission. */
     double kvUtilization() const;
 
-    /** Lose @p joining + batch_ to a fault; requeue or abandon. */
-    void failIteration(std::vector<ServeRequest> &joining);
+    /** Lose @p joining + batch_ to a fault; requeue or abandon.
+     *  @p fail_stop selects the long GroupFailStop cooldown. */
+    void failIteration(std::vector<ServeRequest> &joining,
+                       bool fail_stop = false);
 
     // --- far tier (all no-ops / unreachable with tiering off) ---
     bool tiered() const { return tierPool_ != nullptr; }
@@ -425,10 +491,17 @@ class BatchScheduler
     std::vector<ServeRequest> finished_;
     std::vector<ServeRequest> rejected_;
     std::vector<ServeRequest> failed_;
+    std::vector<ServeRequest> shed_;
+
+    /** Brownout ladder (inert unless cfg_.brownout.enabled). */
+    BrownoutController brownout_;
 
     /** Fault injection (null = fault-free, the default). */
     fault::FaultSite *faultSite_ = nullptr;
     double degradedUntil_ = 0.0;
+
+    /** Circuit breaker observing this group (null = none). */
+    CircuitBreaker *breaker_ = nullptr;
 
     /** Tracing (null = off, the default). */
     trace::Tracer *tracer_ = nullptr;
@@ -442,6 +515,8 @@ class BatchScheduler
     trace::TrackId tierTrack_ = trace::InvalidTrack;
     trace::TrackId nearTrack_ = trace::InvalidTrack;
     trace::TrackId farTrack_ = trace::InvalidTrack;
+    /** Registered only with brownout on (off-mode bytes unchanged). */
+    trace::TrackId brownoutTrack_ = trace::InvalidTrack;
 };
 
 } // namespace serve

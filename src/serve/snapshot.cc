@@ -14,7 +14,8 @@ namespace serve
 namespace
 {
 
-constexpr const char *kMagic = "cxlpnm-snapshot-v1";
+constexpr const char *kMagicV1 = "cxlpnm-snapshot-v1";
+constexpr const char *kMagicV2 = "cxlpnm-snapshot-v2";
 
 void
 appendf(std::string &out, const char *fmt, ...)
@@ -37,26 +38,30 @@ appendStr(std::string &out, const std::string &s)
 }
 
 void
-appendRequest(std::string &out, const ServeRequest &r)
+appendRequest(std::string &out, const ServeRequest &r, int version)
 {
     appendf(out,
             "r %" PRIu64 " %.17g %" PRIu64 " %" PRIu64 " %" PRIu64
             " %" PRIu64 " %" PRIu64 " %" PRIu64 " %d %" PRIu64
-            " %" PRIu64 " %.17g %.17g %.17g\n",
+            " %" PRIu64 " %.17g %.17g %.17g",
             r.id, r.arrivalSeconds, r.inputTokens, r.outputTokens,
             r.prefixGroup, r.sharedPrefixTokens, r.cachedPrefixTokens,
             r.preemptions, static_cast<int>(r.state), r.generated,
             r.retries, r.admitSeconds, r.firstTokenSeconds,
             r.finishSeconds);
+    if (version >= 2)
+        appendf(out, " %" PRIu64 " %.17g", r.tenant,
+                r.deadlineSeconds);
+    out += '\n';
 }
 
 void
 appendRequests(std::string &out, const char *key,
-               const std::vector<ServeRequest> &v)
+               const std::vector<ServeRequest> &v, int version)
 {
     appendf(out, "%s %zu\n", key, v.size());
     for (const ServeRequest &r : v)
-        appendRequest(out, r);
+        appendRequest(out, r, version);
 }
 
 void
@@ -193,7 +198,7 @@ expect(const std::string &line, const char *key)
 }
 
 ServeRequest
-parseRequest(const std::string &line)
+parseRequest(const std::string &line, int version)
 {
     Tokens t = expect(line, "r");
     ServeRequest r;
@@ -205,8 +210,12 @@ parseRequest(const std::string &line)
     r.sharedPrefixTokens = t.u64();
     r.cachedPrefixTokens = t.u64();
     r.preemptions = t.u64();
+    // Shed is a v2 state; a v1 document may not contain it.
+    const std::uint64_t max_state = version >= 2
+        ? static_cast<std::uint64_t>(RequestState::Shed)
+        : static_cast<std::uint64_t>(RequestState::Failed);
     const std::uint64_t st = t.u64();
-    if (st > static_cast<std::uint64_t>(RequestState::Failed))
+    if (st > max_state)
         throw SnapshotError("snapshot: bad request state in '" + line +
                             "'");
     r.state = static_cast<RequestState>(st);
@@ -215,12 +224,16 @@ parseRequest(const std::string &line)
     r.admitSeconds = t.f64();
     r.firstTokenSeconds = t.f64();
     r.finishSeconds = t.f64();
+    if (version >= 2) {
+        r.tenant = t.u64();
+        r.deadlineSeconds = t.f64();
+    }
     t.done();
     return r;
 }
 
 std::vector<ServeRequest>
-parseRequests(LineReader &in, const char *key)
+parseRequests(LineReader &in, const char *key, int version)
 {
     Tokens t = expect(in.next(), key);
     const std::size_t n = static_cast<std::size_t>(t.u64());
@@ -228,7 +241,7 @@ parseRequests(LineReader &in, const char *key)
     std::vector<ServeRequest> v;
     v.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
-        v.push_back(parseRequest(in.next()));
+        v.push_back(parseRequest(in.next(), version));
     return v;
 }
 
@@ -298,15 +311,17 @@ parseU64Field(const std::string &line, const char *key)
 }
 
 void
-appendGroup(std::string &out, const SchedulerState &g)
+appendGroup(std::string &out, const SchedulerState &g, int version)
 {
     appendf(out, "clock %.17g %.17g %.17g\n", g.clock, g.lastArrival,
             g.degradedUntil);
-    appendRequests(out, "queue", g.queue);
-    appendRequests(out, "batch", g.batch);
-    appendRequests(out, "finished", g.finished);
-    appendRequests(out, "rejected", g.rejected);
-    appendRequests(out, "failed", g.failed);
+    appendRequests(out, "queue", g.queue, version);
+    appendRequests(out, "batch", g.batch, version);
+    appendRequests(out, "finished", g.finished, version);
+    appendRequests(out, "rejected", g.rejected, version);
+    appendRequests(out, "failed", g.failed, version);
+    if (version >= 2)
+        appendRequests(out, "shed", g.shed, version);
     appendf(out, "kvpool %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
             g.kvPool.capacityBytes, g.kvPool.reservedBytes,
             g.kvPool.peakReservedBytes);
@@ -376,10 +391,14 @@ appendGroup(std::string &out, const SchedulerState &g)
 
     appendf(out, "seqs %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
             g.iterationSeq, g.lastAbandoned, g.lastPinViolations);
+    if (version >= 2)
+        appendf(out, "brownout %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+                g.brownout.level, g.brownout.highStreak,
+                g.brownout.lowStreak);
 }
 
 SchedulerState
-parseGroup(LineReader &in)
+parseGroup(LineReader &in, int version)
 {
     SchedulerState g;
     {
@@ -389,11 +408,13 @@ parseGroup(LineReader &in)
         g.degradedUntil = t.f64();
         t.done();
     }
-    g.queue = parseRequests(in, "queue");
-    g.batch = parseRequests(in, "batch");
-    g.finished = parseRequests(in, "finished");
-    g.rejected = parseRequests(in, "rejected");
-    g.failed = parseRequests(in, "failed");
+    g.queue = parseRequests(in, "queue", version);
+    g.batch = parseRequests(in, "batch", version);
+    g.finished = parseRequests(in, "finished", version);
+    g.rejected = parseRequests(in, "rejected", version);
+    g.failed = parseRequests(in, "failed", version);
+    if (version >= 2)
+        g.shed = parseRequests(in, "shed", version);
     {
         Tokens t = expect(in.next(), "kvpool");
         g.kvPool.capacityBytes = t.u64();
@@ -520,11 +541,19 @@ parseGroup(LineReader &in)
         g.lastPinViolations = t.u64();
         t.done();
     }
+    if (version >= 2) {
+        Tokens t = expect(in.next(), "brownout");
+        g.brownout.level = t.u64();
+        g.brownout.highStreak = t.u64();
+        g.brownout.lowStreak = t.u64();
+        t.done();
+    }
     return g;
 }
 
 void
-appendMetrics(std::string &out, const ServeMetrics::State &m)
+appendMetrics(std::string &out, const ServeMetrics::State &m,
+              int version)
 {
     out += "metrics\n";
     appendHistogram(out, "token_latency", m.tokenLatency);
@@ -563,10 +592,25 @@ appendMetrics(std::string &out, const ServeMetrics::State &m)
         appendf(out, "tierscalars %.17g %.17g\n",
                 m.tierExposedSeconds, m.tierHiddenSeconds);
     }
+    if (version >= 2) {
+        appendf(out, "overload %d\n", m.overloadEnabled ? 1 : 0);
+        appendf(out,
+                "overloadcounts %" PRIu64 " %" PRIu64 " %" PRIu64
+                " %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+                m.submitted, m.shed, m.timedOut, m.throttled,
+                m.brownoutPeak, m.breakerOpens);
+        appendf(out, "tenants %zu\n", m.tenants.size());
+        for (const ServeReport::TenantBreakdown &tb : m.tenants)
+            appendf(out,
+                    "tn %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                    " %" PRIu64 " %" PRIu64 "\n",
+                    tb.tenant, tb.submitted, tb.completed, tb.shed,
+                    tb.timedOut, tb.throttled);
+    }
 }
 
 ServeMetrics::State
-parseMetrics(LineReader &in)
+parseMetrics(LineReader &in, int version)
 {
     if (in.next() != "metrics")
         throw SnapshotError("snapshot: missing metrics section");
@@ -630,6 +674,34 @@ parseMetrics(LineReader &in)
         m.tierHiddenSeconds = s.f64();
         s.done();
     }
+    if (version >= 2) {
+        m.overloadEnabled = parseFlag(in.next(), "overload");
+        {
+            Tokens t = expect(in.next(), "overloadcounts");
+            m.submitted = t.u64();
+            m.shed = t.u64();
+            m.timedOut = t.u64();
+            m.throttled = t.u64();
+            m.brownoutPeak = t.u64();
+            m.breakerOpens = t.u64();
+            t.done();
+        }
+        const std::size_t n_tenants = static_cast<std::size_t>(
+            parseU64Field(in.next(), "tenants"));
+        m.tenants.reserve(n_tenants);
+        for (std::size_t i = 0; i < n_tenants; ++i) {
+            Tokens t = expect(in.next(), "tn");
+            ServeReport::TenantBreakdown tb;
+            tb.tenant = t.u64();
+            tb.submitted = t.u64();
+            tb.completed = t.u64();
+            tb.shed = t.u64();
+            tb.timedOut = t.u64();
+            tb.throttled = t.u64();
+            t.done();
+            m.tenants.push_back(tb);
+        }
+    }
     return m;
 }
 
@@ -638,15 +710,24 @@ parseMetrics(LineReader &in)
 std::string
 snapshotToText(const ServingSnapshot &s)
 {
+    return renderSnapshot(s, 2);
+}
+
+std::string
+renderSnapshot(const ServingSnapshot &s, int version)
+{
+    if (version != 1 && version != 2)
+        throw SnapshotError("unsupported snapshot version " +
+                            std::to_string(version));
     std::string out;
-    out += kMagic;
+    out += version >= 2 ? kMagicV2 : kMagicV1;
     out += '\n';
     appendf(out, "groups %zu\n", s.groups.size());
     for (std::size_t g = 0; g < s.groups.size(); ++g) {
         appendf(out, "group %zu\n", g);
-        appendGroup(out, s.groups[g]);
+        appendGroup(out, s.groups[g], version);
     }
-    appendMetrics(out, s.metrics);
+    appendMetrics(out, s.metrics, version);
 
     appendf(out, "faults %d\n", s.hasFaults ? 1 : 0);
     if (s.hasFaults) {
@@ -696,10 +777,39 @@ snapshotToText(const ServingSnapshot &s)
     }
 
     appendf(out, "generator %d\n", s.hasGenerator ? 1 : 0);
-    if (s.hasGenerator)
-        appendf(out, "gen %" PRIu64 " %" PRIu64 " %.17g\n",
+    if (s.hasGenerator) {
+        appendf(out, "gen %" PRIu64 " %" PRIu64 " %.17g",
                 s.generator.rngState, s.generator.produced,
                 s.generator.clock);
+        if (version >= 2)
+            appendf(out, " %d %.17g", s.generator.phaseOn ? 1 : 0,
+                    s.generator.phaseEndClock);
+        out += '\n';
+    }
+
+    if (version >= 2) {
+        appendf(out, "overloadfront %d\n", s.hasOverload ? 1 : 0);
+        if (s.hasOverload) {
+            appendf(out, "buckets %zu\n",
+                    s.overload.admission.buckets.size());
+            for (const auto &[tenant, b] :
+                 s.overload.admission.buckets)
+                appendf(out, "b %" PRIu64 " %.17g %.17g\n", tenant,
+                        b.fill, b.lastRefill);
+            appendf(out, "breakers %zu\n", s.overload.breakers.size());
+            for (const CircuitBreaker::State &b : s.overload.breakers) {
+                appendf(out,
+                        "k %d %" PRIu64 " %" PRIu64 " %.17g %d %zu",
+                        b.state, b.openCount, b.trips, b.reopenAt,
+                        b.probeOutstanding ? 1 : 0, b.window.size());
+                for (const std::uint8_t w : b.window)
+                    appendf(out, " %u", w);
+                out += '\n';
+            }
+            appendRequests(out, "frontrejected", s.overload.rejected,
+                           version);
+        }
+    }
 
     out += "end\n";
     return out;
@@ -709,7 +819,14 @@ ServingSnapshot
 snapshotFromText(const std::string &text)
 {
     LineReader in{text};
-    if (in.next() != kMagic)
+    const std::string magic = in.next();
+    int version = 0;
+    if (magic == kMagicV2)
+        version = 2;
+    else if (magic == kMagicV1)
+        version = 1; // older snapshots restore with default overload
+                     // state
+    else
         throw SnapshotError("not a serving snapshot (bad magic)");
 
     ServingSnapshot s;
@@ -719,9 +836,9 @@ snapshotFromText(const std::string &text)
     for (std::size_t g = 0; g < n_groups; ++g) {
         if (parseU64Field(in.next(), "group") != g)
             throw SnapshotError("snapshot: group index mismatch");
-        s.groups.push_back(parseGroup(in));
+        s.groups.push_back(parseGroup(in, version));
     }
-    s.metrics = parseMetrics(in);
+    s.metrics = parseMetrics(in, version);
 
     s.hasFaults = parseFlag(in.next(), "faults");
     if (s.hasFaults) {
@@ -750,10 +867,14 @@ snapshotFromText(const std::string &text)
             fault::FaultInjector::Record r;
             r.seq = t.u64();
             r.tick = static_cast<Tick>(t.u64());
+            // GroupFailStop/IterationSlow are v2 kinds.
+            const std::uint64_t max_kind = version >= 2
+                ? static_cast<std::uint64_t>(
+                      fault::FaultKind::IterationSlow)
+                : static_cast<std::uint64_t>(
+                      fault::FaultKind::IterationFail);
             const std::uint64_t kind = t.u64();
-            if (kind >
-                static_cast<std::uint64_t>(
-                    fault::FaultKind::IterationFail))
+            if (kind > max_kind)
                 throw SnapshotError("snapshot: bad fault kind");
             r.kind = static_cast<fault::FaultKind>(kind);
             r.access = t.u64();
@@ -806,7 +927,63 @@ snapshotFromText(const std::string &text)
         s.generator.rngState = t.u64();
         s.generator.produced = t.u64();
         s.generator.clock = t.f64();
+        if (version >= 2) {
+            const std::uint64_t on = t.u64();
+            if (on > 1)
+                throw SnapshotError("snapshot: bad generator phase");
+            s.generator.phaseOn = on != 0;
+            s.generator.phaseEndClock = t.f64();
+        }
         t.done();
+    }
+
+    if (version >= 2) {
+        s.hasOverload = parseFlag(in.next(), "overloadfront");
+        if (s.hasOverload) {
+            const std::size_t n_buckets = static_cast<std::size_t>(
+                parseU64Field(in.next(), "buckets"));
+            s.overload.admission.buckets.reserve(n_buckets);
+            for (std::size_t i = 0; i < n_buckets; ++i) {
+                Tokens t = expect(in.next(), "b");
+                const std::uint64_t tenant = t.u64();
+                TokenBucket::State b;
+                b.fill = t.f64();
+                b.lastRefill = t.f64();
+                t.done();
+                s.overload.admission.buckets.emplace_back(tenant, b);
+            }
+            const std::size_t n_breakers = static_cast<std::size_t>(
+                parseU64Field(in.next(), "breakers"));
+            s.overload.breakers.reserve(n_breakers);
+            for (std::size_t i = 0; i < n_breakers; ++i) {
+                Tokens t = expect(in.next(), "k");
+                CircuitBreaker::State b;
+                b.state = static_cast<int>(t.u64());
+                if (b.state >
+                    static_cast<int>(BreakerState::HalfOpen))
+                    throw SnapshotError(
+                        "snapshot: bad breaker state");
+                b.openCount = t.u64();
+                b.trips = t.u64();
+                b.reopenAt = t.f64();
+                b.probeOutstanding = t.u64() != 0;
+                const std::size_t nw =
+                    static_cast<std::size_t>(t.u64());
+                b.window.reserve(nw);
+                for (std::size_t w = 0; w < nw; ++w) {
+                    const std::uint64_t v = t.u64();
+                    if (v > 1)
+                        throw SnapshotError(
+                            "snapshot: bad breaker window bit");
+                    b.window.push_back(
+                        static_cast<std::uint8_t>(v));
+                }
+                t.done();
+                s.overload.breakers.push_back(std::move(b));
+            }
+            s.overload.rejected =
+                parseRequests(in, "frontrejected", version);
+        }
     }
 
     if (in.next() != "end")

@@ -68,10 +68,25 @@ struct ServingSnapshot
 
     bool hasGenerator = false;
     RequestGenerator::State generator;
+
+    /** Dispatcher front door (admission buckets, breakers, refused
+     *  requests); v2 snapshots only. */
+    bool hasOverload = false;
+    ApplianceDispatcher::OverloadState overload;
 };
 
 /** Deterministic text form (identical snapshots, identical bytes). */
 std::string snapshotToText(const ServingSnapshot &s);
+
+/**
+ * Render @p s at an explicit format version (1 or 2). Version 2 is
+ * what snapshotToText emits; version 1 reproduces the pre-overload
+ * format (no tenant/deadline request fields, no shed/brownout/
+ * overload sections) so compatibility tests can fabricate v1
+ * documents from live state. Throws SnapshotError on an unsupported
+ * version.
+ */
+std::string renderSnapshot(const ServingSnapshot &s, int version);
 
 /** Parse snapshotToText output; throws SnapshotError on anything
  *  malformed or truncated. */

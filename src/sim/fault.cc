@@ -21,6 +21,8 @@ faultKindName(FaultKind k)
       case FaultKind::DeviceHang: return "device_hang";
       case FaultKind::DropCompletion: return "drop_completion";
       case FaultKind::IterationFail: return "iteration_fail";
+      case FaultKind::GroupFailStop: return "group_fail_stop";
+      case FaultKind::IterationSlow: return "iteration_slow";
     }
     return "<bad>";
 }

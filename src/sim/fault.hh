@@ -51,6 +51,8 @@ enum class FaultKind
     DeviceHang,    // doorbell launch that never completes
     DropCompletion,// device finishes but the completion is lost
     IterationFail, // serving-level batch iteration failure
+    GroupFailStop, // whole device group fail-stops (long outage)
+    IterationSlow, // straggler: one batch iteration runs slowed down
 };
 
 const char *faultKindName(FaultKind k);
