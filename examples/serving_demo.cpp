@@ -25,6 +25,7 @@
  *                  [bo_high=64] [bo_low=16] [bo_sustain=8] [bo_max=3]
  *                  [breaker=0] [br_window=16] [br_fails=4]
  *                  [br_latency_ms=0] [br_backoff=0.5]
+ *                  [chunk_tokens=0] [disagg=0] [prefill_groups=1]
  *
  * `mp`/`dp` follow the paper's §VIII-A appliance plans (tensor split
  * across mp devices, dp independent replicas); `serial=1` turns
@@ -103,6 +104,18 @@
  * OverloadConfigError rejections. The demo prints an overload report
  * (shed/timed-out/throttled counts, inclusive SLO attainment,
  * brownout peak, breaker opens, per-tenant breakdown).
+ *
+ * TTFT head-of-line blocking (both off by default, bit-identical when
+ * off): `chunk_tokens=<n>` admits long prompts as n-token prefill
+ * chunks that interleave with decode instead of monopolizing whole
+ * iterations; TTFT is stamped when the last chunk completes.
+ * `disagg=1` dedicates the first `prefill_groups` data-parallel groups
+ * to prefill and the rest to decode - at first token the KV cache is
+ * handed over a CXL link (priced through the link budget) to the
+ * least-loaded decode group, so decode batches never stall behind a
+ * long prefill. Requires dp > prefill_groups. The demo prints a
+ * disaggregation report (chunked prefills, handovers, handover bytes
+ * and link seconds).
  */
 
 #include <cstdio>
@@ -174,6 +187,18 @@ main(int argc, char **argv)
         sched.paged.enabled = true;
         sched.paged.blockTokens = static_cast<std::uint32_t>(kv_block);
         sched.paged.preemption = cfg.getBool("preempt", true);
+    }
+    sched.chunkTokens = cfg.getInt("chunk_tokens", 0);
+    const bool disagg = cfg.getBool("disagg", false);
+    const std::size_t prefill_groups = cfg.getInt("prefill_groups", 1);
+    if (disagg &&
+        prefill_groups + 1 >
+            static_cast<std::size_t>(plan.dataParallel)) {
+        std::fprintf(stderr, "disagg=1 needs dp > prefill_groups: "
+                     "%zu prefill groups leave no decode group out "
+                     "of dp=%d\n",
+                     prefill_groups, plan.dataParallel);
+        return 1;
     }
     const std::uint64_t far_blocks = cfg.getInt("kv_far_blocks", 0);
     if (far_blocks > 0) {
@@ -417,6 +442,18 @@ main(int argc, char **argv)
                     sched.shed.enabled ? "on" : "off",
                     sched.brownout.enabled ? "on" : "off",
                     breaker.enabled ? "on" : "off");
+    if (sched.chunkTokens > 0)
+        std::printf("chunked prefill: %llu-token chunks interleave "
+                    "with decode\n",
+                    static_cast<unsigned long long>(
+                        sched.chunkTokens));
+    if (disagg)
+        std::printf("disaggregated prefill/decode: %zu prefill + %zu "
+                    "decode groups, KV handover priced over the CXL "
+                    "link\n",
+                    prefill_groups,
+                    static_cast<std::size_t>(plan.dataParallel) -
+                        prefill_groups);
     if (long_ctx)
         std::printf("long-context trace: prompts uniform over "
                     "[%llu, %llu] tokens\n",
@@ -437,6 +474,12 @@ main(int argc, char **argv)
                                     metrics);
     if (admit.enabled || breaker.enabled)
         disp.configureOverload(admit, breaker);
+    if (disagg) {
+        serve::ApplianceDispatcher::DisaggConfig dc;
+        dc.enabled = true;
+        dc.prefillGroups = prefill_groups;
+        disp.configureDisagg(dc);
+    }
 
     std::unique_ptr<serve::AnalyticPricer> analytic;
     std::unique_ptr<serve::CyclePricer> cycle;
@@ -494,6 +537,8 @@ main(int argc, char **argv)
                 gen.restore(snap.generator);
             if (snap.hasOverload)
                 disp.restoreOverload(snap.overload);
+            if (snap.hasDisagg)
+                disp.restoreDisagg(snap.disagg);
             std::printf("restored warm state from %s "
                         "(clock %.3f s)\n\n",
                         restore_path.c_str(), disp.clockSeconds());
@@ -520,6 +565,10 @@ main(int argc, char **argv)
                 if (disp.overloadConfigured()) {
                     snap.hasOverload = true;
                     snap.overload = disp.overloadState();
+                }
+                if (disp.disaggConfigured()) {
+                    snap.hasDisagg = true;
+                    snap.disagg = disp.disaggState();
                 }
                 serve::saveSnapshot(snap, snap_path);
                 std::printf("saved warm snapshot to %s "
@@ -637,6 +686,25 @@ main(int argc, char **argv)
                         r.tierAbandonedMigrations),
                     static_cast<unsigned long long>(
                         r.tierPinViolations));
+    }
+
+    if (sched.chunkTokens > 0 || disagg) {
+        std::printf("\n--- disaggregation report ---\n");
+        std::printf("chunked prefills  %10llu (%llu chunk "
+                    "iterations)\n",
+                    static_cast<unsigned long long>(
+                        r.chunkedPrefills),
+                    static_cast<unsigned long long>(
+                        r.chunkIterations));
+        if (disagg) {
+            std::printf("KV handovers      %10llu (%.2f GB over the "
+                        "link)\n",
+                        static_cast<unsigned long long>(r.handovers),
+                        r.handoverBytes / GB);
+            std::printf("handover link     %10.3f s of transfer "
+                        "time\n",
+                        r.handoverLinkSeconds);
+        }
     }
 
     if (overload_on) {

@@ -14,7 +14,7 @@ ApplianceDispatcher::ApplianceDispatcher(
     const core::ParallelismPlan &plan,
     std::uint64_t kv_capacity_bytes, const SchedulerConfig &cfg,
     ServeMetrics &metrics)
-    : metrics_(metrics)
+    : metrics_(metrics), model_(model)
 {
     fatal_if(plan.modelParallel < 1 || plan.dataParallel < 1,
              "bad parallelism plan");
@@ -48,6 +48,24 @@ ApplianceDispatcher::configureOverload(
 }
 
 void
+ApplianceDispatcher::configureDisagg(const DisaggConfig &cfg)
+{
+    if (!cfg.enabled) {
+        disagg_ = cfg;
+        return;
+    }
+    fatal_if(cfg.prefillGroups == 0,
+             "disaggregation needs at least one prefill group");
+    fatal_if(cfg.prefillGroups >= groups_.size(),
+             "disaggregation needs at least one decode group: ",
+             cfg.prefillGroups, " prefill groups of ", groups_.size());
+    disagg_ = cfg;
+    for (std::size_t g = 0; g < disagg_.prefillGroups; ++g)
+        groups_[g]->setPrefillHandoff(true);
+    metrics_.enableDisaggStats();
+}
+
+void
 ApplianceDispatcher::attachFaultInjector(fault::FaultInjector *inj,
                                          const std::string &prefix)
 {
@@ -75,6 +93,11 @@ ApplianceDispatcher::attachTracer(trace::Tracer *t,
 void
 ApplianceDispatcher::submit(const ServeRequest &req)
 {
+    // Move finished prefills to their decode groups before advancing:
+    // pumping at the head of submit keeps in-flight handovers visible
+    // in snapshots taken between arrivals.
+    pumpHandoffs();
+
     // Bring every group up to the arrival instant so both the
     // admission gate and the routing decision see current load.
     for (auto &g : groups_)
@@ -118,11 +141,16 @@ ApplianceDispatcher::submit(const ServeRequest &req)
     // least-outstanding-work. Breaker scanning uses the side-effect-
     // free wouldAllow(); only the chosen group's breaker commits
     // (Open -> HalfOpen flip, probe slot) via allowRoute().
+    // Under disaggregation arrivals owe a prefill, so routing is
+    // restricted to the prefill groups; decode groups only receive
+    // handed-over continuations (pumpHandoffs).
+    const std::size_t hi =
+        disagg_.enabled ? disagg_.prefillGroups : groups_.size();
     std::size_t best = 0;
     std::uint64_t best_tokens = ~0ull;
     std::uint64_t best_cached = 0;
     bool best_blocked = true;
-    for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (std::size_t g = 0; g < hi; ++g) {
         const std::uint64_t t = groups_[g]->outstandingTokens();
         const std::uint64_t cached = groups_[g]->probeCachedTokens(req);
         bool blocked = groups_[g]->degradedAt(req.arrivalSeconds);
@@ -151,11 +179,82 @@ ApplianceDispatcher::submit(const ServeRequest &req)
     noteBreakerTrips();
 }
 
+std::size_t
+ApplianceDispatcher::pumpHandoffs()
+{
+    if (!disagg_.enabled)
+        return 0;
+    std::size_t moved = 0;
+    for (std::size_t g = 0; g < disagg_.prefillGroups; ++g) {
+        for (ServeRequest &h : groups_[g]->takeHandoffs()) {
+            // The prefill side stamped its transfer-start instant in
+            // finishSeconds when it released the KV (the request is
+            // not finished; the field is free until retirement).
+            const double start = h.finishSeconds;
+            const std::uint64_t bytes =
+                model_.kvCacheBytes(h.inputTokens + h.generated);
+            const double secs =
+                cxl::transferSeconds(disagg_.link, bytes);
+            handoverTraffic_.note(cxl::Direction::Downstream, bytes);
+            ++handoversN_;
+            handoverLinkSeconds_ += secs;
+            metrics_.noteHandover(bytes, secs);
+
+            // Pick the decode group by (healthy, cached prefix
+            // tokens, least outstanding work, lowest index) at the
+            // link-delayed ready time. Continuations bypass the
+            // breakers: their KV already crossed the link and
+            // dropping them here would strand paid-for work.
+            const double ready = start + secs;
+            std::size_t best = disagg_.prefillGroups;
+            std::uint64_t best_tokens = ~0ull;
+            std::uint64_t best_cached = 0;
+            bool best_blocked = true;
+            for (std::size_t d = disagg_.prefillGroups;
+                 d < groups_.size(); ++d) {
+                const std::uint64_t t = groups_[d]->outstandingTokens();
+                const std::uint64_t cached =
+                    groups_[d]->probeCachedTokens(h);
+                const bool blocked = groups_[d]->degradedAt(ready);
+                const bool better = (!blocked && best_blocked) ||
+                    (blocked == best_blocked &&
+                     (cached > best_cached ||
+                      (cached == best_cached && t < best_tokens)));
+                if (better) {
+                    best_tokens = t;
+                    best_cached = cached;
+                    best = d;
+                    best_blocked = blocked;
+                }
+            }
+            if (tracer_ != nullptr)
+                tracer_->instant(
+                    routeTrack_,
+                    "handover#" + std::to_string(h.id) + "->g" +
+                        std::to_string(best),
+                    secondsToTicks(ready));
+            h.arrivalSeconds = ready;
+            h.finishSeconds = -1.0;
+            groups_[best]->submitContinuation(std::move(h));
+            ++moved;
+        }
+    }
+    return moved;
+}
+
 void
 ApplianceDispatcher::drain()
 {
+    // Draining a prefill group surfaces fresh handoffs, and pumping
+    // them gives the decode groups new work; iterate to a fixpoint.
+    // Off-mode pumps are no-ops, so plain drain behavior is intact.
+    pumpHandoffs();
     for (auto &g : groups_)
         g->drain();
+    while (pumpHandoffs() > 0) {
+        for (auto &g : groups_)
+            g->drain();
+    }
     noteBreakerTrips();
 }
 
@@ -219,6 +318,24 @@ ApplianceDispatcher::restoreOverload(const OverloadState &s)
         creditedOpens_[g] = breakers_[g]->trips();
     }
     rejectedByAdmission_ = s.rejected;
+}
+
+ApplianceDispatcher::DisaggState
+ApplianceDispatcher::disaggState() const
+{
+    DisaggState s;
+    s.traffic = handoverTraffic_;
+    s.handovers = handoversN_;
+    s.linkSeconds = handoverLinkSeconds_;
+    return s;
+}
+
+void
+ApplianceDispatcher::restoreDisagg(const DisaggState &s)
+{
+    handoverTraffic_ = s.traffic;
+    handoversN_ = s.handovers;
+    handoverLinkSeconds_ = s.linkSeconds;
 }
 
 } // namespace serve

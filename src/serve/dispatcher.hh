@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/inference_engine.hh"
+#include "cxl/link.hh"
 #include "serve/admission.hh"
 #include "serve/breaker.hh"
 #include "serve/scheduler.hh"
@@ -64,6 +65,26 @@ class ApplianceDispatcher
      */
     void configureOverload(const AdmissionConfig &admission,
                            const CircuitBreakerConfig &breaker);
+
+    /**
+     * Disaggregated prefill/decode: groups [0, prefillGroups) run
+     * prefill only and hand each request over at its first token;
+     * the dispatcher prices the KV handover over the CXL link and
+     * resubmits the request to a decode group at the link-delayed
+     * ready time. Off (enabled=false) keeps the monolithic routing
+     * bit-identical. Call before the first submit.
+     */
+    struct DisaggConfig
+    {
+        bool enabled = false;
+        /** Groups [0, prefillGroups) prefill, the rest decode. */
+        std::size_t prefillGroups = 1;
+        /** Link the KV handover transfers are priced against. */
+        cxl::CxlLinkParams link;
+    };
+
+    void configureDisagg(const DisaggConfig &cfg);
+    bool disaggConfigured() const { return disagg_.enabled; }
 
     /** Advance every group to the arrival, then route it by
      *  (healthy first, most cached prefix tokens, least outstanding
@@ -143,12 +164,45 @@ class ApplianceDispatcher
         return admission_ != nullptr || !breakers_.empty();
     }
 
+    /** Disaggregation warm state (cumulative handover traffic), for
+     *  snapshot/restore alongside the group states. */
+    struct DisaggState
+    {
+        cxl::TransferAccount traffic;
+        std::uint64_t handovers = 0;
+        double linkSeconds = 0.0;
+    };
+
+    DisaggState disaggState() const;
+    void restoreDisagg(const DisaggState &s);
+
+    /** Cumulative KV handover traffic over the CXL link. */
+    const cxl::TransferAccount &handoverTraffic() const
+    {
+        return handoverTraffic_;
+    }
+
   private:
     /** Credit breaker trips to metrics since the last check. */
     void noteBreakerTrips();
 
+    /**
+     * Collect finished prefills from the prefill groups, price each
+     * KV handover over the CXL link, and resubmit to the best decode
+     * group at the link-delayed ready time. Returns the number of
+     * requests moved; no-op when disaggregation is off.
+     */
+    std::size_t pumpHandoffs();
+
     std::vector<std::unique_ptr<BatchScheduler>> groups_;
     ServeMetrics &metrics_;
+    llm::ModelConfig model_;
+
+    /** Disaggregated prefill/decode (off by default). */
+    DisaggConfig disagg_;
+    cxl::TransferAccount handoverTraffic_;
+    std::uint64_t handoversN_ = 0;
+    double handoverLinkSeconds_ = 0.0;
 
     /** Overload front door (both null/empty until configured). */
     std::unique_ptr<AdmissionController> admission_;

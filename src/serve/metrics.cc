@@ -268,6 +268,56 @@ ServeMetrics::noteBreakerOpen()
     ++overloadStats_->breakerOpens;
 }
 
+ServeMetrics::DisaggStatBlock::DisaggStatBlock(stats::StatGroup *parent)
+    : group(parent, "disagg"),
+      chunkedPrefills(&group, "chunked_prefills",
+                      "requests prefilled in more than one chunk"),
+      chunkIterations(&group, "chunk_iterations",
+                      "prefill-chunk steps executed"),
+      handovers(&group, "handovers",
+                "KV handovers from prefill to decode groups"),
+      handoverBytes(&group, "handover_bytes",
+                    "KV bytes handed over across the CXL link"),
+      handoverLinkSeconds(&group, "handover_link_seconds",
+                          "serialized link seconds spent on handovers")
+{
+}
+
+void
+ServeMetrics::enableDisaggStats()
+{
+    if (!disaggStats_)
+        disaggStats_ = std::make_unique<DisaggStatBlock>(&group_);
+}
+
+void
+ServeMetrics::noteChunkedPrefill()
+{
+    enableDisaggStats();
+    ++chunkedPrefillsN_;
+    ++disaggStats_->chunkedPrefills;
+}
+
+void
+ServeMetrics::noteChunkIteration()
+{
+    enableDisaggStats();
+    ++chunkIterationsN_;
+    ++disaggStats_->chunkIterations;
+}
+
+void
+ServeMetrics::noteHandover(std::uint64_t bytes, double link_seconds)
+{
+    enableDisaggStats();
+    ++handoversN_;
+    handoverBytesN_ += bytes;
+    handoverLinkSeconds_ += link_seconds;
+    ++disaggStats_->handovers;
+    disaggStats_->handoverBytes += static_cast<double>(bytes);
+    disaggStats_->handoverLinkSeconds += link_seconds;
+}
+
 void
 ServeMetrics::sampleTokenLatency(double seconds, std::uint64_t tokens)
 {
@@ -431,6 +481,11 @@ ServeMetrics::report(double makespan_seconds) const
         : 0.0;
     r.brownoutPeakLevel = brownoutPeak_;
     r.breakerOpens = breakerOpensN_;
+    r.chunkedPrefills = chunkedPrefillsN_;
+    r.chunkIterations = chunkIterationsN_;
+    r.handovers = handoversN_;
+    r.handoverBytes = handoverBytesN_;
+    r.handoverLinkSeconds = handoverLinkSeconds_;
     r.tenants.reserve(tenants_.size());
     for (const auto &[tenant, tc] : tenants_) {
         ServeReport::TenantBreakdown tb;
@@ -513,6 +568,13 @@ ServeMetrics::state() const
         tb.throttled = tc.throttled;
         s.tenants.push_back(tb);
     }
+
+    s.disaggEnabled = disaggStats_ != nullptr;
+    s.chunkedPrefills = chunkedPrefillsN_;
+    s.chunkIterations = chunkIterationsN_;
+    s.handovers = handoversN_;
+    s.handoverBytes = handoverBytesN_;
+    s.handoverLinkSeconds = handoverLinkSeconds_;
     return s;
 }
 
@@ -632,6 +694,24 @@ ServeMetrics::restore(const State &s)
             static_cast<double>(brownoutPeak_));
         overloadStats_->breakerOpens.set(
             static_cast<double>(breakerOpensN_));
+    }
+
+    chunkedPrefillsN_ = s.chunkedPrefills;
+    chunkIterationsN_ = s.chunkIterations;
+    handoversN_ = s.handovers;
+    handoverBytesN_ = s.handoverBytes;
+    handoverLinkSeconds_ = s.handoverLinkSeconds;
+    if (s.disaggEnabled) {
+        enableDisaggStats();
+        disaggStats_->chunkedPrefills.set(
+            static_cast<double>(chunkedPrefillsN_));
+        disaggStats_->chunkIterations.set(
+            static_cast<double>(chunkIterationsN_));
+        disaggStats_->handovers.set(
+            static_cast<double>(handoversN_));
+        disaggStats_->handoverBytes.set(
+            static_cast<double>(handoverBytesN_));
+        disaggStats_->handoverLinkSeconds.set(handoverLinkSeconds_);
     }
 }
 

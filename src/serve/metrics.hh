@@ -175,6 +175,18 @@ struct ServeReport
     /** Circuit-breaker trips (Closed/HalfOpen -> Open). */
     std::uint64_t breakerOpens = 0;
 
+    // --- chunked prefill / disaggregation (zero with both off) ---
+    /** Requests whose prompt took more than one prefill chunk. */
+    std::uint64_t chunkedPrefills = 0;
+    /** Prefill-chunk steps executed (joins + mid-chunk iterations). */
+    std::uint64_t chunkIterations = 0;
+    /** KV handovers issued from prefill groups to decode groups. */
+    std::uint64_t handovers = 0;
+    /** KV bytes those handovers moved across the CXL link. */
+    std::uint64_t handoverBytes = 0;
+    /** Serialized CXL-link seconds the handovers occupied. */
+    double handoverLinkSeconds = 0.0;
+
     /** Per-tenant accounting, tenant-sorted. */
     struct TenantBreakdown
     {
@@ -282,6 +294,22 @@ class ServeMetrics
     /** A circuit breaker tripped (-> Open). */
     void noteBreakerOpen();
 
+    // --- chunked prefill / disaggregation accounting ---
+    /**
+     * Create the disagg stat sub-group. Lazy for the same reason as
+     * enableTierStats(): with chunking and disaggregation off the
+     * dumped stat hierarchy - and every emitted byte - is unchanged.
+     * Idempotent.
+     */
+    void enableDisaggStats();
+    /** A request's prompt needs more than one prefill chunk. */
+    void noteChunkedPrefill();
+    /** One prefill-chunk step ran (join or mid-chunk iteration). */
+    void noteChunkIteration();
+    /** One KV handover of @p bytes occupying the CXL link for
+     *  @p link_seconds (serialized against tier migration traffic). */
+    void noteHandover(std::uint64_t bytes, double link_seconds);
+
     // --- RAS accounting (fault-injection campaigns) ---
     /** One scheduler (device group) reporting into this collector;
      *  the denominator of the availability figure. */
@@ -374,6 +402,13 @@ class ServeMetrics
         std::uint64_t breakerOpens = 0;
         /** Per-tenant counters, tenant-sorted. */
         std::vector<ServeReport::TenantBreakdown> tenants;
+
+        bool disaggEnabled = false;
+        std::uint64_t chunkedPrefills = 0;
+        std::uint64_t chunkIterations = 0;
+        std::uint64_t handovers = 0;
+        std::uint64_t handoverBytes = 0;
+        double handoverLinkSeconds = 0.0;
     };
 
     State state() const;
@@ -441,6 +476,21 @@ class ServeMetrics
     };
     std::unique_ptr<OverloadStatBlock> overloadStats_;
 
+    /** Chunked-prefill / disaggregation stats, lazily built (see
+     *  enableDisaggStats()). */
+    struct DisaggStatBlock
+    {
+        explicit DisaggStatBlock(stats::StatGroup *parent);
+
+        stats::StatGroup group;
+        stats::Scalar chunkedPrefills;
+        stats::Scalar chunkIterations;
+        stats::Scalar handovers;
+        stats::Scalar handoverBytes;
+        stats::Scalar handoverLinkSeconds;
+    };
+    std::unique_ptr<DisaggStatBlock> disaggStats_;
+
     std::uint64_t completedN_ = 0;
     std::uint64_t rejectedN_ = 0;
     std::uint64_t tokensN_ = 0;
@@ -498,6 +548,12 @@ class ServeMetrics
     std::uint64_t throttledN_ = 0;
     std::uint64_t brownoutPeak_ = 0;
     std::uint64_t breakerOpensN_ = 0;
+
+    std::uint64_t chunkedPrefillsN_ = 0;
+    std::uint64_t chunkIterationsN_ = 0;
+    std::uint64_t handoversN_ = 0;
+    std::uint64_t handoverBytesN_ = 0;
+    double handoverLinkSeconds_ = 0.0;
 };
 
 } // namespace serve

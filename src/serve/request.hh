@@ -72,6 +72,16 @@ struct ServeRequest
     RequestState state = RequestState::Queued;
     /** Output tokens produced so far. */
     std::uint64_t generated = 0;
+    /**
+     * Prompt tokens whose prefill compute has already run. Only
+     * maintained when chunked prefill or disaggregation is on: a
+     * mid-chunk request has cachedPrefixTokens <= prefilledTokens <
+     * inputTokens, and a request handed over to a decode group after
+     * prefill carries prefilledTokens == inputTokens (its KV arrived
+     * over the CXL link, no prefill compute is owed). Always 0 on the
+     * legacy monolithic path.
+     */
+    std::uint64_t prefilledTokens = 0;
     /** Times this request was restarted after an iteration failure. */
     std::uint64_t retries = 0;
     double admitSeconds = -1.0;

@@ -52,6 +52,8 @@ BatchScheduler::BatchScheduler(const llm::ModelConfig &model,
         cfg_.shed.validate();
     if (cfg_.shed.enabled || cfg_.brownout.enabled)
         metrics_.enableOverloadStats();
+    if (cfg_.chunkTokens > 0)
+        metrics_.enableDisaggStats();
     fatal_if(cfg_.paged.tier.enabled() && !cfg_.paged.enabled,
              "the far KV tier requires the paged backend "
              "(paged.enabled)");
@@ -162,6 +164,31 @@ BatchScheduler::submit(ServeRequest req)
         tracer_->instant(reqTrack_, "arrive#" + std::to_string(req.id),
                          secondsToTicks(req.arrivalSeconds));
     queue_.push_back(req);
+}
+
+void
+BatchScheduler::submitContinuation(ServeRequest req)
+{
+    // Handovers from different prefill groups need not reach a decode
+    // group in global arrival order; keep the FCFS queue sorted
+    // instead of insisting on monotone submissions. The front-door
+    // validity checks and the submission metric already ran when the
+    // request entered its prefill group.
+    if (req.arrivalSeconds > lastArrival_)
+        lastArrival_ = req.arrivalSeconds;
+    req.state = RequestState::Queued;
+    if (tracer_ != nullptr)
+        tracer_->instant(reqTrack_, "handin#" + std::to_string(req.id),
+                         secondsToTicks(req.arrivalSeconds));
+    requeueFcfs(std::move(req));
+}
+
+std::vector<ServeRequest>
+BatchScheduler::takeHandoffs()
+{
+    std::vector<ServeRequest> out = std::move(handoffs_);
+    handoffs_.clear();
+    return out;
 }
 
 BlockId
@@ -348,6 +375,15 @@ BatchScheduler::admit(std::vector<ServeRequest> &joining)
         }
         head.state = RequestState::Running;
         head.admitSeconds = clock_;
+        // Chunked prefill: cached prompt tokens are already resident,
+        // so chunking starts behind them. A prompt whose uncached
+        // remainder exceeds the budget will take several iterations.
+        if (cfg_.chunkTokens > 0 && head.generated == 0) {
+            head.prefilledTokens = head.cachedPrefixTokens;
+            if (head.inputTokens - head.prefilledTokens >
+                cfg_.chunkTokens)
+                metrics_.noteChunkedPrefill();
+        }
         if (tracer_ != nullptr)
             tracer_->instant(reqTrack_,
                              "admit#" + std::to_string(head.id),
@@ -385,8 +421,11 @@ BatchScheduler::admit(std::vector<ServeRequest> &joining)
         // Deadline-aware shedding: when the head's first token cannot
         // land inside its TTFT deadline even by the cheapest estimate,
         // admitting it only converts capacity into a guaranteed SLO
-        // miss - shed it instead.
+        // miss - shed it instead. A handed-over continuation already
+        // served its first token on the prefill group, so its TTFT
+        // deadline is settled.
         if (cfg_.shed.enabled && head.deadlineSeconds > 0.0 &&
+            !handedOver(head) &&
             estimateTtftSeconds(head) * cfg_.shed.estimateMargin >
                 head.deadlineSeconds) {
             ServeRequest gone = std::move(head);
@@ -419,6 +458,12 @@ BatchScheduler::shedExpired()
         ServeRequest &r = queue_[i];
         if (r.arrivalSeconds > clock_)
             break; // FCFS order: nothing later has arrived yet
+        // A handed-over continuation's first token already landed on
+        // the prefill group; its TTFT deadline cannot be blown here.
+        if (handedOver(r)) {
+            ++i;
+            continue;
+        }
         const double waited = clock_ - r.arrivalSeconds;
         // Deadline equality counts as met (the PR 4 pin), so only a
         // strictly blown deadline sheds; the queue-time budget is a
@@ -487,6 +532,7 @@ BatchScheduler::preemptMember(ServeRequest &r)
                          secondsToTicks(clock_));
     r.generated = 0;
     r.cachedPrefixTokens = 0;
+    r.prefilledTokens = 0;
     ++r.preemptions;
     r.state = RequestState::Queued;
     requeueFcfs(r);
@@ -641,21 +687,57 @@ BatchScheduler::step()
 
     // Iteration cost: joiners pay their prefill (minus prompt tokens
     // served by the prefix cache), everyone already in the batch
-    // decodes one token against their current context.
+    // decodes one token against their current context. With a chunk
+    // budget set, a joiner pays only its first chunk - priced as a
+    // prefill of the chunk's end position with everything before it
+    // cached, so attention against the already-prefilled context is
+    // charged - and mid-chunk batch members pay their next chunk
+    // instead of a decode step. A handed-over continuation owes no
+    // prefill at all: its KV arrived over the CXL link.
     double cost = 0.0;
     if (pricer_ != nullptr) {
-        for (const ServeRequest &r : joining)
-            cost += pricer_->prefillSeconds(r.inputTokens,
-                                            r.cachedPrefixTokens);
+        for (const ServeRequest &r : joining) {
+            if (handedOver(r))
+                continue;
+            if (cfg_.chunkTokens > 0)
+                cost += pricer_->prefillSeconds(
+                    r.prefilledTokens + chunkAdvance(r),
+                    r.prefilledTokens);
+            else
+                cost += pricer_->prefillSeconds(r.inputTokens,
+                                                r.cachedPrefixTokens);
+        }
     } else {
-        for (const ServeRequest &r : joining)
-            cost += cost_.prefillSeconds(r.inputTokens,
-                                         r.cachedPrefixTokens);
+        for (const ServeRequest &r : joining) {
+            if (handedOver(r))
+                continue;
+            if (cfg_.chunkTokens > 0)
+                cost += cost_.prefillSeconds(
+                    r.prefilledTokens + chunkAdvance(r),
+                    r.prefilledTokens);
+            else
+                cost += cost_.prefillSeconds(r.inputTokens,
+                                             r.cachedPrefixTokens);
+        }
+    }
+    if (cfg_.chunkTokens > 0) {
+        for (std::size_t i = 0; i < batch_.size(); ++i) {
+            if (stalled[i] || !prefilling(batch_[i]))
+                continue;
+            const ServeRequest &r = batch_[i];
+            cost += pricer_ != nullptr
+                ? pricer_->prefillSeconds(
+                      r.prefilledTokens + chunkAdvance(r),
+                      r.prefilledTokens)
+                : cost_.prefillSeconds(
+                      r.prefilledTokens + chunkAdvance(r),
+                      r.prefilledTokens);
+        }
     }
     std::vector<std::uint64_t> contexts;
     contexts.reserve(batch_.size());
     for (std::size_t i = 0; i < batch_.size(); ++i)
-        if (!stalled[i])
+        if (!stalled[i] && !prefilling(batch_[i]))
             contexts.push_back(batch_[i].contextTokens() + 1);
     cost += pricer_ != nullptr
         ? pricer_->decodeIterationSeconds(contexts)
@@ -718,8 +800,31 @@ BatchScheduler::step()
 
     // Prefill produced each joiner's first token. A request restarted
     // after a failed iteration keeps its original first-token time (and
-    // its TTFT was already sampled).
+    // its TTFT was already sampled). Under chunking only the LAST
+    // chunk produces the first token - earlier chunks just advance the
+    // prefill mark - and a handed-over continuation brought its first
+    // token with it (it starts decoding next iteration).
     for (ServeRequest &r : joining) {
+        if (handedOver(r)) {
+            if (tracer_ != nullptr)
+                tracer_->instant(reqTrack_,
+                                 "resume#" + std::to_string(r.id),
+                                 secondsToTicks(clock_));
+            continue;
+        }
+        if (cfg_.chunkTokens > 0) {
+            const std::uint64_t adv = chunkAdvance(r);
+            r.prefilledTokens += adv;
+            if (adv > 0)
+                metrics_.noteChunkIteration();
+            if (r.prefilledTokens < r.inputTokens) {
+                if (tracer_ != nullptr)
+                    tracer_->instant(reqTrack_,
+                                     "chunk#" + std::to_string(r.id),
+                                     secondsToTicks(clock_));
+                continue; // more chunks owed; no token yet
+            }
+        }
         r.generated = 1;
         if (r.firstTokenSeconds < 0.0) {
             r.firstTokenSeconds = clock_;
@@ -732,11 +837,37 @@ BatchScheduler::step()
     }
     // Decoding members each produced one more token; their token
     // latency is the whole iteration (prefill interference included).
-    // Stalled members (paged, preemption off) made no progress.
+    // Stalled members (paged, preemption off) made no progress, and
+    // mid-chunk members advanced their prefill instead of decoding -
+    // their first token (and TTFT sample) lands with the last chunk,
+    // matching the joiner path: no token-latency sample for it.
     for (std::size_t i = 0; i < batch_.size(); ++i) {
         if (stalled[i])
             continue;
         ServeRequest &r = batch_[i];
+        if (prefilling(r)) {
+            const std::uint64_t adv = chunkAdvance(r);
+            r.prefilledTokens += adv;
+            if (adv > 0)
+                metrics_.noteChunkIteration();
+            if (r.prefilledTokens < r.inputTokens) {
+                if (tracer_ != nullptr)
+                    tracer_->instant(reqTrack_,
+                                     "chunk#" + std::to_string(r.id),
+                                     secondsToTicks(clock_));
+                continue;
+            }
+            r.generated = 1;
+            if (r.firstTokenSeconds < 0.0) {
+                r.firstTokenSeconds = clock_;
+                metrics_.sampleTtft(r.ttftSeconds());
+            }
+            if (tracer_ != nullptr)
+                tracer_->instant(
+                    reqTrack_, "first_token#" + std::to_string(r.id),
+                    secondsToTicks(clock_));
+            continue;
+        }
         ++r.generated;
         metrics_.sampleTokenLatency(dur_eff);
         if (tracer_ != nullptr)
@@ -787,6 +918,27 @@ BatchScheduler::step()
                                  secondsToTicks(clock_));
             metrics_.finishRequest(r);
             finished_.push_back(r);
+        } else if (prefillHandoff_ && r.generated > 0) {
+            // Disaggregated prefill: the first token is out, so this
+            // group's job is done. Release the KV here - the bytes
+            // travel to a decode group over the CXL link, priced by
+            // the dispatcher - and park the request in the handoff
+            // list; finishSeconds temporarily carries the transfer
+            // start time until the dispatcher re-stamps it.
+            // prefilledTokens == inputTokens is the continuation
+            // contract the decode group keys on (handedOver); without
+            // chunking nothing has stamped it yet.
+            r.prefilledTokens = r.inputTokens;
+            r.finishSeconds = clock_;
+            if (cfg_.paged.enabled)
+                releaseBlocks(r);
+            else
+                kv_.release(r.worstCaseKvBytes(model_));
+            if (tracer_ != nullptr)
+                tracer_->instant(reqTrack_,
+                                 "handoff#" + std::to_string(r.id),
+                                 secondsToTicks(clock_));
+            handoffs_.push_back(r);
         } else {
             still_running.push_back(r);
         }
@@ -873,6 +1025,10 @@ BatchScheduler::failIteration(std::vector<ServeRequest> &joining,
             kv_.release(r.worstCaseKvBytes(model_));
         }
         r.generated = 0;
+        // Chunk progress (and a continuation's handed-over KV) is gone
+        // with the iteration: survivors re-prefill from their prompt,
+        // even on a decode group.
+        r.prefilledTokens = 0;
         ++r.retries;
         if (r.retries > cfg_.ras.maxRequestRetries) {
             r.state = RequestState::Failed;
@@ -989,14 +1145,25 @@ BatchScheduler::inferenceLinkBytes(
 {
     // Host-link activation traffic competing with tier transfers: one
     // fp16 dModel vector down and up per prompt token (prefill) or
-    // decode step.
+    // decode step. Chunked members only push their chunk's worth, and
+    // a handed-over continuation pushed its prompt on its prefill
+    // group already.
     const std::uint64_t act = 2ull * model_.dModel;
     std::uint64_t bytes = 0;
-    for (const ServeRequest &r : joining)
-        bytes += r.inputTokens * act;
-    for (std::size_t i = 0; i < batch_.size(); ++i)
-        if (!(i < stalled.size() && stalled[i]))
-            bytes += 2ull * act;
+    for (const ServeRequest &r : joining) {
+        if (handedOver(r))
+            continue;
+        bytes += (cfg_.chunkTokens > 0 ? chunkAdvance(r)
+                                       : r.inputTokens) *
+            act;
+    }
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+        if (i < stalled.size() && stalled[i])
+            continue;
+        bytes += prefilling(batch_[i])
+            ? chunkAdvance(batch_[i]) * act
+            : 2ull * act;
+    }
     return bytes;
 }
 
@@ -1066,6 +1233,7 @@ BatchScheduler::state() const
     s.rejected = rejected_;
     s.failed = failed_;
     s.shed = shed_;
+    s.handoffs = handoffs_;
     s.brownout = brownout_.state();
 
     s.kvPool = kv_.stats();
@@ -1118,6 +1286,7 @@ BatchScheduler::restore(const SchedulerState &s)
     rejected_ = s.rejected;
     failed_ = s.failed;
     shed_ = s.shed;
+    handoffs_ = s.handoffs;
     brownout_.restore(s.brownout);
 
     kv_.restore(s.kvPool);

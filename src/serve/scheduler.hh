@@ -143,6 +143,16 @@ struct SchedulerConfig
     ShedConfig shed;
     /** Brownout ladder under queue pressure (off by default). */
     BrownoutConfig brownout;
+    /**
+     * Chunked prefill budget in prompt tokens per iteration; 0 (the
+     * default) prefills whole prompts at join time, bit-identical to
+     * the pre-chunking scheduler. With a budget set, a prompt whose
+     * uncached remainder exceeds it is prefilled across several
+     * iterations (interleaving with decode steps instead of
+     * monopolizing them) and its first token - and TTFT sample - lands
+     * at the iteration the *last* chunk completes.
+     */
+    std::uint64_t chunkTokens = 0;
 };
 
 /**
@@ -180,6 +190,10 @@ struct SchedulerState
     std::vector<ServeRequest> rejected;
     std::vector<ServeRequest> failed;
     std::vector<ServeRequest> shed;
+
+    /** Prefilled requests awaiting KV handover to a decode group
+     *  (always empty outside disaggregated prefill mode). */
+    std::vector<ServeRequest> handoffs;
 
     /** Brownout ladder position (all zero with brownout off). */
     BrownoutController::State brownout;
@@ -222,6 +236,29 @@ class BatchScheduler
      * immediately.
      */
     void submit(ServeRequest req);
+
+    /**
+     * Disaggregated-prefill role: when set, a request leaves this
+     * scheduler at the iteration its first token lands (KV released,
+     * TTFT sampled here) and waits in the handoff list for the
+     * dispatcher to transfer its KV to a decode group. Requests whose
+     * whole output is the first token finish locally as usual. Off by
+     * default; the dispatcher flips it on prefill groups only.
+     */
+    void setPrefillHandoff(bool on) { prefillHandoff_ = on; }
+
+    /**
+     * Enqueue a request whose prefill already ran on another group
+     * (prefilledTokens == inputTokens, generated == 1, TTFT already
+     * sampled there). Joins the FCFS queue at @p req.arrivalSeconds -
+     * the handover-ready time stamped by the dispatcher - without
+     * re-counting submission metrics and without the front-door
+     * validity checks, which the prefill side already ran.
+     */
+    void submitContinuation(ServeRequest req);
+
+    /** Drain the handoff list (prefill groups under disaggregation). */
+    std::vector<ServeRequest> takeHandoffs();
 
     /** Process iterations until the clock reaches @p t or the
      *  instance goes idle. */
@@ -403,6 +440,30 @@ class BatchScheduler
     /** Re-enqueue @p r at its FCFS position (sorted by arrival, id). */
     void requeueFcfs(ServeRequest r);
 
+    /** True while @p r still owes prefill chunks (chunked mode only;
+     *  always false with chunkTokens == 0). */
+    bool prefilling(const ServeRequest &r) const
+    {
+        return cfg_.chunkTokens > 0 && r.generated == 0 &&
+            r.prefilledTokens < r.inputTokens;
+    }
+
+    /** True for a request whose prefill ran on another group (its KV
+     *  arrived over the link; it owes no prefill compute here). */
+    static bool
+    handedOver(const ServeRequest &r)
+    {
+        return r.generated > 0 && r.prefilledTokens >= r.inputTokens;
+    }
+
+    /** Prompt tokens the next chunk of @p r covers. */
+    std::uint64_t
+    chunkAdvance(const ServeRequest &r) const
+    {
+        const std::uint64_t left = r.inputTokens - r.prefilledTokens;
+        return left < cfg_.chunkTokens ? left : cfg_.chunkTokens;
+    }
+
     /** Preempt batch member @p r: free blocks, reset progress,
      *  requeue, count recompute tokens. */
     void preemptMember(ServeRequest &r);
@@ -492,6 +553,10 @@ class BatchScheduler
     std::vector<ServeRequest> rejected_;
     std::vector<ServeRequest> failed_;
     std::vector<ServeRequest> shed_;
+
+    /** Disaggregated prefill (both inert on the monolithic path). */
+    bool prefillHandoff_ = false;
+    std::vector<ServeRequest> handoffs_;
 
     /** Brownout ladder (inert unless cfg_.brownout.enabled). */
     BrownoutController brownout_;

@@ -16,6 +16,7 @@ namespace
 
 constexpr const char *kMagicV1 = "cxlpnm-snapshot-v1";
 constexpr const char *kMagicV2 = "cxlpnm-snapshot-v2";
+constexpr const char *kMagicV3 = "cxlpnm-snapshot-v3";
 
 void
 appendf(std::string &out, const char *fmt, ...)
@@ -52,6 +53,8 @@ appendRequest(std::string &out, const ServeRequest &r, int version)
     if (version >= 2)
         appendf(out, " %" PRIu64 " %.17g", r.tenant,
                 r.deadlineSeconds);
+    if (version >= 3)
+        appendf(out, " %" PRIu64, r.prefilledTokens);
     out += '\n';
 }
 
@@ -228,6 +231,8 @@ parseRequest(const std::string &line, int version)
         r.tenant = t.u64();
         r.deadlineSeconds = t.f64();
     }
+    if (version >= 3)
+        r.prefilledTokens = t.u64();
     t.done();
     return r;
 }
@@ -395,6 +400,8 @@ appendGroup(std::string &out, const SchedulerState &g, int version)
         appendf(out, "brownout %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
                 g.brownout.level, g.brownout.highStreak,
                 g.brownout.lowStreak);
+    if (version >= 3)
+        appendRequests(out, "handoffs", g.handoffs, version);
 }
 
 SchedulerState
@@ -548,6 +555,8 @@ parseGroup(LineReader &in, int version)
         g.brownout.lowStreak = t.u64();
         t.done();
     }
+    if (version >= 3)
+        g.handoffs = parseRequests(in, "handoffs", version);
     return g;
 }
 
@@ -606,6 +615,18 @@ appendMetrics(std::string &out, const ServeMetrics::State &m,
                     " %" PRIu64 " %" PRIu64 "\n",
                     tb.tenant, tb.submitted, tb.completed, tb.shed,
                     tb.timedOut, tb.throttled);
+    }
+    if (version >= 3) {
+        appendf(out, "disagg %d\n", m.disaggEnabled ? 1 : 0);
+        if (m.disaggEnabled) {
+            appendf(out,
+                    "disaggcounts %" PRIu64 " %" PRIu64 " %" PRIu64
+                    " %" PRIu64 "\n",
+                    m.chunkedPrefills, m.chunkIterations, m.handovers,
+                    m.handoverBytes);
+            appendf(out, "disaggscalars %.17g\n",
+                    m.handoverLinkSeconds);
+        }
     }
 }
 
@@ -702,6 +723,20 @@ parseMetrics(LineReader &in, int version)
             m.tenants.push_back(tb);
         }
     }
+    if (version >= 3) {
+        m.disaggEnabled = parseFlag(in.next(), "disagg");
+        if (m.disaggEnabled) {
+            Tokens t = expect(in.next(), "disaggcounts");
+            m.chunkedPrefills = t.u64();
+            m.chunkIterations = t.u64();
+            m.handovers = t.u64();
+            m.handoverBytes = t.u64();
+            t.done();
+            Tokens s = expect(in.next(), "disaggscalars");
+            m.handoverLinkSeconds = s.f64();
+            s.done();
+        }
+    }
     return m;
 }
 
@@ -710,17 +745,18 @@ parseMetrics(LineReader &in, int version)
 std::string
 snapshotToText(const ServingSnapshot &s)
 {
-    return renderSnapshot(s, 2);
+    return renderSnapshot(s, 3);
 }
 
 std::string
 renderSnapshot(const ServingSnapshot &s, int version)
 {
-    if (version != 1 && version != 2)
+    if (version != 1 && version != 2 && version != 3)
         throw SnapshotError("unsupported snapshot version " +
                             std::to_string(version));
     std::string out;
-    out += version >= 2 ? kMagicV2 : kMagicV1;
+    out += version >= 3 ? kMagicV3 : version >= 2 ? kMagicV2
+                                                  : kMagicV1;
     out += '\n';
     appendf(out, "groups %zu\n", s.groups.size());
     for (std::size_t g = 0; g < s.groups.size(); ++g) {
@@ -811,6 +847,20 @@ renderSnapshot(const ServingSnapshot &s, int version)
         }
     }
 
+    if (version >= 3) {
+        appendf(out, "disaggfront %d\n", s.hasDisagg ? 1 : 0);
+        if (s.hasDisagg) {
+            const cxl::TransferAccount &t = s.disagg.traffic;
+            appendf(out,
+                    "handovertraffic %" PRIu64 " %" PRIu64 " %" PRIu64
+                    " %" PRIu64 "\n",
+                    t.downBytes, t.upBytes, t.downTransfers,
+                    t.upTransfers);
+            appendf(out, "handoverfront %" PRIu64 " %.17g\n",
+                    s.disagg.handovers, s.disagg.linkSeconds);
+        }
+    }
+
     out += "end\n";
     return out;
 }
@@ -821,11 +871,13 @@ snapshotFromText(const std::string &text)
     LineReader in{text};
     const std::string magic = in.next();
     int version = 0;
-    if (magic == kMagicV2)
-        version = 2;
+    if (magic == kMagicV3)
+        version = 3;
+    else if (magic == kMagicV2)
+        version = 2; // older snapshots restore with default disagg
+                     // (and, for v1, overload) state
     else if (magic == kMagicV1)
-        version = 1; // older snapshots restore with default overload
-                     // state
+        version = 1;
     else
         throw SnapshotError("not a serving snapshot (bad magic)");
 
@@ -983,6 +1035,22 @@ snapshotFromText(const std::string &text)
             }
             s.overload.rejected =
                 parseRequests(in, "frontrejected", version);
+        }
+    }
+
+    if (version >= 3) {
+        s.hasDisagg = parseFlag(in.next(), "disaggfront");
+        if (s.hasDisagg) {
+            Tokens t = expect(in.next(), "handovertraffic");
+            s.disagg.traffic.downBytes = t.u64();
+            s.disagg.traffic.upBytes = t.u64();
+            s.disagg.traffic.downTransfers = t.u64();
+            s.disagg.traffic.upTransfers = t.u64();
+            t.done();
+            Tokens f = expect(in.next(), "handoverfront");
+            s.disagg.handovers = f.u64();
+            s.disagg.linkSeconds = f.f64();
+            f.done();
         }
     }
 

@@ -70,21 +70,27 @@ struct ServingSnapshot
     RequestGenerator::State generator;
 
     /** Dispatcher front door (admission buckets, breakers, refused
-     *  requests); v2 snapshots only. */
+     *  requests); v2+ snapshots only. */
     bool hasOverload = false;
     ApplianceDispatcher::OverloadState overload;
+
+    /** Disaggregated prefill/decode handover accounting (cumulative
+     *  CXL-link traffic); v3 snapshots only. */
+    bool hasDisagg = false;
+    ApplianceDispatcher::DisaggState disagg;
 };
 
 /** Deterministic text form (identical snapshots, identical bytes). */
 std::string snapshotToText(const ServingSnapshot &s);
 
 /**
- * Render @p s at an explicit format version (1 or 2). Version 2 is
- * what snapshotToText emits; version 1 reproduces the pre-overload
- * format (no tenant/deadline request fields, no shed/brownout/
- * overload sections) so compatibility tests can fabricate v1
- * documents from live state. Throws SnapshotError on an unsupported
- * version.
+ * Render @p s at an explicit format version (1, 2, or 3). Version 3
+ * is what snapshotToText emits; version 2 reproduces the
+ * pre-disaggregation format (no prefilled-token request field, no
+ * handoff/disagg sections) and version 1 the pre-overload format (no
+ * tenant/deadline request fields, no shed/brownout/overload sections)
+ * so compatibility tests can fabricate older documents from live
+ * state. Throws SnapshotError on an unsupported version.
  */
 std::string renderSnapshot(const ServingSnapshot &s, int version);
 

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Chunked-prefill + disaggregated prefill/decode tests: the off-mode
+ * bit-identity guard (chunk_tokens=0 / disagg off change nothing),
+ * chunked prefill conservation, end-to-end KV handover over the CXL
+ * link (every multi-token request prefills on a prefill group and
+ * decodes on a decode group, with the transferred bytes priced through
+ * the link budget), prefix-affinity adversarial routing (a hot prefix
+ * on a decode group must not strand an arrival), and the v3 snapshot
+ * format: mid-chunk requests and in-flight handovers round-trip and
+ * resume byte-identically, malformed disagg sections throw typed
+ * SnapshotError, and v2/v1 renders still restore with defaults.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/request_generator.hh"
+#include "serve/snapshot.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace serve
+{
+namespace
+{
+
+/** Hand-built cost model: handover logic needs no event sim. */
+BatchCostModel
+syntheticCost()
+{
+    BatchCostModel c;
+    c.sumCurve.addSample(1, 1.0e-3);
+    c.sumCurve.addSample(1024, 10.0e-3);
+    c.genWeightSeconds = 10.0e-3;
+    c.genKvPerTokenSeconds = 2.0e-6;
+    c.perTokenComputeSeconds = 0.2e-3;
+    return c;
+}
+
+std::string
+statsDump(const ServeMetrics &m)
+{
+    std::ostringstream os;
+    m.dumpStats(os);
+    return os.str();
+}
+
+/** n spaced arrivals, fixed shape, hand-built so reference and split
+ *  runs share the exact submission schedule. */
+std::vector<ServeRequest>
+spacedRequests(std::size_t n, std::uint64_t in, std::uint64_t out,
+               double gap)
+{
+    std::vector<ServeRequest> reqs;
+    for (std::size_t i = 0; i < n; ++i) {
+        ServeRequest r;
+        r.id = i;
+        r.arrivalSeconds = gap * static_cast<double>(i);
+        r.inputTokens = in;
+        r.outputTokens = out;
+        reqs.push_back(r);
+    }
+    return reqs;
+}
+
+ServingSnapshot
+dispatcherSnapshot(const ApplianceDispatcher &d, const ServeMetrics &m)
+{
+    ServingSnapshot s;
+    s.groups = d.state();
+    s.metrics = m.state();
+    if (d.disaggConfigured()) {
+        s.hasDisagg = true;
+        s.disagg = d.disaggState();
+    }
+    return s;
+}
+
+// ---- off-mode bit-identity ----
+
+TEST(DisaggOffModeTest, DisabledConfigureChangesNothing)
+{
+    // configureDisagg with enabled=false (and chunkTokens left 0) must
+    // leave every observable byte - final state text and stats dump -
+    // identical to a dispatcher that never heard of disaggregation.
+    const auto model = llm::ModelConfig::tiny();
+    const auto cost = syntheticCost();
+    core::ParallelismPlan plan;
+    plan.dataParallel = 2;
+    const auto reqs = spacedRequests(10, 16, 6, 0.02);
+
+    auto run = [&](bool call_configure, std::string *text) {
+        ServeMetrics m(nullptr, "serve");
+        ApplianceDispatcher d(model, cost, plan, 1ull << 22, {}, m);
+        if (call_configure) {
+            ApplianceDispatcher::DisaggConfig dc; // enabled = false
+            d.configureDisagg(dc);
+            EXPECT_FALSE(d.disaggConfigured());
+        }
+        for (const auto &r : reqs)
+            d.submit(r);
+        d.drain();
+        *text = snapshotToText(dispatcherSnapshot(d, m));
+        return statsDump(m);
+    };
+
+    std::string text_off, text_cfg;
+    const std::string stats_off = run(false, &text_off);
+    const std::string stats_cfg = run(true, &text_cfg);
+    EXPECT_EQ(stats_off, stats_cfg);
+    EXPECT_EQ(text_off, text_cfg);
+}
+
+// ---- chunked prefill conservation ----
+
+TEST(ChunkedPrefillTest, ChunkingPreservesWorkAndCountsChunks)
+{
+    // An 80-token prompt at a 32-token budget takes exactly
+    // ceil(80/32) = 3 chunk iterations; chunking must change when
+    // tokens land, never whether they land.
+    const auto model = llm::ModelConfig::opt13b();
+    const auto cost = syntheticCost();
+    const auto reqs = spacedRequests(6, 80, 4, 0.01);
+
+    auto run = [&](std::uint64_t chunk) {
+        SchedulerConfig cfg;
+        cfg.chunkTokens = chunk;
+        ServeMetrics m(nullptr, "serve");
+        BatchScheduler s(model, cost, 64ull << 30, cfg, m);
+        for (const auto &r : reqs)
+            s.submit(r);
+        s.drain();
+        return m.report(s.clockSeconds());
+    };
+
+    const auto mono = run(0);
+    const auto chunked = run(32);
+    EXPECT_EQ(mono.completed, 6u);
+    EXPECT_EQ(chunked.completed, 6u);
+    EXPECT_EQ(chunked.tokensGenerated, mono.tokensGenerated);
+    EXPECT_EQ(mono.chunkedPrefills, 0u);
+    EXPECT_EQ(mono.chunkIterations, 0u);
+    EXPECT_EQ(chunked.chunkedPrefills, 6u);
+    EXPECT_EQ(chunked.chunkIterations, 18u);
+}
+
+// ---- disaggregated prefill/decode end to end ----
+
+TEST(DisaggDispatcherTest, EveryRequestHandsOverAndDecodesElsewhere)
+{
+    // 1 prefill + 1 decode group, no chunking: every multi-token
+    // request must prefill on group 0, cross the link once, and finish
+    // on group 1 - with the transferred KV bytes priced through the
+    // link budget.
+    const auto model = llm::ModelConfig::tiny();
+    const auto cost = syntheticCost();
+    core::ParallelismPlan plan;
+    plan.dataParallel = 2;
+    const auto reqs = spacedRequests(12, 16, 8, 0.03);
+
+    ServeMetrics metrics(nullptr, "serve");
+    ApplianceDispatcher disp(model, cost, plan, 1ull << 22, {},
+                             metrics);
+    ApplianceDispatcher::DisaggConfig dc;
+    dc.enabled = true;
+    dc.prefillGroups = 1;
+    disp.configureDisagg(dc);
+    EXPECT_TRUE(disp.disaggConfigured());
+
+    for (const auto &r : reqs)
+        disp.submit(r);
+    disp.drain();
+
+    // The prefill group finishes nothing; the decode group everything.
+    EXPECT_TRUE(disp.group(0).finished().empty());
+    ASSERT_EQ(disp.group(1).finished().size(), 12u);
+    for (const auto &r : disp.group(1).finished()) {
+        // The continuation contract: prefill complete, first token
+        // stamped on the prefill side, strictly before retirement.
+        EXPECT_EQ(r.prefilledTokens, r.inputTokens);
+        EXPECT_GE(r.firstTokenSeconds, 0.0);
+        EXPECT_GT(r.finishSeconds, r.firstTokenSeconds);
+    }
+
+    const auto rep = metrics.report(disp.clockSeconds());
+    EXPECT_EQ(rep.completed, 12u);
+    EXPECT_EQ(rep.handovers, 12u);
+    // Each handover moves KV for the prompt plus the first token.
+    EXPECT_EQ(rep.handoverBytes, 12 * model.kvCacheBytes(16 + 1));
+    EXPECT_GT(rep.handoverLinkSeconds, 0.0);
+    const cxl::TransferAccount &t = disp.handoverTraffic();
+    EXPECT_EQ(t.downBytes, rep.handoverBytes);
+    EXPECT_EQ(t.downTransfers, 12u);
+    EXPECT_EQ(t.upBytes, 0u);
+}
+
+TEST(DisaggDispatcherTest, PrefixAffinityNeverStrandsArrivals)
+{
+    // Adversarial: prefix caching and disaggregation both on. Once a
+    // continuation seeds a hot prefix on a DECODE group, monolithic
+    // affinity routing would steer the next group mate there - but a
+    // fresh arrival owes a prefill, so it must still go to the prefill
+    // group and cross the link like everyone else. Nothing may strand.
+    const auto model = llm::ModelConfig::tiny();
+    const auto cost = syntheticCost();
+    core::ParallelismPlan plan;
+    plan.dataParallel = 3;
+    SchedulerConfig cfg;
+    cfg.paged.enabled = true;
+    cfg.paged.blockTokens = 8;
+
+    ServeMetrics metrics(nullptr, "serve");
+    ApplianceDispatcher disp(model, cost, plan,
+                             32 * model.kvCacheBytes(8), cfg, metrics);
+    ApplianceDispatcher::DisaggConfig dc;
+    dc.enabled = true;
+    dc.prefillGroups = 1;
+    disp.configureDisagg(dc);
+
+    for (std::size_t i = 0; i < 8; ++i) {
+        ServeRequest r;
+        r.id = i;
+        r.arrivalSeconds = 0.05 * static_cast<double>(i);
+        r.inputTokens = 16;
+        r.outputTokens = 32;
+        r.prefixGroup = 7;
+        r.sharedPrefixTokens = 12;
+        disp.submit(r);
+    }
+    disp.drain();
+
+    EXPECT_TRUE(disp.group(0).finished().empty());
+    const std::size_t decoded = disp.group(1).finished().size() +
+        disp.group(2).finished().size();
+    EXPECT_EQ(decoded, 8u);
+    const auto rep = metrics.report(disp.clockSeconds());
+    EXPECT_EQ(rep.completed, 8u);
+    EXPECT_EQ(rep.handovers, 8u);
+    // The shared prefix was hot somewhere (prefill group across
+    // arrivals, decode group across continuations).
+    EXPECT_GT(rep.prefixHitBlocks, 0u);
+}
+
+// ---- snapshot v3: mid-chunk state ----
+
+TEST(DisaggSnapshotTest, MidChunkRequestRoundTripsAndResumes)
+{
+    // Freeze a scheduler while a 48-token prompt is partway through
+    // its 16-token chunks; the snapshot must carry the chunk progress
+    // and the resumed run must land every timestamp bit-identically.
+    const auto model = llm::ModelConfig::tiny();
+    const auto cost = syntheticCost();
+    SchedulerConfig cfg;
+    cfg.chunkTokens = 16;
+    ServeRequest req;
+    req.id = 0;
+    req.inputTokens = 48;
+    req.outputTokens = 4;
+    const double split = 1.5 * cost.prefillSeconds(16, 0);
+
+    ServeMetrics m_ref(nullptr, "serve");
+    BatchScheduler ref(model, cost, 1ull << 22, cfg, m_ref);
+    ref.submit(req);
+    ref.advanceTo(split);
+    ref.drain();
+
+    ServeMetrics m_a(nullptr, "serve");
+    BatchScheduler a(model, cost, 1ull << 22, cfg, m_a);
+    a.submit(req);
+    a.advanceTo(split);
+    ServingSnapshot snap;
+    snap.groups.push_back(a.state());
+    snap.metrics = m_a.state();
+
+    const std::string text = snapshotToText(snap);
+    EXPECT_EQ(text.rfind("cxlpnm-snapshot-v3", 0), 0u);
+    const ServingSnapshot back = snapshotFromText(text);
+    EXPECT_EQ(snapshotToText(back), text);
+    ASSERT_EQ(back.groups.size(), 1u);
+    ASSERT_EQ(back.groups[0].batch.size(), 1u);
+    const ServeRequest &mid = back.groups[0].batch[0];
+    EXPECT_GT(mid.prefilledTokens, 0u);
+    EXPECT_LT(mid.prefilledTokens, mid.inputTokens);
+    EXPECT_EQ(mid.generated, 0u); // still prefilling: no token yet
+
+    ServeMetrics m_b(nullptr, "serve");
+    BatchScheduler b(model, cost, 1ull << 22, cfg, m_b);
+    b.restore(back.groups[0]);
+    m_b.restore(back.metrics);
+    b.drain();
+
+    EXPECT_DOUBLE_EQ(b.clockSeconds(), ref.clockSeconds());
+    EXPECT_EQ(statsDump(m_b), statsDump(m_ref));
+    ASSERT_EQ(b.finished().size(), 1u);
+    EXPECT_DOUBLE_EQ(b.finished()[0].ttftSeconds(),
+                     ref.finished()[0].ttftSeconds());
+}
+
+// ---- snapshot v3: in-flight handovers ----
+
+/** Submit @p reqs[from..) into @p d and drain. */
+void
+submitFrom(ApplianceDispatcher &d,
+           const std::vector<ServeRequest> &reqs, std::size_t from)
+{
+    for (std::size_t i = from; i < reqs.size(); ++i)
+        d.submit(reqs[i]);
+    d.drain();
+}
+
+TEST(DisaggSnapshotTest, InFlightHandoversAreCapturedAndResume)
+{
+    // The dispatcher pumps handoffs at the head of submit, so between
+    // submits a finished prefill sits in its group's handoff list -
+    // exactly the state a snapshot must capture. Resume must be
+    // byte-identical to the uninterrupted run.
+    const auto model = llm::ModelConfig::tiny();
+    const auto cost = syntheticCost();
+    core::ParallelismPlan plan;
+    plan.dataParallel = 2;
+    ApplianceDispatcher::DisaggConfig dc;
+    dc.enabled = true;
+    dc.prefillGroups = 1;
+    const auto reqs = spacedRequests(8, 16, 6, 0.05);
+    const std::size_t split_n = 3;
+
+    ServeMetrics m_ref(nullptr, "serve");
+    ApplianceDispatcher ref(model, cost, plan, 1ull << 22, {}, m_ref);
+    ref.configureDisagg(dc);
+    for (std::size_t i = 0; i < split_n; ++i)
+        ref.submit(reqs[i]);
+    submitFrom(ref, reqs, split_n);
+
+    ServingSnapshot snap;
+    {
+        ServeMetrics m_a(nullptr, "serve");
+        ApplianceDispatcher a(model, cost, plan, 1ull << 22, {}, m_a);
+        a.configureDisagg(dc);
+        for (std::size_t i = 0; i < split_n; ++i)
+            a.submit(reqs[i]);
+        snap = dispatcherSnapshot(a, m_a);
+    }
+    // The split point really does hold an unpumped handover.
+    std::size_t in_flight = 0;
+    for (const auto &g : snap.groups)
+        in_flight += g.handoffs.size();
+    EXPECT_GT(in_flight, 0u);
+    ASSERT_TRUE(snap.hasDisagg);
+    EXPECT_GT(snap.disagg.handovers + in_flight, 0u);
+
+    const std::string text = snapshotToText(snap);
+    const ServingSnapshot back = snapshotFromText(text);
+    EXPECT_EQ(snapshotToText(back), text);
+
+    ServeMetrics m_b(nullptr, "serve");
+    ApplianceDispatcher b(model, cost, plan, 1ull << 22, {}, m_b);
+    b.configureDisagg(dc);
+    b.restore(back.groups);
+    m_b.restore(back.metrics);
+    ASSERT_TRUE(back.hasDisagg);
+    b.restoreDisagg(back.disagg);
+    submitFrom(b, reqs, split_n);
+
+    EXPECT_DOUBLE_EQ(b.clockSeconds(), ref.clockSeconds());
+    EXPECT_EQ(statsDump(m_b), statsDump(m_ref));
+    EXPECT_EQ(snapshotToText(dispatcherSnapshot(b, m_b)),
+              snapshotToText(dispatcherSnapshot(ref, m_ref)));
+    EXPECT_EQ(b.disaggState().handovers, ref.disaggState().handovers);
+}
+
+// ---- snapshot v3: malformed input and version compatibility ----
+
+/** A v3 snapshot exercising every disagg section: chunk progress,
+ *  an in-flight handover, and nonzero handover accounting. */
+ServingSnapshot
+disaggSnapshot()
+{
+    const auto model = llm::ModelConfig::tiny();
+    const auto cost = syntheticCost();
+    core::ParallelismPlan plan;
+    plan.dataParallel = 2;
+    SchedulerConfig cfg;
+    cfg.chunkTokens = 16;
+    ServeMetrics metrics(nullptr, "serve");
+    ApplianceDispatcher disp(model, cost, plan, 1ull << 22, cfg,
+                             metrics);
+    ApplianceDispatcher::DisaggConfig dc;
+    dc.enabled = true;
+    dc.prefillGroups = 1;
+    disp.configureDisagg(dc);
+    for (const auto &r : spacedRequests(4, 48, 6, 0.05))
+        disp.submit(r);
+    return dispatcherSnapshot(disp, metrics);
+}
+
+TEST(DisaggSnapshotTest, MalformedDisaggSectionsThrowTyped)
+{
+    const std::string good = snapshotToText(disaggSnapshot());
+    ASSERT_NE(good.find("handoffs"), std::string::npos);
+    ASSERT_NE(good.find("disaggfront"), std::string::npos);
+    ASSERT_NE(good.find("handovertraffic"), std::string::npos);
+
+    // A renamed section keyword is a typed error, not a misparse.
+    for (const char *field :
+         {"handoffs", "disagg ", "disaggfront", "handovertraffic",
+          "handoverfront"}) {
+        std::string bad = good;
+        const std::size_t at = bad.find(field);
+        ASSERT_NE(at, std::string::npos) << field;
+        bad[at] = 'X';
+        EXPECT_THROW(snapshotFromText(bad), SnapshotError) << field;
+    }
+    // Truncation inside the disagg front-door section.
+    EXPECT_THROW(
+        snapshotFromText(good.substr(0, good.find("handovertraffic"))),
+        SnapshotError);
+}
+
+TEST(DisaggSnapshotTest, OlderRendersRestoreWithDefaults)
+{
+    const ServingSnapshot s = disaggSnapshot();
+
+    // A v2 render drops chunk progress, handoff lists, and every
+    // disagg section - and must still parse, with defaults.
+    const std::string v2 = renderSnapshot(s, 2);
+    EXPECT_EQ(v2.rfind("cxlpnm-snapshot-v2", 0), 0u);
+    const ServingSnapshot from_v2 = snapshotFromText(v2);
+    EXPECT_FALSE(from_v2.hasDisagg);
+    EXPECT_EQ(from_v2.disagg.handovers, 0u);
+    for (const auto &g : from_v2.groups) {
+        EXPECT_TRUE(g.handoffs.empty());
+        for (const auto &r : g.batch)
+            EXPECT_EQ(r.prefilledTokens, 0u);
+        for (const auto &r : g.queue)
+            EXPECT_EQ(r.prefilledTokens, 0u);
+    }
+
+    // v1 (pre-overload) still parses too.
+    const std::string v1 = renderSnapshot(s, 1);
+    EXPECT_EQ(v1.rfind("cxlpnm-snapshot-v1", 0), 0u);
+    EXPECT_FALSE(snapshotFromText(v1).hasDisagg);
+}
+
+} // namespace
+} // namespace serve
+} // namespace cxlpnm

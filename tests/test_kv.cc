@@ -502,6 +502,56 @@ TEST(PagedSchedulerTest, HitAndEvictSequenceIsSeedDeterministic)
 
 // ---- cache-affinity routing ----
 
+// ---- chunked prefill: the head-of-line fix ----
+
+TEST(ChunkedPrefillTest, ShortRequestNoLongerPaysTheLongPrefill)
+{
+    // The TTFT head-of-line symptom: a short request sharing an
+    // iteration with a long prompt pays that prompt's entire prefill
+    // before its own first token. With a chunk budget the long prompt
+    // is admitted piecewise, so the short request's first token costs
+    // one chunk of interference, not the whole 1024-token prefill.
+    const auto model = llm::ModelConfig::opt13b();
+    const auto cost = syntheticCost();
+    const double long_prefill = cost.prefillSeconds(1024, 0);
+
+    auto shortTtft = [&](const SchedulerConfig &sched) {
+        ServeMetrics metrics(nullptr, "serve");
+        BatchScheduler s(model, cost, 64ull << 30, sched, metrics);
+        ServeRequest big;
+        big.id = 0;
+        big.inputTokens = 1024;
+        big.outputTokens = 4;
+        ServeRequest small;
+        small.id = 1;
+        small.inputTokens = 8;
+        small.outputTokens = 4;
+        s.submit(big);
+        s.submit(small);
+        s.drain();
+        EXPECT_EQ(s.finished().size(), 2u);
+        for (const auto &r : s.finished())
+            if (r.id == 1)
+                return r.ttftSeconds();
+        ADD_FAILURE() << "short request never finished";
+        return -1.0;
+    };
+
+    SchedulerConfig mono;
+    const double mono_ttft = shortTtft(mono);
+    SchedulerConfig chunked;
+    chunked.chunkTokens = 32;
+    const double chunked_ttft = shortTtft(chunked);
+
+    // Monolithic: the short request's first token waits out the full
+    // long prefill (the symptom the old regression pinned).
+    EXPECT_GE(mono_ttft, long_prefill - 1e-12);
+    // Chunked: it no longer does - strictly under one long prefill,
+    // and strictly better than the monolithic schedule.
+    EXPECT_LT(chunked_ttft, long_prefill);
+    EXPECT_LT(chunked_ttft, mono_ttft);
+}
+
 TEST(DispatcherTest, RoutesPrefixGroupMembersToTheCachedScheduler)
 {
     const auto model = llm::ModelConfig::tiny();

@@ -910,13 +910,13 @@ struct OverStack
     }
 };
 
-TEST(OverloadSnapshot, V2TextRoundTripsByteExactly)
+TEST(OverloadSnapshot, V3TextRoundTripsByteExactly)
 {
     OverStack st;
     st.submitN(30);
     const auto snap = st.snapshot();
     const std::string t1 = snapshotToText(snap);
-    EXPECT_EQ(t1.rfind("cxlpnm-snapshot-v2", 0), 0u);
+    EXPECT_EQ(t1.rfind("cxlpnm-snapshot-v3", 0), 0u);
     const ServingSnapshot parsed = snapshotFromText(t1);
     const std::string t2 = snapshotToText(parsed);
     EXPECT_EQ(t1, t2);
@@ -978,11 +978,11 @@ TEST(OverloadSnapshot, MalformedInputThrowsTyped)
     st.submitN(20);
     const std::string good = snapshotToText(st.snapshot());
 
-    EXPECT_THROW(renderSnapshot(st.snapshot(), 3), SnapshotError);
+    EXPECT_THROW(renderSnapshot(st.snapshot(), 4), SnapshotError);
 
     // Bad magic.
     std::string bad = good;
-    bad.replace(bad.find("v2"), 2, "v9");
+    bad.replace(bad.find("v3"), 2, "v9");
     EXPECT_THROW(snapshotFromText(bad), SnapshotError);
 
     // Truncation, at every granularity.

@@ -526,6 +526,53 @@ TEST(MetricsTest, DeadlineExactlyMetCountsTowardGoodput)
     EXPECT_DOUBLE_EQ(strict.report(1.0).sloFraction, 0.0);
 }
 
+TEST(MetricsTest, ChunkedTtftStampsAtLastChunkAndEqualDeadlineIsMet)
+{
+    // Chunked prefill defers the first token to the iteration on which
+    // the LAST chunk completes: a 32-token prompt at a 16-token budget
+    // takes exactly two chunk iterations, the second priced with the
+    // first chunk's tokens already resident. TTFT is the exact sum of
+    // the two iteration costs - not the first chunk's, not a decode
+    // step later.
+    const auto model = llm::ModelConfig::tiny();
+    const auto cost = syntheticCost();
+    SchedulerConfig sched;
+    sched.chunkTokens = 16;
+    const double expected =
+        cost.prefillSeconds(16, 0) + cost.prefillSeconds(32, 16);
+
+    // A TTFT deadline exactly equal to the stamp meets the SLO (<=,
+    // not <) - the TTFT twin of the per-token equality pin above.
+    MetricsConfig mcfg;
+    mcfg.sloTtftSeconds = expected;
+    ServeMetrics metrics(nullptr, "serve", mcfg);
+    BatchScheduler s(model, cost, 1ull << 30, sched, metrics);
+    ServeRequest r;
+    r.id = 0;
+    r.inputTokens = 32;
+    r.outputTokens = 2;
+    s.submit(r);
+    s.drain();
+
+    ASSERT_EQ(s.finished().size(), 1u);
+    EXPECT_DOUBLE_EQ(s.finished()[0].ttftSeconds(), expected);
+    const auto rep = metrics.report(s.clockSeconds());
+    EXPECT_EQ(rep.completed, 1u);
+    EXPECT_EQ(rep.chunkedPrefills, 1u);
+    EXPECT_EQ(rep.chunkIterations, 2u);
+    EXPECT_DOUBLE_EQ(rep.sloFraction, 1.0);
+
+    // A hair under the deadline misses it.
+    MetricsConfig tight = mcfg;
+    tight.sloTtftSeconds = expected * (1.0 - 1e-12);
+    ServeMetrics strict(nullptr, "serve2", tight);
+    BatchScheduler s2(model, cost, 1ull << 30, sched, strict);
+    s2.submit(r);
+    s2.drain();
+    EXPECT_DOUBLE_EQ(strict.report(s2.clockSeconds()).sloFraction,
+                     0.0);
+}
+
 // ---- dispatcher ----
 
 TEST(DispatcherTest, SpreadsLoadAcrossDataParallelGroups)
