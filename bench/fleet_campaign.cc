@@ -1,0 +1,772 @@
+/**
+ * @file
+ * Rack-scale fleet campaign: a ClusterRouter over heterogeneous
+ * Backends (CXL-PNM and GPU appliances), diurnal traffic, watermark
+ * autoscaling, and the fleet-granularity TCO roll-up - the paper's
+ * Table III economics promoted from one appliance to a fleet. Every
+ * appliance is an 8-device box (the paper's form factor): the PNM
+ * class shards as mp x (8/mp) LPDDR devices, the GPU class as
+ * mp x (8/mp) A100-40Gs.
+ *
+ * Cells (each self-contained, analytic unless noted):
+ *
+ *  - gpu_homog       N GPU appliances under one diurnal+MMPP stream:
+ *                    the all-DGX baseline fleet.
+ *  - hetero          half the GPU boxes replaced by PNM appliances,
+ *                    identical stream: the TCO headline cell. Must
+ *                    beat gpu_homog on $/Mtok at equal-or-better SLO
+ *                    attainment.
+ *  - outage          the hetero fleet with a scripted whole-appliance
+ *                    fail-stop (every device group of one PNM box):
+ *                    the router drains the degraded node; fleet
+ *                    availability must hold the floor and every
+ *                    request must still finish.
+ *  - diurnal_static  an all-PNM fleet, strong day/night swing, all
+ *                    appliances provisioned for peak the whole day.
+ *  - diurnal_auto    the same stream with the autoscaler flexing the
+ *                    fleet on sustained backlog watermarks: must cut
+ *                    energy vs diurnal_static without giving up SLO
+ *                    attainment, with at least one scale-up and one
+ *                    scale-down.
+ *  - anchor_analytic one small PNM appliance, flat Poisson stream,
+ *  - anchor_cycle    priced by the fitted model vs the memoized
+ *                    cycle-exact engine (PR 8): the fleet cells run
+ *                    analytic, and this pair bounds what that
+ *                    approximation costs at fleet granularity.
+ *
+ * check=1 enforces the gates above. The out= JSON is a pure function
+ * of the simulation (no wall clock, no host info), so any two runs -
+ * any thread count - produce byte-identical files; CI diffs
+ * threads=1 against threads=4 and a rerun against the first.
+ *
+ *   fleet_campaign [seed=42] [threads=0] [model=opt-66b] [n=240]
+ *                  [n_diurnal=400] [anchor_n=24] [fleet=4]
+ *                  [out=BENCH_fleet.json] [check=0]
+ *                  [avail_floor=0.9] [anchor_tol=0.08] [slo_tol=0.02]
+ */
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/tco.hh"
+#include "fleet/autoscaler.hh"
+#include "fleet/backend.hh"
+#include "fleet/cluster_router.hh"
+#include "fleet/diurnal.hh"
+#include "serve/calibration.hh"
+#include "serve/cost_model.hh"
+#include "sim/config.hh"
+#include "sim/fault.hh"
+#include "sim/thread_pool.hh"
+
+using namespace cxlpnm;
+
+namespace
+{
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+constexpr std::uint64_t kInputTokens = 64;
+constexpr std::uint64_t kOutputTokens = 64;
+constexpr std::size_t kMaxBatch = 8;
+constexpr int kDevicesPerAppliance = 8;
+
+/** Everything a cell needs besides its own knobs. */
+struct Shared
+{
+    llm::ModelConfig model;
+    core::PnmPlatformConfig pcfg;
+    gpu::GpuSpec gspec;
+    serve::BatchCostModel pnmCost;
+    serve::BatchCostModel gpuCost;
+    int pnmMp = 1; // minimal shard whose KV capacity is positive
+    int gpuMp = 1;
+    std::uint64_t seed = 42;
+};
+
+struct CellSpec
+{
+    std::string name;
+    int pnm = 0;
+    int gpu = 0;
+    std::size_t n = 0;
+    double baseQps = 0.0;
+    double amplitude = 0.0;
+    bool bursty = false;
+    double slo = 0.0; // TTFT SLO, also scales router/scaler windows
+    std::uint64_t outTokens = kOutputTokens;
+    bool smallPnm = false;  // 2-device PNM boxes (the anchor pair)
+    bool outage = false;    // scripted fail-stop on backend 0
+    bool autoscale = false; // flex on watermarks (else ledger only)
+    std::size_t startActive = SIZE_MAX; // rest begin Offline
+    bool cycle = false; // price through the cycle-exact engine
+};
+
+struct BackendSummary
+{
+    std::string name;
+    const char *cls = "";
+    std::uint64_t routed = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t tokens = 0;
+    double availability = 1.0;
+    double activeSeconds = 0.0;
+    double idleSeconds = 0.0;
+};
+
+struct CellResult
+{
+    CellSpec spec;
+    std::vector<BackendSummary> backends;
+    double makespan = 0.0;
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t retries = 0;
+    double sloAttainment = 0.0;
+    double servedFraction = 0.0;
+    double availability = 1.0; // device-seconds, fleet mean
+    double throughputTokensPerSec = 0.0;
+    double ttftP99 = 0.0; // worst backend
+    std::uint64_t affinityHits = 0;
+    std::uint64_t degradedSkips = 0;
+    std::uint64_t scaleUps = 0;
+    std::uint64_t scaleDowns = 0;
+    std::uint64_t cycleStageRuns = 0;
+    std::uint64_t cycleMemoHits = 0;
+    core::FleetTcoReport tco;
+};
+
+fleet::BackendConfig
+makeBackendConfig(const Shared &sh, const std::string &name, bool gpu,
+                  bool small, double slo)
+{
+    fleet::BackendConfig cfg;
+    cfg.name = name;
+    cfg.plan.modelParallel = gpu ? sh.gpuMp : sh.pnmMp;
+    cfg.plan.dataParallel = small
+        ? 2
+        : kDevicesPerAppliance / cfg.plan.modelParallel;
+    cfg.sched.maxBatch = kMaxBatch;
+    // Survive the scripted node outage: a request pinned to a group
+    // that fail-stops repeatedly retries through the whole window.
+    cfg.sched.ras.maxRequestRetries = 8;
+    cfg.metrics.tokenLatencyHi = 20.0;
+    cfg.metrics.tokenLatencyBuckets = 4000;
+    cfg.metrics.sloTtftSeconds = slo;
+    cfg.capacityContextTokens = kInputTokens + kOutputTokens;
+    return cfg;
+}
+
+CellResult
+runCell(const CellSpec &sp, const Shared &sh)
+{
+    std::vector<std::unique_ptr<fleet::DispatcherBackend>> boxes;
+    for (int i = 0; i < sp.pnm; ++i)
+        boxes.push_back(std::make_unique<fleet::PnmBackend>(
+            sh.model, sh.pcfg, sh.pnmCost,
+            makeBackendConfig(sh, "pnm" + std::to_string(i), false,
+                              sp.smallPnm, sp.slo)));
+    for (int i = 0; i < sp.gpu; ++i)
+        boxes.push_back(std::make_unique<fleet::GpuBackend>(
+            sh.model, sh.gspec, sh.gpuCost,
+            makeBackendConfig(sh, "gpu" + std::to_string(i), true,
+                              false, sp.slo)));
+
+    // One shared memoized engine pricer across all device groups, so
+    // each distinct stage shape is simulated exactly once per cell.
+    std::unique_ptr<serve::CyclePricer> pricer;
+    if (sp.cycle) {
+        pricer = std::make_unique<serve::CyclePricer>(
+            sh.model, sh.pcfg, sh.pnmCost, sh.pnmMp);
+        for (auto &b : boxes)
+            for (std::size_t g = 0; g < b->dispatcher().groupCount();
+                 ++g)
+                b->dispatcher().setPricer(g, pricer.get());
+    }
+
+    fault::FaultInjector inj(sh.seed);
+    if (sp.outage) {
+        // A whole-node outage mid-run: every device group of the
+        // first appliance fail-stops at the same scripted instant,
+        // so for one RAS cooldown the node has no healthy group and
+        // the router must route around it.
+        const double t0 =
+            0.4 * static_cast<double>(sp.n) / sp.baseQps;
+        for (std::size_t g = 0;
+             g < boxes.front()->dispatcher().groupCount(); ++g)
+            inj.arm(fault::FaultSpec::scriptedTick(
+                "pnm0.group" + std::to_string(g) + ".iteration",
+                fault::FaultKind::GroupFailStop,
+                secondsToTicks(t0)));
+        boxes.front()->dispatcher().attachFaultInjector(&inj, "pnm0");
+    }
+
+    std::vector<fleet::Backend *> ptrs;
+    for (auto &b : boxes)
+        ptrs.push_back(b.get());
+    fleet::RouterConfig rcfg;
+    rcfg.affinitySlackSeconds = 0.25 * sp.slo;
+    fleet::ClusterRouter router(ptrs, rcfg);
+    for (std::size_t i = sp.startActive; i < ptrs.size(); ++i)
+        router.setState(i, fleet::BackendState::Offline);
+
+    fleet::AutoscalerConfig acfg;
+    acfg.enabled = sp.autoscale;
+    acfg.highWatermarkSeconds = 0.5 * sp.slo;
+    acfg.lowWatermarkSeconds = 0.05 * sp.slo;
+    acfg.sustainSeconds = 0.1 * sp.slo;
+    acfg.cooldownSeconds = 0.3 * sp.slo;
+    acfg.minActive = 1;
+    fleet::Autoscaler scaler(router, acfg);
+
+    fleet::DiurnalConfig traffic;
+    traffic.baseRequestsPerSec = sp.baseQps;
+    traffic.amplitude = sp.amplitude;
+    // One full day/night cycle over the run.
+    traffic.periodSeconds = static_cast<double>(sp.n) / sp.baseQps;
+    traffic.bursty = sp.bursty;
+    traffic.burstOnSeconds = 0.5 * sp.slo;
+    traffic.burstOffSeconds = 0.5 * sp.slo;
+    traffic.burstOffRateFraction = 0.5;
+    traffic.numRequests = sp.n;
+    traffic.seed = sh.seed;
+    traffic.input = serve::LengthDistribution::fixed(kInputTokens);
+    traffic.output = serve::LengthDistribution::fixed(sp.outTokens);
+    traffic.numTenants = 8;
+
+    fleet::DiurnalGenerator gen(traffic);
+    while (!gen.exhausted()) {
+        const auto req = gen.next();
+        router.submit(req);
+        scaler.observe(req.arrivalSeconds);
+    }
+    router.drain();
+    const double makespan = router.clockSeconds();
+    scaler.finish(makespan);
+
+    CellResult r;
+    r.spec = sp;
+    r.makespan = makespan;
+    r.affinityHits = router.affinityHits();
+    r.degradedSkips = router.degradedSkips();
+    r.scaleUps = scaler.scaleUps();
+    r.scaleDowns = scaler.scaleDowns();
+    if (pricer) {
+        r.cycleStageRuns = pricer->engineStageRuns();
+        r.cycleMemoHits = pricer->memoHits();
+    }
+
+    double slo_weighted = 0.0;
+    double avail_sum = 0.0;
+    std::uint64_t tokens = 0;
+    for (std::size_t i = 0; i < ptrs.size(); ++i) {
+        const auto rep = ptrs[i]->report(makespan);
+        BackendSummary bs;
+        bs.name = ptrs[i]->name();
+        bs.cls = fleet::backendClassName(ptrs[i]->backendClass());
+        bs.routed = router.routedTo(i);
+        bs.completed = rep.completed;
+        bs.tokens = ptrs[i]->tokensGenerated();
+        bs.availability = rep.availability;
+        bs.activeSeconds = scaler.activeSeconds(i);
+        bs.idleSeconds = scaler.idleSeconds(i);
+        r.backends.push_back(bs);
+
+        r.submitted += rep.submitted;
+        r.completed += rep.completed;
+        r.failed += rep.requestsFailed;
+        r.retries += rep.requestRetries;
+        slo_weighted += rep.sloAttainment *
+            static_cast<double>(rep.submitted);
+        avail_sum += rep.availability;
+        tokens += ptrs[i]->tokensGenerated();
+        r.ttftP99 = std::max(r.ttftP99, rep.ttftP99);
+    }
+    r.sloAttainment = r.submitted > 0
+        ? slo_weighted / static_cast<double>(r.submitted)
+        : 0.0;
+    r.servedFraction = r.submitted > 0
+        ? static_cast<double>(r.completed) /
+            static_cast<double>(r.submitted)
+        : 0.0;
+    r.availability = avail_sum / static_cast<double>(ptrs.size());
+    r.throughputTokensPerSec =
+        static_cast<double>(tokens) / makespan;
+
+    // Fleet TCO: one class per silicon kind, appliance-seconds from
+    // the autoscaler's power ledger.
+    std::vector<core::FleetClassTcoInputs> classes;
+    for (const auto cls :
+         {fleet::BackendClass::Pnm, fleet::BackendClass::Gpu}) {
+        core::FleetClassTcoInputs in;
+        in.name = fleet::backendClassName(cls);
+        in.appliances = 0;
+        for (std::size_t i = 0; i < ptrs.size(); ++i) {
+            if (ptrs[i]->backendClass() != cls)
+                continue;
+            const auto &spec = ptrs[i]->costSpec();
+            ++in.appliances;
+            in.devicesPerAppliance = spec.devices;
+            in.devicePriceUsd = spec.devicePriceUsd;
+            in.activePowerW = spec.activePowerW;
+            in.idlePowerW = spec.idlePowerW;
+            in.activeSeconds += scaler.activeSeconds(i);
+            in.idleSeconds += scaler.idleSeconds(i);
+            in.tokensGenerated += ptrs[i]->tokensGenerated();
+        }
+        if (in.appliances > 0)
+            classes.push_back(in);
+    }
+    r.tco = core::computeFleetTco(classes, makespan);
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto cfg = Config::fromArgs({argv + 1, argv + argc});
+    const std::uint64_t seed = cfg.getInt("seed", 42);
+    const unsigned threads =
+        static_cast<unsigned>(cfg.getInt("threads", 0));
+    const std::size_t n_requests = cfg.getInt("n", 240);
+    const std::size_t n_diurnal = cfg.getInt("n_diurnal", 400);
+    const std::size_t anchor_n = cfg.getInt("anchor_n", 24);
+    const int fleet_n = cfg.getInt("fleet", 4);
+    const std::string out = cfg.getString("out", "");
+    const bool check = cfg.getBool("check", false);
+    const double avail_floor = cfg.getDouble("avail_floor", 0.9);
+    const double anchor_tol = cfg.getDouble("anchor_tol", 0.08);
+    const double slo_tol = cfg.getDouble("slo_tol", 0.02);
+    const auto model =
+        llm::ModelConfig::byName(cfg.getString("model", "opt-66b"));
+
+    bench::header("Fleet campaign: " + model.name + ", seed " +
+                  std::to_string(seed));
+
+    Shared sh;
+    sh.model = model;
+    sh.pcfg.channelGrouping = 8;
+    sh.gspec = gpu::GpuSpec::a100_40g();
+    sh.seed = seed;
+
+    // Minimal tensor shard whose per-instance KV capacity is
+    // positive; an 8-device appliance then runs 8/mp instances.
+    const std::uint64_t full_ctx = kInputTokens + kOutputTokens;
+    sh.pnmMp = sh.gpuMp = 0;
+    for (int mp : {1, 2, 4, 8}) {
+        if (sh.pnmMp == 0 &&
+            serve::pnmKvCapacityBytes(model, sh.pcfg, mp) > 0)
+            sh.pnmMp = mp;
+        // The GPU baseline holds weights in HBM (no host-offload
+        // strawman): minimal tensor-parallel degree that fits the
+        // model with KV room to spare.
+        if (sh.gpuMp == 0 &&
+            model.weightBytes() < sh.gspec.memBytes *
+                static_cast<std::uint64_t>(mp) &&
+            serve::gpuKvCapacityBytes(model, sh.gspec, mp) >
+                model.weightBytes() / 8)
+            sh.gpuMp = mp;
+    }
+    if (sh.pnmMp == 0 || sh.gpuMp == 0) {
+        std::fprintf(stderr,
+                     "fleet_campaign: %s does not fit an 8-device "
+                     "appliance on either platform\n",
+                     model.name.c_str());
+        return 1;
+    }
+    sh.pnmCost =
+        serve::calibratePnmCostModel(model, sh.pcfg, full_ctx,
+                                     sh.pnmMp);
+    if (sh.pnmMp > 1)
+        serve::addModelParallelComm(sh.pnmCost, model, sh.pcfg.link,
+                                    core::D2dModel{}, sh.pnmMp);
+    sh.gpuCost = serve::calibrateGpuCostModel(
+        model, sh.gspec, gpu::GpuCalibration{}, full_ctx, sh.gpuMp);
+
+    // Per-appliance saturation estimates (throwaway probe backends).
+    const double cap_pnm =
+        fleet::PnmBackend(model, sh.pcfg, sh.pnmCost,
+                          makeBackendConfig(sh, "probe", false, false,
+                                            1.0))
+            .capacityTokensPerSec();
+    const double cap_gpu =
+        fleet::GpuBackend(model, sh.gspec, sh.gpuCost,
+                          makeBackendConfig(sh, "probe", true, false,
+                                            1.0))
+            .capacityTokensPerSec();
+    const double cap_pnm_small =
+        fleet::PnmBackend(model, sh.pcfg, sh.pnmCost,
+                          makeBackendConfig(sh, "probe", false, true,
+                                            1.0))
+            .capacityTokensPerSec();
+    // TTFT SLO: the time one appliance of the class needs to serve
+    // 40 requests - generous, but meaningless once queues diverge.
+    const double slo_gpu =
+        40.0 * static_cast<double>(kOutputTokens) / cap_gpu;
+    const double slo_pnm =
+        40.0 * static_cast<double>(kOutputTokens) / cap_pnm;
+
+    std::printf("\nAppliance capacity: pnm %.1f tok/s (mp %d), gpu "
+                "%.1f tok/s (mp %d); SLO %.3f / %.3f s\n",
+                cap_pnm, sh.pnmMp, cap_gpu, sh.gpuMp, slo_pnm,
+                slo_gpu);
+
+    const int half = fleet_n / 2;
+    const double hetero_cap = static_cast<double>(half) * cap_pnm +
+        static_cast<double>(fleet_n - half) * cap_gpu;
+
+    std::vector<CellSpec> specs;
+    {
+        CellSpec c;
+        c.name = "gpu_homog";
+        c.gpu = fleet_n;
+        c.n = n_requests;
+        // Sized to the *hetero* fleet (the smaller one), so both TCO
+        // cells run the identical stream comfortably inside capacity
+        // (headroom covers prefill work and the burst peaks, keeping
+        // both fleets arrival-paced so the owned-hardware cost - not
+        // a drain-tail artifact - decides the $/Mtok comparison).
+        c.baseQps = 0.35 * hetero_cap /
+            static_cast<double>(kOutputTokens);
+        c.amplitude = 0.4;
+        c.bursty = true;
+        c.slo = std::max(slo_gpu, slo_pnm);
+        specs.push_back(c);
+
+        c.name = "hetero";
+        c.pnm = half;
+        c.gpu = fleet_n - half;
+        specs.push_back(c);
+
+        c.name = "outage";
+        c.outage = true;
+        // Hot enough that every group of pnm0 is mid-iteration when
+        // the scripted outage lands, so the whole node goes degraded
+        // at once and the router's drain path is actually exercised.
+        c.baseQps = 0.75 * hetero_cap /
+            static_cast<double>(kOutputTokens);
+        specs.push_back(c);
+    }
+    {
+        CellSpec c;
+        c.name = "diurnal_static";
+        c.pnm = fleet_n;
+        c.n = n_diurnal;
+        c.baseQps =
+            1.3 * cap_pnm / static_cast<double>(kOutputTokens);
+        c.amplitude = 0.85;
+        c.slo = slo_pnm;
+        specs.push_back(c);
+
+        c.name = "diurnal_auto";
+        c.autoscale = true;
+        c.startActive = 1;
+        specs.push_back(c);
+    }
+    {
+        CellSpec c;
+        c.name = "anchor_analytic";
+        c.pnm = 1;
+        c.smallPnm = true;
+        c.n = anchor_n;
+        c.outTokens = 16; // bounds the distinct engine stage shapes
+        c.baseQps = 0.5 * cap_pnm_small / 16.0;
+        c.slo = 40.0 * 16.0 / cap_pnm_small;
+        specs.push_back(c);
+
+        c.name = "anchor_cycle";
+        c.cycle = true;
+        specs.push_back(c);
+    }
+
+    // Each cell owns its whole fleet, so results are
+    // bit-deterministic regardless of worker count.
+    std::vector<CellResult> cells(specs.size());
+    ThreadPool::parallelFor(specs.size(), threads,
+                            [&](std::size_t i) {
+                                cells[i] = runCell(specs[i], sh);
+                            });
+
+    auto byName = [&](const char *name) -> const CellResult & {
+        for (const auto &c : cells)
+            if (c.spec.name == name)
+                return c;
+        std::fprintf(stderr, "missing cell %s\n", name);
+        std::exit(2);
+    };
+
+    std::printf("\n  %-15s %4s %4s %4s %7s %6s %8s %9s %7s %3s %3s\n",
+                "cell", "done", "fail", "rtry", "sloAtt", "avail",
+                "tok/s", "$/Mtok", "kWh", "up", "dn");
+    for (const auto &c : cells)
+        std::printf("  %-15s %4llu %4llu %4llu %7.4f %6.4f %8.1f "
+                    "%9.2f %7.4f %3llu %3llu\n",
+                    c.spec.name.c_str(),
+                    static_cast<unsigned long long>(c.completed),
+                    static_cast<unsigned long long>(c.failed),
+                    static_cast<unsigned long long>(c.retries),
+                    c.sloAttainment, c.availability,
+                    c.throughputTokensPerSec, c.tco.usdPerMtok,
+                    c.tco.energyKwh,
+                    static_cast<unsigned long long>(c.scaleUps),
+                    static_cast<unsigned long long>(c.scaleDowns));
+
+    const auto &gpu_homog = byName("gpu_homog");
+    const auto &hetero = byName("hetero");
+    const auto &outage = byName("outage");
+    const auto &di_static = byName("diurnal_static");
+    const auto &di_auto = byName("diurnal_auto");
+    const auto &anchor_a = byName("anchor_analytic");
+    const auto &anchor_c = byName("anchor_cycle");
+
+    const double cost_ratio =
+        hetero.tco.usdPerMtok / gpu_homog.tco.usdPerMtok;
+    const double energy_ratio =
+        di_auto.tco.energyKwh / di_static.tco.energyKwh;
+    const double anchor_makespan_err =
+        std::abs(anchor_a.makespan - anchor_c.makespan) /
+        anchor_c.makespan;
+    const double anchor_tput_err =
+        std::abs(anchor_a.throughputTokensPerSec -
+                 anchor_c.throughputTokensPerSec) /
+        anchor_c.throughputTokensPerSec;
+
+    std::printf("\n  hetero vs gpu fleet: %.2f$/Mtok vs %.2f$/Mtok "
+                "(%.0f%%), SLO %.4f vs %.4f\n",
+                hetero.tco.usdPerMtok, gpu_homog.tco.usdPerMtok,
+                100.0 * cost_ratio, hetero.sloAttainment,
+                gpu_homog.sloAttainment);
+    std::printf("  outage availability %.4f (served %.4f, %llu "
+                "degraded skips)\n",
+                outage.availability, outage.servedFraction,
+                static_cast<unsigned long long>(
+                    outage.degradedSkips));
+    std::printf("  autoscale energy %.4f kWh vs static %.4f kWh "
+                "(%.0f%%), %llu up / %llu down\n",
+                di_auto.tco.energyKwh, di_static.tco.energyKwh,
+                100.0 * energy_ratio,
+                static_cast<unsigned long long>(di_auto.scaleUps),
+                static_cast<unsigned long long>(di_auto.scaleDowns));
+    std::printf("  analytic-vs-cycle anchor: makespan err %.4f, "
+                "throughput err %.4f (%llu engine stages)\n",
+                anchor_makespan_err, anchor_tput_err,
+                static_cast<unsigned long long>(
+                    anchor_c.cycleStageRuns));
+
+    // --- deterministic JSON artifact ---
+    std::string json;
+    appendf(json, "{\n  \"benchmark\": \"fleet_campaign\",\n");
+    appendf(json, "  \"seed\": %llu,\n",
+            static_cast<unsigned long long>(seed));
+    appendf(json, "  \"model\": \"%s\",\n", model.name.c_str());
+    appendf(json, "  \"fleet\": %d,\n", fleet_n);
+    appendf(json, "  \"pnm_mp\": %d,\n  \"gpu_mp\": %d,\n", sh.pnmMp,
+            sh.gpuMp);
+    appendf(json, "  \"capacity\": {\n");
+    appendf(json, "    \"pnm_appliance_tokens_per_sec\": %.9g,\n",
+            cap_pnm);
+    appendf(json, "    \"gpu_appliance_tokens_per_sec\": %.9g,\n",
+            cap_gpu);
+    appendf(json, "    \"slo_pnm_seconds\": %.9g,\n", slo_pnm);
+    appendf(json, "    \"slo_gpu_seconds\": %.9g\n  },\n", slo_gpu);
+    appendf(json, "  \"cells\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &c = cells[i];
+        appendf(json,
+                "    {\"name\": \"%s\", \"requests\": %zu, "
+                "\"base_qps\": %.9g, \"amplitude\": %.9g,\n",
+                c.spec.name.c_str(), c.spec.n, c.spec.baseQps,
+                c.spec.amplitude);
+        appendf(json,
+                "     \"makespan_seconds\": %.9g, \"submitted\": "
+                "%llu, \"completed\": %llu, \"failed\": %llu,\n",
+                c.makespan,
+                static_cast<unsigned long long>(c.submitted),
+                static_cast<unsigned long long>(c.completed),
+                static_cast<unsigned long long>(c.failed));
+        appendf(json,
+                "     \"retries\": %llu, \"slo_attainment\": %.9g, "
+                "\"served_fraction\": %.9g, \"availability\": "
+                "%.9g,\n",
+                static_cast<unsigned long long>(c.retries),
+                c.sloAttainment, c.servedFraction, c.availability);
+        appendf(json,
+                "     \"throughput_tokens_per_sec\": %.9g, "
+                "\"ttft_p99_seconds\": %.9g,\n",
+                c.throughputTokensPerSec, c.ttftP99);
+        appendf(json,
+                "     \"affinity_hits\": %llu, \"degraded_skips\": "
+                "%llu, \"scale_ups\": %llu, \"scale_downs\": %llu,\n",
+                static_cast<unsigned long long>(c.affinityHits),
+                static_cast<unsigned long long>(c.degradedSkips),
+                static_cast<unsigned long long>(c.scaleUps),
+                static_cast<unsigned long long>(c.scaleDowns));
+        appendf(json,
+                "     \"cycle_stage_runs\": %llu, "
+                "\"cycle_memo_hits\": %llu,\n",
+                static_cast<unsigned long long>(c.cycleStageRuns),
+                static_cast<unsigned long long>(c.cycleMemoHits));
+        appendf(json,
+                "     \"tco\": {\"total_usd\": %.9g, \"tokens_m\": "
+                "%.9g, \"usd_per_mtok\": %.9g, \"energy_kwh\": "
+                "%.9g, \"co2_kg\": %.9g,\n",
+                c.tco.totalUsd, c.tco.tokensM, c.tco.usdPerMtok,
+                c.tco.energyKwh, c.tco.co2Kg);
+        appendf(json, "      \"classes\": [");
+        for (std::size_t k = 0; k < c.tco.classes.size(); ++k) {
+            const auto &cl = c.tco.classes[k];
+            appendf(json,
+                    "%s{\"name\": \"%s\", \"appliances\": %d, "
+                    "\"amortized_hardware_usd\": %.9g, "
+                    "\"energy_usd\": %.9g, \"usd_per_mtok\": %.9g, "
+                    "\"utilization\": %.9g}",
+                    k > 0 ? ", " : "", cl.name.c_str(),
+                    cl.appliances, cl.amortizedHardwareUsd,
+                    cl.energyUsd, cl.usdPerMtok, cl.utilization);
+        }
+        appendf(json, "]},\n");
+        appendf(json, "     \"backends\": [\n");
+        for (std::size_t k = 0; k < c.backends.size(); ++k) {
+            const auto &b = c.backends[k];
+            appendf(json,
+                    "      {\"name\": \"%s\", \"class\": \"%s\", "
+                    "\"routed\": %llu, \"completed\": %llu, "
+                    "\"tokens\": %llu, \"availability\": %.9g, "
+                    "\"active_seconds\": %.9g, \"idle_seconds\": "
+                    "%.9g}%s\n",
+                    b.name.c_str(), b.cls,
+                    static_cast<unsigned long long>(b.routed),
+                    static_cast<unsigned long long>(b.completed),
+                    static_cast<unsigned long long>(b.tokens),
+                    b.availability, b.activeSeconds, b.idleSeconds,
+                    k + 1 < c.backends.size() ? "," : "");
+        }
+        appendf(json, "     ]}%s\n",
+                i + 1 < cells.size() ? "," : "");
+    }
+    appendf(json, "  ],\n");
+    appendf(json, "  \"summary\": {\n");
+    appendf(json, "    \"gpu_homog_usd_per_mtok\": %.9g,\n",
+            gpu_homog.tco.usdPerMtok);
+    appendf(json, "    \"hetero_usd_per_mtok\": %.9g,\n",
+            hetero.tco.usdPerMtok);
+    appendf(json, "    \"hetero_cost_ratio\": %.9g,\n", cost_ratio);
+    appendf(json, "    \"outage_availability\": %.9g,\n",
+            outage.availability);
+    appendf(json, "    \"autoscale_energy_ratio\": %.9g,\n",
+            energy_ratio);
+    appendf(json, "    \"anchor_rel_makespan_err\": %.9g,\n",
+            anchor_makespan_err);
+    appendf(json, "    \"anchor_rel_throughput_err\": %.9g\n",
+            anchor_tput_err);
+    appendf(json, "  }\n}\n");
+
+    if (!out.empty()) {
+        if (!writeFile(out, json)) {
+            std::fprintf(stderr, "fleet_campaign: cannot write %s\n",
+                         out.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "fleet_campaign: wrote %s\n",
+                     out.c_str());
+    }
+
+    // --- check mode: the CI gate ---
+    if (check) {
+        int failures = 0;
+        auto expect = [&](bool ok, const char *what) {
+            if (!ok) {
+                ++failures;
+                std::fprintf(stderr, "CHECK FAILED: %s\n", what);
+            }
+        };
+
+        for (const auto &c : cells) {
+            expect(c.submitted == c.spec.n,
+                   "every arrival reached a backend (submitted == n)");
+            expect(c.completed + c.failed == c.submitted,
+                   "accounting identity: submitted = completed + "
+                   "failed");
+        }
+
+        expect(hetero.tco.usdPerMtok < gpu_homog.tco.usdPerMtok,
+               "the heterogeneous fleet beats the all-GPU fleet on "
+               "cost per Mtok");
+        expect(hetero.sloAttainment >= gpu_homog.sloAttainment,
+               "... at equal-or-better SLO attainment");
+        expect(gpu_homog.sloAttainment >= 0.95,
+               "the baseline fleet is provisioned sanely (SLO "
+               "attainment >= 0.95)");
+        expect(hetero.completed == gpu_homog.completed,
+               "both TCO cells served the identical stream");
+
+        expect(outage.availability >= avail_floor,
+               "fleet availability holds the floor through the node "
+               "outage");
+        expect(outage.servedFraction >= 0.99,
+               "the drained node's work still completes (served "
+               "fraction >= 0.99)");
+        expect(outage.degradedSkips >= 1,
+               "the router actually routed around the degraded node");
+
+        expect(di_static.scaleUps == 0 && di_static.scaleDowns == 0,
+               "the static fleet never scales");
+        expect(di_auto.scaleUps >= 1,
+               "the autoscaler scaled up at the diurnal peak");
+        expect(di_auto.scaleDowns >= 1,
+               "the autoscaler scaled down at the diurnal trough");
+        expect(di_auto.tco.energyKwh < di_static.tco.energyKwh,
+               "autoscaling cuts fleet energy vs peak provisioning");
+        expect(di_auto.sloAttainment >=
+                   di_static.sloAttainment - slo_tol,
+               "autoscaling holds SLO attainment within slo_tol");
+
+        expect(anchor_c.cycleStageRuns > 0,
+               "the anchor cell actually ran the cycle engine");
+        expect(anchor_c.cycleMemoHits > anchor_c.cycleStageRuns,
+               "the cycle pricer memoized repeated stage shapes");
+        expect(anchor_makespan_err <= anchor_tol,
+               "analytic makespan matches the cycle engine within "
+               "anchor_tol");
+        expect(anchor_tput_err <= anchor_tol,
+               "analytic throughput matches the cycle engine within "
+               "anchor_tol");
+
+        if (failures != 0) {
+            std::fprintf(stderr, "fleet_campaign: %d checks failed\n",
+                         failures);
+            return 1;
+        }
+        std::printf("\nAll fleet checks passed.\n");
+    }
+    return 0;
+}

@@ -10,9 +10,12 @@ namespace core
 TcoReport
 computeTco(const TcoInputs &in)
 {
-    fatal_if(in.devices <= 0, "appliance needs devices");
-    fatal_if(in.throughputTokensPerSec <= 0.0,
-             "throughput must be positive");
+    if (in.devices <= 0)
+        throw TcoError("tco: appliance \"" + in.name +
+                       "\" needs a positive device count");
+    if (!(in.throughputTokensPerSec > 0.0))
+        throw TcoError("tco: appliance \"" + in.name +
+                       "\" needs positive throughput");
 
     constexpr double sec_per_day = 86400.0;
     TcoReport r;
@@ -25,6 +28,73 @@ computeTco(const TcoInputs &in)
     r.tokensPerUsdM = r.tokensPerDayM / r.usdPerDay;
     r.tokensPerKgM = r.tokensPerDayM / r.co2KgPerDay;
     return r;
+}
+
+FleetTcoReport
+computeFleetTco(const std::vector<FleetClassTcoInputs> &classes,
+                double horizon_seconds)
+{
+    if (!(horizon_seconds > 0.0))
+        throw TcoError("fleet tco: horizon must be positive");
+
+    constexpr double sec_per_year = 365.25 * 86400.0;
+    constexpr double j_per_kwh = 3.6e6;
+
+    FleetTcoReport fleet;
+    fleet.horizonSeconds = horizon_seconds;
+    std::uint64_t tokens = 0;
+    for (const auto &c : classes) {
+        if (c.appliances < 0 || c.devicesPerAppliance <= 0)
+            throw TcoError("fleet tco: class \"" + c.name +
+                           "\" has a bad appliance/device count");
+        if (c.devicePriceUsd < 0.0 || c.activePowerW < 0.0 ||
+            c.idlePowerW < 0.0)
+            throw TcoError("fleet tco: class \"" + c.name +
+                           "\" has a negative price or power");
+        if (c.activeSeconds < 0.0 || c.idleSeconds < 0.0)
+            throw TcoError("fleet tco: class \"" + c.name +
+                           "\" has negative appliance-seconds");
+        // A hair of slack for float accumulation in the ledger.
+        if (c.activeSeconds + c.idleSeconds >
+            c.appliances * horizon_seconds * (1.0 + 1e-9))
+            throw TcoError(
+                "fleet tco: class \"" + c.name +
+                "\" books more appliance-seconds than the horizon "
+                "holds");
+        if (!(c.amortizationYears > 0.0))
+            throw TcoError("fleet tco: class \"" + c.name +
+                           "\" needs a positive amortization window");
+
+        FleetClassTcoReport r;
+        r.name = c.name;
+        r.appliances = c.appliances;
+        r.hardwareCostUsd = static_cast<double>(c.appliances) *
+            c.devicesPerAppliance * c.devicePriceUsd;
+        r.amortizedHardwareUsd = r.hardwareCostUsd * horizon_seconds /
+            (c.amortizationYears * sec_per_year);
+        r.energyKwh = (c.activePowerW * c.activeSeconds +
+                       c.idlePowerW * c.idleSeconds) /
+            j_per_kwh;
+        r.energyUsd = r.energyKwh * c.electricityUsdPerKwh;
+        r.co2Kg = r.energyKwh * c.co2KgPerKwh;
+        r.totalUsd = r.amortizedHardwareUsd + r.energyUsd;
+        r.tokensM = static_cast<double>(c.tokensGenerated) / 1e6;
+        r.usdPerMtok = r.tokensM > 0.0 ? r.totalUsd / r.tokensM : 0.0;
+        r.utilization = c.appliances > 0
+            ? c.activeSeconds / (c.appliances * horizon_seconds)
+            : 0.0;
+
+        fleet.totalUsd += r.totalUsd;
+        fleet.energyKwh += r.energyKwh;
+        fleet.co2Kg += r.co2Kg;
+        tokens += c.tokensGenerated;
+        fleet.classes.push_back(std::move(r));
+    }
+    if (tokens == 0)
+        throw TcoError("fleet tco: the fleet generated no tokens");
+    fleet.tokensM = static_cast<double>(tokens) / 1e6;
+    fleet.usdPerMtok = fleet.totalUsd / fleet.tokensM;
+    return fleet;
 }
 
 } // namespace core

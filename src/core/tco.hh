@@ -2,18 +2,36 @@
  * @file
  * Total-cost-of-ownership model (Table III): hardware cost, electricity,
  * CO2 emission, and the derived cost/CO2 efficiencies for a sustained
- * inference service.
+ * inference service — plus the fleet-granularity extension (amortized
+ * hardware + metered energy rolled up into cost per million tokens,
+ * per backend class and fleet-wide) used by the rack-scale simulator.
  */
 
 #ifndef CXLPNM_CORE_TCO_HH
 #define CXLPNM_CORE_TCO_HH
 
+#include <cstdint>
 #include <string>
+#include <vector>
+
+#include "sim/logging.hh"
 
 namespace cxlpnm
 {
 namespace core
 {
+
+/**
+ * A TCO configuration the model cannot price: zero/negative device
+ * counts, throughput, or horizon. Thrown instead of a fatal so drivers
+ * can print a message and exit cleanly (the same contract as
+ * TraceConfigError / CalibrationError).
+ */
+class TcoError : public FatalError
+{
+  public:
+    using FatalError::FatalError;
+};
 
 /** What the TCO model needs about an appliance. */
 struct TcoInputs
@@ -50,8 +68,83 @@ struct TcoReport
     double tokensPerKgM = 0.0;    // M tokens per kg CO2
 };
 
-/** Evaluate the Table III economics for one appliance. */
+/** Evaluate the Table III economics for one appliance.
+ *  @throws TcoError on non-positive devices or throughput. */
 TcoReport computeTco(const TcoInputs &in);
+
+// ---- fleet granularity ----
+
+/**
+ * One backend class's aggregate contribution to the fleet bill: the
+ * appliances provisioned (the hardware you bought), the device-time
+ * they spent serving vs sitting provisioned-but-idle, and the tokens
+ * they produced over the measurement horizon. Produced by the fleet
+ * simulator's autoscaler ledger; priced by computeFleetTco().
+ */
+struct FleetClassTcoInputs
+{
+    std::string name;
+    /** Appliances provisioned (peak, the hardware owned). */
+    int appliances = 0;
+    int devicesPerAppliance = 8;
+    double devicePriceUsd = 0.0;
+    /** Whole-appliance power while actively serving, watts. */
+    double activePowerW = 0.0;
+    /** Whole-appliance power while provisioned but idle, watts. */
+    double idlePowerW = 0.0;
+    /** Appliance-seconds spent active, summed over the class. */
+    double activeSeconds = 0.0;
+    /** Appliance-seconds spent provisioned but idle. */
+    double idleSeconds = 0.0;
+    std::uint64_t tokensGenerated = 0;
+
+    /** Straight-line hardware amortization window. */
+    double amortizationYears = 3.0;
+    double electricityUsdPerKwh = 0.1035;
+    double co2KgPerKwh = 0.05694;
+};
+
+/** Per-class fleet economics over the measurement horizon. */
+struct FleetClassTcoReport
+{
+    std::string name;
+    int appliances = 0;
+    double hardwareCostUsd = 0.0;     // purchase price of the class
+    double amortizedHardwareUsd = 0.0; // ... prorated to the horizon
+    double energyKwh = 0.0;
+    double energyUsd = 0.0;
+    double co2Kg = 0.0;
+    double totalUsd = 0.0;            // amortized hardware + energy
+    double tokensM = 0.0;             // millions of tokens generated
+    /** (amortized hardware + energy) / Mtok; 0 with no tokens. */
+    double usdPerMtok = 0.0;
+    /** activeSeconds / (appliances * horizon). */
+    double utilization = 0.0;
+};
+
+/** The fleet roll-up: per-class rows plus the fleet-wide figure. */
+struct FleetTcoReport
+{
+    std::vector<FleetClassTcoReport> classes;
+    double horizonSeconds = 0.0;
+    double totalUsd = 0.0;
+    double tokensM = 0.0;
+    double usdPerMtok = 0.0;
+    double energyKwh = 0.0;
+    double co2Kg = 0.0;
+};
+
+/**
+ * Price a fleet over @p horizon_seconds: per class, straight-line
+ * hardware amortization prorated to the horizon plus metered
+ * active/idle electricity, divided through the tokens generated.
+ * @throws TcoError on a non-positive horizon, malformed class inputs
+ * (negative counts/prices/seconds, active+idle time exceeding
+ * appliances * horizon), or a fleet that generated no tokens at all.
+ */
+FleetTcoReport
+computeFleetTco(const std::vector<FleetClassTcoInputs> &classes,
+                double horizon_seconds);
 
 } // namespace core
 } // namespace cxlpnm

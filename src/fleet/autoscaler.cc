@@ -1,0 +1,131 @@
+#include "fleet/autoscaler.hh"
+
+namespace cxlpnm
+{
+namespace fleet
+{
+
+void
+AutoscalerConfig::validate() const
+{
+    if (!(highWatermarkSeconds > lowWatermarkSeconds) ||
+        lowWatermarkSeconds < 0.0)
+        throw FleetConfigError(
+            "autoscaler: watermarks must satisfy 0 <= low < high");
+    if (sustainSeconds < 0.0 || cooldownSeconds < 0.0)
+        throw FleetConfigError(
+            "autoscaler: sustain/cooldown windows cannot be negative");
+    if (minActive == 0)
+        throw FleetConfigError(
+            "autoscaler: need at least one Active backend");
+}
+
+Autoscaler::Autoscaler(ClusterRouter &router,
+                       const AutoscalerConfig &cfg)
+    : router_(router), cfg_(cfg)
+{
+    cfg_.validate();
+    active_.assign(router_.backendCount(), 0.0);
+    idle_.assign(router_.backendCount(), 0.0);
+}
+
+void
+Autoscaler::integrate(double now)
+{
+    const double dt = now - lastNow_;
+    if (dt <= 0.0)
+        return;
+    for (std::size_t i = 0; i < router_.backendCount(); ++i) {
+        if (router_.state(i) == BackendState::Offline)
+            idle_[i] += dt;
+        else
+            active_[i] += dt;
+    }
+    lastNow_ = now;
+}
+
+void
+Autoscaler::observe(double now)
+{
+    integrate(now);
+
+    // Retire Draining backends that finished their in-flight work:
+    // powered down to idle from here on.
+    for (std::size_t i = 0; i < router_.backendCount(); ++i)
+        if (router_.state(i) == BackendState::Draining &&
+            router_.backend(i).outstandingTokens() == 0)
+            router_.setState(i, BackendState::Offline);
+
+    if (!cfg_.enabled)
+        return;
+
+    const double backlog = router_.backlogSeconds();
+    const bool cooled = now - lastActionAt_ >= cfg_.cooldownSeconds;
+
+    if (backlog >= cfg_.highWatermarkSeconds) {
+        belowSince_ = -1.0;
+        if (aboveSince_ < 0.0)
+            aboveSince_ = now;
+        if (now - aboveSince_ >= cfg_.sustainSeconds && cooled) {
+            // Power up the lowest-index backend not currently Active.
+            for (std::size_t i = 0; i < router_.backendCount(); ++i) {
+                if (router_.state(i) == BackendState::Active)
+                    continue;
+                router_.setState(i, BackendState::Active);
+                events_.push_back({now, true, i, backlog});
+                lastActionAt_ = now;
+                aboveSince_ = -1.0;
+                break;
+            }
+        }
+    } else if (backlog <= cfg_.lowWatermarkSeconds) {
+        aboveSince_ = -1.0;
+        if (belowSince_ < 0.0)
+            belowSince_ = now;
+        if (now - belowSince_ >= cfg_.sustainSeconds && cooled &&
+            router_.activeCount() > cfg_.minActive) {
+            // Drain the highest-index Active backend.
+            for (std::size_t i = router_.backendCount(); i-- > 0;) {
+                if (router_.state(i) != BackendState::Active)
+                    continue;
+                router_.setState(i, BackendState::Draining);
+                events_.push_back({now, false, i, backlog});
+                lastActionAt_ = now;
+                belowSince_ = -1.0;
+                break;
+            }
+        }
+    } else {
+        aboveSince_ = -1.0;
+        belowSince_ = -1.0;
+    }
+}
+
+void
+Autoscaler::finish(double horizon_seconds)
+{
+    integrate(horizon_seconds);
+}
+
+std::uint64_t
+Autoscaler::scaleUps() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : events_)
+        if (e.up)
+            ++n;
+    return n;
+}
+
+std::uint64_t
+Autoscaler::scaleDowns() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : events_)
+        if (!e.up)
+            ++n;
+    return n;
+}
+
+} // namespace fleet
+} // namespace cxlpnm

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Watermark autoscaling for the fleet simulator: the router's
+ * normalized backlog (drain seconds) is observed at every arrival;
+ * when it holds above the high watermark for a sustained window the
+ * lowest-index non-Active backend is powered back up, when it holds
+ * below the low watermark the highest-index Active backend is marked
+ * Draining (it finishes its in-flight work, then powers down to
+ * idle). A cooldown between actions gives the fleet time to absorb
+ * each step - the hysteresis that keeps the scaler from flapping on
+ * MMPP bursts.
+ *
+ * The autoscaler also keeps the fleet TCO ledger: appliance-seconds
+ * at active power (Active/Draining) vs idle power (Offline), per
+ * backend, integrated over the observation clock. Deterministic: all
+ * decisions are pure functions of arrival-time observations.
+ */
+
+#ifndef CXLPNM_FLEET_AUTOSCALER_HH
+#define CXLPNM_FLEET_AUTOSCALER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/cluster_router.hh"
+
+namespace cxlpnm
+{
+namespace fleet
+{
+
+/** Watermarks, hysteresis, and the provisioning floor. */
+struct AutoscalerConfig
+{
+    /** False: observe() only keeps the TCO ledger (static fleet). */
+    bool enabled = true;
+    /** Backlog drain seconds that trigger a scale-up. */
+    double highWatermarkSeconds = 8.0;
+    /** Backlog drain seconds that allow a scale-down. */
+    double lowWatermarkSeconds = 1.0;
+    /** The watermark must hold this long before acting. */
+    double sustainSeconds = 5.0;
+    /** Minimum gap between consecutive scaling actions. */
+    double cooldownSeconds = 20.0;
+    /** Never scale below this many Active backends. */
+    std::size_t minActive = 1;
+
+    /** @throws FleetConfigError on inverted watermarks or negative
+     *  windows. */
+    void validate() const;
+};
+
+/** One scaling action, for reports and gates. */
+struct AutoscalerEvent
+{
+    double seconds = 0.0;
+    bool up = false;
+    std::size_t backend = 0;
+    /** The backlog figure that triggered the action. */
+    double backlogSeconds = 0.0;
+};
+
+/** Flexes a ClusterRouter's backends on sustained watermarks. */
+class Autoscaler
+{
+  public:
+    /** @throws FleetConfigError via AutoscalerConfig::validate(). */
+    Autoscaler(ClusterRouter &router, const AutoscalerConfig &cfg);
+
+    /**
+     * One observation at @p now (monotone non-decreasing; call per
+     * arrival). Integrates the power ledger, retires Draining
+     * backends that emptied (-> Offline), and applies the watermark
+     * logic.
+     */
+    void observe(double now);
+
+    /** Close the ledger at the measurement horizon. */
+    void finish(double horizon_seconds);
+
+    const std::vector<AutoscalerEvent> &events() const
+    {
+        return events_;
+    }
+    std::uint64_t scaleUps() const;
+    std::uint64_t scaleDowns() const;
+
+    /** Appliance-seconds at active power (Active/Draining). */
+    double activeSeconds(std::size_t i) const
+    {
+        return active_.at(i);
+    }
+    /** Appliance-seconds powered down to idle (Offline). */
+    double idleSeconds(std::size_t i) const { return idle_.at(i); }
+
+  private:
+    /** Advance the ledger to @p now. */
+    void integrate(double now);
+
+    ClusterRouter &router_;
+    AutoscalerConfig cfg_;
+    std::vector<double> active_;
+    std::vector<double> idle_;
+    std::vector<AutoscalerEvent> events_;
+    double lastNow_ = 0.0;
+    double aboveSince_ = -1.0;
+    double belowSince_ = -1.0;
+    double lastActionAt_ = -1.0e300;
+};
+
+} // namespace fleet
+} // namespace cxlpnm
+
+#endif // CXLPNM_FLEET_AUTOSCALER_HH

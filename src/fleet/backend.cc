@@ -1,0 +1,147 @@
+#include "fleet/backend.hh"
+
+#include <vector>
+
+#include "serve/cost_model.hh"
+
+namespace cxlpnm
+{
+namespace fleet
+{
+
+const char *
+backendClassName(BackendClass c)
+{
+    switch (c) {
+      case BackendClass::Pnm:
+        return "pnm";
+      case BackendClass::Gpu:
+        return "gpu";
+    }
+    return "?";
+}
+
+BackendCostSpec
+pnmCostSpec(const core::PnmPlatformConfig &pcfg, int devices)
+{
+    // Table III: 15.4 kWh/day for the 8-device appliance sustains
+    // 641.7 W, i.e. 80.2 W per LPDDR-based device.
+    BackendCostSpec s;
+    s.devices = devices;
+    s.devicePriceUsd = pcfg.priceUsd;
+    s.activePowerW = 80.2 * devices;
+    s.idlePowerW = 15.0 * devices;
+    return s;
+}
+
+BackendCostSpec
+gpuCostSpec(const gpu::GpuSpec &spec, int devices)
+{
+    // Table III: 43.2 kWh/day for the 8-GPU DGX sustains 1800 W,
+    // i.e. 225 W per GPU under the generation workload.
+    BackendCostSpec s;
+    s.devices = devices;
+    s.devicePriceUsd = spec.priceUsd;
+    s.activePowerW = 225.0 * devices;
+    s.idlePowerW = spec.idlePowerW * devices;
+    return s;
+}
+
+void
+BackendConfig::validate() const
+{
+    if (name.empty())
+        throw FleetConfigError("backend needs a name");
+    if (plan.modelParallel < 1 || plan.dataParallel < 1)
+        throw FleetConfigError("backend \"" + name +
+                               "\" has a bad parallelism plan");
+    if (capacityContextTokens == 0)
+        throw FleetConfigError(
+            "backend \"" + name +
+            "\" needs a positive capacity context");
+}
+
+DispatcherBackend::DispatcherBackend(
+    BackendClass cls, const llm::ModelConfig &model,
+    const serve::BatchCostModel &cost,
+    std::uint64_t kv_capacity_bytes, const BackendConfig &cfg,
+    const BackendCostSpec &cost_spec)
+    : name_(cfg.name), cls_(cls), costSpec_(cost_spec)
+{
+    cfg.validate();
+    metrics_ = std::make_unique<serve::ServeMetrics>(
+        nullptr, cfg.name, cfg.metrics);
+    app_ = std::make_unique<serve::ApplianceDispatcher>(
+        model, cost, cfg.plan, kv_capacity_bytes, cfg.sched,
+        *metrics_);
+
+    // Saturation estimate: every data-parallel group decodes a full
+    // batch at the typical context, one token per member per
+    // iteration.
+    const std::vector<std::uint64_t> contexts(
+        cfg.sched.maxBatch, cfg.capacityContextTokens);
+    const double iter = cost.decodeIterationSeconds(contexts);
+    if (!(iter > 0.0))
+        throw FleetConfigError("backend \"" + cfg.name +
+                               "\" has a degenerate cost model");
+    capacity_ = cfg.plan.dataParallel *
+        static_cast<double>(cfg.sched.maxBatch) / iter;
+}
+
+std::uint64_t
+DispatcherBackend::outstandingTokens() const
+{
+    std::uint64_t t = 0;
+    for (std::size_t g = 0; g < app_->groupCount(); ++g)
+        t += app_->group(g).outstandingTokens();
+    return t;
+}
+
+std::size_t
+DispatcherBackend::queueDepth() const
+{
+    std::size_t d = 0;
+    for (std::size_t g = 0; g < app_->groupCount(); ++g)
+        d += app_->group(g).queueDepth();
+    return d;
+}
+
+bool
+DispatcherBackend::healthyAt(double t) const
+{
+    for (std::size_t g = 0; g < app_->groupCount(); ++g)
+        if (!app_->group(g).degradedAt(t))
+            return true;
+    return false;
+}
+
+PnmBackend::PnmBackend(const llm::ModelConfig &model,
+                       const core::PnmPlatformConfig &pcfg,
+                       const serve::BatchCostModel &cost,
+                       const BackendConfig &cfg)
+    : DispatcherBackend(
+          BackendClass::Pnm, model, cost,
+          serve::pnmKvCapacityBytes(model, pcfg,
+                                    cfg.plan.modelParallel),
+          cfg,
+          pnmCostSpec(pcfg,
+                      cfg.plan.modelParallel * cfg.plan.dataParallel))
+{
+}
+
+GpuBackend::GpuBackend(const llm::ModelConfig &model,
+                       const gpu::GpuSpec &spec,
+                       const serve::BatchCostModel &cost,
+                       const BackendConfig &cfg)
+    : DispatcherBackend(
+          BackendClass::Gpu, model, cost,
+          serve::gpuKvCapacityBytes(model, spec,
+                                    cfg.plan.modelParallel),
+          cfg,
+          gpuCostSpec(spec,
+                      cfg.plan.modelParallel * cfg.plan.dataParallel))
+{
+}
+
+} // namespace fleet
+} // namespace cxlpnm

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * The common Backend contract of the rack-scale fleet simulator: one
+ * serving appliance - a CXL-PNM box or a GPU (DGX-style) box - behind
+ * a uniform submit / capacity / health / cost surface, so the cluster
+ * router, the autoscaler, and the fleet TCO roll-up never care which
+ * silicon is underneath.
+ *
+ * Both concrete backends wrap the same ApplianceDispatcher (the
+ * serving layer has priced GPUs through calibrateGpuCostModel since
+ * the platform=gpu demo path); what the Backend extraction adds is the
+ * uniform capacity estimate, the health probe the router drains on,
+ * and the cost attributes (device price, active/idle power) the fleet
+ * TCO aggregates. This is the seam the ROADMAP calls out for hybrid
+ * prefill-on-GPU / decode-on-PNM experiments: a router sees only
+ * Backend, so phase-specialised backends slot in without touching it.
+ */
+
+#ifndef CXLPNM_FLEET_BACKEND_HH
+#define CXLPNM_FLEET_BACKEND_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/platform.hh"
+#include "gpu/gpu_spec.hh"
+#include "serve/dispatcher.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace fleet
+{
+
+/**
+ * A fleet configuration that cannot be simulated: malformed backend,
+ * router, traffic, or autoscaler parameters. Thrown instead of a
+ * fatal so drivers can print a message and exit cleanly (the same
+ * contract as TraceConfigError / CalibrationError / TcoError).
+ */
+class FleetConfigError : public FatalError
+{
+  public:
+    using FatalError::FatalError;
+};
+
+/** Which silicon an appliance is built from (the TCO class key). */
+enum class BackendClass
+{
+    Pnm,
+    Gpu,
+};
+
+const char *backendClassName(BackendClass c);
+
+/** Cost attributes of one appliance, fed to the fleet TCO roll-up. */
+struct BackendCostSpec
+{
+    int devices = 8;
+    double devicePriceUsd = 0.0;
+    /** Whole-appliance sustained power while serving, watts. */
+    double activePowerW = 0.0;
+    /** Whole-appliance power while provisioned but idle, watts. */
+    double idlePowerW = 0.0;
+};
+
+/**
+ * Table III-anchored cost spec of a CXL-PNM appliance: device price
+ * from the platform config ($7000), 80.2 W/device sustained (the
+ * paper's 15.4 kWh/day for 8 devices), 15 W/device idle (LPDDR
+ * retention + controller, a modeling choice - no paper anchor).
+ */
+BackendCostSpec pnmCostSpec(const core::PnmPlatformConfig &pcfg,
+                            int devices);
+
+/**
+ * Table III-anchored cost spec of a GPU appliance: device price and
+ * idle power from the GpuSpec ($10000 / 90 W for the A100-40G),
+ * 225 W/device sustained (the paper's 43.2 kWh/day for 8 GPUs).
+ */
+BackendCostSpec gpuCostSpec(const gpu::GpuSpec &spec, int devices);
+
+/** Construction-time knobs shared by every backend kind. */
+struct BackendConfig
+{
+    std::string name;
+    /** MP x DP device layout inside the appliance. */
+    core::ParallelismPlan plan{1, 2};
+    serve::SchedulerConfig sched;
+    serve::MetricsConfig metrics;
+    /**
+     * Attended context the capacity estimate is quoted at (a typical
+     * mid-decode request); bounds nothing, only normalizes routing.
+     */
+    std::uint64_t capacityContextTokens = 128;
+
+    /** @throws FleetConfigError on a malformed plan or context. */
+    void validate() const;
+};
+
+/** One appliance behind the uniform fleet surface. */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    virtual const std::string &name() const = 0;
+    virtual BackendClass backendClass() const = 0;
+
+    /** Device price and active/idle power, for the fleet TCO. */
+    virtual const BackendCostSpec &costSpec() const = 0;
+
+    /**
+     * Analytic saturation estimate, tokens/s: every device group
+     * decoding a full batch at the configured typical context. The
+     * router normalizes outstanding work against this so a 2-group
+     * PNM box and an 8-GPU box compare on backlog drain time, not
+     * raw token counts.
+     */
+    virtual double capacityTokensPerSec() const = 0;
+
+    // --- serving surface ---
+    virtual void submit(const serve::ServeRequest &req) = 0;
+    /** Advance the appliance's clock with no new work. */
+    virtual void advanceTo(double t) = 0;
+    virtual void drain() = 0;
+    virtual double clockSeconds() const = 0;
+
+    // --- load probes ---
+    /** Tokens of work not yet computed, over all device groups. */
+    virtual std::uint64_t outstandingTokens() const = 0;
+    /** Queued-but-not-running requests, over all device groups. */
+    virtual std::size_t queueDepth() const = 0;
+    /** Backlog drain time at saturation, seconds (the router's and
+     *  autoscaler's normalized load figure). */
+    double
+    backlogSeconds() const
+    {
+        return static_cast<double>(outstandingTokens()) /
+            capacityTokensPerSec();
+    }
+
+    // --- health ---
+    /** False while every device group sits in a post-failure
+     *  cooldown window (the PR 3 fault/RAS signal) at @p t. */
+    virtual bool healthyAt(double t) const = 0;
+
+    // --- results ---
+    virtual std::uint64_t tokensGenerated() const = 0;
+    virtual serve::ServeReport report(double makespan) const = 0;
+};
+
+/**
+ * The shared dispatcher-backed implementation: owns the appliance's
+ * metrics collector and ApplianceDispatcher, and derives the capacity
+ * estimate from the (already calibrated) batch cost model. Concrete
+ * backends differ only in construction.
+ */
+class DispatcherBackend : public Backend
+{
+  public:
+    DispatcherBackend(BackendClass cls, const llm::ModelConfig &model,
+                      const serve::BatchCostModel &cost,
+                      std::uint64_t kv_capacity_bytes,
+                      const BackendConfig &cfg,
+                      const BackendCostSpec &cost_spec);
+
+    const std::string &name() const override { return name_; }
+    BackendClass backendClass() const override { return cls_; }
+    const BackendCostSpec &costSpec() const override
+    {
+        return costSpec_;
+    }
+    double capacityTokensPerSec() const override { return capacity_; }
+
+    void submit(const serve::ServeRequest &req) override
+    {
+        app_->submit(req);
+    }
+    void advanceTo(double t) override { app_->advanceTo(t); }
+    void drain() override { app_->drain(); }
+    double clockSeconds() const override
+    {
+        return app_->clockSeconds();
+    }
+
+    std::uint64_t outstandingTokens() const override;
+    std::size_t queueDepth() const override;
+    bool healthyAt(double t) const override;
+
+    std::uint64_t tokensGenerated() const override
+    {
+        return metrics_->tokensGenerated();
+    }
+    serve::ServeReport report(double makespan) const override
+    {
+        return metrics_->report(makespan);
+    }
+
+    /** The wrapped appliance, for fault attachment / pricer setup /
+     *  per-group inspection in drivers and tests. */
+    serve::ApplianceDispatcher &dispatcher() { return *app_; }
+    const serve::ApplianceDispatcher &dispatcher() const
+    {
+        return *app_;
+    }
+    serve::ServeMetrics &metrics() { return *metrics_; }
+
+  private:
+    std::string name_;
+    BackendClass cls_;
+    BackendCostSpec costSpec_;
+    double capacity_ = 0.0;
+    /** unique_ptrs: ServeMetrics and the dispatcher hold references
+     *  into each other, so the backend must be address-stable. */
+    std::unique_ptr<serve::ServeMetrics> metrics_;
+    std::unique_ptr<serve::ApplianceDispatcher> app_;
+};
+
+/**
+ * A CXL-PNM appliance: KV capacity from the LPDDR device config,
+ * Table III cost spec, the given (PNM-calibrated) cost model.
+ */
+class PnmBackend : public DispatcherBackend
+{
+  public:
+    PnmBackend(const llm::ModelConfig &model,
+               const core::PnmPlatformConfig &pcfg,
+               const serve::BatchCostModel &cost,
+               const BackendConfig &cfg);
+};
+
+/**
+ * A GPU appliance: KV capacity from HBM minus the weight shard,
+ * Table III cost spec, the given (roofline-calibrated) cost model.
+ */
+class GpuBackend : public DispatcherBackend
+{
+  public:
+    GpuBackend(const llm::ModelConfig &model, const gpu::GpuSpec &spec,
+               const serve::BatchCostModel &cost,
+               const BackendConfig &cfg);
+};
+
+} // namespace fleet
+} // namespace cxlpnm
+
+#endif // CXLPNM_FLEET_BACKEND_HH

@@ -1,0 +1,210 @@
+#include "fleet/cluster_router.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace cxlpnm
+{
+namespace fleet
+{
+
+const char *
+backendStateName(BackendState s)
+{
+    switch (s) {
+      case BackendState::Active:
+        return "active";
+      case BackendState::Draining:
+        return "draining";
+      case BackendState::Offline:
+        return "offline";
+    }
+    return "?";
+}
+
+void
+RouterConfig::validate() const
+{
+    if (affinitySlackSeconds < 0.0)
+        throw FleetConfigError(
+            "router: affinity slack cannot be negative");
+}
+
+ClusterRouter::ClusterRouter(std::vector<Backend *> backends,
+                             const RouterConfig &cfg)
+    : backends_(std::move(backends)), cfg_(cfg)
+{
+    cfg_.validate();
+    if (backends_.empty())
+        throw FleetConfigError("router: the fleet is empty");
+    for (const Backend *b : backends_)
+        if (b == nullptr)
+            throw FleetConfigError("router: null backend");
+    states_.assign(backends_.size(), BackendState::Active);
+    routed_.assign(backends_.size(), 0);
+}
+
+std::size_t
+ClusterRouter::activeCount() const
+{
+    std::size_t n = 0;
+    for (const BackendState s : states_)
+        if (s == BackendState::Active)
+            ++n;
+    return n;
+}
+
+double
+ClusterRouter::activeCapacityTokensPerSec() const
+{
+    double c = 0.0;
+    for (std::size_t i = 0; i < backends_.size(); ++i)
+        if (states_[i] == BackendState::Active)
+            c += backends_[i]->capacityTokensPerSec();
+    return c;
+}
+
+double
+ClusterRouter::backlogSeconds() const
+{
+    const double cap = activeCapacityTokensPerSec();
+    if (!(cap > 0.0))
+        return 0.0;
+    std::uint64_t tokens = 0;
+    for (std::size_t i = 0; i < backends_.size(); ++i)
+        if (states_[i] == BackendState::Active)
+            tokens += backends_[i]->outstandingTokens();
+    return static_cast<double>(tokens) / cap;
+}
+
+void
+ClusterRouter::submit(const serve::ServeRequest &req)
+{
+    fatal_if(req.arrivalSeconds < lastArrival_,
+             "router: arrivals must be submitted in order");
+    lastArrival_ = req.arrivalSeconds;
+    if (pendingN_ > 0 && req.arrivalSeconds > pendingTime_)
+        flush(pendingTime_);
+    pendingTime_ = req.arrivalSeconds;
+    pending_[req.tenant].push_back(req);
+    ++pendingN_;
+}
+
+void
+ClusterRouter::flush(double now)
+{
+    if (pendingN_ == 0)
+        return;
+    // Bring every provisioned backend to the decision instant so the
+    // load probes compare current queues, not stale clocks. Offline
+    // boxes are powered down; their clocks stay where they stopped.
+    for (std::size_t i = 0; i < backends_.size(); ++i)
+        if (states_[i] != BackendState::Offline)
+            backends_[i]->advanceTo(now);
+
+    std::vector<std::uint64_t> tenants;
+    tenants.reserve(pending_.size());
+    for (const auto &kv : pending_)
+        tenants.push_back(kv.first);
+
+    // One request per tenant per pass, starting the pass at a
+    // rotating cursor: a burst from one tenant cannot starve the
+    // others, and no tenant is permanently first in line.
+    const std::size_t start =
+        tenants.empty() ? 0 : rrCursor_ % tenants.size();
+    while (pendingN_ > 0) {
+        for (std::size_t k = 0; k < tenants.size(); ++k) {
+            auto &q = pending_[tenants[(start + k) % tenants.size()]];
+            if (q.empty())
+                continue;
+            route(q.front(), now);
+            q.pop_front();
+            --pendingN_;
+        }
+    }
+    pending_.clear();
+    ++rrCursor_;
+}
+
+void
+ClusterRouter::route(const serve::ServeRequest &req, double now)
+{
+    // Candidate tiers: healthy Active backends first; if every Active
+    // backend is degraded, load still picks among them (the fleet
+    // never deadlocks); only with nothing Active at all does work
+    // fall onto a Draining backend.
+    std::vector<std::size_t> candidates;
+    bool sawDegradedActive = false;
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+        if (states_[i] != BackendState::Active)
+            continue;
+        if (backends_[i]->healthyAt(now))
+            candidates.push_back(i);
+        else
+            sawDegradedActive = true;
+    }
+    if (sawDegradedActive && !candidates.empty())
+        ++degradedSkips_;
+    if (candidates.empty()) {
+        for (std::size_t i = 0; i < backends_.size(); ++i)
+            if (states_[i] == BackendState::Active)
+                candidates.push_back(i);
+    }
+    if (candidates.empty()) {
+        for (std::size_t i = 0; i < backends_.size(); ++i)
+            if (states_[i] == BackendState::Draining)
+                candidates.push_back(i);
+    }
+    panic_if(candidates.empty(),
+             "router: no backend left to route to");
+
+    // Least normalized backlog (drain seconds) across the candidates.
+    std::size_t best = candidates.front();
+    double bestLoad = std::numeric_limits<double>::infinity();
+    for (const std::size_t i : candidates) {
+        const double load = backends_[i]->backlogSeconds();
+        if (load < bestLoad) {
+            bestLoad = load;
+            best = i;
+        }
+    }
+
+    // Affinity: stick with the tenant's previous backend while its
+    // backlog stays within the slack of the least-loaded choice.
+    std::size_t chosen = best;
+    if (cfg_.affinity) {
+        const auto it = affinity_.find(req.tenant);
+        if (it != affinity_.end() && it->second != best &&
+            std::find(candidates.begin(), candidates.end(),
+                      it->second) != candidates.end() &&
+            backends_[it->second]->backlogSeconds() <=
+                bestLoad + cfg_.affinitySlackSeconds) {
+            chosen = it->second;
+            ++affinityHits_;
+        }
+        affinity_[req.tenant] = chosen;
+    }
+
+    ++routed_[chosen];
+    backends_[chosen]->submit(req);
+}
+
+void
+ClusterRouter::drain()
+{
+    flush(pendingTime_);
+    for (Backend *b : backends_)
+        b->drain();
+}
+
+double
+ClusterRouter::clockSeconds() const
+{
+    double t = 0.0;
+    for (const Backend *b : backends_)
+        t = std::max(t, b->clockSeconds());
+    return t;
+}
+
+} // namespace fleet
+} // namespace cxlpnm

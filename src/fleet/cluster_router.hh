@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Cluster-level request routing across N heterogeneous Backends: one
+ * per-tenant FIFO staging tier serviced round-robin (so same-instant
+ * bursts cannot let one tenant monopolise the fleet), least-loaded
+ * routing on *normalized* backlog (outstanding tokens over the
+ * backend's capacity estimate, i.e. drain seconds - the figure that
+ * makes a 2-group PNM box and an 8-GPU box comparable), tenant
+ * affinity with a bounded-slack escape hatch, and degraded-node
+ * drain: a backend whose device groups all sit in post-failure
+ * cooldown (the PR 3 fault/RAS signal), or one an operator / the
+ * autoscaler marked Draining, receives no new work while it finishes
+ * what it holds.
+ */
+
+#ifndef CXLPNM_FLEET_CLUSTER_ROUTER_HH
+#define CXLPNM_FLEET_CLUSTER_ROUTER_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "fleet/backend.hh"
+
+namespace cxlpnm
+{
+namespace fleet
+{
+
+/** Provisioning state of one backend, owned by the router. */
+enum class BackendState
+{
+    Active,   // takes new work
+    Draining, // finishes in-flight work, takes nothing new
+    Offline,  // powered down to idle (autoscaled away)
+};
+
+const char *backendStateName(BackendState s);
+
+/** Routing policy knobs. */
+struct RouterConfig
+{
+    /**
+     * Tenant affinity: keep routing a tenant to its previous backend
+     * (KV prefix locality at fleet granularity) as long as that
+     * backend's backlog is within affinitySlackSeconds of the
+     * least-loaded candidate; beyond the slack, load wins.
+     */
+    bool affinity = true;
+    double affinitySlackSeconds = 2.0;
+
+    /** @throws FleetConfigError on a negative slack. */
+    void validate() const;
+};
+
+/** Routes one fleet-wide arrival stream across backends. */
+class ClusterRouter
+{
+  public:
+    /** Non-owning; every backend must outlive the router.
+     *  @throws FleetConfigError on an empty fleet or bad config. */
+    ClusterRouter(std::vector<Backend *> backends,
+                  const RouterConfig &cfg = {});
+
+    std::size_t backendCount() const { return backends_.size(); }
+    Backend &backend(std::size_t i) { return *backends_.at(i); }
+    const Backend &backend(std::size_t i) const
+    {
+        return *backends_.at(i);
+    }
+
+    BackendState state(std::size_t i) const { return states_.at(i); }
+    void setState(std::size_t i, BackendState s)
+    {
+        states_.at(i) = s;
+    }
+
+    std::size_t activeCount() const;
+    /** Saturation estimate of the Active backends, tokens/s. */
+    double activeCapacityTokensPerSec() const;
+
+    /**
+     * Stage an arrival in its tenant's queue. Arrivals must come in
+     * arrival-time order; a later arrival instant flushes everything
+     * staged at earlier instants through routing first.
+     */
+    void submit(const serve::ServeRequest &req);
+
+    /** Flush the staging tier and drain every backend. */
+    void drain();
+
+    /** The fleet finishes when its slowest backend does. */
+    double clockSeconds() const;
+
+    /**
+     * Fleet-normalized load: outstanding tokens on Active backends
+     * over their summed capacity - the backlog drain time the
+     * autoscaler holds against its watermarks.
+     */
+    double backlogSeconds() const;
+
+    /** Requests routed to backend @p i so far. */
+    std::uint64_t routedTo(std::size_t i) const
+    {
+        return routed_.at(i);
+    }
+    /** Routes decided by tenant affinity rather than load. */
+    std::uint64_t affinityHits() const { return affinityHits_; }
+    /** Routes that skipped an unhealthy (degraded) Active backend. */
+    std::uint64_t degradedSkips() const { return degradedSkips_; }
+
+  private:
+    /** Advance non-offline backends to @p now and route everything
+     *  staged, one request per tenant per round-robin pass. */
+    void flush(double now);
+
+    /** Route one request at @p now (the decision proper). */
+    void route(const serve::ServeRequest &req, double now);
+
+    std::vector<Backend *> backends_;
+    RouterConfig cfg_;
+    std::vector<BackendState> states_;
+    std::vector<std::uint64_t> routed_;
+    std::uint64_t affinityHits_ = 0;
+    std::uint64_t degradedSkips_ = 0;
+
+    /** Tenant -> backend of the latest route (ordered map so flush
+     *  order never depends on hash layout). */
+    std::map<std::uint64_t, std::size_t> affinity_;
+
+    /** Per-tenant staging queues plus the round-robin cursor. */
+    std::map<std::uint64_t, std::deque<serve::ServeRequest>> pending_;
+    std::size_t pendingN_ = 0;
+    std::size_t rrCursor_ = 0;
+    double pendingTime_ = 0.0;
+    double lastArrival_ = 0.0;
+};
+
+} // namespace fleet
+} // namespace cxlpnm
+
+#endif // CXLPNM_FLEET_CLUSTER_ROUTER_HH

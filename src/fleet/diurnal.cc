@@ -1,0 +1,151 @@
+#include "fleet/diurnal.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace fleet
+{
+
+double
+DiurnalConfig::rateAt(double t) const
+{
+    if (!segments.empty()) {
+        double r = segments.front().requestsPerSec;
+        for (const auto &s : segments) {
+            if (s.startSeconds > t)
+                break;
+            r = s.requestsPerSec;
+        }
+        return r;
+    }
+    return baseRequestsPerSec *
+        (1.0 +
+         amplitude *
+             std::sin(2.0 * M_PI * t / periodSeconds + phaseRadians));
+}
+
+double
+DiurnalConfig::peakRate() const
+{
+    if (!segments.empty()) {
+        double r = 0.0;
+        for (const auto &s : segments)
+            r = std::max(r, s.requestsPerSec);
+        return r;
+    }
+    return baseRequestsPerSec * (1.0 + amplitude);
+}
+
+void
+DiurnalConfig::validate() const
+{
+    if (numRequests == 0)
+        throw serve::TraceConfigError(
+            "diurnal trace: numRequests must be positive");
+    if (segments.empty()) {
+        if (!(baseRequestsPerSec > 0.0))
+            throw serve::TraceConfigError(
+                "diurnal trace: base rate must be positive");
+        if (amplitude < 0.0 || amplitude >= 1.0)
+            throw serve::TraceConfigError(
+                "diurnal trace: amplitude must lie in [0, 1) so the "
+                "trough rate stays positive");
+        if (!(periodSeconds > 0.0))
+            throw serve::TraceConfigError(
+                "diurnal trace: period must be positive");
+    } else {
+        if (segments.front().startSeconds != 0.0)
+            throw serve::TraceConfigError(
+                "diurnal trace: the first segment must start at 0");
+        for (std::size_t i = 0; i < segments.size(); ++i) {
+            if (!(segments[i].requestsPerSec > 0.0))
+                throw serve::TraceConfigError(
+                    "diurnal trace: segment rates must be positive");
+            if (i > 0 && segments[i].startSeconds <=
+                             segments[i - 1].startSeconds)
+                throw serve::TraceConfigError(
+                    "diurnal trace: segment starts must strictly "
+                    "increase");
+        }
+    }
+    if (bursty) {
+        if (!(burstOnSeconds > 0.0) || !(burstOffSeconds > 0.0))
+            throw serve::TraceConfigError(
+                "diurnal trace: burst dwell times must be positive");
+        if (burstOffRateFraction < 0.0 || burstOffRateFraction > 1.0)
+            throw serve::TraceConfigError(
+                "diurnal trace: burst OFF rate fraction must lie in "
+                "[0, 1]");
+    }
+    if (numTenants == 0)
+        throw serve::TraceConfigError(
+            "diurnal trace: need at least one tenant");
+    if (ttftDeadlineSeconds < 0.0)
+        throw serve::TraceConfigError(
+            "diurnal trace: deadline cannot be negative");
+}
+
+DiurnalGenerator::DiurnalGenerator(const DiurnalConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+    cfg_.validate();
+}
+
+void
+DiurnalGenerator::advancePhase()
+{
+    phaseOn_ = !phaseOn_;
+    const double mean =
+        phaseOn_ ? cfg_.burstOnSeconds : cfg_.burstOffSeconds;
+    phaseEndClock_ = phaseEndClock_ -
+        mean * std::log(1.0 - rng_.nextDouble());
+}
+
+serve::ServeRequest
+DiurnalGenerator::next()
+{
+    fatal_if(exhausted(), "diurnal generator exhausted");
+
+    // Lewis-Shedler thinning: candidate points at the peak rate,
+    // accepted with probability (schedule x burst phase) / peak.
+    const double peak = cfg_.peakRate();
+    for (;;) {
+        clock_ -= std::log(1.0 - rng_.nextDouble()) / peak;
+        if (cfg_.bursty)
+            while (clock_ >= phaseEndClock_)
+                advancePhase();
+        double rate = cfg_.rateAt(clock_);
+        if (cfg_.bursty && !phaseOn_)
+            rate *= cfg_.burstOffRateFraction;
+        if (rng_.nextDouble() * peak < rate)
+            break;
+    }
+
+    serve::ServeRequest req;
+    req.id = produced_;
+    req.arrivalSeconds = clock_;
+    req.inputTokens = cfg_.input.draw(rng_);
+    req.outputTokens = cfg_.output.draw(rng_);
+    if (cfg_.numTenants > 1)
+        req.tenant = rng_.nextBelow(cfg_.numTenants);
+    req.deadlineSeconds = cfg_.ttftDeadlineSeconds;
+    ++produced_;
+    return req;
+}
+
+std::vector<serve::ServeRequest>
+DiurnalGenerator::generate(const DiurnalConfig &cfg)
+{
+    DiurnalGenerator gen(cfg);
+    std::vector<serve::ServeRequest> out;
+    out.reserve(cfg.numRequests);
+    while (!gen.exhausted())
+        out.push_back(gen.next());
+    return out;
+}
+
+} // namespace fleet
+} // namespace cxlpnm

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Diurnal traffic for the fleet simulator: a non-homogeneous Poisson
+ * arrival stream whose rate follows a day/night schedule (sinusoidal
+ * or piecewise-constant), with the serving layer's MMPP burst model
+ * optionally modulating on top - the load shape autoscaling exists
+ * for. Layered on the RequestGenerator building blocks (SplitMix64,
+ * LengthDistribution, tenant/deadline stamping) but with its own RNG
+ * stream, so every pre-existing RequestGenerator trace stays
+ * bit-identical. Fully deterministic under a seed: arrivals come from
+ * Lewis-Shedler thinning against the schedule's peak rate, a single
+ * RNG stream, no wall clock.
+ */
+
+#ifndef CXLPNM_FLEET_DIURNAL_HH
+#define CXLPNM_FLEET_DIURNAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request_generator.hh"
+
+namespace cxlpnm
+{
+namespace fleet
+{
+
+/** One piecewise-constant schedule step (rate from its start on). */
+struct DiurnalSegment
+{
+    double startSeconds = 0.0;
+    double requestsPerSec = 0.0;
+};
+
+/** A day/night request schedule plus the per-request draws. */
+struct DiurnalConfig
+{
+    /**
+     * Sinusoidal schedule (the default):
+     *   r(t) = base * (1 + amplitude * sin(2*pi*t/period + phase)),
+     * amplitude in [0, 1) so the trough rate stays positive.
+     */
+    double baseRequestsPerSec = 1.0;
+    double amplitude = 0.5;
+    double periodSeconds = 86400.0;
+    double phaseRadians = 0.0;
+
+    /**
+     * Piecewise-constant schedule: when non-empty it replaces the
+     * sinusoid. Segments must start at 0, strictly increase, and
+     * carry positive rates; the last one extends forever.
+     */
+    std::vector<DiurnalSegment> segments;
+
+    /**
+     * MMPP burst modulation on top of the schedule (the serving
+     * layer's two-phase model): exponential ON/OFF dwells; the
+     * schedule rate applies while ON and is scaled by
+     * burstOffRateFraction while OFF. Off by default.
+     */
+    bool bursty = false;
+    double burstOnSeconds = 1.0;
+    double burstOffSeconds = 1.0;
+    double burstOffRateFraction = 0.0;
+
+    std::size_t numRequests = 128;
+    std::uint64_t seed = 1;
+    serve::LengthDistribution input =
+        serve::LengthDistribution::fixed(64);
+    serve::LengthDistribution output =
+        serve::LengthDistribution::fixed(256);
+    /** Tenant ids drawn uniformly from [0, numTenants). */
+    std::uint64_t numTenants = 1;
+    /** TTFT deadline stamped on every request (0 = none). */
+    double ttftDeadlineSeconds = 0.0;
+
+    /** Schedule rate at @p t (bursts excluded). */
+    double rateAt(double t) const;
+    /** Peak schedule rate (the thinning bound). */
+    double peakRate() const;
+
+    /** @throws serve::TraceConfigError on a schedule no generator
+     *  could draw from (bad amplitude/period/segments/counts). */
+    void validate() const;
+};
+
+/**
+ * Streams one diurnal trace; arrival times are monotonically
+ * non-decreasing and the whole stream is a pure function of the
+ * config.
+ */
+class DiurnalGenerator
+{
+  public:
+    /** Validates @p cfg (throws serve::TraceConfigError). */
+    explicit DiurnalGenerator(const DiurnalConfig &cfg);
+
+    bool exhausted() const { return produced_ >= cfg_.numRequests; }
+
+    /** Next request; fatal when exhausted. */
+    serve::ServeRequest next();
+
+    /** Materialise the whole trace (convenience for benches/tests). */
+    static std::vector<serve::ServeRequest>
+    generate(const DiurnalConfig &cfg);
+
+  private:
+    /** Flip the MMPP phase and draw the new dwell time. */
+    void advancePhase();
+
+    DiurnalConfig cfg_;
+    SplitMix64 rng_;
+    std::size_t produced_ = 0;
+    double clock_ = 0.0;
+    bool phaseOn_ = true;
+    double phaseEndClock_ = 0.0;
+};
+
+} // namespace fleet
+} // namespace cxlpnm
+
+#endif // CXLPNM_FLEET_DIURNAL_HH

@@ -243,6 +243,15 @@ ApplianceDispatcher::pumpHandoffs()
 }
 
 void
+ApplianceDispatcher::advanceTo(double t)
+{
+    pumpHandoffs();
+    for (auto &g : groups_)
+        g->advanceTo(t);
+    noteBreakerTrips();
+}
+
+void
 ApplianceDispatcher::drain()
 {
     // Draining a prefill group surfaces fresh handoffs, and pumping

@@ -94,6 +94,14 @@ class ApplianceDispatcher
      *  their shared blocks; otherwise routing is pure least-load. */
     void submit(const ServeRequest &req);
 
+    /**
+     * Advance every group to @p t without submitting anything (the
+     * cluster router's way of keeping idle appliances' clocks - and
+     * hence their load probes - comparable across a fleet). Pumps
+     * pending disaggregation handoffs first, exactly as submit does.
+     */
+    void advanceTo(double t);
+
     /** Drain every group. */
     void drain();
 

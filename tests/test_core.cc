@@ -274,8 +274,16 @@ TEST(TcoTest, RejectsBadInputs)
     setLogLevel(LogLevel::Silent);
     TcoInputs in;
     in.devices = 0;
-    EXPECT_THROW(computeTco(in), FatalError);
+    EXPECT_THROW(computeTco(in), TcoError);
+    in.devices = -4;
+    EXPECT_THROW(computeTco(in), TcoError);
     in.devices = 8;
+    in.throughputTokensPerSec = 0.0;
+    EXPECT_THROW(computeTco(in), TcoError);
+    in.throughputTokensPerSec = -1.0;
+    EXPECT_THROW(computeTco(in), TcoError);
+    // The typed error stays catchable as the base FatalError, so
+    // existing drivers keep working.
     in.throughputTokensPerSec = 0.0;
     EXPECT_THROW(computeTco(in), FatalError);
     setLogLevel(LogLevel::Info);

@@ -1,0 +1,526 @@
+/**
+ * @file
+ * Fleet-subsystem tests: the diurnal traffic driver (determinism,
+ * schedule shape, validation), the common Backend surface over PNM
+ * and GPU appliances, cluster routing (least-loaded, affinity,
+ * draining, degraded-node avoidance), watermark autoscaling with
+ * cooldown hysteresis, and the fleet-granularity TCO roll-up.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tco.hh"
+#include "fleet/autoscaler.hh"
+#include "fleet/backend.hh"
+#include "fleet/cluster_router.hh"
+#include "fleet/diurnal.hh"
+#include "serve/cost_model.hh"
+#include "sim/fault.hh"
+#include "sim/logging.hh"
+
+namespace cxlpnm
+{
+namespace fleet
+{
+namespace
+{
+
+/** Hand-built cost model: fleet logic tests need no event sim. */
+serve::BatchCostModel
+syntheticCost()
+{
+    serve::BatchCostModel c;
+    c.sumCurve.addSample(1, 1.0e-3);
+    c.sumCurve.addSample(1024, 10.0e-3);
+    c.genWeightSeconds = 10.0e-3;
+    c.genKvPerTokenSeconds = 2.0e-6;
+    c.perTokenComputeSeconds = 0.2e-3;
+    return c;
+}
+
+serve::ServeRequest
+makeRequest(std::uint64_t id, double t, std::uint64_t tenant = 0)
+{
+    serve::ServeRequest r;
+    r.id = id;
+    r.arrivalSeconds = t;
+    r.inputTokens = 32;
+    r.outputTokens = 16;
+    r.tenant = tenant;
+    return r;
+}
+
+BackendConfig
+backendConfig(const std::string &name)
+{
+    BackendConfig cfg;
+    cfg.name = name;
+    cfg.plan = core::ParallelismPlan{1, 2};
+    return cfg;
+}
+
+std::unique_ptr<DispatcherBackend>
+syntheticBackend(const std::string &name,
+                 BackendClass cls = BackendClass::Pnm)
+{
+    const auto model = llm::ModelConfig::tiny();
+    BackendCostSpec spec;
+    spec.devices = 2;
+    spec.devicePriceUsd = 7000.0;
+    spec.activePowerW = 160.0;
+    spec.idlePowerW = 30.0;
+    return std::make_unique<DispatcherBackend>(
+        cls, model, syntheticCost(), 64ull << 30,
+        backendConfig(name), spec);
+}
+
+// ---- diurnal traffic ----
+
+TEST(DiurnalTest, DeterministicUnderSeed)
+{
+    DiurnalConfig cfg;
+    cfg.baseRequestsPerSec = 5.0;
+    cfg.amplitude = 0.8;
+    cfg.periodSeconds = 120.0;
+    cfg.numRequests = 200;
+    cfg.seed = 7;
+    cfg.numTenants = 4;
+    cfg.input = serve::LengthDistribution::uniform(16, 64);
+    cfg.output = serve::LengthDistribution::uniform(8, 32);
+
+    const auto a = DiurnalGenerator::generate(cfg);
+    const auto b = DiurnalGenerator::generate(cfg);
+    ASSERT_EQ(a.size(), b.size());
+    double last = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].arrivalSeconds, b[i].arrivalSeconds);
+        EXPECT_EQ(a[i].inputTokens, b[i].inputTokens);
+        EXPECT_EQ(a[i].outputTokens, b[i].outputTokens);
+        EXPECT_EQ(a[i].tenant, b[i].tenant);
+        EXPECT_GE(a[i].arrivalSeconds, last);
+        last = a[i].arrivalSeconds;
+        EXPECT_LT(a[i].tenant, 4u);
+    }
+
+    DiurnalConfig other = cfg;
+    other.seed = 8;
+    const auto c = DiurnalGenerator::generate(other);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        differs = differs ||
+            a[i].arrivalSeconds != c[i].arrivalSeconds;
+    EXPECT_TRUE(differs);
+}
+
+TEST(DiurnalTest, PiecewiseScheduleShapesArrivals)
+{
+    DiurnalConfig cfg;
+    cfg.segments = {{0.0, 20.0}, {10.0, 2.0}, {20.0, 20.0}};
+    cfg.numRequests = 600;
+    cfg.seed = 11;
+    std::size_t peak = 0, trough = 0;
+    for (const auto &r : DiurnalGenerator::generate(cfg)) {
+        if (r.arrivalSeconds < 10.0)
+            ++peak;
+        else if (r.arrivalSeconds < 20.0)
+            ++trough;
+    }
+    // 10x the rate must show up as far more arrivals per window.
+    EXPECT_GT(peak, 3 * trough);
+    EXPECT_GT(trough, 0u);
+}
+
+TEST(DiurnalTest, BurstyModulationStaysDeterministic)
+{
+    DiurnalConfig cfg;
+    cfg.baseRequestsPerSec = 10.0;
+    cfg.amplitude = 0.5;
+    cfg.periodSeconds = 60.0;
+    cfg.bursty = true;
+    cfg.burstOnSeconds = 2.0;
+    cfg.burstOffSeconds = 2.0;
+    cfg.burstOffRateFraction = 0.0;
+    cfg.numRequests = 300;
+    cfg.seed = 3;
+    const auto a = DiurnalGenerator::generate(cfg);
+    const auto b = DiurnalGenerator::generate(cfg);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].arrivalSeconds, b[i].arrivalSeconds);
+}
+
+TEST(DiurnalTest, ValidatesConfig)
+{
+    setLogLevel(LogLevel::Silent);
+    DiurnalConfig cfg;
+    cfg.amplitude = 1.0; // trough rate would hit zero
+    EXPECT_THROW(DiurnalGenerator gen(cfg), serve::TraceConfigError);
+    cfg.amplitude = 0.5;
+    cfg.numRequests = 0;
+    EXPECT_THROW(DiurnalGenerator gen(cfg), serve::TraceConfigError);
+    cfg.numRequests = 8;
+    cfg.segments = {{5.0, 1.0}}; // must start at 0
+    EXPECT_THROW(DiurnalGenerator gen(cfg), serve::TraceConfigError);
+    cfg.segments = {{0.0, 1.0}, {0.0, 2.0}}; // must increase
+    EXPECT_THROW(DiurnalGenerator gen(cfg), serve::TraceConfigError);
+    cfg.segments.clear();
+    cfg.bursty = true;
+    cfg.burstOffRateFraction = 1.5;
+    EXPECT_THROW(DiurnalGenerator gen(cfg), serve::TraceConfigError);
+    setLogLevel(LogLevel::Info);
+}
+
+// ---- the Backend surface ----
+
+TEST(BackendTest, UniformSurfaceServesAndReports)
+{
+    auto b = syntheticBackend("pnm0");
+    EXPECT_EQ(b->backendClass(), BackendClass::Pnm);
+    EXPECT_GT(b->capacityTokensPerSec(), 0.0);
+    EXPECT_TRUE(b->healthyAt(0.0));
+    EXPECT_EQ(b->outstandingTokens(), 0u);
+
+    for (std::uint64_t i = 0; i < 6; ++i)
+        b->submit(makeRequest(i, 0.01 * static_cast<double>(i)));
+    EXPECT_GT(b->outstandingTokens(), 0u);
+    b->drain();
+    EXPECT_EQ(b->outstandingTokens(), 0u);
+    EXPECT_EQ(b->tokensGenerated(), 6u * 16u);
+    const auto report = b->report(b->clockSeconds());
+    EXPECT_EQ(report.completed, 6u);
+    EXPECT_EQ(b->backlogSeconds(), 0.0);
+}
+
+TEST(BackendTest, PnmAndGpuFactoriesExposeCost)
+{
+    const auto model = llm::ModelConfig::tiny();
+    core::PnmPlatformConfig pcfg;
+    const auto pnm_cost = serve::calibratePnmCostModel(model, pcfg, 64);
+    PnmBackend pnm(model, pcfg, pnm_cost, backendConfig("pnm"));
+    EXPECT_EQ(pnm.backendClass(), BackendClass::Pnm);
+    EXPECT_EQ(pnm.costSpec().devices, 2);
+    EXPECT_EQ(pnm.costSpec().devicePriceUsd, pcfg.priceUsd);
+    EXPECT_GT(pnm.capacityTokensPerSec(), 0.0);
+
+    const auto spec = gpu::GpuSpec::a100_40g();
+    const auto gpu_cost = serve::calibrateGpuCostModel(
+        model, spec, gpu::GpuCalibration{}, 64);
+    GpuBackend g(model, spec, gpu_cost, backendConfig("gpu"));
+    EXPECT_EQ(g.backendClass(), BackendClass::Gpu);
+    EXPECT_EQ(g.costSpec().devicePriceUsd, spec.priceUsd);
+    EXPECT_EQ(g.costSpec().idlePowerW, spec.idlePowerW * 2);
+    EXPECT_GT(g.capacityTokensPerSec(), 0.0);
+
+    // The paper's economics at the appliance level: the PNM box is
+    // cheaper per device and burns far less power.
+    EXPECT_LT(pnm.costSpec().devicePriceUsd,
+              g.costSpec().devicePriceUsd);
+    EXPECT_LT(pnm.costSpec().activePowerW, g.costSpec().activePowerW);
+}
+
+TEST(BackendTest, ValidatesConfig)
+{
+    setLogLevel(LogLevel::Silent);
+    BackendConfig cfg;
+    EXPECT_THROW(cfg.validate(), FleetConfigError); // no name
+    cfg.name = "x";
+    cfg.capacityContextTokens = 0;
+    EXPECT_THROW(cfg.validate(), FleetConfigError);
+    setLogLevel(LogLevel::Info);
+}
+
+// ---- cluster routing ----
+
+TEST(RouterTest, LeastLoadedSpreadsWithoutAffinity)
+{
+    auto b0 = syntheticBackend("b0");
+    auto b1 = syntheticBackend("b1");
+    RouterConfig rcfg;
+    rcfg.affinity = false;
+    ClusterRouter router({b0.get(), b1.get()}, rcfg);
+
+    for (std::uint64_t i = 0; i < 8; ++i)
+        router.submit(makeRequest(i, 1e-4 * static_cast<double>(i)));
+    router.drain();
+    EXPECT_GT(router.routedTo(0), 0u);
+    EXPECT_GT(router.routedTo(1), 0u);
+    EXPECT_EQ(router.routedTo(0) + router.routedTo(1), 8u);
+    EXPECT_EQ(b0->report(router.clockSeconds()).completed +
+                  b1->report(router.clockSeconds()).completed,
+              8u);
+}
+
+TEST(RouterTest, AffinityKeepsTenantsSticky)
+{
+    // One tenant, default slack: its first request lands on b0 and
+    // every follow-up sticks there even while the empty b1 is the
+    // least-loaded choice.
+    {
+        auto b0 = syntheticBackend("b0");
+        auto b1 = syntheticBackend("b1");
+        ClusterRouter router({b0.get(), b1.get()}, RouterConfig{});
+        for (std::uint64_t i = 0; i < 8; ++i)
+            router.submit(
+                makeRequest(i, 0.05 * static_cast<double>(i)));
+        router.drain();
+        EXPECT_EQ(router.routedTo(0), 8u);
+        EXPECT_EQ(router.routedTo(1), 0u);
+        EXPECT_EQ(router.affinityHits(), 7u);
+    }
+    // Zero slack: load wins the moment the sticky backend falls
+    // behind the least-loaded one, so traffic spreads again.
+    {
+        auto b0 = syntheticBackend("b0");
+        auto b1 = syntheticBackend("b1");
+        RouterConfig rcfg;
+        rcfg.affinitySlackSeconds = 0.0;
+        ClusterRouter router({b0.get(), b1.get()}, rcfg);
+        for (std::uint64_t i = 0; i < 8; ++i)
+            router.submit(
+                makeRequest(i, 0.05 * static_cast<double>(i)));
+        router.drain();
+        EXPECT_GT(router.routedTo(0), 0u);
+        EXPECT_GT(router.routedTo(1), 0u);
+    }
+}
+
+TEST(RouterTest, DrainingBackendTakesNothingNew)
+{
+    auto b0 = syntheticBackend("b0");
+    auto b1 = syntheticBackend("b1");
+    RouterConfig rcfg;
+    rcfg.affinity = false;
+    ClusterRouter router({b0.get(), b1.get()}, rcfg);
+
+    router.setState(1, BackendState::Draining);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        router.submit(makeRequest(i, 0.01 * static_cast<double>(i)));
+    router.drain();
+    EXPECT_EQ(router.routedTo(0), 6u);
+    EXPECT_EQ(router.routedTo(1), 0u);
+}
+
+TEST(RouterTest, RoutesAroundDegradedBackend)
+{
+    auto b0 = syntheticBackend("b0");
+    auto b1 = syntheticBackend("b1");
+    RouterConfig rcfg;
+    rcfg.affinity = false;
+    ClusterRouter router({b0.get(), b1.get()}, rcfg);
+
+    // Fail-stop both of b0's device groups on their first iteration:
+    // the whole appliance goes degraded (PR 3 RAS cooldown) and the
+    // router must route around it while the cooldown lasts.
+    fault::FaultInjector inj(9);
+    inj.arm(fault::FaultSpec::scriptedAccess(
+        "b0.group0.iteration", fault::FaultKind::GroupFailStop, 1));
+    inj.arm(fault::FaultSpec::scriptedAccess(
+        "b0.group1.iteration", fault::FaultKind::GroupFailStop, 1));
+    b0->dispatcher().attachFaultInjector(&inj, "b0");
+
+    // A same-instant burst routes b0/b1/b0/b1 before any iteration
+    // runs, seeding work onto both of b0's groups so both trip; the
+    // steady arrivals then land inside the cooldown window.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        router.submit(makeRequest(i, 0.0));
+    for (std::uint64_t i = 4; i < 10; ++i)
+        router.submit(
+            makeRequest(i, 0.5 * static_cast<double>(i - 3)));
+    router.drain();
+
+    EXPECT_GT(router.degradedSkips(), 0u);
+    EXPECT_GT(router.routedTo(1), router.routedTo(0));
+    const auto r0 = b0->report(router.clockSeconds());
+    const auto r1 = b1->report(router.clockSeconds());
+    EXPECT_EQ(r0.completed + r1.completed, 10u);
+}
+
+TEST(RouterTest, ValidatesConfig)
+{
+    setLogLevel(LogLevel::Silent);
+    auto b0 = syntheticBackend("b0");
+    RouterConfig bad;
+    bad.affinitySlackSeconds = -1.0;
+    EXPECT_THROW(ClusterRouter({b0.get()}, bad), FleetConfigError);
+    EXPECT_THROW(ClusterRouter({}, RouterConfig{}), FleetConfigError);
+    setLogLevel(LogLevel::Info);
+}
+
+// ---- autoscaling ----
+
+TEST(AutoscalerTest, ScalesUpOnSustainedBacklog)
+{
+    auto b0 = syntheticBackend("b0");
+    auto b1 = syntheticBackend("b1");
+    RouterConfig rcfg;
+    rcfg.affinity = false;
+    ClusterRouter router({b0.get(), b1.get()}, rcfg);
+    router.setState(1, BackendState::Offline);
+
+    AutoscalerConfig acfg;
+    acfg.highWatermarkSeconds = 0.05;
+    acfg.lowWatermarkSeconds = 0.01;
+    acfg.sustainSeconds = 0.0;
+    acfg.cooldownSeconds = 0.0;
+    Autoscaler scaler(router, acfg);
+
+    // A same-instant burst piles backlog onto the only active box.
+    for (std::uint64_t i = 0; i < 32; ++i)
+        router.submit(makeRequest(i, 0.0));
+    router.submit(makeRequest(32, 0.001)); // flushes the burst
+    scaler.observe(0.001);
+
+    ASSERT_EQ(scaler.scaleUps(), 1u);
+    EXPECT_EQ(scaler.events().front().backend, 1u);
+    EXPECT_EQ(router.state(1), BackendState::Active);
+
+    router.drain();
+    // Emptied fleet below the low watermark: drains the spare box.
+    scaler.observe(router.clockSeconds() + 1.0);
+    EXPECT_EQ(scaler.scaleDowns(), 1u);
+    EXPECT_EQ(router.state(1), BackendState::Draining);
+    // ... and a later observation retires the empty box to Offline.
+    scaler.observe(router.clockSeconds() + 2.0);
+    EXPECT_EQ(router.state(1), BackendState::Offline);
+}
+
+TEST(AutoscalerTest, CooldownPreventsFlapping)
+{
+    auto b0 = syntheticBackend("b0");
+    auto b1 = syntheticBackend("b1");
+    auto b2 = syntheticBackend("b2");
+    RouterConfig rcfg;
+    rcfg.affinity = false;
+    ClusterRouter router({b0.get(), b1.get(), b2.get()}, rcfg);
+    router.setState(1, BackendState::Offline);
+    router.setState(2, BackendState::Offline);
+
+    AutoscalerConfig acfg;
+    acfg.highWatermarkSeconds = 0.05;
+    acfg.lowWatermarkSeconds = 0.01;
+    acfg.sustainSeconds = 0.0;
+    acfg.cooldownSeconds = 100.0;
+    Autoscaler scaler(router, acfg);
+
+    for (std::uint64_t i = 0; i < 32; ++i)
+        router.submit(makeRequest(i, 0.0));
+    router.submit(makeRequest(32, 0.001));
+    scaler.observe(0.001);
+    scaler.observe(0.002); // still hot, but inside the cooldown
+    EXPECT_EQ(scaler.scaleUps(), 1u);
+    router.drain();
+}
+
+TEST(AutoscalerTest, LedgerSplitsActiveAndIdleSeconds)
+{
+    auto b0 = syntheticBackend("b0");
+    auto b1 = syntheticBackend("b1");
+    ClusterRouter router({b0.get(), b1.get()}, RouterConfig{});
+    router.setState(1, BackendState::Offline);
+
+    AutoscalerConfig acfg;
+    acfg.enabled = false; // ledger only
+    Autoscaler scaler(router, acfg);
+    scaler.observe(4.0);
+    scaler.finish(10.0);
+
+    EXPECT_DOUBLE_EQ(scaler.activeSeconds(0), 10.0);
+    EXPECT_DOUBLE_EQ(scaler.idleSeconds(0), 0.0);
+    EXPECT_DOUBLE_EQ(scaler.activeSeconds(1), 0.0);
+    EXPECT_DOUBLE_EQ(scaler.idleSeconds(1), 10.0);
+}
+
+TEST(AutoscalerTest, ValidatesConfig)
+{
+    setLogLevel(LogLevel::Silent);
+    auto b0 = syntheticBackend("b0");
+    ClusterRouter router({b0.get()}, RouterConfig{});
+    AutoscalerConfig bad;
+    bad.highWatermarkSeconds = 0.5;
+    bad.lowWatermarkSeconds = 1.0;
+    EXPECT_THROW(Autoscaler(router, bad), FleetConfigError);
+    bad = AutoscalerConfig{};
+    bad.minActive = 0;
+    EXPECT_THROW(Autoscaler(router, bad), FleetConfigError);
+    setLogLevel(LogLevel::Info);
+}
+
+// ---- fleet TCO ----
+
+TEST(FleetTcoTest, RollsUpClassesAndFleet)
+{
+    core::FleetClassTcoInputs pnm;
+    pnm.name = "pnm";
+    pnm.appliances = 2;
+    pnm.devicesPerAppliance = 8;
+    pnm.devicePriceUsd = 7000.0;
+    pnm.activePowerW = 641.7;
+    pnm.idlePowerW = 120.0;
+    pnm.activeSeconds = 2.0 * 3600.0;
+    pnm.idleSeconds = 0.0;
+    pnm.tokensGenerated = 2'000'000;
+
+    core::FleetClassTcoInputs gpu = pnm;
+    gpu.name = "gpu";
+    gpu.devicePriceUsd = 10000.0;
+    gpu.activePowerW = 1800.0;
+    gpu.activeSeconds = 3600.0;
+    gpu.idleSeconds = 3600.0;
+    gpu.tokensGenerated = 1'000'000;
+
+    const auto fleet = core::computeFleetTco({pnm, gpu}, 3600.0);
+    ASSERT_EQ(fleet.classes.size(), 2u);
+    const auto &p = fleet.classes[0];
+    const auto &g = fleet.classes[1];
+
+    EXPECT_NEAR(p.hardwareCostUsd, 2 * 8 * 7000.0, 1e-9);
+    const double amort =
+        p.hardwareCostUsd * 3600.0 / (3.0 * 365.25 * 86400.0);
+    EXPECT_NEAR(p.amortizedHardwareUsd, amort, 1e-9);
+    EXPECT_NEAR(p.energyKwh, 641.7 * 7200.0 / 3.6e6, 1e-9);
+    EXPECT_NEAR(p.utilization, 1.0, 1e-12);
+    EXPECT_NEAR(p.usdPerMtok, p.totalUsd / 2.0, 1e-12);
+
+    EXPECT_NEAR(g.energyKwh, (1800.0 + 120.0) * 3600.0 / 3.6e6,
+                1e-9);
+    EXPECT_NEAR(g.utilization, 0.5, 1e-12);
+
+    EXPECT_NEAR(fleet.tokensM, 3.0, 1e-12);
+    EXPECT_NEAR(fleet.totalUsd, p.totalUsd + g.totalUsd, 1e-9);
+    EXPECT_NEAR(fleet.usdPerMtok, fleet.totalUsd / 3.0, 1e-12);
+
+    // The paper's TCO direction survives the fleet roll-up: the PNM
+    // class produces tokens cheaper than the GPU class.
+    EXPECT_LT(p.usdPerMtok, g.usdPerMtok);
+}
+
+TEST(FleetTcoTest, TypedErrorsOnBadInputs)
+{
+    setLogLevel(LogLevel::Silent);
+    core::FleetClassTcoInputs c;
+    c.name = "x";
+    c.appliances = 1;
+    c.tokensGenerated = 1;
+    c.activeSeconds = 10.0;
+
+    EXPECT_THROW(core::computeFleetTco({c}, 0.0), core::TcoError);
+    EXPECT_THROW(core::computeFleetTco({c}, -1.0), core::TcoError);
+
+    // Ledger overbooked past appliances * horizon.
+    EXPECT_THROW(core::computeFleetTco({c}, 5.0), core::TcoError);
+
+    core::FleetClassTcoInputs idle = c;
+    idle.activeSeconds = 1.0;
+    idle.tokensGenerated = 0;
+    EXPECT_THROW(core::computeFleetTco({idle}, 10.0),
+                 core::TcoError);
+
+    core::FleetClassTcoInputs neg = c;
+    neg.activeSeconds = -1.0;
+    EXPECT_THROW(core::computeFleetTco({neg}, 10.0), core::TcoError);
+    setLogLevel(LogLevel::Info);
+}
+
+} // namespace
+} // namespace fleet
+} // namespace cxlpnm

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "gpu/inference.hh"
 #include "serve/cost_model.hh"
 #include "serve/dispatcher.hh"
 #include "serve/kv_pool.hh"
@@ -656,6 +657,36 @@ TEST(CalibrationTest, GpuModelCalibratesFromRoofline)
     const auto pnm_kv =
         pnmKvCapacityBytes(model, core::PnmPlatformConfig{});
     EXPECT_GT(pnm_kv, 10 * kv);
+}
+
+TEST(CalibrationTest, GpuAnalyticMatchesKernelSimulation)
+{
+    // The fitted analytic model must reproduce the roofline kernel
+    // simulation it was calibrated from: one request priced as
+    // prefill + per-token decode should land within 5% of the
+    // end-to-end gpu::runGpuInference latency.
+    const auto model = llm::ModelConfig::opt13b();
+    const auto spec = gpu::GpuSpec::a100_40g();
+    const gpu::GpuCalibration calib{};
+
+    llm::InferenceRequest req;
+    req.inputTokens = 64;
+    req.outputTokens = 32;
+
+    const auto cost = calibrateGpuCostModel(model, spec, calib,
+                                            req.totalTokens());
+    double predicted = cost.prefillSeconds(req.inputTokens);
+    for (std::uint64_t i = 0; i < req.outputTokens; ++i)
+        predicted += cost.decodeSeconds(req.inputTokens + i);
+
+    const auto sim =
+        gpu::runGpuInference(model, req, spec, calib, /*devices=*/1);
+    ASSERT_GT(sim.totalSeconds, 0.0);
+    const double rel =
+        std::abs(predicted - sim.totalSeconds) / sim.totalSeconds;
+    EXPECT_LE(rel, 0.05)
+        << "analytic " << predicted << " s vs simulated "
+        << sim.totalSeconds << " s";
 }
 
 } // namespace
